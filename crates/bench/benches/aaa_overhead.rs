@@ -1,0 +1,59 @@
+//! E12 (Thesis 12): throughput under increasing AAA levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_core::{AaaConfig, MessageMeta, Permission, ReactiveEngine};
+use reweb_term::{parse_term, Timestamp};
+
+fn engine(config: AaaConfig) -> ReactiveEngine {
+    let mut e = ReactiveEngine::new("http://svc");
+    e.aaa = reweb_core::aaa::Aaa::new(config);
+    e.aaa.register("franz", "pw", vec!["customer".into()]);
+    e.aaa
+        .acl
+        .grant("customer", Permission::ReceiveEvent("order".into()));
+    e.install_program(r#"RULE serve ON order{{id[[var O]]}} DO LOG served[var O] END"#)
+        .unwrap();
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aaa_overhead");
+    group.sample_size(10);
+    const N: usize = 1_000;
+    let configs: Vec<(&str, AaaConfig)> = vec![
+        ("off", AaaConfig::default()),
+        (
+            "authn",
+            AaaConfig {
+                require_auth: true,
+                ..AaaConfig::default()
+            },
+        ),
+        (
+            "full",
+            AaaConfig {
+                require_auth: true,
+                authorize: true,
+                accounting: true,
+                accounting_events: true,
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::new("level", name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut e = engine(cfg.clone());
+                let meta = MessageMeta::from_uri("http://c").with_credentials("franz", "pw");
+                for i in 0..N {
+                    let p = parse_term(&format!("order{{id[\"o{i}\"]}}")).unwrap();
+                    e.receive(p, &meta, Timestamp(i as u64));
+                }
+                e.metrics.rules_fired
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 (Thesis 7): condition evaluation over growing documents, seeded by
+//! event bindings vs unseeded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::customers_doc;
+use reweb_query::parser::parse_condition;
+use reweb_query::{Bindings, QueryEngine};
+use reweb_term::Term;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition_query");
+    group.sample_size(10);
+    let cond = parse_condition(
+        "in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}",
+    )
+    .unwrap();
+    for n in [100usize, 1_000, 5_000] {
+        let mut qe = QueryEngine::new();
+        qe.store.put("http://shop/customers", customers_doc(n));
+        let seed = Bindings::of("C", Term::text(format!("c{}", n / 2)));
+        group.bench_with_input(BenchmarkId::new("seeded", n), &n, |b, _| {
+            b.iter(|| qe.eval_condition(&cond, &seed).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("unseeded", n), &n, |b, _| {
+            b.iter(|| qe.eval_condition(&cond, &Bindings::new()).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E1 (Thesis 1): reacting to order events — ECA engine vs driven
+//! production-rule engine over a growing fact base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::customers_doc;
+use reweb_core::{MessageMeta, ReactiveEngine};
+use reweb_production::{CaRule, ProductionEngine};
+use reweb_query::parser::{parse_condition, parse_construct_term, parse_query_term};
+use reweb_query::Bindings;
+use reweb_term::{parse_term, Timestamp};
+use reweb_update::{apply_update, Action, Update};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eca_vs_production");
+    group.sample_size(10);
+    const EVENTS: usize = 20;
+    for n_facts in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("eca", n_facts), &n_facts, |b, &n| {
+            b.iter(|| {
+                let mut e = ReactiveEngine::new("http://shop");
+                e.qe.store.put("http://shop/customers", customers_doc(n));
+                e.install_program(
+                    r#"RULE r ON order{{id[[var O]], total[[var T]]}}
+                       IF in "http://shop/customers" customer{{id[[var O]], name[[var N]]}}
+                       THEN LOG handled[var O] END"#,
+                )
+                .unwrap();
+                let meta = MessageMeta::from_uri("http://c");
+                for i in 0..EVENTS {
+                    let p = parse_term(&format!("order{{id[\"c{}\"], total[\"60\"]}}", i % n))
+                        .unwrap();
+                    e.receive(p, &meta, Timestamp(i as u64));
+                }
+                e.metrics.rules_fired
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("production", n_facts),
+            &n_facts,
+            |b, &n| {
+                b.iter(|| {
+                    let mut pe = ProductionEngine::new();
+                    pe.qe.store.put("http://shop/customers", customers_doc(n));
+                    pe.qe
+                        .store
+                        .put("http://shop/orders", parse_term("orders[]").unwrap());
+                    pe.add_rule(CaRule::new(
+                        "r",
+                        parse_condition(
+                            "in \"http://shop/orders\" order{{id[[var O]]}} \
+                             and in \"http://shop/customers\" customer{{id[[var O]], name[[var N]]}}",
+                        )
+                        .unwrap(),
+                        Action::Log(parse_construct_term("handled[var O]").unwrap()),
+                    ));
+                    for i in 0..EVENTS {
+                        let u = Update::insert(
+                            "http://shop/orders",
+                            parse_query_term("orders[[]]").unwrap(),
+                            parse_construct_term(&format!("order{{id[\"c{}\"]}}", i % n)).unwrap(),
+                        );
+                        apply_update(&mut pe.qe.store, &u, &Bindings::new()).unwrap();
+                        pe.run_to_quiescence();
+                    }
+                    pe.metrics.rules_fired
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

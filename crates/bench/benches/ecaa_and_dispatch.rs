@@ -1,0 +1,74 @@
+//! E9 (Thesis 9): ECAA vs C/¬C rule pair; label-indexed vs wildcard
+//! dispatch with many rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::customers_doc;
+use reweb_core::{MessageMeta, ReactiveEngine};
+use reweb_term::{parse_term, Timestamp};
+
+fn branching_engine(ecaa: bool) -> ReactiveEngine {
+    let mut e = ReactiveEngine::new("http://x");
+    e.qe.store.put("http://x/c", customers_doc(200));
+    let program = if ecaa {
+        r#"RULE r ON order{{id[[var O]]}}
+           IF in "http://x/c" customer{{id[[var O]]}} THEN LOG k[var O]
+           ELSE LOG u[var O] END"#
+    } else {
+        r#"RULE rp ON order{{id[[var O]]}}
+           IF in "http://x/c" customer{{id[[var O]]}} THEN LOG k[var O] END
+           RULE rn ON order{{id[[var O]]}}
+           IF not in "http://x/c" customer{{id[[var O]]}} THEN LOG u[var O] END"#
+    };
+    e.install_program(program).unwrap();
+    e
+}
+
+fn dispatch_engine(indexed: bool) -> ReactiveEngine {
+    let mut e = ReactiveEngine::new("http://x");
+    for i in 0..100 {
+        let pattern = if indexed {
+            format!("evt{i}{{{{v[[var X]]}}}}")
+        } else {
+            format!("*{{{{kind[[\"evt{i}\"]], v[[var X]]}}}}")
+        };
+        e.install_program(&format!("RULE r{i} ON {pattern} DO LOG s{i}[var X] END"))
+            .unwrap();
+    }
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecaa_and_dispatch");
+    group.sample_size(10);
+    const EVENTS: usize = 200;
+    for (name, ecaa) in [("ecaa", true), ("rule_pair", false)] {
+        group.bench_with_input(BenchmarkId::new("branching", name), &ecaa, |b, &ecaa| {
+            b.iter(|| {
+                let mut e = branching_engine(ecaa);
+                let meta = MessageMeta::from_uri("http://y");
+                for i in 0..EVENTS {
+                    let p = parse_term(&format!("order{{id[\"c{}\"]}}", i % 400)).unwrap();
+                    e.receive(p, &meta, Timestamp(i as u64));
+                }
+                e.metrics.condition_evals
+            })
+        });
+    }
+    for (name, indexed) in [("indexed", true), ("wildcard", false)] {
+        group.bench_with_input(BenchmarkId::new("dispatch", name), &indexed, |b, &ix| {
+            b.iter(|| {
+                let mut e = dispatch_engine(ix);
+                let meta = MessageMeta::from_uri("http://y");
+                for i in 0..EVENTS {
+                    let p = parse_term(&format!("evt7{{kind[\"evt7\"], v[\"{i}\"]}}")).unwrap();
+                    e.receive(p, &meta, Timestamp(i as u64));
+                }
+                e.metrics.rules_fired
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E5 (Thesis 5): throughput of the four event-query dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::{order_payload, payment_payload, stock_payload};
+use reweb_events::{parse_event_query, Event, EventId, IncrementalEngine};
+use reweb_term::{Term, Timestamp};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_dimensions");
+    group.sample_size(10);
+    const N: usize = 2_000;
+    let cases: Vec<(&str, &str, Box<dyn Fn(usize) -> Term>)> = vec![
+        (
+            "extraction",
+            "order{{id[[var O]], total[[var T]]}}",
+            Box::new(|i| order_payload(i, 60)),
+        ),
+        (
+            "composition",
+            "and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1m",
+            Box::new(|i| {
+                if i % 2 == 0 {
+                    order_payload(i / 2, 100)
+                } else {
+                    payment_payload(i / 2, 100)
+                }
+            }),
+        ),
+        (
+            "absence",
+            "absence(ping{{n[[var N]]}}, pong{{n[[var N]]}}, 5s)",
+            Box::new(|i| {
+                let l = if i % 3 == 0 { "ping" } else { "pong" };
+                reweb_term::parse_term(&format!("{l}{{n[\"{}\"]}}", i / 3)).unwrap()
+            }),
+        ),
+        (
+            "accumulation",
+            "avg(var P, 5, stock{{sym[[var S]], price[[var P]]}}) as var A group by var S",
+            Box::new(|i| stock_payload(if i % 2 == 0 { "A" } else { "B" }, 100.0 + (i % 7) as f64)),
+        ),
+    ];
+    for (name, q, gen) in cases {
+        let query = parse_event_query(q).unwrap();
+        let events: Vec<Event> = (0..N)
+            .map(|i| Event::new(EventId(i as u64), Timestamp(i as u64 * 1_000), gen(i)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("dimension", name), &name, |b, _| {
+            b.iter(|| {
+                let mut eng = IncrementalEngine::new(&query);
+                let mut n = 0usize;
+                for e in &events {
+                    n += eng.push(e).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E6 (Thesis 6): per-event cost of incremental vs naive event query
+//! evaluation as history grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::mixed_stream;
+use reweb_events::{parse_event_query, Event, EventId, IncrementalEngine, NaiveEngine};
+
+fn bench(c: &mut Criterion) {
+    let q = parse_event_query("and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1h")
+        .unwrap();
+    let mut group = c.benchmark_group("incremental_vs_naive");
+    group.sample_size(10);
+    for h in [200usize, 800, 2_000] {
+        let stream = mixed_stream(h, 50, 42);
+        group.bench_with_input(BenchmarkId::new("incremental", h), &h, |b, _| {
+            b.iter(|| {
+                let mut eng = IncrementalEngine::new(&q);
+                let mut n = 0usize;
+                for (i, (ts, p)) in stream.iter().enumerate() {
+                    n += eng.push(&Event::new(EventId(i as u64), *ts, p.clone())).len();
+                }
+                n
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", h), &h, |b, _| {
+            b.iter(|| {
+                let mut eng = NaiveEngine::new(&q);
+                let mut n = 0usize;
+                for (i, (ts, p)) in stream.iter().enumerate() {
+                    n += eng.push(&Event::new(EventId(i as u64), *ts, p.clone())).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3 (Thesis 3): simulation cost of push vs poll observation for one
+//! simulated hour of resource changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::news_doc;
+use reweb_term::{Dur, IdentityMode, ResourceStore, Timestamp};
+use reweb_websim::{Poller, Simulation};
+
+fn drive(sim: &mut Simulation) {
+    for k in 1..=30u64 {
+        sim.schedule_update(
+            "http://news/front",
+            news_doc(5, k * 60_000),
+            Timestamp(k * 60_000),
+        );
+    }
+    sim.run_until(Timestamp(1_900_000));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_vs_poll");
+    group.sample_size(10);
+    group.bench_function("push", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(3);
+            let mut store = ResourceStore::new();
+            store.put("http://news/front", news_doc(5, 0));
+            sim.add_store("http://news", store);
+            sim.add_sink("http://w");
+            sim.subscribe_push("http://news/front", "http://w", IdentityMode::surrogate());
+            drive(&mut sim);
+            sim.metrics.messages
+        })
+    });
+    for poll_secs in [5u64, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("poll", poll_secs),
+            &poll_secs,
+            |b, &secs| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(3);
+                    let mut store = ResourceStore::new();
+                    store.put("http://news/front", news_doc(5, 0));
+                    sim.add_store("http://news", store);
+                    sim.add_sink("http://w");
+                    sim.add_poller(
+                        "http://p",
+                        Poller::new(
+                            "http://news/front",
+                            Dur::secs(secs),
+                            "http://w",
+                            IdentityMode::surrogate(),
+                        ),
+                    );
+                    drive(&mut sim);
+                    sim.metrics.messages
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerate the per-thesis experiment tables E1…E12 (see DESIGN.md §3).
+//!
+//! ```text
+//! cargo run --release -p reweb-bench --bin experiments          # all
+//! cargo run --release -p reweb-bench --bin experiments -- E3 E6 # a subset
+//! ```
+//!
+//! Output is Markdown, pasteable into EXPERIMENTS.md.
+
+use reweb_bench::experiments;
+
+fn main() {
+    let wanted: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|s| s.to_uppercase())
+        .collect();
+    let run_all = wanted.is_empty();
+
+    let runners: Vec<(&str, fn() -> reweb_bench::Table)> = vec![
+        ("E1", experiments::e1_eca_vs_production),
+        ("E2", experiments::e2_local_vs_central),
+        ("E3", experiments::e3_push_vs_poll),
+        ("E4", experiments::e4_volatility),
+        ("E5", experiments::e5_event_dimensions),
+        ("E6", experiments::e6_incremental_vs_naive),
+        ("E7", experiments::e7_condition_queries),
+        ("E8", experiments::e8_compound_actions),
+        ("E9", experiments::e9_structuring),
+        ("E10", experiments::e10_identity),
+        ("E11", experiments::e11_trust_negotiation),
+        ("E12", experiments::e12_aaa_overhead),
+    ];
+
+    println!("# reweb experiment tables (E1…E12)\n");
+    for (id, run) in runners {
+        if run_all || wanted.iter().any(|w| w == id) {
+            eprintln!("running {id}…");
+            let table = run();
+            println!("{}", table.to_markdown());
+        }
+    }
+}

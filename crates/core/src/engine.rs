@@ -1,0 +1,656 @@
+//! The reactive engine: local rule processing per Web node (Thesis 2).
+//!
+//! Each node runs one [`ReactiveEngine`] owning its rule base, resource
+//! store, and event-query state. Engines interact *only* through events:
+//! received payloads trigger rules; actions produce [`OutMessage`]s for
+//! the transport to deliver (push, Thesis 3). There is no central
+//! coordinator anywhere.
+//!
+//! Processing a message:
+//!
+//! 1. due timers fire ([`ReactiveEngine::advance_time`] — absence
+//!    deadlines);
+//! 2. AAA admission (Thesis 12): authenticate, authorize, account — a
+//!    denied message triggers no rules but is accounted;
+//! 3. `install_rules` payloads install the carried rule set (Thesis 11),
+//!    gated by the `InstallRules` permission;
+//! 4. DETECT rules derive higher-level events (Thesis 9);
+//! 5. the event (and every derived event) is dispatched to the rules
+//!    subscribed to its payload label — rule sets index their rules by
+//!    trigger label, so unrelated rules cost nothing;
+//! 6. for each answer of a rule's event query, the rule's branches run in
+//!    order: the first branch whose condition holds executes its action
+//!    once per condition answer (ECAA/ECnAn, Thesis 9), with bindings
+//!    flowing event → condition → action (Thesis 7).
+//!
+//! Rule failures are contained: an action error is recorded in the
+//! metrics, never unwinding the engine.
+
+use std::collections::BTreeMap;
+
+use reweb_events::{DeductionLayer, Event, EventId, IncrementalEngine};
+use reweb_query::QueryEngine;
+use reweb_term::{Dur, Term, Timestamp};
+use reweb_update::{Executor, ProcedureDef};
+
+pub use reweb_update::OutMessage;
+
+use crate::aaa::{Aaa, AaaConfig, MessageMeta, Permission};
+use crate::meta::ruleset_from_term;
+use crate::rule::{EcaRule, RuleSet};
+
+/// Counters and error log of one engine (experiments E1, E9, E12).
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    pub events_received: u64,
+    pub events_denied: u64,
+    pub events_derived: u64,
+    /// Rule firings (branch taken for at least one answer).
+    pub rules_fired: u64,
+    /// Non-trivial condition evaluations (the E9 currency).
+    pub condition_evals: u64,
+    pub actions_failed: u64,
+    pub messages_sent: u64,
+    pub rules_installed: u64,
+    pub fires_by_rule: BTreeMap<String, u64>,
+    pub errors: Vec<String>,
+}
+
+struct CompiledRule {
+    rule: EcaRule,
+    ev: IncrementalEngine,
+    procs: BTreeMap<String, ProcedureDef>,
+    set_path: String,
+}
+
+/// A per-node ECA rule engine.
+pub struct ReactiveEngine {
+    /// This node's own URI (stamped on outbound messages by the host).
+    pub uri: String,
+    /// Local persistent data and views.
+    pub qe: QueryEngine,
+    /// Authentication/authorization/accounting state.
+    pub aaa: Aaa,
+    compiled: Vec<CompiledRule>,
+    index: BTreeMap<String, Vec<usize>>,
+    wildcard: Vec<usize>,
+    deduction: DeductionLayer,
+    default_ttl: Option<Dur>,
+    next_event_id: u64,
+    now: Timestamp,
+    pub metrics: EngineMetrics,
+    /// Terms written by `LOG` actions.
+    pub action_log: Vec<Term>,
+}
+
+impl ReactiveEngine {
+    pub fn new(uri: impl Into<String>) -> ReactiveEngine {
+        ReactiveEngine {
+            uri: uri.into(),
+            qe: QueryEngine::new(),
+            aaa: Aaa::new(AaaConfig::default()),
+            compiled: Vec::new(),
+            index: BTreeMap::new(),
+            wildcard: Vec::new(),
+            deduction: DeductionLayer::new(),
+            default_ttl: None,
+            next_event_id: 0,
+            now: Timestamp::ZERO,
+            metrics: EngineMetrics::default(),
+            action_log: Vec::new(),
+        }
+    }
+
+    /// Volatility bound for window-less event queries (Thesis 4): partial
+    /// matches older than this are disposed of. Applies to rules installed
+    /// *after* the call.
+    pub fn set_default_ttl(&mut self, ttl: Dur) {
+        self.default_ttl = Some(ttl);
+    }
+
+    /// Install a rule set: registers its views and DETECT rules, compiles
+    /// its (enabled) rules, scoping procedures root-to-leaf with inner
+    /// definitions shadowing outer ones.
+    pub fn install(&mut self, set: &RuleSet) -> crate::Result<()> {
+        self.install_scoped(set, &BTreeMap::new(), "")?;
+        Ok(())
+    }
+
+    /// Parse and install a rule program (see [`crate::parse_program`]).
+    pub fn install_program(&mut self, src: &str) -> crate::Result<()> {
+        let set = crate::parser::parse_program(src)?;
+        self.install(&set)
+    }
+
+    fn install_scoped(
+        &mut self,
+        set: &RuleSet,
+        inherited: &BTreeMap<String, ProcedureDef>,
+        parent_path: &str,
+    ) -> crate::Result<()> {
+        if !set.enabled {
+            return Ok(());
+        }
+        let path = if parent_path.is_empty() {
+            set.name.clone()
+        } else {
+            format!("{parent_path}.{}", set.name)
+        };
+        let mut procs = inherited.clone();
+        for p in &set.procedures {
+            procs.insert(p.name.clone(), p.clone());
+        }
+        for (uri, v) in &set.views {
+            self.qe.register_view(uri.clone(), v.clone());
+        }
+        for er in &set.event_rules {
+            self.deduction.register(er.clone())?;
+        }
+        for r in &set.rules {
+            self.add_rule_scoped(r.clone(), procs.clone(), path.clone());
+        }
+        for c in &set.children {
+            self.install_scoped(c, &procs, &path)?;
+        }
+        Ok(())
+    }
+
+    /// Install a single rule with no scoped procedures.
+    pub fn add_rule(&mut self, rule: EcaRule) {
+        self.add_rule_scoped(rule, BTreeMap::new(), String::new());
+    }
+
+    fn add_rule_scoped(
+        &mut self,
+        rule: EcaRule,
+        procs: BTreeMap<String, ProcedureDef>,
+        set_path: String,
+    ) {
+        let mut ev = IncrementalEngine::new(&rule.on);
+        if let Some(ttl) = self.default_ttl {
+            ev = ev.with_ttl(ttl);
+        }
+        let idx = self.compiled.len();
+        match rule.on.trigger_labels() {
+            Some(labels) => {
+                for l in labels {
+                    self.index.entry(l).or_default().push(idx);
+                }
+            }
+            None => self.wildcard.push(idx),
+        }
+        self.compiled.push(CompiledRule {
+            rule,
+            ev,
+            procs,
+            set_path,
+        });
+        self.metrics.rules_installed += 1;
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Total partial-match state across all rules (Thesis 4 metric).
+    pub fn state_size(&self) -> usize {
+        self.compiled.iter().map(|c| c.ev.state_size()).sum()
+    }
+
+    /// Earliest pending absence deadline across all rules and DETECT
+    /// rules — hosts (the Web simulator) use this to schedule a timely
+    /// [`ReactiveEngine::advance_time`] call instead of polling the clock.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        let rules = self.compiled.iter().filter_map(|c| c.ev.next_deadline());
+        rules.chain(self.deduction.next_deadline()).min()
+    }
+
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Receive a message from the Web: AAA admission, rule installation,
+    /// deduction, dispatch. Returns the outbound messages the triggered
+    /// actions produced.
+    pub fn receive(
+        &mut self,
+        payload: Term,
+        meta: &MessageMeta,
+        now: Timestamp,
+    ) -> Vec<OutMessage> {
+        let mut out = self.advance_time(now);
+        self.metrics.events_received += 1;
+        let label = payload.label().unwrap_or("").to_string();
+        let (admission, acct_event) =
+            self.aaa
+                .admit(meta, &label, payload.serialized_size(), now);
+        if !admission.allowed {
+            self.metrics.events_denied += 1;
+            self.metrics.errors.push(format!(
+                "denied message `{label}` from {}: {}",
+                meta.from, admission.reason
+            ));
+        } else {
+            // Thesis 11: rules received as messages.
+            if label == "install_rules" {
+                if self.aaa.check(&admission.principal, &Permission::InstallRules) {
+                    match payload
+                        .children()
+                        .first()
+                        .ok_or_else(|| {
+                            reweb_term::TermError::InvalidEdit(
+                                "install_rules without a rule set".into(),
+                            )
+                        })
+                        .and_then(ruleset_from_term)
+                    {
+                        Ok(set) => {
+                            if let Err(e) = self.install(&set) {
+                                self.metrics.errors.push(format!("install failed: {e}"));
+                            }
+                        }
+                        Err(e) => self.metrics.errors.push(format!("install failed: {e}")),
+                    }
+                } else {
+                    self.metrics.errors.push(format!(
+                        "{} may not install rules",
+                        admission.principal
+                    ));
+                }
+            }
+            self.process_event(payload, &meta.from, &mut out);
+        }
+        // Double reactivity: the accounting record is itself an event.
+        if let Some(acct) = acct_event {
+            self.process_event(acct, "aaa:local", &mut out);
+        }
+        out
+    }
+
+    /// Raise an event locally (no AAA — it never crossed the Web).
+    pub fn raise_local(&mut self, payload: Term, now: Timestamp) -> Vec<OutMessage> {
+        let mut out = self.advance_time(now);
+        self.metrics.events_received += 1;
+        self.process_event(payload, "local", &mut out);
+        out
+    }
+
+    /// Advance the virtual clock: fires absence deadlines in rule event
+    /// queries and DETECT rules.
+    pub fn advance_time(&mut self, now: Timestamp) -> Vec<OutMessage> {
+        if now <= self.now && self.now != Timestamp::ZERO {
+            return Vec::new();
+        }
+        self.now = self.now.max(now);
+        let mut out = Vec::new();
+        for idx in 0..self.compiled.len() {
+            let answers = self.compiled[idx].ev.advance_to(now);
+            for a in answers {
+                self.fire(idx, &a.bindings, &mut out);
+            }
+        }
+        match self.deduction.advance_to(now) {
+            Ok(derived) => {
+                for d in derived {
+                    self.metrics.events_derived += 1;
+                    self.dispatch(&d, &mut out);
+                }
+            }
+            Err(e) => self.metrics.errors.push(format!("deduction: {e}")),
+        }
+        out
+    }
+
+    fn process_event(&mut self, payload: Term, source: &str, out: &mut Vec<OutMessage>) {
+        self.next_event_id += 1;
+        let e = Event::new(EventId(self.next_event_id), self.now, payload)
+            .with_source(source.to_string());
+        let derived = match self.deduction.push(&e) {
+            Ok(d) => d,
+            Err(err) => {
+                self.metrics.errors.push(format!("deduction: {err}"));
+                Vec::new()
+            }
+        };
+        self.metrics.events_derived += derived.len() as u64;
+        self.dispatch(&e, out);
+        for d in derived {
+            self.dispatch(&d, out);
+        }
+    }
+
+    fn dispatch(&mut self, e: &Event, out: &mut Vec<OutMessage>) {
+        let mut idxs: Vec<usize> = Vec::new();
+        if let Some(label) = e.label() {
+            if let Some(v) = self.index.get(label) {
+                idxs.extend_from_slice(v);
+            }
+        }
+        idxs.extend_from_slice(&self.wildcard);
+        idxs.sort_unstable();
+        idxs.dedup();
+        for idx in idxs {
+            let answers = self.compiled[idx].ev.push(e);
+            for a in answers {
+                self.fire(idx, &a.bindings, out);
+            }
+        }
+    }
+
+    /// Run the branches of rule `idx` for one event-query answer.
+    fn fire(&mut self, idx: usize, binds: &reweb_query::Bindings, out: &mut Vec<OutMessage>) {
+        // Split borrows: the compiled rule is read, the query engine is
+        // mutated by actions, metrics/log are appended to.
+        let ReactiveEngine {
+            qe,
+            compiled,
+            metrics,
+            action_log,
+            ..
+        } = self;
+        let cr = &compiled[idx];
+        for branch in &cr.rule.branches {
+            let answers = if branch.cond.is_trivial() {
+                vec![binds.clone()]
+            } else {
+                metrics.condition_evals += 1;
+                match qe.eval_condition(&branch.cond, binds) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        metrics
+                            .errors
+                            .push(format!("rule {}: condition error: {e}", cr.rule.name));
+                        return;
+                    }
+                }
+            };
+            if answers.is_empty() {
+                continue; // try the next branch (ECAA/ECnAn)
+            }
+            metrics.rules_fired += 1;
+            *metrics.fires_by_rule.entry(cr.rule.name.clone()).or_default() += 1;
+            for b in answers {
+                let mut ex = Executor::new(qe, &cr.procs);
+                if let Err(e) = ex.execute(&branch.action, &b) {
+                    metrics.actions_failed += 1;
+                    metrics.errors.push(format!(
+                        "rule {} ({}): action failed: {e}",
+                        cr.rule.name, cr.set_path
+                    ));
+                }
+                metrics.messages_sent += ex.outbox.len() as u64;
+                out.extend(ex.outbox);
+                action_log.extend(ex.log);
+            }
+            return; // first branch that held fires; later branches skipped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reweb_term::parse_term;
+
+    fn shop_engine() -> ReactiveEngine {
+        let mut e = ReactiveEngine::new("http://shop");
+        e.qe.store.put(
+            "http://shop/customers",
+            parse_term("customers[customer{id[\"c1\"], order[\"o1\"]}]").unwrap(),
+        );
+        e.install_program(
+            r#"
+            RULESET shop
+              PROCEDURE ship(Order, Customer) DO
+                SEQ
+                  PERSIST shipment{order[var Order], customer[var Customer]} IN "http://shop/shipments";
+                  SEND shipped{order[var Order]} TO "http://mail";
+                END
+              END
+
+              RULE on_payment
+                ON and( order{{id[[var O]], total[[var T]]}},
+                        payment{{order[[var O]], amount[[var A]]}} ) within 2h
+                WHERE var A >= var T
+                IF in "http://shop/customers" customer{{id[[var C]], order[[var O]]}}
+                THEN CALL ship(var O, var C)
+                ELSE SEND unmatched{order[var O]} TO "http://shop/alerts"
+              END
+            END
+            "#,
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn full_rule_fires_through_condition_into_procedure() {
+        let mut e = shop_engine();
+        let meta = MessageMeta::from_uri("http://client");
+        let out = e.receive(
+            parse_term("order{id[\"o1\"], total[\"50\"]}").unwrap(),
+            &meta,
+            Timestamp(1_000),
+        );
+        assert!(out.is_empty());
+        let out = e.receive(
+            parse_term("payment{order[\"o1\"], amount[\"60\"]}").unwrap(),
+            &meta,
+            Timestamp(2_000),
+        );
+        // The composite fired, the condition joined the customer, the
+        // procedure persisted and sent.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, "http://mail");
+        assert_eq!(out[0].payload.to_string(), "shipped{order[\"o1\"]}");
+        let shipments = e.qe.store.get("http://shop/shipments").unwrap();
+        assert!(shipments.to_string().contains("customer[\"c1\"]"));
+        assert_eq!(e.metrics.rules_fired, 1);
+        assert_eq!(e.metrics.condition_evals, 1);
+    }
+
+    #[test]
+    fn else_branch_for_unknown_customer() {
+        let mut e = shop_engine();
+        let meta = MessageMeta::from_uri("http://client");
+        e.receive(
+            parse_term("order{id[\"o9\"], total[\"50\"]}").unwrap(),
+            &meta,
+            Timestamp(1_000),
+        );
+        let out = e.receive(
+            parse_term("payment{order[\"o9\"], amount[\"60\"]}").unwrap(),
+            &meta,
+            Timestamp(2_000),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, "http://shop/alerts");
+        // The ECAA else took one condition evaluation, not two.
+        assert_eq!(e.metrics.condition_evals, 1);
+    }
+
+    #[test]
+    fn where_clause_guards_event() {
+        let mut e = shop_engine();
+        let meta = MessageMeta::from_uri("http://client");
+        e.receive(
+            parse_term("order{id[\"o1\"], total[\"50\"]}").unwrap(),
+            &meta,
+            Timestamp(1_000),
+        );
+        // Underpayment: WHERE var A >= var T fails, nothing fires.
+        let out = e.receive(
+            parse_term("payment{order[\"o1\"], amount[\"10\"]}").unwrap(),
+            &meta,
+            Timestamp(2_000),
+        );
+        assert!(out.is_empty());
+        assert_eq!(e.metrics.rules_fired, 0);
+    }
+
+    #[test]
+    fn label_index_skips_unrelated_rules() {
+        let mut e = shop_engine();
+        let meta = MessageMeta::from_uri("http://client");
+        // An event with an unrelated label triggers no event-query work.
+        e.receive(parse_term("weather{t[\"20\"]}").unwrap(), &meta, Timestamp(1));
+        assert_eq!(e.state_size(), 0);
+    }
+
+    #[test]
+    fn timer_fires_absence_rule() {
+        let mut e = ReactiveEngine::new("http://me");
+        e.install_program(
+            r#"
+            RULE stranded
+              ON absence(cancel{{no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)
+              DO SEND alarm{no[var N]} TO "http://phone"
+            END
+            "#,
+        )
+        .unwrap();
+        let meta = MessageMeta::from_uri("http://airline");
+        e.receive(parse_term("cancel{no[\"LH1\"]}").unwrap(), &meta, Timestamp(0));
+        let out = e.advance_time(Timestamp(7_200_000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.to_string(), "alarm{no[\"LH1\"]}");
+    }
+
+    #[test]
+    fn detect_rule_derives_and_triggers() {
+        let mut e = ReactiveEngine::new("http://me");
+        e.install_program(
+            r#"
+            DETECT big{id[var O]} ON order{{id[[var O]], total[[var T]]}} where var T >= 100 END
+            RULE on_big ON big{{id[[var O]]}} DO SEND audit{id[var O]} TO "http://audit" END
+            "#,
+        )
+        .unwrap();
+        let meta = MessageMeta::from_uri("http://client");
+        let out = e.receive(
+            parse_term("order{id[\"o1\"], total[\"500\"]}").unwrap(),
+            &meta,
+            Timestamp(1),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, "http://audit");
+        assert_eq!(e.metrics.events_derived, 1);
+    }
+
+    #[test]
+    fn aaa_denies_and_accounts() {
+        let mut e = ReactiveEngine::new("http://me");
+        e.aaa = Aaa::new(AaaConfig {
+            require_auth: true,
+            authorize: true,
+            accounting: true,
+            accounting_events: true,
+        });
+        e.aaa.register("franz", "pw", vec![]);
+        e.aaa
+            .acl
+            .grant("franz", Permission::ReceiveEvent("order".into()));
+        e.install_program(
+            r#"
+            RULE audit_denied
+              ON accounting{{allowed[["false"]], principal[[var P]]}}
+              DO PERSIST denied[var P] IN "http://me/audit"
+            END
+            "#,
+        )
+        .unwrap();
+        // Unauthenticated: denied, no rule processing of the payload...
+        let out = e.receive(
+            parse_term("order{id[\"o1\"]}").unwrap(),
+            &MessageMeta::from_uri("http://x"),
+            Timestamp(1),
+        );
+        assert!(out.is_empty());
+        assert_eq!(e.metrics.events_denied, 1);
+        // ...but the accounting event (double reactivity) fired our audit
+        // rule.
+        let audit = e.qe.store.get("http://me/audit").unwrap();
+        assert_eq!(audit.children().len(), 1);
+    }
+
+    #[test]
+    fn install_rules_message_requires_permission() {
+        use crate::meta::ruleset_to_term;
+        use crate::parser::parse_program;
+
+        let carried = parse_program(
+            r#"RULE injected ON ping DO SEND pong TO "http://attacker" END"#,
+        )
+        .unwrap();
+        let payload = Term::ordered("install_rules", vec![ruleset_to_term(&carried)]);
+
+        // Without permission: rejected.
+        let mut e = ReactiveEngine::new("http://me");
+        e.aaa = Aaa::new(AaaConfig {
+            require_auth: false,
+            authorize: true,
+            accounting: false,
+            accounting_events: false,
+        });
+        e.aaa.acl.grant("*", Permission::ReceiveEvent("*".into()));
+        let before = e.rule_count();
+        e.receive(
+            payload.clone(),
+            &MessageMeta::from_uri("http://partner"),
+            Timestamp(1),
+        );
+        assert_eq!(e.rule_count(), before);
+        assert!(e.metrics.errors.iter().any(|m| m.contains("may not install")));
+
+        // With permission: installed and live.
+        let mut e = ReactiveEngine::new("http://me");
+        e.receive(payload, &MessageMeta::from_uri("http://partner"), Timestamp(1));
+        assert_eq!(e.rule_count(), 1);
+        let out = e.receive(
+            Term::elem("ping"),
+            &MessageMeta::from_uri("http://partner"),
+            Timestamp(2),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, "http://attacker");
+    }
+
+    #[test]
+    fn action_failure_is_contained() {
+        let mut e = ReactiveEngine::new("http://me");
+        e.install_program(
+            r#"
+            RULE bad ON ping DO UPDATE DELETE nothing IN "http://missing" END
+            RULE good ON ping DO SEND pong TO "http://ok" END
+            "#,
+        )
+        .unwrap();
+        let out = e.raise_local(Term::elem("ping"), Timestamp(1));
+        // The failing rule did not prevent the good one.
+        assert_eq!(out.len(), 1);
+        assert_eq!(e.metrics.actions_failed, 1);
+        assert!(!e.metrics.errors.is_empty());
+    }
+
+    #[test]
+    fn disabled_ruleset_not_installed() {
+        use crate::parser::parse_program;
+        let mut set = parse_program(
+            r#"
+            RULESET a
+              RULE r1 ON ping DO NOOP END
+              RULESET b
+                RULE r2 ON ping DO NOOP END
+              END
+            END
+            "#,
+        )
+        .unwrap();
+        // Disable the nested set before install. A single top-level
+        // RULESET is returned unwrapped, so the path starts at `a`.
+        set.find_mut("a.b").expect("path").enabled = false;
+        let mut e = ReactiveEngine::new("http://me");
+        e.install(&set).unwrap();
+        assert_eq!(e.rule_count(), 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Parser for the rule language — programs, rule sets, rules, procedures,
+//! views, DETECT rules, and actions.
+//!
+//! ```text
+//! program   ::= item*
+//! item      ::= ruleset | rule | procedure | view | detect
+//! ruleset   ::= RULESET IDENT item* END
+//! rule      ::= RULE IDENT ON eventquery body END
+//! body      ::= DO action
+//!             | IF condition THEN action
+//!               (ELSEIF condition THEN action)* (ELSE action)?
+//! procedure ::= PROCEDURE IDENT '(' params? ')' DO action END
+//! view      ::= VIEW STRING CONSTRUCT constructterm FROM condition END
+//! detect    ::= DETECT constructterm ON eventquery END
+//!
+//! action    ::= SEQ (action ';')* END
+//!             | ALT (action ';')* END
+//!             | IF condition THEN action (ELSE action)? END
+//!             | UPDATE update
+//!             | SEND constructterm TO STRING
+//!             | PERSIST constructterm IN STRING
+//!             | LOG constructterm
+//!             | CALL IDENT '(' (constructterm (',' constructterm)*)? ')'
+//!             | NOOP | FAIL STRING
+//! update    ::= INSERT constructterm INTO queryterm IN STRING
+//!             | DELETE queryterm IN STRING
+//!             | REPLACE queryterm BY constructterm IN STRING
+//!             | SETATTR IDENT '=' constructterm ON queryterm IN STRING
+//! ```
+//!
+//! Keywords are case-insensitive. Event-level `WHERE` clauses belong to
+//! the event query (`ON … WHERE var A >= var T`). Every `Display` impl in
+//! this crate prints exactly this syntax, so rules round-trip through
+//! their printed form — the property meta-programming (Thesis 11) relies
+//! on.
+
+use reweb_events::parser::event_query;
+use reweb_events::EventRule;
+use reweb_query::parser::{condition, construct_term, query_term};
+use reweb_query::DeductiveRule;
+use reweb_term::lex::Cursor;
+use reweb_term::TermError;
+use reweb_update::{Action, ProcedureDef, Update};
+
+use crate::rule::{Branch, EcaRule, RuleSet};
+
+type Result<T> = std::result::Result<T, TermError>;
+
+/// Parse a whole rule program. If the program consists of exactly one
+/// top-level `RULESET`, that set is returned as-is; otherwise the items
+/// are wrapped in a synthetic root set named `program`.
+pub fn parse_program(src: &str) -> Result<RuleSet> {
+    let mut cur = Cursor::from_str(src)?;
+    let mut root = RuleSet::new("program");
+    while !cur.at_end() {
+        item(&mut cur, &mut root)?;
+    }
+    if root.rules.is_empty()
+        && root.procedures.is_empty()
+        && root.views.is_empty()
+        && root.event_rules.is_empty()
+        && root.children.len() == 1
+    {
+        return Ok(root.children.pop().expect("one child"));
+    }
+    Ok(root)
+}
+
+/// Parse a single rule (`RULE … END`).
+pub fn parse_rule(src: &str) -> Result<EcaRule> {
+    let mut cur = Cursor::from_str(src)?;
+    cur.expect_kw("rule")?;
+    let r = rule(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+/// Parse a single action.
+pub fn parse_action(src: &str) -> Result<Action> {
+    let mut cur = Cursor::from_str(src)?;
+    let a = action(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after action"));
+    }
+    Ok(a)
+}
+
+fn item(cur: &mut Cursor, into: &mut RuleSet) -> Result<()> {
+    if cur.eat_kw("ruleset") {
+        let name = cur.expect_ident()?;
+        let mut set = RuleSet::new(name);
+        loop {
+            if cur.eat_kw("end") {
+                break;
+            }
+            if cur.at_end() {
+                return Err(cur.error("unterminated RULESET"));
+            }
+            item(cur, &mut set)?;
+        }
+        into.children.push(set);
+        return Ok(());
+    }
+    if cur.eat_kw("rule") {
+        into.rules.push(rule(cur)?);
+        return Ok(());
+    }
+    if cur.eat_kw("procedure") {
+        let name = cur.expect_ident()?;
+        cur.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !cur.eat_punct(')') {
+            loop {
+                params.push(cur.expect_ident()?);
+                if !cur.eat_punct(',') {
+                    break;
+                }
+            }
+            cur.expect_punct(')')?;
+        }
+        cur.expect_kw("do")?;
+        let body = action(cur)?;
+        cur.expect_kw("end")?;
+        into.procedures.push(ProcedureDef::new(name, params, body));
+        return Ok(());
+    }
+    if cur.eat_kw("view") {
+        let uri = cur.expect_str()?;
+        cur.expect_kw("construct")?;
+        let head = construct_term(cur)?;
+        cur.expect_kw("from")?;
+        let body = condition(cur)?;
+        cur.expect_kw("end")?;
+        into.views.push((uri, DeductiveRule::new(head, body)));
+        return Ok(());
+    }
+    if cur.eat_kw("detect") {
+        let head = construct_term(cur)?;
+        cur.expect_kw("on")?;
+        let on = event_query(cur)?;
+        cur.expect_kw("end")?;
+        let name = format!("detect_{}", into.event_rules.len());
+        into.event_rules.push(EventRule::new(name, head, on));
+        return Ok(());
+    }
+    Err(cur.error(
+        "expected RULESET, RULE, PROCEDURE, VIEW, or DETECT",
+    ))
+}
+
+fn rule(cur: &mut Cursor) -> Result<EcaRule> {
+    let name = cur.expect_ident()?;
+    cur.expect_kw("on")?;
+    let on = event_query(cur)?;
+    let mut branches = Vec::new();
+    if cur.eat_kw("do") {
+        branches.push(Branch {
+            cond: reweb_query::Condition::always_true(),
+            action: action(cur)?,
+        });
+    } else {
+        cur.expect_kw("if")?;
+        let cond = condition(cur)?;
+        cur.expect_kw("then")?;
+        branches.push(Branch {
+            cond,
+            action: action(cur)?,
+        });
+        loop {
+            if cur.eat_kw("elseif") {
+                let cond = condition(cur)?;
+                cur.expect_kw("then")?;
+                branches.push(Branch {
+                    cond,
+                    action: action(cur)?,
+                });
+            } else if cur.eat_kw("else") {
+                branches.push(Branch {
+                    cond: reweb_query::Condition::always_true(),
+                    action: action(cur)?,
+                });
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+    cur.expect_kw("end")?;
+    Ok(EcaRule { name, on, branches })
+}
+
+/// Parse an action at the cursor (public for the meta module).
+pub fn action(cur: &mut Cursor) -> Result<Action> {
+    if cur.eat_kw("seq") {
+        let mut steps = Vec::new();
+        loop {
+            if cur.eat_kw("end") {
+                break;
+            }
+            steps.push(action(cur)?);
+            cur.eat_punct(';');
+        }
+        return Ok(Action::Seq(steps));
+    }
+    if cur.eat_kw("alt") {
+        let mut alts = Vec::new();
+        loop {
+            if cur.eat_kw("end") {
+                break;
+            }
+            alts.push(action(cur)?);
+            cur.eat_punct(';');
+        }
+        return Ok(Action::Alt(alts));
+    }
+    if cur.eat_kw("if") {
+        let cond = condition(cur)?;
+        cur.expect_kw("then")?;
+        let then = action(cur)?;
+        let else_ = if cur.eat_kw("else") {
+            Some(Box::new(action(cur)?))
+        } else {
+            None
+        };
+        cur.expect_kw("end")?;
+        return Ok(Action::If {
+            cond,
+            then: Box::new(then),
+            else_,
+        });
+    }
+    if cur.eat_kw("update") {
+        return Ok(Action::Update(update(cur)?));
+    }
+    if cur.eat_kw("send") {
+        let payload = construct_term(cur)?;
+        cur.expect_kw("to")?;
+        let to = cur.expect_str()?;
+        return Ok(Action::Send { to, payload });
+    }
+    if cur.eat_kw("persist") {
+        let payload = construct_term(cur)?;
+        cur.expect_kw("in")?;
+        let resource = cur.expect_str()?;
+        return Ok(Action::Persist { resource, payload });
+    }
+    if cur.eat_kw("log") {
+        return Ok(Action::Log(construct_term(cur)?));
+    }
+    if cur.eat_kw("call") {
+        let name = cur.expect_ident()?;
+        cur.expect_punct('(')?;
+        let mut args = Vec::new();
+        if !cur.eat_punct(')') {
+            loop {
+                args.push(construct_term(cur)?);
+                if !cur.eat_punct(',') {
+                    break;
+                }
+            }
+            cur.expect_punct(')')?;
+        }
+        return Ok(Action::Call { name, args });
+    }
+    if cur.eat_kw("noop") {
+        return Ok(Action::Noop);
+    }
+    if cur.eat_kw("fail") {
+        return Ok(Action::Fail(cur.expect_str()?));
+    }
+    Err(cur.error("expected an action (SEQ, ALT, IF, UPDATE, SEND, PERSIST, LOG, CALL, NOOP, FAIL)"))
+}
+
+fn update(cur: &mut Cursor) -> Result<Update> {
+    if cur.eat_kw("insert") {
+        let content = construct_term(cur)?;
+        cur.expect_kw("into")?;
+        let target = query_term(cur)?;
+        cur.expect_kw("in")?;
+        let resource = cur.expect_str()?;
+        return Ok(Update::insert(resource, target, content));
+    }
+    if cur.eat_kw("delete") {
+        let target = query_term(cur)?;
+        cur.expect_kw("in")?;
+        let resource = cur.expect_str()?;
+        return Ok(Update::delete(resource, target));
+    }
+    if cur.eat_kw("replace") {
+        let target = query_term(cur)?;
+        cur.expect_kw("by")?;
+        let content = construct_term(cur)?;
+        cur.expect_kw("in")?;
+        let resource = cur.expect_str()?;
+        return Ok(Update::replace(resource, target, content));
+    }
+    if cur.eat_kw("setattr") {
+        let key = cur.expect_ident()?;
+        cur.expect_punct('=')?;
+        let value = construct_term(cur)?;
+        cur.expect_kw("on")?;
+        let target = query_term(cur)?;
+        cur.expect_kw("in")?;
+        let resource = cur.expect_str()?;
+        return Ok(Update::set_attr(resource, target, key, value));
+    }
+    Err(cur.error("expected INSERT, DELETE, REPLACE, or SETATTR"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = r#"
+        # The marketplace program from the paper's motivation section.
+        RULESET shop
+          PROCEDURE ship(Order, Customer) DO
+            SEQ
+              PERSIST shipment{order[var Order], customer[var Customer]} IN "http://shop/shipments";
+              SEND shipped{order[var Order]} TO "http://mail";
+            END
+          END
+
+          VIEW "view://good_customers"
+            CONSTRUCT good[var C]
+            FROM in "http://shop/customers" customer{{id[[var C]], rating[[var R]]}} and var R >= 4
+          END
+
+          DETECT big{id[var O]} ON order{{id[[var O]], total[[var T]]}} where var T >= 100 END
+
+          RULESET orders
+            RULE on_payment
+              ON and( order{{id[[var O]], total[[var T]]}},
+                      payment{{order[[var O]], amount[[var A]]}} ) within 2h
+                 where var A >= var T
+              IF in "http://shop/customers" customer{{id[[var C]], order[[var O]]}}
+              THEN CALL ship(var O, var C)
+              ELSEIF in "view://good_customers" good[[var O]]
+              THEN NOOP
+              ELSE SEND unmatched{order[var O]} TO "http://shop/alerts"
+            END
+          END
+        END
+    "#;
+
+    #[test]
+    fn parses_full_program() {
+        let set = parse_program(PROGRAM).unwrap();
+        assert_eq!(set.name, "shop");
+        assert_eq!(set.procedures.len(), 1);
+        assert_eq!(set.views.len(), 1);
+        assert_eq!(set.event_rules.len(), 1);
+        assert_eq!(set.children.len(), 1);
+        let rule = &set.children[0].rules[0];
+        assert_eq!(rule.name, "on_payment");
+        assert_eq!(rule.branches.len(), 3);
+        assert!(rule.branches[2].cond.is_trivial());
+    }
+
+    #[test]
+    fn program_roundtrips_through_display() {
+        let set = parse_program(PROGRAM).unwrap();
+        let printed = set.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(set, reparsed, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn rule_forms() {
+        let r = parse_rule("RULE r ON ping DO NOOP END").unwrap();
+        assert_eq!(r.branches.len(), 1);
+        assert!(r.branches[0].cond.is_trivial());
+
+        let r = parse_rule("RULE r ON ping IF true THEN NOOP END").unwrap();
+        assert_eq!(r.branches.len(), 1);
+
+        let r = parse_rule(
+            "RULE r ON ping IF var X > 1 THEN NOOP ELSE FAIL \"no\" END",
+        )
+        .unwrap();
+        assert_eq!(r.branches.len(), 2);
+    }
+
+    #[test]
+    fn action_forms_roundtrip() {
+        for src in [
+            "NOOP",
+            "FAIL \"boom\"",
+            "LOG entry[\"x\"]",
+            "SEND m{v[var X]} TO \"http://x\"",
+            "PERSIST p[var X] IN \"http://y\"",
+            "CALL f(var X, \"lit\")",
+            "CALL f()",
+            "SEQ NOOP; NOOP; END",
+            "ALT FAIL \"a\"; NOOP; END",
+            "IF in \"u\" x THEN NOOP ELSE NOOP END",
+            "UPDATE INSERT e[\"1\"] INTO ledger IN \"http://l\"",
+            "UPDATE DELETE item{{sku[[var K]]}} IN \"http://s\"",
+            "UPDATE REPLACE q BY r[\"2\"] IN \"http://s\"",
+            "UPDATE SETATTR flag = \"yes\" ON item IN \"http://s\"",
+        ] {
+            let a = parse_action(src).unwrap();
+            let reparsed = parse_action(&a.to_string()).unwrap();
+            assert_eq!(a, reparsed, "src: {src}\nprinted: {a}");
+        }
+    }
+
+    #[test]
+    fn nested_compound_actions() {
+        let a = parse_action(
+            "SEQ ALT FAIL \"x\"; NOOP; END; IF true THEN SEQ NOOP; END END; END",
+        )
+        .unwrap();
+        assert_eq!(a.primitive_count(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_rule("RULE r ON END").is_err());
+        assert!(parse_rule("RULE r ON ping DO NOOP").is_err()); // missing END
+        assert!(parse_action("UPDATE FROB x IN \"u\"").is_err());
+        assert!(parse_action("SEND x").is_err());
+        assert!(parse_program("RULESET a RULE r ON p DO NOOP END").is_err()); // unterminated set
+        assert!(parse_program("FROB").is_err());
+    }
+
+    #[test]
+    fn multiple_top_level_items_get_wrapped() {
+        let set = parse_program(
+            "RULE a ON p DO NOOP END  RULE b ON q DO NOOP END",
+        )
+        .unwrap();
+        assert_eq!(set.name, "program");
+        assert_eq!(set.rules.len(), 2);
+        // A single top-level set is returned unwrapped.
+        let set = parse_program("RULESET only RULE a ON p DO NOOP END END").unwrap();
+        assert_eq!(set.name, "only");
+    }
+}

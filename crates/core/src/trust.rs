@@ -1,0 +1,462 @@
+//! Policy-based trust negotiation — the Thesis 11 scenario.
+//!
+//! The paper's walkthrough: customer Franz and shop fussbaelle.biz do not
+//! trust each other; instead of revealing everything, they exchange
+//! *policies* (rules stating "I will disclose X once you have presented
+//! Y") reactively, each disclosure unlocking the next, until the deal
+//! closes. The paper claims three advantages for the reactive style over
+//! dumping all policies up front:
+//!
+//! 1. efficiency — "only small sets of relevant rules are exchanged";
+//! 2. privacy — "policies themselves can be sensitive information";
+//! 3. dynamism (out of scope here).
+//!
+//! [`negotiate`] implements both strategies over the same parties so
+//! experiment E11 can measure claims 1 and 2: [`Strategy::Reactive`]
+//! discloses a policy only when its target is requested;
+//! [`Strategy::Eager`] sends every policy in one bulk message per side.
+//! Messages are real terms (policies reified like rules), so message and
+//! byte counts are honest.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use reweb_term::Term;
+
+/// A disclosure policy: "I disclose `target` once you have presented all
+/// of `requires`." An empty `requires` means freely disclosed on request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Policy {
+    pub target: String,
+    pub requires: Vec<String>,
+    /// Sensitive policies must only travel when their target was
+    /// explicitly requested (the paper's advantage 2).
+    pub sensitive: bool,
+}
+
+impl Policy {
+    pub fn new(target: impl Into<String>, requires: Vec<&str>) -> Policy {
+        Policy {
+            target: target.into(),
+            requires: requires.into_iter().map(String::from).collect(),
+            sensitive: false,
+        }
+    }
+
+    pub fn sensitive(mut self) -> Policy {
+        self.sensitive = true;
+        self
+    }
+
+    /// Reify as a term (the policy *is* a rule travelling as data).
+    pub fn to_term(&self) -> Term {
+        Term::build("policy")
+            .unordered()
+            .field("target", &self.target)
+            .child(
+                Term::build("requires")
+                    .children(
+                        self.requires
+                            .iter()
+                            .map(|r| Term::ordered("c", vec![Term::text(r.clone())])),
+                    )
+                    .finish(),
+            )
+            .finish()
+    }
+}
+
+/// One negotiating party: credentials it can present, guarded by policies.
+#[derive(Clone, Debug, Default)]
+pub struct Party {
+    pub name: String,
+    /// Credential name → credential document (certificate, card, …).
+    pub credentials: BTreeMap<String, Term>,
+    pub policies: Vec<Policy>,
+}
+
+impl Party {
+    pub fn new(name: impl Into<String>) -> Party {
+        Party {
+            name: name.into(),
+            ..Party::default()
+        }
+    }
+
+    pub fn with_credential(mut self, name: impl Into<String>, doc: Term) -> Party {
+        self.credentials.insert(name.into(), doc);
+        self
+    }
+
+    pub fn with_policy(mut self, p: Policy) -> Party {
+        self.policies.push(p);
+        self
+    }
+
+    fn policy_for(&self, target: &str) -> Option<&Policy> {
+        self.policies.iter().find(|p| p.target == target)
+    }
+}
+
+/// Disclosure strategy under comparison (E11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exchange only the policies on the path to the requested target.
+    Reactive,
+    /// Dump every policy up front, then exchange credentials.
+    Eager,
+}
+
+/// What a negotiation run measured.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NegotiationOutcome {
+    pub success: bool,
+    /// Message exchanges (each direction counts one).
+    pub messages: usize,
+    /// Total serialized bytes on the wire.
+    pub bytes: usize,
+    /// Policies disclosed by requester + responder.
+    pub policies_disclosed: usize,
+    /// Sensitive policies that travelled — the privacy cost.
+    pub sensitive_leaked: usize,
+    /// Credentials presented by both sides.
+    pub credentials_presented: usize,
+    /// Human-readable trace of the exchange.
+    pub trace: Vec<String>,
+}
+
+/// Run a trust negotiation: `requester` asks `responder` for `target`.
+pub fn negotiate(
+    requester: &Party,
+    responder: &Party,
+    target: &str,
+    strategy: Strategy,
+) -> NegotiationOutcome {
+    match strategy {
+        Strategy::Reactive => reactive(requester, responder, target),
+        Strategy::Eager => eager(requester, responder, target),
+    }
+}
+
+/// Which side holds/presents an item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Requester,
+    Responder,
+}
+
+impl Side {
+    fn other(self) -> Side {
+        match self {
+            Side::Requester => Side::Responder,
+            Side::Responder => Side::Requester,
+        }
+    }
+}
+
+struct Runtime<'a> {
+    parties: [&'a Party; 2],
+    presented: [BTreeSet<String>; 2], // what each side has presented
+    disclosed: [BTreeSet<String>; 2], // policy targets each side disclosed
+    out: NegotiationOutcome,
+}
+
+impl<'a> Runtime<'a> {
+    fn party(&self, s: Side) -> &'a Party {
+        self.parties[s as usize]
+    }
+
+    fn presented(&self, s: Side) -> &BTreeSet<String> {
+        &self.presented[s as usize]
+    }
+
+    fn send(&mut self, from: Side, what: &str, payload: &Term) {
+        self.out.messages += 1;
+        self.out.bytes += payload.serialized_size();
+        self.out
+            .trace
+            .push(format!("{} -> {}: {what} {payload}", self.party(from).name, self.party(from.other()).name));
+    }
+
+    /// `side` presents credential `name` (requirements already met).
+    fn present(&mut self, side: Side, name: &str) {
+        let doc = self.party(side).credentials[name].clone();
+        let msg = Term::build("present")
+            .field("name", name)
+            .child(doc)
+            .finish();
+        self.send(side, "present", &msg);
+        self.presented[side as usize].insert(name.to_string());
+        self.out.credentials_presented += 1;
+    }
+
+    /// `side` discloses its policy for `target`.
+    fn disclose_policy(&mut self, side: Side, p: &Policy) {
+        if self.disclosed[side as usize].insert(p.target.clone()) {
+            let msg = p.to_term();
+            self.send(side, "policy", &msg);
+            self.out.policies_disclosed += 1;
+            if p.sensitive {
+                self.out.sensitive_leaked += 1;
+            }
+        }
+    }
+}
+
+/// Reactive negotiation: a worklist of wanted items; a request for an item
+/// triggers either presentation (requirements met), a policy disclosure
+/// (requirements pending — which become requests back), or failure.
+fn reactive(requester: &Party, responder: &Party, target: &str) -> NegotiationOutcome {
+    let mut rt = Runtime {
+        parties: [requester, responder],
+        presented: [BTreeSet::new(), BTreeSet::new()],
+        disclosed: [BTreeSet::new(), BTreeSet::new()],
+        out: NegotiationOutcome::default(),
+    };
+
+    // Items wanted *from* a side, FIFO.
+    let mut wanted: VecDeque<(Side, String)> = VecDeque::new();
+    let mut requested: BTreeSet<(usize, String)> = BTreeSet::new();
+
+    // Opening request.
+    let open = Term::build("request").field("item", target).finish();
+    rt.send(Side::Requester, "request", &open);
+    wanted.push_back((Side::Responder, target.to_string()));
+    requested.insert((Side::Responder as usize, target.to_string()));
+
+    let mut stalled_rounds = 0;
+    while let Some((holder, item)) = wanted.pop_front() {
+        if rt.presented(holder).contains(&item) {
+            continue;
+        }
+        if !rt.party(holder).credentials.contains_key(&item) {
+            rt.out
+                .trace
+                .push(format!("{} cannot provide {item}", rt.party(holder).name));
+            rt.out.success = false;
+            return rt.out;
+        }
+        let policy = rt.party(holder).policy_for(&item).cloned();
+        let unmet: Vec<String> = policy
+            .as_ref()
+            .map(|p| {
+                p.requires
+                    .iter()
+                    .filter(|r| !rt.presented(holder.other()).contains(*r))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        if unmet.is_empty() {
+            rt.present(holder, &item);
+            stalled_rounds = 0;
+        } else {
+            // Disclose the guarding policy; the unmet requirements become
+            // requests against the other side.
+            let p = policy.expect("unmet implies policy");
+            rt.disclose_policy(holder, &p);
+            for r in unmet {
+                if requested.insert((holder.other() as usize, r.clone())) {
+                    let req = Term::build("request").field("item", &r).finish();
+                    rt.send(holder, "request", &req);
+                    wanted.push_back((holder.other(), r));
+                }
+            }
+            // Re-queue the original item until its requirements are met.
+            wanted.push_back((holder, item));
+            stalled_rounds += 1;
+            if stalled_rounds > wanted.len() + 1 {
+                // No progress is possible: circular or unsatisfiable.
+                rt.out.trace.push("negotiation deadlocked".into());
+                rt.out.success = false;
+                return rt.out;
+            }
+        }
+    }
+    rt.out.success = rt.presented[Side::Responder as usize].contains(target);
+    rt.out
+}
+
+/// Eager negotiation: both sides dump all their policies in one bulk
+/// message each, then present whatever credentials the joint fixpoint
+/// allows.
+fn eager(requester: &Party, responder: &Party, target: &str) -> NegotiationOutcome {
+    let mut rt = Runtime {
+        parties: [requester, responder],
+        presented: [BTreeSet::new(), BTreeSet::new()],
+        disclosed: [BTreeSet::new(), BTreeSet::new()],
+        out: NegotiationOutcome::default(),
+    };
+
+    for side in [Side::Requester, Side::Responder] {
+        let bundle = Term::build("policies")
+            .children(rt.party(side).policies.iter().map(Policy::to_term))
+            .finish();
+        rt.send(side, "all policies", &bundle);
+        rt.out.policies_disclosed += rt.party(side).policies.len();
+        rt.out.sensitive_leaked += rt
+            .party(side)
+            .policies
+            .iter()
+            .filter(|p| p.sensitive)
+            .count();
+    }
+
+    // Joint fixpoint: present every credential whose requirements are met.
+    loop {
+        let mut progress = false;
+        for side in [Side::Requester, Side::Responder] {
+            let presentable: Vec<String> = rt
+                .party(side)
+                .credentials
+                .keys()
+                .filter(|c| !rt.presented(side).contains(*c))
+                .filter(|c| {
+                    rt.party(side)
+                        .policy_for(c)
+                        .map(|p| {
+                            p.requires
+                                .iter()
+                                .all(|r| rt.presented(side.other()).contains(r))
+                        })
+                        .unwrap_or(true)
+                })
+                .cloned()
+                .collect();
+            for c in presentable {
+                rt.present(side, &c);
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    rt.out.success = rt.presented[Side::Responder as usize].contains(target);
+    rt.out
+}
+
+/// The paper's online-shopping scenario: Franz buys ten soccer balls from
+/// fussbaelle.biz, establishing trust step by step.
+pub fn fussbaelle_scenario() -> (Party, Party) {
+    let franz = Party::new("franz")
+        .with_credential(
+            "credit_card",
+            Term::build("credential")
+                .field("kind", "credit_card")
+                .field("number", "4111-XXXX")
+                .finish(),
+        )
+        // Franz only reveals the card to shops that prove BBB membership —
+        // and that policy itself is sensitive.
+        .with_policy(Policy::new("credit_card", vec!["bbb_membership"]).sensitive());
+    let shop = Party::new("fussbaelle.biz")
+        .with_credential(
+            "purchase",
+            Term::build("confirmation")
+                .field("item", "10 soccer balls")
+                .finish(),
+        )
+        .with_credential(
+            "bbb_membership",
+            Term::build("certificate")
+                .field("issuer", "Better Business Bureau of Internet")
+                .finish(),
+        )
+        // Sales require a payment credential.
+        .with_policy(Policy::new("purchase", vec!["credit_card"]))
+        // The membership certificate is freely disclosed on request.
+        .with_policy(Policy::new("bbb_membership", vec![]));
+    (franz, shop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fussbaelle_reactive_succeeds_with_minimal_disclosure() {
+        let (franz, shop) = fussbaelle_scenario();
+        let out = negotiate(&franz, &shop, "purchase", Strategy::Reactive);
+        assert!(out.success, "trace: {:#?}", out.trace);
+        // Only the two policies on the path travelled.
+        assert_eq!(out.policies_disclosed, 2);
+        // Franz's sensitive policy had to travel (it guards the very
+        // credential the shop requested) — but nothing else did.
+        assert_eq!(out.sensitive_leaked, 1);
+        // bbb_membership + credit_card + purchase.
+        assert_eq!(out.credentials_presented, 3);
+    }
+
+    #[test]
+    fn fussbaelle_eager_discloses_everything() {
+        let (franz, shop) = fussbaelle_scenario();
+        let eager = negotiate(&franz, &shop, "purchase", Strategy::Eager);
+        let reactive = negotiate(&franz, &shop, "purchase", Strategy::Reactive);
+        assert!(eager.success);
+        // Eager leaks all 3 policies; reactive only the 2 needed.
+        assert_eq!(eager.policies_disclosed, 3);
+        assert!(eager.policies_disclosed >= reactive.policies_disclosed);
+        assert_eq!(eager.sensitive_leaked, 1);
+    }
+
+    #[test]
+    fn reactive_scales_with_need_not_with_policy_count() {
+        // A big shop with many irrelevant policies: reactive disclosure
+        // must not grow with them (the paper's advantage 1).
+        let (franz, mut shop) = fussbaelle_scenario();
+        for i in 0..50 {
+            shop = shop.with_policy(Policy::new(format!("unrelated_{i}"), vec!["x"]));
+        }
+        let reactive = negotiate(&franz, &shop, "purchase", Strategy::Reactive);
+        let eager = negotiate(&franz, &shop, "purchase", Strategy::Eager);
+        assert!(reactive.success);
+        assert_eq!(reactive.policies_disclosed, 2);
+        assert_eq!(eager.policies_disclosed, 53);
+        assert!(eager.bytes > reactive.bytes);
+    }
+
+    #[test]
+    fn failure_when_requirement_unavailable() {
+        let poor = Party::new("poor"); // no credentials at all
+        let (_, shop) = fussbaelle_scenario();
+        let out = negotiate(&poor, &shop, "purchase", Strategy::Reactive);
+        assert!(!out.success);
+        let out = negotiate(&poor, &shop, "purchase", Strategy::Eager);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn failure_on_circular_policies() {
+        // A requires the other's B first; the other requires A first.
+        let a = Party::new("a")
+            .with_credential("ca", Term::elem("ca"))
+            .with_policy(Policy::new("ca", vec!["cb"]));
+        let b = Party::new("b")
+            .with_credential("cb", Term::elem("cb"))
+            .with_policy(Policy::new("cb", vec!["ca"]));
+        let out = negotiate(&a, &b, "cb", Strategy::Reactive);
+        assert!(!out.success);
+        let out = negotiate(&a, &b, "cb", Strategy::Eager);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn unknown_item_fails_cleanly() {
+        let (franz, shop) = fussbaelle_scenario();
+        let out = negotiate(&franz, &shop, "unicorn", Strategy::Reactive);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn message_count_matches_papers_walkthrough() {
+        // The paper's five steps: request, shop policy, franz policy,
+        // certificate, card — plus the final confirmation.
+        let (franz, shop) = fussbaelle_scenario();
+        let out = negotiate(&franz, &shop, "purchase", Strategy::Reactive);
+        // 1 request(purchase) + policy(purchase) + 1 request(credit_card)
+        // + policy(credit_card) + 1 request(bbb) + present(bbb)
+        // + present(credit_card) + present(purchase).
+        assert_eq!(out.messages, 8);
+        assert!(out.success);
+    }
+}

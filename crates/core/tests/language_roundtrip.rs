@@ -1,0 +1,169 @@
+//! Property test: the rule language round-trips — parse(display(x)) == x
+//! for randomly assembled programs. This is the invariant meta-programming
+//! (Thesis 11) stands on: a rule that cannot survive its own printed form
+//! cannot travel as data.
+
+use proptest::prelude::*;
+
+use reweb_core::meta::{ruleset_from_term, ruleset_to_term};
+use reweb_core::{parse_program, parse_rule, Branch, EcaRule, RuleSet};
+use reweb_events::parse_event_query;
+use reweb_query::parser::{parse_condition, parse_construct_term};
+use reweb_update::{Action, ProcedureDef};
+
+// ----- generators assembling real ASTs from a fragment pool ----------------
+
+fn arb_event_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("ping".to_string()),
+        Just("order{{id[[var O]], total[[var T]]}}".to_string()),
+        Just("and(a{{v[[var X]]}}, b{{v[[var X]]}}) within 5m".to_string()),
+        Just("seq(a, b, c) within 1h".to_string()),
+        Just("or(a, b)".to_string()),
+        Just("absence(cancel{{no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)".to_string()),
+        Just("count(3, outage, 1h)".to_string()),
+        Just("avg(var P, 5, stock{{price[[var P]]}}) as var A".to_string()),
+        Just("a{{v[[var X]]}} where var X >= 2 and var X < 100".to_string()),
+    ]
+}
+
+fn arb_condition() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("true".to_string()),
+        Just("in \"http://r\" customer{{id[[var O]]}}".to_string()),
+        Just("not in \"http://r\" blocked[[var O]]".to_string()),
+        Just("in \"http://r\" c{{v[[var V]]}} and var V >= 10".to_string()),
+        Just("var T >= var A * 1.05".to_string()),
+    ]
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let leaf = prop_oneof![
+        Just("NOOP".to_string()),
+        Just("FAIL \"boom\"".to_string()),
+        Just("LOG entry[var O]".to_string()),
+        Just("SEND m{v[var O]} TO \"http://x\"".to_string()),
+        Just("PERSIST p[var O] IN \"http://y\"".to_string()),
+        Just("CALL f(var O, \"lit\")".to_string()),
+        Just("UPDATE INSERT e[\"1\"] INTO ledger[[]] IN \"http://l\"".to_string()),
+        Just("UPDATE DELETE item{{sku[[var K]]}} IN \"http://s\"".to_string()),
+        Just("UPDATE REPLACE q BY r[\"2\"] IN \"http://s\"".to_string()),
+        Just("UPDATE SETATTR flag = \"yes\" ON item IN \"http://s\"".to_string()),
+    ]
+    .prop_map(|s| reweb_core::parse_action(&s).expect("fragment parses"));
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Action::Seq),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Action::Alt),
+            (arb_condition(), inner.clone(), proptest::option::of(inner)).prop_map(
+                |(c, t, e)| Action::If {
+                    cond: parse_condition(&c).unwrap(),
+                    then: Box::new(t),
+                    else_: e.map(Box::new),
+                }
+            ),
+        ]
+    })
+}
+
+fn arb_rule(idx: usize) -> impl Strategy<Value = EcaRule> {
+    (
+        arb_event_query(),
+        proptest::collection::vec((arb_condition(), arb_action()), 1..3),
+        proptest::option::of(arb_action()),
+    )
+        .prop_map(move |(on, conds, else_)| {
+            let mut branches: Vec<Branch> = conds
+                .into_iter()
+                .map(|(c, a)| Branch {
+                    cond: parse_condition(&c).unwrap(),
+                    action: a,
+                })
+                .collect();
+            if let Some(e) = else_ {
+                branches.push(Branch {
+                    cond: reweb_query::Condition::always_true(),
+                    action: e,
+                });
+            }
+            EcaRule {
+                name: format!("r{idx}"),
+                on: parse_event_query(&on).unwrap(),
+                branches,
+            }
+        })
+}
+
+fn arb_ruleset() -> impl Strategy<Value = RuleSet> {
+    (
+        proptest::collection::vec(arb_rule(0), 0..3),
+        proptest::option::of(arb_action()),
+        any::<bool>(),
+    )
+        .prop_map(|(mut rules, proc_body, with_view)| {
+            for (i, r) in rules.iter_mut().enumerate() {
+                r.name = format!("r{i}");
+            }
+            let mut set = RuleSet::new("generated");
+            set.rules = rules;
+            if let Some(body) = proc_body {
+                set.procedures
+                    .push(ProcedureDef::new("p0", vec!["A".into(), "B".into()], body));
+            }
+            if with_view {
+                set.views.push((
+                    "view://v".to_string(),
+                    reweb_query::DeductiveRule::new(
+                        parse_construct_term("out[var X]").unwrap(),
+                        parse_condition("in \"http://r\" d{{v[[var X]]}}").unwrap(),
+                    ),
+                ));
+            }
+            set
+        })
+}
+
+// ----- properties -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rules survive their printed textual form.
+    #[test]
+    fn rule_text_roundtrip(r in arb_rule(0)) {
+        let printed = r.to_string();
+        let reparsed = parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(r, reparsed, "printed:\n{}", printed);
+    }
+
+    /// Whole rule sets survive their printed form.
+    #[test]
+    fn program_text_roundtrip(s in arb_ruleset()) {
+        let printed = s.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(s, reparsed, "printed:\n{}", printed);
+    }
+
+    /// Rule sets survive reification to terms and back (the actual wire
+    /// format of Thesis 11).
+    #[test]
+    fn program_term_roundtrip(s in arb_ruleset()) {
+        let term = ruleset_to_term(&s);
+        let back = ruleset_from_term(&term)
+            .unwrap_or_else(|e| panic!("reflect failed: {e}\n{term}"));
+        prop_assert_eq!(s, back);
+    }
+
+    /// Reification composes with the text form: term → ruleset → text →
+    /// ruleset is still the identity.
+    #[test]
+    fn term_then_text_roundtrip(s in arb_ruleset()) {
+        let term = ruleset_to_term(&s);
+        let back = ruleset_from_term(&term).unwrap();
+        let printed = back.to_string();
+        let again = parse_program(&printed).unwrap();
+        prop_assert_eq!(s, again);
+    }
+}

@@ -1,0 +1,315 @@
+//! Deductive rules for events (Thesis 9, events half).
+//!
+//! > "The same advantages [as views] apply for querying and reasoning with
+//! > event data, and we propose to also have deductive rules for events.
+//! > However, since event queries have to \[be\] evaluated very frequently, a
+//! > reactive language can be made more restrictive about rules for events
+//! > for efficiency reasons (e.g., reject recursive rules)."
+//!
+//! An [`EventRule`] (`DETECT head ON query`) watches an event query and, on
+//! every answer, *derives* a new event whose payload is built by the head
+//! construct term. Derived events are fed back through the other rules of
+//! the [`DeductionLayer`] — but the rule graph must be acyclic, which is
+//! checked at registration exactly as the thesis prescribes.
+
+use reweb_query::{construct, ConstructTerm};
+use reweb_term::{TermError, Timestamp};
+
+use crate::event::{Event, EventId};
+use crate::incremental::IncrementalEngine;
+use crate::query::EventQuery;
+
+/// A deductive event rule: `DETECT head ON query END`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRule {
+    pub name: String,
+    /// Payload of the derived event (instantiated per answer).
+    pub head: ConstructTerm,
+    pub on: EventQuery,
+}
+
+impl EventRule {
+    pub fn new(name: impl Into<String>, head: ConstructTerm, on: EventQuery) -> EventRule {
+        EventRule {
+            name: name.into(),
+            head,
+            on,
+        }
+    }
+
+    /// Root label of the derived payload, if statically known.
+    pub fn head_label(&self) -> Option<String> {
+        match &self.head {
+            ConstructTerm::Elem { label, .. } => Some(label.clone()),
+            _ => None,
+        }
+    }
+
+    /// Labels of events this rule listens for (`None` = could be anything).
+    pub fn listens_to(&self) -> Option<Vec<String>> {
+        self.on.trigger_labels()
+    }
+}
+
+/// A set of event rules evaluated together; derived events cascade through
+/// other rules (acyclicity enforced).
+#[derive(Debug, Default)]
+pub struct DeductionLayer {
+    rules: Vec<(EventRule, IncrementalEngine)>,
+    next_derived_id: u64,
+}
+
+impl DeductionLayer {
+    pub fn new() -> DeductionLayer {
+        DeductionLayer::default()
+    }
+
+    /// Register a rule. Fails if adding it would make the dependency graph
+    /// of event rules cyclic (a rule depends on another if it listens to
+    /// the label the other derives — or could, for label-less patterns).
+    pub fn register(&mut self, rule: EventRule) -> Result<(), TermError> {
+        let mut rules: Vec<&EventRule> = self.rules.iter().map(|(r, _)| r).collect();
+        rules.push(&rule);
+        if has_cycle(&rules) {
+            return Err(TermError::InvalidEdit(format!(
+                "event rule `{}` would make the deductive event rules recursive \
+                 (rejected per Thesis 9)",
+                rule.name
+            )));
+        }
+        let engine = IncrementalEngine::new(&rule.on);
+        self.rules.push((rule, engine));
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Earliest pending absence deadline across all DETECT rules.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.rules
+            .iter()
+            .filter_map(|(_, e)| e.next_deadline())
+            .min()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Feed one external event; returns all *derived* events, including
+    /// those derived from other derived events (cascade, bounded because
+    /// the rule graph is acyclic).
+    pub fn push(&mut self, e: &Event) -> Result<Vec<Event>, TermError> {
+        let mut derived = Vec::new();
+        let mut frontier = vec![e.clone()];
+        // Each pass can only move "up" the acyclic rule graph, so at most
+        // `rules.len()` cascade levels are possible.
+        let mut levels = 0;
+        while !frontier.is_empty() {
+            levels += 1;
+            if levels > self.rules.len() + 1 {
+                return Err(TermError::InvalidEdit(
+                    "event deduction cascade exceeded the acyclic depth bound".into(),
+                ));
+            }
+            let mut next = Vec::new();
+            for ev in &frontier {
+                for (rule, engine) in self.rules.iter_mut() {
+                    let answers = engine.push(ev);
+                    for a in answers {
+                        for payload in construct(&rule.head, &[a.bindings.clone()])? {
+                            self.next_derived_id += 1;
+                            let d = Event {
+                                id: EventId(u64::MAX - self.next_derived_id),
+                                occurred: ev.time(),
+                                received: ev.time(),
+                                source: format!("derived:{}", rule.name),
+                                payload,
+                            };
+                            next.push(d);
+                        }
+                    }
+                }
+            }
+            derived.extend(next.iter().cloned());
+            frontier = next;
+        }
+        Ok(derived)
+    }
+
+    /// Advance the clock for all rule engines (absence deadlines inside
+    /// DETECT rules); returns events derived by firing deadlines.
+    pub fn advance_to(&mut self, t: Timestamp) -> Result<Vec<Event>, TermError> {
+        let mut derived = Vec::new();
+        let mut initial = Vec::new();
+        for (rule, engine) in self.rules.iter_mut() {
+            for a in engine.advance_to(t) {
+                for payload in construct(&rule.head, &[a.bindings.clone()])? {
+                    self.next_derived_id += 1;
+                    initial.push(Event {
+                        id: EventId(u64::MAX - self.next_derived_id),
+                        occurred: t,
+                        received: t,
+                        source: format!("derived:{}", rule.name),
+                        payload,
+                    });
+                }
+            }
+        }
+        // Cascade the deadline-derived events through the other rules.
+        for ev in &initial {
+            derived.extend(self.push(ev)?);
+        }
+        derived.splice(0..0, initial);
+        Ok(derived)
+    }
+}
+
+/// Dependency: r1 → r2 if r2 listens to what r1 derives (conservatively
+/// true when either side is label-less).
+fn depends(r1: &EventRule, r2: &EventRule) -> bool {
+    match (r1.head_label(), r2.listens_to()) {
+        (Some(h), Some(labels)) => labels.contains(&h),
+        // Unknown head or wildcard listener: assume dependency.
+        _ => true,
+    }
+}
+
+fn has_cycle(rules: &[&EventRule]) -> bool {
+    let n = rules.len();
+    // DFS over the dependency graph.
+    fn dfs(
+        i: usize,
+        rules: &[&EventRule],
+        state: &mut Vec<u8>, // 0 = unseen, 1 = on stack, 2 = done
+    ) -> bool {
+        state[i] = 1;
+        for j in 0..rules.len() {
+            if depends(rules[i], rules[j]) {
+                if state[j] == 1 {
+                    return true;
+                }
+                if state[j] == 0 && dfs(j, rules, state) {
+                    return true;
+                }
+            }
+        }
+        state[i] = 2;
+        false
+    }
+    let mut state = vec![0u8; n];
+    for i in 0..n {
+        if state[i] == 0 && dfs(i, rules, &mut state) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_event_query;
+    use reweb_query::parser::parse_construct_term;
+    use reweb_term::parse_term;
+
+    fn rule(name: &str, head: &str, on: &str) -> EventRule {
+        EventRule::new(
+            name,
+            parse_construct_term(head).unwrap(),
+            parse_event_query(on).unwrap(),
+        )
+    }
+
+    fn ev(id: u64, at: u64, payload: &str) -> Event {
+        Event::new(
+            EventId(id),
+            Timestamp(at),
+            parse_term(payload).unwrap(),
+        )
+    }
+
+    #[test]
+    fn derives_higher_level_event() {
+        let mut layer = DeductionLayer::new();
+        layer
+            .register(rule(
+                "big_order",
+                "big_order{id[var O], total[var T]}",
+                "order{{id[[var O]], total[[var T]]}} where var T >= 100",
+            ))
+            .unwrap();
+        let d = layer
+            .push(&ev(1, 10, "order{id[\"o1\"], total[\"250\"]}"))
+            .unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].label(), Some("big_order"));
+        assert_eq!(d[0].source, "derived:big_order");
+        // Below threshold: nothing.
+        let d = layer
+            .push(&ev(2, 20, "order{id[\"o2\"], total[\"10\"]}"))
+            .unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn cascade_through_two_levels() {
+        let mut layer = DeductionLayer::new();
+        layer
+            .register(rule("lvl1", "warning{src[var S]}", "fault{{src[[var S]]}}"))
+            .unwrap();
+        layer
+            .register(rule(
+                "lvl2",
+                "alarm{src[var S]}",
+                "warning{{src[[var S]]}}",
+            ))
+            .unwrap();
+        let d = layer.push(&ev(1, 10, "fault{src[\"db\"]}")).unwrap();
+        let labels: Vec<_> = d.iter().filter_map(Event::label).collect();
+        assert_eq!(labels, vec!["warning", "alarm"]);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let mut layer = DeductionLayer::new();
+        layer
+            .register(rule("ping", "ping{n[var N]}", "pong{{n[[var N]]}}"))
+            .unwrap();
+        let err = layer.register(rule("pong", "pong{n[var N]}", "ping{{n[[var N]]}}"));
+        assert!(err.is_err());
+        // Self-recursion too.
+        let mut layer = DeductionLayer::new();
+        assert!(layer
+            .register(rule("self", "x{v[var V]}", "x{{v[[var V]]}}"))
+            .is_err());
+    }
+
+    #[test]
+    fn wildcard_listener_is_conservatively_recursive() {
+        let mut layer = DeductionLayer::new();
+        // A rule that listens to anything depends on everything, including
+        // itself once it derives events.
+        assert!(layer
+            .register(rule("all", "seen{e[var X]}", "var X"))
+            .is_err());
+    }
+
+    #[test]
+    fn deadline_inside_detect_rule() {
+        let mut layer = DeductionLayer::new();
+        layer
+            .register(rule(
+                "stranded",
+                "stranded{no[var N]}",
+                "absence(cancel{{no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)",
+            ))
+            .unwrap();
+        layer.push(&ev(1, 0, "cancel{no[\"LH1\"]}")).unwrap();
+        let d = layer.advance_to(Timestamp(7_200_000)).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].label(), Some("stranded"));
+    }
+}

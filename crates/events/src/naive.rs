@@ -1,0 +1,290 @@
+//! The query-driven (backward-chaining) strawman evaluator — the approach
+//! Thesis 6 argues *against*.
+//!
+//! [`NaiveEngine`] keeps the complete event history and re-evaluates the
+//! query over it from scratch on every incoming event (and on every clock
+//! advance), reporting only the answers it has not reported before. That
+//! makes its per-event cost grow with the history — exactly the behaviour
+//! experiment E6 contrasts with [`crate::IncrementalEngine`].
+//!
+//! Semantics are identical to the incremental engine (pinned by a property
+//! test in `tests/equivalence.rs`), with one intended exception: the naive
+//! engine has no TTL knob, because never forgetting anything is its point.
+
+use std::collections::BTreeSet;
+
+use reweb_query::{match_at, Bindings, QueryTerm};
+use reweb_term::Timestamp;
+
+use crate::event::{Answer, Event, EventId};
+use crate::incremental::fold_agg;
+use crate::query::EventQuery;
+
+/// The naive, history-rescanning evaluator.
+#[derive(Clone, Debug)]
+pub struct NaiveEngine {
+    query: EventQuery,
+    history: Vec<Event>,
+    now: Timestamp,
+    seen: BTreeSet<(Vec<EventId>, Bindings, Timestamp, Timestamp)>,
+}
+
+impl NaiveEngine {
+    pub fn new(q: &EventQuery) -> NaiveEngine {
+        NaiveEngine {
+            query: q.clone(),
+            history: Vec::new(),
+            now: Timestamp::ZERO,
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Feed one event: appends to the history and re-evaluates everything.
+    pub fn push(&mut self, e: &Event) -> Vec<Answer> {
+        self.now = self.now.max(e.time());
+        self.history.push(e.clone());
+        self.emit_new()
+    }
+
+    /// Advance the clock (absence deadlines); re-evaluates everything.
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<Answer> {
+        self.now = self.now.max(t);
+        self.emit_new()
+    }
+
+    /// Number of retained events — grows without bound, which is the
+    /// "shadow Web" Thesis 4 warns about.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    fn emit_new(&mut self) -> Vec<Answer> {
+        let mut all = eval(&self.query, &self.history, self.now);
+        all.sort();
+        all.dedup_by(|a, b| a.key() == b.key());
+        let mut out = Vec::new();
+        for a in all {
+            if self.seen.insert(a.key()) {
+                out.push(a);
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate a query over a complete history at time `now`.
+pub fn eval(q: &EventQuery, history: &[Event], now: Timestamp) -> Vec<Answer> {
+    match q {
+        EventQuery::Atomic { pattern } => atomic_answers(pattern, history),
+        EventQuery::And { parts, window } => {
+            let sets: Vec<Vec<Answer>> = parts.iter().map(|p| eval(p, history, now)).collect();
+            combine(&sets, *window, false)
+        }
+        EventQuery::Seq { parts, window } => {
+            let sets: Vec<Vec<Answer>> = parts.iter().map(|p| eval(p, history, now)).collect();
+            combine(&sets, *window, true)
+        }
+        EventQuery::Or { parts } => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(eval(p, history, now));
+            }
+            out
+        }
+        EventQuery::Absence {
+            trigger,
+            absent,
+            window,
+        } => {
+            let triggers = eval(trigger, history, now);
+            let absents = eval(absent, history, now);
+            triggers
+                .into_iter()
+                .filter(|ta| ta.end + *window <= now)
+                .filter(|ta| {
+                    !absents.iter().any(|aa| {
+                        aa.end > ta.end
+                            && aa.end <= ta.end + *window
+                            && ta.bindings.merge(&aa.bindings).is_some()
+                    })
+                })
+                .map(|ta| Answer {
+                    end: ta.end + *window,
+                    ..ta
+                })
+                .collect()
+        }
+        EventQuery::Count { pattern, n, window } => {
+            let n = (*n).max(1);
+            let matches: Vec<(EventId, Timestamp)> = history
+                .iter()
+                .filter(|e| !match_at(pattern, &e.payload, &Bindings::new()).is_empty())
+                .map(|e| (e.id, e.time()))
+                .collect();
+            let mut out = Vec::new();
+            for i in (n - 1)..matches.len() {
+                let slice = &matches[i + 1 - n..=i];
+                let start = slice[0].1;
+                let end = slice[n - 1].1;
+                if window.map_or(true, |w| end.since(start) <= w) {
+                    out.push(Answer {
+                        constituents: slice.iter().map(|(id, _)| *id).collect(),
+                        bindings: Bindings::new(),
+                        start,
+                        end,
+                    });
+                }
+            }
+            out
+        }
+        EventQuery::Agg {
+            f,
+            var,
+            over,
+            pattern,
+            out,
+            group_by,
+        } => {
+            let over = (*over).max(1);
+            // Replays the sliding buffers over the whole history — same
+            // per-group semantics as the incremental engine, recomputed.
+            let mut bufs: std::collections::BTreeMap<
+                Bindings,
+                Vec<(EventId, Timestamp, f64)>,
+            > = Default::default();
+            let mut answers = Vec::new();
+            for e in history {
+                for b in match_at(pattern, &e.payload, &Bindings::new()) {
+                    let Some(v) = b.get(var.as_str()).and_then(reweb_term::Term::as_number)
+                    else {
+                        continue;
+                    };
+                    let key = b.project(group_by);
+                    let buf = bufs.entry(key).or_default();
+                    buf.push((e.id, e.time(), v));
+                    if buf.len() > over {
+                        buf.remove(0);
+                    }
+                    if buf.len() == over {
+                        let vals: Vec<f64> = buf.iter().map(|(_, _, v)| *v).collect();
+                        let agg = fold_agg(*f, &vals);
+                        if let Some(bb) = b.bind(out, &reweb_term::Term::num(agg)) {
+                            answers.push(Answer {
+                                constituents: buf.iter().map(|(id, _, _)| *id).collect(),
+                                bindings: bb,
+                                start: buf[0].1,
+                                end: e.time(),
+                            });
+                        }
+                    }
+                }
+            }
+            answers
+        }
+        EventQuery::Where { inner, cmps } => eval(inner, history, now)
+            .into_iter()
+            .filter(|a| cmps.iter().all(|c| c.holds(&a.bindings).unwrap_or(false)))
+            .collect(),
+    }
+}
+
+fn atomic_answers(pattern: &QueryTerm, history: &[Event]) -> Vec<Answer> {
+    let mut out = Vec::new();
+    for e in history {
+        for b in match_at(pattern, &e.payload, &Bindings::new()) {
+            out.push(Answer::atomic(e, b));
+        }
+    }
+    out
+}
+
+/// Full cartesian combination (the quadratic blow-up the incremental engine
+/// avoids).
+fn combine(sets: &[Vec<Answer>], window: Option<reweb_term::Dur>, sequential: bool) -> Vec<Answer> {
+    fn rec(
+        sets: &[Vec<Answer>],
+        idx: usize,
+        acc: Option<&Answer>,
+        window: Option<reweb_term::Dur>,
+        sequential: bool,
+        out: &mut Vec<Answer>,
+    ) {
+        if idx == sets.len() {
+            if let Some(a) = acc {
+                out.push(a.clone());
+            }
+            return;
+        }
+        for a in &sets[idx] {
+            let combined = match acc {
+                None => a.clone(),
+                Some(prev) => {
+                    if sequential && prev.end >= a.start {
+                        continue;
+                    }
+                    let Some(b) = prev.bindings.merge(&a.bindings) else {
+                        continue;
+                    };
+                    prev.combine(a, b)
+                }
+            };
+            if let Some(w) = window {
+                if combined.span() > w {
+                    continue;
+                }
+            }
+            rec(sets, idx + 1, Some(&combined), window, sequential, out);
+        }
+    }
+    let mut out = Vec::new();
+    rec(sets, 0, None, window, sequential, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_event_query;
+    use reweb_term::parse_term;
+
+    fn eng(q: &str) -> NaiveEngine {
+        NaiveEngine::new(&parse_event_query(q).unwrap())
+    }
+
+    fn ev(id: u64, at_ms: u64, payload: &str) -> Event {
+        Event::new(EventId(id), Timestamp(at_ms), parse_term(payload).unwrap())
+    }
+
+    #[test]
+    fn emits_each_answer_once() {
+        let mut e = eng("and(a, b)");
+        e.push(&ev(1, 10, "a"));
+        let out = e.push(&ev(2, 20, "b"));
+        assert_eq!(out.len(), 1);
+        // Re-evaluation finds the same answer again but does not re-emit.
+        let out = e.push(&ev(3, 30, "c"));
+        assert!(out.is_empty());
+        assert_eq!(e.history_len(), 3);
+    }
+
+    #[test]
+    fn absence_needs_clock() {
+        let mut e = eng("absence(a, b, 1s)");
+        e.push(&ev(1, 0, "a"));
+        assert!(e.advance_to(Timestamp(999)).is_empty());
+        let out = e.advance_to(Timestamp(1_000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].end, Timestamp(1_000));
+    }
+
+    #[test]
+    fn seq_ordering() {
+        let mut e = eng("seq(a, b)");
+        e.push(&ev(1, 10, "b"));
+        e.push(&ev(2, 20, "a"));
+        assert!(e.advance_to(Timestamp(30)).is_empty());
+        let out = e.push(&ev(3, 40, "b"));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].constituents, vec![EventId(2), EventId(3)]);
+    }
+}

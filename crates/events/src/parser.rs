@@ -1,0 +1,337 @@
+//! Parser for the event query syntax.
+//!
+//! ```text
+//! eventq  ::= primary ('where' cmp ('and' cmp)*)?
+//! primary ::= 'and' '(' eventq (',' eventq)* ')' ('within' DUR)?
+//!           | 'or'  '(' eventq (',' eventq)* ')'
+//!           | 'seq' '(' eventq (',' eventq)* ')' ('within' DUR)?
+//!           | 'absence' '(' eventq ',' eventq ',' DUR ')'
+//!           | 'count' '(' INT ',' queryterm (',' DUR)? ')'
+//!           | AGG '(' 'var' X ',' INT ',' queryterm ')' 'as' 'var' Y
+//!                 ('group' 'by' 'var' G (',' 'var' G)*)?
+//!           | queryterm                                 (atomic)
+//! DUR     ::= NUMBER ('ms'|'s'|'m'|'h'|'d')?
+//! AGG     ::= 'avg' | 'sum' | 'min' | 'max'
+//! ```
+//!
+//! The keywords `and`, `or`, `seq`, … are only treated as combinators when
+//! followed by `(`; an element pattern with one of those labels uses
+//! brackets (`and[ … ]`), so there is no ambiguity with atomic patterns.
+
+use reweb_query::parser::{cmp, query_term};
+use reweb_query::AggFn;
+use reweb_term::lex::{Cursor, Tok};
+use reweb_term::{Dur, TermError};
+
+use crate::query::EventQuery;
+
+type Result<T> = std::result::Result<T, TermError>;
+
+/// Parse a complete event query (whole input).
+pub fn parse_event_query(input: &str) -> Result<EventQuery> {
+    let mut cur = Cursor::from_str(input)?;
+    let q = event_query(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after event query"));
+    }
+    Ok(q)
+}
+
+/// Parse an event query at the cursor (used by the rule-language parser).
+pub fn event_query(cur: &mut Cursor) -> Result<EventQuery> {
+    let mut q = primary(cur)?;
+    // `where` clauses may chain; each wraps the query so far.
+    while cur.eat_kw("where") {
+        let mut cmps = vec![cmp(cur)?];
+        while cur.eat_kw("and") {
+            cmps.push(cmp(cur)?);
+        }
+        q = EventQuery::Where {
+            inner: Box::new(q),
+            cmps,
+        };
+    }
+    Ok(q)
+}
+
+/// Parse a duration: a number with optional unit suffix (which the lexer
+/// splits into a trailing identifier).
+pub fn duration(cur: &mut Cursor) -> Result<Dur> {
+    let n: u64 = match cur.peek() {
+        Some(Tok::Num(n)) => {
+            let v = n
+                .parse()
+                .map_err(|_| cur.error(format!("bad duration number {n}")))?;
+            cur.next();
+            v
+        }
+        Some(t) => return Err(cur.error(format!("expected duration, found {}", t.describe()))),
+        None => return Err(cur.error("expected duration, found end of input")),
+    };
+    // Optional unit directly following.
+    if let Some(Tok::Ident(u)) = cur.peek() {
+        let mult = match u.as_str() {
+            "ms" => Some(1),
+            "s" => Some(1_000),
+            "m" => Some(60_000),
+            "h" => Some(3_600_000),
+            "d" => Some(86_400_000),
+            _ => None,
+        };
+        if let Some(m) = mult {
+            cur.next();
+            return Ok(Dur::millis(n * m));
+        }
+    }
+    Ok(Dur::millis(n))
+}
+
+fn combinator_follows(cur: &Cursor, kw: &str) -> bool {
+    cur.peek().is_some_and(|t| t.is_kw(kw)) && cur.peek_at(1).is_some_and(|t| t.is_punct('('))
+}
+
+fn primary(cur: &mut Cursor) -> Result<EventQuery> {
+    for kw in ["and", "or", "seq"] {
+        if combinator_follows(cur, kw) {
+            cur.next(); // keyword
+            cur.next(); // (
+            let mut parts = vec![event_query(cur)?];
+            while cur.eat_punct(',') {
+                parts.push(event_query(cur)?);
+            }
+            cur.expect_punct(')')?;
+            let mut q = match kw {
+                "and" => EventQuery::and(parts),
+                "or" => EventQuery::or(parts),
+                _ => EventQuery::seq(parts),
+            };
+            if kw != "or" && cur.eat_kw("within") {
+                q = q.within(duration(cur)?);
+            }
+            return Ok(q);
+        }
+    }
+    if combinator_follows(cur, "absence") {
+        cur.next();
+        cur.next();
+        let trigger = event_query(cur)?;
+        cur.expect_punct(',')?;
+        let absent = event_query(cur)?;
+        cur.expect_punct(',')?;
+        let window = duration(cur)?;
+        cur.expect_punct(')')?;
+        return Ok(EventQuery::Absence {
+            trigger: Box::new(trigger),
+            absent: Box::new(absent),
+            window,
+        });
+    }
+    if combinator_follows(cur, "count") {
+        cur.next();
+        cur.next();
+        let n: usize = match cur.peek() {
+            Some(Tok::Num(n)) => {
+                let v = n
+                    .parse()
+                    .map_err(|_| cur.error(format!("bad count {n}")))?;
+                cur.next();
+                v
+            }
+            _ => return Err(cur.error("expected a count after `count(`")),
+        };
+        cur.expect_punct(',')?;
+        let pattern = query_term(cur)?;
+        let window = if cur.eat_punct(',') {
+            Some(duration(cur)?)
+        } else {
+            None
+        };
+        cur.expect_punct(')')?;
+        return Ok(EventQuery::Count { pattern, n, window });
+    }
+    for agg in ["avg", "sum", "min", "max"] {
+        if combinator_follows(cur, agg) {
+            let f = AggFn::from_name(agg).expect("known aggregate");
+            cur.next();
+            cur.next();
+            cur.expect_kw("var")?;
+            let var = cur.expect_ident()?;
+            cur.expect_punct(',')?;
+            let over: usize = match cur.peek() {
+                Some(Tok::Num(n)) => {
+                    let v = n
+                        .parse()
+                        .map_err(|_| cur.error(format!("bad window size {n}")))?;
+                    cur.next();
+                    v
+                }
+                _ => return Err(cur.error("expected a window size")),
+            };
+            cur.expect_punct(',')?;
+            let pattern = query_term(cur)?;
+            cur.expect_punct(')')?;
+            cur.expect_kw("as")?;
+            cur.expect_kw("var")?;
+            let out = cur.expect_ident()?;
+            let mut group_by = Vec::new();
+            if cur.eat_kw("group") {
+                cur.expect_kw("by")?;
+                // Multiple grouping variables need parentheses so the
+                // commas don't blend into an enclosing combinator list.
+                if cur.eat_punct('(') {
+                    loop {
+                        cur.expect_kw("var")?;
+                        group_by.push(cur.expect_ident()?);
+                        if !cur.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    cur.expect_punct(')')?;
+                } else {
+                    cur.expect_kw("var")?;
+                    group_by.push(cur.expect_ident()?);
+                }
+            }
+            return Ok(EventQuery::Agg {
+                f,
+                var,
+                over,
+                pattern,
+                out,
+                group_by,
+            });
+        }
+    }
+    Ok(EventQuery::Atomic {
+        pattern: query_term(cur)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_and_composition() {
+        let q = parse_event_query("and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 2h")
+            .unwrap();
+        match q {
+            EventQuery::And { parts, window } => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(window, Some(Dur::hours(2)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_combinators() {
+        let q = parse_event_query("or(seq(a, b) within 10s, and(c, d))").unwrap();
+        match q {
+            EventQuery::Or { parts } => {
+                assert!(matches!(&parts[0], EventQuery::Seq { window: Some(w), .. } if *w == Dur::secs(10)));
+                assert!(matches!(&parts[1], EventQuery::And { window: None, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn keyword_labels_with_brackets_are_atomic() {
+        // `and[x]` is an element pattern labelled "and".
+        let q = parse_event_query("and[x]").unwrap();
+        assert!(matches!(q, EventQuery::Atomic { .. }));
+        let q = parse_event_query("count{{n[[var N]]}}").unwrap();
+        assert!(matches!(q, EventQuery::Atomic { .. }));
+    }
+
+    #[test]
+    fn absence_count_agg() {
+        let q = parse_event_query("absence(cancel{{no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)")
+            .unwrap();
+        assert!(matches!(q, EventQuery::Absence { window, .. } if window == Dur::hours(2)));
+
+        let q = parse_event_query("count(3, outage, 1h)").unwrap();
+        assert!(
+            matches!(q, EventQuery::Count { n: 3, window: Some(w), .. } if w == Dur::hours(1))
+        );
+        let q = parse_event_query("count(3, outage)").unwrap();
+        assert!(matches!(q, EventQuery::Count { n: 3, window: None, .. }));
+
+        let q = parse_event_query(
+            "avg(var P, 5, stock{{sym[[var S]], price[[var P]]}}) as var A group by var S",
+        )
+        .unwrap();
+        match q {
+            EventQuery::Agg {
+                f,
+                var,
+                over,
+                out,
+                group_by,
+                ..
+            } => {
+                assert_eq!(f, AggFn::Avg);
+                assert_eq!(var, "P");
+                assert_eq!(over, 5);
+                assert_eq!(out, "A");
+                assert_eq!(group_by, vec!["S".to_string()]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn where_clause() {
+        let q = parse_event_query("seq(p{{v[[var X]]}}, p{{v[[var Y]]}}) where var Y >= var X * 1.05 and var X > 0").unwrap();
+        match q {
+            EventQuery::Where { cmps, .. } => assert_eq!(cmps.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn durations() {
+        for (src, ms) in [
+            ("and(a,b) within 250ms", 250),
+            ("and(a,b) within 3s", 3_000),
+            ("and(a,b) within 5m", 300_000),
+            ("and(a,b) within 2h", 7_200_000),
+            ("and(a,b) within 1d", 86_400_000),
+            ("and(a,b) within 42", 42),
+        ] {
+            match parse_event_query(src).unwrap() {
+                EventQuery::And { window, .. } => {
+                    assert_eq!(window, Some(Dur::millis(ms)), "{src}")
+                }
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in [
+            "and(a, b) within 1m",
+            "or(a, b, c)",
+            "seq(a{{x[[var X]]}}, b) within 10s",
+            "absence(a, b, 2h)",
+            "count(3, outage, 1h)",
+            "avg(var P, 5, stock{{price[[var P]]}}) as var A",
+            "and(a, b) where var X == 1",
+        ] {
+            let q = parse_event_query(src).unwrap();
+            let q2 = parse_event_query(&q.to_string()).unwrap();
+            assert_eq!(q, q2, "{src}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_event_query("and(a").is_err());
+        assert!(parse_event_query("absence(a, b)").is_err());
+        assert!(parse_event_query("count(x, a)").is_err());
+        assert!(parse_event_query("avg(var P, 5, s)").is_err()); // missing `as var`
+        assert!(parse_event_query("a b").is_err());
+    }
+}

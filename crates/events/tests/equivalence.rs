@@ -1,0 +1,180 @@
+//! The central semantic pin of Thesis 6: the incremental (data-driven)
+//! engine and the naive (query-driven, history-rescanning) engine compute
+//! the *same answer sets* on the same streams — incrementality is purely an
+//! efficiency property, never a semantic one.
+//!
+//! Random event queries and random event streams are generated with
+//! proptest; both engines consume the stream interleaved with clock
+//! advances, and their answers are compared by answer key (constituents +
+//! bindings).
+
+use proptest::prelude::*;
+
+use reweb_events::{parse_event_query, Event, EventId, EventQuery, IncrementalEngine, NaiveEngine};
+use reweb_query::Bindings;
+use reweb_term::{Term, Timestamp};
+
+// ----- random queries ---------------------------------------------------------
+
+/// Atomic patterns over a small fixed alphabet so streams actually hit them.
+fn arb_atomic() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("a{{v[[var X]]}}".to_string()),
+        Just("b{{v[[var X]]}}".to_string()),
+        Just("b{{v[[var Y]]}}".to_string()),
+        Just("*{{v[[var X]]}}".to_string()),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    let leaf = arb_atomic();
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            // and / seq, optionally windowed
+            (proptest::collection::vec(inner.clone(), 2..3), 0..3u8).prop_map(|(parts, w)| {
+                let body = format!("and({})", parts.join(", "));
+                match w {
+                    0 => body,
+                    1 => format!("{body} within 5s"),
+                    _ => format!("{body} within 50s"),
+                }
+            }),
+            (proptest::collection::vec(inner.clone(), 2..3), 0..3u8).prop_map(|(parts, w)| {
+                let body = format!("seq({})", parts.join(", "));
+                match w {
+                    0 => body,
+                    1 => format!("{body} within 5s"),
+                    _ => format!("{body} within 50s"),
+                }
+            }),
+            proptest::collection::vec(inner.clone(), 2..3)
+                .prop_map(|parts| format!("or({})", parts.join(", "))),
+            // absence over atomics
+            (arb_atomic(), arb_atomic())
+                .prop_map(|(t, a)| format!("absence({t}, {a}, 3s)")),
+            // count and agg
+            (2..4usize).prop_map(|n| format!("count({n}, a, 10s)")),
+            (2..4usize)
+                .prop_map(|n| format!("avg(var X, {n}, a{{{{v[[var X]]}}}}) as var AVG")),
+            // where filter
+            inner.prop_map(|q| format!("{q} where var X >= 2")),
+        ]
+    })
+}
+
+// ----- random streams ---------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Step {
+    Ev { label: u8, value: u8, dt: u16 },
+    Advance { dt: u16 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..4u8, 0..5u8, 0..3000u16).prop_map(|(label, value, dt)| Step::Ev {
+            label,
+            value,
+            dt
+        }),
+        1 => (0..6000u16).prop_map(|dt| Step::Advance { dt }),
+    ]
+}
+
+fn payload(label: u8, value: u8) -> Term {
+    let l = match label {
+        0 => "a",
+        1 => "b",
+        2 => "c",
+        _ => "d",
+    };
+    Term::unordered(
+        l,
+        vec![Term::ordered("v", vec![Term::int(value as i64)])],
+    )
+}
+
+fn keys(answers: &[reweb_events::Answer]) -> Vec<(Vec<EventId>, Bindings, Timestamp, Timestamp)> {
+    let mut ks: Vec<_> = answers.iter().map(|a| a.key()).collect();
+    ks.sort();
+    ks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental ≡ naive on random streams and queries, step by step.
+    #[test]
+    fn incremental_equals_naive(qsrc in arb_query(), steps in proptest::collection::vec(arb_step(), 0..40)) {
+        let q: EventQuery = parse_event_query(&qsrc).unwrap();
+        let mut inc = IncrementalEngine::new(&q);
+        let mut naive = NaiveEngine::new(&q);
+        let mut now = Timestamp::ZERO;
+        let mut next_id = 0u64;
+        for step in steps {
+            match step {
+                Step::Ev { label, value, dt } => {
+                    now = now + reweb_term::Dur::millis(dt as u64);
+                    next_id += 1;
+                    let e = Event::new(EventId(next_id), now, payload(label, value));
+                    let ai = inc.push(&e);
+                    let an = naive.push(&e);
+                    prop_assert_eq!(
+                        keys(&ai), keys(&an),
+                        "diverged on event {:?} of query {}", e.payload.to_string(), qsrc
+                    );
+                }
+                Step::Advance { dt } => {
+                    now = now + reweb_term::Dur::millis(dt as u64);
+                    let ai = inc.advance_to(now);
+                    let an = naive.advance_to(now);
+                    prop_assert_eq!(
+                        keys(&ai), keys(&an),
+                        "diverged on advance to {} of query {}", now, qsrc
+                    );
+                }
+            }
+        }
+        // Final flush far in the future fires all remaining deadlines.
+        let far = now + reweb_term::Dur::hours(24);
+        prop_assert_eq!(keys(&inc.advance_to(far)), keys(&naive.advance_to(far)));
+    }
+
+    /// Incremental answer sets are insensitive to interleaved clock
+    /// advances (they only *move* absence answers earlier, never change
+    /// the total set).
+    #[test]
+    fn advances_do_not_change_totals(qsrc in arb_query(), steps in proptest::collection::vec(arb_step(), 0..30)) {
+        let q: EventQuery = parse_event_query(&qsrc).unwrap();
+        // Run once with advances, once without (events only).
+        let mut with_adv = IncrementalEngine::new(&q);
+        let mut without = IncrementalEngine::new(&q);
+        let mut now = Timestamp::ZERO;
+        let mut next_id = 0u64;
+        let mut total_with = Vec::new();
+        let mut total_without = Vec::new();
+        for step in &steps {
+            match step {
+                Step::Ev { label, value, dt } => {
+                    now = now + reweb_term::Dur::millis(*dt as u64);
+                    next_id += 1;
+                    let e = Event::new(EventId(next_id), now, payload(*label, *value));
+                    total_with.extend(with_adv.push(&e));
+                    total_without.extend(without.push(&e));
+                }
+                Step::Advance { dt } => {
+                    now = now + reweb_term::Dur::millis(*dt as u64);
+                    total_with.extend(with_adv.advance_to(now));
+                    // `without` deliberately does not see the advance.
+                }
+            }
+        }
+        let far = now + reweb_term::Dur::hours(24);
+        total_with.extend(with_adv.advance_to(far));
+        total_without.extend(without.advance_to(far));
+        prop_assert_eq!(keys(&total_with), keys(&total_without), "query {}", qsrc);
+    }
+}

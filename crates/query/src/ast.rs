@@ -1,0 +1,313 @@
+//! Abstract syntax of query terms.
+//!
+//! Query terms are patterns over [`reweb_term::Term`]s, following Xcerpt's
+//! conventions:
+//!
+//! * `label[ p1, p2 ]` — **total ordered**: the data element has exactly
+//!   these children, in this order.
+//! * `label[[ p1, p2 ]]` — **partial ordered**: the patterns match a
+//!   subsequence of the data children (order preserved, others ignored).
+//! * `label{ p1, p2 }` — **total unordered**: the patterns match all data
+//!   children in some order (a perfect matching).
+//! * `label{{ p1, p2 }}` — **partial unordered**: the patterns match some
+//!   pairwise-distinct data children, in any order.
+//! * `var X` binds a whole subterm; `var X as p` binds it *and* constrains
+//!   it with `p`.
+//! * `desc p` matches `p` at the current node or any descendant.
+//! * `without p` (inside a child list) requires that *no* data child
+//!   matches `p` — subterm negation.
+//! * `*` is the label wildcard.
+
+use std::fmt;
+
+/// A query term (pattern).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryTerm {
+    /// `var X` — matches any single term, binding it to `X`.
+    Var(String),
+    /// `var X as p` — matches `p`, additionally binding the node to `X`.
+    VarAs(String, Box<QueryTerm>),
+    /// `desc p` — matches `p` at this node or any descendant.
+    Desc(Box<QueryTerm>),
+    /// `without p` — valid only inside a child list: no child matches `p`.
+    Without(Box<QueryTerm>),
+    /// Element pattern.
+    Elem(QueryElem),
+    /// Text leaf pattern: the exact string.
+    Text(String),
+}
+
+/// An element pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryElem {
+    pub label: LabelPattern,
+    /// `[…]` vs `{…}`.
+    pub ordered: bool,
+    /// `[[…]]`/`{{…}}` (true) vs `[…]`/`{…}` (false).
+    pub partial: bool,
+    /// Attribute constraints: every listed attribute must be present and
+    /// match. Unlisted attributes are always ignored (attributes are
+    /// implicitly partial, as in Xcerpt).
+    pub attrs: Vec<(String, AttrPattern)>,
+    pub children: Vec<QueryTerm>,
+}
+
+/// Label constraint of an element pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LabelPattern {
+    Exact(String),
+    /// `*`
+    Any,
+}
+
+/// Attribute value constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttrPattern {
+    Exact(String),
+    /// `@k=var X` — bind the attribute value (as a text term) to `X`.
+    Var(String),
+}
+
+impl QueryTerm {
+    /// Convenience: an element pattern builder.
+    pub fn elem(label: impl Into<String>) -> QueryElemBuilder {
+        QueryElemBuilder {
+            e: QueryElem {
+                label: LabelPattern::Exact(label.into()),
+                ordered: true,
+                partial: false,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// Convenience: `var X`.
+    pub fn var(name: impl Into<String>) -> QueryTerm {
+        QueryTerm::Var(name.into())
+    }
+
+    /// Convenience: `var X as p`.
+    pub fn var_as(name: impl Into<String>, p: QueryTerm) -> QueryTerm {
+        QueryTerm::VarAs(name.into(), Box::new(p))
+    }
+
+    /// Convenience: `desc p`.
+    pub fn desc(p: QueryTerm) -> QueryTerm {
+        QueryTerm::Desc(Box::new(p))
+    }
+
+    /// Convenience: text pattern.
+    pub fn text(s: impl Into<String>) -> QueryTerm {
+        QueryTerm::Text(s.into())
+    }
+
+    /// All variable names occurring in this pattern (including inside
+    /// `without`, which may only *consume* outer bindings).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            QueryTerm::Var(x) => out.push(x.clone()),
+            QueryTerm::VarAs(x, p) => {
+                out.push(x.clone());
+                p.collect_vars(out);
+            }
+            QueryTerm::Desc(p) | QueryTerm::Without(p) => p.collect_vars(out),
+            QueryTerm::Text(_) => {}
+            QueryTerm::Elem(e) => {
+                for (_, a) in &e.attrs {
+                    if let AttrPattern::Var(x) = a {
+                        out.push(x.clone());
+                    }
+                }
+                for c in &e.children {
+                    c.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// Builder returned by [`QueryTerm::elem`].
+#[derive(Clone, Debug)]
+pub struct QueryElemBuilder {
+    e: QueryElem,
+}
+
+impl QueryElemBuilder {
+    pub fn unordered(mut self) -> Self {
+        self.e.ordered = false;
+        self
+    }
+
+    pub fn partial(mut self) -> Self {
+        self.e.partial = true;
+        self
+    }
+
+    pub fn any_label(mut self) -> Self {
+        self.e.label = LabelPattern::Any;
+        self
+    }
+
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.e.attrs.push((key.into(), AttrPattern::Exact(value.into())));
+        self
+    }
+
+    pub fn attr_var(mut self, key: impl Into<String>, var: impl Into<String>) -> Self {
+        self.e.attrs.push((key.into(), AttrPattern::Var(var.into())));
+        self
+    }
+
+    pub fn child(mut self, p: QueryTerm) -> Self {
+        self.e.children.push(p);
+        self
+    }
+
+    /// Convenience: child pattern `label[[ var X ]]`-style — a partial
+    /// ordered element whose single child binds `X`.
+    pub fn field_var(self, label: impl Into<String>, var: impl Into<String>) -> Self {
+        self.child(
+            QueryTerm::elem(label)
+                .partial()
+                .child(QueryTerm::var(var))
+                .finish(),
+        )
+    }
+
+    /// Convenience: child pattern `label[[ "text" ]]`.
+    pub fn field_text(self, label: impl Into<String>, text: impl Into<String>) -> Self {
+        self.child(
+            QueryTerm::elem(label)
+                .partial()
+                .child(QueryTerm::text(text))
+                .finish(),
+        )
+    }
+
+    pub fn without(mut self, p: QueryTerm) -> Self {
+        self.e.children.push(QueryTerm::Without(Box::new(p)));
+        self
+    }
+
+    pub fn finish(self) -> QueryTerm {
+        QueryTerm::Elem(self.e)
+    }
+}
+
+// ----- display ---------------------------------------------------------------
+
+impl fmt::Display for QueryTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTerm::Var(x) => write!(f, "var {x}"),
+            QueryTerm::VarAs(x, p) => write!(f, "var {x} as {p}"),
+            QueryTerm::Desc(p) => write!(f, "desc {p}"),
+            QueryTerm::Without(p) => write!(f, "without {p}"),
+            QueryTerm::Text(s) => write!(f, "{s:?}"),
+            QueryTerm::Elem(e) => {
+                match &e.label {
+                    LabelPattern::Exact(l) => f.write_str(l)?,
+                    LabelPattern::Any => f.write_str("*")?,
+                }
+                if e.attrs.is_empty() && e.children.is_empty() && !e.partial {
+                    if !e.ordered {
+                        f.write_str("{}")?;
+                    }
+                    return Ok(());
+                }
+                let (open, close) = match (e.ordered, e.partial) {
+                    (true, false) => ("[", "]"),
+                    (true, true) => ("[[", "]]"),
+                    (false, false) => ("{", "}"),
+                    (false, true) => ("{{", "}}"),
+                };
+                f.write_str(open)?;
+                let mut first = true;
+                for (k, a) in &e.attrs {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    first = false;
+                    match a {
+                        AttrPattern::Exact(v) => write!(f, "@{k}={v:?}")?,
+                        AttrPattern::Var(x) => write!(f, "@{k}=var {x}")?,
+                    }
+                }
+                for c in &e.children {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    first = false;
+                    write!(f, "{c}")?;
+                }
+                f.write_str(close)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shapes() {
+        let q = QueryTerm::elem("order")
+            .unordered()
+            .partial()
+            .attr("id", "42")
+            .field_var("total", "T")
+            .finish();
+        match &q {
+            QueryTerm::Elem(e) => {
+                assert!(!e.ordered);
+                assert!(e.partial);
+                assert_eq!(e.attrs.len(), 1);
+                assert_eq!(e.children.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn variables_are_collected_and_deduped() {
+        let q = QueryTerm::elem("a")
+            .attr_var("k", "K")
+            .child(QueryTerm::var("X"))
+            .child(QueryTerm::var_as(
+                "X",
+                QueryTerm::desc(QueryTerm::var("Y")),
+            ))
+            .without(QueryTerm::var("Z"))
+            .finish();
+        assert_eq!(q.variables(), vec!["K", "X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn display_brackets() {
+        let q = QueryTerm::elem("a")
+            .partial()
+            .child(QueryTerm::var("X"))
+            .finish();
+        assert_eq!(q.to_string(), "a[[var X]]");
+        let q = QueryTerm::elem("b")
+            .unordered()
+            .child(QueryTerm::text("t"))
+            .finish();
+        assert_eq!(q.to_string(), "b{\"t\"}");
+        assert_eq!(QueryTerm::elem("e").finish().to_string(), "e");
+        assert_eq!(
+            QueryTerm::elem("e").unordered().finish().to_string(),
+            "e{}"
+        );
+    }
+}

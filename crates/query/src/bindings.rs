@@ -1,0 +1,165 @@
+//! Variable bindings — the "notion of answers" of the query language.
+//!
+//! An answer to a query is a substitution of terms for variables. Sets of
+//! answers flow between the three parts of an ECA rule: the event part
+//! produces bindings, the condition part extends or filters them, and the
+//! action part consumes them (Thesis 7's parameterization criterion).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use reweb_term::Term;
+
+/// A consistent assignment of terms to variable names.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bindings(BTreeMap<String, Term>);
+
+impl Bindings {
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Single-variable binding.
+    pub fn of(name: impl Into<String>, value: Term) -> Bindings {
+        let mut b = Bindings::new();
+        b.0.insert(name.into(), value);
+        b
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.0.get(name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.0.contains_key(name)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(|s| s.as_str())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Bind `name` to `value`. Returns the extended bindings, or `None` if
+    /// `name` is already bound to a *different* term (inconsistency).
+    #[must_use]
+    pub fn bind(&self, name: &str, value: &Term) -> Option<Bindings> {
+        match self.0.get(name) {
+            Some(existing) if existing == value => Some(self.clone()),
+            Some(_) => None,
+            None => {
+                let mut b = self.clone();
+                b.0.insert(name.to_string(), value.clone());
+                Some(b)
+            }
+        }
+    }
+
+    /// Merge two binding sets. Returns `None` if they disagree on any
+    /// shared variable.
+    #[must_use]
+    pub fn merge(&self, other: &Bindings) -> Option<Bindings> {
+        let mut out = self.clone();
+        for (k, v) in &other.0 {
+            match out.0.get(k) {
+                Some(existing) if existing != v => return None,
+                Some(_) => {}
+                None => {
+                    out.0.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The restriction of these bindings to the given variable names.
+    pub fn project(&self, names: &[String]) -> Bindings {
+        Bindings(
+            self.0
+                .iter()
+                .filter(|(k, _)| names.iter().any(|n| n == *k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<(String, Term)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (String, Term)>>(iter: I) -> Bindings {
+        Bindings(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k} -> {v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_consistency() {
+        let b = Bindings::of("X", Term::text("1"));
+        // Re-binding to the same value is fine.
+        assert!(b.bind("X", &Term::text("1")).is_some());
+        // Conflicting re-bind fails.
+        assert!(b.bind("X", &Term::text("2")).is_none());
+        // Fresh variable extends.
+        let b2 = b.bind("Y", &Term::text("2")).unwrap();
+        assert_eq!(b2.len(), 2);
+        // Original untouched.
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn merge_agrees_or_fails() {
+        let a = Bindings::of("X", Term::text("1"));
+        let b = Bindings::of("Y", Term::text("2"));
+        let ab = a.merge(&b).unwrap();
+        assert_eq!(ab.len(), 2);
+        let conflicting = Bindings::of("X", Term::text("9"));
+        assert!(ab.merge(&conflicting).is_none());
+        // Merge with agreeing overlap succeeds.
+        assert!(ab.merge(&a).is_some());
+    }
+
+    #[test]
+    fn project_restricts() {
+        let b: Bindings = [
+            ("X".to_string(), Term::text("1")),
+            ("Y".to_string(), Term::text("2")),
+        ]
+        .into_iter()
+        .collect();
+        let p = b.project(&["X".to_string(), "Z".to_string()]);
+        assert!(p.contains("X"));
+        assert!(!p.contains("Y"));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let b = Bindings::of("X", Term::text("v"));
+        assert_eq!(b.to_string(), "{X -> \"v\"}");
+    }
+}

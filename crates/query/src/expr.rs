@@ -1,0 +1,346 @@
+//! Arithmetic expressions and comparisons over bindings.
+//!
+//! These appear in three places of the rule language, always with the same
+//! syntax and semantics (Thesis 7's "language coherency"):
+//! event-query `WHERE` parts ("the average … raises by 5%"), condition
+//! comparisons ("monthly income of more than EUR 1 500"), and computed
+//! values in construct terms and actions.
+//!
+//! Values are numbers or strings. A variable evaluates to the numeric value
+//! of its bound term when that term is (or wraps) a number, and to its text
+//! content otherwise. Comparisons between two numbers are numeric, anything
+//! else is compared as strings.
+
+use std::fmt;
+
+use crate::bindings::Bindings;
+
+/// Evaluation failure: unbound variable, division by zero, type mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    Num(f64),
+    Str(String),
+}
+
+impl Val {
+    /// Numeric view: numbers directly, strings if they parse.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            Val::Str(s) => s.trim().parse().ok(),
+        }
+    }
+
+    pub fn as_str(&self) -> String {
+        match self {
+            Val::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Val::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// An arithmetic/string expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    /// `var X` — the bound term's numeric value or text content.
+    Var(String),
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+}
+
+impl Expr {
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    pub fn num(n: f64) -> Expr {
+        Expr::Num(n)
+    }
+
+    pub fn bin(lhs: Expr, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Evaluate under the given bindings.
+    pub fn eval(&self, binds: &Bindings) -> Result<Val, EvalError> {
+        match self {
+            Expr::Num(n) => Ok(Val::Num(*n)),
+            Expr::Str(s) => Ok(Val::Str(s.clone())),
+            Expr::Var(x) => {
+                let t = binds
+                    .get(x)
+                    .ok_or_else(|| EvalError(format!("unbound variable {x}")))?;
+                match t.as_number() {
+                    Some(n) => Ok(Val::Num(n)),
+                    None => Ok(Val::Str(t.text_content())),
+                }
+            }
+            Expr::Bin(l, op, r) => {
+                let lv = l.eval(binds)?;
+                let rv = r.eval(binds)?;
+                match (lv.as_num(), rv.as_num()) {
+                    (Some(a), Some(b)) => match op {
+                        BinOp::Add => Ok(Val::Num(a + b)),
+                        BinOp::Sub => Ok(Val::Num(a - b)),
+                        BinOp::Mul => Ok(Val::Num(a * b)),
+                        BinOp::Div => {
+                            if b == 0.0 {
+                                Err(EvalError("division by zero".into()))
+                            } else {
+                                Ok(Val::Num(a / b))
+                            }
+                        }
+                    },
+                    // String concatenation is the one non-numeric operator.
+                    _ if *op == BinOp::Add => Ok(Val::Str(lv.as_str() + &rv.as_str())),
+                    _ => Err(EvalError(format!(
+                        "non-numeric operands for `{op}`: {lv:?}, {rv:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Variables mentioned in this expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn go(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Var(x) => out.push(x.clone()),
+                Expr::Bin(l, _, r) => {
+                    go(l, out);
+                    go(r, out);
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{}", Val::Num(*n).as_str()),
+            Expr::Str(s) => write!(f, "{s:?}"),
+            Expr::Var(x) => write!(f, "var {x}"),
+            Expr::Bin(l, op, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Substring test (string semantics).
+    Contains,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "contains",
+        })
+    }
+}
+
+/// A comparison between two expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cmp {
+    pub lhs: Expr,
+    pub op: CmpOp,
+    pub rhs: Expr,
+}
+
+impl Cmp {
+    pub fn new(lhs: Expr, op: CmpOp, rhs: Expr) -> Cmp {
+        Cmp { lhs, op, rhs }
+    }
+
+    /// Whether the comparison holds under the bindings.
+    pub fn holds(&self, binds: &Bindings) -> Result<bool, EvalError> {
+        let l = self.lhs.eval(binds)?;
+        let r = self.rhs.eval(binds)?;
+        if self.op == CmpOp::Contains {
+            return Ok(l.as_str().contains(&r.as_str()));
+        }
+        // Numeric comparison when both sides are numeric, else string.
+        let ord = match (l.as_num(), r.as_num()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => Some(l.as_str().cmp(&r.as_str())),
+        };
+        let ord = ord.ok_or_else(|| EvalError("incomparable values (NaN)".into()))?;
+        Ok(match self.op {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            CmpOp::Contains => unreachable!(),
+        })
+    }
+
+    pub fn variables(&self) -> Vec<String> {
+        let mut v = self.lhs.variables();
+        v.extend(self.rhs.variables());
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reweb_term::Term;
+
+    fn binds() -> Bindings {
+        [
+            ("A".to_string(), Term::text("1500")),
+            ("T".to_string(), Term::ordered("total", vec![Term::text("59.9")])),
+            ("S".to_string(), Term::text("cancelled")),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn variable_resolution() {
+        assert_eq!(Expr::var("A").eval(&binds()).unwrap(), Val::Num(1500.0));
+        // Element wrapping a number resolves numerically.
+        assert_eq!(Expr::var("T").eval(&binds()).unwrap(), Val::Num(59.9));
+        // Non-numeric resolves to text content.
+        assert_eq!(
+            Expr::var("S").eval(&binds()).unwrap(),
+            Val::Str("cancelled".into())
+        );
+        assert!(Expr::var("missing").eval(&binds()).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::bin(
+            Expr::var("A"),
+            BinOp::Mul,
+            Expr::Num(1.05),
+        );
+        assert_eq!(e.eval(&binds()).unwrap(), Val::Num(1575.0));
+        let div0 = Expr::bin(Expr::Num(1.0), BinOp::Div, Expr::Num(0.0));
+        assert!(div0.eval(&binds()).is_err());
+    }
+
+    #[test]
+    fn string_concat_via_plus() {
+        let e = Expr::bin(Expr::Str("id-".into()), BinOp::Add, Expr::var("S"));
+        assert_eq!(e.eval(&binds()).unwrap(), Val::Str("id-cancelled".into()));
+        // but `*` on strings errors
+        let bad = Expr::bin(Expr::Str("x".into()), BinOp::Mul, Expr::Str("y".into()));
+        assert!(bad.eval(&binds()).is_err());
+    }
+
+    #[test]
+    fn comparisons_numeric_and_string() {
+        // The paper's credit-card rule: income >= 1500.
+        let c = Cmp::new(Expr::var("A"), CmpOp::Ge, Expr::Num(1500.0));
+        assert!(c.holds(&binds()).unwrap());
+        let c = Cmp::new(Expr::var("A"), CmpOp::Gt, Expr::Num(1500.0));
+        assert!(!c.holds(&binds()).unwrap());
+        // String equality.
+        let c = Cmp::new(Expr::var("S"), CmpOp::Eq, Expr::Str("cancelled".into()));
+        assert!(c.holds(&binds()).unwrap());
+        // Mixed → string comparison ("cancelled" != "1500").
+        let c = Cmp::new(Expr::var("S"), CmpOp::Ne, Expr::var("A"));
+        assert!(c.holds(&binds()).unwrap());
+    }
+
+    #[test]
+    fn contains() {
+        let c = Cmp::new(
+            Expr::var("S"),
+            CmpOp::Contains,
+            Expr::Str("cancel".into()),
+        );
+        assert!(c.holds(&binds()).unwrap());
+        let c = Cmp::new(Expr::var("S"), CmpOp::Contains, Expr::Str("xyz".into()));
+        assert!(!c.holds(&binds()).unwrap());
+    }
+
+    #[test]
+    fn variables_listed() {
+        let c = Cmp::new(
+            Expr::bin(Expr::var("B"), BinOp::Add, Expr::var("A")),
+            CmpOp::Lt,
+            Expr::var("A"),
+        );
+        assert_eq!(c.variables(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let e = Expr::bin(Expr::var("X"), BinOp::Mul, Expr::Num(1.05));
+        assert_eq!(e.to_string(), "(var X * 1.05)");
+        let c = Cmp::new(Expr::var("X"), CmpOp::Le, Expr::Num(3.0));
+        assert_eq!(c.to_string(), "var X <= 3");
+    }
+}

@@ -1,0 +1,436 @@
+//! Simulation matching of query terms against data terms.
+//!
+//! The matcher computes *all* answers: every way the data can simulate the
+//! pattern yields one [`Bindings`]. Matching can be seeded with existing
+//! bindings, which is how event-part bindings parameterize condition
+//! queries (Thesis 7): a variable already bound behaves like a constant.
+//!
+//! Child matching follows Xcerpt:
+//!
+//! | pattern      | data children matched                                 |
+//! |--------------|-------------------------------------------------------|
+//! | `l[p…]`      | exactly, in order                                     |
+//! | `l[[p…]]`    | a subsequence (order preserved)                       |
+//! | `l{p…}`      | all of them, in any order (perfect matching)          |
+//! | `l{{p…}}`    | pairwise-distinct children, any order                 |
+//!
+//! `without p` inside a child list succeeds iff *no* data child matches `p`
+//! under the candidate bindings. Query children map to *distinct* data
+//! children (injectivity).
+
+use reweb_term::path::Path;
+use reweb_term::Term;
+
+use crate::ast::{AttrPattern, LabelPattern, QueryTerm};
+use crate::bindings::Bindings;
+
+/// A match of a pattern at a specific node of a document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Match {
+    /// Path of the matched node from the document root.
+    pub path: Path,
+    pub bindings: Bindings,
+}
+
+/// Match `pattern` against the node `data` itself. Returns all answers
+/// (deduplicated), each extending `seed`.
+pub fn match_at(pattern: &QueryTerm, data: &Term, seed: &Bindings) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    m(pattern, data, seed, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Match `pattern` at every node of `root` (the node itself and all
+/// descendants), returning the matched node's path with each answer.
+pub fn match_anywhere(pattern: &QueryTerm, root: &Term, seed: &Bindings) -> Vec<Match> {
+    let mut out = Vec::new();
+    for (path, node) in root.walk() {
+        for bindings in match_at(pattern, node, seed) {
+            out.push(Match {
+                path: path.clone(),
+                bindings,
+            });
+        }
+    }
+    out
+}
+
+fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
+    match p {
+        QueryTerm::Var(x) => {
+            if let Some(b2) = b.bind(x, d) {
+                out.push(b2);
+            }
+        }
+        QueryTerm::VarAs(x, inner) => {
+            let mut tmp = Vec::new();
+            m(inner, d, b, &mut tmp);
+            for b2 in tmp {
+                if let Some(b3) = b2.bind(x, d) {
+                    out.push(b3);
+                }
+            }
+        }
+        QueryTerm::Desc(inner) => {
+            // At this node or any descendant.
+            m(inner, d, b, out);
+            for c in d.children() {
+                m(p, c, b, out);
+            }
+        }
+        QueryTerm::Without(_) => {
+            // `without` is only meaningful inside a child list; standalone it
+            // matches nothing (the parser rejects it in term position).
+        }
+        QueryTerm::Text(s) => {
+            if d.as_text() == Some(s.as_str()) {
+                out.push(b.clone());
+            }
+        }
+        QueryTerm::Elem(qe) => {
+            let Some(e) = d.as_element() else { return };
+            if let LabelPattern::Exact(l) = &qe.label {
+                if l != &e.label {
+                    return;
+                }
+            }
+            // Attributes: all listed must be present and match.
+            let mut cur = vec![b.clone()];
+            for (k, ap) in &qe.attrs {
+                let Some(v) = e.attrs.get(k) else { return };
+                match ap {
+                    AttrPattern::Exact(want) => {
+                        if want != v {
+                            return;
+                        }
+                    }
+                    AttrPattern::Var(x) => {
+                        let vt = Term::text(v.clone());
+                        cur = cur
+                            .into_iter()
+                            .filter_map(|bb| bb.bind(x, &vt))
+                            .collect();
+                        if cur.is_empty() {
+                            return;
+                        }
+                    }
+                }
+            }
+            let (positives, withouts): (Vec<&QueryTerm>, Vec<&QueryTerm>) = qe
+                .children
+                .iter()
+                .partition(|c| !matches!(c, QueryTerm::Without(_)));
+            for bb in cur {
+                let mut results = Vec::new();
+                match_children(&positives, &e.children, qe.ordered, qe.partial, &bb, &mut results);
+                'cand: for b2 in results {
+                    // Subterm negation: no data child may match any
+                    // `without` pattern under these bindings.
+                    for w in &withouts {
+                        let QueryTerm::Without(wp) = w else { unreachable!() };
+                        for c in &e.children {
+                            let mut hit = Vec::new();
+                            m(wp, c, &b2, &mut hit);
+                            if !hit.is_empty() {
+                                continue 'cand;
+                            }
+                        }
+                    }
+                    out.push(b2);
+                }
+            }
+        }
+    }
+}
+
+/// Match the positive child patterns against the data children according to
+/// the ordered/partial regime, pushing every consistent extension of `b`.
+fn match_children(
+    pats: &[&QueryTerm],
+    data: &[Term],
+    ordered: bool,
+    partial: bool,
+    b: &Bindings,
+    out: &mut Vec<Bindings>,
+) {
+    if ordered && !partial {
+        // Exact: same length, pairwise in order.
+        if pats.len() != data.len() {
+            return;
+        }
+        fn step(pats: &[&QueryTerm], data: &[Term], b: &Bindings, out: &mut Vec<Bindings>) {
+            match (pats.split_first(), data.split_first()) {
+                (None, None) => out.push(b.clone()),
+                (Some((p, prest)), Some((d, drest))) => {
+                    let mut tmp = Vec::new();
+                    m(p, d, b, &mut tmp);
+                    for b2 in tmp {
+                        step(prest, drest, &b2, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        step(pats, data, b, out);
+    } else if ordered && partial {
+        // Subsequence: each pattern matches a later data child than the
+        // previous one.
+        fn step(pats: &[&QueryTerm], data: &[Term], b: &Bindings, out: &mut Vec<Bindings>) {
+            let Some((p, prest)) = pats.split_first() else {
+                out.push(b.clone());
+                return;
+            };
+            for (i, d) in data.iter().enumerate() {
+                let mut tmp = Vec::new();
+                m(p, d, b, &mut tmp);
+                for b2 in tmp {
+                    step(prest, &data[i + 1..], &b2, out);
+                }
+            }
+        }
+        step(pats, data, b, out);
+    } else {
+        // Unordered: injective assignment of patterns to data children.
+        // Total additionally requires the assignment to be a bijection.
+        if !partial && pats.len() != data.len() {
+            return;
+        }
+        fn step(
+            pats: &[&QueryTerm],
+            data: &[Term],
+            used: &mut Vec<bool>,
+            b: &Bindings,
+            out: &mut Vec<Bindings>,
+        ) {
+            let Some((p, prest)) = pats.split_first() else {
+                out.push(b.clone());
+                return;
+            };
+            for (i, d) in data.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let mut tmp = Vec::new();
+                m(p, d, b, &mut tmp);
+                if tmp.is_empty() {
+                    continue;
+                }
+                used[i] = true;
+                for b2 in tmp {
+                    step(prest, data, used, &b2, out);
+                }
+                used[i] = false;
+            }
+        }
+        let mut used = vec![false; data.len()];
+        step(pats, data, &mut used, b, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query_term;
+    use reweb_term::parse_term;
+
+    fn q(s: &str) -> QueryTerm {
+        parse_query_term(s).unwrap()
+    }
+
+    fn d(s: &str) -> Term {
+        parse_term(s).unwrap()
+    }
+
+    fn matches(qs: &str, ds: &str) -> Vec<Bindings> {
+        match_at(&q(qs), &d(ds), &Bindings::new())
+    }
+
+    fn binding_text(b: &Bindings, var: &str) -> String {
+        b.get(var).unwrap().text_content()
+    }
+
+    #[test]
+    fn total_ordered_is_exact() {
+        assert_eq!(matches("a[b, c]", "a[b, c]").len(), 1);
+        assert!(matches("a[b, c]", "a[c, b]").is_empty());
+        assert!(matches("a[b]", "a[b, c]").is_empty());
+        assert!(matches("a[b, c]", "a[b]").is_empty());
+    }
+
+    #[test]
+    fn partial_ordered_is_subsequence() {
+        assert_eq!(matches("a[[b, d]]", "a[b, c, d]").len(), 1);
+        assert!(matches("a[[d, b]]", "a[b, c, d]").is_empty());
+        // Multiple embeddings yield one answer each (here: no vars, so one
+        // deduplicated answer).
+        assert_eq!(matches("a[[b]]", "a[b, b]").len(), 1);
+        // With a variable, both embeddings are distinguishable.
+        let r = match_at(
+            &q("a[[var X]]"),
+            &d("a[p[\"1\"], p[\"2\"]]"),
+            &Bindings::new(),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn total_unordered_is_perfect_matching() {
+        assert_eq!(matches("a{c, b}", "a[b, c]").len(), 1);
+        assert!(matches("a{b}", "a[b, c]").is_empty());
+        assert!(matches("a{b, c, x}", "a[b, c]").is_empty());
+    }
+
+    #[test]
+    fn partial_unordered_ignores_rest() {
+        assert_eq!(matches("a{{c}}", "a[b, c, d]").len(), 1);
+        assert_eq!(matches("a{{d, b}}", "a[b, c, d]").len(), 1);
+        assert!(matches("a{{x}}", "a[b, c, d]").is_empty());
+    }
+
+    #[test]
+    fn injectivity_two_patterns_need_two_children() {
+        // Two identical query children cannot both match the single data
+        // child.
+        assert!(matches("a{{b, b}}", "a[b]").is_empty());
+        assert_eq!(matches("a{{b, b}}", "a[b, b]").len(), 1);
+    }
+
+    #[test]
+    fn variables_bind_and_stay_consistent() {
+        let r = match_at(
+            &q("pair{{ var X, var X }}"),
+            &d("pair[v[\"1\"], v[\"1\"]]"),
+            &Bindings::new(),
+        );
+        assert_eq!(r.len(), 1);
+        let r = match_at(
+            &q("pair{ var X, var X }"),
+            &d("pair[v[\"1\"], v[\"2\"]]"),
+            &Bindings::new(),
+        );
+        assert!(r.is_empty(), "same var must bind equal terms");
+    }
+
+    #[test]
+    fn var_as_binds_node_and_matches_inner() {
+        let r = match_at(
+            &q("a[[ var F as flight[[ status[\"cancelled\"] ]] ]]"),
+            &d("a[flight[no[\"LH1\"], status[\"cancelled\"]], flight[no[\"LH2\"], status[\"ok\"]]]"),
+            &Bindings::new(),
+        );
+        assert_eq!(r.len(), 1);
+        let f = r[0].get("F").unwrap();
+        assert_eq!(f.children()[0].text_content(), "LH1");
+    }
+
+    #[test]
+    fn desc_matches_at_depth() {
+        let r = matches("desc deep", "a[b[c[deep]]]");
+        assert_eq!(r.len(), 1);
+        // desc inside a child list
+        let r = matches("a{{ desc deep }}", "a[b[c[deep]]]");
+        assert_eq!(r.len(), 1);
+        // Multiple occurrences at different depths give multiple answers if
+        // distinguishable.
+        let r = match_at(
+            &q("desc p[[var X]]"),
+            &d("r[p[\"1\"], q[p[\"2\"]]]"),
+            &Bindings::new(),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn without_rejects_on_match() {
+        // The travel example: a flight element without a rebooked child.
+        let qq = q("flight{{ status[\"cancelled\"], without rebooked }}");
+        assert_eq!(
+            match_at(&qq, &d("flight[status[\"cancelled\"]]"), &Bindings::new()).len(),
+            1
+        );
+        assert!(match_at(
+            &qq,
+            &d("flight[status[\"cancelled\"], rebooked]"),
+            &Bindings::new()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn without_sees_outer_bindings() {
+        // no duplicate entry: list must not contain another item equal to X
+        let qq = q("l{{ item[[var X]], without dup[[var X]] }}");
+        assert_eq!(
+            match_at(&qq, &d("l[item[\"a\"], dup[\"b\"]]"), &Bindings::new()).len(),
+            1
+        );
+        assert!(
+            match_at(&qq, &d("l[item[\"a\"], dup[\"a\"]]"), &Bindings::new()).is_empty()
+        );
+    }
+
+    #[test]
+    fn attributes_partial_and_binding() {
+        let r = match_at(
+            &q("article{{ @id=var I }}"),
+            &d("article{@id=\"a42\", @lang=\"en\", title[\"x\"]}"),
+            &Bindings::new(),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(binding_text(&r[0], "I"), "a42");
+        // exact attr mismatch
+        assert!(matches("a[[@k=\"x\"]]", "a[@k=\"y\"]").is_empty());
+        // missing attr
+        assert!(matches("a[[@k=\"x\"]]", "a[b]").is_empty());
+    }
+
+    #[test]
+    fn label_wildcard() {
+        let r = match_at(&q("*[[var X]]"), &d("thing[\"v\"]"), &Bindings::new());
+        assert_eq!(r.len(), 1);
+        assert_eq!(binding_text(&r[0], "X"), "v");
+    }
+
+    #[test]
+    fn seed_bindings_parameterize() {
+        // Simulates the event → condition flow: O is already bound.
+        let seed = Bindings::of("O", Term::text("o1"));
+        let pat = q("order{{ id[[var O]], total[[var T]] }}");
+        let data = d("order{id[\"o1\"], total[\"59.9\"]}");
+        let r = match_at(&pat, &data, &seed);
+        assert_eq!(r.len(), 1);
+        assert_eq!(binding_text(&r[0], "T"), "59.9");
+        // A conflicting seed filters the match out.
+        let seed = Bindings::of("O", Term::text("other"));
+        assert!(match_at(&pat, &data, &seed).is_empty());
+    }
+
+    #[test]
+    fn match_anywhere_returns_paths() {
+        let doc = d("news[article[@id=\"a1\"], sec[article[@id=\"a2\"]]]");
+        let hits = match_anywhere(&q("article{{@id=var I}}"), &doc, &Bindings::new());
+        assert_eq!(hits.len(), 2);
+        let paths: Vec<String> = hits.iter().map(|h| h.path.to_string()).collect();
+        assert_eq!(paths, vec!["/0", "/1/0"]);
+    }
+
+    #[test]
+    fn text_patterns() {
+        assert_eq!(matches("\"x\"", "\"x\"").len(), 1);
+        assert!(matches("\"x\"", "\"y\"").is_empty());
+        assert!(matches("\"x\"", "x").is_empty(), "text ≠ element");
+    }
+
+    #[test]
+    fn element_pattern_rejects_text_node() {
+        assert!(matches("a", "\"a\"").is_empty());
+    }
+
+    #[test]
+    fn duplicate_answers_are_deduped() {
+        // Two data children produce the same (empty) bindings — one answer.
+        assert_eq!(matches("a{{b}}", "a[b, b]").len(), 1);
+    }
+}

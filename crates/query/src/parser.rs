@@ -1,0 +1,593 @@
+//! Parsers for query terms, construct terms, expressions, comparisons, and
+//! conditions. All share the lexer from `reweb-term` (one surface syntax —
+//! Thesis 7's language coherency).
+//!
+//! ```text
+//! queryterm ::= 'var' IDENT ('as' queryterm)?
+//!             | 'desc' queryterm
+//!             | 'without' queryterm
+//!             | STRING | NUMBER                       (text pattern)
+//!             | ('*' | IDENT) qbody?
+//! qbody     ::= '[[' qitems ']]' | '[' qitems ']'
+//!             | '{{' qitems '}}' | '{' qitems '}'
+//! qitem     ::= '@' IDENT '=' (STRING | 'var' IDENT)  (attribute)
+//!             | queryterm
+//!
+//! ct        ::= 'var' IDENT | 'text' 'var' IDENT | 'eval' '(' expr ')'
+//!             | 'all' ct ('group' 'by' 'var' IDENT (',' 'var' IDENT)*)?
+//!             | ('count'|'sum'|'avg'|'min'|'max') '(' 'var' IDENT ')'
+//!             | STRING | NUMBER
+//!             | IDENT cbody?
+//!
+//! expr      ::= eterm (('+'|'-') eterm)*
+//! eterm     ::= factor (('*'|'/') factor)*
+//! factor    ::= NUMBER | STRING | 'var' IDENT | '(' expr ')' | '-' factor
+//!
+//! cmp       ::= expr ('=='|'='|'!='|'<'|'<='|'>'|'>='|'contains') expr
+//!
+//! condition ::= 'true' | catom ('and' catom)*
+//! catom     ::= 'not'? 'in' STRING queryterm | cmp
+//! ```
+
+use reweb_term::lex::{Cursor, Tok};
+use reweb_term::TermError;
+
+use crate::ast::{AttrPattern, LabelPattern, QueryElem, QueryTerm};
+use crate::construct::{AggFn, AttrValue, ConstructTerm};
+use crate::engine::{Condition, QueryAtom};
+use crate::expr::{BinOp, Cmp, CmpOp, Expr};
+
+type Result<T> = std::result::Result<T, TermError>;
+
+// ----- query terms -----------------------------------------------------------
+
+/// Parse a complete query term (whole input).
+pub fn parse_query_term(input: &str) -> Result<QueryTerm> {
+    let mut cur = Cursor::from_str(input)?;
+    let q = query_term(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after query term"));
+    }
+    Ok(q)
+}
+
+/// Parse a query term at the cursor.
+pub fn query_term(cur: &mut Cursor) -> Result<QueryTerm> {
+    if cur.eat_kw("var") {
+        let name = cur.expect_ident()?;
+        if cur.eat_kw("as") {
+            let inner = query_term(cur)?;
+            return Ok(QueryTerm::VarAs(name, Box::new(inner)));
+        }
+        return Ok(QueryTerm::Var(name));
+    }
+    if cur.eat_kw("desc") {
+        return Ok(QueryTerm::Desc(Box::new(query_term(cur)?)));
+    }
+    if cur.eat_kw("without") {
+        return Ok(QueryTerm::Without(Box::new(query_term(cur)?)));
+    }
+    match cur.peek() {
+        Some(Tok::Str(_)) => Ok(QueryTerm::Text(cur.expect_str()?)),
+        Some(Tok::Num(n)) => {
+            let n = n.clone();
+            cur.next();
+            Ok(QueryTerm::Text(n))
+        }
+        Some(Tok::Punct('*')) => {
+            cur.next();
+            query_body(cur, LabelPattern::Any)
+        }
+        Some(Tok::Ident(_)) => {
+            let label = cur.expect_ident()?;
+            query_body(cur, LabelPattern::Exact(label))
+        }
+        Some(t) => Err(cur.error(format!("expected query term, found {}", t.describe()))),
+        None => Err(cur.error("expected query term, found end of input")),
+    }
+}
+
+fn query_body(cur: &mut Cursor, label: LabelPattern) -> Result<QueryTerm> {
+    let (ordered, partial, close) = if cur.eat_punct2('[', '[') {
+        (true, true, ("]", ']'))
+    } else if cur.eat_punct('[') {
+        (true, false, ("]", ']'))
+    } else if cur.eat_punct2('{', '{') {
+        (false, true, ("}", '}'))
+    } else if cur.eat_punct('{') {
+        (false, false, ("}", '}'))
+    } else {
+        return Ok(QueryTerm::Elem(QueryElem {
+            label,
+            ordered: true,
+            partial: false,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }));
+    };
+    let mut attrs = Vec::new();
+    let mut children = Vec::new();
+    let close_char = close.1;
+    let eat_close = |cur: &mut Cursor, partial: bool| -> bool {
+        if partial {
+            cur.eat_punct2(close_char, close_char)
+        } else {
+            cur.eat_punct(close_char)
+        }
+    };
+    loop {
+        if eat_close(cur, partial) {
+            break;
+        }
+        if cur.eat_punct('@') {
+            let key = cur.expect_ident()?;
+            cur.expect_punct('=')?;
+            if cur.eat_kw("var") {
+                let v = cur.expect_ident()?;
+                attrs.push((key, AttrPattern::Var(v)));
+            } else {
+                let v = cur.expect_str()?;
+                attrs.push((key, AttrPattern::Exact(v)));
+            }
+        } else {
+            children.push(query_term(cur)?);
+        }
+        if !cur.eat_punct(',') {
+            if !eat_close(cur, partial) {
+                return Err(cur.error(format!(
+                    "expected `,` or closing `{}{}`",
+                    close.0,
+                    if partial { close.0 } else { "" }
+                )));
+            }
+            break;
+        }
+    }
+    Ok(QueryTerm::Elem(QueryElem {
+        label,
+        ordered,
+        partial,
+        attrs,
+        children,
+    }))
+}
+
+// ----- construct terms --------------------------------------------------------
+
+/// Parse a complete construct term (whole input).
+pub fn parse_construct_term(input: &str) -> Result<ConstructTerm> {
+    let mut cur = Cursor::from_str(input)?;
+    let c = construct_term(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after construct term"));
+    }
+    Ok(c)
+}
+
+/// Parse a construct term at the cursor.
+pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
+    if cur.eat_kw("var") {
+        let name = cur.expect_ident()?;
+        return Ok(ConstructTerm::Var(name));
+    }
+    if cur.eat_kw("text") {
+        cur.expect_kw("var")?;
+        let name = cur.expect_ident()?;
+        return Ok(ConstructTerm::TextOf(name));
+    }
+    if cur.eat_kw("eval") {
+        cur.expect_punct('(')?;
+        let e = expr(cur)?;
+        cur.expect_punct(')')?;
+        return Ok(ConstructTerm::Calc(e));
+    }
+    if cur.eat_kw("all") {
+        let inner = construct_term(cur)?;
+        let mut group_by = Vec::new();
+        if cur.eat_kw("group") {
+            cur.expect_kw("by")?;
+            // Multiple grouping variables need parentheses so the commas
+            // don't blend into an enclosing child list:
+            // `group by var C` or `group by (var C, var D)`.
+            if cur.eat_punct('(') {
+                loop {
+                    cur.expect_kw("var")?;
+                    group_by.push(cur.expect_ident()?);
+                    if !cur.eat_punct(',') {
+                        break;
+                    }
+                }
+                cur.expect_punct(')')?;
+            } else {
+                cur.expect_kw("var")?;
+                group_by.push(cur.expect_ident()?);
+            }
+        }
+        return Ok(ConstructTerm::All {
+            inner: Box::new(inner),
+            group_by,
+        });
+    }
+    match cur.peek() {
+        Some(Tok::Str(_)) => Ok(ConstructTerm::Text(cur.expect_str()?)),
+        Some(Tok::Num(n)) => {
+            let n = n.clone();
+            cur.next();
+            Ok(ConstructTerm::Text(n))
+        }
+        Some(Tok::Ident(name)) => {
+            // Aggregate call: `count(var X)` etc. — recognized by the `(`.
+            if let Some(agg) = AggFn::from_name(name) {
+                if cur.peek_at(1).is_some_and(|t| t.is_punct('(')) {
+                    cur.next(); // name
+                    cur.next(); // (
+                    cur.expect_kw("var")?;
+                    let v = cur.expect_ident()?;
+                    cur.expect_punct(')')?;
+                    return Ok(ConstructTerm::Agg(agg, v));
+                }
+            }
+            let label = cur.expect_ident()?;
+            construct_body(cur, label)
+        }
+        Some(t) => Err(cur.error(format!(
+            "expected construct term, found {}",
+            t.describe()
+        ))),
+        None => Err(cur.error("expected construct term, found end of input")),
+    }
+}
+
+fn construct_body(cur: &mut Cursor, label: String) -> Result<ConstructTerm> {
+    let ordered = if cur.eat_punct('[') {
+        true
+    } else if cur.eat_punct('{') {
+        false
+    } else {
+        return Ok(ConstructTerm::Elem {
+            label,
+            ordered: true,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+    };
+    let close = if ordered { ']' } else { '}' };
+    let mut attrs = Vec::new();
+    let mut children = Vec::new();
+    loop {
+        if cur.eat_punct(close) {
+            break;
+        }
+        if cur.eat_punct('@') {
+            let key = cur.expect_ident()?;
+            cur.expect_punct('=')?;
+            if cur.eat_kw("var") {
+                attrs.push((key, AttrValue::Var(cur.expect_ident()?)));
+            } else {
+                attrs.push((key, AttrValue::Str(cur.expect_str()?)));
+            }
+        } else {
+            children.push(construct_term(cur)?);
+        }
+        if !cur.eat_punct(',') {
+            cur.expect_punct(close)?;
+            break;
+        }
+    }
+    Ok(ConstructTerm::Elem {
+        label,
+        ordered,
+        attrs,
+        children,
+    })
+}
+
+// ----- expressions and comparisons --------------------------------------------
+
+/// Parse a complete expression (whole input).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let mut cur = Cursor::from_str(input)?;
+    let e = expr(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// Parse an expression at the cursor.
+pub fn expr(cur: &mut Cursor) -> Result<Expr> {
+    let mut lhs = eterm(cur)?;
+    loop {
+        let op = if cur.eat_punct('+') {
+            BinOp::Add
+        } else if cur.eat_punct('-') {
+            BinOp::Sub
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = eterm(cur)?;
+        lhs = Expr::bin(lhs, op, rhs);
+    }
+}
+
+fn eterm(cur: &mut Cursor) -> Result<Expr> {
+    let mut lhs = factor(cur)?;
+    loop {
+        let op = if cur.eat_punct('*') {
+            BinOp::Mul
+        } else if cur.eat_punct('/') {
+            BinOp::Div
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = factor(cur)?;
+        lhs = Expr::bin(lhs, op, rhs);
+    }
+}
+
+fn factor(cur: &mut Cursor) -> Result<Expr> {
+    if cur.eat_punct('(') {
+        let e = expr(cur)?;
+        cur.expect_punct(')')?;
+        return Ok(e);
+    }
+    if cur.eat_punct('-') {
+        let e = factor(cur)?;
+        return Ok(Expr::bin(Expr::Num(0.0), BinOp::Sub, e));
+    }
+    if cur.eat_kw("var") {
+        return Ok(Expr::Var(cur.expect_ident()?));
+    }
+    match cur.peek() {
+        Some(Tok::Num(n)) => {
+            let v: f64 = n
+                .parse()
+                .map_err(|_| cur.error(format!("bad number {n}")))?;
+            cur.next();
+            Ok(Expr::Num(v))
+        }
+        Some(Tok::Str(_)) => Ok(Expr::Str(cur.expect_str()?)),
+        Some(t) => Err(cur.error(format!("expected expression, found {}", t.describe()))),
+        None => Err(cur.error("expected expression, found end of input")),
+    }
+}
+
+/// Parse a complete comparison (whole input).
+pub fn parse_cmp(input: &str) -> Result<Cmp> {
+    let mut cur = Cursor::from_str(input)?;
+    let c = cmp(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after comparison"));
+    }
+    Ok(c)
+}
+
+/// Parse a comparison at the cursor.
+pub fn cmp(cur: &mut Cursor) -> Result<Cmp> {
+    let lhs = expr(cur)?;
+    let op = cmp_op(cur)?;
+    let rhs = expr(cur)?;
+    Ok(Cmp::new(lhs, op, rhs))
+}
+
+fn cmp_op(cur: &mut Cursor) -> Result<CmpOp> {
+    if cur.eat_kw("contains") {
+        return Ok(CmpOp::Contains);
+    }
+    if cur.eat_punct2('=', '=') || cur.eat_punct('=') {
+        return Ok(CmpOp::Eq);
+    }
+    if cur.eat_punct2('!', '=') {
+        return Ok(CmpOp::Ne);
+    }
+    if cur.eat_punct2('<', '=') {
+        return Ok(CmpOp::Le);
+    }
+    if cur.eat_punct('<') {
+        return Ok(CmpOp::Lt);
+    }
+    if cur.eat_punct2('>', '=') {
+        return Ok(CmpOp::Ge);
+    }
+    if cur.eat_punct('>') {
+        return Ok(CmpOp::Gt);
+    }
+    Err(cur.error("expected comparison operator"))
+}
+
+// ----- conditions --------------------------------------------------------------
+
+/// Parse a complete condition (whole input).
+pub fn parse_condition(input: &str) -> Result<Condition> {
+    let mut cur = Cursor::from_str(input)?;
+    let c = condition(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after condition"));
+    }
+    Ok(c)
+}
+
+/// Parse a condition at the cursor: `true` or a conjunction of atoms.
+pub fn condition(cur: &mut Cursor) -> Result<Condition> {
+    if cur.eat_kw("true") {
+        return Ok(Condition::always_true());
+    }
+    let mut cond = Condition::always_true();
+    loop {
+        catom(cur, &mut cond)?;
+        if !cur.eat_kw("and") {
+            break;
+        }
+    }
+    Ok(cond)
+}
+
+fn catom(cur: &mut Cursor, cond: &mut Condition) -> Result<()> {
+    let negated = cur.eat_kw("not");
+    if cur.eat_kw("in") {
+        let uri = cur.expect_str()?;
+        let pattern = query_term(cur)?;
+        cond.atoms.push(QueryAtom {
+            resource: uri,
+            pattern,
+            negated,
+        });
+        return Ok(());
+    }
+    if negated {
+        return Err(cur.error("`not` must be followed by `in <uri> <pattern>`"));
+    }
+    cond.comparisons.push(cmp(cur)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_term_bracket_flavours() {
+        for (src, ordered, partial) in [
+            ("a[b]", true, false),
+            ("a[[b]]", true, true),
+            ("a{b}", false, false),
+            ("a{{b}}", false, true),
+        ] {
+            match parse_query_term(src).unwrap() {
+                QueryTerm::Elem(e) => {
+                    assert_eq!(e.ordered, ordered, "{src}");
+                    assert_eq!(e.partial, partial, "{src}");
+                    assert_eq!(e.children.len(), 1);
+                }
+                other => panic!("{src}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn query_term_roundtrip_via_display() {
+        for src in [
+            "a[[var X, b{{\"t\"}}]]",
+            "var F as flight[[status[\"cancelled\"], without rebooked]]",
+            "desc article{{@id=var I}}",
+            "*[[var X]]",
+            "order{{id[[var O]], total[[var T]]}}",
+        ] {
+            let q = parse_query_term(src).unwrap();
+            let q2 = parse_query_term(&q.to_string()).unwrap();
+            assert_eq!(q, q2, "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_partial_brackets_disambiguate() {
+        // `a[[ b[c] ]]` — inner total `]` then outer `]]`.
+        let q = parse_query_term("a[[ b[c] ]]").unwrap();
+        match q {
+            QueryTerm::Elem(e) => {
+                assert!(e.partial);
+                assert_eq!(e.children.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn query_term_errors() {
+        assert!(parse_query_term("a[[b]").is_err());
+        assert!(parse_query_term("var").is_err());
+        assert!(parse_query_term("a[@k]").is_err());
+        assert!(parse_query_term("").is_err());
+        assert!(parse_query_term("a[b] c").is_err());
+    }
+
+    #[test]
+    fn construct_term_all_flavours() {
+        let c = parse_construct_term(
+            "summary[@id=var I, customer[var C], all order[var O] group by var C, count(var O), eval(var T * 1.05), text var C, \"lit\"]",
+        )
+        .unwrap();
+        match &c {
+            ConstructTerm::Elem { children, attrs, .. } => {
+                assert_eq!(attrs.len(), 1);
+                assert_eq!(children.len(), 6);
+                assert!(matches!(&children[1], ConstructTerm::All { group_by, .. } if group_by == &vec!["C".to_string()]));
+                assert!(matches!(&children[2], ConstructTerm::Agg(AggFn::Count, v) if v == "O"));
+                assert!(matches!(&children[3], ConstructTerm::Calc(_)));
+                assert!(matches!(&children[4], ConstructTerm::TextOf(v) if v == "C"));
+            }
+            _ => panic!(),
+        }
+        // Display → parse roundtrip.
+        let c2 = parse_construct_term(&c.to_string()).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn aggregate_name_as_element_label_still_works() {
+        // `count[...]` is an element, `count(var X)` an aggregate.
+        let c = parse_construct_term("count[var X]").unwrap();
+        assert!(matches!(c, ConstructTerm::Elem { .. }));
+        let c = parse_construct_term("count(var X)").unwrap();
+        assert!(matches!(c, ConstructTerm::Agg(AggFn::Count, _)));
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e.eval(&crate::bindings::Bindings::new()).unwrap(),
+            crate::expr::Val::Num(7.0)
+        );
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(
+            e.eval(&crate::bindings::Bindings::new()).unwrap(),
+            crate::expr::Val::Num(9.0)
+        );
+        let e = parse_expr("-2 + 5").unwrap();
+        assert_eq!(
+            e.eval(&crate::bindings::Bindings::new()).unwrap(),
+            crate::expr::Val::Num(3.0)
+        );
+    }
+
+    #[test]
+    fn cmp_operators() {
+        for (src, op) in [
+            ("var X == 1", CmpOp::Eq),
+            ("var X = 1", CmpOp::Eq),
+            ("var X != 1", CmpOp::Ne),
+            ("var X < 1", CmpOp::Lt),
+            ("var X <= 1", CmpOp::Le),
+            ("var X > 1", CmpOp::Gt),
+            ("var X >= 1", CmpOp::Ge),
+            ("var X contains \"a\"", CmpOp::Contains),
+        ] {
+            assert_eq!(parse_cmp(src).unwrap().op, op, "{src}");
+        }
+    }
+
+    #[test]
+    fn condition_atoms_and_cmps() {
+        let c = parse_condition(
+            "in \"http://shop/customers\" customer{{id[[var C]]}} and not in \"http://shop/blocklist\" blocked[[var C]] and var A >= 1500",
+        )
+        .unwrap();
+        assert_eq!(c.atoms.len(), 2);
+        assert!(!c.atoms[0].negated);
+        assert!(c.atoms[1].negated);
+        assert_eq!(c.comparisons.len(), 1);
+    }
+
+    #[test]
+    fn condition_true() {
+        let c = parse_condition("true").unwrap();
+        assert!(c.atoms.is_empty());
+        assert!(c.comparisons.is_empty());
+    }
+
+    #[test]
+    fn condition_bad_not() {
+        assert!(parse_condition("not var X == 1").is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Deductive rules — views over Web data (Thesis 9).
+//!
+//! > "Deductive rules can be compared to views in relational databases …
+//! > They avoid replication of complicated queries, allow to derive
+//! > intensional data from extensional data, and can be used to mediate
+//! > data in different schemas."
+//!
+//! A [`DeductiveRule`] has a construct-term head and a condition body
+//! (query atoms over resources or other views, plus comparisons). Rules are
+//! registered with a [`crate::QueryEngine`] under a view URI; querying that
+//! URI sees the materialized extent. Evaluation is bottom-up to a fixpoint,
+//! so positive recursion works; negation through a cycle is rejected.
+//!
+//! The same rule shape is reused for *event* deduction in `reweb-events`
+//! (`DETECT … ON …`), where the thesis prescribes rejecting recursion
+//! entirely for efficiency.
+
+use std::fmt;
+
+use crate::construct::ConstructTerm;
+use crate::engine::Condition;
+
+/// A deductive rule: `CONSTRUCT head FROM body END`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeductiveRule {
+    pub head: ConstructTerm,
+    pub body: Condition,
+}
+
+impl DeductiveRule {
+    pub fn new(head: ConstructTerm, body: Condition) -> DeductiveRule {
+        DeductiveRule { head, body }
+    }
+}
+
+impl fmt::Display for DeductiveRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CONSTRUCT {} FROM {} END", self.head, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::Bindings;
+    use crate::engine::QueryEngine;
+    use crate::parser::{parse_condition, parse_construct_term, parse_query_term};
+    use reweb_term::{parse_term, ResourceStore};
+
+    fn engine_with_flights() -> QueryEngine {
+        let mut store = ResourceStore::new();
+        store.put(
+            "http://air/flights",
+            parse_term(
+                "flights[ flight{from[\"MUC\"], to[\"CDG\"]}, \
+                           flight{from[\"CDG\"], to[\"NYC\"]}, \
+                           flight{from[\"NYC\"], to[\"SFO\"]} ]",
+            )
+            .unwrap(),
+        );
+        QueryEngine::with_store(store)
+    }
+
+    #[test]
+    fn simple_view_mediates_schema() {
+        // A view renaming flight{from,to} into hop[a,b].
+        let mut e = engine_with_flights();
+        e.register_view(
+            "view://hops",
+            DeductiveRule::new(
+                parse_construct_term("hop[a[var F], b[var T]]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}",
+                )
+                .unwrap(),
+            ),
+        );
+        let answers = e
+            .query(
+                "view://hops",
+                &parse_query_term("hop[[a[[var X]]]]").unwrap(),
+                &Bindings::new(),
+            )
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn recursive_view_computes_transitive_closure() {
+        // reachable(X,Y) :- flight(X,Y) | flight(X,Z), reachable(Z,Y).
+        let mut e = engine_with_flights();
+        e.register_view(
+            "view://reachable",
+            DeductiveRule::new(
+                parse_construct_term("reach[a[var F], b[var T]]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}",
+                )
+                .unwrap(),
+            ),
+        );
+        e.register_view(
+            "view://reachable",
+            DeductiveRule::new(
+                parse_construct_term("reach[a[var F], b[var T]]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{from[[var F]], to[[var M]]}} \
+                     and in \"view://reachable\" reach[a[[var M]], b[[var T]]]",
+                )
+                .unwrap(),
+            ),
+        );
+        let exts = e.materialize_views().unwrap();
+        let reach = &exts["view://reachable"];
+        // 3 base hops + MUC→NYC, MUC→SFO, CDG→SFO = 6.
+        assert_eq!(reach.len(), 6);
+        // And it is queryable like a resource:
+        let answers = e
+            .query(
+                "view://reachable",
+                &parse_query_term("reach[a[[\"MUC\"]], b[[\"SFO\"]]]").unwrap(),
+                &Bindings::new(),
+            )
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn view_over_view() {
+        let mut e = engine_with_flights();
+        e.register_view(
+            "view://hops",
+            DeductiveRule::new(
+                parse_construct_term("hop[a[var F], b[var T]]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}",
+                )
+                .unwrap(),
+            ),
+        );
+        e.register_view(
+            "view://origins",
+            DeductiveRule::new(
+                parse_construct_term("origin[var F]").unwrap(),
+                parse_condition("in \"view://hops\" hop[[a[[var F]]]]").unwrap(),
+            ),
+        );
+        let exts = e.materialize_views().unwrap();
+        assert_eq!(exts["view://origins"].len(), 3);
+    }
+
+    #[test]
+    fn unstratified_negation_rejected() {
+        let mut e = engine_with_flights();
+        // odd :- flight(X,Y), not odd  — negation through its own cycle.
+        e.register_view(
+            "view://odd",
+            DeductiveRule::new(
+                parse_construct_term("o[var F]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{from[[var F]]}} \
+                     and not in \"view://odd\" o[[var F]]",
+                )
+                .unwrap(),
+            ),
+        );
+        assert!(e.materialize_views().is_err());
+    }
+
+    #[test]
+    fn stratified_negation_over_view_ok() {
+        let mut e = engine_with_flights();
+        e.register_view(
+            "view://dests",
+            DeductiveRule::new(
+                parse_construct_term("dest[var T]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{to[[var T]]}}",
+                )
+                .unwrap(),
+            ),
+        );
+        // Airports that are origins but never destinations.
+        e.register_view(
+            "view://pure_origins",
+            DeductiveRule::new(
+                parse_construct_term("pure[var F]").unwrap(),
+                parse_condition(
+                    "in \"http://air/flights\" flight{{from[[var F]]}} \
+                     and not in \"view://dests\" dest[[var F]]",
+                )
+                .unwrap(),
+            ),
+        );
+        let exts = e.materialize_views().unwrap();
+        let pure = &exts["view://pure_origins"];
+        assert_eq!(pure.len(), 1);
+        assert_eq!(pure[0].text_content(), "MUC");
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let r = DeductiveRule::new(
+            parse_construct_term("hop[a[var F]]").unwrap(),
+            parse_condition("in \"u\" flight{{from[[var F]]}}").unwrap(),
+        );
+        let s = r.to_string();
+        assert!(s.starts_with("CONSTRUCT hop[a[var F]] FROM in "));
+        assert!(s.ends_with("END"));
+    }
+}

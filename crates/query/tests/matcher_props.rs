@@ -1,0 +1,172 @@
+//! Property tests for the query matcher — the soundness invariants every
+//! layer above (events, conditions, updates) relies on.
+
+use proptest::prelude::*;
+
+use reweb_query::{match_anywhere, match_at, parse_query_term, Bindings, QueryTerm};
+use reweb_term::{node_at, parse_term, Term};
+
+// ----- generators --------------------------------------------------------
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-c][a-z]{0,2}".prop_map(|s| s)
+}
+
+fn arb_data() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        "[a-z0-9]{0,4}".prop_map(Term::text),
+        arb_label().prop_map(Term::elem),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        (
+            arb_label(),
+            any::<bool>(),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(l, ordered, children)| {
+                if ordered {
+                    Term::ordered(l, children)
+                } else {
+                    Term::unordered(l, children)
+                }
+            })
+    })
+}
+
+/// Derive a pattern that must match `t`: copy the structure, making every
+/// element partial-unordered and occasionally generalizing a subterm to a
+/// fresh variable.
+fn generalize(t: &Term, var_budget: &mut usize, depth: usize) -> QueryTerm {
+    if *var_budget > 0 && depth > 0 && t.node_count() % 3 == 0 {
+        *var_budget -= 1;
+        return QueryTerm::var(format!("V{}", *var_budget));
+    }
+    match t.as_element() {
+        None => QueryTerm::text(t.as_text().unwrap_or_default()),
+        Some(e) => {
+            let mut b = QueryTerm::elem(e.label.clone()).unordered().partial();
+            // Keep a subset of children as subpatterns (every other one).
+            for (i, c) in e.children.iter().enumerate() {
+                if i % 2 == 0 {
+                    b = b.child(generalize(c, var_budget, depth + 1));
+                }
+            }
+            b.finish()
+        }
+    }
+}
+
+// ----- properties ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A pattern derived from a data term by generalization matches it.
+    #[test]
+    fn generalized_pattern_matches_its_origin(t in arb_data()) {
+        let mut budget = 2usize;
+        let p = generalize(&t, &mut budget, 0);
+        let answers = match_at(&p, &t, &Bindings::new());
+        prop_assert!(
+            !answers.is_empty(),
+            "pattern {p} failed to match its origin {t}"
+        );
+    }
+
+    /// Soundness of variable bindings: whatever a `var X as …` pattern
+    /// binds X to is a real subterm of the data, and re-matching with that
+    /// binding as seed succeeds.
+    #[test]
+    fn bindings_are_real_subterms_and_rematch(t in arb_data()) {
+        let p = parse_query_term("var X as *{{}}").unwrap();
+        for m in match_anywhere(&p, &t, &Bindings::new()) {
+            let bound = m.bindings.get("X").unwrap();
+            // The bound term is exactly the node at the reported path.
+            let node = node_at(&t, &m.path).expect("path resolves");
+            prop_assert_eq!(node, bound);
+            // Re-matching seeded with the binding still succeeds.
+            let again = match_at(&p, node, &m.bindings);
+            prop_assert!(!again.is_empty());
+        }
+    }
+
+    /// Seeded matching is a restriction of unseeded matching: every seeded
+    /// answer appears among the unseeded answers merged with the seed.
+    #[test]
+    fn seeding_restricts_not_invents(t in arb_data()) {
+        let p = parse_query_term("*{{var X}}").unwrap();
+        let unseeded = match_at(&p, &t, &Bindings::new());
+        if let Some(first) = unseeded.first() {
+            let seed = first.clone();
+            let seeded = match_at(&p, &t, &seed);
+            for s in &seeded {
+                prop_assert!(
+                    unseeded.iter().any(|u| u.merge(&seed).as_ref() == Some(s)),
+                    "seeded answer {s} not derivable from unseeded set"
+                );
+            }
+            // And the seed itself is among them.
+            prop_assert!(seeded.contains(&seed));
+        }
+    }
+
+    /// match_anywhere paths always resolve to nodes that match.
+    #[test]
+    fn anywhere_paths_resolve(t in arb_data(), label in arb_label()) {
+        let p = QueryTerm::elem(label).unordered().partial().finish();
+        for m in match_anywhere(&p, &t, &Bindings::new()) {
+            let node = node_at(&t, &m.path);
+            prop_assert!(node.is_some());
+            prop_assert!(!match_at(&p, node.unwrap(), &Bindings::new()).is_empty());
+        }
+    }
+
+    /// Total matching implies partial matching (with identical bindings
+    /// included), never the other way around.
+    #[test]
+    fn total_implies_partial(t in arb_data()) {
+        if let Some(e) = t.as_element() {
+            let total = QueryTerm::Elem(reweb_query::QueryElem {
+                label: reweb_query::LabelPattern::Exact(e.label.clone()),
+                ordered: false,
+                partial: false,
+                attrs: vec![],
+                children: e.children.iter().map(|c| generalize(c, &mut 0, 1)).collect(),
+            });
+            let partial = match &total {
+                QueryTerm::Elem(qe) => QueryTerm::Elem(reweb_query::QueryElem {
+                    partial: true,
+                    ..qe.clone()
+                }),
+                _ => unreachable!(),
+            };
+            let at = match_at(&total, &t, &Bindings::new());
+            let ap = match_at(&partial, &t, &Bindings::new());
+            for a in &at {
+                prop_assert!(ap.contains(a), "total answer {a} missing from partial");
+            }
+        }
+    }
+
+    /// Display ∘ parse is the identity on parsed query terms (parser and
+    /// printer agree).
+    #[test]
+    fn query_display_parse_roundtrip(t in arb_data()) {
+        let mut budget = 2usize;
+        let p = generalize(&t, &mut budget, 0);
+        let printed = p.to_string();
+        let reparsed = parse_query_term(&printed).unwrap();
+        prop_assert_eq!(p, reparsed, "printed: {}", printed);
+    }
+}
+
+#[test]
+fn regression_without_inside_generated_patterns() {
+    // `without` used to be silently droppable by the generalizer; pin the
+    // semantics with a direct case.
+    let data = parse_term("a[b, c]").unwrap();
+    let p = parse_query_term("a{{b, without d}}").unwrap();
+    assert_eq!(match_at(&p, &data, &Bindings::new()).len(), 1);
+    let p = parse_query_term("a{{b, without c}}").unwrap();
+    assert!(match_at(&p, &data, &Bindings::new()).is_empty());
+}

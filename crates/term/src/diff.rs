@@ -1,0 +1,291 @@
+//! Change detection between document versions.
+//!
+//! This is what a *polling* observer (Thesis 3) must do to turn two
+//! snapshots of a resource into events, and where the identity regimes of
+//! Thesis 10 diverge:
+//!
+//! * Under **surrogate** identity, children of an element are matched by
+//!   their key attribute; an item whose value changed but whose key survived
+//!   is reported as [`Change::Modified`] — the observer can say *which*
+//!   object changed.
+//! * Under **extensional** identity, children are matched by value; any
+//!   value change necessarily appears as [`Change::Deleted`] +
+//!   [`Change::Inserted`] — the object's identity was its value, and is lost
+//!   with it.
+//!
+//! Changes can be rendered as event payloads ([`Change::to_event_payload`])
+//! so pollers in `reweb-websim` can synthesize change events from diffs.
+
+use std::collections::BTreeMap;
+
+use crate::identity::{IdentityKey, IdentityMode};
+use crate::path::Path;
+use crate::term::Term;
+
+/// One detected change between two versions of a document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Change {
+    /// `node` exists in the new version at `path` but not in the old one.
+    Inserted { path: Path, node: Term },
+    /// `node` existed at `path` in the old version but not in the new one.
+    Deleted { path: Path, node: Term },
+    /// The object kept its identity but its content changed
+    /// (only possible under surrogate identity).
+    Modified {
+        path: Path,
+        key: IdentityKey,
+        before: Term,
+        after: Term,
+    },
+}
+
+impl Change {
+    /// Render as an event payload term, e.g.
+    /// `changed{kind["modified"], path["/2"], before[...], after[...]}`.
+    pub fn to_event_payload(&self, resource_uri: &str) -> Term {
+        let b = Term::build("changed")
+            .unordered()
+            .field("resource", resource_uri);
+        match self {
+            Change::Inserted { path, node } => b
+                .field("kind", "inserted")
+                .field("path", path.to_string())
+                .child(Term::ordered("node", vec![node.clone()]))
+                .finish(),
+            Change::Deleted { path, node } => b
+                .field("kind", "deleted")
+                .field("path", path.to_string())
+                .child(Term::ordered("node", vec![node.clone()]))
+                .finish(),
+            Change::Modified {
+                path,
+                key,
+                before,
+                after,
+            } => {
+                let key_str = match key {
+                    IdentityKey::Surrogate(s) => s.clone(),
+                    IdentityKey::Ext(h) => format!("ext:{h:016x}"),
+                };
+                b.field("kind", "modified")
+                    .field("path", path.to_string())
+                    .field("key", key_str)
+                    .child(Term::ordered("before", vec![before.clone()]))
+                    .child(Term::ordered("after", vec![after.clone()]))
+                    .finish()
+            }
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Change::Inserted { .. } => "inserted",
+            Change::Deleted { .. } => "deleted",
+            Change::Modified { .. } => "modified",
+        }
+    }
+}
+
+/// Diff two versions of a document under the given identity mode.
+///
+/// The algorithm walks the two trees in parallel. At each element, children
+/// are matched by their identity key ([`IdentityMode::key_of`]); matched
+/// pairs with identical content are skipped, matched pairs with different
+/// content recurse (surrogate) or — impossible extensionally, since the key
+/// *is* the content. Unmatched old children are reported deleted, unmatched
+/// new children inserted. Under surrogate identity a matched pair whose
+/// labels coincide recurses to localize the change; if the labels differ the
+/// whole node is reported modified.
+pub fn diff_documents(old: &Term, new: &Term, mode: &IdentityMode) -> Vec<Change> {
+    let mut out = Vec::new();
+    diff_nodes(old, new, mode, &Path::root(), &mut out);
+    out
+}
+
+fn diff_nodes(old: &Term, new: &Term, mode: &IdentityMode, path: &Path, out: &mut Vec<Change>) {
+    if old == new {
+        return;
+    }
+    match (old.as_element(), new.as_element()) {
+        (Some(oe), Some(ne)) if oe.label == ne.label => {
+            // Same element identity context: diff the child lists.
+            diff_children(old, new, mode, path, out);
+        }
+        _ => {
+            // Entirely different nodes at the same position.
+            out.push(Change::Deleted {
+                path: path.clone(),
+                node: old.clone(),
+            });
+            out.push(Change::Inserted {
+                path: path.clone(),
+                node: new.clone(),
+            });
+        }
+    }
+}
+
+fn diff_children(old: &Term, new: &Term, mode: &IdentityMode, path: &Path, out: &mut Vec<Change>) {
+    // Group children by identity key. Multiset-aware: keys map to queues of
+    // (index, node) so duplicates pair up positionally.
+    let mut old_by_key: BTreeMap<IdentityKey, Vec<(usize, &Term)>> = BTreeMap::new();
+    for (i, c) in old.children().iter().enumerate() {
+        old_by_key.entry(mode.key_of(c)).or_default().push((i, c));
+    }
+
+    let mut matched_old: Vec<bool> = vec![false; old.children().len()];
+
+    for (new_ix, nc) in new.children().iter().enumerate() {
+        let key = mode.key_of(nc);
+        if let Some(slot) = old_by_key.get_mut(&key).and_then(|v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        }) {
+            let (old_ix, oc) = slot;
+            matched_old[old_ix] = true;
+            if oc != nc {
+                // Only reachable under surrogate identity: the key matched
+                // but content differs.
+                let changed_path = path.child(new_ix);
+                match (oc.as_element(), nc.as_element()) {
+                    (Some(oe), Some(ne)) if oe.label == ne.label && oe.attrs == ne.attrs => {
+                        // Localize within the object.
+                        out.push(Change::Modified {
+                            path: changed_path,
+                            key,
+                            before: oc.clone(),
+                            after: nc.clone(),
+                        });
+                    }
+                    _ => {
+                        out.push(Change::Modified {
+                            path: changed_path,
+                            key,
+                            before: oc.clone(),
+                            after: nc.clone(),
+                        });
+                    }
+                }
+            }
+        } else {
+            out.push(Change::Inserted {
+                path: path.child(new_ix),
+                node: nc.clone(),
+            });
+        }
+    }
+
+    for (old_ix, oc) in old.children().iter().enumerate() {
+        if !matched_old[old_ix] {
+            out.push(Change::Deleted {
+                path: path.child(old_ix),
+                node: oc.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(articles: &[(&str, &str)]) -> Term {
+        Term::build("news")
+            .children(articles.iter().map(|(id, title)| {
+                Term::build("article")
+                    .attr("id", *id)
+                    .field("title", *title)
+                    .finish()
+            }))
+            .finish()
+    }
+
+    #[test]
+    fn no_change_is_empty_diff() {
+        let d = site(&[("a1", "hello")]);
+        assert!(diff_documents(&d, &d, &IdentityMode::Extensional).is_empty());
+        assert!(diff_documents(&d, &d, &IdentityMode::surrogate()).is_empty());
+    }
+
+    #[test]
+    fn surrogate_sees_modification() {
+        let old = site(&[("a1", "v1"), ("a2", "stable")]);
+        let new = site(&[("a1", "v2"), ("a2", "stable")]);
+        let changes = diff_documents(&old, &new, &IdentityMode::surrogate());
+        assert_eq!(changes.len(), 1);
+        match &changes[0] {
+            Change::Modified { key, before, after, .. } => {
+                assert_eq!(*key, IdentityKey::Surrogate("a1".into()));
+                assert_eq!(before.children()[0].text_content(), "v1");
+                assert_eq!(after.children()[0].text_content(), "v2");
+            }
+            other => panic!("expected Modified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extensional_sees_delete_plus_insert() {
+        let old = site(&[("a1", "v1"), ("a2", "stable")]);
+        let new = site(&[("a1", "v2"), ("a2", "stable")]);
+        let changes = diff_documents(&old, &new, &IdentityMode::Extensional);
+        // The thesis's warning made concrete: identity is lost with the value.
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().any(|c| c.kind() == "deleted"));
+        assert!(changes.iter().any(|c| c.kind() == "inserted"));
+        assert!(!changes.iter().any(|c| c.kind() == "modified"));
+    }
+
+    #[test]
+    fn insert_and_delete_detected_under_both_modes() {
+        let old = site(&[("a1", "x")]);
+        let new = site(&[("a1", "x"), ("a2", "y")]);
+        for mode in [IdentityMode::Extensional, IdentityMode::surrogate()] {
+            let changes = diff_documents(&old, &new, &mode);
+            assert_eq!(changes.len(), 1, "mode {mode:?}");
+            assert_eq!(changes[0].kind(), "inserted");
+        }
+        for mode in [IdentityMode::Extensional, IdentityMode::surrogate()] {
+            let changes = diff_documents(&new, &old, &mode);
+            assert_eq!(changes.len(), 1);
+            assert_eq!(changes[0].kind(), "deleted");
+        }
+    }
+
+    #[test]
+    fn duplicate_values_pair_up_extensionally() {
+        let old = Term::ordered("l", vec![Term::text("x"), Term::text("x")]);
+        let new = Term::ordered("l", vec![Term::text("x")]);
+        let changes = diff_documents(&old, &new, &IdentityMode::Extensional);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].kind(), "deleted");
+    }
+
+    #[test]
+    fn root_label_change_is_replace() {
+        let old = Term::elem("a");
+        let new = Term::elem("b");
+        let changes = diff_documents(&old, &new, &IdentityMode::Extensional);
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].kind(), "deleted");
+        assert_eq!(changes[1].kind(), "inserted");
+    }
+
+    #[test]
+    fn event_payload_shape() {
+        let old = site(&[("a1", "v1")]);
+        let new = site(&[("a1", "v2")]);
+        let changes = diff_documents(&old, &new, &IdentityMode::surrogate());
+        let payload = changes[0].to_event_payload("http://news.example/front");
+        assert_eq!(payload.label(), Some("changed"));
+        let kinds: Vec<_> = payload
+            .children()
+            .iter()
+            .filter(|c| c.label() == Some("kind"))
+            .map(|c| c.text_content())
+            .collect();
+        assert_eq!(kinds, vec!["modified"]);
+    }
+}

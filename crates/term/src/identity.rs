@@ -1,0 +1,142 @@
+//! Identity of data items — Thesis 10.
+//!
+//! > "Reactive languages with the ability to monitor data items (or objects)
+//! > and react to their changes need to deal with identity of the data
+//! > items. There are basically two approaches to identity: extensional
+//! > identity and surrogate identity."
+//!
+//! * **Extensional identity** ([`ext_id`]) is a deterministic 64-bit hash of
+//!   a term's canonical form: equal-valued objects are identical, and an
+//!   object *loses its identity when its value changes* — exactly the
+//!   behaviour the thesis warns about.
+//! * **Surrogate identity** ([`IdentityMode::Surrogate`]) identifies an
+//!   object by a designated key attribute (the `xml:id`-style "auxiliary
+//!   identity-defining attribute" of the thesis): the object keeps its
+//!   identity across value changes as long as the key survives. Because
+//!   surrogates must "become part of the data" to cross the network, they
+//!   are plain attributes here, not memory addresses.
+//!
+//! Experiment E10 contrasts the two regimes on a change-monitoring workload.
+
+use crate::term::Term;
+
+/// FNV-1a 64-bit — the deterministic hash used for extensional identity and
+/// for salted authentication tokens (`reweb-core::aaa`). Implemented here so
+/// results do not depend on `std`'s unspecified hasher.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Extensional identity: hash of the canonical serialized form. Two terms
+/// have the same `ext_id` iff they are structurally equal (multiset
+/// semantics for unordered elements), up to 64-bit collisions.
+pub fn ext_id(t: &Term) -> u64 {
+    fnv1a(t.canonicalize().to_string().as_bytes())
+}
+
+/// Which identity regime a monitoring observer uses (Thesis 10).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IdentityMode {
+    /// Objects are identified by their value ([`ext_id`]). A changed object
+    /// is a *different* object: diffs report delete + insert.
+    Extensional,
+    /// Objects are identified by the value of a key attribute (e.g. `"id"`).
+    /// A changed object with a stable key is *the same* object: diffs can
+    /// report an in-place modification.
+    Surrogate { key_attr: String },
+}
+
+impl IdentityMode {
+    /// Conventional surrogate mode keyed on `@id`.
+    pub fn surrogate() -> IdentityMode {
+        IdentityMode::Surrogate {
+            key_attr: "id".into(),
+        }
+    }
+
+    /// The identity key of `t` under this mode, if it has one.
+    /// Under `Surrogate`, elements without the key attribute fall back to
+    /// extensional identity (the thesis: Web resources "only rarely provide
+    /// auxiliary identity-defining attributes").
+    pub fn key_of(&self, t: &Term) -> IdentityKey {
+        match self {
+            IdentityMode::Extensional => IdentityKey::Ext(ext_id(t)),
+            IdentityMode::Surrogate { key_attr } => match t.attr(key_attr) {
+                Some(v) => IdentityKey::Surrogate(v.to_string()),
+                None => IdentityKey::Ext(ext_id(t)),
+            },
+        }
+    }
+}
+
+/// The identity of one data item under some [`IdentityMode`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IdentityKey {
+    Ext(u64),
+    Surrogate(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a reference vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn ext_id_is_order_insensitive_for_unordered() {
+        let a = Term::unordered("s", vec![Term::text("x"), Term::text("y")]);
+        let b = Term::unordered("s", vec![Term::text("y"), Term::text("x")]);
+        assert_eq!(ext_id(&a), ext_id(&b));
+        let c = Term::ordered("s", vec![Term::text("x"), Term::text("y")]);
+        let d = Term::ordered("s", vec![Term::text("y"), Term::text("x")]);
+        assert_ne!(ext_id(&c), ext_id(&d));
+    }
+
+    #[test]
+    fn ext_identity_lost_on_value_change() {
+        let before = Term::build("article").field("title", "v1").finish();
+        let after = Term::build("article").field("title", "v2").finish();
+        // The thesis's point: under extensional identity these are
+        // different objects.
+        assert_ne!(
+            IdentityMode::Extensional.key_of(&before),
+            IdentityMode::Extensional.key_of(&after)
+        );
+    }
+
+    #[test]
+    fn surrogate_identity_survives_value_change() {
+        let before = Term::build("article")
+            .attr("id", "a42")
+            .field("title", "v1")
+            .finish();
+        let after = Term::build("article")
+            .attr("id", "a42")
+            .field("title", "v2")
+            .finish();
+        let mode = IdentityMode::surrogate();
+        assert_eq!(mode.key_of(&before), mode.key_of(&after));
+        assert_eq!(
+            mode.key_of(&before),
+            IdentityKey::Surrogate("a42".to_string())
+        );
+    }
+
+    #[test]
+    fn surrogate_falls_back_to_extensional_without_key() {
+        let t = Term::build("article").field("title", "v1").finish();
+        let mode = IdentityMode::surrogate();
+        assert_eq!(mode.key_of(&t), IdentityKey::Ext(ext_id(&t)));
+    }
+}

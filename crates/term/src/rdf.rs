@@ -1,0 +1,411 @@
+//! RDF triples and graphs — the Semantic Web half of the paper's data story.
+//!
+//! The paper stresses that "updates and reactivity are as much a Semantic
+//! Web issue as they are a standard Web issue" and that e-commerce offers
+//! "might be described by RDF meta-data … as well as inference from RDF
+//! triples". This module provides:
+//!
+//! * [`Iri`], [`RdfObject`], [`Triple`] — the RDF data model (literals are
+//!   plain strings; datatypes/langtags are orthogonal to every thesis).
+//! * [`Graph`] — a triple store with pattern lookup on any combination of
+//!   bound/unbound subject, predicate, object.
+//! * [`Graph::rdfs_closure`] — the classic RDFS entailments (subclass
+//!   transitivity, type propagation, subproperty transitivity and
+//!   propagation), the "inference from RDF triples, RDF Schema" the paper
+//!   mentions.
+//! * Term mapping ([`Triple::to_term`] / [`Triple::from_term`]) so triples
+//!   can travel inside event messages and be queried with the same query
+//!   language as everything else (Thesis 7's "language coherency").
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::term::Term;
+
+/// An IRI (interned string).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    pub fn new(s: impl AsRef<str>) -> Iri {
+        Iri(Arc::from(s.as_ref()))
+    }
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+/// Well-known RDFS/RDF vocabulary.
+pub mod vocab {
+    pub const RDF_TYPE: &str = "rdf:type";
+    pub const RDFS_SUBCLASS_OF: &str = "rdfs:subClassOf";
+    pub const RDFS_SUBPROPERTY_OF: &str = "rdfs:subPropertyOf";
+}
+
+/// Object position of a triple: IRI or literal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RdfObject {
+    Iri(Iri),
+    Literal(String),
+}
+
+impl RdfObject {
+    pub fn iri(s: impl AsRef<str>) -> RdfObject {
+        RdfObject::Iri(Iri::new(s))
+    }
+    pub fn lit(s: impl Into<String>) -> RdfObject {
+        RdfObject::Literal(s.into())
+    }
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            RdfObject::Iri(i) => Some(i),
+            RdfObject::Literal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for RdfObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfObject::Iri(i) => write!(f, "{i}"),
+            RdfObject::Literal(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// One RDF statement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub s: Iri,
+    pub p: Iri,
+    pub o: RdfObject,
+}
+
+impl Triple {
+    pub fn new(s: impl AsRef<str>, p: impl AsRef<str>, o: RdfObject) -> Triple {
+        Triple {
+            s: Iri::new(s),
+            p: Iri::new(p),
+            o,
+        }
+    }
+
+    /// Render as a term: `triple[s["…"], p["…"], o["…"]]` with an
+    /// `@kind` attribute on the object distinguishing IRIs from literals.
+    pub fn to_term(&self) -> Term {
+        let (kind, o) = match &self.o {
+            RdfObject::Iri(i) => ("iri", i.as_str().to_string()),
+            RdfObject::Literal(l) => ("lit", l.clone()),
+        };
+        Term::build("triple")
+            .field("s", self.s.as_str())
+            .field("p", self.p.as_str())
+            .child(
+                Term::build("o")
+                    .attr("kind", kind)
+                    .text_child(o)
+                    .finish(),
+            )
+            .finish()
+    }
+
+    /// Inverse of [`Triple::to_term`].
+    pub fn from_term(t: &Term) -> Option<Triple> {
+        if t.label() != Some("triple") {
+            return None;
+        }
+        let field = |name: &str| {
+            t.children()
+                .iter()
+                .find(|c| c.label() == Some(name))
+                .map(|c| c.text_content())
+        };
+        let s = field("s")?;
+        let p = field("p")?;
+        let o_node = t.children().iter().find(|c| c.label() == Some("o"))?;
+        let o_text = o_node.text_content();
+        let o = match o_node.attr("kind") {
+            Some("iri") => RdfObject::iri(o_text),
+            _ => RdfObject::lit(o_text),
+        };
+        Some(Triple::new(s, p, o))
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+/// A set of triples with pattern lookup.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    triples: BTreeSet<Triple>,
+}
+
+impl Graph {
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    pub fn insert(&mut self, t: Triple) -> bool {
+        self.triples.insert(t)
+    }
+
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        self.triples.remove(t)
+    }
+
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.triples.contains(t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// All triples matching the pattern; `None` positions are wildcards.
+    pub fn matching<'g>(
+        &'g self,
+        s: Option<&'g str>,
+        p: Option<&'g str>,
+        o: Option<&'g RdfObject>,
+    ) -> impl Iterator<Item = &'g Triple> + 'g {
+        self.triples.iter().filter(move |t| {
+            s.map_or(true, |s| t.s.as_str() == s)
+                && p.map_or(true, |p| t.p.as_str() == p)
+                && o.map_or(true, |o| &t.o == o)
+        })
+    }
+
+    /// The RDFS closure: adds entailed triples until fixpoint.
+    ///
+    /// Rules implemented (the core of RDF Schema entailment):
+    /// * `subClassOf` transitivity
+    /// * `rdf:type` propagation along `subClassOf`
+    /// * `subPropertyOf` transitivity
+    /// * triple propagation along `subPropertyOf`
+    pub fn rdfs_closure(&self) -> Graph {
+        let mut g = self.clone();
+        loop {
+            let mut new: Vec<Triple> = Vec::new();
+            // subClassOf transitivity: (a ⊑ b), (b ⊑ c) ⟹ (a ⊑ c)
+            for t1 in g.matching(None, Some(vocab::RDFS_SUBCLASS_OF), None) {
+                if let Some(mid) = t1.o.as_iri() {
+                    for t2 in g.matching(Some(mid.as_str()), Some(vocab::RDFS_SUBCLASS_OF), None) {
+                        let cand = Triple {
+                            s: t1.s.clone(),
+                            p: t1.p.clone(),
+                            o: t2.o.clone(),
+                        };
+                        if !g.contains(&cand) {
+                            new.push(cand);
+                        }
+                    }
+                }
+            }
+            // type propagation: (x type c), (c ⊑ d) ⟹ (x type d)
+            for t1 in g.matching(None, Some(vocab::RDF_TYPE), None) {
+                if let Some(cls) = t1.o.as_iri() {
+                    for t2 in g.matching(Some(cls.as_str()), Some(vocab::RDFS_SUBCLASS_OF), None) {
+                        let cand = Triple {
+                            s: t1.s.clone(),
+                            p: t1.p.clone(),
+                            o: t2.o.clone(),
+                        };
+                        if !g.contains(&cand) {
+                            new.push(cand);
+                        }
+                    }
+                }
+            }
+            // subPropertyOf transitivity
+            for t1 in g.matching(None, Some(vocab::RDFS_SUBPROPERTY_OF), None) {
+                if let Some(mid) = t1.o.as_iri() {
+                    for t2 in
+                        g.matching(Some(mid.as_str()), Some(vocab::RDFS_SUBPROPERTY_OF), None)
+                    {
+                        let cand = Triple {
+                            s: t1.s.clone(),
+                            p: t1.p.clone(),
+                            o: t2.o.clone(),
+                        };
+                        if !g.contains(&cand) {
+                            new.push(cand);
+                        }
+                    }
+                }
+            }
+            // property propagation: (s p o), (p ⊑p q) ⟹ (s q o)
+            let sub_props: Vec<(String, Iri)> = g
+                .matching(None, Some(vocab::RDFS_SUBPROPERTY_OF), None)
+                .filter_map(|t| t.o.as_iri().map(|sup| (t.s.as_str().to_string(), sup.clone())))
+                .collect();
+            for (p_sub, p_sup) in &sub_props {
+                for t in g.matching(None, Some(p_sub), None) {
+                    let cand = Triple {
+                        s: t.s.clone(),
+                        p: p_sup.clone(),
+                        o: t.o.clone(),
+                    };
+                    if !g.contains(&cand) {
+                        new.push(cand);
+                    }
+                }
+            }
+            if new.is_empty() {
+                return g;
+            }
+            for t in new {
+                g.insert(t);
+            }
+        }
+    }
+
+    /// Render the whole graph as one term (a document of `triple[…]`
+    /// children) so graphs can live in a [`crate::ResourceStore`] and be
+    /// queried like any other document.
+    pub fn to_term(&self) -> Term {
+        Term::build("graph")
+            .children(self.triples.iter().map(Triple::to_term))
+            .finish()
+    }
+
+    /// Inverse of [`Graph::to_term`]; non-triple children are skipped.
+    pub fn from_term(t: &Term) -> Graph {
+        let mut g = Graph::new();
+        for c in t.children() {
+            if let Some(tr) = Triple::from_term(c) {
+                g.insert(tr);
+            }
+        }
+        g
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Graph {
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer_graph() -> Graph {
+        [
+            Triple::new("ex:ball", vocab::RDF_TYPE, RdfObject::iri("ex:SportsGood")),
+            Triple::new(
+                "ex:SportsGood",
+                vocab::RDFS_SUBCLASS_OF,
+                RdfObject::iri("ex:Good"),
+            ),
+            Triple::new("ex:Good", vocab::RDFS_SUBCLASS_OF, RdfObject::iri("ex:Thing")),
+            Triple::new("ex:ball", "ex:price", RdfObject::lit("19.99")),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let g = offer_graph();
+        assert_eq!(g.matching(Some("ex:ball"), None, None).count(), 2);
+        assert_eq!(g.matching(None, Some(vocab::RDF_TYPE), None).count(), 1);
+        assert_eq!(
+            g.matching(None, None, Some(&RdfObject::lit("19.99"))).count(),
+            1
+        );
+        assert_eq!(g.matching(Some("ex:nothing"), None, None).count(), 0);
+    }
+
+    #[test]
+    fn rdfs_closure_subclass_and_type() {
+        let g = offer_graph().rdfs_closure();
+        // transitivity: SportsGood ⊑ Thing
+        assert!(g.contains(&Triple::new(
+            "ex:SportsGood",
+            vocab::RDFS_SUBCLASS_OF,
+            RdfObject::iri("ex:Thing")
+        )));
+        // type propagation through two levels
+        assert!(g.contains(&Triple::new(
+            "ex:ball",
+            vocab::RDF_TYPE,
+            RdfObject::iri("ex:Good")
+        )));
+        assert!(g.contains(&Triple::new(
+            "ex:ball",
+            vocab::RDF_TYPE,
+            RdfObject::iri("ex:Thing")
+        )));
+    }
+
+    #[test]
+    fn rdfs_closure_subproperty() {
+        let g: Graph = [
+            Triple::new(
+                "ex:hasDiscountPrice",
+                vocab::RDFS_SUBPROPERTY_OF,
+                RdfObject::iri("ex:hasPrice"),
+            ),
+            Triple::new("ex:ball", "ex:hasDiscountPrice", RdfObject::lit("9.99")),
+        ]
+        .into_iter()
+        .collect();
+        let c = g.rdfs_closure();
+        assert!(c.contains(&Triple::new(
+            "ex:ball",
+            "ex:hasPrice",
+            RdfObject::lit("9.99")
+        )));
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let c1 = offer_graph().rdfs_closure();
+        let c2 = c1.rdfs_closure();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let g = offer_graph();
+        let t = g.to_term();
+        assert_eq!(Graph::from_term(&t), g);
+        // Individual triples too, both object kinds.
+        for tr in g.iter() {
+            assert_eq!(Triple::from_term(&tr.to_term()).as_ref(), Some(tr));
+        }
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut g = Graph::new();
+        let t = Triple::new("a", "b", RdfObject::lit("c"));
+        assert!(g.insert(t.clone()));
+        assert!(!g.insert(t.clone())); // set semantics
+        assert_eq!(g.len(), 1);
+        assert!(g.remove(&t));
+        assert!(g.is_empty());
+    }
+}

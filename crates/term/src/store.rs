@@ -1,0 +1,165 @@
+//! URI-addressed, versioned persistent documents.
+//!
+//! The [`ResourceStore`] is the "persistent data" side of Thesis 4's
+//! persistent/volatile distinction: documents live here until explicitly
+//! updated, are retrieved on request (pull), and are the targets of the
+//! update language (Thesis 8). Each `put` bumps a version counter, which is
+//! what pollers compare to detect remote changes cheaply before diffing.
+//!
+//! Because [`Term`]s are immutable and structurally shared, a store
+//! [`snapshot`](ResourceStore::snapshot) is a cheap map clone — this is the
+//! basis for transactional compound actions (all-or-nothing `SEQ`).
+
+use std::collections::BTreeMap;
+
+use crate::error::TermError;
+use crate::term::Term;
+
+/// One versioned document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Versioned {
+    pub doc: Term,
+    pub version: u64,
+}
+
+/// A set of named (URI-addressed) persistent documents.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResourceStore {
+    docs: BTreeMap<String, Versioned>,
+}
+
+impl ResourceStore {
+    pub fn new() -> ResourceStore {
+        ResourceStore::default()
+    }
+
+    /// Fetch a document (a simulated `GET`).
+    pub fn get(&self, uri: &str) -> Result<&Term, TermError> {
+        self.docs
+            .get(uri)
+            .map(|v| &v.doc)
+            .ok_or_else(|| TermError::UnknownResource(uri.to_string()))
+    }
+
+    /// Current version of a document, if present.
+    pub fn version(&self, uri: &str) -> Option<u64> {
+        self.docs.get(uri).map(|v| v.version)
+    }
+
+    pub fn contains(&self, uri: &str) -> bool {
+        self.docs.contains_key(uri)
+    }
+
+    /// Create or replace a document; bumps the version.
+    pub fn put(&mut self, uri: impl Into<String>, doc: Term) {
+        let uri = uri.into();
+        match self.docs.get_mut(&uri) {
+            Some(v) => {
+                v.version += 1;
+                v.doc = doc;
+            }
+            None => {
+                self.docs.insert(uri, Versioned { doc, version: 1 });
+            }
+        }
+    }
+
+    /// Apply a pure transformation to a document in place.
+    pub fn update_with(
+        &mut self,
+        uri: &str,
+        f: impl FnOnce(&Term) -> Result<Term, TermError>,
+    ) -> Result<(), TermError> {
+        let cur = self.get(uri)?.clone();
+        let new = f(&cur)?;
+        self.put(uri, new);
+        Ok(())
+    }
+
+    /// Delete a document entirely.
+    pub fn remove(&mut self, uri: &str) -> Result<(), TermError> {
+        self.docs
+            .remove(uri)
+            .map(|_| ())
+            .ok_or_else(|| TermError::UnknownResource(uri.to_string()))
+    }
+
+    /// All URIs, in sorted order.
+    pub fn uris(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(|s| s.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Cheap whole-store snapshot (structural sharing makes this a map of
+    /// `Arc` bumps, not a deep copy). Used for transactional actions.
+    pub fn snapshot(&self) -> ResourceStore {
+        self.clone()
+    }
+
+    /// Restore a snapshot taken earlier (transaction rollback).
+    pub fn restore(&mut self, snap: ResourceStore) {
+        *self = snap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_versioning() {
+        let mut s = ResourceStore::new();
+        assert!(s.get("http://x/doc").is_err());
+        s.put("http://x/doc", Term::elem("a"));
+        assert_eq!(s.version("http://x/doc"), Some(1));
+        assert_eq!(s.get("http://x/doc").unwrap().label(), Some("a"));
+        s.put("http://x/doc", Term::elem("b"));
+        assert_eq!(s.version("http://x/doc"), Some(2));
+    }
+
+    #[test]
+    fn update_with_applies_transformation() {
+        let mut s = ResourceStore::new();
+        s.put("u", Term::ordered("l", vec![]));
+        s.update_with("u", |d| d.with_child_pushed(Term::text("x")))
+            .unwrap();
+        assert_eq!(s.get("u").unwrap().children().len(), 1);
+        assert_eq!(s.version("u"), Some(2));
+        // A failing transformation leaves the store untouched.
+        let before = s.get("u").unwrap().clone();
+        let r = s.update_with("u", |_| Err(TermError::InvalidEdit("boom".into())));
+        assert!(r.is_err());
+        assert_eq!(s.get("u").unwrap(), &before);
+        assert_eq!(s.version("u"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back() {
+        let mut s = ResourceStore::new();
+        s.put("u", Term::elem("before"));
+        let snap = s.snapshot();
+        s.put("u", Term::elem("after"));
+        s.put("v", Term::elem("new"));
+        s.restore(snap);
+        assert_eq!(s.get("u").unwrap().label(), Some("before"));
+        assert!(!s.contains("v"));
+    }
+
+    #[test]
+    fn remove_and_uris() {
+        let mut s = ResourceStore::new();
+        s.put("b", Term::elem("x"));
+        s.put("a", Term::elem("y"));
+        assert_eq!(s.uris().collect::<Vec<_>>(), vec!["a", "b"]);
+        s.remove("a").unwrap();
+        assert!(s.remove("a").is_err());
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,644 @@
+//! The semi-structured data model.
+//!
+//! A [`Term`] is the `reweb` stand-in for an XML fragment: a tree of
+//! *elements* (label, string attributes, children) and *text* leaves.
+//! Elements carry an ordered/unordered flag following Xcerpt's data terms:
+//! `label[ … ]` has significant child order (like XML element content),
+//! `label{ … }` does not (like a record or a bag of properties).
+//!
+//! Terms are immutable and structurally shared (`Arc`): cloning is O(1), and
+//! "edits" build a new tree reusing every untouched subtree. That is what
+//! makes transactional compound actions (Thesis 8) and store snapshots cheap.
+//!
+//! Equality, hashing, and ordering are *syntactic* (child order always
+//! matters) so the derived impls stay fast and paths into documents stay
+//! stable. Semantic, multiset-aware comparison of unordered elements is
+//! available through [`Term::canonicalize`], which is also what extensional
+//! identity (Thesis 10) hashes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable semi-structured tree: element or text leaf.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Elem(Arc<Element>),
+    Text(Arc<str>),
+}
+
+/// An element node: label, attributes, children, child-order significance.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Element {
+    pub label: String,
+    /// `true` for `label[ … ]` (significant order), `false` for `label{ … }`.
+    pub ordered: bool,
+    pub attrs: BTreeMap<String, String>,
+    pub children: Vec<Term>,
+}
+
+impl Term {
+    // ----- constructors --------------------------------------------------
+
+    /// Empty ordered element.
+    pub fn elem(label: impl Into<String>) -> Term {
+        Term::ordered(label, Vec::new())
+    }
+
+    /// Ordered element (`label[ … ]`).
+    pub fn ordered(label: impl Into<String>, children: Vec<Term>) -> Term {
+        Term::Elem(Arc::new(Element {
+            label: label.into(),
+            ordered: true,
+            attrs: BTreeMap::new(),
+            children,
+        }))
+    }
+
+    /// Unordered element (`label{ … }`).
+    pub fn unordered(label: impl Into<String>, children: Vec<Term>) -> Term {
+        Term::Elem(Arc::new(Element {
+            label: label.into(),
+            ordered: false,
+            attrs: BTreeMap::new(),
+            children,
+        }))
+    }
+
+    /// Text leaf.
+    pub fn text(s: impl Into<String>) -> Term {
+        Term::Text(Arc::from(s.into().as_str()))
+    }
+
+    /// Text leaf holding an integer.
+    pub fn int(n: i64) -> Term {
+        Term::text(n.to_string())
+    }
+
+    /// Text leaf holding a float (integral values print without `.0`).
+    pub fn num(x: f64) -> Term {
+        if x.fract() == 0.0 && x.abs() < 1e15 {
+            Term::text(format!("{}", x as i64))
+        } else {
+            Term::text(format!("{x}"))
+        }
+    }
+
+    /// Start a [`TermBuilder`] for an element.
+    pub fn build(label: impl Into<String>) -> TermBuilder {
+        TermBuilder {
+            label: label.into(),
+            ordered: true,
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    // ----- accessors -----------------------------------------------------
+
+    pub fn is_text(&self) -> bool {
+        matches!(self, Term::Text(_))
+    }
+
+    pub fn is_elem(&self) -> bool {
+        matches!(self, Term::Elem(_))
+    }
+
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Term::Elem(e) => Some(e),
+            Term::Text(_) => None,
+        }
+    }
+
+    /// Element label, if this is an element.
+    pub fn label(&self) -> Option<&str> {
+        self.as_element().map(|e| e.label.as_str())
+    }
+
+    /// Text content, if this is a text leaf.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Term::Text(s) => Some(s),
+            Term::Elem(_) => None,
+        }
+    }
+
+    /// Children (empty slice for text leaves).
+    pub fn children(&self) -> &[Term] {
+        match self {
+            Term::Elem(e) => &e.children,
+            Term::Text(_) => &[],
+        }
+    }
+
+    /// Attribute value, if this is an element with that attribute.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.as_element().and_then(|e| e.attrs.get(key)).map(|s| s.as_str())
+    }
+
+    /// Whether child order is significant. Text leaves report `true`.
+    pub fn is_ordered(&self) -> bool {
+        self.as_element().map(|e| e.ordered).unwrap_or(true)
+    }
+
+    /// Numeric interpretation: a text leaf that parses as a number, or an
+    /// element whose single child does (`total["59.9"]` → `59.9`).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Term::Text(s) => s.trim().parse::<f64>().ok(),
+            Term::Elem(e) if e.children.len() == 1 => e.children[0].as_number(),
+            Term::Elem(_) => None,
+        }
+    }
+
+    /// The concatenated text of this node's direct text children, or the
+    /// text itself for a leaf. (`status["cancelled"]` → `"cancelled"`.)
+    pub fn text_content(&self) -> String {
+        match self {
+            Term::Text(s) => s.to_string(),
+            Term::Elem(e) => e
+                .children
+                .iter()
+                .filter_map(|c| c.as_text())
+                .collect::<Vec<_>>()
+                .join(""),
+        }
+    }
+
+    /// Total number of nodes in this tree (elements + text leaves).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(Term::node_count).sum::<usize>()
+    }
+
+    /// Serialized size in bytes of the compact textual form — the "wire
+    /// size" used by the network-traffic metrics in the Web simulator.
+    pub fn serialized_size(&self) -> usize {
+        self.to_string().len()
+    }
+
+    /// Depth-first iterator over all nodes with their child-index paths.
+    pub fn walk(&self) -> Vec<(crate::path::Path, &Term)> {
+        let mut out = Vec::new();
+        fn go<'t>(
+            t: &'t Term,
+            prefix: &mut Vec<usize>,
+            out: &mut Vec<(crate::path::Path, &'t Term)>,
+        ) {
+            out.push((crate::path::Path::new(prefix.clone()), t));
+            for (i, c) in t.children().iter().enumerate() {
+                prefix.push(i);
+                go(c, prefix, out);
+                prefix.pop();
+            }
+        }
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    // ----- semantic comparison -------------------------------------------
+
+    /// Canonical form: recursively sorts the children of unordered elements.
+    /// Two terms denote the same data value (multiset semantics for `{…}`)
+    /// iff their canonical forms are syntactically equal. Extensional
+    /// identity (Thesis 10) is a hash of this form.
+    pub fn canonicalize(&self) -> Term {
+        match self {
+            Term::Text(_) => self.clone(),
+            Term::Elem(e) => {
+                let mut children: Vec<Term> =
+                    e.children.iter().map(Term::canonicalize).collect();
+                if !e.ordered {
+                    children.sort();
+                }
+                Term::Elem(Arc::new(Element {
+                    label: e.label.clone(),
+                    ordered: e.ordered,
+                    attrs: e.attrs.clone(),
+                    children,
+                }))
+            }
+        }
+    }
+
+    /// Multiset-aware equality: equal up to reordering inside `{…}` elements.
+    pub fn structurally_equal(&self, other: &Term) -> bool {
+        self.canonicalize() == other.canonicalize()
+    }
+
+    // ----- functional updates ---------------------------------------------
+
+    fn modify_element(
+        &self,
+        f: impl FnOnce(&mut Element) -> Result<(), crate::TermError>,
+    ) -> Result<Term, crate::TermError> {
+        match self {
+            Term::Text(_) => Err(crate::TermError::NotAnElement(self.to_string())),
+            Term::Elem(e) => {
+                let mut new = (**e).clone();
+                f(&mut new)?;
+                Ok(Term::Elem(Arc::new(new)))
+            }
+        }
+    }
+
+    /// New element with the given children.
+    pub fn with_children(&self, children: Vec<Term>) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            e.children = children;
+            Ok(())
+        })
+    }
+
+    /// New element with `child` appended.
+    pub fn with_child_pushed(&self, child: Term) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            e.children.push(child);
+            Ok(())
+        })
+    }
+
+    /// New element with `child` inserted before index `idx` (may equal len).
+    pub fn with_child_inserted(&self, idx: usize, child: Term) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            if idx > e.children.len() {
+                return Err(crate::TermError::InvalidEdit(format!(
+                    "insert index {idx} out of range (len {})",
+                    e.children.len()
+                )));
+            }
+            e.children.insert(idx, child);
+            Ok(())
+        })
+    }
+
+    /// New element with the child at `idx` removed.
+    pub fn with_child_removed(&self, idx: usize) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            if idx >= e.children.len() {
+                return Err(crate::TermError::InvalidEdit(format!(
+                    "remove index {idx} out of range (len {})",
+                    e.children.len()
+                )));
+            }
+            e.children.remove(idx);
+            Ok(())
+        })
+    }
+
+    /// New element with the child at `idx` replaced.
+    pub fn with_child_replaced(&self, idx: usize, child: Term) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            if idx >= e.children.len() {
+                return Err(crate::TermError::InvalidEdit(format!(
+                    "replace index {idx} out of range (len {})",
+                    e.children.len()
+                )));
+            }
+            e.children[idx] = child;
+            Ok(())
+        })
+    }
+
+    /// New element with attribute `key` set to `value`.
+    pub fn with_attr(
+        &self,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            e.attrs.insert(key.into(), value.into());
+            Ok(())
+        })
+    }
+
+    /// New element with attribute `key` removed (no-op if absent).
+    pub fn without_attr(&self, key: &str) -> Result<Term, crate::TermError> {
+        self.modify_element(|e| {
+            e.attrs.remove(key);
+            Ok(())
+        })
+    }
+}
+
+/// Fluent builder for elements.
+///
+/// ```
+/// use reweb_term::Term;
+/// let t = Term::build("flight")
+///     .attr("id", "LH123")
+///     .child(Term::ordered("status", vec![Term::text("cancelled")]))
+///     .finish();
+/// assert_eq!(t.attr("id"), Some("LH123"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TermBuilder {
+    label: String,
+    ordered: bool,
+    attrs: BTreeMap<String, String>,
+    children: Vec<Term>,
+}
+
+impl TermBuilder {
+    /// Make the element unordered (`label{ … }`).
+    pub fn unordered(mut self) -> Self {
+        self.ordered = false;
+        self
+    }
+
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    pub fn child(mut self, t: Term) -> Self {
+        self.children.push(t);
+        self
+    }
+
+    /// Convenience: append `label[ "text" ]`.
+    pub fn field(self, label: impl Into<String>, text: impl Into<String>) -> Self {
+        self.child(Term::ordered(label, vec![Term::text(text)]))
+    }
+
+    pub fn children(mut self, ts: impl IntoIterator<Item = Term>) -> Self {
+        self.children.extend(ts);
+        self
+    }
+
+    pub fn text_child(mut self, s: impl Into<String>) -> Self {
+        self.children.push(Term::text(s));
+        self
+    }
+
+    pub fn finish(self) -> Term {
+        Term::Elem(Arc::new(Element {
+            label: self.label,
+            ordered: self.ordered,
+            attrs: self.attrs,
+            children: self.children,
+        }))
+    }
+}
+
+// ----- display --------------------------------------------------------------
+
+fn quote(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An identifier can be printed bare iff the lexer would read it back as one
+/// token. Otherwise it must be quoted.
+fn ident_ok(s: &str) -> bool {
+    let mut chars = s.chars().peekable();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    let mut prev_sep = false;
+    for c in chars {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            prev_sep = false;
+        } else if (c == ':' || c == '.') && !prev_sep {
+            prev_sep = true;
+        } else {
+            return false;
+        }
+    }
+    !prev_sep
+}
+
+fn write_compact(t: &Term, out: &mut String) {
+    match t {
+        Term::Text(s) => quote(s, out),
+        Term::Elem(e) => {
+            if ident_ok(&e.label) {
+                out.push_str(&e.label);
+            } else {
+                // A label that isn't a valid identifier is printed as a
+                // quoted string prefixed form — rare, but keeps round-trips.
+                out.push_str("_q");
+                quote(&e.label, out);
+            }
+            if e.attrs.is_empty() && e.children.is_empty() {
+                // Bare label: `br` round-trips as an empty ordered element.
+                if !e.ordered {
+                    out.push_str("{}");
+                }
+                return;
+            }
+            let (open, close) = if e.ordered { ('[', ']') } else { ('{', '}') };
+            out.push(open);
+            let mut first = true;
+            for (k, v) in &e.attrs {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push('@');
+                out.push_str(k);
+                out.push('=');
+                quote(v, out);
+            }
+            for c in &e.children {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                write_compact(c, out);
+            }
+            out.push(close);
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(self, &mut s);
+        f.write_str(&s)
+    }
+}
+
+impl Term {
+    /// Multi-line, indented rendering for humans.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        fn go(t: &Term, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match t {
+                Term::Text(s) => {
+                    out.push_str(&pad);
+                    quote(s, out);
+                }
+                Term::Elem(e) => {
+                    out.push_str(&pad);
+                    out.push_str(&e.label);
+                    for (k, v) in &e.attrs {
+                        out.push_str(" @");
+                        out.push_str(k);
+                        out.push('=');
+                        quote(v, out);
+                    }
+                    if e.children.is_empty() {
+                        if !e.ordered {
+                            out.push_str(" {}");
+                        }
+                        return;
+                    }
+                    let (open, close) = if e.ordered { ('[', ']') } else { ('{', '}') };
+                    out.push(' ');
+                    out.push(open);
+                    for c in &e.children {
+                        out.push('\n');
+                        go(c, indent + 1, out);
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    out.push(close);
+                }
+            }
+        }
+        go(self, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let t = Term::build("order")
+            .unordered()
+            .attr("id", "42")
+            .field("item", "soccer ball")
+            .child(Term::ordered("qty", vec![Term::int(10)]))
+            .finish();
+        assert_eq!(t.label(), Some("order"));
+        assert_eq!(t.attr("id"), Some("42"));
+        assert!(!t.is_ordered());
+        assert_eq!(t.children().len(), 2);
+        assert_eq!(t.children()[1].as_number(), Some(10.0));
+        assert_eq!(t.children()[0].text_content(), "soccer ball");
+    }
+
+    #[test]
+    fn syntactic_equality_is_order_sensitive() {
+        let a = Term::unordered("s", vec![Term::text("x"), Term::text("y")]);
+        let b = Term::unordered("s", vec![Term::text("y"), Term::text("x")]);
+        assert_ne!(a, b); // syntactic
+        assert!(a.structurally_equal(&b)); // semantic (multiset)
+    }
+
+    #[test]
+    fn canonicalize_is_deep() {
+        let a = Term::ordered(
+            "doc",
+            vec![Term::unordered("s", vec![Term::text("b"), Term::text("a")])],
+        );
+        let b = Term::ordered(
+            "doc",
+            vec![Term::unordered("s", vec![Term::text("a"), Term::text("b")])],
+        );
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        // but ordered children never reorder
+        let c = Term::ordered("doc", vec![Term::text("b"), Term::text("a")]);
+        let d = Term::ordered("doc", vec![Term::text("a"), Term::text("b")]);
+        assert_ne!(c.canonicalize(), d.canonicalize());
+    }
+
+    #[test]
+    fn display_compact() {
+        let t = Term::build("flight")
+            .attr("id", "LH123")
+            .field("status", "cancelled")
+            .finish();
+        assert_eq!(t.to_string(), "flight[@id=\"LH123\", status[\"cancelled\"]]");
+        assert_eq!(Term::elem("br").to_string(), "br");
+        assert_eq!(Term::unordered("s", vec![]).to_string(), "s{}");
+        assert_eq!(Term::text("a\"b").to_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(Term::num(3.0).as_text(), Some("3"));
+        assert_eq!(Term::num(3.25).as_text(), Some("3.25"));
+        assert_eq!(Term::text(" 12.5 ").as_number(), Some(12.5));
+        assert_eq!(Term::text("abc").as_number(), None);
+        assert_eq!(
+            Term::ordered("price", vec![Term::text("9.5")]).as_number(),
+            Some(9.5)
+        );
+        // Multi-child elements have no single numeric value.
+        assert_eq!(
+            Term::ordered("p", vec![Term::text("1"), Term::text("2")]).as_number(),
+            None
+        );
+    }
+
+    #[test]
+    fn functional_edits_share_structure() {
+        let shared = Term::ordered("big", vec![Term::text("payload")]);
+        let t = Term::ordered("root", vec![shared.clone(), Term::text("x")]);
+        let t2 = t.with_child_replaced(1, Term::text("y")).unwrap();
+        // The unchanged subtree is literally the same allocation.
+        assert!(matches!(
+            (&t.children()[0], &t2.children()[0]),
+            (Term::Elem(a), Term::Elem(b)) if Arc::ptr_eq(a, b)
+        ));
+        assert_eq!(t2.children()[1].as_text(), Some("y"));
+        // Original untouched.
+        assert_eq!(t.children()[1].as_text(), Some("x"));
+    }
+
+    #[test]
+    fn edit_errors() {
+        let t = Term::elem("e");
+        assert!(t.with_child_removed(0).is_err());
+        assert!(t.with_child_inserted(1, Term::text("x")).is_err());
+        assert!(Term::text("t").with_child_pushed(Term::text("x")).is_err());
+    }
+
+    #[test]
+    fn attrs_edit() {
+        let t = Term::elem("e").with_attr("k", "v").unwrap();
+        assert_eq!(t.attr("k"), Some("v"));
+        let t2 = t.without_attr("k").unwrap();
+        assert_eq!(t2.attr("k"), None);
+    }
+
+    #[test]
+    fn node_count_and_walk() {
+        let t = Term::ordered(
+            "a",
+            vec![Term::ordered("b", vec![Term::text("x")]), Term::text("y")],
+        );
+        assert_eq!(t.node_count(), 4);
+        let nodes = t.walk();
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0].0.to_string(), "/");
+        assert_eq!(nodes[2].0.to_string(), "/0/0");
+    }
+
+    #[test]
+    fn pretty_renders_nesting() {
+        let t = Term::ordered("a", vec![Term::ordered("b", vec![Term::text("x")])]);
+        let p = t.pretty();
+        assert!(p.contains("a ["));
+        assert!(p.contains("  b ["));
+        assert!(p.contains("    \"x\""));
+    }
+}

@@ -1,0 +1,170 @@
+//! The action language: primitives and compounds (Thesis 8) plus
+//! procedural abstraction (Thesis 9).
+
+use std::fmt;
+
+use reweb_query::{Condition, ConstructTerm};
+
+use crate::update::Update;
+
+/// An action — the `DO`/`THEN` part of an ECA rule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Update persistent data (Thesis 8's "most important action").
+    Update(Update),
+    /// Raise an event towards another Web site (push, Thesis 3). The
+    /// payload is constructed from the rule's bindings.
+    Send { to: String, payload: ConstructTerm },
+    /// Explicitly make (event) data persistent by appending it to a
+    /// resource — Thesis 4: "if some data from an event must be stored
+    /// indefinitely, it should explicitly be made persistent".
+    /// Creates the resource (root `persisted[…]`) if missing.
+    Persist {
+        resource: String,
+        payload: ConstructTerm,
+    },
+    /// Append a constructed entry to the executor's log (accounting and
+    /// debugging; Thesis 12 builds on this).
+    Log(ConstructTerm),
+    /// Transactional sequence: every local update commits, or none does.
+    Seq(Vec<Action>),
+    /// Alternatives: try in order until one succeeds (each attempt is
+    /// atomic); fails if all fail.
+    Alt(Vec<Action>),
+    /// Branching inside actions (complements ECAA branching in rules).
+    If {
+        cond: Condition,
+        then: Box<Action>,
+        else_: Option<Box<Action>>,
+    },
+    /// Invoke a named procedure with constructed arguments (Thesis 9).
+    Call {
+        name: String,
+        args: Vec<ConstructTerm>,
+    },
+    /// Always fails — guard branches and failure injection in tests.
+    Fail(String),
+    /// Does nothing, successfully.
+    Noop,
+}
+
+impl Action {
+    pub fn seq(actions: Vec<Action>) -> Action {
+        Action::Seq(actions)
+    }
+
+    pub fn alt(actions: Vec<Action>) -> Action {
+        Action::Alt(actions)
+    }
+
+    pub fn send(to: impl Into<String>, payload: ConstructTerm) -> Action {
+        Action::Send {
+            to: to.into(),
+            payload,
+        }
+    }
+
+    /// Number of primitive actions in this tree (for stats/tests).
+    pub fn primitive_count(&self) -> usize {
+        match self {
+            Action::Seq(xs) | Action::Alt(xs) => xs.iter().map(Action::primitive_count).sum(),
+            Action::If { then, else_, .. } => {
+                then.primitive_count()
+                    + else_.as_ref().map_or(0, |e| e.primitive_count())
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// A named, parameterized action: defined once, shared by many rules
+/// (Thesis 9: "a procedure mechanism … is clearly a better approach than
+/// writing the same code in several rules").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcedureDef {
+    pub name: String,
+    /// Parameter variable names; arguments bind to these positionally.
+    pub params: Vec<String>,
+    pub body: Action,
+}
+
+impl ProcedureDef {
+    pub fn new(name: impl Into<String>, params: Vec<String>, body: Action) -> ProcedureDef {
+        ProcedureDef {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Update(u) => write!(f, "UPDATE {u}"),
+            Action::Send { to, payload } => write!(f, "SEND {payload} TO {to:?}"),
+            Action::Persist { resource, payload } => {
+                write!(f, "PERSIST {payload} IN {resource:?}")
+            }
+            Action::Log(p) => write!(f, "LOG {p}"),
+            Action::Seq(xs) => {
+                f.write_str("SEQ")?;
+                for x in xs {
+                    write!(f, " {x};")?;
+                }
+                f.write_str(" END")
+            }
+            Action::Alt(xs) => {
+                f.write_str("ALT")?;
+                for x in xs {
+                    write!(f, " {x};")?;
+                }
+                f.write_str(" END")
+            }
+            Action::If { cond, then, else_ } => {
+                write!(f, "IF {cond} THEN {then}")?;
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Action::Call { name, args } => {
+                write!(f, "CALL {name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Action::Fail(msg) => write!(f, "FAIL {msg:?}"),
+            Action::Noop => f.write_str("NOOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_count_walks_compounds() {
+        let a = Action::seq(vec![
+            Action::Noop,
+            Action::alt(vec![Action::Fail("x".into()), Action::Noop]),
+            Action::If {
+                cond: Condition::always_true(),
+                then: Box::new(Action::Noop),
+                else_: Some(Box::new(Action::Noop)),
+            },
+        ]);
+        assert_eq!(a.primitive_count(), 5);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let a = Action::seq(vec![Action::Noop, Action::Fail("boom".into())]);
+        assert_eq!(a.to_string(), "SEQ NOOP; FAIL \"boom\"; END");
+    }
+}

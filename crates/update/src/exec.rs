@@ -1,0 +1,475 @@
+//! Executing actions: transactions, alternatives, branching, procedures.
+//!
+//! The [`Executor`] borrows a [`QueryEngine`] (whose store it mutates and
+//! whose views it queries for `IF` conditions) and a procedure registry.
+//! `SEND` actions accumulate in the outbox — the hosting node (or the Web
+//! simulator) turns them into pushed messages, keeping this crate free of
+//! any network knowledge.
+//!
+//! Transactionality: `SEQ` snapshots the store, outbox, and log; if any
+//! step fails, all three roll back — an all-or-nothing compound action.
+//! `ALT` gives each alternative the same atomicity and takes the first
+//! success.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use reweb_query::{Bindings, QueryEngine};
+use reweb_term::{Term, TermError};
+
+use crate::actions::{Action, ProcedureDef};
+use crate::update::apply_update;
+
+/// Why an action failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ActionError {
+    Term(TermError),
+    UnknownProcedure(String),
+    ArityMismatch {
+        proc: String,
+        expected: usize,
+        got: usize,
+    },
+    Failed(String),
+    /// All alternatives of an `ALT` failed; holds the last error.
+    AllAlternativesFailed(Box<ActionError>),
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::Term(e) => write!(f, "{e}"),
+            ActionError::UnknownProcedure(p) => write!(f, "unknown procedure `{p}`"),
+            ActionError::ArityMismatch {
+                proc,
+                expected,
+                got,
+            } => write!(f, "procedure `{proc}` expects {expected} arguments, got {got}"),
+            ActionError::Failed(m) => write!(f, "action failed: {m}"),
+            ActionError::AllAlternativesFailed(last) => {
+                write!(f, "all alternatives failed; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+impl From<TermError> for ActionError {
+    fn from(e: TermError) -> Self {
+        ActionError::Term(e)
+    }
+}
+
+/// A message produced by a `SEND` action, awaiting delivery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutMessage {
+    pub to: String,
+    pub payload: Term,
+}
+
+/// Execution statistics (experiments E8, E9, E12).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActionStats {
+    pub actions_run: u64,
+    pub updates_applied: u64,
+    pub nodes_affected: u64,
+    pub messages_sent: u64,
+    pub rollbacks: u64,
+    pub condition_evals: u64,
+}
+
+/// Runs actions against a query engine's store.
+pub struct Executor<'a> {
+    pub qe: &'a mut QueryEngine,
+    pub procedures: &'a BTreeMap<String, ProcedureDef>,
+    pub outbox: Vec<OutMessage>,
+    pub log: Vec<Term>,
+    pub stats: ActionStats,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(qe: &'a mut QueryEngine, procedures: &'a BTreeMap<String, ProcedureDef>) -> Self {
+        Executor {
+            qe,
+            procedures,
+            outbox: Vec::new(),
+            log: Vec::new(),
+            stats: ActionStats::default(),
+        }
+    }
+
+    /// Execute an action under the given bindings.
+    pub fn execute(&mut self, action: &Action, binds: &Bindings) -> Result<(), ActionError> {
+        self.stats.actions_run += 1;
+        match action {
+            Action::Noop => Ok(()),
+            Action::Fail(msg) => Err(ActionError::Failed(msg.clone())),
+            Action::Log(ct) => {
+                let t = ct.instantiate(&[binds.clone()])?;
+                self.log.push(t);
+                Ok(())
+            }
+            Action::Send { to, payload } => {
+                let t = payload.instantiate(&[binds.clone()])?;
+                self.outbox.push(OutMessage {
+                    to: to.clone(),
+                    payload: t,
+                });
+                self.stats.messages_sent += 1;
+                Ok(())
+            }
+            Action::Persist { resource, payload } => {
+                let t = payload.instantiate(&[binds.clone()])?;
+                if !self.qe.store.contains(resource) {
+                    self.qe.store.put(resource.clone(), Term::elem("persisted"));
+                }
+                self.qe
+                    .store
+                    .update_with(resource, |doc| doc.with_child_pushed(t))?;
+                self.stats.updates_applied += 1;
+                self.stats.nodes_affected += 1;
+                Ok(())
+            }
+            Action::Update(u) => {
+                let n = apply_update(&mut self.qe.store, u, binds)?;
+                self.stats.updates_applied += 1;
+                self.stats.nodes_affected += n as u64;
+                Ok(())
+            }
+            Action::Seq(steps) => {
+                let snap = self.qe.store.snapshot();
+                let outbox_mark = self.outbox.len();
+                let log_mark = self.log.len();
+                for s in steps {
+                    if let Err(e) = self.execute(s, binds) {
+                        self.qe.store.restore(snap);
+                        self.outbox.truncate(outbox_mark);
+                        self.log.truncate(log_mark);
+                        self.stats.rollbacks += 1;
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            }
+            Action::Alt(alternatives) => {
+                let mut last: Option<ActionError> = None;
+                for a in alternatives {
+                    // Each alternative gets SEQ-like atomicity.
+                    match self.execute(&Action::Seq(vec![a.clone()]), binds) {
+                        Ok(()) => return Ok(()),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(ActionError::AllAlternativesFailed(Box::new(
+                    last.unwrap_or(ActionError::Failed("empty ALT".into())),
+                )))
+            }
+            Action::If { cond, then, else_ } => {
+                self.stats.condition_evals += 1;
+                let answers = self.qe.eval_condition(cond, binds)?;
+                if answers.is_empty() {
+                    match else_ {
+                        Some(e) => self.execute(e, binds),
+                        None => Ok(()),
+                    }
+                } else {
+                    // The `then` branch runs once per answer — conditions
+                    // deliver bindings that parameterize the action
+                    // (Thesis 7).
+                    for b in answers {
+                        self.execute(then, &b)?;
+                    }
+                    Ok(())
+                }
+            }
+            Action::Call { name, args } => {
+                let proc = self
+                    .procedures
+                    .get(name)
+                    .ok_or_else(|| ActionError::UnknownProcedure(name.clone()))?;
+                if proc.params.len() != args.len() {
+                    return Err(ActionError::ArityMismatch {
+                        proc: name.clone(),
+                        expected: proc.params.len(),
+                        got: args.len(),
+                    });
+                }
+                // Arguments are constructed with the caller's bindings,
+                // then bound to the parameters — lexical isolation: the
+                // body sees only its parameters.
+                let mut callee = Bindings::new();
+                for (param, arg) in proc.params.iter().zip(args) {
+                    let t = arg.instantiate(&[binds.clone()])?;
+                    callee = callee
+                        .bind(param, &t)
+                        .expect("fresh parameter names cannot conflict");
+                }
+                let body = proc.body.clone();
+                self.execute(&body, &callee)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::Update;
+    use reweb_query::parser::{parse_condition, parse_construct_term, parse_query_term};
+    use reweb_term::{parse_term, ResourceStore};
+
+    fn engine() -> QueryEngine {
+        let mut s = ResourceStore::new();
+        s.put(
+            "http://shop/stock",
+            parse_term("stock[item{sku[\"b1\"], qty[\"10\"]}]").unwrap(),
+        );
+        s.put(
+            "http://shop/ledger",
+            parse_term("ledger[]").unwrap(),
+        );
+        QueryEngine::with_store(s)
+    }
+
+    fn c(s: &str) -> reweb_query::ConstructTerm {
+        parse_construct_term(s).unwrap()
+    }
+
+    fn run(action: &Action, qe: &mut QueryEngine) -> (Result<(), ActionError>, Vec<OutMessage>) {
+        let procs = BTreeMap::new();
+        let mut ex = Executor::new(qe, &procs);
+        let r = ex.execute(action, &Bindings::new());
+        (r, ex.outbox)
+    }
+
+    #[test]
+    fn send_constructs_payload() {
+        let mut qe = engine();
+        let procs = BTreeMap::new();
+        let mut ex = Executor::new(&mut qe, &procs);
+        let binds = Bindings::of("O", Term::text("o1"));
+        ex.execute(
+            &Action::send("http://mail", c("shipped{order[var O]}")),
+            &binds,
+        )
+        .unwrap();
+        assert_eq!(ex.outbox.len(), 1);
+        assert_eq!(ex.outbox[0].to, "http://mail");
+        assert_eq!(
+            ex.outbox[0].payload.to_string(),
+            "shipped{order[\"o1\"]}"
+        );
+    }
+
+    #[test]
+    fn seq_commits_all_or_nothing() {
+        let mut qe = engine();
+        // Second step fails (target matches nothing) → first step must
+        // roll back.
+        let a = Action::seq(vec![
+            Action::Update(Update::insert(
+                "http://shop/ledger",
+                parse_query_term("ledger").unwrap(),
+                c("entry[\"x\"]"),
+            )),
+            Action::Update(Update::delete(
+                "http://shop/stock",
+                parse_query_term("item{{sku[[\"missing\"]]}}").unwrap(),
+            )),
+        ]);
+        let before = qe.store.get("http://shop/ledger").unwrap().clone();
+        let (r, _) = run(&a, &mut qe);
+        assert!(r.is_err());
+        assert_eq!(qe.store.get("http://shop/ledger").unwrap(), &before);
+    }
+
+    #[test]
+    fn seq_rolls_back_outbox_and_log_too() {
+        let mut qe = engine();
+        let procs = BTreeMap::new();
+        let mut ex = Executor::new(&mut qe, &procs);
+        let a = Action::seq(vec![
+            Action::send("http://x", c("m")),
+            Action::Log(c("l")),
+            Action::Fail("boom".into()),
+        ]);
+        assert!(ex.execute(&a, &Bindings::new()).is_err());
+        assert!(ex.outbox.is_empty(), "unsent messages must not leak");
+        assert!(ex.log.is_empty());
+        assert_eq!(ex.stats.rollbacks, 1);
+    }
+
+    #[test]
+    fn alt_takes_first_success() {
+        let mut qe = engine();
+        let a = Action::alt(vec![
+            Action::Update(Update::delete(
+                "http://shop/stock",
+                parse_query_term("item{{sku[[\"missing\"]]}}").unwrap(),
+            )),
+            Action::Update(Update::set_attr(
+                "http://shop/stock",
+                parse_query_term("item{{sku[[\"b1\"]]}}").unwrap(),
+                "flag",
+                c("\"alt\""),
+            )),
+        ]);
+        let (r, _) = run(&a, &mut qe);
+        assert!(r.is_ok());
+        let doc = qe.store.get("http://shop/stock").unwrap();
+        assert_eq!(doc.children()[0].attr("flag"), Some("alt"));
+    }
+
+    #[test]
+    fn alt_all_fail() {
+        let mut qe = engine();
+        let a = Action::alt(vec![
+            Action::Fail("a".into()),
+            Action::Fail("b".into()),
+        ]);
+        let (r, _) = run(&a, &mut qe);
+        assert!(matches!(r, Err(ActionError::AllAlternativesFailed(_))));
+    }
+
+    #[test]
+    fn failed_alternative_rolls_back_partially_executed_branch() {
+        let mut qe = engine();
+        let a = Action::alt(vec![
+            Action::seq(vec![
+                Action::Persist {
+                    resource: "http://shop/archive".into(),
+                    payload: c("attempt[\"1\"]"),
+                },
+                Action::Fail("late failure".into()),
+            ]),
+            Action::Noop,
+        ]);
+        let (r, _) = run(&a, &mut qe);
+        assert!(r.is_ok());
+        // The failed branch's persist must not have leaked.
+        assert!(!qe.store.contains("http://shop/archive"));
+    }
+
+    #[test]
+    fn if_branches_on_condition_and_passes_bindings() {
+        let mut qe = engine();
+        let a = Action::If {
+            cond: parse_condition(
+                "in \"http://shop/stock\" item{{sku[[var K]], qty[[var Q]]}} and var Q >= 5",
+            )
+            .unwrap(),
+            then: Box::new(Action::Persist {
+                resource: "http://shop/ok".into(),
+                payload: c("instock[var K]"),
+            }),
+            else_: Some(Box::new(Action::Persist {
+                resource: "http://shop/low".into(),
+                payload: c("lowstock"),
+            })),
+        };
+        let (r, _) = run(&a, &mut qe);
+        r.unwrap();
+        // qty 10 >= 5 → then-branch ran with K bound.
+        let ok = qe.store.get("http://shop/ok").unwrap();
+        assert!(ok.to_string().contains("instock[\"b1\"]"));
+        assert!(!qe.store.contains("http://shop/low"));
+    }
+
+    #[test]
+    fn procedures_bind_parameters_lexically() {
+        let mut qe = engine();
+        let mut procs = BTreeMap::new();
+        procs.insert(
+            "ship".to_string(),
+            ProcedureDef::new(
+                "ship",
+                vec!["Order".into(), "Customer".into()],
+                Action::seq(vec![
+                    Action::Persist {
+                        resource: "http://shop/shipments".into(),
+                        payload: c("shipment{order[var Order], customer[var Customer]}"),
+                    },
+                    // A variable of the caller must NOT be visible here.
+                    Action::Log(c("done[var Order]")),
+                ]),
+            ),
+        );
+        let caller = Bindings::of("O", Term::text("o9"));
+        {
+            let mut ex = Executor::new(&mut qe, &procs);
+            ex.execute(
+                &Action::Call {
+                    name: "ship".into(),
+                    args: vec![c("var O"), c("\"ann\"")],
+                },
+                &caller,
+            )
+            .unwrap();
+
+            // Caller variables are not in scope inside the body.
+            let bad = Action::Call {
+                name: "ship".into(),
+                args: vec![c("var O"), c("var Missing")],
+            };
+            assert!(ex.execute(&bad, &caller).is_err());
+        }
+        let doc = qe.store.get("http://shop/shipments").unwrap();
+        assert!(doc
+            .to_string()
+            .contains("shipment{order[\"o9\"], customer[\"ann\"]}"));
+    }
+
+    #[test]
+    fn unknown_procedure_and_arity() {
+        let mut qe = engine();
+        let procs = BTreeMap::new();
+        let mut ex = Executor::new(&mut qe, &procs);
+        assert!(matches!(
+            ex.execute(
+                &Action::Call {
+                    name: "nope".into(),
+                    args: vec![]
+                },
+                &Bindings::new()
+            ),
+            Err(ActionError::UnknownProcedure(_))
+        ));
+        let mut procs = BTreeMap::new();
+        procs.insert(
+            "p".to_string(),
+            ProcedureDef::new("p", vec!["A".into()], Action::Noop),
+        );
+        let mut ex = Executor::new(&mut qe, &procs);
+        assert!(matches!(
+            ex.execute(
+                &Action::Call {
+                    name: "p".into(),
+                    args: vec![]
+                },
+                &Bindings::new()
+            ),
+            Err(ActionError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn persist_creates_and_appends() {
+        let mut qe = engine();
+        let a = Action::seq(vec![
+            Action::Persist {
+                resource: "http://a/archive".into(),
+                payload: c("entry[\"1\"]"),
+            },
+            Action::Persist {
+                resource: "http://a/archive".into(),
+                payload: c("entry[\"2\"]"),
+            },
+        ]);
+        let (r, _) = run(&a, &mut qe);
+        r.unwrap();
+        let doc = qe.store.get("http://a/archive").unwrap();
+        assert_eq!(doc.label(), Some("persisted"));
+        assert_eq!(doc.children().len(), 2);
+    }
+}

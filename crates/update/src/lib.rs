@@ -1,0 +1,35 @@
+//! # reweb-update — updates and compound actions
+//!
+//! Thesis 8 of *Twelve Theses on Reactive Rules for the Web*: the Web is a
+//! dynamic, state-changing system, so reactive rules need *state-changing
+//! actions* — updates to persistent data and messages to other Web sites —
+//! and compounds of them:
+//!
+//! * [`Update`] / [`UpdateOp`] — primitive updates on documents, addressed
+//!   by query-term targets: `INSERT ct INTO qt`, `DELETE qt`,
+//!   `REPLACE qt BY ct`, `SETATTR`.
+//! * [`Action`] — the action language: updates, `SEND` (raise an event to a
+//!   remote node — the paper's "communicating with other Web sites"),
+//!   `PERSIST` (explicitly turn volatile event data into persistent data,
+//!   closing Thesis 4's loop), `LOG`, and the compounds:
+//!   - [`Action::Seq`] — transactional sequence: all local updates commit
+//!     or none do (store snapshot + rollback, cheap thanks to structural
+//!     sharing);
+//!   - [`Action::Alt`] — alternatives: try each until one succeeds;
+//!   - [`Action::If`] — branching inside actions;
+//!   - [`Action::Call`] — procedural abstraction (Thesis 9): a named,
+//!     parameterized action defined once and reused by many rules.
+//! * [`Executor`] — runs actions against a [`reweb_query::QueryEngine`]'s
+//!   store, collecting outbound messages (the push half of Thesis 3) and
+//!   log entries, with statistics for the experiments.
+
+pub mod actions;
+pub mod exec;
+pub mod update;
+
+pub use actions::{Action, ProcedureDef};
+pub use exec::{ActionError, ActionStats, Executor, OutMessage};
+pub use update::{apply_update, Update, UpdateOp};
+
+/// Result alias for action execution.
+pub type Result<T> = std::result::Result<T, ActionError>;

@@ -1,0 +1,137 @@
+//! Property tests for the action executor's transactional guarantees
+//! (Thesis 8): a failed `SEQ` must leave no trace — not in the store, not
+//! in the outbox, not in the log — no matter what succeeded before the
+//! failure.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use reweb_query::parser::parse_construct_term;
+use reweb_query::{Bindings, QueryEngine};
+use reweb_term::{parse_term, Term};
+use reweb_update::{Action, Executor};
+
+/// A random primitive step: persist to one of three resources, send, log.
+fn arb_step() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..3u8, 0..100u32).prop_map(|(r, v)| Action::Persist {
+            resource: format!("http://n/r{r}"),
+            payload: parse_construct_term(&format!("entry[\"{v}\"]")).unwrap(),
+        }),
+        (0..100u32).prop_map(|v| Action::send(
+            "http://other",
+            parse_construct_term(&format!("msg[\"{v}\"]")).unwrap()
+        )),
+        (0..100u32).prop_map(|v| Action::Log(
+            parse_construct_term(&format!("log[\"{v}\"]")).unwrap()
+        )),
+    ]
+}
+
+fn store_fingerprint(qe: &QueryEngine) -> Vec<(String, Term)> {
+    qe.store
+        .uris()
+        .map(|u| (u.to_string(), qe.store.get(u).unwrap().clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A SEQ with a failure anywhere inside leaves the world untouched.
+    #[test]
+    fn failed_seq_is_invisible(
+        prefix in proptest::collection::vec(arb_step(), 0..6),
+        suffix in proptest::collection::vec(arb_step(), 0..3),
+    ) {
+        let mut qe = QueryEngine::new();
+        qe.store.put("http://n/r0", parse_term("r[]").unwrap());
+        let procs = BTreeMap::new();
+        let mut ex = Executor::new(&mut qe, &procs);
+
+        // Let some unrelated committed work happen first.
+        ex.execute(
+            &Action::Persist {
+                resource: "http://n/r0".into(),
+                payload: parse_construct_term("committed").unwrap(),
+            },
+            &Bindings::new(),
+        )
+        .unwrap();
+        let outbox_before = ex.outbox.clone();
+        let log_before = ex.log.clone();
+        let store_before = store_fingerprint(ex.qe);
+
+        // Now a SEQ that is guaranteed to fail.
+        let mut steps = prefix.clone();
+        steps.push(Action::Fail("injected".into()));
+        steps.extend(suffix.clone());
+        let r = ex.execute(&Action::Seq(steps), &Bindings::new());
+        prop_assert!(r.is_err());
+
+        prop_assert_eq!(store_fingerprint(ex.qe), store_before, "store leaked");
+        prop_assert_eq!(&ex.outbox, &outbox_before, "outbox leaked");
+        prop_assert_eq!(&ex.log, &log_before, "log leaked");
+    }
+
+    /// A successful SEQ applies *all* its steps, in order.
+    #[test]
+    fn successful_seq_applies_everything(
+        steps in proptest::collection::vec(arb_step(), 0..8),
+    ) {
+        let mut qe = QueryEngine::new();
+        let procs = BTreeMap::new();
+        let mut ex = Executor::new(&mut qe, &procs);
+        let expected_persists = steps
+            .iter()
+            .filter(|a| matches!(a, Action::Persist { .. }))
+            .count();
+        let expected_sends = steps
+            .iter()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .count();
+        let expected_logs = steps
+            .iter()
+            .filter(|a| matches!(a, Action::Log(_)))
+            .count();
+        ex.execute(&Action::Seq(steps), &Bindings::new()).unwrap();
+        let persisted: usize = ex
+            .qe
+            .store
+            .uris()
+            .map(|u| ex.qe.store.get(u).unwrap().children().len())
+            .sum();
+        prop_assert_eq!(persisted, expected_persists);
+        prop_assert_eq!(ex.outbox.len(), expected_sends);
+        prop_assert_eq!(ex.log.len(), expected_logs);
+    }
+
+    /// ALT behaves like its first succeeding branch, and a failing branch
+    /// attempt never leaks partial effects into the winner's world.
+    #[test]
+    fn alt_equals_first_success(
+        failing in proptest::collection::vec(arb_step(), 1..4),
+        winning in proptest::collection::vec(arb_step(), 0..4),
+    ) {
+        // Branch 1: effects then failure. Branch 2: the winner.
+        let mut qe1 = QueryEngine::new();
+        let procs = BTreeMap::new();
+        let mut ex1 = Executor::new(&mut qe1, &procs);
+        let mut branch1 = failing.clone();
+        branch1.push(Action::Fail("nope".into()));
+        ex1.execute(
+            &Action::Alt(vec![Action::Seq(branch1), Action::Seq(winning.clone())]),
+            &Bindings::new(),
+        )
+        .unwrap();
+
+        // Reference: just the winner.
+        let mut qe2 = QueryEngine::new();
+        let mut ex2 = Executor::new(&mut qe2, &procs);
+        ex2.execute(&Action::Seq(winning), &Bindings::new()).unwrap();
+
+        prop_assert_eq!(store_fingerprint(ex1.qe), store_fingerprint(ex2.qe));
+        prop_assert_eq!(ex1.outbox, ex2.outbox);
+        prop_assert_eq!(ex1.log, ex2.log);
+    }
+}

@@ -1,0 +1,89 @@
+//! SOAP-like message envelopes.
+//!
+//! The paper: "SOAP's main components are (1) message envelope and
+//! (2) transport binding. The envelope … consists of the header, which
+//! provides information about the message (e.g., date when sent), and the
+//! body, which carries application-dependent data (the 'payload')."
+//!
+//! [`Envelope`] is that structure: header fields (from, to, sent-at,
+//! message id, optional credentials for Thesis 12) plus a term body. The
+//! transport binding is the simulator's scheduled delivery.
+
+use reweb_core::Credentials;
+use reweb_term::{Term, Timestamp};
+
+/// A message in flight: SOAP-style header + payload body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    pub from: String,
+    pub to: String,
+    pub sent_at: Timestamp,
+    pub message_id: u64,
+    pub credentials: Option<Credentials>,
+    pub body: Term,
+}
+
+impl Envelope {
+    /// Wire size in bytes: header estimate plus serialized body — the
+    /// quantity the traffic metrics count.
+    pub fn wire_size(&self) -> usize {
+        let header = self.from.len()
+            + self.to.len()
+            + 24 // timestamps + id
+            + self
+                .credentials
+                .as_ref()
+                .map(|c| c.principal.len() + c.secret.len())
+                .unwrap_or(0);
+        header + self.body.serialized_size()
+    }
+
+    /// Render as a term (for sinks and debugging).
+    pub fn to_term(&self) -> Term {
+        Term::build("envelope")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("sent_at", self.sent_at.millis().to_string())
+            .field("id", self.message_id.to_string())
+            .child(Term::ordered("body", vec![self.body.clone()]))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Envelope {
+        Envelope {
+            from: "http://a".into(),
+            to: "http://b".into(),
+            sent_at: Timestamp(42),
+            message_id: 7,
+            credentials: None,
+            body: Term::build("order").attr("id", "o1").finish(),
+        }
+    }
+
+    #[test]
+    fn wire_size_includes_body() {
+        let e = env();
+        assert!(e.wire_size() > e.body.serialized_size());
+        let with_creds = Envelope {
+            credentials: Some(Credentials {
+                principal: "franz".into(),
+                secret: "pw".into(),
+            }),
+            ..env()
+        };
+        assert!(with_creds.wire_size() > e.wire_size());
+    }
+
+    #[test]
+    fn to_term_shape() {
+        let t = env().to_term();
+        assert_eq!(t.label(), Some("envelope"));
+        assert!(t.to_string().contains("from[\"http://a\"]"));
+        assert!(t.to_string().contains("body[order[@id=\"o1\"]]"));
+    }
+}

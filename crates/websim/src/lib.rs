@@ -1,0 +1,30 @@
+//! # reweb-websim — a deterministic simulated Web
+//!
+//! The substitute for the real Web that the paper's claims run on
+//! (Theses 2 and 3): nodes identified by URIs exchange HTTP-like messages
+//! — `POST` delivers a SOAP-like [`Envelope`] (push), `GET` retrieves a
+//! resource (pull) — over a network with configurable, seeded latency.
+//! Everything is discrete-event simulated on the shared virtual clock, so
+//! whole-system runs are reproducible bit for bit.
+//!
+//! * Every node processes its rules **locally** ([`NodeKind::Engine`]
+//!   wraps a `reweb_core::ReactiveEngine`); coordination happens only
+//!   through messages — there is no central rule processor (Thesis 2).
+//! * **Push**: resource owners notify subscribers on every change
+//!   ([`Simulation::subscribe_push`]); **poll**: a [`Poller`] GETs a
+//!   remote resource periodically and synthesizes change events from the
+//!   diff (Thesis 10's identity modes decide what the diff can say).
+//!   Experiment E3 contrasts the two on traffic and reaction latency.
+//! * [`NetMetrics`] counts every message and byte on the wire, per node
+//!   and total, and records deliveries at [`NodeKind::Sink`] nodes so
+//!   benchmarks can compute reaction latencies.
+
+pub mod envelope;
+pub mod node;
+pub mod sim;
+
+pub use envelope::Envelope;
+pub use node::{NodeKind, Poller};
+pub use sim::{NetMetrics, Simulation};
+
+pub use reweb_term::TermError;

@@ -1,0 +1,168 @@
+//! Web nodes: engines, resource servers, pollers, and sinks.
+
+use reweb_core::ReactiveEngine;
+use reweb_term::{diff_documents, Dur, IdentityMode, ResourceStore, Term, Timestamp};
+
+use crate::envelope::Envelope;
+
+/// What a node does with the messages and timers it receives.
+pub enum NodeKind {
+    /// A reactive node: rules processed locally (Thesis 2).
+    Engine(ReactiveEngine),
+    /// A passive resource server: answers `GET`s, ignores `POST`s.
+    Store(ResourceStore),
+    /// A polling observer (the Thesis 3 baseline).
+    Poller(Poller),
+    /// Records every delivery, for tests and latency measurements.
+    Sink(Vec<(Timestamp, Envelope)>),
+}
+
+impl NodeKind {
+    /// The store served to `GET` requests, if this node has one.
+    pub fn store(&self) -> Option<&ResourceStore> {
+        match self {
+            NodeKind::Engine(e) => Some(&e.qe.store),
+            NodeKind::Store(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn store_mut(&mut self) -> Option<&mut ResourceStore> {
+        match self {
+            NodeKind::Engine(e) => Some(&mut e.qe.store),
+            NodeKind::Store(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_engine(&self) -> Option<&ReactiveEngine> {
+        match self {
+            NodeKind::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub fn as_engine_mut(&mut self) -> Option<&mut ReactiveEngine> {
+        match self {
+            NodeKind::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub fn as_sink(&self) -> Option<&[(Timestamp, Envelope)]> {
+        match self {
+            NodeKind::Sink(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A periodic poller: `GET`s a remote resource, diffs it against the last
+/// snapshot under the configured identity mode (Thesis 10), and sends the
+/// changes as events to a notify target.
+///
+/// This is the pull-based observer Thesis 3 compares against push: its
+/// traffic grows with `1/interval` whether or not anything changed, and
+/// its reaction latency is up to a full interval.
+pub struct Poller {
+    /// Resource to watch (owned by whichever node's URI prefixes it).
+    pub target: String,
+    pub interval: Dur,
+    /// Node to send `changed{…}` events to.
+    pub notify: String,
+    pub mode: IdentityMode,
+    pub last_seen: Option<Term>,
+    /// Skip the diff when the resource version is unchanged (cheap
+    /// version probe — still a round-trip on the wire).
+    pub last_version: Option<u64>,
+}
+
+impl Poller {
+    pub fn new(
+        target: impl Into<String>,
+        interval: Dur,
+        notify: impl Into<String>,
+        mode: IdentityMode,
+    ) -> Poller {
+        Poller {
+            target: target.into(),
+            interval,
+            notify: notify.into(),
+            mode,
+            last_seen: None,
+            last_version: None,
+        }
+    }
+
+    /// Process one fetched snapshot; returns the change-event payloads to
+    /// send (empty on the first observation or when nothing changed).
+    pub fn observe(&mut self, doc: &Term, version: u64) -> Vec<Term> {
+        if self.last_version == Some(version) {
+            return Vec::new();
+        }
+        self.last_version = Some(version);
+        let out = match &self.last_seen {
+            None => Vec::new(),
+            Some(prev) => diff_documents(prev, doc, &self.mode)
+                .into_iter()
+                .map(|c| c.to_event_payload(&self.target))
+                .collect(),
+        };
+        self.last_seen = Some(doc.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reweb_term::parse_term;
+
+    #[test]
+    fn poller_detects_changes_between_snapshots() {
+        let mut p = Poller::new(
+            "http://news/front",
+            Dur::secs(30),
+            "http://watcher",
+            IdentityMode::surrogate(),
+        );
+        let v1 = parse_term("news[article{@id=\"a1\", title[\"old\"]}]").unwrap();
+        let v2 = parse_term("news[article{@id=\"a1\", title[\"new\"]}]").unwrap();
+        // First observation: baseline only.
+        assert!(p.observe(&v1, 1).is_empty());
+        // Same version: cheap skip.
+        assert!(p.observe(&v1, 1).is_empty());
+        // Changed version: one modification event.
+        let events = p.observe(&v2, 2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label(), Some("changed"));
+        assert!(events[0].to_string().contains("modified"));
+    }
+
+    #[test]
+    fn poller_under_extensional_identity_sees_delete_insert() {
+        let mut p = Poller::new(
+            "http://news/front",
+            Dur::secs(30),
+            "http://watcher",
+            IdentityMode::Extensional,
+        );
+        let v1 = parse_term("news[article{@id=\"a1\", title[\"old\"]}]").unwrap();
+        let v2 = parse_term("news[article{@id=\"a1\", title[\"new\"]}]").unwrap();
+        p.observe(&v1, 1);
+        let events = p.observe(&v2, 2);
+        assert_eq!(events.len(), 2, "identity lost: delete + insert");
+    }
+
+    #[test]
+    fn node_kind_accessors() {
+        let mut store = ResourceStore::new();
+        store.put("u", Term::elem("d"));
+        let n = NodeKind::Store(store);
+        assert!(n.store().is_some());
+        assert!(n.as_engine().is_none());
+        let n = NodeKind::Sink(Vec::new());
+        assert!(n.store().is_none());
+        assert!(n.as_sink().is_some());
+    }
+}

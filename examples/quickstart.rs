@@ -1,0 +1,71 @@
+//! Quickstart: one rule, one event, one reaction.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a reactive engine, installs a rule written in the textual rule
+//! language, feeds it an event, and shows the reaction — the smallest
+//! complete tour of the ECA loop (event → condition → action).
+
+use reweb::core::{MessageMeta, ReactiveEngine};
+use reweb::term::{parse_term, Timestamp};
+
+fn main() {
+    // A node with some persistent local data: its customer registry.
+    let mut engine = ReactiveEngine::new("http://shop.example");
+    engine.qe.store.put(
+        "http://shop.example/customers",
+        parse_term(r#"customers[ customer{id["c1"], name["Ann"]} ]"#).unwrap(),
+    );
+
+    // One ECAA rule in the rule language: on an order event, look the
+    // customer up (condition = Web query, parameterized by the event's
+    // bindings), then either confirm or complain.
+    engine
+        .install_program(
+            r#"
+            RULE on_order
+              ON order{{ id[[var O]], customer[[var C]] }}
+              IF in "http://shop.example/customers" customer{{ id[[var C]], name[[var N]] }}
+              THEN SEQ
+                     PERSIST sale{order[var O], customer[var N]} IN "http://shop.example/sales";
+                     SEND confirmation{order[var O], dear[var N]} TO "http://client.example";
+                   END
+              ELSE SEND rejection{order[var O], reason["unknown customer"]} TO "http://client.example"
+            END
+            "#,
+        )
+        .expect("the rule program parses");
+
+    // An order from a known customer arrives as a Web message.
+    let meta = MessageMeta::from_uri("http://client.example");
+    let out = engine.receive(
+        parse_term(r#"order{ id["o-1001"], customer["c1"] }"#).unwrap(),
+        &meta,
+        Timestamp(1_000),
+    );
+
+    println!("reaction messages:");
+    for m in &out {
+        println!("  -> {} : {}", m.to, m.payload);
+    }
+
+    // The persistent side effect:
+    let sales = engine.qe.store.get("http://shop.example/sales").unwrap();
+    println!("sales resource now: {sales}");
+
+    // And one from an unknown customer takes the ELSE branch.
+    let out = engine.receive(
+        parse_term(r#"order{ id["o-1002"], customer["c999"] }"#).unwrap(),
+        &meta,
+        Timestamp(2_000),
+    );
+    println!("unknown customer: {}", out[0].payload);
+
+    assert_eq!(engine.metrics.rules_fired, 2);
+    println!(
+        "rules fired: {}, condition evaluations: {}",
+        engine.metrics.rules_fired, engine.metrics.condition_evals
+    );
+}

@@ -1,0 +1,103 @@
+//! Event accumulation (Thesis 5): the paper's two examples —
+//!
+//! > "a stock market application might require notification if 'the
+//! > average over the last 5 reported stock prices raises by 5%', or a
+//! > service level agreement might require a reaction when '3 server
+//! > outages have been reported within 1 hour'."
+//!
+//! ```text
+//! cargo run --example stock_ticker
+//! ```
+
+use reweb::core::ReactiveEngine;
+use reweb::term::{parse_term, Timestamp};
+
+fn main() {
+    // ----- 1. the 5%-rise detector --------------------------------------
+    //
+    // Layered exactly as Thesis 9 suggests: a DETECT rule *derives* a
+    // higher-level `avgprice` event from the sliding 5-price average
+    // (accumulation, per symbol), and the reaction rule composes two of
+    // those derived events in sequence with an arithmetic WHERE.
+    let mut market = ReactiveEngine::new("http://market");
+    market
+        .install_program(
+            r#"
+            DETECT avgprice{sym[var S], a[var A]}
+              ON avg(var P, 5, stock{{sym[[var S]], price[[var P]]}}) as var A group by var S
+            END
+
+            RULE rise_alert
+              ON seq( avgprice{{sym[[var S]], a[[var A1]]}},
+                      avgprice{{sym[[var S]], a[[var A2]]}} ) within 1h
+                 where var A2 >= var A1 * 1.05
+              DO SEND alert{sym[var S], from[var A1], to[var A2]} TO "http://trader"
+            END
+            "#,
+        )
+        .expect("market program parses");
+
+    let prices = [
+        ("ACME", 100.0),
+        ("ACME", 101.0),
+        ("ACME", 99.0),
+        ("ACME", 100.0),
+        ("ACME", 100.0), // avg of last 5 = 100.0
+        ("ACME", 130.0), // avg jumps to 106.0 — a 6% rise over 100.0
+        ("GLOB", 50.0),  // a different symbol keeps its own buffer
+    ];
+    let meta = reweb::core::MessageMeta::from_uri("http://exchange");
+    let mut alerts = 0;
+    for (i, (sym, price)) in prices.iter().enumerate() {
+        let out = market.receive(
+            parse_term(&format!("stock{{sym[\"{sym}\"], price[\"{price}\"]}}")).unwrap(),
+            &meta,
+            Timestamp(i as u64 * 60_000),
+        );
+        for m in out {
+            alerts += 1;
+            println!("ALERT -> {}: {}", m.to, m.payload);
+        }
+    }
+    assert_eq!(alerts, 1, "exactly the 130 tick triggers the rise alert");
+
+    // ----- 2. the SLA rule, in the rule language on an engine -------------
+    let mut ops = ReactiveEngine::new("http://ops");
+    ops.install_program(
+        r#"
+        RULE sla_breach
+          ON count(3, outage{{service[["db"]]}}, 1h)
+          DO SEQ
+               PERSIST breach{service["db"]} IN "http://ops/breaches";
+               LOG sla_violated[service["db"]];
+             END
+        END
+        "#,
+    )
+    .expect("SLA program parses");
+
+    let meta = reweb::core::MessageMeta::from_uri("http://monitor");
+    // Two outages 50 minutes apart, then a third within the hour.
+    for (i, min) in [0u64, 30, 55].iter().enumerate() {
+        ops.receive(
+            parse_term(r#"outage{service["db"], reason["timeout"]}"#).unwrap(),
+            &meta,
+            Timestamp(min * 60_000 + i as u64),
+        );
+    }
+    let breaches = ops.qe.store.get("http://ops/breaches").unwrap();
+    println!("SLA breaches: {breaches}");
+    assert_eq!(breaches.children().len(), 1);
+
+    // A fourth outage three hours later does NOT re-trigger (window).
+    ops.receive(
+        parse_term(r#"outage{service["db"], reason["disk"]}"#).unwrap(),
+        &meta,
+        Timestamp(4 * 3_600_000),
+    );
+    assert_eq!(
+        ops.qe.store.get("http://ops/breaches").unwrap().children().len(),
+        1
+    );
+    println!("late outage correctly ignored (outside the 1h window)");
+}

@@ -1,0 +1,35 @@
+//! # reweb — reactive (ECA) rules for the Web
+//!
+//! A complete implementation of the language design laid out in
+//! **“Twelve Theses on Reactive Rules for the Web”** (François Bry and
+//! Michael Eckert, EDBT 2006 Workshops): an XChange-style
+//! Event-Condition-Action rule language with composite event queries,
+//! an Xcerpt-style Web query language, an update/action language, local
+//! per-node rule processing over a simulated Web, meta-programming
+//! (rules as data), and AAA support.
+//!
+//! This facade crate re-exports every layer:
+//!
+//! * [`term`] — data substrate: semi-structured terms, RDF, identity, diff,
+//!   versioned resource stores, virtual time.
+//! * [`query`] — Web query language: query terms, simulation matching,
+//!   construct terms, deductive rules (views).
+//! * [`events`] — composite event queries: incremental (data-driven) and
+//!   naive (query-driven) evaluation, windows, accumulation, absence.
+//! * [`update`] — update language and compound actions: transactional
+//!   sequences, alternatives, branching, procedures.
+//! * [`core`] — the ECA rule language and reactive engine (the paper's
+//!   primary contribution), including meta-rules, trust negotiation and AAA.
+//! * [`production`] — the production-rule (Condition-Action) baseline.
+//! * [`websim`] — deterministic discrete-event simulation of Web nodes.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and the per-thesis experiment index.
+
+pub use reweb_core as core;
+pub use reweb_events as events;
+pub use reweb_production as production;
+pub use reweb_query as query;
+pub use reweb_term as term;
+pub use reweb_update as update;
+pub use reweb_websim as websim;

@@ -1,0 +1,168 @@
+//! Cross-crate integration: the variable binding flow Thesis 7 demands —
+//! event part → condition part (including views) → action part — plus
+//! rule-set scoping of procedures.
+
+use reweb::core::{MessageMeta, ReactiveEngine};
+use reweb::term::{parse_term, Timestamp};
+
+#[test]
+fn bindings_flow_event_to_condition_to_action() {
+    let mut e = ReactiveEngine::new("http://n");
+    e.qe.store.put(
+        "http://n/people",
+        parse_term(
+            r#"people[ person{id["p1"], name["Ann"], dept["eng"]},
+                        person{id["p2"], name["Bob"], dept["ops"]} ]"#,
+        )
+        .unwrap(),
+    );
+    e.install_program(
+        r#"
+        RULE badge
+          ON entry{{person[[var P]], gate[[var G]]}}
+          IF in "http://n/people" person{{id[[var P]], name[[var N]], dept[[var D]]}}
+          THEN PERSIST access{name[var N], dept[var D], gate[var G]} IN "http://n/log"
+        END
+        "#,
+    )
+    .unwrap();
+    let meta = MessageMeta::from_uri("http://gate");
+    e.receive(
+        parse_term(r#"entry{person["p2"], gate["east"]}"#).unwrap(),
+        &meta,
+        Timestamp(1),
+    );
+    let log = e.qe.store.get("http://n/log").unwrap();
+    // P came from the event, N and D from the condition, G from the event
+    // again — all three met in the action.
+    assert_eq!(
+        log.children()[0].to_string(),
+        r#"access{name["Bob"], dept["ops"], gate["east"]}"#
+    );
+}
+
+#[test]
+fn conditions_can_query_views() {
+    let mut e = ReactiveEngine::new("http://n");
+    e.qe.store.put(
+        "http://n/customers",
+        parse_term(
+            r#"customers[ customer{id["c1"], rating["5"]},
+                           customer{id["c2"], rating["1"]} ]"#,
+        )
+        .unwrap(),
+    );
+    e.install_program(
+        r#"
+        RULESET shop
+          VIEW "view://vip" CONSTRUCT vip[var C]
+            FROM in "http://n/customers" customer{{id[[var C]], rating[[var R]]}} and var R >= 4
+          END
+          RULE greet
+            ON visit{{customer[[var C]]}}
+            IF in "view://vip" vip[[var C]]
+            THEN LOG red_carpet[var C]
+            ELSE LOG normal[var C]
+          END
+        END
+        "#,
+    )
+    .unwrap();
+    let meta = MessageMeta::from_uri("http://door");
+    e.receive(
+        parse_term(r#"visit{customer["c1"]}"#).unwrap(),
+        &meta,
+        Timestamp(1),
+    );
+    e.receive(
+        parse_term(r#"visit{customer["c2"]}"#).unwrap(),
+        &meta,
+        Timestamp(2),
+    );
+    let logs: Vec<String> = e.action_log.iter().map(|t| t.to_string()).collect();
+    assert_eq!(logs, vec![r#"red_carpet["c1"]"#, r#"normal["c2"]"#]);
+}
+
+#[test]
+fn ruleset_scoping_shadows_procedures() {
+    let mut e = ReactiveEngine::new("http://n");
+    e.install_program(
+        r#"
+        RULESET outer
+          PROCEDURE greet(X) DO LOG outer_greet[var X] END
+          RULE r1 ON a{{v[[var V]]}} DO CALL greet(var V) END
+          RULESET inner
+            PROCEDURE greet(X) DO LOG inner_greet[var X] END
+            RULE r2 ON b{{v[[var V]]}} DO CALL greet(var V) END
+          END
+        END
+        "#,
+    )
+    .unwrap();
+    let meta = MessageMeta::from_uri("http://x");
+    e.receive(parse_term(r#"a{v["1"]}"#).unwrap(), &meta, Timestamp(1));
+    e.receive(parse_term(r#"b{v["2"]}"#).unwrap(), &meta, Timestamp(2));
+    let logs: Vec<String> = e.action_log.iter().map(|t| t.to_string()).collect();
+    // r1 sees the outer definition; r2 sees the inner (shadowing).
+    assert_eq!(logs, vec![r#"outer_greet["1"]"#, r#"inner_greet["2"]"#]);
+}
+
+#[test]
+fn detect_rules_feed_ordinary_rules_with_bindings() {
+    let mut e = ReactiveEngine::new("http://n");
+    e.install_program(
+        r#"
+        DETECT big_order{id[var O], total[var T]}
+          ON order{{id[[var O]], total[[var T]]}} where var T >= 1000
+        END
+        RULE audit ON big_order{{id[[var O]], total[[var T]]}}
+          DO PERSIST audit{id[var O], total[var T]} IN "http://n/audit"
+        END
+        "#,
+    )
+    .unwrap();
+    let meta = MessageMeta::from_uri("http://x");
+    e.receive(
+        parse_term(r#"order{id["o1"], total["5000"]}"#).unwrap(),
+        &meta,
+        Timestamp(1),
+    );
+    e.receive(
+        parse_term(r#"order{id["o2"], total["10"]}"#).unwrap(),
+        &meta,
+        Timestamp(2),
+    );
+    let audit = e.qe.store.get("http://n/audit").unwrap();
+    assert_eq!(audit.children().len(), 1);
+    assert!(audit.to_string().contains("o1"));
+    assert_eq!(e.metrics.events_derived, 1);
+}
+
+#[test]
+fn elseif_chains_take_first_holding_branch() {
+    let mut e = ReactiveEngine::new("http://n");
+    e.qe.store.put(
+        "http://n/limits",
+        parse_term(r#"limits[ gold["1000"], silver["100"] ]"#).unwrap(),
+    );
+    e.install_program(
+        r#"
+        RULE classify ON spend{{amount[[var A]]}}
+          IF in "http://n/limits" gold[[var G]] and var A >= var G THEN LOG gold_tier
+          ELSEIF in "http://n/limits" silver[[var S]] and var A >= var S THEN LOG silver_tier
+          ELSE LOG basic_tier
+        END
+        "#,
+    )
+    .unwrap();
+    let meta = MessageMeta::from_uri("http://x");
+    for amount in ["5000", "500", "5"] {
+        e.receive(
+            parse_term(&format!(r#"spend{{amount["{amount}"]}}"#)).unwrap(),
+            &meta,
+            Timestamp(1),
+        );
+    }
+    let logs: Vec<String> = e.action_log.iter().map(|t| t.to_string()).collect();
+    assert_eq!(logs, vec!["gold_tier", "silver_tier", "basic_tier"]);
+}

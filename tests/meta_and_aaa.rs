@@ -1,0 +1,169 @@
+//! Integration of Theses 11 and 12 over the simulated Web: rule sets
+//! travelling as messages between engines, gated by authentication and
+//! authorization, with accounting's double reactivity observable
+//! end to end.
+
+use reweb::core::meta::install_rules_payload;
+use reweb::core::{
+    parse_program, AaaConfig, Credentials, Permission, ReactiveEngine,
+};
+use reweb::term::{parse_term, Dur, Timestamp};
+use reweb::websim::Simulation;
+
+fn secured_engine() -> ReactiveEngine {
+    let mut e = ReactiveEngine::new("http://assistant");
+    e.aaa = reweb::core::aaa::Aaa::new(AaaConfig {
+        require_auth: true,
+        authorize: true,
+        accounting: true,
+        accounting_events: true,
+    });
+    e.aaa.register("shop", "s3cret", vec!["partner".into()]);
+    e.aaa
+        .acl
+        .grant("partner", Permission::ReceiveEvent("*".into()));
+    e.aaa.acl.grant("partner", Permission::InstallRules);
+    // The accounting axis: count every allowed request per principal.
+    e.install_program(
+        r#"
+        RULE meter ON accounting{{principal[[var P]], allowed[["true"]]}}
+          DO PERSIST hit[var P] IN "http://assistant/usage"
+        END
+        "#,
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn rules_exchanged_between_engines_over_the_simulated_web() {
+    let mut sim = Simulation::new(5);
+    sim.set_latency(Dur::millis(10), 5);
+    sim.add_engine("http://assistant", secured_engine());
+    sim.add_sink("http://shop");
+    sim.set_outgoing_credentials(
+        "http://shop",
+        Credentials {
+            principal: "shop".into(),
+            secret: "s3cret".into(),
+        },
+    );
+
+    // The shop ships a rule set to the assistant…
+    let rules = parse_program(
+        r#"RULE on_offer ON offer{{item[[var I]], price[[var P]]}} where var P <= 25
+           DO SEND interested{item[var I]} TO "http://shop" END"#,
+    )
+    .unwrap();
+    sim.post(
+        "http://shop",
+        "http://assistant",
+        install_rules_payload(&rules),
+        Timestamp(0),
+    );
+    // …then sends offers; the *installed* rule answers the cheap one.
+    sim.post(
+        "http://shop",
+        "http://assistant",
+        parse_term(r#"offer{item["ball"], price["19.99"]}"#).unwrap(),
+        Timestamp(1_000),
+    );
+    sim.post(
+        "http://shop",
+        "http://assistant",
+        parse_term(r#"offer{item["goal"], price["299"]}"#).unwrap(),
+        Timestamp(2_000),
+    );
+    sim.run_until(Timestamp(10_000));
+
+    let answers = sim.sink("http://shop");
+    let interested: Vec<_> = answers
+        .iter()
+        .filter(|(_, e)| e.body.label() == Some("interested"))
+        .collect();
+    assert_eq!(interested.len(), 1);
+    assert!(interested[0].1.body.to_string().contains("ball"));
+
+    // The meter rule (double reactivity) counted three allowed requests.
+    let assistant = sim.engine("http://assistant").unwrap();
+    let usage = assistant.qe.store.get("http://assistant/usage").unwrap();
+    assert_eq!(usage.children().len(), 3);
+    // And the billing report prices them.
+    let report = assistant.aaa.billing_report(0.10);
+    assert!(report.to_string().contains("messages[\"3\"]"));
+}
+
+#[test]
+fn unauthenticated_rule_injection_is_rejected_and_accounted() {
+    let mut sim = Simulation::new(5);
+    sim.add_engine("http://assistant", secured_engine());
+    sim.add_sink("http://mallory");
+    // Mallory has no credentials configured.
+    let rules = parse_program(
+        r#"RULE exfil ON ping DO SEND secrets TO "http://mallory" END"#,
+    )
+    .unwrap();
+    sim.post(
+        "http://mallory",
+        "http://assistant",
+        install_rules_payload(&rules),
+        Timestamp(0),
+    );
+    sim.post(
+        "http://mallory",
+        "http://assistant",
+        parse_term("ping").unwrap(),
+        Timestamp(1_000),
+    );
+    sim.run_until(Timestamp(5_000));
+    assert_eq!(sim.sink("http://mallory").len(), 0);
+    let assistant = sim.engine("http://assistant").unwrap();
+    assert_eq!(assistant.rule_count(), 1, "only the meter rule");
+    assert_eq!(assistant.metrics.events_denied, 2);
+    // Denials are visible in the accounting records.
+    assert!(assistant.aaa.records.iter().any(|r| !r.allowed));
+}
+
+#[test]
+fn wrong_password_is_denied() {
+    let mut sim = Simulation::new(5);
+    sim.add_engine("http://assistant", secured_engine());
+    sim.add_sink("http://shop");
+    sim.set_outgoing_credentials(
+        "http://shop",
+        Credentials {
+            principal: "shop".into(),
+            secret: "wrong".into(),
+        },
+    );
+    sim.post(
+        "http://shop",
+        "http://assistant",
+        parse_term("offer{item[\"x\"], price[\"1\"]}").unwrap(),
+        Timestamp(0),
+    );
+    sim.run_until(Timestamp(2_000));
+    let assistant = sim.engine("http://assistant").unwrap();
+    assert_eq!(assistant.metrics.events_denied, 1);
+}
+
+#[test]
+fn reified_rules_survive_the_wire_intact() {
+    // Round-trip through the exact payload shape used on the wire.
+    let original = parse_program(
+        r#"
+        RULESET travelling
+          PROCEDURE p(X) DO LOG got[var X] END
+          RULE r ON e{{v[[var V]]}}
+            IF in "http://somewhere" d[[var V]] THEN CALL p(var V)
+            ELSE NOOP
+          END
+        END
+        "#,
+    )
+    .unwrap();
+    let payload = install_rules_payload(&original);
+    let reparsed =
+        reweb::core::meta::ruleset_from_term(payload.children().first().unwrap()).unwrap();
+    assert_eq!(original, reparsed);
+}

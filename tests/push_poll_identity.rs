@@ -1,0 +1,119 @@
+//! Integration of Theses 3 and 10 over the simulated Web: push and poll
+//! observation of a changing resource, under both identity regimes, with
+//! the observer being a full reactive engine.
+
+use reweb::core::ReactiveEngine;
+use reweb::term::{parse_term, Dur, IdentityMode, ResourceStore, Term, Timestamp};
+use reweb::websim::{Poller, Simulation};
+
+fn news(title: &str) -> Term {
+    parse_term(&format!(
+        r#"news[article{{@id="a1", title["{title}"]}}]"#
+    ))
+    .unwrap()
+}
+
+fn watcher_engine() -> ReactiveEngine {
+    let mut e = ReactiveEngine::new("http://watcher");
+    e.install_program(
+        r#"
+        RULE on_modified
+          ON changed{{kind[["modified"]], key[[var K]]}}
+          DO PERSIST edit[var K] IN "http://watcher/edits"
+        END
+        RULE on_replaced
+          ON changed{{kind[["deleted"]]}}
+          DO PERSIST replacement IN "http://watcher/replacements"
+        END
+        "#,
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn pushed_changes_trigger_watcher_rules_with_surrogate_identity() {
+    let mut sim = Simulation::new(17);
+    let mut store = ResourceStore::new();
+    store.put("http://news/front", news("v0"));
+    sim.add_store("http://news", store);
+    sim.add_engine("http://watcher", watcher_engine());
+    sim.subscribe_push("http://news/front", "http://watcher", IdentityMode::surrogate());
+    for k in 1..=3u64 {
+        sim.schedule_update("http://news/front", news(&format!("v{k}")), Timestamp(k * 1_000));
+    }
+    sim.run_until(Timestamp(10_000));
+    let w = sim.engine("http://watcher").unwrap();
+    // Surrogate identity: each edit is a modification of article a1.
+    let edits = w.qe.store.get("http://watcher/edits").unwrap();
+    assert_eq!(edits.children().len(), 3);
+    assert!(edits.to_string().contains("a1"));
+    assert!(!w.qe.store.contains("http://watcher/replacements"));
+}
+
+#[test]
+fn extensional_identity_reports_replacements_instead() {
+    let mut sim = Simulation::new(17);
+    let mut store = ResourceStore::new();
+    store.put("http://news/front", news("v0"));
+    sim.add_store("http://news", store);
+    sim.add_engine("http://watcher", watcher_engine());
+    sim.subscribe_push("http://news/front", "http://watcher", IdentityMode::Extensional);
+    sim.schedule_update("http://news/front", news("v1"), Timestamp(1_000));
+    sim.run_until(Timestamp(10_000));
+    let w = sim.engine("http://watcher").unwrap();
+    // The same edit now looks like delete+insert: identity was the value.
+    assert!(!w.qe.store.contains("http://watcher/edits"));
+    assert!(w.qe.store.contains("http://watcher/replacements"));
+}
+
+#[test]
+fn polling_detects_the_same_changes_later_and_dearer() {
+    let mut sim = Simulation::new(17);
+    let mut store = ResourceStore::new();
+    store.put("http://news/front", news("v0"));
+    sim.add_store("http://news", store);
+    sim.add_engine("http://watcher", watcher_engine());
+    sim.add_poller(
+        "http://poller",
+        Poller::new(
+            "http://news/front",
+            Dur::secs(30),
+            "http://watcher",
+            IdentityMode::surrogate(),
+        ),
+    );
+    sim.schedule_update("http://news/front", news("v1"), Timestamp(5_000));
+    sim.run_until(Timestamp(120_000));
+    let w = sim.engine("http://watcher").unwrap();
+    let edits = w.qe.store.get("http://watcher/edits").unwrap();
+    assert_eq!(edits.children().len(), 1, "the change was seen exactly once");
+    // Four polls in two minutes, even though only one change happened.
+    assert_eq!(sim.metrics.gets, 5);
+}
+
+#[test]
+fn coalescing_two_updates_between_polls_yields_one_change() {
+    let mut sim = Simulation::new(17);
+    let mut store = ResourceStore::new();
+    store.put("http://news/front", news("v0"));
+    sim.add_store("http://news", store);
+    sim.add_engine("http://watcher", watcher_engine());
+    sim.add_poller(
+        "http://poller",
+        Poller::new(
+            "http://news/front",
+            Dur::secs(60),
+            "http://watcher",
+            IdentityMode::surrogate(),
+        ),
+    );
+    // Two updates land within one polling interval.
+    sim.schedule_update("http://news/front", news("v1"), Timestamp(5_000));
+    sim.schedule_update("http://news/front", news("v2"), Timestamp(10_000));
+    sim.run_until(Timestamp(70_000));
+    let w = sim.engine("http://watcher").unwrap();
+    // The poller can only see the net effect — push would have seen both.
+    let edits = w.qe.store.get("http://watcher/edits").unwrap();
+    assert_eq!(edits.children().len(), 1, "intermediate state was lost");
+}
