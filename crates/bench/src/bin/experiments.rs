@@ -1,38 +1,79 @@
 //! Regenerate the per-thesis experiment tables E1…E12 (see DESIGN.md §3).
 //!
 //! ```text
-//! cargo run --release -p reweb-bench --bin experiments          # all
-//! cargo run --release -p reweb-bench --bin experiments -- E3 E6 # a subset
+//! cargo run --release --bin experiments            # all tables
+//! cargo run --release --bin experiments -- E3 E6   # a subset
+//! cargo run --release --bin experiments -- --smoke # fast CI sanity check
 //! ```
 //!
-//! Output is Markdown, pasteable into EXPERIMENTS.md.
+//! Output is Markdown, pasteable into EXPERIMENTS.md. `--smoke` skips the
+//! tables and instead drives one rule through the reactive engine
+//! end-to-end in well under a second — CI uses it to prove the binary and
+//! the engine work without paying for the full (~15 s) experiment run.
 
 use reweb_bench::experiments;
 
+/// Fast path for CI: one ECA rule, one matching event, one reaction.
+/// Panics (non-zero exit) if the engine does not behave.
+fn smoke() {
+    use reweb_core::{MessageMeta, ReactiveEngine};
+    use reweb_term::{parse_term, Timestamp};
+
+    let mut engine = ReactiveEngine::new("http://smoke.example");
+    engine.qe.store.put(
+        "http://smoke.example/customers",
+        parse_term(r#"customers[ customer{id["c1"], name["Ann"]} ]"#).unwrap(),
+    );
+    engine
+        .install_program(
+            r#"RULE on_order
+                 ON order{{ id[[var O]], customer[[var C]] }}
+                 IF in "http://smoke.example/customers" customer{{ id[[var C]], name[[var N]] }}
+                 THEN SEND confirmation{order[var O], dear[var N]} TO "http://client.example"
+               END"#,
+        )
+        .expect("smoke rule parses");
+
+    let meta = MessageMeta::from_uri("http://client.example");
+    let out = engine.receive(
+        parse_term(r#"order{ id["o-1"], customer["c1"] }"#).unwrap(),
+        &meta,
+        Timestamp(1_000),
+    );
+    assert_eq!(out.len(), 1, "expected exactly one reaction message");
+    assert_eq!(engine.metrics.rules_fired, 1, "expected the rule to fire once");
+    println!(
+        "smoke OK: 1 rule installed, 1 event received, 1 reaction sent to {}",
+        out[0].to
+    );
+}
+
 fn main() {
-    let wanted: Vec<String> = std::env::args()
-        .skip(1)
-        .map(|s| s.to_uppercase())
-        .collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        if args.len() > 1 {
+            eprintln!("error: --smoke cannot be combined with experiment ids (got {args:?})");
+            std::process::exit(2);
+        }
+        smoke();
+        return;
+    }
+    if let Some(bad) = args.iter().find(|a| {
+        let up = a.to_uppercase();
+        !experiments::RUNNERS.iter().any(|(id, _)| *id == up)
+    }) {
+        let ids: Vec<&str> = experiments::RUNNERS.iter().map(|(id, _)| *id).collect();
+        eprintln!(
+            "error: unknown experiment id {bad:?} (expected one of {})",
+            ids.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
     let run_all = wanted.is_empty();
 
-    let runners: Vec<(&str, fn() -> reweb_bench::Table)> = vec![
-        ("E1", experiments::e1_eca_vs_production),
-        ("E2", experiments::e2_local_vs_central),
-        ("E3", experiments::e3_push_vs_poll),
-        ("E4", experiments::e4_volatility),
-        ("E5", experiments::e5_event_dimensions),
-        ("E6", experiments::e6_incremental_vs_naive),
-        ("E7", experiments::e7_condition_queries),
-        ("E8", experiments::e8_compound_actions),
-        ("E9", experiments::e9_structuring),
-        ("E10", experiments::e10_identity),
-        ("E11", experiments::e11_trust_negotiation),
-        ("E12", experiments::e12_aaa_overhead),
-    ];
-
     println!("# reweb experiment tables (E1…E12)\n");
-    for (id, run) in runners {
+    for (id, run) in experiments::RUNNERS {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id}…");
             let table = run();

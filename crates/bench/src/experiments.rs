@@ -18,6 +18,24 @@ use reweb_websim::{Poller, Simulation};
 
 use crate::{customers_doc, f, mixed_stream, news_doc, order_payload, timed, Table};
 
+/// The experiment table, in run order — the single source the
+/// `experiments` binary uses both to validate its arguments and to
+/// dispatch, so ids and runners cannot drift apart.
+pub const RUNNERS: [(&str, fn() -> Table); 12] = [
+    ("E1", e1_eca_vs_production),
+    ("E2", e2_local_vs_central),
+    ("E3", e3_push_vs_poll),
+    ("E4", e4_volatility),
+    ("E5", e5_event_dimensions),
+    ("E6", e6_incremental_vs_naive),
+    ("E7", e7_condition_queries),
+    ("E8", e8_compound_actions),
+    ("E9", e9_structuring),
+    ("E10", e10_identity),
+    ("E11", e11_trust_negotiation),
+    ("E12", e12_aaa_overhead),
+];
+
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
 /// marketplace workload over a growing fact base.
 pub fn e1_eca_vs_production() -> Table {

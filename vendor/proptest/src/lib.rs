@@ -1,0 +1,844 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest its property suites actually use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * [`Just`], integer-range strategies, tuple strategies (arity 2–6),
+//!   `&str`-as-regex strategies, [`any`]`::<T>()`;
+//! * [`collection::vec`], [`collection::btree_map`], [`option::of`],
+//!   [`string::string_regex`] (a regex *subset*: char classes, ranges,
+//!   escapes, `{n}`/`{n,m}`/`?`/`*`/`+` repetition — exactly what the
+//!   suites' patterns need);
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] macros and
+//!   [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the assert
+//!   message) but is not minimized.
+//! * **Deterministic seeding.** Each test's RNG is seeded from the hash
+//!   of its module path and name, so runs are reproducible and CI-stable;
+//!   there is no failure-persistence file.
+//!
+//! Swap the `[workspace.dependencies]` entry back to the registry version
+//! to regain full proptest when networked.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator used by all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test's fully qualified name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        self.below(den as u64) < num as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces one concrete value per call.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self::Value, O>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map {
+            inner: self.boxed(),
+            f: Rc::new(f),
+        }
+    }
+
+    /// Recursive strategies: `depth` levels of branching via `f`, with
+    /// `self` as the leaf generator. The `_desired_size` and
+    /// `_expected_branch_size` tuning knobs of real proptest are accepted
+    /// and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            depth,
+            f: Rc::new(move |inner| f(inner).boxed()),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<T, O> {
+    inner: BoxedStrategy<T>,
+    f: Rc<dyn Fn(T) -> O>,
+}
+
+impl<T, O> Clone for Map<T, O> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T, O> Strategy for Map<T, O> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    depth: u32,
+    f: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            leaf: self.leaf.clone(),
+            depth: self.depth,
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Always a leaf once the depth budget is spent; otherwise branch
+        // two times out of three so generated shapes mix shallow and deep.
+        if self.depth == 0 || rng.ratio(1, 3) {
+            return self.leaf.generate(rng);
+        }
+        let inner = Recursive {
+            leaf: self.leaf.clone(),
+            depth: self.depth - 1,
+            f: Rc::clone(&self.f),
+        }
+        .boxed();
+        (self.f)(inner).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// A `&str` is a strategy generating strings matching it as a regex
+/// (subset — see [`string::string_regex`]). Panics on an unsupported
+/// pattern, mirroring real proptest's panic on an invalid regex.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+/// Weighted choice among strategies of a common value type.
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut x = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if x < *w as u64 {
+                return s.generate(rng);
+            }
+            x -= *w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Backing function for the [`prop_oneof!`] macro.
+pub fn one_of<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    OneOf { arms, total }
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary_strategy() -> BoxedStrategy<Self>;
+}
+
+struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary_strategy()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_strategy() -> BoxedStrategy<bool> {
+        FnStrategy(|rng: &mut TestRng| rng.next_u64() & 1 == 1).boxed()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_strategy() -> BoxedStrategy<$t> {
+                FnStrategy(|rng: &mut TestRng| rng.next_u64() as $t).boxed()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for char {
+    fn arbitrary_strategy() -> BoxedStrategy<char> {
+        // Printable ASCII keeps generated text parseable and readable.
+        FnStrategy(|rng: &mut TestRng| (b' ' + rng.below(95) as u8) as char).boxed()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option / string modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<T> {
+        elem: BoxedStrategy<T>,
+        size: Range<usize>,
+    }
+
+    impl<T> Clone for VecStrategy<T> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                elem: self.elem.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for VecStrategy<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.size.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec<T>` with a length drawn uniformly from `size`.
+    pub fn vec<S>(elem: S, size: Range<usize>) -> VecStrategy<S::Value>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy {
+            elem: elem.boxed(),
+            size,
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        keys: BoxedStrategy<K>,
+        vals: BoxedStrategy<V>,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Clone for BTreeMapStrategy<K, V> {
+        fn clone(&self) -> Self {
+            BTreeMapStrategy {
+                keys: self.keys.clone(),
+                vals: self.vals.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<K: Ord, V> Strategy for BTreeMapStrategy<K, V> {
+        type Value = BTreeMap<K, V>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K, V> {
+            let target = self.size.clone().generate(rng);
+            let mut map = BTreeMap::new();
+            // Key collisions may keep the map below target; bound the
+            // attempts so tiny key spaces cannot loop forever.
+            let mut attempts = 0;
+            while map.len() < target && attempts < 10 * target + 20 {
+                map.insert(self.keys.generate(rng), self.vals.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// `BTreeMap<K, V>` with a size drawn uniformly from `size`
+    /// (best-effort under key collisions).
+    pub fn btree_map<KS, VS>(
+        keys: KS,
+        vals: VS,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<KS::Value, VS::Value>
+    where
+        KS: Strategy + 'static,
+        KS::Value: Ord + 'static,
+        VS: Strategy + 'static,
+        VS::Value: 'static,
+    {
+        assert!(size.start < size.end, "collection::btree_map: empty size range");
+        BTreeMapStrategy {
+            keys: keys.boxed(),
+            vals: vals.boxed(),
+            size,
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<T> {
+        inner: BoxedStrategy<T>,
+    }
+
+    impl<T> Clone for OptionStrategy<T> {
+        fn clone(&self) -> Self {
+            OptionStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for OptionStrategy<T> {
+        type Value = Option<T>;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            if rng.ratio(1, 4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S>(inner: S) -> OptionStrategy<S::Value>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        OptionStrategy {
+            inner: inner.boxed(),
+        }
+    }
+}
+
+pub mod string {
+    use super::*;
+
+    /// One regex atom with its repetition bounds (`max` inclusive).
+    #[derive(Clone, Debug)]
+    struct Part {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a (subset) regex.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        parts: Vec<Part>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for part in &self.parts {
+                let span = (part.max - part.min + 1) as u64;
+                let n = part.min + rng.below(span) as usize;
+                for _ in 0..n {
+                    out.push(part.chars[rng.below(part.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    fn err<T>(msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error(msg.into()))
+    }
+
+    /// Parse a regex *subset* into a generator: sequences of literal
+    /// chars, `\`-escapes, `.`, and `[...]` classes (with ranges and
+    /// escapes), each optionally followed by `{n}`, `{n,m}`, `?`, `*`
+    /// or `+`. Anchors, groups, and alternation are not supported.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let cs: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut parts = Vec::new();
+        while i < cs.len() {
+            let chars: Vec<char> = match cs[i] {
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < cs.len() && cs[i] != ']' {
+                        let lo = if cs[i] == '\\' {
+                            i += 1;
+                            if i >= cs.len() {
+                                return err("dangling escape in class");
+                            }
+                            unescape(cs[i])
+                        } else {
+                            cs[i]
+                        };
+                        if i + 2 < cs.len() && cs[i + 1] == '-' && cs[i + 2] != ']' {
+                            let hi = cs[i + 2];
+                            if hi < lo {
+                                return err(format!("inverted range {lo}-{hi}"));
+                            }
+                            set.extend(lo..=hi);
+                            i += 3;
+                        } else {
+                            set.push(lo);
+                            i += 1;
+                        }
+                    }
+                    if i >= cs.len() {
+                        return err("unclosed character class");
+                    }
+                    i += 1; // consume ']'
+                    if set.is_empty() {
+                        return err("empty character class");
+                    }
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    if i >= cs.len() {
+                        return err("dangling escape");
+                    }
+                    let c = unescape(cs[i]);
+                    i += 1;
+                    vec![c]
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                c @ ('(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$') => {
+                    return err(format!("unsupported regex construct {c:?}"));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < cs.len() {
+                match cs[i] {
+                    '{' => {
+                        let close = match cs[i..].iter().position(|&c| c == '}') {
+                            Some(off) => i + off,
+                            None => return err("unclosed repetition"),
+                        };
+                        let body: String = cs[i + 1..close].iter().collect();
+                        i = close + 1;
+                        let (lo, hi) = match body.split_once(',') {
+                            Some((a, b)) => (a.trim().to_string(), b.trim().to_string()),
+                            None => (body.trim().to_string(), body.trim().to_string()),
+                        };
+                        let lo: usize = match lo.parse() {
+                            Ok(n) => n,
+                            Err(_) => return err(format!("bad repetition bound {lo:?}")),
+                        };
+                        let hi: usize = match hi.parse() {
+                            Ok(n) => n,
+                            Err(_) => return err(format!("bad repetition bound {hi:?}")),
+                        };
+                        if hi < lo {
+                            return err("inverted repetition bounds");
+                        }
+                        (lo, hi)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            parts.push(Part { chars, min, max });
+        }
+        Ok(RegexGeneratorStrategy { parts })
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// The proptest entry point: a block of `#[test]` functions whose
+/// arguments are drawn from strategies. Each function reruns its body
+/// for `cases` deterministic inputs; failures surface as ordinary
+/// assertion panics (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("proptest::self_test")
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = crate::string::string_regex("[a-c][a-z]{0,2}")
+                .unwrap()
+                .generate(&mut r);
+            assert!((1..=3).contains(&s.len()), "bad len: {s:?}");
+            assert!(('a'..='c').contains(&s.chars().next().unwrap()));
+            let t = crate::string::string_regex("[ -~]{0,12}").unwrap().generate(&mut r);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = crate::string::string_regex("[a-z][a-z0-9_]{0,6}")
+                .unwrap()
+                .generate(&mut r);
+            assert!((1..=7).contains(&u.len()));
+        }
+    }
+
+    #[test]
+    fn unsupported_regex_is_an_error() {
+        assert!(crate::string::string_regex("(a|b)+").is_err());
+        assert!(crate::string::string_regex("[z-a]").is_err());
+        assert!(crate::string::string_regex("[").is_err());
+    }
+
+    #[test]
+    fn recursive_terminates_and_varies() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(*v < 100, "leaf out of strategy range");
+                    0
+                }
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0..100u32).prop_map(Tree::Leaf).prop_recursive(3, 20, 3, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = strat.generate(&mut r);
+            assert!(depth(&t) <= 4, "depth budget exceeded: {t:?}");
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth >= 2, "recursion never branched deep");
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let strat = prop_oneof![
+            4 => Just("heavy"),
+            1 => Just("light"),
+        ];
+        let mut r = rng();
+        let heavy = (0..1000).filter(|_| strat.generate(&mut r) == "heavy").count();
+        assert!((650..950).contains(&heavy), "weighting off: {heavy}/1000");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: multiple args, tuples, collections, options.
+        #[test]
+        fn macro_end_to_end(
+            v in crate::collection::vec((0..10u8, any::<bool>()), 0..5),
+            m in crate::collection::btree_map("[a-c]", 0..9u32, 0..3),
+            o in crate::option::of(Just(7u8)),
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(m.len() < 3);
+            if let Some(x) = o {
+                prop_assert_eq!(x, 7);
+            }
+        }
+    }
+}
