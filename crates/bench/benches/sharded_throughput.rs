@@ -1,0 +1,53 @@
+//! E13 (scale-out): batch ingestion throughput of the sharded engine at
+//! 1/2/4/8 shards vs a single engine, on the 128-label paired workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reweb_bench::{paired_stream, sharded_rules};
+use reweb_core::{InMessage, MessageMeta, ReactiveEngine, ShardedEngine};
+
+const LABELS: usize = 128;
+const EVENTS: usize = 20_000;
+
+fn workload() -> (String, Vec<InMessage>) {
+    let meta = MessageMeta::from_uri("http://client");
+    let msgs = paired_stream(LABELS, EVENTS, 17)
+        .into_iter()
+        .map(|(at, payload)| InMessage::new(payload, meta.clone(), at))
+        .collect();
+    (sharded_rules(LABELS), msgs)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_throughput");
+    group.sample_size(10);
+    let (program, msgs) = workload();
+
+    group.bench_function("single_engine", |b| {
+        b.iter(|| {
+            let mut e = ReactiveEngine::new("http://svc");
+            e.install_program(&program).unwrap();
+            for m in &msgs {
+                e.receive(m.payload.clone(), &m.meta, m.at);
+            }
+            e.metrics.rules_fired
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("receive_batch", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut e = ShardedEngine::new("http://svc", shards);
+                    e.install_program(&program).unwrap();
+                    e.receive_batch(&msgs);
+                    e.metrics().rules_fired
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

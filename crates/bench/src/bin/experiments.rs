@@ -1,4 +1,4 @@
-//! Regenerate the per-thesis experiment tables E1…E12 (see DESIGN.md §3).
+//! Regenerate the experiment tables E1…E13 (see DESIGN.md §3).
 //!
 //! ```text
 //! cargo run --release --bin experiments            # all tables
@@ -72,7 +72,7 @@ fn main() {
     let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
     let run_all = wanted.is_empty();
 
-    println!("# reweb experiment tables (E1…E12)\n");
+    println!("# reweb experiment tables (E1…E13)\n");
     for (id, run) in experiments::RUNNERS {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id}…");

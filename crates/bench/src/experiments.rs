@@ -1,4 +1,5 @@
-//! The twelve experiments E1…E12 — one per thesis (DESIGN.md §3).
+//! The experiments E1…E13 — one per thesis, plus E13 for the sharded
+//! batch-ingestion layer (DESIGN.md §3).
 //!
 //! Each function builds its workload, runs the systems under comparison,
 //! and returns a [`Table`] whose *shape* (who wins, how things scale)
@@ -21,7 +22,7 @@ use crate::{customers_doc, f, mixed_stream, news_doc, order_payload, timed, Tabl
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, fn() -> Table); 12] = [
+pub const RUNNERS: [(&str, fn() -> Table); 13] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -34,6 +35,7 @@ pub const RUNNERS: [(&str, fn() -> Table); 12] = [
     ("E10", e10_identity),
     ("E11", e11_trust_negotiation),
     ("E12", e12_aaa_overhead),
+    ("E13", e13_sharded_throughput),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1002,7 +1004,75 @@ pub fn e12_aaa_overhead() -> Table {
     t
 }
 
-/// Run all twelve experiments.
+/// E13 (sharded ingestion): batch throughput and shard occupancy of the
+/// label-affinity front-end vs a single engine, 100k-event workload.
+pub fn e13_sharded_throughput() -> Table {
+    e13_with(100_000)
+}
+
+/// E13 body, workload size parameterized so the shape test stays fast.
+fn e13_with(n_events: usize) -> Table {
+    use reweb_core::{InMessage, ShardedEngine};
+
+    let mut t = Table::new(
+        "E13",
+        "scale-out",
+        format!("sharded batch ingestion: {n_events} events, 128 rule-label groups"),
+        vec![
+            "engine", "shards", "reactions", "kevents_per_s", "speedup", "hottest_share",
+        ],
+    )
+    .with_note(
+        "Claim: partitioning rules by event-label affinity divides the \
+         per-event work (timer advance, dispatch, partial-match state) by \
+         the shard count while producing identical reactions; occupancy \
+         stays balanced because label groups spread round-robin. Shards \
+         share no state, so a thread per shard is the obvious next step.",
+    );
+    const LABELS: usize = 128;
+    let program = crate::sharded_rules(LABELS);
+    let meta = MessageMeta::from_uri("http://client");
+    let msgs: Vec<InMessage> = crate::paired_stream(LABELS, n_events, 17)
+        .into_iter()
+        .map(|(at, payload)| InMessage::new(payload, meta.clone(), at))
+        .collect();
+
+    // Baseline: one engine, one receive per message.
+    let mut single = ReactiveEngine::new("http://svc");
+    single.install_program(&program).expect("program");
+    let (_, base_secs) = timed(|| {
+        for m in &msgs {
+            single.receive(m.payload.clone(), &m.meta, m.at);
+        }
+    });
+    let base_rate = n_events as f64 / base_secs;
+    t.row(vec![
+        "single".into(),
+        "-".into(),
+        single.metrics.rules_fired.to_string(),
+        f(base_rate / 1_000.0),
+        "1.000".into(),
+        "1.000".into(),
+    ]);
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut e = ShardedEngine::new("http://svc", shards);
+        e.install_program(&program).expect("program");
+        let (_, secs) = timed(|| e.receive_batch(&msgs));
+        let rate = n_events as f64 / secs;
+        t.row(vec![
+            "sharded".into(),
+            shards.to_string(),
+            e.metrics().rules_fired.to_string(),
+            f(rate / 1_000.0),
+            f(rate / base_rate),
+            f(e.hottest_share()),
+        ]);
+    }
+    t
+}
+
+/// Run all thirteen experiments.
 pub fn all() -> Vec<Table> {
     vec![
         e1_eca_vs_production(),
@@ -1017,6 +1087,7 @@ pub fn all() -> Vec<Table> {
         e10_identity(),
         e11_trust_negotiation(),
         e12_aaa_overhead(),
+        e13_sharded_throughput(),
     ]
 }
 
@@ -1067,6 +1138,24 @@ mod tests {
         // extensional row: zero modifications, 400 delete+insert halves
         assert_eq!(t.rows[1][1], "0");
         assert_eq!(t.rows[1][2], "400");
+    }
+
+    #[test]
+    fn e13_shapes() {
+        let t = e13_with(8_000);
+        // Identical reactions at every shard count (the equivalence the
+        // property test pins, re-checked on the experiment workload).
+        let reactions: Vec<&str> = t.rows.iter().map(|r| r[2].as_str()).collect();
+        assert!(
+            reactions.iter().all(|r| *r == reactions[0]),
+            "reactions must not depend on sharding: {reactions:?}"
+        );
+        assert_eq!(reactions[0], "4000", "one reaction per evt/ack pair");
+        // Round-robin group assignment keeps occupancy balanced: at 4
+        // shards the hottest shard carries ~1/4 of the traffic.
+        let four_shard_row = t.rows.iter().find(|r| r[1] == "4").unwrap();
+        let share: f64 = four_shard_row[5].parse().unwrap();
+        assert!(share < 0.3, "hottest shard overloaded: {share}");
     }
 
     #[test]

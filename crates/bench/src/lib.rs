@@ -1,5 +1,6 @@
-//! Shared workload generators and table plumbing for the per-thesis
-//! experiments E1…E12 (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
+//! Shared workload generators and table plumbing for the experiments
+//! E1…E13 — one per thesis plus the sharded-ingestion scaling table (see
+//! `DESIGN.md` §3 and `EXPERIMENTS.md`).
 //!
 //! The paper is a position paper with no tables or figures of its own, so
 //! every experiment here regenerates a table supporting one thesis's
@@ -148,6 +149,42 @@ pub fn mixed_stream(len: usize, pair_every: usize, seed: u64) -> Vec<(Timestamp,
             payment_payload(i - pair_every / 2, 100)
         } else {
             Term::unordered("c", vec![Term::ordered("v", vec![Term::int(i as i64)])])
+        };
+        out.push((Timestamp(t), payload));
+    }
+    out
+}
+
+/// A rule program with `n_labels` independent composite rules, one per
+/// evt/ack label pair — the partitionable workload for E13 and the
+/// `sharded_throughput` bench. Every rule is a windowed join, so the
+/// per-event timer-advance cost is proportional to how many rules one
+/// engine hosts; label affinity splits them evenly across shards.
+pub fn sharded_rules(n_labels: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n_labels {
+        src.push_str(&format!(
+            "RULE pair{i} ON and(evt{i}{{{{n[[var N]]}}}}, ack{i}{{{{n[[var N]]}}}}) within 1m \
+             DO SEND done{i}{{n[var N]}} TO \"http://sink\" END\n"
+        ));
+    }
+    src
+}
+
+/// The matching event stream: adjacent evt/ack pairs cycling round-robin
+/// over `n_labels` label pairs, with seeded timestamp jitter. Every pair
+/// completes its join, so reactions = `len / 2` regardless of sharding.
+pub fn paired_stream(n_labels: usize, len: usize, seed: u64) -> Vec<(Timestamp, Term)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    let mut t = 0u64;
+    for j in 0..len {
+        t += rng.gen_range(10..50);
+        let i = (j / 2) % n_labels;
+        let payload = if j % 2 == 0 {
+            parse_term(&format!("evt{i}{{n[\"{j}\"]}}")).expect("evt parse")
+        } else {
+            parse_term(&format!("ack{i}{{n[\"{}\"]}}", j - 1)).expect("ack parse")
         };
         out.push((Timestamp(t), payload));
     }

@@ -27,7 +27,9 @@ use reweb_term::{fnv1a, Term, Timestamp};
 /// Credentials presented in a message envelope.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Credentials {
+    /// The principal claiming to send the message.
     pub principal: String,
+    /// The shared secret proving it.
     pub secret: String,
 }
 
@@ -36,10 +38,12 @@ pub struct Credentials {
 pub struct MessageMeta {
     /// Sender URI (`"local"` for internally raised events).
     pub from: String,
+    /// Credentials presented by the sender, if any.
     pub credentials: Option<Credentials>,
 }
 
 impl MessageMeta {
+    /// Metadata for an internally raised event (`from = "local"`).
     pub fn local() -> MessageMeta {
         MessageMeta {
             from: "local".into(),
@@ -47,6 +51,7 @@ impl MessageMeta {
         }
     }
 
+    /// Metadata for a message from `uri`, without credentials.
     pub fn from_uri(uri: impl Into<String>) -> MessageMeta {
         MessageMeta {
             from: uri.into(),
@@ -54,6 +59,7 @@ impl MessageMeta {
         }
     }
 
+    /// Attach credentials to this metadata.
     pub fn with_credentials(mut self, principal: impl Into<String>, secret: impl Into<String>) -> Self {
         self.credentials = Some(Credentials {
             principal: principal.into(),
@@ -66,8 +72,10 @@ impl MessageMeta {
 /// A registered principal.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Principal {
+    /// The principal's name.
     pub name: String,
     salted_hash: u64,
+    /// Roles the principal holds (ACL grants may name roles).
     pub roles: Vec<String>,
 }
 
@@ -96,6 +104,7 @@ pub struct Acl {
 }
 
 impl Acl {
+    /// An empty ACL (nothing granted).
     pub fn new() -> Acl {
         Acl::default()
     }
@@ -140,10 +149,15 @@ pub struct AaaConfig {
 /// One accounting log entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AccountingRecord {
+    /// When the request was admitted or denied.
     pub time: Timestamp,
+    /// The (authenticated or anonymous) principal.
     pub principal: String,
+    /// What was requested, e.g. `"receive"`.
     pub action: String,
+    /// Action detail, e.g. the event label.
     pub detail: String,
+    /// Whether admission succeeded.
     pub allowed: bool,
 }
 
@@ -164,17 +178,23 @@ impl AccountingRecord {
 /// Per-principal usage counters (the basis for pay-per-use billing).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Usage {
+    /// Messages admitted for this principal.
     pub messages: u64,
+    /// Total payload bytes admitted.
     pub bytes: u64,
+    /// Messages denied.
     pub denied: u64,
 }
 
 /// The AAA state of one engine.
 #[derive(Clone, Debug, Default)]
 pub struct Aaa {
+    /// Which of the three A's are enforced.
     pub config: AaaConfig,
     principals: BTreeMap<String, Principal>,
+    /// The access control list consulted when `config.authorize` is set.
     pub acl: Acl,
+    /// The accounting log (when `config.accounting` is set).
     pub records: Vec<AccountingRecord>,
     usage: BTreeMap<String, Usage>,
 }
@@ -184,11 +204,14 @@ pub struct Aaa {
 pub struct Admission {
     /// Authenticated principal, or `"anonymous"`.
     pub principal: String,
+    /// Whether the message may trigger rules.
     pub allowed: bool,
+    /// Human-readable denial reason (empty when allowed).
     pub reason: String,
 }
 
 impl Aaa {
+    /// AAA state with the given enforcement configuration.
     pub fn new(config: AaaConfig) -> Aaa {
         Aaa {
             config,
@@ -313,6 +336,7 @@ impl Aaa {
         self.acl.allows(principal, &self.roles_of(principal), wanted)
     }
 
+    /// Usage counters accumulated for `principal`.
     pub fn usage(&self, principal: &str) -> Usage {
         self.usage.get(principal).copied().unwrap_or_default()
     }

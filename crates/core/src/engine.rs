@@ -39,21 +39,53 @@ use crate::aaa::{Aaa, AaaConfig, MessageMeta, Permission};
 use crate::meta::ruleset_from_term;
 use crate::rule::{EcaRule, RuleSet};
 
-/// Counters and error log of one engine (experiments E1, E9, E12).
+/// Counters and error log of one engine (experiments E1, E9, E12, E13).
 #[derive(Clone, Debug, Default)]
 pub struct EngineMetrics {
+    /// Messages received (via [`ReactiveEngine::receive`] or
+    /// [`ReactiveEngine::raise_local`]), whether or not anything fired.
     pub events_received: u64,
+    /// Messages refused by AAA admission; they trigger no rules.
     pub events_denied: u64,
+    /// Higher-level events derived by DETECT rules (Thesis 9).
     pub events_derived: u64,
+    /// Received or derived events dispatched to no rule at all — dropped
+    /// without any partial-match or condition work.
+    pub events_unmatched: u64,
     /// Rule firings (branch taken for at least one answer).
     pub rules_fired: u64,
     /// Non-trivial condition evaluations (the E9 currency).
     pub condition_evals: u64,
+    /// Actions that returned an error (contained, logged in `errors`).
     pub actions_failed: u64,
+    /// Outbound messages produced by actions.
     pub messages_sent: u64,
+    /// Rules compiled into this engine.
     pub rules_installed: u64,
+    /// Firing count per rule name.
     pub fires_by_rule: BTreeMap<String, u64>,
+    /// Human-readable error log (action failures, denied installs, …).
     pub errors: Vec<String>,
+}
+
+impl EngineMetrics {
+    /// Fold another engine's counters into this one — how a
+    /// [`crate::shard::ShardedEngine`] aggregates its shards.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.events_received += other.events_received;
+        self.events_denied += other.events_denied;
+        self.events_derived += other.events_derived;
+        self.events_unmatched += other.events_unmatched;
+        self.rules_fired += other.rules_fired;
+        self.condition_evals += other.condition_evals;
+        self.actions_failed += other.actions_failed;
+        self.messages_sent += other.messages_sent;
+        self.rules_installed += other.rules_installed;
+        for (name, n) in &other.fires_by_rule {
+            *self.fires_by_rule.entry(name.clone()).or_default() += n;
+        }
+        self.errors.extend(other.errors.iter().cloned());
+    }
 }
 
 struct CompiledRule {
@@ -78,12 +110,14 @@ pub struct ReactiveEngine {
     default_ttl: Option<Dur>,
     next_event_id: u64,
     now: Timestamp,
+    /// Counters and error log (see [`EngineMetrics`]).
     pub metrics: EngineMetrics,
     /// Terms written by `LOG` actions.
     pub action_log: Vec<Term>,
 }
 
 impl ReactiveEngine {
+    /// An empty engine for the node at `uri`.
     pub fn new(uri: impl Into<String>) -> ReactiveEngine {
         ReactiveEngine {
             uri: uri.into(),
@@ -188,6 +222,7 @@ impl ReactiveEngine {
         self.metrics.rules_installed += 1;
     }
 
+    /// Number of compiled (installed, enabled) rules.
     pub fn rule_count(&self) -> usize {
         self.compiled.len()
     }
@@ -205,6 +240,7 @@ impl ReactiveEngine {
         rules.chain(self.deduction.next_deadline()).min()
     }
 
+    /// The engine's current virtual time.
     pub fn now(&self) -> Timestamp {
         self.now
     }
@@ -329,6 +365,10 @@ impl ReactiveEngine {
         idxs.extend_from_slice(&self.wildcard);
         idxs.sort_unstable();
         idxs.dedup();
+        if idxs.is_empty() {
+            self.metrics.events_unmatched += 1;
+            return;
+        }
         for idx in idxs {
             let answers = self.compiled[idx].ev.push(e);
             for a in answers {

@@ -33,6 +33,10 @@
 //!   terms that travel inside event messages and reflect back into rules,
 //!   so engines can exchange and evaluate each other's rules
 //!   (meta-circularity: same language on both levels).
+//! * [`shard`] — batch ingestion front-end: a [`ShardedEngine`] owning N
+//!   engines, partitioning rules by event-label affinity and routing each
+//!   event to the one shard that needs it — semantically equivalent to a
+//!   single engine (experiment E13 measures the throughput win).
 //! * [`aaa`] — Thesis 12: authentication (salted-hash credentials),
 //!   authorization (ACL over event labels, resources, rule installation),
 //!   and accounting — realized as *derived events* fed back into the same
@@ -41,11 +45,14 @@
 //!   reactive, incremental rule exchange, with the eager "send every
 //!   policy up front" strategy as the E11 baseline.
 
+#![warn(missing_docs)]
+
 pub mod aaa;
 pub mod engine;
 pub mod meta;
 pub mod parser;
 pub mod rule;
+pub mod shard;
 pub mod trust;
 
 pub use aaa::{AaaConfig, AccountingRecord, Acl, Credentials, MessageMeta, Permission, Principal};
@@ -53,6 +60,7 @@ pub use engine::{EngineMetrics, OutMessage, ReactiveEngine};
 pub use meta::{rule_from_term, rule_to_term, ruleset_from_term, ruleset_to_term};
 pub use parser::{parse_action, parse_program, parse_rule};
 pub use rule::{Branch, EcaRule, RuleSet};
+pub use shard::{InMessage, ShardedEngine};
 pub use trust::{negotiate, NegotiationOutcome, Party, Policy, Strategy};
 
 pub use reweb_term::TermError;

@@ -26,13 +26,16 @@ use reweb_update::{Action, ProcedureDef};
 pub struct Branch {
     /// `Condition::always_true()` for `DO`/`ELSE` branches.
     pub cond: Condition,
+    /// The action executed when the condition holds.
     pub action: Action,
 }
 
 /// A reactive rule: `RULE name ON event (IF c THEN a)… (ELSE a)? END`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EcaRule {
+    /// The rule's name (metrics and error messages refer to it).
     pub name: String,
+    /// The event query triggering this rule.
     pub on: EventQuery,
     /// Evaluated in order; the first branch whose condition holds fires.
     pub branches: Vec<Branch>,
@@ -109,11 +112,15 @@ impl fmt::Display for EcaRule {
 /// A named group of rules and scoped definitions.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RuleSet {
+    /// The set's name (a path segment for [`RuleSet::find_mut`]).
     pub name: String,
     /// Disabled sets (and everything below them) are skipped at install.
     pub enabled: bool,
+    /// The set's own rules.
     pub rules: Vec<EcaRule>,
+    /// Nested rule sets.
     pub children: Vec<RuleSet>,
+    /// Procedures scoped to this set and its descendants.
     pub procedures: Vec<ProcedureDef>,
     /// Views: (URI, rule) pairs registered with the local query engine.
     pub views: Vec<(String, DeductiveRule)>,
@@ -122,6 +129,7 @@ pub struct RuleSet {
 }
 
 impl RuleSet {
+    /// An empty, enabled rule set.
     pub fn new(name: impl Into<String>) -> RuleSet {
         RuleSet {
             name: name.into(),
@@ -130,31 +138,37 @@ impl RuleSet {
         }
     }
 
+    /// Append a rule (builder style).
     pub fn with_rule(mut self, r: EcaRule) -> RuleSet {
         self.rules.push(r);
         self
     }
 
+    /// Append a nested set (builder style).
     pub fn with_child(mut self, c: RuleSet) -> RuleSet {
         self.children.push(c);
         self
     }
 
+    /// Append a scoped procedure (builder style).
     pub fn with_procedure(mut self, p: ProcedureDef) -> RuleSet {
         self.procedures.push(p);
         self
     }
 
+    /// Append a scoped view (builder style).
     pub fn with_view(mut self, uri: impl Into<String>, rule: DeductiveRule) -> RuleSet {
         self.views.push((uri.into(), rule));
         self
     }
 
+    /// Append a scoped DETECT rule (builder style).
     pub fn with_event_rule(mut self, r: EventRule) -> RuleSet {
         self.event_rules.push(r);
         self
     }
 
+    /// Mark the set disabled (skipped at install).
     pub fn disabled(mut self) -> RuleSet {
         self.enabled = false;
         self

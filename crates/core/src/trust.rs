@@ -26,7 +26,9 @@ use reweb_term::Term;
 /// of `requires`." An empty `requires` means freely disclosed on request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Policy {
+    /// The credential or resource this policy guards.
     pub target: String,
+    /// Credentials the peer must present first.
     pub requires: Vec<String>,
     /// Sensitive policies must only travel when their target was
     /// explicitly requested (the paper's advantage 2).
@@ -34,6 +36,7 @@ pub struct Policy {
 }
 
 impl Policy {
+    /// A non-sensitive policy guarding `target` behind `requires`.
     pub fn new(target: impl Into<String>, requires: Vec<&str>) -> Policy {
         Policy {
             target: target.into(),
@@ -42,6 +45,7 @@ impl Policy {
         }
     }
 
+    /// Mark the policy sensitive (builder style).
     pub fn sensitive(mut self) -> Policy {
         self.sensitive = true;
         self
@@ -68,13 +72,16 @@ impl Policy {
 /// One negotiating party: credentials it can present, guarded by policies.
 #[derive(Clone, Debug, Default)]
 pub struct Party {
+    /// The party's name (for reporting).
     pub name: String,
     /// Credential name → credential document (certificate, card, …).
     pub credentials: BTreeMap<String, Term>,
+    /// The party's disclosure policies.
     pub policies: Vec<Policy>,
 }
 
 impl Party {
+    /// A party with no credentials or policies yet.
     pub fn new(name: impl Into<String>) -> Party {
         Party {
             name: name.into(),
@@ -82,11 +89,13 @@ impl Party {
         }
     }
 
+    /// Add a presentable credential (builder style).
     pub fn with_credential(mut self, name: impl Into<String>, doc: Term) -> Party {
         self.credentials.insert(name.into(), doc);
         self
     }
 
+    /// Add a disclosure policy (builder style).
     pub fn with_policy(mut self, p: Policy) -> Party {
         self.policies.push(p);
         self
@@ -109,6 +118,7 @@ pub enum Strategy {
 /// What a negotiation run measured.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NegotiationOutcome {
+    /// Did the requester obtain the target?
     pub success: bool,
     /// Message exchanges (each direction counts one).
     pub messages: usize,

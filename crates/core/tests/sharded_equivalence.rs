@@ -1,0 +1,201 @@
+//! Property test pinning the tentpole invariant of the shard layer: a
+//! [`ShardedEngine`] processing a batch produces exactly the messages a
+//! single [`ReactiveEngine`] produces when fed the same stream event by
+//! event — for random rule sets (atomic, composite, absence, wildcard,
+//! DETECT, store-reading conditions) and random event streams, at any
+//! shard count.
+//!
+//! Outputs are compared as sorted (to, payload) multisets: the sharded
+//! engine merges shard outputs deterministically, but deadline firings
+//! and cross-shard interleavings may legally reorder against the single
+//! engine's sequence.
+
+use proptest::prelude::*;
+
+use reweb_core::{InMessage, MessageMeta, ReactiveEngine, ShardedEngine};
+use reweb_term::{parse_term, Term, Timestamp};
+
+const LABELS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+
+/// Materialize rule-program fragment `i` from a kind code and two label
+/// picks. Fragments only ever SEND (never PERSIST): shards have
+/// independent stores, and communicating through the store is the
+/// documented exclusion from the equivalence guarantee.
+fn fragment(i: usize, kind: u8, a: usize, b: usize) -> String {
+    let la = LABELS[a % LABELS.len()];
+    let lb = LABELS[b % LABELS.len()];
+    match kind % 9 {
+        // atomic, label-indexed
+        0 => format!(
+            r#"RULE r{i} ON {la}{{{{v[[var X]]}}}} DO SEND saw{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // conjunction with a window (joins two labels into one group)
+        1 => format!(
+            r#"RULE r{i} ON and({la}{{{{v[[var X]]}}}}, {lb}{{{{v[[var Y]]}}}}) within 2m
+               DO SEND pair{i}{{a[var X], b[var Y]}} TO "http://sink/{i}" END"#
+        ),
+        // temporal order
+        2 => format!(
+            r#"RULE r{i} ON seq({la}{{{{v[[var X]]}}}}, {lb}{{{{v[[var Y]]}}}}) within 90s
+               DO SEND seq{i}{{a[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // absence with a deadline (exercises cross-shard timer advance)
+        3 => format!(
+            r#"RULE r{i} ON absence({la}{{{{v[[var X]]}}}}, {lb}{{{{v[[var X]]}}}}, 30s)
+               DO SEND missing{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // stateless wildcard (replicated to every shard)
+        4 => format!(
+            r#"RULE r{i} ON *{{{{v[[var X]]}}}} DO SEND any{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // event-level WHERE filter
+        5 => format!(
+            r#"RULE r{i} ON {la}{{{{v[[var X]]}}}} where var X >= 5
+               DO SEND big{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // ECAA branching over a store read (store replicated to shards)
+        6 => format!(
+            r#"RULE r{i} ON {la}{{{{v[[var X]]}}}}
+               IF in "http://data/items" item{{{{v[[var X]]}}}}
+               THEN SEND hit{i}{{v[var X]}} TO "http://sink/{i}"
+               ELSE SEND miss{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // DETECT + consumer of the derived event (colocation invariant)
+        7 => format!(
+            r#"DETECT d{i}{{v[var X]}} ON {la}{{{{v[[var X]]}}}} where var X >= 3 END
+               RULE r{i} ON d{i}{{{{v[[var X]]}}}} DO SEND derived{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+        // stateful wildcard (collapses the router; still equivalent)
+        _ => format!(
+            r#"RULE r{i} ON and({la}{{{{v[[var X]]}}}}, *{{{{tag[[var Y]]}}}}) within 2m
+               DO SEND wild{i}{{v[var X]}} TO "http://sink/{i}" END"#
+        ),
+    }
+}
+
+fn event_payload(label_idx: usize, v: u64) -> Term {
+    let label = if label_idx < LABELS.len() {
+        LABELS[label_idx]
+    } else if label_idx == LABELS.len() {
+        "noise"
+    } else {
+        "static"
+    };
+    parse_term(&format!("{label}{{v[\"{v}\"]}}")).unwrap()
+}
+
+fn seed_store() -> Term {
+    // Items 0..5 exist; events carry 0..10, so ECAA branches both ways.
+    parse_term(
+        "items[item{v[\"0\"]}, item{v[\"1\"]}, item{v[\"2\"]}, item{v[\"3\"]}, item{v[\"4\"]}]",
+    )
+    .unwrap()
+}
+
+/// Run the stream through a single engine, one receive per message.
+fn run_single(program: &str, stream: &[InMessage]) -> (Vec<(String, String)>, u64) {
+    let mut e = ReactiveEngine::new("http://node");
+    e.qe.store.put("http://data/items", seed_store());
+    e.install_program(program).expect("program installs");
+    let mut out = Vec::new();
+    for m in stream {
+        out.extend(e.receive(m.payload.clone(), &m.meta, m.at));
+    }
+    (
+        out.into_iter().map(|o| (o.to, o.payload.to_string())).collect(),
+        e.metrics.rules_fired,
+    )
+}
+
+/// Run the same stream as one batch through a sharded engine.
+fn run_sharded(program: &str, stream: &[InMessage], shards: usize) -> (Vec<(String, String)>, u64) {
+    let mut e = ShardedEngine::new("http://node", shards);
+    e.put_resource("http://data/items", seed_store());
+    e.install_program(program).expect("program installs");
+    let out = e.receive_batch(stream);
+    (
+        out.into_iter().map(|o| (o.to, o.payload.to_string())).collect(),
+        e.metrics().rules_fired,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_engine_is_equivalent_to_single(
+        rules in proptest::collection::vec((0..9u8, 0..6usize, 0..6usize), 1..6),
+        stream in proptest::collection::vec((0..8usize, 0..10u64, 1..20_000u64), 4..40),
+    ) {
+        let program: String = rules
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, a, b))| fragment(i, kind, a, b))
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let meta = MessageMeta::from_uri("http://peer");
+        let mut at = 0u64;
+        let msgs: Vec<InMessage> = stream
+            .iter()
+            .map(|&(l, v, dt)| {
+                at += dt;
+                InMessage::new(event_payload(l, v), meta.clone(), Timestamp(at))
+            })
+            .collect();
+
+        let (mut single_out, single_fired) = run_single(&program, &msgs);
+        single_out.sort();
+        for shards in [2usize, 3, 4, 8] {
+            let (mut sharded_out, sharded_fired) = run_sharded(&program, &msgs, shards);
+            sharded_out.sort();
+            prop_assert_eq!(
+                &single_out, &sharded_out,
+                "outputs diverged at {} shards for program:\n{}", shards, program
+            );
+            prop_assert_eq!(
+                single_fired, sharded_fired,
+                "fire counts diverged at {} shards for program:\n{}", shards, program
+            );
+        }
+    }
+}
+
+/// Deterministic regression: the exact marketplace-style mix from the
+/// module docs, at every shard count up to 8.
+#[test]
+fn marketplace_mix_equivalent_at_all_shard_counts() {
+    let program = r#"
+        RULE on_payment ON and(order{{id[[var O]], total[[var T]]}},
+                               payment{{order[[var O]], amount[[var A]]}}) within 2h
+             where var A >= var T
+          DO SEND paid{order[var O]} TO "http://ship" END
+        DETECT big{id[var O]} ON order{{id[[var O]], total[[var T]]}} where var T >= 100 END
+        RULE on_big ON big{{id[[var O]]}} DO SEND audit{id[var O]} TO "http://audit" END
+        RULE watch ON *{{id[[var I]]}} DO SEND seen{id[var I]} TO "http://log" END
+        RULE quiet ON absence(ping{{n[[var N]]}}, pong{{n[[var N]]}}, 10s)
+          DO SEND silent{n[var N]} TO "http://ops" END
+    "#;
+    let meta = MessageMeta::from_uri("http://peer");
+    let mut msgs = Vec::new();
+    for k in 0..60u64 {
+        let at = Timestamp(1_000 + k * 7_000);
+        let payload = match k % 5 {
+            0 => parse_term(&format!("order{{id[\"o{k}\"], total[\"{}\"]}}", 50 + k * 3)).unwrap(),
+            1 => parse_term(&format!("payment{{order[\"o{}\"], amount[\"500\"]}}", k - 1)).unwrap(),
+            2 => parse_term(&format!("ping{{n[\"{k}\"]}}")).unwrap(),
+            3 if k % 2 == 1 => parse_term(&format!("pong{{n[\"{}\"]}}", k - 1)).unwrap(),
+            _ => parse_term(&format!("noise{{id[\"n{k}\"]}}")).unwrap(),
+        };
+        msgs.push(InMessage::new(payload, meta.clone(), at));
+    }
+    let (mut single, single_fired) = run_single(program, &msgs);
+    single.sort();
+    assert!(!single.is_empty(), "workload must actually produce reactions");
+    for shards in 1..=8 {
+        let (mut sharded, sharded_fired) = run_sharded(program, &msgs, shards);
+        sharded.sort();
+        assert_eq!(single, sharded, "diverged at {shards} shards");
+        assert_eq!(single_fired, sharded_fired, "fires diverged at {shards} shards");
+    }
+}

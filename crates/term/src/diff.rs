@@ -26,15 +26,29 @@ use crate::term::Term;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Change {
     /// `node` exists in the new version at `path` but not in the old one.
-    Inserted { path: Path, node: Term },
+    Inserted {
+        /// Where the node appears in the new version.
+        path: Path,
+        /// The inserted node.
+        node: Term,
+    },
     /// `node` existed at `path` in the old version but not in the new one.
-    Deleted { path: Path, node: Term },
+    Deleted {
+        /// Where the node was in the old version.
+        path: Path,
+        /// The deleted node.
+        node: Term,
+    },
     /// The object kept its identity but its content changed
     /// (only possible under surrogate identity).
     Modified {
+        /// Where the object lives in the new version.
         path: Path,
+        /// The identity that survived the change.
         key: IdentityKey,
+        /// The object's old content.
         before: Term,
+        /// The object's new content.
         after: Term,
     },
 }
@@ -77,6 +91,7 @@ impl Change {
         }
     }
 
+    /// The change kind as the string used in event payloads.
     pub fn kind(&self) -> &'static str {
         match self {
             Change::Inserted { .. } => "inserted",

@@ -6,7 +6,14 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TermError {
     /// Lexical or syntactic error, with a 1-based line/column position.
-    Parse { msg: String, line: u32, col: u32 },
+    Parse {
+        /// What went wrong.
+        msg: String,
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+    },
     /// A [`crate::Path`] does not address a node in the given document.
     PathNotFound(String),
     /// An operation that requires an element was applied to a text node.
@@ -18,6 +25,7 @@ pub enum TermError {
 }
 
 impl TermError {
+    /// A [`TermError::Parse`] at the given position.
     pub fn parse(msg: impl Into<String>, line: u32, col: u32) -> Self {
         TermError::Parse {
             msg: msg.into(),

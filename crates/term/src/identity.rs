@@ -48,7 +48,10 @@ pub enum IdentityMode {
     /// Objects are identified by the value of a key attribute (e.g. `"id"`).
     /// A changed object with a stable key is *the same* object: diffs can
     /// report an in-place modification.
-    Surrogate { key_attr: String },
+    Surrogate {
+        /// Name of the identity-defining attribute (without the `@`).
+        key_attr: String,
+    },
 }
 
 impl IdentityMode {
@@ -77,7 +80,9 @@ impl IdentityMode {
 /// The identity of one data item under some [`IdentityMode`].
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IdentityKey {
+    /// Extensional: the item's value hash ([`ext_id`]).
     Ext(u64),
+    /// Surrogate: the value of the key attribute.
     Surrogate(String),
 }
 

@@ -33,6 +33,7 @@ impl Tok {
         matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
     }
 
+    /// Is this exactly the punctuation character `c`?
     pub fn is_punct(&self, c: char) -> bool {
         matches!(self, Tok::Punct(p) if *p == c)
     }
@@ -51,8 +52,11 @@ impl Tok {
 /// A token plus its 1-based source position.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Spanned {
+    /// The token.
     pub tok: Tok,
+    /// 1-based source line.
     pub line: u32,
+    /// 1-based source column.
     pub col: u32,
 }
 
@@ -221,6 +225,7 @@ pub struct Cursor {
 }
 
 impl Cursor {
+    /// A cursor at the start of a token stream.
     pub fn new(toks: Vec<Spanned>) -> Self {
         Cursor { toks, pos: 0 }
     }
@@ -230,14 +235,17 @@ impl Cursor {
         Ok(Cursor::new(lex(input)?))
     }
 
+    /// The current token, without consuming it.
     pub fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|s| &s.tok)
     }
 
+    /// The token `n` positions ahead of the current one.
     pub fn peek_at(&self, n: usize) -> Option<&Tok> {
         self.toks.get(self.pos + n).map(|s| &s.tok)
     }
 
+    /// Consume and return the current token.
     pub fn next(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.pos).map(|s| s.tok.clone());
         if t.is_some() {
@@ -246,6 +254,7 @@ impl Cursor {
         t
     }
 
+    /// Have all tokens been consumed?
     pub fn at_end(&self) -> bool {
         self.pos >= self.toks.len()
     }
@@ -258,6 +267,7 @@ impl Cursor {
             .unwrap_or((1, 1))
     }
 
+    /// A parse error positioned at the current token.
     pub fn error(&self, msg: impl Into<String>) -> TermError {
         let (line, col) = self.here();
         TermError::parse(msg, line, col)

@@ -24,6 +24,8 @@
 //! Everything downstream (queries, events, updates, the ECA engine, the Web
 //! simulator) builds on these types.
 
+#![warn(missing_docs)]
+
 pub mod diff;
 pub mod error;
 pub mod identity;

@@ -18,22 +18,27 @@ use crate::term::Term;
 pub struct Path(Vec<usize>);
 
 impl Path {
+    /// The empty path (the document root).
     pub fn root() -> Path {
         Path(Vec::new())
     }
 
+    /// A path from explicit child indexes.
     pub fn new(ixs: Vec<usize>) -> Path {
         Path(ixs)
     }
 
+    /// Does this path address the root?
     pub fn is_root(&self) -> bool {
         self.0.is_empty()
     }
 
+    /// The child indexes, root-to-leaf.
     pub fn indexes(&self) -> &[usize] {
         &self.0
     }
 
+    /// Number of steps from the root.
     pub fn depth(&self) -> usize {
         self.0.len()
     }
@@ -95,11 +100,21 @@ pub enum PathEdit {
     Delete,
     /// Insert a child of the addressed element before index `at`
     /// (`at == len` appends).
-    InsertChild { at: usize, node: Term },
+    InsertChild {
+        /// Insertion index among the element's children.
+        at: usize,
+        /// The child to insert.
+        node: Term,
+    },
     /// Append a child to the addressed element.
     AppendChild(Term),
     /// Set an attribute on the addressed element.
-    SetAttr { key: String, value: String },
+    SetAttr {
+        /// Attribute name.
+        key: String,
+        /// Attribute value.
+        value: String,
+    },
     /// Remove an attribute from the addressed element.
     RemoveAttr(String),
 }

@@ -28,9 +28,11 @@ use crate::term::Term;
 pub struct Iri(Arc<str>);
 
 impl Iri {
+    /// Intern an IRI string.
     pub fn new(s: impl AsRef<str>) -> Iri {
         Iri(Arc::from(s.as_ref()))
     }
+    /// The IRI text, without angle brackets.
     pub fn as_str(&self) -> &str {
         &self.0
     }
@@ -44,25 +46,33 @@ impl fmt::Display for Iri {
 
 /// Well-known RDFS/RDF vocabulary.
 pub mod vocab {
+    /// `rdf:type` — instance-of.
     pub const RDF_TYPE: &str = "rdf:type";
+    /// `rdfs:subClassOf` — class hierarchy.
     pub const RDFS_SUBCLASS_OF: &str = "rdfs:subClassOf";
+    /// `rdfs:subPropertyOf` — property hierarchy.
     pub const RDFS_SUBPROPERTY_OF: &str = "rdfs:subPropertyOf";
 }
 
 /// Object position of a triple: IRI or literal.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RdfObject {
+    /// A resource.
     Iri(Iri),
+    /// A plain literal.
     Literal(String),
 }
 
 impl RdfObject {
+    /// An IRI object.
     pub fn iri(s: impl AsRef<str>) -> RdfObject {
         RdfObject::Iri(Iri::new(s))
     }
+    /// A literal object.
     pub fn lit(s: impl Into<String>) -> RdfObject {
         RdfObject::Literal(s.into())
     }
+    /// The IRI, if this object is one.
     pub fn as_iri(&self) -> Option<&Iri> {
         match self {
             RdfObject::Iri(i) => Some(i),
@@ -83,12 +93,16 @@ impl fmt::Display for RdfObject {
 /// One RDF statement.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Triple {
+    /// Subject.
     pub s: Iri,
+    /// Predicate.
     pub p: Iri,
+    /// Object.
     pub o: RdfObject,
 }
 
 impl Triple {
+    /// A triple from subject/predicate IRIs and an object.
     pub fn new(s: impl AsRef<str>, p: impl AsRef<str>, o: RdfObject) -> Triple {
         Triple {
             s: Iri::new(s),
@@ -152,30 +166,37 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// An empty graph.
     pub fn new() -> Graph {
         Graph::default()
     }
 
+    /// Add a triple; `false` if it was already present.
     pub fn insert(&mut self, t: Triple) -> bool {
         self.triples.insert(t)
     }
 
+    /// Remove a triple; `false` if it was absent.
     pub fn remove(&mut self, t: &Triple) -> bool {
         self.triples.remove(t)
     }
 
+    /// Is this exact triple in the graph?
     pub fn contains(&self, t: &Triple) -> bool {
         self.triples.contains(t)
     }
 
+    /// Number of triples.
     pub fn len(&self) -> usize {
         self.triples.len()
     }
 
+    /// True when the graph holds no triples.
     pub fn is_empty(&self) -> bool {
         self.triples.is_empty()
     }
 
+    /// Iterate over all triples in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &Triple> {
         self.triples.iter()
     }

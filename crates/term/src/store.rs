@@ -18,7 +18,9 @@ use crate::term::Term;
 /// One versioned document.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Versioned {
+    /// The document's current content.
     pub doc: Term,
+    /// Monotonic counter, bumped on every `put`.
     pub version: u64,
 }
 
@@ -29,6 +31,7 @@ pub struct ResourceStore {
 }
 
 impl ResourceStore {
+    /// An empty store.
     pub fn new() -> ResourceStore {
         ResourceStore::default()
     }
@@ -46,6 +49,7 @@ impl ResourceStore {
         self.docs.get(uri).map(|v| v.version)
     }
 
+    /// Is a document stored under `uri`?
     pub fn contains(&self, uri: &str) -> bool {
         self.docs.contains_key(uri)
     }
@@ -89,10 +93,12 @@ impl ResourceStore {
         self.docs.keys().map(|s| s.as_str())
     }
 
+    /// Number of stored documents.
     pub fn len(&self) -> usize {
         self.docs.len()
     }
 
+    /// True when no documents are stored.
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
     }

@@ -23,17 +23,22 @@ use std::sync::Arc;
 /// An immutable semi-structured tree: element or text leaf.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
+    /// An element node (shared; cloning is an `Arc` bump).
     Elem(Arc<Element>),
+    /// A text leaf.
     Text(Arc<str>),
 }
 
 /// An element node: label, attributes, children, child-order significance.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Element {
+    /// The element name.
     pub label: String,
     /// `true` for `label[ … ]` (significant order), `false` for `label{ … }`.
     pub ordered: bool,
+    /// String attributes, sorted by name.
     pub attrs: BTreeMap<String, String>,
+    /// Child terms, in document order.
     pub children: Vec<Term>,
 }
 
@@ -96,14 +101,17 @@ impl Term {
 
     // ----- accessors -----------------------------------------------------
 
+    /// Is this a text leaf?
     pub fn is_text(&self) -> bool {
         matches!(self, Term::Text(_))
     }
 
+    /// Is this an element?
     pub fn is_elem(&self) -> bool {
         matches!(self, Term::Elem(_))
     }
 
+    /// The element node, if this is an element.
     pub fn as_element(&self) -> Option<&Element> {
         match self {
             Term::Elem(e) => Some(e),
@@ -346,11 +354,13 @@ impl TermBuilder {
         self
     }
 
+    /// Set a string attribute.
     pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.attrs.insert(key.into(), value.into());
         self
     }
 
+    /// Append one child term.
     pub fn child(mut self, t: Term) -> Self {
         self.children.push(t);
         self
@@ -361,16 +371,19 @@ impl TermBuilder {
         self.child(Term::ordered(label, vec![Term::text(text)]))
     }
 
+    /// Append several child terms.
     pub fn children(mut self, ts: impl IntoIterator<Item = Term>) -> Self {
         self.children.extend(ts);
         self
     }
 
+    /// Append a text leaf child.
     pub fn text_child(mut self, s: impl Into<String>) -> Self {
         self.children.push(Term::text(s));
         self
     }
 
+    /// Build the element.
     pub fn finish(self) -> Term {
         Term::Elem(Arc::new(Element {
             label: self.label,

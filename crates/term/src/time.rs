@@ -38,24 +38,31 @@ impl Timestamp {
 }
 
 impl Dur {
+    /// The empty duration.
     pub const ZERO: Dur = Dur(0);
 
+    /// A duration of `ms` milliseconds.
     pub const fn millis(ms: u64) -> Dur {
         Dur(ms)
     }
+    /// A duration of `s` seconds.
     pub const fn secs(s: u64) -> Dur {
         Dur(s * 1_000)
     }
+    /// A duration of `m` minutes.
     pub const fn mins(m: u64) -> Dur {
         Dur(m * 60_000)
     }
+    /// A duration of `h` hours.
     pub const fn hours(h: u64) -> Dur {
         Dur(h * 3_600_000)
     }
+    /// A duration of `d` days.
     pub const fn days(d: u64) -> Dur {
         Dur(d * 86_400_000)
     }
 
+    /// The duration in milliseconds.
     pub fn as_millis(self) -> u64 {
         self.0
     }
@@ -65,6 +72,7 @@ impl Dur {
         self.0 as f64 / 1_000.0
     }
 
+    /// True for the empty duration.
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }

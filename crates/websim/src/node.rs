@@ -1,6 +1,6 @@
 //! Web nodes: engines, resource servers, pollers, and sinks.
 
-use reweb_core::ReactiveEngine;
+use reweb_core::{ReactiveEngine, ShardedEngine};
 use reweb_term::{diff_documents, Dur, IdentityMode, ResourceStore, Term, Timestamp};
 
 use crate::envelope::Envelope;
@@ -9,6 +9,9 @@ use crate::envelope::Envelope;
 pub enum NodeKind {
     /// A reactive node: rules processed locally (Thesis 2).
     Engine(ReactiveEngine),
+    /// A reactive node whose rules are partitioned across N engine
+    /// shards by event-label affinity (batch-ingestion front-end).
+    Sharded(ShardedEngine),
     /// A passive resource server: answers `GET`s, ignores `POST`s.
     Store(ResourceStore),
     /// A polling observer (the Thesis 3 baseline).
@@ -18,15 +21,21 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
-    /// The store served to `GET` requests, if this node has one.
+    /// The store served to `GET` requests, if this node has one. A
+    /// sharded node serves shard 0's store (resource updates are
+    /// replicated to every shard, so the shards agree on served data).
     pub fn store(&self) -> Option<&ResourceStore> {
         match self {
             NodeKind::Engine(e) => Some(&e.qe.store),
+            NodeKind::Sharded(e) => Some(&e.shards()[0].qe.store),
             NodeKind::Store(s) => Some(s),
             _ => None,
         }
     }
 
+    /// Mutable access to the single backing store. `None` for sharded
+    /// nodes: writes there must replicate to every shard, which the
+    /// simulation does through [`ShardedEngine::put_resource`].
     pub fn store_mut(&mut self) -> Option<&mut ResourceStore> {
         match self {
             NodeKind::Engine(e) => Some(&mut e.qe.store),
@@ -45,6 +54,20 @@ impl NodeKind {
     pub fn as_engine_mut(&mut self) -> Option<&mut ReactiveEngine> {
         match self {
             NodeKind::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub fn as_sharded(&self) -> Option<&ShardedEngine> {
+        match self {
+            NodeKind::Sharded(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub fn as_sharded_mut(&mut self) -> Option<&mut ShardedEngine> {
+        match self {
+            NodeKind::Sharded(e) => Some(e),
             _ => None,
         }
     }

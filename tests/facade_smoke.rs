@@ -5,6 +5,7 @@
 //! before anything subtler does.
 
 use reweb::core::{MessageMeta, ReactiveEngine};
+use reweb::{InMessage, ShardedEngine};
 use reweb::events::{parse_event_query, Event, EventId};
 use reweb::production::{CaRule, ProductionEngine};
 use reweb::query::{match_at, parse_query_term, Bindings};
@@ -89,4 +90,49 @@ fn end_to_end_rule_fires_through_facade() {
     let payload = out[0].payload.to_string();
     assert!(payload.contains("confirmation"), "unexpected payload: {payload}");
     assert!(payload.contains("Ann"), "binding did not flow: {payload}");
+
+    // Events nobody subscribes to are observable as drops, not silence.
+    assert_eq!(engine.metrics.events_unmatched, 0);
+    let out = engine.receive(Term::elem("unsubscribed_label"), &meta, Timestamp(2_000));
+    assert!(out.is_empty());
+    assert_eq!(engine.metrics.events_unmatched, 1);
+    assert_eq!(engine.metrics.events_received, 2);
+}
+
+/// The sharded front-end through the facade: batch ingestion over two
+/// label groups, reactions and aggregated metrics (including the
+/// unmatched-drop counter) exactly as a single engine would produce.
+#[test]
+fn sharded_engine_batch_through_facade() {
+    let mut engine = ShardedEngine::new("http://shop.example", 4);
+    engine
+        .install_program(
+            r#"RULE pay ON and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1h
+                 DO SEND paid{order[var O]} TO "http://client.example" END
+               RULE greet ON hello{{name[[var N]]}}
+                 DO SEND hi{name[var N]} TO "http://client.example" END"#,
+        )
+        .expect("sharded program parses");
+
+    let meta = MessageMeta::from_uri("http://client.example");
+    let out = engine.receive_batch(&[
+        InMessage::new(parse_term(r#"order{ id["o-1"] }"#).unwrap(), meta.clone(), Timestamp(1_000)),
+        InMessage::new(parse_term(r#"hello{ name["Ann"] }"#).unwrap(), meta.clone(), Timestamp(2_000)),
+        InMessage::new(Term::elem("unsubscribed_label"), meta.clone(), Timestamp(2_500)),
+        InMessage::new(
+            parse_term(r#"payment{ order["o-1"] }"#).unwrap(),
+            meta,
+            Timestamp(3_000),
+        ),
+    ]);
+
+    let mut payloads: Vec<String> = out.iter().map(|o| o.payload.to_string()).collect();
+    payloads.sort();
+    assert_eq!(payloads, vec!["hi{name[\"Ann\"]}", "paid{order[\"o-1\"]}"]);
+
+    let m = engine.metrics();
+    assert_eq!(m.events_received, 4);
+    assert_eq!(m.rules_fired, 2);
+    assert_eq!(m.events_unmatched, 1, "the unknown label was dropped, and counted");
+    assert!(engine.hottest_share() < 1.0, "batch spread over more than one shard");
 }

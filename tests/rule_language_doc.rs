@@ -1,0 +1,130 @@
+//! Executable documentation: every fenced snippet in
+//! `docs/RULE_LANGUAGE.md` is parsed by the parser its fence tag names,
+//! so the language reference cannot drift from the grammar the code
+//! actually accepts. Program and rule snippets are additionally
+//! round-tripped through their `Display` form (the Thesis 11 invariant).
+
+use reweb::core::{parse_action, parse_program, parse_rule};
+use reweb::events::parse_event_query;
+use reweb::query::parser::{parse_condition, parse_construct_term, parse_query_term};
+use reweb::term::parse_term;
+
+/// A fenced snippet: tag, body, and the line the fence opened on.
+struct Snippet {
+    tag: String,
+    body: String,
+    line: usize,
+}
+
+fn extract_snippets(doc: &str) -> Vec<Snippet> {
+    let mut out = Vec::new();
+    let mut current: Option<Snippet> = None;
+    for (i, line) in doc.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("```") {
+            match current.take() {
+                Some(s) => out.push(s),
+                None => {
+                    current = Some(Snippet {
+                        tag: rest.trim().to_string(),
+                        body: String::new(),
+                        line: i + 1,
+                    })
+                }
+            }
+        } else if let Some(s) = current.as_mut() {
+            s.body.push_str(line);
+            s.body.push('\n');
+        }
+    }
+    assert!(current.is_none(), "unclosed code fence in RULE_LANGUAGE.md");
+    out
+}
+
+/// Panic with the snippet's location; generic so it slots into any
+/// parser's `unwrap_or_else`.
+fn fail<T>(s: &Snippet, e: &dyn std::fmt::Display) -> T {
+    panic!(
+        "docs/RULE_LANGUAGE.md:{} — `{}` snippet does not parse: {e}\n{}",
+        s.line, s.tag, s.body
+    )
+}
+
+#[test]
+fn every_example_in_the_reference_parses() {
+    let doc = include_str!("../docs/RULE_LANGUAGE.md");
+    let snippets = extract_snippets(doc);
+
+    let mut checked = 0usize;
+    for s in &snippets {
+        match s.tag.as_str() {
+            // Untagged/`text` fences are grammar sketches, not examples.
+            "" | "text" => continue,
+            "reweb" => {
+                let set = parse_program(&s.body).unwrap_or_else(|e| fail(s, &e));
+                let reparsed = parse_program(&set.to_string()).unwrap_or_else(|e| {
+                    panic!(
+                        "docs/RULE_LANGUAGE.md:{} — program does not round-trip: {e}\nprinted:\n{set}",
+                        s.line
+                    )
+                });
+                assert_eq!(set, reparsed, "round-trip changed the program at line {}", s.line);
+            }
+            "reweb-rule" => {
+                let rule = parse_rule(&s.body).unwrap_or_else(|e| fail(s, &e));
+                let reparsed = parse_rule(&rule.to_string()).unwrap_or_else(|e| {
+                    panic!(
+                        "docs/RULE_LANGUAGE.md:{} — rule does not round-trip: {e}\nprinted:\n{rule}",
+                        s.line
+                    )
+                });
+                assert_eq!(rule, reparsed, "round-trip changed the rule at line {}", s.line);
+            }
+            "reweb-action" => {
+                parse_action(&s.body).unwrap_or_else(|e| fail(s, &e));
+            }
+            "reweb-event" => {
+                parse_event_query(&s.body).unwrap_or_else(|e| fail(s, &e));
+            }
+            "reweb-query" => {
+                parse_query_term(&s.body).unwrap_or_else(|e| fail(s, &e));
+            }
+            "reweb-cond" => {
+                parse_condition(&s.body).unwrap_or_else(|e| fail(s, &e));
+            }
+            "reweb-construct" => {
+                parse_construct_term(&s.body).unwrap_or_else(|e| fail(s, &e));
+            }
+            "reweb-term" => {
+                parse_term(&s.body).unwrap_or_else(|e| fail(s, &e));
+            }
+            other => panic!(
+                "docs/RULE_LANGUAGE.md:{} — unknown fence tag `{other}`; \
+                 add a parser arm here or retag the snippet",
+                s.line
+            ),
+        }
+        checked += 1;
+    }
+    // Guard against the reference quietly losing its examples.
+    assert!(
+        checked >= 18,
+        "expected at least 18 verified snippets, found {checked}"
+    );
+}
+
+/// The big worked program in §5 is not just parseable — it installs
+/// into an engine and its nested set is addressable by path.
+#[test]
+fn reference_program_installs() {
+    let doc = include_str!("../docs/RULE_LANGUAGE.md");
+    let program = extract_snippets(doc)
+        .into_iter()
+        .find(|s| s.tag == "reweb")
+        .expect("the reference contains a full program");
+    let mut set = parse_program(&program.body).expect("parses");
+    assert!(set.find_mut("shop.orders").is_some(), "nested set addressable");
+    let mut engine = reweb::core::ReactiveEngine::new("http://shop");
+    engine.install(&set).expect("installs");
+    assert!(engine.rule_count() > 0);
+}
