@@ -10,10 +10,9 @@ use reweb_term::Term;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("condition_query");
     group.sample_size(10);
-    let cond = parse_condition(
-        "in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}",
-    )
-    .unwrap();
+    let cond =
+        parse_condition("in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}")
+            .unwrap();
     for n in [100usize, 1_000, 5_000] {
         let mut qe = QueryEngine::new();
         qe.store.put("http://shop/customers", customers_doc(n));

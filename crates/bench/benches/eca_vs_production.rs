@@ -27,8 +27,8 @@ fn bench(c: &mut Criterion) {
                 .unwrap();
                 let meta = MessageMeta::from_uri("http://c");
                 for i in 0..EVENTS {
-                    let p = parse_term(&format!("order{{id[\"c{}\"], total[\"60\"]}}", i % n))
-                        .unwrap();
+                    let p =
+                        parse_term(&format!("order{{id[\"c{}\"], total[\"60\"]}}", i % n)).unwrap();
                     e.receive(p, &meta, Timestamp(i as u64));
                 }
                 e.metrics.rules_fired

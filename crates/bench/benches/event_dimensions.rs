@@ -9,7 +9,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_dimensions");
     group.sample_size(10);
     const N: usize = 2_000;
-    let cases: Vec<(&str, &str, Box<dyn Fn(usize) -> Term>)> = vec![
+    type PayloadGen = Box<dyn Fn(usize) -> Term>;
+    let cases: Vec<(&str, &str, PayloadGen)> = vec![
         (
             "extraction",
             "order{{id[[var O]], total[[var T]]}}",

@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
                 let mut eng = IncrementalEngine::new(&q);
                 let mut n = 0usize;
                 for (i, (ts, p)) in stream.iter().enumerate() {
-                    n += eng.push(&Event::new(EventId(i as u64), *ts, p.clone())).len();
+                    n += eng
+                        .push(&Event::new(EventId(i as u64), *ts, p.clone()))
+                        .len();
                 }
                 n
             })
@@ -27,7 +29,9 @@ fn bench(c: &mut Criterion) {
                 let mut eng = NaiveEngine::new(&q);
                 let mut n = 0usize;
                 for (i, (ts, p)) in stream.iter().enumerate() {
-                    n += eng.push(&Event::new(EventId(i as u64), *ts, p.clone())).len();
+                    n += eng
+                        .push(&Event::new(EventId(i as u64), *ts, p.clone()))
+                        .len();
                 }
                 n
             })

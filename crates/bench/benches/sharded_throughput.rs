@@ -1,9 +1,11 @@
 //! E13 (scale-out): batch ingestion throughput of the sharded engine at
-//! 1/2/4/8 shards vs a single engine, on the 128-label paired workload.
+//! 1/2/4/8 shards vs a single engine, on the 128-label paired workload —
+//! with both the serial and the thread-per-shard executor, so the
+//! serial-vs-parallel speedup is measured per shard count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reweb_bench::{paired_stream, sharded_rules};
-use reweb_core::{InMessage, MessageMeta, ReactiveEngine, ShardedEngine};
+use reweb_core::{ExecMode, InMessage, MessageMeta, ReactiveEngine, ShardedEngine};
 
 const LABELS: usize = 128;
 const EVENTS: usize = 20_000;
@@ -39,6 +41,24 @@ fn bench(c: &mut Criterion) {
             |b, &shards| {
                 b.iter(|| {
                     let mut e = ShardedEngine::new("http://svc", shards);
+                    e.install_program(&program).unwrap();
+                    e.receive_batch(&msgs);
+                    e.metrics().rules_fired
+                })
+            },
+        );
+    }
+    // The thread-per-shard executor on the same workload: the ratio to
+    // `receive_batch/<n>` above is the executor's parallel speedup
+    // (bounded by the host's core count). Pool spawn/teardown is inside
+    // the measured body on purpose — it is part of what a caller pays.
+    for shards in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("receive_batch_mt", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut e = ShardedEngine::with_mode("http://svc", shards, ExecMode::Threads);
                     e.install_program(&program).unwrap();
                     e.receive_batch(&msgs);
                     e.metrics().rules_fired

@@ -4,12 +4,25 @@
 //! cargo run --release --bin experiments            # all tables
 //! cargo run --release --bin experiments -- E3 E6   # a subset
 //! cargo run --release --bin experiments -- --smoke # fast CI sanity check
+//! cargo run --release --bin experiments -- \
+//!     --bench-json out.json                        # machine-readable E13
+//! cargo run --release --bin experiments -- \
+//!     --bench-json out.json --check-floor bench/baseline.json
 //! ```
 //!
 //! Output is Markdown, pasteable into EXPERIMENTS.md. `--smoke` skips the
 //! tables and instead drives one rule through the reactive engine
 //! end-to-end in well under a second — CI uses it to prove the binary and
 //! the engine work without paying for the full (~15 s) experiment run.
+//!
+//! `--bench-json <path>` runs only the E13 sharded-throughput experiment
+//! (full 100k-event workload) and writes its numbers as JSON;
+//! `--check-floor <baseline>` additionally compares the run against a
+//! committed baseline and exits non-zero when parallel throughput fell
+//! more than 25% below it. Both normalize by the same run's single-engine
+//! rate, so the gate is machine-speed independent (see
+//! [`experiments::e13_check_floor`]). CI runs this as its performance
+//! floor and uploads the JSON as an artifact.
 
 use reweb_bench::experiments;
 
@@ -41,15 +54,67 @@ fn smoke() {
         Timestamp(1_000),
     );
     assert_eq!(out.len(), 1, "expected exactly one reaction message");
-    assert_eq!(engine.metrics.rules_fired, 1, "expected the rule to fire once");
+    assert_eq!(
+        engine.metrics.rules_fired, 1,
+        "expected the rule to fire once"
+    );
     println!(
         "smoke OK: 1 rule installed, 1 event received, 1 reaction sent to {}",
         out[0].to
     );
 }
 
+/// The E13 bench path: write JSON, optionally enforce the perf floor.
+fn bench_e13(json_out: Option<&str>, floor_baseline: Option<&str>) {
+    eprintln!("running E13 (100k events, serial + parallel at 1/2/4/8 shards)…");
+    let report = experiments::e13_report(100_000);
+    println!("{}", experiments::e13_table(&report).to_markdown());
+    if let Some(path) = json_out {
+        std::fs::write(path, experiments::e13_json(&report))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = floor_baseline {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        match experiments::e13_check_floor(&report, &baseline, 0.25) {
+            Ok(summary) => {
+                println!("## Performance floor: OK (baseline {path}, 25% tolerance)\n");
+                println!("{summary}");
+            }
+            Err(why) => {
+                eprintln!("{why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_flag_value = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("error: {flag} needs a path argument");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    let bench_json = take_flag_value("--bench-json");
+    let check_floor = take_flag_value("--check-floor");
+    if bench_json.is_some() || check_floor.is_some() {
+        if !args.is_empty() {
+            eprintln!(
+                "error: --bench-json/--check-floor cannot be combined with other \
+                 arguments (got {args:?})"
+            );
+            std::process::exit(2);
+        }
+        bench_e13(bench_json.as_deref(), check_floor.as_deref());
+        return;
+    }
     if args.iter().any(|a| a == "--smoke") {
         if args.len() > 1 {
             eprintln!("error: --smoke cannot be combined with experiment ids (got {args:?})");

@@ -6,10 +6,8 @@
 //! tests the thesis's quantifiable claim. Absolute numbers depend on the
 //! host; the shapes should not.
 
-use reweb_core::{
-    negotiate, AaaConfig, MessageMeta, Permission, ReactiveEngine, Strategy,
-};
-use reweb_events::{Event, EventId, IncrementalEngine, NaiveEngine, parse_event_query};
+use reweb_core::{negotiate, AaaConfig, MessageMeta, Permission, ReactiveEngine, Strategy};
+use reweb_events::{parse_event_query, Event, EventId, IncrementalEngine, NaiveEngine};
 use reweb_production::{CaRule, ProductionEngine};
 use reweb_query::parser::{parse_condition, parse_construct_term, parse_query_term};
 use reweb_query::{Bindings, QueryEngine};
@@ -19,10 +17,13 @@ use reweb_websim::{Poller, Simulation};
 
 use crate::{customers_doc, f, mixed_stream, news_doc, order_payload, timed, Table};
 
+/// An experiment entry point: builds its workload and returns its table.
+pub type Runner = fn() -> Table;
+
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, fn() -> Table); 13] = [
+pub const RUNNERS: [(&str, Runner); 13] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -45,9 +46,7 @@ pub fn e1_eca_vs_production() -> Table {
         "E1",
         "Thesis 1",
         "ECA vs production rules: 50 order events over n customers",
-        vec![
-            "approach", "n_facts", "reactions", "cond_evals", "time_ms",
-        ],
+        vec!["approach", "n_facts", "reactions", "cond_evals", "time_ms"],
     )
     .with_note(
         "Claim: ECA rules react per event with bindings flowing from the event; \
@@ -58,7 +57,9 @@ pub fn e1_eca_vs_production() -> Table {
     for n_facts in [100usize, 1_000, 5_000] {
         // --- ECA ---
         let mut eca = ReactiveEngine::new("http://shop");
-        eca.qe.store.put("http://shop/customers", customers_doc(n_facts));
+        eca.qe
+            .store
+            .put("http://shop/customers", customers_doc(n_facts));
         eca.install_program(
             r#"RULE on_order ON order{{id[[var O]], total[[var T]]}}
                IF in "http://shop/customers" customer{{id[[var O]], name[[var N]]}} and var T >= 50
@@ -72,11 +73,9 @@ pub fn e1_eca_vs_production() -> Table {
                 // Each order references customer c{i} via the condition's
                 // free variable — one customer matches per event is the
                 // interesting case, so seed C through the payload id.
-                let payload = parse_term(&format!(
-                    "order{{id[\"c{}\"], total[\"60\"]}}",
-                    i % n_facts
-                ))
-                .unwrap();
+                let payload =
+                    parse_term(&format!("order{{id[\"c{}\"], total[\"60\"]}}", i % n_facts))
+                        .unwrap();
                 eca.receive(payload, &meta, Timestamp(i as u64 * 100));
             }
         });
@@ -90,8 +89,12 @@ pub fn e1_eca_vs_production() -> Table {
 
         // --- production ---
         let mut pe = ProductionEngine::new();
-        pe.qe.store.put("http://shop/customers", customers_doc(n_facts));
-        pe.qe.store.put("http://shop/orders", parse_term("orders[]").unwrap());
+        pe.qe
+            .store
+            .put("http://shop/customers", customers_doc(n_facts));
+        pe.qe
+            .store
+            .put("http://shop/orders", parse_term("orders[]").unwrap());
         pe.add_rule(CaRule::new(
             "on_order",
             parse_condition(
@@ -139,7 +142,11 @@ pub fn e2_local_vs_central() -> Table {
         "Thesis 2",
         "token ring, 100 laps: messages through the hottest node",
         vec![
-            "architecture", "n_nodes", "total_msgs", "hottest_node_msgs", "hottest_share",
+            "architecture",
+            "n_nodes",
+            "total_msgs",
+            "hottest_node_msgs",
+            "hottest_share",
         ],
     )
     .with_note(
@@ -242,7 +249,13 @@ pub fn e3_push_vs_poll() -> Table {
         "Thesis 3",
         "watching one resource for 1h (updates every 60s)",
         vec![
-            "paradigm", "param", "wire_msgs", "kbytes", "mean_lat_s", "max_lat_s", "changes_seen",
+            "paradigm",
+            "param",
+            "wire_msgs",
+            "kbytes",
+            "mean_lat_s",
+            "max_lat_s",
+            "changes_seen",
         ],
     )
     .with_note(
@@ -282,7 +295,10 @@ pub fn e3_push_vs_poll() -> Table {
                 .iter()
                 .find(|c| c.label() == Some("after"))
             {
-                if let Some(ms) = after.to_string().split('"').find_map(|s| s.parse::<u64>().ok())
+                if let Some(ms) = after
+                    .to_string()
+                    .split('"')
+                    .find_map(|s| s.parse::<u64>().ok())
                 {
                     lats.push(at.since(Timestamp(ms)).as_secs_f64());
                 }
@@ -304,7 +320,11 @@ pub fn e3_push_vs_poll() -> Table {
     store.put("http://news/front", news_doc(5, 0));
     sim.add_store("http://news", store);
     sim.add_sink("http://watcher");
-    sim.subscribe_push("http://news/front", "http://watcher", IdentityMode::surrogate());
+    sim.subscribe_push(
+        "http://news/front",
+        "http://watcher",
+        IdentityMode::surrogate(),
+    );
     for &ms in &updates {
         let mut doc = news_doc(5, 0);
         doc = reweb_term::apply_edit(
@@ -390,7 +410,11 @@ pub fn e4_volatility() -> Table {
     for (name, q, ttl) in [
         ("no window, no TTL", "and(a{{n[[var X]]}}, b)", None),
         ("window 1m", "and(a{{n[[var X]]}}, b) within 1m", None),
-        ("no window, TTL 1m", "and(a{{n[[var X]]}}, b)", Some(Dur::mins(1))),
+        (
+            "no window, TTL 1m",
+            "and(a{{n[[var X]]}}, b)",
+            Some(Dur::mins(1)),
+        ),
     ] {
         let mut eng = IncrementalEngine::new(&parse_event_query(q).unwrap());
         if let Some(d) = ttl {
@@ -427,7 +451,8 @@ pub fn e5_event_dimensions() -> Table {
         vec!["dimension", "query", "detections", "kevents_per_s"],
     );
     const N: usize = 10_000;
-    let cases: Vec<(&str, &str, Box<dyn Fn(usize) -> Term>)> = vec![
+    type PayloadGen = Box<dyn Fn(usize) -> Term>;
+    let cases: Vec<(&str, &str, PayloadGen)> = vec![
         (
             "data extraction",
             "order{{id[[var O]], total[[var T]]}}",
@@ -462,7 +487,12 @@ pub fn e5_event_dimensions() -> Table {
         (
             "accumulation",
             "avg(var P, 5, stock{{sym[[var S]], price[[var P]]}}) as var A group by var S",
-            Box::new(|i| crate::stock_payload(if i % 2 == 0 { "ACME" } else { "GLOB" }, 100.0 + (i % 10) as f64)),
+            Box::new(|i| {
+                crate::stock_payload(
+                    if i % 2 == 0 { "ACME" } else { "GLOB" },
+                    100.0 + (i % 10) as f64,
+                )
+            }),
         ),
     ];
     for (dim, q, gen) in cases {
@@ -496,7 +526,12 @@ pub fn e6_incremental_vs_naive() -> Table {
         "Thesis 6",
         "per-event latency, `and(order, payment)` over growing history",
         vec![
-            "history", "incremental_total_ms", "incr_us_per_event", "naive_total_ms", "naive_us_per_event", "speedup",
+            "history",
+            "incremental_total_ms",
+            "incr_us_per_event",
+            "naive_total_ms",
+            "naive_us_per_event",
+            "speedup",
         ],
     )
     .with_note(
@@ -504,10 +539,8 @@ pub fn e6_incremental_vs_naive() -> Table {
          state, the naive engine's tracks the whole history — so the gap \
          widens with history length.",
     );
-    let q = parse_event_query(
-        "and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1h",
-    )
-    .unwrap();
+    let q = parse_event_query("and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1h")
+        .unwrap();
     for h in [500usize, 1_000, 2_000, 4_000] {
         let stream = mixed_stream(h, 50, 42);
         let mut inc = IncrementalEngine::new(&q);
@@ -551,7 +584,11 @@ pub fn e7_condition_queries() -> Table {
         "Thesis 7",
         "condition over a customers document, seeded by event bindings",
         vec![
-            "n_customers", "seeded_ms_per_eval", "unseeded_ms_per_eval", "answers_seeded", "answers_unseeded",
+            "n_customers",
+            "seeded_ms_per_eval",
+            "unseeded_ms_per_eval",
+            "answers_seeded",
+            "answers_unseeded",
         ],
     )
     .with_note(
@@ -563,10 +600,9 @@ pub fn e7_condition_queries() -> Table {
     for n in [100usize, 1_000, 5_000] {
         let mut qe = QueryEngine::new();
         qe.store.put("http://shop/customers", customers_doc(n));
-        let cond = parse_condition(
-            "in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}",
-        )
-        .unwrap();
+        let cond =
+            parse_condition("in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}")
+                .unwrap();
         let seed = Bindings::of("C", Term::text(format!("c{}", n / 2)));
         let (a_seeded, secs_seeded) = timed(|| {
             let mut total = 0usize;
@@ -600,7 +636,11 @@ pub fn e8_compound_actions() -> Table {
         "Thesis 8",
         "2-step payment workflow, 500 runs, injected step-2 failures",
         vec![
-            "p_fail", "variant", "completed", "anomalies", "alt_recovered",
+            "p_fail",
+            "variant",
+            "completed",
+            "anomalies",
+            "alt_recovered",
         ],
     )
     .with_note(
@@ -614,8 +654,10 @@ pub fn e8_compound_actions() -> Table {
     for p_fail in [0.0f64, 0.1, 0.3] {
         for variant in ["transactional", "naive", "alt-fallback"] {
             let mut qe = QueryEngine::new();
-            qe.store
-                .put("http://shop/stock", parse_term("stock[units[\"100000\"]]").unwrap());
+            qe.store.put(
+                "http://shop/stock",
+                parse_term("stock[units[\"100000\"]]").unwrap(),
+            );
             qe.store
                 .put("http://shop/ledger", parse_term("ledger[]").unwrap());
             let procs = std::collections::BTreeMap::new();
@@ -638,7 +680,9 @@ pub fn e8_compound_actions() -> Table {
                 };
                 let mut ex = Executor::new(&mut qe, &procs);
                 let result = match variant {
-                    "transactional" => ex.execute(&Action::seq(vec![step1, step2]), &Bindings::new()),
+                    "transactional" => {
+                        ex.execute(&Action::seq(vec![step1, step2]), &Bindings::new())
+                    }
                     "alt-fallback" => {
                         let r = ex.execute(
                             &Action::alt(vec![
@@ -799,7 +843,11 @@ pub fn e10_identity() -> Table {
         "Thesis 10",
         "monitoring 100 articles through 200 edits",
         vec![
-            "identity", "modifications", "delete+insert", "attributed_correctly", "diff_ms_total",
+            "identity",
+            "modifications",
+            "delete+insert",
+            "attributed_correctly",
+            "diff_ms_total",
         ],
     )
     .with_note(
@@ -867,7 +915,13 @@ pub fn e11_trust_negotiation() -> Table {
         "Thesis 11",
         "fussbaelle.biz negotiation with n extra unrelated shop policies",
         vec![
-            "strategy", "n_policies", "messages", "policies_sent", "sensitive_leaked", "bytes", "success",
+            "strategy",
+            "n_policies",
+            "messages",
+            "policies_sent",
+            "sensitive_leaked",
+            "bytes",
+            "success",
         ],
     )
     .with_note(
@@ -905,7 +959,11 @@ pub fn e12_aaa_overhead() -> Table {
         "Thesis 12",
         "5,000 messages through one engine under increasing AAA levels",
         vec![
-            "aaa_level", "kmsg_per_s", "overhead_pct", "acct_records", "acct_rule_fires",
+            "aaa_level",
+            "kmsg_per_s",
+            "overhead_pct",
+            "acct_records",
+            "acct_rule_fires",
         ],
     )
     .with_note(
@@ -927,10 +985,7 @@ pub fn e12_aaa_overhead() -> Table {
         }
     }
     for (name, config) in [
-        (
-            "off",
-            AaaConfig::default(),
-        ),
+        ("off", AaaConfig::default()),
         (
             "authn",
             AaaConfig {
@@ -987,12 +1042,7 @@ pub fn e12_aaa_overhead() -> Table {
         if base_rate == 0.0 {
             base_rate = rate;
         }
-        let meter_fires = e
-            .metrics
-            .fires_by_rule
-            .get("meter")
-            .copied()
-            .unwrap_or(0);
+        let meter_fires = e.metrics.fires_by_rule.get("meter").copied().unwrap_or(0);
         t.row(vec![
             name.into(),
             f(rate / 1_000.0),
@@ -1004,31 +1054,53 @@ pub fn e12_aaa_overhead() -> Table {
     t
 }
 
-/// E13 (sharded ingestion): batch throughput and shard occupancy of the
-/// label-affinity front-end vs a single engine, 100k-event workload.
-pub fn e13_sharded_throughput() -> Table {
-    e13_with(100_000)
+/// One measured E13 configuration: the serial and thread-per-shard
+/// executors over the same shard count and workload.
+#[derive(Clone, Debug)]
+pub struct E13Row {
+    /// Shard count of this configuration.
+    pub shards: usize,
+    /// Serial-executor batch throughput, in 1000 events/s.
+    pub serial_kevents_per_s: f64,
+    /// Thread-executor batch throughput, in 1000 events/s.
+    pub parallel_kevents_per_s: f64,
+    /// Reactions produced by the serial run (must match every run).
+    pub reactions_serial: u64,
+    /// Reactions produced by the parallel run (must match every run).
+    pub reactions_parallel: u64,
+    /// Busiest shard's share of routed events (serial run).
+    pub hottest_share: f64,
 }
 
-/// E13 body, workload size parameterized so the shape test stays fast.
-fn e13_with(n_events: usize) -> Table {
-    use reweb_core::{InMessage, ShardedEngine};
+/// Machine-readable E13 result — the table, the `--bench-json` payload,
+/// and the CI performance floor all read from this one struct.
+#[derive(Clone, Debug)]
+pub struct E13Report {
+    /// Events in the batch.
+    pub events: usize,
+    /// Independent rule-label groups in the workload.
+    pub labels: usize,
+    /// Single-engine (unsharded) throughput, in 1000 events/s — the
+    /// normalizer that makes floor checks machine-speed independent.
+    pub single_kevents_per_s: f64,
+    /// Reactions the single engine produced.
+    pub reactions_single: u64,
+    /// One row per shard count (1, 2, 4, 8).
+    pub rows: Vec<E13Row>,
+}
 
-    let mut t = Table::new(
-        "E13",
-        "scale-out",
-        format!("sharded batch ingestion: {n_events} events, 128 rule-label groups"),
-        vec![
-            "engine", "shards", "reactions", "kevents_per_s", "speedup", "hottest_share",
-        ],
-    )
-    .with_note(
-        "Claim: partitioning rules by event-label affinity divides the \
-         per-event work (timer advance, dispatch, partial-match state) by \
-         the shard count while producing identical reactions; occupancy \
-         stays balanced because label groups spread round-robin. Shards \
-         share no state, so a thread per shard is the obvious next step.",
-    );
+/// E13 (sharded ingestion): batch throughput of the label-affinity
+/// front-end vs a single engine, serial vs thread-per-shard execution,
+/// 100k-event workload.
+pub fn e13_sharded_throughput() -> Table {
+    e13_table(&e13_report(100_000))
+}
+
+/// Measure the E13 workload at `n_events` (100k for the real table;
+/// smaller in the shape test and anything else that only needs shapes).
+pub fn e13_report(n_events: usize) -> E13Report {
+    use reweb_core::{ExecMode, InMessage, ShardedEngine};
+
     const LABELS: usize = 128;
     let program = crate::sharded_rules(LABELS);
     let meta = MessageMeta::from_uri("http://client");
@@ -1037,39 +1109,264 @@ fn e13_with(n_events: usize) -> Table {
         .map(|(at, payload)| InMessage::new(payload, meta.clone(), at))
         .collect();
 
+    // Every configuration is measured twice and the faster run kept:
+    // scheduler noise only ever *slows* a run down, so best-of-N
+    // estimates true capacity with far less variance than one sample —
+    // which is what keeps the CI performance floor from flapping.
+    const REPEATS: usize = 2;
+
     // Baseline: one engine, one receive per message.
-    let mut single = ReactiveEngine::new("http://svc");
-    single.install_program(&program).expect("program");
-    let (_, base_secs) = timed(|| {
-        for m in &msgs {
-            single.receive(m.payload.clone(), &m.meta, m.at);
+    let mut best_base = f64::MIN;
+    let mut single_fired = 0;
+    for _ in 0..REPEATS {
+        let mut single = ReactiveEngine::new("http://svc");
+        single.install_program(&program).expect("program");
+        let (_, base_secs) = timed(|| {
+            for m in &msgs {
+                single.receive(m.payload.clone(), &m.meta, m.at);
+            }
+        });
+        best_base = best_base.max(n_events as f64 / base_secs / 1_000.0);
+        single_fired = single.metrics.rules_fired;
+    }
+
+    let run_mode = |shards: usize, mode: ExecMode| {
+        let mut best = f64::MIN;
+        let mut fired = 0;
+        let mut hottest = 0.0;
+        for _ in 0..REPEATS {
+            let mut e = ShardedEngine::with_mode("http://svc", shards, mode);
+            e.install_program(&program).expect("program");
+            let (_, secs) = timed(|| e.receive_batch(&msgs));
+            assert!(
+                e.poisoned().is_none(),
+                "E13 workload must not fail: {:?}",
+                e.warnings
+            );
+            best = best.max(n_events as f64 / secs / 1_000.0);
+            fired = e.metrics().rules_fired;
+            hottest = e.hottest_share();
         }
-    });
-    let base_rate = n_events as f64 / base_secs;
+        (best, fired, hottest)
+    };
+
+    let rows = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let (serial_rate, reactions_serial, hottest) = run_mode(shards, ExecMode::Serial);
+            let (parallel_rate, reactions_parallel, _) = run_mode(shards, ExecMode::Threads);
+            E13Row {
+                shards,
+                serial_kevents_per_s: serial_rate,
+                parallel_kevents_per_s: parallel_rate,
+                reactions_serial,
+                reactions_parallel,
+                hottest_share: hottest,
+            }
+        })
+        .collect();
+
+    E13Report {
+        events: n_events,
+        labels: LABELS,
+        single_kevents_per_s: best_base,
+        reactions_single: single_fired,
+        rows,
+    }
+}
+
+/// Render an [`E13Report`] as the experiment table.
+pub fn e13_table(r: &E13Report) -> Table {
+    let mut t = Table::new(
+        "E13",
+        "scale-out",
+        format!(
+            "sharded batch ingestion: {} events, {} rule-label groups",
+            r.events, r.labels
+        ),
+        vec![
+            "engine",
+            "shards",
+            "reactions",
+            "kevents_per_s",
+            "speedup",
+            "vs_serial",
+            "hottest_share",
+        ],
+    )
+    .with_note(
+        "Claim: partitioning rules by event-label affinity divides the \
+         per-event work (timer advance, dispatch, partial-match state) by \
+         the shard count while producing identical reactions, and because \
+         shards share no state the thread-per-shard executor (`sharded-mt`) \
+         runs them concurrently — its win over `sharded` tracks the \
+         machine's core count (1.0x on a single-core host), while \
+         `vs_serial` isolates executor overhead from the sharding win \
+         itself. Occupancy stays balanced because label groups spread \
+         round-robin.",
+    );
     t.row(vec![
         "single".into(),
         "-".into(),
-        single.metrics.rules_fired.to_string(),
-        f(base_rate / 1_000.0),
+        r.reactions_single.to_string(),
+        f(r.single_kevents_per_s),
         "1.000".into(),
+        "-".into(),
         "1.000".into(),
     ]);
-
-    for shards in [1usize, 2, 4, 8] {
-        let mut e = ShardedEngine::new("http://svc", shards);
-        e.install_program(&program).expect("program");
-        let (_, secs) = timed(|| e.receive_batch(&msgs));
-        let rate = n_events as f64 / secs;
+    for row in &r.rows {
         t.row(vec![
             "sharded".into(),
-            shards.to_string(),
-            e.metrics().rules_fired.to_string(),
-            f(rate / 1_000.0),
-            f(rate / base_rate),
-            f(e.hottest_share()),
+            row.shards.to_string(),
+            row.reactions_serial.to_string(),
+            f(row.serial_kevents_per_s),
+            f(row.serial_kevents_per_s / r.single_kevents_per_s),
+            "1.000".into(),
+            f(row.hottest_share),
+        ]);
+        t.row(vec![
+            "sharded-mt".into(),
+            row.shards.to_string(),
+            row.reactions_parallel.to_string(),
+            f(row.parallel_kevents_per_s),
+            f(row.parallel_kevents_per_s / r.single_kevents_per_s),
+            f(row.parallel_kevents_per_s / row.serial_kevents_per_s),
+            f(row.hottest_share),
         ]);
     }
     t
+}
+
+/// Serialize an [`E13Report`] as the `--bench-json` payload. Flat rows,
+/// one small object per measurement, so the floor check (and any CI
+/// tooling) can read it without a JSON library.
+pub fn e13_json(r: &E13Report) -> String {
+    let mut rows = vec![format!(
+        "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
+        r.single_kevents_per_s
+    )];
+    for row in &r.rows {
+        rows.push(format!(
+            "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
+            row.shards, row.serial_kevents_per_s
+        ));
+        rows.push(format!(
+            "    {{\"engine\": \"sharded-mt\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
+            row.shards, row.parallel_kevents_per_s
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"reweb-e13/v1\",\n  \"events\": {},\n  \"labels\": {},\n  \
+         \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        r.events,
+        r.labels,
+        r.reactions_single,
+        rows.join(",\n")
+    )
+}
+
+/// Parse the `(engine, shards, kevents_per_s)` rows back out of an
+/// [`e13_json`] payload. A minimal scanner for our own fixed schema —
+/// the build environment has no JSON dependency to lean on. Unknown or
+/// malformed row objects are skipped rather than failing the parse.
+pub fn e13_parse_rows(json: &str) -> Vec<(String, usize, f64)> {
+    fn field<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+        let start = chunk.find(key)? + key.len();
+        let rest = chunk[start..].trim_start_matches([' ', ':', '"']);
+        let end = rest.find(['"', ',', '}', '\n']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+    json.split('{')
+        .filter(|chunk| chunk.contains("\"engine\""))
+        .filter_map(|chunk| {
+            let engine = field(chunk, "\"engine\"")?.to_string();
+            let shards: usize = field(chunk, "\"shards\"")?.parse().ok()?;
+            let rate: f64 = field(chunk, "\"kevents_per_s\"")?.parse().ok()?;
+            Some((engine, shards, rate))
+        })
+        .collect()
+}
+
+/// The CI performance floor: compare a fresh [`E13Report`] against a
+/// committed baseline JSON, failing when thread-executor throughput
+/// regresses more than `tolerance` (e.g. 0.25 = 25%).
+///
+/// Raw events/s numbers are useless across machines (a laptop baseline
+/// vs a CI runner differs far more than any real regression), so the
+/// check normalizes: each parallel rate is divided by the **same run's**
+/// single-engine rate, and that speedup is compared to the baseline's
+/// speedup. Machine speed cancels out; only the engine's scaling
+/// behaviour is gated. Returns a human-readable summary table on
+/// success, or a description of every violated floor.
+pub fn e13_check_floor(
+    current: &E13Report,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let baseline = e13_parse_rows(baseline_json);
+    let base_single = baseline
+        .iter()
+        .find(|(e, _, _)| e == "single")
+        .map(|&(_, _, r)| r)
+        .ok_or("baseline JSON has no `single` row")?;
+    if base_single <= 0.0 {
+        return Err("baseline `single` rate is not positive".into());
+    }
+
+    let mut summary = String::from(
+        "| shards | serial ke/s | parallel ke/s | par/serial | speedup vs single | \
+         baseline speedup | floor |\n|---|---|---|---|---|---|---|\n",
+    );
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for row in &current.rows {
+        let Some(&(_, _, base_mt)) = baseline
+            .iter()
+            .find(|(e, s, _)| e == "sharded-mt" && *s == row.shards)
+        else {
+            continue; // baseline predates this configuration
+        };
+        compared += 1;
+        let base_speedup = base_mt / base_single;
+        let cur_speedup = row.parallel_kevents_per_s / current.single_kevents_per_s;
+        let floor = base_speedup * (1.0 - tolerance);
+        summary.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.2}x | {:.2}x | {:.2}x | {:.2}x |\n",
+            row.shards,
+            row.serial_kevents_per_s,
+            row.parallel_kevents_per_s,
+            row.parallel_kevents_per_s / row.serial_kevents_per_s,
+            cur_speedup,
+            base_speedup,
+            floor,
+        ));
+        if cur_speedup < floor {
+            failures.push(format!(
+                "{} shards: parallel speedup {cur_speedup:.2}x vs single fell below \
+                 the floor {floor:.2}x (baseline {base_speedup:.2}x - {:.0}% tolerance)",
+                row.shards,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if compared == 0 {
+        // A baseline whose sharded-mt rows were lost (truncation, a
+        // schema typo — the row scanner skips what it cannot parse)
+        // must not silently disable the gate.
+        return Err(
+            "baseline JSON contains no `sharded-mt` row matching any measured \
+             shard count; the floor compared nothing — regenerate bench/baseline.json"
+                .into(),
+        );
+    }
+    if failures.is_empty() {
+        Ok(summary)
+    } else {
+        Err(format!(
+            "{summary}\nPERF FLOOR VIOLATED:\n{}",
+            failures.join("\n")
+        ))
+    }
 }
 
 /// Run all thirteen experiments.
@@ -1113,11 +1410,7 @@ mod tests {
     fn e11_shapes() {
         let t = e11_trust_negotiation();
         // Reactive discloses a constant number of policies regardless of n.
-        let reactive_rows: Vec<_> = t
-            .rows
-            .iter()
-            .filter(|r| r[0] == "Reactive")
-            .collect();
+        let reactive_rows: Vec<_> = t.rows.iter().filter(|r| r[0] == "Reactive").collect();
         assert!(reactive_rows.iter().all(|r| r[3] == "2"));
         // Eager disclosure grows with n and leaks more sensitive policies.
         let eager_last = t.rows.last().unwrap();
@@ -1142,20 +1435,87 @@ mod tests {
 
     #[test]
     fn e13_shapes() {
-        let t = e13_with(8_000);
-        // Identical reactions at every shard count (the equivalence the
-        // property test pins, re-checked on the experiment workload).
-        let reactions: Vec<&str> = t.rows.iter().map(|r| r[2].as_str()).collect();
-        assert!(
-            reactions.iter().all(|r| *r == reactions[0]),
-            "reactions must not depend on sharding: {reactions:?}"
-        );
-        assert_eq!(reactions[0], "4000", "one reaction per evt/ack pair");
+        let r = e13_report(8_000);
+        // Identical reactions at every shard count and in both executors
+        // (the equivalence the property test pins, re-checked on the
+        // experiment workload).
+        assert_eq!(r.reactions_single, 4_000, "one reaction per evt/ack pair");
+        for row in &r.rows {
+            assert_eq!(row.reactions_serial, 4_000, "serial at {}", row.shards);
+            assert_eq!(row.reactions_parallel, 4_000, "parallel at {}", row.shards);
+        }
         // Round-robin group assignment keeps occupancy balanced: at 4
         // shards the hottest shard carries ~1/4 of the traffic.
-        let four_shard_row = t.rows.iter().find(|r| r[1] == "4").unwrap();
-        let share: f64 = four_shard_row[5].parse().unwrap();
-        assert!(share < 0.3, "hottest shard overloaded: {share}");
+        let four = r.rows.iter().find(|row| row.shards == 4).unwrap();
+        assert!(
+            four.hottest_share < 0.3,
+            "hottest shard overloaded: {}",
+            four.hottest_share
+        );
+        // The table renders one single row plus serial+parallel pairs.
+        let t = e13_table(&r);
+        assert_eq!(t.rows.len(), 1 + 2 * r.rows.len());
+    }
+
+    #[test]
+    fn e13_json_round_trips_through_the_scanner() {
+        let r = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 50.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 100.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let rows = e13_parse_rows(&e13_json(&r));
+        assert_eq!(
+            rows,
+            vec![
+                ("single".to_string(), 1, 50.0),
+                ("sharded".to_string(), 8, 100.0),
+                ("sharded-mt".to_string(), 8, 200.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn e13_floor_normalizes_by_single_engine_rate() {
+        let report = |single: f64, mt8: f64| E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: single,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: single * 1.5,
+                parallel_kevents_per_s: mt8,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let baseline = e13_json(&report(50.0, 100.0)); // 2.0x speedup baseline
+                                                       // A 4x faster machine with the same 2.0x scaling passes…
+        assert!(e13_check_floor(&report(200.0, 400.0), &baseline, 0.25).is_ok());
+        // …moderate noise above the floor (1.6x > 1.5x) passes…
+        assert!(e13_check_floor(&report(200.0, 320.0), &baseline, 0.25).is_ok());
+        // …but a real scaling collapse (1.2x < 1.5x) fails, regardless
+        // of machine speed.
+        let err = e13_check_floor(&report(200.0, 240.0), &baseline, 0.25)
+            .expect_err("collapsed scaling must trip the floor");
+        assert!(err.contains("PERF FLOOR VIOLATED"), "{err}");
+        // A baseline with a `single` row but no usable `sharded-mt` rows
+        // must fail loudly, not pass vacuously.
+        let gutted = baseline.replace("sharded-mt", "sharded-xx");
+        let err = e13_check_floor(&report(200.0, 400.0), &gutted, 0.25)
+            .expect_err("a gutted baseline must not disable the gate");
+        assert!(err.contains("compared nothing"), "{err}");
     }
 
     #[test]
@@ -1166,11 +1526,9 @@ mod tests {
                 "transactional" | "alt-fallback" => {
                     assert_eq!(r[3], "0", "atomic variants leak no anomalies: {r:?}")
                 }
-                "naive" => {
-                    if r[0] != "0.000" {
-                        let anomalies: usize = r[3].parse().unwrap();
-                        assert!(anomalies > 0, "naive must leak under failures: {r:?}");
-                    }
+                "naive" if r[0] != "0.000" => {
+                    let anomalies: usize = r[3].parse().unwrap();
+                    assert!(anomalies > 0, "naive must leak under failures: {r:?}");
                 }
                 _ => {}
             }

@@ -60,7 +60,11 @@ impl MessageMeta {
     }
 
     /// Attach credentials to this metadata.
-    pub fn with_credentials(mut self, principal: impl Into<String>, secret: impl Into<String>) -> Self {
+    pub fn with_credentials(
+        mut self,
+        principal: impl Into<String>,
+        secret: impl Into<String>,
+    ) -> Self {
         self.credentials = Some(Credentials {
             principal: principal.into(),
             secret: secret.into(),
@@ -333,7 +337,8 @@ impl Aaa {
         if !self.config.authorize {
             return true;
         }
-        self.acl.allows(principal, &self.roles_of(principal), wanted)
+        self.acl
+            .allows(principal, &self.roles_of(principal), wanted)
     }
 
     /// Usage counters accumulated for `principal`.
@@ -469,7 +474,12 @@ mod tests {
     #[test]
     fn anonymous_allowed_when_auth_not_required() {
         let mut a = Aaa::new(AaaConfig::default());
-        let (adm, _) = a.admit(&MessageMeta::from_uri("http://x"), "anything", 1, Timestamp(1));
+        let (adm, _) = a.admit(
+            &MessageMeta::from_uri("http://x"),
+            "anything",
+            1,
+            Timestamp(1),
+        );
         assert!(adm.allowed);
         assert_eq!(adm.principal, "anonymous");
     }

@@ -110,6 +110,9 @@ pub struct ReactiveEngine {
     default_ttl: Option<Dur>,
     next_event_id: u64,
     now: Timestamp,
+    /// Test hook: receiving an event with this label panics mid-action,
+    /// simulating a defective rule body (see [`ReactiveEngine::rig_panic_on_label`]).
+    panic_on_label: Option<String>,
     /// Counters and error log (see [`EngineMetrics`]).
     pub metrics: EngineMetrics,
     /// Terms written by `LOG` actions.
@@ -130,6 +133,7 @@ impl ReactiveEngine {
             default_ttl: None,
             next_event_id: 0,
             now: Timestamp::ZERO,
+            panic_on_label: None,
             metrics: EngineMetrics::default(),
             action_log: Vec::new(),
         }
@@ -245,6 +249,15 @@ impl ReactiveEngine {
         self.now
     }
 
+    /// Test hook: make this engine panic (as a defective rule action
+    /// would) whenever it receives an event with the given label. Used by
+    /// the shard executor's panic-containment tests; hidden from docs
+    /// because it exists only to rig failures.
+    #[doc(hidden)]
+    pub fn rig_panic_on_label(&mut self, label: impl Into<String>) {
+        self.panic_on_label = Some(label.into());
+    }
+
     /// Receive a message from the Web: AAA admission, rule installation,
     /// deduction, dispatch. Returns the outbound messages the triggered
     /// actions produced.
@@ -254,12 +267,15 @@ impl ReactiveEngine {
         meta: &MessageMeta,
         now: Timestamp,
     ) -> Vec<OutMessage> {
+        if let Some(rigged) = &self.panic_on_label {
+            if payload.label() == Some(rigged.as_str()) {
+                panic!("rigged action panic on label `{rigged}`");
+            }
+        }
         let mut out = self.advance_time(now);
         self.metrics.events_received += 1;
         let label = payload.label().unwrap_or("").to_string();
-        let (admission, acct_event) =
-            self.aaa
-                .admit(meta, &label, payload.serialized_size(), now);
+        let (admission, acct_event) = self.aaa.admit(meta, &label, payload.serialized_size(), now);
         if !admission.allowed {
             self.metrics.events_denied += 1;
             self.metrics.errors.push(format!(
@@ -269,7 +285,10 @@ impl ReactiveEngine {
         } else {
             // Thesis 11: rules received as messages.
             if label == "install_rules" {
-                if self.aaa.check(&admission.principal, &Permission::InstallRules) {
+                if self
+                    .aaa
+                    .check(&admission.principal, &Permission::InstallRules)
+                {
                     match payload
                         .children()
                         .first()
@@ -288,10 +307,9 @@ impl ReactiveEngine {
                         Err(e) => self.metrics.errors.push(format!("install failed: {e}")),
                     }
                 } else {
-                    self.metrics.errors.push(format!(
-                        "{} may not install rules",
-                        admission.principal
-                    ));
+                    self.metrics
+                        .errors
+                        .push(format!("{} may not install rules", admission.principal));
                 }
             }
             self.process_event(payload, &meta.from, &mut out);
@@ -408,7 +426,10 @@ impl ReactiveEngine {
                 continue; // try the next branch (ECAA/ECnAn)
             }
             metrics.rules_fired += 1;
-            *metrics.fires_by_rule.entry(cr.rule.name.clone()).or_default() += 1;
+            *metrics
+                .fires_by_rule
+                .entry(cr.rule.name.clone())
+                .or_default() += 1;
             for b in answers {
                 let mut ex = Executor::new(qe, &cr.procs);
                 if let Err(e) = ex.execute(&branch.action, &b) {
@@ -533,7 +554,11 @@ mod tests {
         let mut e = shop_engine();
         let meta = MessageMeta::from_uri("http://client");
         // An event with an unrelated label triggers no event-query work.
-        e.receive(parse_term("weather{t[\"20\"]}").unwrap(), &meta, Timestamp(1));
+        e.receive(
+            parse_term("weather{t[\"20\"]}").unwrap(),
+            &meta,
+            Timestamp(1),
+        );
         assert_eq!(e.state_size(), 0);
     }
 
@@ -550,7 +575,11 @@ mod tests {
         )
         .unwrap();
         let meta = MessageMeta::from_uri("http://airline");
-        e.receive(parse_term("cancel{no[\"LH1\"]}").unwrap(), &meta, Timestamp(0));
+        e.receive(
+            parse_term("cancel{no[\"LH1\"]}").unwrap(),
+            &meta,
+            Timestamp(0),
+        );
         let out = e.advance_time(Timestamp(7_200_000));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload.to_string(), "alarm{no[\"LH1\"]}");
@@ -618,10 +647,9 @@ mod tests {
         use crate::meta::ruleset_to_term;
         use crate::parser::parse_program;
 
-        let carried = parse_program(
-            r#"RULE injected ON ping DO SEND pong TO "http://attacker" END"#,
-        )
-        .unwrap();
+        let carried =
+            parse_program(r#"RULE injected ON ping DO SEND pong TO "http://attacker" END"#)
+                .unwrap();
         let payload = Term::ordered("install_rules", vec![ruleset_to_term(&carried)]);
 
         // Without permission: rejected.
@@ -640,11 +668,19 @@ mod tests {
             Timestamp(1),
         );
         assert_eq!(e.rule_count(), before);
-        assert!(e.metrics.errors.iter().any(|m| m.contains("may not install")));
+        assert!(e
+            .metrics
+            .errors
+            .iter()
+            .any(|m| m.contains("may not install")));
 
         // With permission: installed and live.
         let mut e = ReactiveEngine::new("http://me");
-        e.receive(payload, &MessageMeta::from_uri("http://partner"), Timestamp(1));
+        e.receive(
+            payload,
+            &MessageMeta::from_uri("http://partner"),
+            Timestamp(1),
+        );
         assert_eq!(e.rule_count(), 1);
         let out = e.receive(
             Term::elem("ping"),

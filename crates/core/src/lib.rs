@@ -60,7 +60,7 @@ pub use engine::{EngineMetrics, OutMessage, ReactiveEngine};
 pub use meta::{rule_from_term, rule_to_term, ruleset_from_term, ruleset_to_term};
 pub use parser::{parse_action, parse_program, parse_rule};
 pub use rule::{Branch, EcaRule, RuleSet};
-pub use shard::{InMessage, ShardedEngine};
+pub use shard::{ExecMode, InMessage, ShardedEngine};
 pub use trust::{negotiate, NegotiationOutcome, Party, Policy, Strategy};
 
 pub use reweb_term::TermError;

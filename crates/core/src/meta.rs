@@ -96,9 +96,11 @@ pub fn ruleset_to_term(s: &RuleSet) -> Term {
                 .field("name", &p.name)
                 .child(
                     Term::build("params")
-                        .children(p.params.iter().map(|x| {
-                            Term::ordered("p", vec![Term::text(x.clone())])
-                        }))
+                        .children(
+                            p.params
+                                .iter()
+                                .map(|x| Term::ordered("p", vec![Term::text(x.clone())])),
+                        )
                         .finish(),
                 )
                 .field("body", p.body.to_string())

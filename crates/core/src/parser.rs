@@ -145,9 +145,7 @@ fn item(cur: &mut Cursor, into: &mut RuleSet) -> Result<()> {
         into.event_rules.push(EventRule::new(name, head, on));
         return Ok(());
     }
-    Err(cur.error(
-        "expected RULESET, RULE, PROCEDURE, VIEW, or DETECT",
-    ))
+    Err(cur.error("expected RULESET, RULE, PROCEDURE, VIEW, or DETECT"))
 }
 
 fn rule(cur: &mut Cursor) -> Result<EcaRule> {
@@ -270,7 +268,8 @@ pub fn action(cur: &mut Cursor) -> Result<Action> {
     if cur.eat_kw("fail") {
         return Ok(Action::Fail(cur.expect_str()?));
     }
-    Err(cur.error("expected an action (SEQ, ALT, IF, UPDATE, SEND, PERSIST, LOG, CALL, NOOP, FAIL)"))
+    Err(cur
+        .error("expected an action (SEQ, ALT, IF, UPDATE, SEND, PERSIST, LOG, CALL, NOOP, FAIL)"))
 }
 
 fn update(cur: &mut Cursor) -> Result<Update> {
@@ -376,10 +375,7 @@ mod tests {
         let r = parse_rule("RULE r ON ping IF true THEN NOOP END").unwrap();
         assert_eq!(r.branches.len(), 1);
 
-        let r = parse_rule(
-            "RULE r ON ping IF var X > 1 THEN NOOP ELSE FAIL \"no\" END",
-        )
-        .unwrap();
+        let r = parse_rule("RULE r ON ping IF var X > 1 THEN NOOP ELSE FAIL \"no\" END").unwrap();
         assert_eq!(r.branches.len(), 2);
     }
 
@@ -409,10 +405,8 @@ mod tests {
 
     #[test]
     fn nested_compound_actions() {
-        let a = parse_action(
-            "SEQ ALT FAIL \"x\"; NOOP; END; IF true THEN SEQ NOOP; END END; END",
-        )
-        .unwrap();
+        let a = parse_action("SEQ ALT FAIL \"x\"; NOOP; END; IF true THEN SEQ NOOP; END END; END")
+            .unwrap();
         assert_eq!(a.primitive_count(), 3);
     }
 
@@ -428,10 +422,7 @@ mod tests {
 
     #[test]
     fn multiple_top_level_items_get_wrapped() {
-        let set = parse_program(
-            "RULE a ON p DO NOOP END  RULE b ON q DO NOOP END",
-        )
-        .unwrap();
+        let set = parse_program("RULE a ON p DO NOOP END  RULE b ON q DO NOOP END").unwrap();
         assert_eq!(set.name, "program");
         assert_eq!(set.rules.len(), 2);
         // A single top-level set is returned unwrapped.

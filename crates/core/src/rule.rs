@@ -250,22 +250,17 @@ mod tests {
 
     #[test]
     fn ecnan_chain() {
-        let r = sample_rule("r").with_branch(
-            parse_condition("var X >= 0").unwrap(),
-            Action::Noop,
-        );
+        let r = sample_rule("r").with_branch(parse_condition("var X >= 0").unwrap(), Action::Noop);
         assert_eq!(r.branches.len(), 3);
     }
 
     #[test]
     fn ruleset_counts_and_paths() {
-        let mut root = RuleSet::new("shop")
-            .with_rule(sample_rule("a"))
-            .with_child(
-                RuleSet::new("orders")
-                    .with_rule(sample_rule("b"))
-                    .with_rule(sample_rule("c")),
-            );
+        let mut root = RuleSet::new("shop").with_rule(sample_rule("a")).with_child(
+            RuleSet::new("orders")
+                .with_rule(sample_rule("b"))
+                .with_rule(sample_rule("c")),
+        );
         assert_eq!(root.rule_count(), 3);
         assert!(root.find_mut("shop.orders").is_some());
         assert!(root.find_mut("shop.payments").is_none());

@@ -10,8 +10,11 @@
 //! events it would see in an unsharded engine, and each shard's per-event
 //! work (timer advance, dispatch, partial-match bookkeeping) covers only
 //! its own rules — the first architecture step toward multi-backend
-//! scale-out (experiment E13 measures the win; shards share no state, so
-//! a thread per shard is a later, purely mechanical step).
+//! scale-out (experiment E13 measures the win). Shards share no state,
+//! so batches can also execute with **one worker thread per shard**: see
+//! [`ExecMode`] and the [`exec`] module. Both modes produce identical
+//! output sequences; [`ShardedEngine::new_parallel`] is a drop-in
+//! constructor swap.
 //!
 //! Placement rules, in order:
 //!
@@ -53,6 +56,7 @@
 //! `crates/core/tests/sharded_equivalence.rs`.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use reweb_events::{EventQuery, EventRule};
 use reweb_term::{fnv1a, Dur, Term, Timestamp};
@@ -61,6 +65,12 @@ use crate::aaa::MessageMeta;
 use crate::engine::{EngineMetrics, OutMessage, ReactiveEngine};
 use crate::meta::ruleset_from_term;
 use crate::rule::RuleSet;
+
+pub mod exec;
+
+pub use exec::ExecMode;
+
+use exec::{Job, JobKind, Reply, WorkerPool};
 
 /// One unit of batch input: everything [`ReactiveEngine::receive`] takes.
 #[derive(Clone, Debug)]
@@ -119,9 +129,9 @@ fn rule_affinity(on: &EventQuery) -> Affinity {
 fn query_has_absence(q: &EventQuery) -> bool {
     match q {
         EventQuery::Absence { .. } => true,
-        EventQuery::And { parts, .. } | EventQuery::Or { parts } | EventQuery::Seq { parts, .. } => {
-            parts.iter().any(query_has_absence)
-        }
+        EventQuery::And { parts, .. }
+        | EventQuery::Or { parts }
+        | EventQuery::Seq { parts, .. } => parts.iter().any(query_has_absence),
         EventQuery::Where { inner, .. } => query_has_absence(inner),
         EventQuery::Atomic { .. } | EventQuery::Count { .. } | EventQuery::Agg { .. } => false,
     }
@@ -313,11 +323,34 @@ pub struct ShardedEngine {
     /// Routing-layer warnings (dynamic installs that could not be placed
     /// soundly); engine-level errors stay in each shard's metrics.
     pub warnings: Vec<String>,
+    /// How batches execute: in the caller's thread, or fanned out to one
+    /// worker thread per shard.
+    mode: ExecMode,
+    /// The worker threads (present only in [`ExecMode::Threads`]).
+    pool: Option<WorkerPool>,
+    /// Set when a worker panicked: the shard's engine state was lost
+    /// with the unwound stack, so every later batch is refused with this
+    /// error instead of silently diverging.
+    poisoned: Option<String>,
 }
 
 impl ShardedEngine {
-    /// A sharded engine with `shards` (at least 1) empty shards.
+    /// A sharded engine with `shards` (at least 1) empty shards,
+    /// executing serially in the caller's thread.
     pub fn new(uri: impl Into<String>, shards: usize) -> ShardedEngine {
+        ShardedEngine::with_mode(uri, shards, ExecMode::Serial)
+    }
+
+    /// A sharded engine whose shards execute concurrently, one worker
+    /// thread per shard. Same `InMessage` interface, same outputs — the
+    /// merge reproduces the serial order byte for byte (see
+    /// [`exec`]'s module docs).
+    pub fn new_parallel(uri: impl Into<String>, shards: usize) -> ShardedEngine {
+        ShardedEngine::with_mode(uri, shards, ExecMode::Threads)
+    }
+
+    /// A sharded engine with an explicit execution mode.
+    pub fn with_mode(uri: impl Into<String>, shards: usize, mode: ExecMode) -> ShardedEngine {
         let uri = uri.into();
         let n = shards.max(1);
         ShardedEngine {
@@ -331,6 +364,31 @@ impl ShardedEngine {
             has_timers: vec![false; n],
             routed: vec![0; n],
             warnings: Vec::new(),
+            mode,
+            pool: match mode {
+                ExecMode::Serial => None,
+                ExecMode::Threads => Some(WorkerPool::new(n)),
+            },
+            poisoned: None,
+        }
+    }
+
+    /// The execution mode this engine was built with.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The panic message that poisoned this engine, if a worker panicked.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Test hook: rig every shard to panic when it receives an event
+    /// with this label (see `ReactiveEngine::rig_panic_on_label`).
+    #[doc(hidden)]
+    pub fn rig_panic_on_label(&mut self, label: &str) {
+        for s in &mut self.shards {
+            s.rig_panic_on_label(label);
         }
     }
 
@@ -339,7 +397,10 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// Read access to the shards (tests, experiments).
+    /// Read access to the shards (tests, experiments). After a worker
+    /// panic (see [`ShardedEngine::poisoned`]) the lost shard's slot
+    /// holds a blank placeholder engine — check `poisoned()` before
+    /// trusting per-shard state on the thread backend.
     pub fn shards(&self) -> &[ReactiveEngine] {
         &self.shards
     }
@@ -382,7 +443,10 @@ impl ShardedEngine {
 
     /// Earliest pending absence deadline across all shards.
     pub fn next_deadline(&self) -> Option<Timestamp> {
-        self.shards.iter().filter_map(ReactiveEngine::next_deadline).min()
+        self.shards
+            .iter()
+            .filter_map(ReactiveEngine::next_deadline)
+            .min()
     }
 
     /// The front-end clock (latest message time seen).
@@ -406,11 +470,19 @@ impl ShardedEngine {
     }
 
     /// Aggregate metrics over all shards (counters summed, per-rule fire
-    /// counts and error logs merged).
+    /// counts and error logs merged). After a worker panic the lost
+    /// shard's counters are gone with it; the merged error log then
+    /// carries the poison message so the gap is visible.
     pub fn metrics(&self) -> EngineMetrics {
         let mut m = EngineMetrics::default();
         for s in &self.shards {
             m.merge(&s.metrics);
+        }
+        if let Some(why) = &self.poisoned {
+            m.errors.push(format!(
+                "sharded engine poisoned ({why}); counters from the lost shard \
+                 are missing from these totals"
+            ));
         }
         m
     }
@@ -515,7 +587,11 @@ impl ShardedEngine {
             .rules
             .iter()
             .map(|r| (r.name.clone(), rule_affinity(&r.on)))
-            .chain(set.event_rules.iter().map(|er| (er.name.clone(), detect_affinity(er))))
+            .chain(
+                set.event_rules
+                    .iter()
+                    .map(|er| (er.name.clone(), detect_affinity(er))),
+            )
             .collect();
         let n = self.shards.len();
         for (name, affinity) in placements {
@@ -553,8 +629,41 @@ impl ShardedEngine {
     /// advanced first, and the batch ends with every shard aligned to the
     /// shared clock. Outputs are merged deterministically (batch order,
     /// then shard order). Semantically equivalent to feeding the batch
-    /// through a single [`ReactiveEngine::receive`] loop.
+    /// through a single [`ReactiveEngine::receive`] loop — in **both**
+    /// execution modes, byte for byte.
+    ///
+    /// Errors (a poisoned engine after a worker panic) are recorded in
+    /// [`ShardedEngine::warnings`]; use
+    /// [`ShardedEngine::try_receive_batch`] to observe them directly.
     pub fn receive_batch(&mut self, msgs: &[InMessage]) -> Vec<OutMessage> {
+        match self.try_receive_batch(msgs) {
+            Ok(out) => out,
+            Err(e) => {
+                self.warnings.push(format!("receive_batch failed: {e}"));
+                Vec::new()
+            }
+        }
+    }
+
+    /// [`ShardedEngine::receive_batch`], surfacing execution failures.
+    ///
+    /// The only failure source is the thread backend: a worker panic (a
+    /// defective rule action) loses that shard's engine state, so the
+    /// batch — and every batch after it — returns an error naming the
+    /// panic instead of hanging on a dead worker or silently dropping a
+    /// shard. The serial backend always succeeds (engine-level failures
+    /// are contained per rule and recorded in metrics).
+    pub fn try_receive_batch(&mut self, msgs: &[InMessage]) -> crate::Result<Vec<OutMessage>> {
+        if let Some(why) = &self.poisoned {
+            return Err(reweb_term::TermError::InvalidEdit(why.clone()));
+        }
+        match self.mode {
+            ExecMode::Serial => Ok(self.receive_batch_serial(msgs)),
+            ExecMode::Threads => self.receive_batch_parallel(msgs),
+        }
+    }
+
+    fn receive_batch_serial(&mut self, msgs: &[InMessage]) -> Vec<OutMessage> {
         let mut out = Vec::new();
         for m in msgs {
             if m.at > self.now {
@@ -562,17 +671,183 @@ impl ShardedEngine {
             }
             // Deadlines elsewhere fire before this message is processed,
             // exactly as a single engine's pre-receive time advance does.
-            for s in 0..self.shards.len() {
-                if self.deadlines[s].is_some_and(|d| d <= m.at) {
-                    out.extend(self.shards[s].advance_time(m.at));
-                    self.deadlines[s] = self.shards[s].next_deadline();
-                }
-            }
+            self.advance_due_shards(m.at, &mut out);
             out.extend(self.route_one(m));
         }
         let now = self.now;
         out.extend(self.advance_time(now));
         out
+    }
+
+    /// Fire due absence deadlines on every shard, in shard order — the
+    /// pre-delivery step of the serial batch loop.
+    fn advance_due_shards(&mut self, at: Timestamp, out: &mut Vec<OutMessage>) {
+        for s in 0..self.shards.len() {
+            if self.deadlines[s].is_some_and(|d| d <= at) {
+                out.extend(self.shards[s].advance_time(at));
+                self.deadlines[s] = self.shards[s].next_deadline();
+            }
+        }
+    }
+
+    /// The thread backend: fan each batch segment out to one worker per
+    /// shard, merge tagged outputs back into the serial append order.
+    ///
+    /// `install_rules` messages rewrite the routing table mid-batch, so
+    /// they split the batch: the stretch before one executes in
+    /// parallel, the install itself is processed on the caller's thread
+    /// (engines are home between segments), then the next stretch fans
+    /// out against the updated router.
+    fn receive_batch_parallel(&mut self, msgs: &[InMessage]) -> crate::Result<Vec<OutMessage>> {
+        let is_install = |m: &InMessage| m.payload.label() == Some("install_rules");
+        let batch_end = msgs.iter().map(|m| m.at).fold(self.now, Timestamp::max);
+        let mut out = Vec::new();
+        let mut k = 0;
+        let mut flushed = false;
+        while k < msgs.len() {
+            let m = &msgs[k];
+            if is_install(m) {
+                if m.at > self.now {
+                    self.now = m.at;
+                }
+                self.advance_due_shards(m.at, &mut out);
+                out.extend(self.route_one(m));
+                k += 1;
+                continue;
+            }
+            let end = k + msgs[k..]
+                .iter()
+                .position(is_install)
+                .unwrap_or(msgs.len() - k);
+            // The final segment carries the epilogue sweep with it, so
+            // the workers align every shard to the batch clock in
+            // parallel too.
+            let flush = (end == msgs.len()).then_some(batch_end);
+            flushed = flush.is_some();
+            out.extend(self.run_segment(&msgs[k..end], flush)?);
+            k = end;
+        }
+        if !flushed {
+            // Empty batch, or one ending in an `install_rules` message:
+            // the epilogue has not run yet.
+            out.extend(self.try_advance_time(batch_end)?);
+        }
+        Ok(out)
+    }
+
+    /// Route one segment main-side, ship every shard's engine and slice
+    /// to its worker, and merge the tagged replies.
+    fn run_segment(
+        &mut self,
+        seg: &[InMessage],
+        flush: Option<Timestamp>,
+    ) -> crate::Result<Vec<OutMessage>> {
+        let n = self.shards.len();
+        let mut subs: Vec<Vec<(u32, InMessage)>> = vec![Vec::new(); n];
+        let mut timeline = Vec::with_capacity(seg.len());
+        for (k, m) in seg.iter().enumerate() {
+            if m.at > self.now {
+                self.now = m.at;
+            }
+            timeline.push(m.at);
+            let label = m.payload.label().unwrap_or("");
+            let h = self.router.home_of(label, n);
+            self.routed[h] += 1;
+            subs[h].push((k as u32, m.clone()));
+        }
+        let timeline = Arc::new(timeline);
+        let pool = self.pool.as_ref().expect("Threads mode owns a pool");
+        let mut sent = 0;
+        let mut send_failure = None;
+        for (s, sub) in subs.into_iter().enumerate() {
+            // An idle shard — no messages, no pending deadline, and no
+            // absence rule that the epilogue sweep could fire — can
+            // produce no output; keep its engine home (bumping its
+            // clock exactly as the serial epilogue would) instead of
+            // paying two channel hops. This is what keeps the
+            // single-message `receive` path cheap at high shard counts.
+            if sub.is_empty() && self.deadlines[s].is_none() && !self.has_timers[s] {
+                if let Some(end) = flush {
+                    self.shards[s].advance_time(end);
+                }
+                continue;
+            }
+            let engine = std::mem::replace(&mut self.shards[s], ReactiveEngine::new(String::new()));
+            match pool.send(
+                s,
+                Job {
+                    engine: Box::new(engine),
+                    kind: JobKind::Segment {
+                        sub,
+                        timeline: Arc::clone(&timeline),
+                        deadline: self.deadlines[s],
+                        has_timers: self.has_timers[s],
+                        flush,
+                    },
+                },
+            ) {
+                Ok(()) => sent += 1,
+                Err(job) => {
+                    // The worker thread is gone; the engine comes back
+                    // with the refused job. Fail fast after draining
+                    // the jobs that did go out.
+                    self.shards[s] = *job.engine;
+                    send_failure.get_or_insert(format!("shard {s} worker is gone (thread died)"));
+                }
+            }
+        }
+        let out = self.collect_replies(sent);
+        match send_failure {
+            None => out,
+            Some(why) => {
+                self.poisoned.get_or_insert(why.clone());
+                Err(reweb_term::TermError::InvalidEdit(why))
+            }
+        }
+    }
+
+    /// Collect `expect` worker replies, re-homing engines and deadline
+    /// caches, and merge every output group by its `(message index,
+    /// phase, shard)` tag — the serial append order.
+    fn collect_replies(&mut self, expect: usize) -> crate::Result<Vec<OutMessage>> {
+        let pool = self.pool.as_ref().expect("Threads mode owns a pool");
+        let mut tagged: Vec<(u32, u8, usize, Vec<OutMessage>)> = Vec::new();
+        let mut failure: Option<String> = None;
+        for _ in 0..expect {
+            match pool.recv() {
+                Ok(Reply::Done {
+                    shard,
+                    engine,
+                    out,
+                    deadline,
+                }) => {
+                    self.shards[shard] = *engine;
+                    self.deadlines[shard] = deadline;
+                    for t in out {
+                        tagged.push((t.k, t.phase, shard, t.out));
+                    }
+                }
+                Ok(Reply::Panicked { shard, msg }) => {
+                    failure.get_or_insert(format!(
+                        "shard {shard} worker panicked: {msg}; shard state lost, \
+                         sharded engine poisoned"
+                    ));
+                }
+                Err(e) => {
+                    failure.get_or_insert(format!("shard execution failed: {e}"));
+                    break;
+                }
+            }
+        }
+        if let Some(why) = failure {
+            self.poisoned = Some(why.clone());
+            return Err(reweb_term::TermError::InvalidEdit(why));
+        }
+        // Keys are unique per group — each (k, phase) pair belongs to
+        // exactly one shard — so an unstable sort reproduces the serial
+        // order exactly.
+        tagged.sort_unstable_by_key(|&(k, phase, shard, _)| (k, phase, shard));
+        Ok(tagged.into_iter().flat_map(|(_, _, _, o)| o).collect())
     }
 
     /// Receive a single message (the websim delivery path).
@@ -590,7 +865,11 @@ impl ShardedEngine {
         let h = self.router.home_of(label, self.shards.len());
         self.routed[h] += 1;
         let dynamic = label == "install_rules";
-        let rules_before = if dynamic { self.shards[h].rule_count() } else { 0 };
+        let rules_before = if dynamic {
+            self.shards[h].rule_count()
+        } else {
+            0
+        };
         let out = self.shards[h].receive(m.payload.clone(), &m.meta, m.at);
         if self.has_timers[h] {
             self.deadlines[h] = self.shards[h].next_deadline();
@@ -611,16 +890,77 @@ impl ShardedEngine {
 
     /// Advance every shard's clock to `now`, firing due absence
     /// deadlines; also the batch epilogue that re-aligns lagging shards.
+    /// In [`ExecMode::Threads`] the advance fans out to the workers —
+    /// each shard's timer scan runs concurrently — and the outputs merge
+    /// back in shard order, exactly as the serial loop appends them.
     pub fn advance_time(&mut self, now: Timestamp) -> Vec<OutMessage> {
+        match self.try_advance_time(now) {
+            Ok(out) => out,
+            Err(e) => {
+                self.warnings.push(format!("advance_time failed: {e}"));
+                Vec::new()
+            }
+        }
+    }
+
+    /// [`ShardedEngine::advance_time`], surfacing worker failures (see
+    /// [`ShardedEngine::try_receive_batch`]).
+    pub fn try_advance_time(&mut self, now: Timestamp) -> crate::Result<Vec<OutMessage>> {
+        if let Some(why) = &self.poisoned {
+            return Err(reweb_term::TermError::InvalidEdit(why.clone()));
+        }
         if now > self.now {
             self.now = now;
         }
-        let mut out = Vec::new();
-        for s in 0..self.shards.len() {
-            out.extend(self.shards[s].advance_time(now));
-            self.deadlines[s] = self.shards[s].next_deadline();
+        match self.mode {
+            ExecMode::Serial => {
+                let mut out = Vec::new();
+                for s in 0..self.shards.len() {
+                    out.extend(self.shards[s].advance_time(now));
+                    self.deadlines[s] = self.shards[s].next_deadline();
+                }
+                Ok(out)
+            }
+            ExecMode::Threads => {
+                let n = self.shards.len();
+                let pool = self.pool.as_ref().expect("Threads mode owns a pool");
+                let mut sent = 0;
+                let mut send_failure = None;
+                for s in 0..n {
+                    // A shard with no pending deadline has nothing to
+                    // fire; advancing it is a clock bump the next batch
+                    // performs anyway, so skip the channel round-trip.
+                    if self.deadlines[s].is_none() && !self.has_timers[s] {
+                        self.shards[s].advance_time(now);
+                        continue;
+                    }
+                    let engine =
+                        std::mem::replace(&mut self.shards[s], ReactiveEngine::new(String::new()));
+                    match pool.send(
+                        s,
+                        Job {
+                            engine: Box::new(engine),
+                            kind: JobKind::Advance(now),
+                        },
+                    ) {
+                        Ok(()) => sent += 1,
+                        Err(job) => {
+                            self.shards[s] = *job.engine;
+                            send_failure
+                                .get_or_insert(format!("shard {s} worker is gone (thread died)"));
+                        }
+                    }
+                }
+                let out = self.collect_replies(sent);
+                match send_failure {
+                    None => out,
+                    Some(why) => {
+                        self.poisoned.get_or_insert(why.clone());
+                        Err(reweb_term::TermError::InvalidEdit(why))
+                    }
+                }
+            }
         }
-        out
     }
 }
 
@@ -710,9 +1050,7 @@ mod tests {
         e.install_program(r#"RULE a ON a DO NOOP END  RULE b ON b DO NOOP END"#)
             .unwrap();
         assert!(e.shards()[1].rule_count() > 0, "rules distributed");
-        let err = e.install_program(
-            r#"RULE w ON and(a, *{{v[[var X]]}}) DO NOOP END"#,
-        );
+        let err = e.install_program(r#"RULE w ON and(a, *{{v[[var X]]}}) DO NOOP END"#);
         assert!(err.is_err());
     }
 
@@ -778,7 +1116,11 @@ mod tests {
         let mut e = ShardedEngine::new("http://node", 3);
         let before = e.rule_count();
         let out = e.receive_batch(&[
-            InMessage::new(payload, MessageMeta::from_uri("http://partner"), Timestamp(1)),
+            InMessage::new(
+                payload,
+                MessageMeta::from_uri("http://partner"),
+                Timestamp(1),
+            ),
             msg("newevt{v[\"7\"]}", 2),
         ]);
         assert_eq!(e.rule_count(), before + 1);
@@ -820,10 +1162,18 @@ mod tests {
         let payload = Term::ordered("install_rules", vec![ruleset_to_term(&carried)]);
         let mut e = ShardedEngine::new("http://node", 4);
         let out = e.receive_batch(&[
-            InMessage::new(payload, MessageMeta::from_uri("http://partner"), Timestamp(1)),
+            InMessage::new(
+                payload,
+                MessageMeta::from_uri("http://partner"),
+                Timestamp(1),
+            ),
             msg("orderq{v[\"9\"]}", 2),
         ]);
-        assert_eq!(e.metrics().events_derived, 1, "DETECT saw its trigger event");
+        assert_eq!(
+            e.metrics().events_derived,
+            1,
+            "DETECT saw its trigger event"
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload.to_string(), "got{v[\"9\"]}");
     }
@@ -844,6 +1194,108 @@ mod tests {
         assert_eq!(m.messages_sent, 2);
         assert_eq!(m.events_unmatched, 1);
         assert_eq!(m.rules_installed, 2);
+    }
+
+    /// The thread backend reproduces the serial backend's output
+    /// *sequence* (not just multiset) on a mixed workload with absence
+    /// deadlines, wildcards, and a mid-batch dynamic install.
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        use crate::meta::ruleset_to_term;
+
+        let program = r#"
+            RULE pay ON and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1h
+              DO SEND paid{order[var O]} TO "http://sink" END
+            RULE audit ON *{{kind[[var K]]}} DO SEND saw{kind[var K]} TO "http://audit" END
+            RULE quiet ON absence(ping{{n[[var N]]}}, pong{{n[[var N]]}}, 10s)
+              DO SEND silent{n[var N]} TO "http://ops" END
+        "#;
+        let carried = crate::parse_program(
+            r#"RULE fresh ON newevt{{v[[var X]]}} DO SEND got{v[var X]} TO "http://sink" END"#,
+        )
+        .unwrap();
+        let install = Term::ordered("install_rules", vec![ruleset_to_term(&carried)]);
+        let mut msgs = vec![
+            msg("order{id[\"o1\"]}", 1_000),
+            msg("ping{n[\"7\"]}", 2_000),
+            msg("x{kind[\"a\"]}", 3_000),
+            InMessage::new(
+                install,
+                MessageMeta::from_uri("http://peer"),
+                Timestamp(4_000),
+            ),
+            msg("newevt{v[\"9\"]}", 5_000),
+            msg("payment{order[\"o1\"]}", 6_000),
+            msg("y{kind[\"b\"]}", 20_000),
+        ];
+        // A second absence window that stays pending at batch end.
+        msgs.push(msg("ping{n[\"8\"]}", 21_000));
+
+        let run = |mode: ExecMode| {
+            let mut e = ShardedEngine::with_mode("http://node", 4, mode);
+            e.install_program(program).unwrap();
+            let out = e.receive_batch(&msgs);
+            assert!(
+                e.warnings.iter().all(|w| !w.contains("failed")),
+                "{:?}",
+                e.warnings
+            );
+            out.iter()
+                .map(|o| format!("{}<-{}", o.to, o.payload))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(ExecMode::Serial);
+        let threads = run(ExecMode::Threads);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, threads, "thread merge must reproduce serial order");
+    }
+
+    /// `advance_time` fans out to the workers and still merges
+    /// deterministically in shard order.
+    #[test]
+    fn parallel_advance_time_fans_out() {
+        let mut e = ShardedEngine::new_parallel("http://node", 2);
+        e.install_program(
+            r#"
+            RULE a ON absence(s1{{n[[var N]]}}, e1{{n[[var N]]}}, 5s)
+              DO SEND t1{n[var N]} TO "http://ops" END
+            RULE b ON absence(s2{{n[[var N]]}}, e2{{n[[var N]]}}, 5s)
+              DO SEND t2{n[var N]} TO "http://ops" END
+            "#,
+        )
+        .unwrap();
+        e.receive_batch(&[msg("s1{n[\"1\"]}", 0), msg("s2{n[\"2\"]}", 0)]);
+        let out = e.advance_time(Timestamp(10_000));
+        let labels: Vec<_> = out.iter().filter_map(|o| o.payload.label()).collect();
+        assert_eq!(labels, vec!["t1", "t2"], "shard-order merge");
+    }
+
+    /// A worker panic (defective rule action) surfaces as an engine
+    /// error — not a hang, not a poisoned lock — and poisons the engine
+    /// for later batches too.
+    #[test]
+    fn worker_panic_surfaces_as_engine_error() {
+        let mut e = ShardedEngine::new_parallel("http://node", 2);
+        e.install_program(
+            r#"RULE a ON a DO SEND xa TO "http://s" END
+               RULE b ON b DO SEND xb TO "http://s" END"#,
+        )
+        .unwrap();
+        e.rig_panic_on_label("boom");
+        let err = e
+            .try_receive_batch(&[msg("a", 1), msg("boom", 2), msg("b", 3)])
+            .expect_err("rigged panic must surface");
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert!(e.poisoned().is_some());
+        // Poison sticks: the next batch is refused with the same error.
+        let err2 = e.try_receive_batch(&[msg("a", 4)]).expect_err("poisoned");
+        assert!(err2.to_string().contains("panicked"), "{err2}");
+        // The infallible wrapper records it instead of panicking.
+        assert!(e.receive_batch(&[msg("a", 5)]).is_empty());
+        assert!(e
+            .warnings
+            .iter()
+            .any(|w| w.contains("receive_batch failed")));
     }
 
     /// One shard degenerates to plain single-engine behaviour.

@@ -1,0 +1,312 @@
+//! Thread-per-shard execution backend for [`super::ShardedEngine`].
+//!
+//! The serial backend processes every shard inside the caller's thread;
+//! this module adds a `WorkerPool` — one long-lived OS thread per
+//! shard — so `receive_batch` actually exploits hardware parallelism
+//! (the ROADMAP's "thread per shard inside `receive_batch`" step).
+//!
+//! ## Ownership protocol
+//!
+//! Workers own no state between batches. The [`super::ShardedEngine`] keeps its
+//! [`ReactiveEngine`] shards on the main thread — so `shards()`,
+//! `for_each_shard`, `install`, `put_resource`, and `metrics` work
+//! identically in both exec modes — and *moves* each engine to its
+//! worker over a channel for the duration of one batch segment. The
+//! worker processes its slice, then moves the engine back together with
+//! its tagged outputs. Moving an engine is a pointer-sized memcpy (it is
+//! boxed); the payloads inside are `Arc`-backed terms, so nothing deep
+//! is copied across threads.
+//!
+//! ## Deterministic merge
+//!
+//! The serial backend appends outputs in a fixed order: for each message
+//! `k` in batch order, first the absence-deadline firings of every shard
+//! with a due timer (in shard order), then the outputs of the shard the
+//! message routes to; after the last message, one clock-alignment sweep
+//! over all shards in shard order. Workers therefore tag every output
+//! group with `(k, phase, shard)` — phase 0 for deadline firings, 1 for
+//! routed delivery, with the epilogue at `k = u32::MAX` — and the merge
+//! is a sort on that key. The result is **byte-identical** to the serial
+//! backend's output sequence, which is what lets the equivalence
+//! property test and the 20× determinism stress test hold with threads.
+//!
+//! ## Panic containment
+//!
+//! A panic inside a worker (a defective rule action) is caught with
+//! [`std::panic::catch_unwind`]; the worker reports it as a
+//! `Reply::Panicked` and stays alive for the next job. The engine that
+//! was executing is lost with the unwound stack, so the owning
+//! [`super::ShardedEngine`] marks itself *poisoned*: the failed batch and every
+//! later one surface an engine error instead of a hang or a poisoned
+//! lock. See `ShardedEngine::try_receive_batch`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use reweb_term::Timestamp;
+
+use super::InMessage;
+use crate::engine::{OutMessage, ReactiveEngine};
+
+// The whole protocol rests on engines being movable across threads;
+// fail compilation loudly if a non-Send type ever sneaks into one.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ReactiveEngine>();
+    assert_send::<InMessage>();
+};
+
+/// How a [`ShardedEngine`] executes its shards.
+///
+/// [`ShardedEngine`]: super::ShardedEngine
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// All shards run in the caller's thread (the PR-2 behaviour).
+    #[default]
+    Serial,
+    /// One long-lived worker thread per shard; batches fan out over
+    /// channels and merge back in deterministic serial order.
+    Threads,
+}
+
+/// One unit of work shipped to a worker, carrying the shard's engine.
+pub(super) struct Job {
+    pub(super) engine: Box<ReactiveEngine>,
+    pub(super) kind: JobKind,
+}
+
+pub(super) enum JobKind {
+    /// Process this shard's slice of one batch segment.
+    Segment {
+        /// `(global batch index, message)` pairs homed on this shard,
+        /// in batch order.
+        sub: Vec<(u32, InMessage)>,
+        /// Arrival time of *every* message in the segment, by global
+        /// index — consulted only when this shard has a pending absence
+        /// deadline, to fire it at exactly the point the serial backend
+        /// would.
+        timeline: Arc<Vec<Timestamp>>,
+        /// The shard's cached earliest deadline at segment start.
+        deadline: Option<Timestamp>,
+        /// Whether the shard hosts any absence rule (deadline cache
+        /// refreshes are skipped otherwise, as in the serial backend).
+        has_timers: bool,
+        /// Advance to this time after the slice (the batch epilogue;
+        /// only set on the final segment of a batch).
+        flush: Option<Timestamp>,
+    },
+    /// Fan-out of `advance_time`: fire due deadlines up to `.0`.
+    Advance(Timestamp),
+}
+
+/// One output group: every [`OutMessage`] a single `advance_time` or
+/// `receive` call produced, tagged with its position in the serial
+/// append order.
+pub(super) struct Tagged {
+    /// Global index of the message that triggered this group;
+    /// `u32::MAX` for the epilogue sweep.
+    pub(super) k: u32,
+    /// 0 = deadline firing (before the message), 1 = routed delivery.
+    pub(super) phase: u8,
+    pub(super) out: Vec<OutMessage>,
+}
+
+/// What a worker sends back when its job is done.
+pub(super) enum Reply {
+    /// Job completed; the engine comes home with its outputs and its
+    /// refreshed deadline cache.
+    Done {
+        shard: usize,
+        engine: Box<ReactiveEngine>,
+        out: Vec<Tagged>,
+        deadline: Option<Timestamp>,
+    },
+    /// The job panicked; the engine was lost with the unwound stack.
+    Panicked { shard: usize, msg: String },
+}
+
+/// One long-lived worker thread per shard, plus the channels to reach
+/// them. Dropping the pool closes the job channels, which ends each
+/// worker's receive loop; the threads are then joined.
+pub(super) struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    replies: Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Upper bound on waiting for one worker reply. Workers never block on
+/// anything but their job channel, so this only trips if a worker dies
+/// in a way `catch_unwind` cannot see (e.g. an abort); it converts what
+/// would be a silent hang into an engine error.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(300);
+
+impl WorkerPool {
+    /// Spawn one worker per shard.
+    pub(super) fn new(shards: usize) -> WorkerPool {
+        let (reply_tx, replies) = channel::<Reply>();
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (job_tx, job_rx) = channel::<Job>();
+            let tx = reply_tx.clone();
+            senders.push(job_tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("reweb-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, job_rx, tx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        WorkerPool {
+            senders,
+            replies,
+            handles,
+        }
+    }
+
+    /// Ship a job to shard `s`'s worker. A send only fails when the
+    /// worker thread is gone (it died in a way `catch_unwind` cannot
+    /// see); the job — engine included — comes back to the caller so it
+    /// can fail fast instead of waiting out the reply timeout.
+    pub(super) fn send(&self, s: usize, job: Job) -> Result<(), Job> {
+        self.senders[s].send(job).map_err(|e| e.0)
+    }
+
+    /// Wait for one reply (any shard).
+    pub(super) fn recv(&self) -> Result<Reply, String> {
+        match self.replies.recv_timeout(REPLY_TIMEOUT) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err("worker unresponsive (timeout)".into()),
+            Err(RecvTimeoutError::Disconnected) => Err("worker channel closed".into()),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // close job channels; workers exit their loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shard: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
+    for job in jobs {
+        let reply = match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+            Ok((engine, out)) => {
+                let deadline = engine.next_deadline();
+                Reply::Done {
+                    shard,
+                    engine,
+                    out,
+                    deadline,
+                }
+            }
+            Err(payload) => Reply::Panicked {
+                shard,
+                msg: panic_message(payload.as_ref()),
+            },
+        };
+        if replies.send(reply).is_err() {
+            return; // pool dropped mid-job; nothing left to report to
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Execute one job. Runs on the worker thread, inside `catch_unwind`.
+fn run_job(job: Job) -> (Box<ReactiveEngine>, Vec<Tagged>) {
+    let Job { mut engine, kind } = job;
+    let mut out = Vec::new();
+    match kind {
+        JobKind::Advance(now) => {
+            let o = engine.advance_time(now);
+            if !o.is_empty() {
+                out.push(Tagged {
+                    k: 0,
+                    phase: 0,
+                    out: o,
+                });
+            }
+        }
+        JobKind::Segment {
+            sub,
+            timeline,
+            mut deadline,
+            has_timers,
+            flush,
+        } => {
+            if !has_timers {
+                // No absence rule on this shard: no deadline can ever be
+                // pending, so the timeline walk degenerates to the
+                // shard's own messages.
+                debug_assert!(deadline.is_none());
+                for (k, m) in sub {
+                    let o = engine.receive(m.payload, &m.meta, m.at);
+                    if !o.is_empty() {
+                        out.push(Tagged {
+                            k,
+                            phase: 1,
+                            out: o,
+                        });
+                    }
+                }
+            } else {
+                // Mirror the serial backend exactly: before each message
+                // (whether or not it is ours) fire a due deadline; for
+                // our own messages, deliver and refresh the cache.
+                let mut sub = sub.into_iter().peekable();
+                for (k, &at) in timeline.iter().enumerate() {
+                    let k = k as u32;
+                    if deadline.is_some_and(|d| d <= at) {
+                        let o = engine.advance_time(at);
+                        deadline = engine.next_deadline();
+                        if !o.is_empty() {
+                            out.push(Tagged {
+                                k,
+                                phase: 0,
+                                out: o,
+                            });
+                        }
+                    }
+                    if sub.peek().is_some_and(|(hk, _)| *hk == k) {
+                        let (_, m) = sub.next().expect("peeked");
+                        let o = engine.receive(m.payload, &m.meta, m.at);
+                        deadline = engine.next_deadline();
+                        if !o.is_empty() {
+                            out.push(Tagged {
+                                k,
+                                phase: 1,
+                                out: o,
+                            });
+                        }
+                    }
+                }
+            }
+            if let Some(now) = flush {
+                let o = engine.advance_time(now);
+                if !o.is_empty() {
+                    out.push(Tagged {
+                        k: u32::MAX,
+                        phase: 0,
+                        out: o,
+                    });
+                }
+            }
+        }
+    }
+    (engine, out)
+}

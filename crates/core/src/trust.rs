@@ -182,9 +182,11 @@ impl<'a> Runtime<'a> {
     fn send(&mut self, from: Side, what: &str, payload: &Term) {
         self.out.messages += 1;
         self.out.bytes += payload.serialized_size();
-        self.out
-            .trace
-            .push(format!("{} -> {}: {what} {payload}", self.party(from).name, self.party(from.other()).name));
+        self.out.trace.push(format!(
+            "{} -> {}: {what} {payload}",
+            self.party(from).name,
+            self.party(from.other()).name
+        ));
     }
 
     /// `side` presents credential `name` (requirements already met).

@@ -55,13 +55,13 @@ fn arb_action() -> impl Strategy<Value = Action> {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Action::Seq),
             proptest::collection::vec(inner.clone(), 1..3).prop_map(Action::Alt),
-            (arb_condition(), inner.clone(), proptest::option::of(inner)).prop_map(
-                |(c, t, e)| Action::If {
+            (arb_condition(), inner.clone(), proptest::option::of(inner)).prop_map(|(c, t, e)| {
+                Action::If {
                     cond: parse_condition(&c).unwrap(),
                     then: Box::new(t),
                     else_: e.map(Box::new),
                 }
-            ),
+            }),
         ]
     })
 }

@@ -102,7 +102,9 @@ fn run_single(program: &str, stream: &[InMessage]) -> (Vec<(String, String)>, u6
         out.extend(e.receive(m.payload.clone(), &m.meta, m.at));
     }
     (
-        out.into_iter().map(|o| (o.to, o.payload.to_string())).collect(),
+        out.into_iter()
+            .map(|o| (o.to, o.payload.to_string()))
+            .collect(),
         e.metrics.rules_fired,
     )
 }
@@ -114,7 +116,9 @@ fn run_sharded(program: &str, stream: &[InMessage], shards: usize) -> (Vec<(Stri
     e.install_program(program).expect("program installs");
     let out = e.receive_batch(stream);
     (
-        out.into_iter().map(|o| (o.to, o.payload.to_string())).collect(),
+        out.into_iter()
+            .map(|o| (o.to, o.payload.to_string()))
+            .collect(),
         e.metrics().rules_fired,
     )
 }
@@ -161,6 +165,72 @@ proptest! {
     }
 }
 
+/// Run the same stream as one batch through a *parallel* (thread-per-
+/// shard) sharded engine, keeping the output sequence unsorted: the
+/// thread backend promises the serial backend's exact append order, not
+/// just the same multiset.
+fn run_parallel_seq(program: &str, stream: &[InMessage], shards: usize) -> Vec<(String, String)> {
+    let mut e = ShardedEngine::new_parallel("http://node", shards);
+    e.put_resource("http://data/items", seed_store());
+    e.install_program(program).expect("program installs");
+    let out = e.try_receive_batch(stream).expect("no worker failure");
+    out.into_iter()
+        .map(|o| (o.to, o.payload.to_string()))
+        .collect()
+}
+
+/// Same as [`run_parallel_seq`] but serial — the reference sequence.
+fn run_serial_seq(program: &str, stream: &[InMessage], shards: usize) -> Vec<(String, String)> {
+    let mut e = ShardedEngine::new("http://node", shards);
+    e.put_resource("http://data/items", seed_store());
+    e.install_program(program).expect("program installs");
+    let out = e.receive_batch(stream);
+    out.into_iter()
+        .map(|o| (o.to, o.payload.to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The thread-per-shard executor emits *the same sequence* as the
+    /// serial executor — not merely the same multiset — over the same
+    /// random rule sets and streams the serial/single proptest uses.
+    /// Together with `sharded_engine_is_equivalent_to_single` this pins
+    /// parallel ≡ serial ≡ single.
+    #[test]
+    fn parallel_executor_matches_serial_order(
+        rules in proptest::collection::vec((0..9u8, 0..6usize, 0..6usize), 1..6),
+        stream in proptest::collection::vec((0..8usize, 0..10u64, 1..20_000u64), 4..40),
+    ) {
+        let program: String = rules
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, a, b))| fragment(i, kind, a, b))
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let meta = MessageMeta::from_uri("http://peer");
+        let mut at = 0u64;
+        let msgs: Vec<InMessage> = stream
+            .iter()
+            .map(|&(l, v, dt)| {
+                at += dt;
+                InMessage::new(event_payload(l, v), meta.clone(), Timestamp(at))
+            })
+            .collect();
+
+        for shards in [2usize, 3, 8] {
+            let serial = run_serial_seq(&program, &msgs, shards);
+            let parallel = run_parallel_seq(&program, &msgs, shards);
+            prop_assert_eq!(
+                &serial, &parallel,
+                "parallel order diverged at {} shards for program:\n{}", shards, program
+            );
+        }
+    }
+}
+
 /// Deterministic regression: the exact marketplace-style mix from the
 /// module docs, at every shard count up to 8.
 #[test]
@@ -182,7 +252,11 @@ fn marketplace_mix_equivalent_at_all_shard_counts() {
         let at = Timestamp(1_000 + k * 7_000);
         let payload = match k % 5 {
             0 => parse_term(&format!("order{{id[\"o{k}\"], total[\"{}\"]}}", 50 + k * 3)).unwrap(),
-            1 => parse_term(&format!("payment{{order[\"o{}\"], amount[\"500\"]}}", k - 1)).unwrap(),
+            1 => parse_term(&format!(
+                "payment{{order[\"o{}\"], amount[\"500\"]}}",
+                k - 1
+            ))
+            .unwrap(),
             2 => parse_term(&format!("ping{{n[\"{k}\"]}}")).unwrap(),
             3 if k % 2 == 1 => parse_term(&format!("pong{{n[\"{}\"]}}", k - 1)).unwrap(),
             _ => parse_term(&format!("noise{{id[\"n{k}\"]}}")).unwrap(),
@@ -191,11 +265,17 @@ fn marketplace_mix_equivalent_at_all_shard_counts() {
     }
     let (mut single, single_fired) = run_single(program, &msgs);
     single.sort();
-    assert!(!single.is_empty(), "workload must actually produce reactions");
+    assert!(
+        !single.is_empty(),
+        "workload must actually produce reactions"
+    );
     for shards in 1..=8 {
         let (mut sharded, sharded_fired) = run_sharded(program, &msgs, shards);
         sharded.sort();
         assert_eq!(single, sharded, "diverged at {shards} shards");
-        assert_eq!(single_fired, sharded_fired, "fires diverged at {shards} shards");
+        assert_eq!(
+            single_fired, sharded_fired,
+            "fires diverged at {shards} shards"
+        );
     }
 }

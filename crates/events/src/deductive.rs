@@ -119,7 +119,7 @@ impl DeductionLayer {
                 for (rule, engine) in self.rules.iter_mut() {
                     let answers = engine.push(ev);
                     for a in answers {
-                        for payload in construct(&rule.head, &[a.bindings.clone()])? {
+                        for payload in construct(&rule.head, std::slice::from_ref(&a.bindings))? {
                             self.next_derived_id += 1;
                             let d = Event {
                                 id: EventId(u64::MAX - self.next_derived_id),
@@ -146,7 +146,7 @@ impl DeductionLayer {
         let mut initial = Vec::new();
         for (rule, engine) in self.rules.iter_mut() {
             for a in engine.advance_to(t) {
-                for payload in construct(&rule.head, &[a.bindings.clone()])? {
+                for payload in construct(&rule.head, std::slice::from_ref(&a.bindings))? {
                     self.next_derived_id += 1;
                     initial.push(Event {
                         id: EventId(u64::MAX - self.next_derived_id),
@@ -224,11 +224,7 @@ mod tests {
     }
 
     fn ev(id: u64, at: u64, payload: &str) -> Event {
-        Event::new(
-            EventId(id),
-            Timestamp(at),
-            parse_term(payload).unwrap(),
-        )
+        Event::new(EventId(id), Timestamp(at), parse_term(payload).unwrap())
     }
 
     #[test]
@@ -261,11 +257,7 @@ mod tests {
             .register(rule("lvl1", "warning{src[var S]}", "fault{{src[[var S]]}}"))
             .unwrap();
         layer
-            .register(rule(
-                "lvl2",
-                "alarm{src[var S]}",
-                "warning{{src[[var S]]}}",
-            ))
+            .register(rule("lvl2", "alarm{src[var S]}", "warning{{src[[var S]]}}"))
             .unwrap();
         let d = layer.push(&ev(1, 10, "fault{src[\"db\"]}")).unwrap();
         let labels: Vec<_> = d.iter().filter_map(Event::label).collect();

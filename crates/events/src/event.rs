@@ -181,12 +181,8 @@ mod tests {
 
     #[test]
     fn event_label_and_time() {
-        let e = Event::new(
-            EventId(1),
-            Timestamp(5),
-            Term::ordered("order", vec![]),
-        )
-        .with_source("http://client");
+        let e = Event::new(EventId(1), Timestamp(5), Term::ordered("order", vec![]))
+            .with_source("http://client");
         assert_eq!(e.label(), Some("order"));
         assert_eq!(e.time(), Timestamp(5));
         assert_eq!(e.source, "http://client");

@@ -403,9 +403,7 @@ impl OpNode {
                         if buf.len() == *over {
                             let vals: Vec<f64> = buf.iter().map(|(_, _, v, _)| *v).collect();
                             let agg = fold_agg(*f, &vals);
-                            if let Some(bb) =
-                                b.bind(out_var, &reweb_term::Term::num(agg))
-                            {
+                            if let Some(bb) = b.bind(out_var, &reweb_term::Term::num(agg)) {
                                 out.push(Answer {
                                     constituents: buf.iter().map(|(id, _, _, _)| *id).collect(),
                                     bindings: bb,
@@ -420,10 +418,10 @@ impl OpNode {
             OpNode::Where { inner, cmps } => {
                 let mut d = Vec::new();
                 inner.delta(inp, &mut d, stats);
-                out.extend(d.into_iter().filter(|a| {
-                    cmps.iter()
-                        .all(|c| c.holds(&a.bindings).unwrap_or(false))
-                }));
+                out.extend(
+                    d.into_iter()
+                        .filter(|a| cmps.iter().all(|c| c.holds(&a.bindings).unwrap_or(false))),
+                );
             }
         }
     }
@@ -463,10 +461,7 @@ impl OpNode {
             }
             OpNode::Count { window, buf, .. } => {
                 if let Some(w) = min_opt(*window, ttl) {
-                    while buf
-                        .front()
-                        .is_some_and(|(_, t)| now.since(*t) > w)
-                    {
+                    while buf.front().is_some_and(|(_, t)| now.since(*t) > w) {
                         buf.pop_front();
                     }
                 }
@@ -602,6 +597,10 @@ fn join_new(
         Both,
     }
 
+    // A recursive join enumerator: the parameters are the loop state of
+    // a depth-first product walk, threaded explicitly instead of boxed
+    // into a context struct on this hot path.
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         stored: &[Vec<Answer>],
         deltas: &[Vec<Answer>],
@@ -774,7 +773,8 @@ mod tests {
     fn absence_fires_at_deadline_only_if_silent() {
         // The paper's travel example: cancellation, then no rebooking
         // within 2h.
-        let q = "absence(flight{{status[[\"cancelled\"]], no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)";
+        let q =
+            "absence(flight{{status[[\"cancelled\"]], no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)";
         let mut e = eng(q);
         assert!(e
             .push(&ev(1, 0, "flight{status[\"cancelled\"], no[\"LH1\"]}"))
@@ -792,7 +792,8 @@ mod tests {
 
     #[test]
     fn absence_cancelled_by_consistent_event() {
-        let q = "absence(flight{{status[[\"cancelled\"]], no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)";
+        let q =
+            "absence(flight{{status[[\"cancelled\"]], no[[var N]]}}, rebooked{{no[[var N]]}}, 2h)";
         let mut e = eng(q);
         e.push(&ev(1, 0, "flight{status[\"cancelled\"], no[\"LH1\"]}"));
         // A rebooking for a *different* flight does not cancel.

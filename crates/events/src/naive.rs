@@ -148,15 +148,12 @@ pub fn eval(q: &EventQuery, history: &[Event], now: Timestamp) -> Vec<Answer> {
             let over = (*over).max(1);
             // Replays the sliding buffers over the whole history — same
             // per-group semantics as the incremental engine, recomputed.
-            let mut bufs: std::collections::BTreeMap<
-                Bindings,
-                Vec<(EventId, Timestamp, f64)>,
-            > = Default::default();
+            let mut bufs: std::collections::BTreeMap<Bindings, Vec<(EventId, Timestamp, f64)>> =
+                Default::default();
             let mut answers = Vec::new();
             for e in history {
                 for b in match_at(pattern, &e.payload, &Bindings::new()) {
-                    let Some(v) = b.get(var.as_str()).and_then(reweb_term::Term::as_number)
-                    else {
+                    let Some(v) = b.get(var.as_str()).and_then(reweb_term::Term::as_number) else {
                         continue;
                     };
                     let key = b.project(group_by);

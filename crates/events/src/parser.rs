@@ -131,9 +131,7 @@ fn primary(cur: &mut Cursor) -> Result<EventQuery> {
         cur.next();
         let n: usize = match cur.peek() {
             Some(Tok::Num(n)) => {
-                let v = n
-                    .parse()
-                    .map_err(|_| cur.error(format!("bad count {n}")))?;
+                let v = n.parse().map_err(|_| cur.error(format!("bad count {n}")))?;
                 cur.next();
                 v
             }
@@ -229,7 +227,9 @@ mod tests {
         let q = parse_event_query("or(seq(a, b) within 10s, and(c, d))").unwrap();
         match q {
             EventQuery::Or { parts } => {
-                assert!(matches!(&parts[0], EventQuery::Seq { window: Some(w), .. } if *w == Dur::secs(10)));
+                assert!(
+                    matches!(&parts[0], EventQuery::Seq { window: Some(w), .. } if *w == Dur::secs(10))
+                );
                 assert!(matches!(&parts[1], EventQuery::And { window: None, .. }));
             }
             _ => panic!(),
@@ -252,11 +252,16 @@ mod tests {
         assert!(matches!(q, EventQuery::Absence { window, .. } if window == Dur::hours(2)));
 
         let q = parse_event_query("count(3, outage, 1h)").unwrap();
-        assert!(
-            matches!(q, EventQuery::Count { n: 3, window: Some(w), .. } if w == Dur::hours(1))
-        );
+        assert!(matches!(q, EventQuery::Count { n: 3, window: Some(w), .. } if w == Dur::hours(1)));
         let q = parse_event_query("count(3, outage)").unwrap();
-        assert!(matches!(q, EventQuery::Count { n: 3, window: None, .. }));
+        assert!(matches!(
+            q,
+            EventQuery::Count {
+                n: 3,
+                window: None,
+                ..
+            }
+        ));
 
         let q = parse_event_query(
             "avg(var P, 5, stock{{sym[[var S]], price[[var P]]}}) as var A group by var S",
@@ -283,7 +288,10 @@ mod tests {
 
     #[test]
     fn where_clause() {
-        let q = parse_event_query("seq(p{{v[[var X]]}}, p{{v[[var Y]]}}) where var Y >= var X * 1.05 and var X > 0").unwrap();
+        let q = parse_event_query(
+            "seq(p{{v[[var X]]}}, p{{v[[var Y]]}}) where var Y >= var X * 1.05 and var X > 0",
+        )
+        .unwrap();
         match q {
             EventQuery::Where { cmps, .. } => assert_eq!(cmps.len(), 2),
             _ => panic!(),

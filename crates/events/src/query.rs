@@ -292,7 +292,11 @@ impl fmt::Display for EventQuery {
                 out,
                 group_by,
             } => {
-                write!(f, "{}(var {var}, {over}, {pattern}) as var {out}", func.name())?;
+                write!(
+                    f,
+                    "{}(var {var}, {over}, {pattern}) as var {out}",
+                    func.name()
+                )?;
                 match group_by.as_slice() {
                     [] => {}
                     [g] => write!(f, " group by var {g}")?,
@@ -341,12 +345,21 @@ mod tests {
         }
         // A bare atomic gets wrapped.
         let q = at("a").within(Dur::secs(5));
-        assert!(matches!(q, EventQuery::And { window: Some(_), .. }));
+        assert!(matches!(
+            q,
+            EventQuery::And {
+                window: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn trigger_labels_for_indexing() {
-        let q = EventQuery::seq(vec![at("order{{id[[var O]]}}"), at("payment{{order[[var O]]}}")]);
+        let q = EventQuery::seq(vec![
+            at("order{{id[[var O]]}}"),
+            at("payment{{order[[var O]]}}"),
+        ]);
         assert_eq!(
             q.trigger_labels(),
             Some(vec!["order".to_string(), "payment".to_string()])

@@ -53,12 +53,10 @@ fn arb_query() -> impl Strategy<Value = String> {
             proptest::collection::vec(inner.clone(), 2..3)
                 .prop_map(|parts| format!("or({})", parts.join(", "))),
             // absence over atomics
-            (arb_atomic(), arb_atomic())
-                .prop_map(|(t, a)| format!("absence({t}, {a}, 3s)")),
+            (arb_atomic(), arb_atomic()).prop_map(|(t, a)| format!("absence({t}, {a}, 3s)")),
             // count and agg
             (2..4usize).prop_map(|n| format!("count({n}, a, 10s)")),
-            (2..4usize)
-                .prop_map(|n| format!("avg(var X, {n}, a{{{{v[[var X]]}}}}) as var AVG")),
+            (2..4usize).prop_map(|n| format!("avg(var X, {n}, a{{{{v[[var X]]}}}}) as var AVG")),
             // where filter
             inner.prop_map(|q| format!("{q} where var X >= 2")),
         ]
@@ -91,10 +89,7 @@ fn payload(label: u8, value: u8) -> Term {
         2 => "c",
         _ => "d",
     };
-    Term::unordered(
-        l,
-        vec![Term::ordered("v", vec![Term::int(value as i64)])],
-    )
+    Term::unordered(l, vec![Term::ordered("v", vec![Term::int(value as i64)])])
 }
 
 fn keys(answers: &[reweb_events::Answer]) -> Vec<(Vec<EventId>, Bindings, Timestamp, Timestamp)> {
@@ -117,7 +112,7 @@ proptest! {
         for step in steps {
             match step {
                 Step::Ev { label, value, dt } => {
-                    now = now + reweb_term::Dur::millis(dt as u64);
+                    now += reweb_term::Dur::millis(dt as u64);
                     next_id += 1;
                     let e = Event::new(EventId(next_id), now, payload(label, value));
                     let ai = inc.push(&e);
@@ -128,7 +123,7 @@ proptest! {
                     );
                 }
                 Step::Advance { dt } => {
-                    now = now + reweb_term::Dur::millis(dt as u64);
+                    now += reweb_term::Dur::millis(dt as u64);
                     let ai = inc.advance_to(now);
                     let an = naive.advance_to(now);
                     prop_assert_eq!(
@@ -159,14 +154,14 @@ proptest! {
         for step in &steps {
             match step {
                 Step::Ev { label, value, dt } => {
-                    now = now + reweb_term::Dur::millis(*dt as u64);
+                    now += reweb_term::Dur::millis(*dt as u64);
                     next_id += 1;
                     let e = Event::new(EventId(next_id), now, payload(*label, *value));
                     total_with.extend(with_adv.push(&e));
                     total_without.extend(without.push(&e));
                 }
                 Step::Advance { dt } => {
-                    now = now + reweb_term::Dur::millis(*dt as u64);
+                    now += reweb_term::Dur::millis(*dt as u64);
                     total_with.extend(with_adv.advance_to(now));
                     // `without` deliberately does not see the advance.
                 }

@@ -116,9 +116,7 @@ impl ProductionEngine {
                 let answers = match self.qe.eval_condition(&rule.condition, &Bindings::new()) {
                     Ok(a) => a,
                     Err(e) => {
-                        self.metrics
-                            .errors
-                            .push(format!("rule {}: {e}", rule.name));
+                        self.metrics.errors.push(format!("rule {}: {e}", rule.name));
                         continue;
                     }
                 };
@@ -246,7 +244,8 @@ mod tests {
     fn chained_firing_runs_to_quiescence() {
         // Rule 1 derives a fact that satisfies rule 2.
         let mut e = ProductionEngine::new();
-        e.qe.store.put("http://f", parse_term("facts[seed]").unwrap());
+        e.qe.store
+            .put("http://f", parse_term("facts[seed]").unwrap());
         e.add_rule(CaRule::new(
             "step1",
             parse_condition("in \"http://f\" seed").unwrap(),

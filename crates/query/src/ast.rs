@@ -158,12 +158,16 @@ impl QueryElemBuilder {
     }
 
     pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.e.attrs.push((key.into(), AttrPattern::Exact(value.into())));
+        self.e
+            .attrs
+            .push((key.into(), AttrPattern::Exact(value.into())));
         self
     }
 
     pub fn attr_var(mut self, key: impl Into<String>, var: impl Into<String>) -> Self {
-        self.e.attrs.push((key.into(), AttrPattern::Var(var.into())));
+        self.e
+            .attrs
+            .push((key.into(), AttrPattern::Var(var.into())));
         self
     }
 
@@ -283,10 +287,7 @@ mod tests {
         let q = QueryTerm::elem("a")
             .attr_var("k", "K")
             .child(QueryTerm::var("X"))
-            .child(QueryTerm::var_as(
-                "X",
-                QueryTerm::desc(QueryTerm::var("Y")),
-            ))
+            .child(QueryTerm::var_as("X", QueryTerm::desc(QueryTerm::var("Y"))))
             .without(QueryTerm::var("Z"))
             .finish();
         assert_eq!(q.variables(), vec!["K", "X", "Y", "Z"]);
@@ -305,9 +306,6 @@ mod tests {
             .finish();
         assert_eq!(q.to_string(), "b{\"t\"}");
         assert_eq!(QueryTerm::elem("e").finish().to_string(), "e");
-        assert_eq!(
-            QueryTerm::elem("e").unordered().finish().to_string(),
-            "e{}"
-        );
+        assert_eq!(QueryTerm::elem("e").unordered().finish().to_string(), "e{}");
     }
 }

@@ -147,7 +147,9 @@ impl ConstructTerm {
                 ConstructTerm::Agg(_, _) => {}
                 ConstructTerm::All { .. } => {}
                 ConstructTerm::Text(_) => {}
-                ConstructTerm::Elem { attrs, children, .. } => {
+                ConstructTerm::Elem {
+                    attrs, children, ..
+                } => {
                     for (_, a) in attrs {
                         if let AttrValue::Var(x) = a {
                             out.push(x.clone());
@@ -420,7 +422,9 @@ mod tests {
 
     #[test]
     fn unbound_variable_errors() {
-        let ct = ConstructTerm::elem("out").field_var("v", "Missing").finish();
+        let ct = ConstructTerm::elem("out")
+            .field_var("v", "Missing")
+            .finish();
         assert!(ct.instantiate(&[Bindings::new()]).is_err());
     }
 
@@ -443,7 +447,9 @@ mod tests {
         let ct = ConstructTerm::elem("list")
             .child(ConstructTerm::All {
                 inner: Box::new(
-                    ConstructTerm::elem("item").child(ConstructTerm::var("X")).finish(),
+                    ConstructTerm::elem("item")
+                        .child(ConstructTerm::var("X"))
+                        .finish(),
                 ),
                 group_by: vec![],
             })
@@ -481,7 +487,9 @@ mod tests {
             .field_var("customer", "C")
             .child(ConstructTerm::All {
                 inner: Box::new(
-                    ConstructTerm::elem("order").child(ConstructTerm::var("O")).finish(),
+                    ConstructTerm::elem("order")
+                        .child(ConstructTerm::var("O"))
+                        .finish(),
                 ),
                 group_by: vec![],
             })
@@ -496,7 +504,13 @@ mod tests {
         assert_eq!(out.len(), 2);
         let ann = &out[0];
         assert_eq!(ann.children()[0].text_content(), "ann");
-        assert_eq!(ann.children().iter().filter(|c| c.label() == Some("order")).count(), 2);
+        assert_eq!(
+            ann.children()
+                .iter()
+                .filter(|c| c.label() == Some("order"))
+                .count(),
+            2
+        );
         // count aggregate per group
         assert_eq!(ann.children().last().unwrap().as_text(), Some("2"));
     }

@@ -12,10 +12,10 @@ use std::fmt;
 
 use reweb_term::{ResourceStore, Term, TermError};
 
+use crate::ast::QueryTerm;
 use crate::bindings::Bindings;
 use crate::expr::Cmp;
 use crate::matcher::{match_anywhere, Match};
-use crate::ast::QueryTerm;
 use crate::rules::DeductiveRule;
 
 /// One conjunct of a condition: a pattern over a resource or view.
@@ -169,8 +169,7 @@ impl QueryEngine {
                     if a.resource == target {
                         return true;
                     }
-                    if views.contains_key(&a.resource)
-                        && reaches(views, &a.resource, target, seen)
+                    if views.contains_key(&a.resource) && reaches(views, &a.resource, target, seen)
                     {
                         return true;
                     }
@@ -201,11 +200,8 @@ impl QueryEngine {
                 }
             }
         }
-        let mut extents: BTreeMap<String, Vec<Term>> = self
-            .views
-            .keys()
-            .map(|k| (k.clone(), Vec::new()))
-            .collect();
+        let mut extents: BTreeMap<String, Vec<Term>> =
+            self.views.keys().map(|k| (k.clone(), Vec::new())).collect();
         for _ in 0..MAX_ITERS {
             let mut changed = false;
             for (uri, rules) in &self.views {
@@ -388,10 +384,9 @@ mod tests {
     fn seed_parameterizes_condition() {
         // The event part bound C = c2; the condition only sees Bob.
         let e = engine();
-        let cond = parse_condition(
-            "in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}",
-        )
-        .unwrap();
+        let cond =
+            parse_condition("in \"http://shop/customers\" customer{{id[[var C]], name[[var N]]}}")
+                .unwrap();
         let seed = Bindings::of("C", Term::text("c2"));
         let answers = e.eval_condition(&cond, &seed).unwrap();
         assert_eq!(answers.len(), 1);
@@ -416,9 +411,7 @@ mod tests {
     fn trivial_condition_passes_seed_through() {
         let e = engine();
         let seed = Bindings::of("X", Term::text("1"));
-        let answers = e
-            .eval_condition(&Condition::always_true(), &seed)
-            .unwrap();
+        let answers = e.eval_condition(&Condition::always_true(), &seed).unwrap();
         assert_eq!(answers, vec![seed]);
     }
 
@@ -438,10 +431,7 @@ mod tests {
 
     #[test]
     fn condition_display() {
-        let cond = parse_condition(
-            "in \"u\" a[[var X]] and not in \"v\" b and var X > 1",
-        )
-        .unwrap();
+        let cond = parse_condition("in \"u\" a[[var X]] and not in \"v\" b and var X > 1").unwrap();
         let printed = cond.to_string();
         let reparsed = parse_condition(&printed).unwrap();
         assert_eq!(cond, reparsed);

@@ -258,7 +258,10 @@ mod tests {
     fn binds() -> Bindings {
         [
             ("A".to_string(), Term::text("1500")),
-            ("T".to_string(), Term::ordered("total", vec![Term::text("59.9")])),
+            (
+                "T".to_string(),
+                Term::ordered("total", vec![Term::text("59.9")]),
+            ),
             ("S".to_string(), Term::text("cancelled")),
         ]
         .into_iter()
@@ -280,11 +283,7 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let e = Expr::bin(
-            Expr::var("A"),
-            BinOp::Mul,
-            Expr::Num(1.05),
-        );
+        let e = Expr::bin(Expr::var("A"), BinOp::Mul, Expr::Num(1.05));
         assert_eq!(e.eval(&binds()).unwrap(), Val::Num(1575.0));
         let div0 = Expr::bin(Expr::Num(1.0), BinOp::Div, Expr::Num(0.0));
         assert!(div0.eval(&binds()).is_err());
@@ -316,11 +315,7 @@ mod tests {
 
     #[test]
     fn contains() {
-        let c = Cmp::new(
-            Expr::var("S"),
-            CmpOp::Contains,
-            Expr::Str("cancel".into()),
-        );
+        let c = Cmp::new(Expr::var("S"), CmpOp::Contains, Expr::Str("cancel".into()));
         assert!(c.holds(&binds()).unwrap());
         let c = Cmp::new(Expr::var("S"), CmpOp::Contains, Expr::Str("xyz".into()));
         assert!(!c.holds(&binds()).unwrap());

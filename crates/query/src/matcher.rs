@@ -108,10 +108,7 @@ fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
                     }
                     AttrPattern::Var(x) => {
                         let vt = Term::text(v.clone());
-                        cur = cur
-                            .into_iter()
-                            .filter_map(|bb| bb.bind(x, &vt))
-                            .collect();
+                        cur = cur.into_iter().filter_map(|bb| bb.bind(x, &vt)).collect();
                         if cur.is_empty() {
                             return;
                         }
@@ -124,12 +121,21 @@ fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
                 .partition(|c| !matches!(c, QueryTerm::Without(_)));
             for bb in cur {
                 let mut results = Vec::new();
-                match_children(&positives, &e.children, qe.ordered, qe.partial, &bb, &mut results);
+                match_children(
+                    &positives,
+                    &e.children,
+                    qe.ordered,
+                    qe.partial,
+                    &bb,
+                    &mut results,
+                );
                 'cand: for b2 in results {
                     // Subterm negation: no data child may match any
                     // `without` pattern under these bindings.
                     for w in &withouts {
-                        let QueryTerm::Without(wp) = w else { unreachable!() };
+                        let QueryTerm::Without(wp) = w else {
+                            unreachable!()
+                        };
                         for c in &e.children {
                             let mut hit = Vec::new();
                             m(wp, c, &b2, &mut hit);
@@ -366,9 +372,7 @@ mod tests {
             match_at(&qq, &d("l[item[\"a\"], dup[\"b\"]]"), &Bindings::new()).len(),
             1
         );
-        assert!(
-            match_at(&qq, &d("l[item[\"a\"], dup[\"a\"]]"), &Bindings::new()).is_empty()
-        );
+        assert!(match_at(&qq, &d("l[item[\"a\"], dup[\"a\"]]"), &Bindings::new()).is_empty());
     }
 
     #[test]

@@ -230,10 +230,7 @@ pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
             let label = cur.expect_ident()?;
             construct_body(cur, label)
         }
-        Some(t) => Err(cur.error(format!(
-            "expected construct term, found {}",
-            t.describe()
-        ))),
+        Some(t) => Err(cur.error(format!("expected construct term, found {}", t.describe()))),
         None => Err(cur.error("expected construct term, found end of input")),
     }
 }
@@ -508,10 +505,14 @@ mod tests {
         )
         .unwrap();
         match &c {
-            ConstructTerm::Elem { children, attrs, .. } => {
+            ConstructTerm::Elem {
+                children, attrs, ..
+            } => {
                 assert_eq!(attrs.len(), 1);
                 assert_eq!(children.len(), 6);
-                assert!(matches!(&children[1], ConstructTerm::All { group_by, .. } if group_by == &vec!["C".to_string()]));
+                assert!(
+                    matches!(&children[1], ConstructTerm::All { group_by, .. } if group_by == &vec!["C".to_string()])
+                );
                 assert!(matches!(&children[2], ConstructTerm::Agg(AggFn::Count, v) if v == "O"));
                 assert!(matches!(&children[3], ConstructTerm::Calc(_)));
                 assert!(matches!(&children[4], ConstructTerm::TextOf(v) if v == "C"));

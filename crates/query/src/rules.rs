@@ -69,10 +69,8 @@ mod tests {
             "view://hops",
             DeductiveRule::new(
                 parse_construct_term("hop[a[var F], b[var T]]").unwrap(),
-                parse_condition(
-                    "in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}",
-                )
-                .unwrap(),
+                parse_condition("in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}")
+                    .unwrap(),
             ),
         );
         let answers = e
@@ -93,10 +91,8 @@ mod tests {
             "view://reachable",
             DeductiveRule::new(
                 parse_construct_term("reach[a[var F], b[var T]]").unwrap(),
-                parse_condition(
-                    "in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}",
-                )
-                .unwrap(),
+                parse_condition("in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}")
+                    .unwrap(),
             ),
         );
         e.register_view(
@@ -132,10 +128,8 @@ mod tests {
             "view://hops",
             DeductiveRule::new(
                 parse_construct_term("hop[a[var F], b[var T]]").unwrap(),
-                parse_condition(
-                    "in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}",
-                )
-                .unwrap(),
+                parse_condition("in \"http://air/flights\" flight{{from[[var F]], to[[var T]]}}")
+                    .unwrap(),
             ),
         );
         e.register_view(
@@ -174,10 +168,7 @@ mod tests {
             "view://dests",
             DeductiveRule::new(
                 parse_construct_term("dest[var T]").unwrap(),
-                parse_condition(
-                    "in \"http://air/flights\" flight{{to[[var T]]}}",
-                )
-                .unwrap(),
+                parse_condition("in \"http://air/flights\" flight{{to[[var T]]}}").unwrap(),
             ),
         );
         // Airports that are origins but never destinations.

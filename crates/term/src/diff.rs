@@ -232,7 +232,9 @@ mod tests {
         let changes = diff_documents(&old, &new, &IdentityMode::surrogate());
         assert_eq!(changes.len(), 1);
         match &changes[0] {
-            Change::Modified { key, before, after, .. } => {
+            Change::Modified {
+                key, before, after, ..
+            } => {
                 assert_eq!(*key, IdentityKey::Surrogate("a1".into()));
                 assert_eq!(before.children()[0].text_content(), "v1");
                 assert_eq!(after.children()[0].text_content(), "v2");

@@ -230,7 +230,11 @@ impl Cursor {
         Cursor { toks, pos: 0 }
     }
 
-    /// Lex and wrap in one step.
+    /// Lex and wrap in one step. Deliberately an inherent method, not a
+    /// `FromStr` impl: every parser in the tree calls it with an
+    /// explicit `Cursor::from_str`, and the `?`-friendly `TermError`
+    /// (not `FromStr::Err`) is part of the signature.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(input: &str) -> Result<Self, TermError> {
         Ok(Cursor::new(lex(input)?))
     }
@@ -245,7 +249,11 @@ impl Cursor {
         self.toks.get(self.pos + n).map(|s| &s.tok)
     }
 
-    /// Consume and return the current token.
+    /// Consume and return the current token. Not an `Iterator` impl on
+    /// purpose: iteration would take the cursor by value or borrow it
+    /// exclusively, while the parsers interleave `next` with `peek`,
+    /// `peek_at`, and `here` on the same cursor.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.pos).map(|s| s.tok.clone());
         if t.is_some() {
@@ -292,10 +300,7 @@ impl Cursor {
                 self.pos += 1;
                 Ok(())
             }
-            Some(t) => Err(self.error(format!(
-                "expected keyword `{kw}`, found {}",
-                t.describe()
-            ))),
+            Some(t) => Err(self.error(format!("expected keyword `{kw}`, found {}", t.describe()))),
             None => Err(self.error(format!("expected keyword `{kw}`, found end of input"))),
         }
     }

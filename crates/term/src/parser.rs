@@ -83,10 +83,9 @@ pub fn parse_body(cur: &mut Cursor, label: String) -> Result<Term, TermError> {
                     n
                 }
                 Some(t) => {
-                    return Err(cur.error(format!(
-                        "expected attribute value, found {}",
-                        t.describe()
-                    )))
+                    return Err(
+                        cur.error(format!("expected attribute value, found {}", t.describe()))
+                    )
                 }
                 None => return Err(cur.error("expected attribute value, found end of input")),
             };

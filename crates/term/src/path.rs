@@ -128,9 +128,7 @@ pub fn apply_edit(root: &Term, path: &Path, edit: PathEdit) -> Result<Term, Term
             None => match edit {
                 PathEdit::Replace(t) => Ok(Some(t)),
                 PathEdit::Delete => Ok(None),
-                PathEdit::InsertChild { at, node: n } => {
-                    Ok(Some(node.with_child_inserted(at, n)?))
-                }
+                PathEdit::InsertChild { at, node: n } => Ok(Some(node.with_child_inserted(at, n)?)),
                 PathEdit::AppendChild(n) => Ok(Some(node.with_child_pushed(n)?)),
                 PathEdit::SetAttr { key, value } => Ok(Some(node.with_attr(key, value)?)),
                 PathEdit::RemoveAttr(key) => Ok(Some(node.without_attr(&key)?)),

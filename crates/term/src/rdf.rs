@@ -121,12 +121,7 @@ impl Triple {
         Term::build("triple")
             .field("s", self.s.as_str())
             .field("p", self.p.as_str())
-            .child(
-                Term::build("o")
-                    .attr("kind", kind)
-                    .text_child(o)
-                    .finish(),
-            )
+            .child(Term::build("o").attr("kind", kind).text_child(o).finish())
             .finish()
     }
 
@@ -259,8 +254,7 @@ impl Graph {
             // subPropertyOf transitivity
             for t1 in g.matching(None, Some(vocab::RDFS_SUBPROPERTY_OF), None) {
                 if let Some(mid) = t1.o.as_iri() {
-                    for t2 in
-                        g.matching(Some(mid.as_str()), Some(vocab::RDFS_SUBPROPERTY_OF), None)
+                    for t2 in g.matching(Some(mid.as_str()), Some(vocab::RDFS_SUBPROPERTY_OF), None)
                     {
                         let cand = Triple {
                             s: t1.s.clone(),
@@ -276,7 +270,10 @@ impl Graph {
             // property propagation: (s p o), (p ⊑p q) ⟹ (s q o)
             let sub_props: Vec<(String, Iri)> = g
                 .matching(None, Some(vocab::RDFS_SUBPROPERTY_OF), None)
-                .filter_map(|t| t.o.as_iri().map(|sup| (t.s.as_str().to_string(), sup.clone())))
+                .filter_map(|t| {
+                    t.o.as_iri()
+                        .map(|sup| (t.s.as_str().to_string(), sup.clone()))
+                })
                 .collect();
             for (p_sub, p_sup) in &sub_props {
                 for t in g.matching(None, Some(p_sub), None) {
@@ -340,7 +337,11 @@ mod tests {
                 vocab::RDFS_SUBCLASS_OF,
                 RdfObject::iri("ex:Good"),
             ),
-            Triple::new("ex:Good", vocab::RDFS_SUBCLASS_OF, RdfObject::iri("ex:Thing")),
+            Triple::new(
+                "ex:Good",
+                vocab::RDFS_SUBCLASS_OF,
+                RdfObject::iri("ex:Thing"),
+            ),
             Triple::new("ex:ball", "ex:price", RdfObject::lit("19.99")),
         ]
         .into_iter()
@@ -353,7 +354,8 @@ mod tests {
         assert_eq!(g.matching(Some("ex:ball"), None, None).count(), 2);
         assert_eq!(g.matching(None, Some(vocab::RDF_TYPE), None).count(), 1);
         assert_eq!(
-            g.matching(None, None, Some(&RdfObject::lit("19.99"))).count(),
+            g.matching(None, None, Some(&RdfObject::lit("19.99")))
+                .count(),
             1
         );
         assert_eq!(g.matching(Some("ex:nothing"), None, None).count(), 0);

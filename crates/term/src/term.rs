@@ -142,7 +142,9 @@ impl Term {
 
     /// Attribute value, if this is an element with that attribute.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.as_element().and_then(|e| e.attrs.get(key)).map(|s| s.as_str())
+        self.as_element()
+            .and_then(|e| e.attrs.get(key))
+            .map(|s| s.as_str())
     }
 
     /// Whether child order is significant. Text leaves report `true`.
@@ -214,8 +216,7 @@ impl Term {
         match self {
             Term::Text(_) => self.clone(),
             Term::Elem(e) => {
-                let mut children: Vec<Term> =
-                    e.children.iter().map(Term::canonicalize).collect();
+                let mut children: Vec<Term> = e.children.iter().map(Term::canonicalize).collect();
                 if !e.ordered {
                     children.sort();
                 }
@@ -579,7 +580,10 @@ mod tests {
             .attr("id", "LH123")
             .field("status", "cancelled")
             .finish();
-        assert_eq!(t.to_string(), "flight[@id=\"LH123\", status[\"cancelled\"]]");
+        assert_eq!(
+            t.to_string(),
+            "flight[@id=\"LH123\", status[\"cancelled\"]]"
+        );
         assert_eq!(Term::elem("br").to_string(), "br");
         assert_eq!(Term::unordered("s", vec![]).to_string(), "s{}");
         assert_eq!(Term::text("a\"b").to_string(), "\"a\\\"b\"");

@@ -69,8 +69,7 @@ impl Action {
         match self {
             Action::Seq(xs) | Action::Alt(xs) => xs.iter().map(Action::primitive_count).sum(),
             Action::If { then, else_, .. } => {
-                then.primitive_count()
-                    + else_.as_ref().map_or(0, |e| e.primitive_count())
+                then.primitive_count() + else_.as_ref().map_or(0, |e| e.primitive_count())
             }
             _ => 1,
         }

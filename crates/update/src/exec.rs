@@ -44,7 +44,10 @@ impl fmt::Display for ActionError {
                 proc,
                 expected,
                 got,
-            } => write!(f, "procedure `{proc}` expects {expected} arguments, got {got}"),
+            } => write!(
+                f,
+                "procedure `{proc}` expects {expected} arguments, got {got}"
+            ),
             ActionError::Failed(m) => write!(f, "action failed: {m}"),
             ActionError::AllAlternativesFailed(last) => {
                 write!(f, "all alternatives failed; last error: {last}")
@@ -106,12 +109,12 @@ impl<'a> Executor<'a> {
             Action::Noop => Ok(()),
             Action::Fail(msg) => Err(ActionError::Failed(msg.clone())),
             Action::Log(ct) => {
-                let t = ct.instantiate(&[binds.clone()])?;
+                let t = ct.instantiate(std::slice::from_ref(binds))?;
                 self.log.push(t);
                 Ok(())
             }
             Action::Send { to, payload } => {
-                let t = payload.instantiate(&[binds.clone()])?;
+                let t = payload.instantiate(std::slice::from_ref(binds))?;
                 self.outbox.push(OutMessage {
                     to: to.clone(),
                     payload: t,
@@ -120,7 +123,7 @@ impl<'a> Executor<'a> {
                 Ok(())
             }
             Action::Persist { resource, payload } => {
-                let t = payload.instantiate(&[binds.clone()])?;
+                let t = payload.instantiate(std::slice::from_ref(binds))?;
                 if !self.qe.store.contains(resource) {
                     self.qe.store.put(resource.clone(), Term::elem("persisted"));
                 }
@@ -200,7 +203,7 @@ impl<'a> Executor<'a> {
                 // body sees only its parameters.
                 let mut callee = Bindings::new();
                 for (param, arg) in proc.params.iter().zip(args) {
-                    let t = arg.instantiate(&[binds.clone()])?;
+                    let t = arg.instantiate(std::slice::from_ref(binds))?;
                     callee = callee
                         .bind(param, &t)
                         .expect("fresh parameter names cannot conflict");
@@ -225,10 +228,7 @@ mod tests {
             "http://shop/stock",
             parse_term("stock[item{sku[\"b1\"], qty[\"10\"]}]").unwrap(),
         );
-        s.put(
-            "http://shop/ledger",
-            parse_term("ledger[]").unwrap(),
-        );
+        s.put("http://shop/ledger", parse_term("ledger[]").unwrap());
         QueryEngine::with_store(s)
     }
 
@@ -256,10 +256,7 @@ mod tests {
         .unwrap();
         assert_eq!(ex.outbox.len(), 1);
         assert_eq!(ex.outbox[0].to, "http://mail");
-        assert_eq!(
-            ex.outbox[0].payload.to_string(),
-            "shipped{order[\"o1\"]}"
-        );
+        assert_eq!(ex.outbox[0].payload.to_string(), "shipped{order[\"o1\"]}");
     }
 
     #[test]
@@ -324,10 +321,7 @@ mod tests {
     #[test]
     fn alt_all_fail() {
         let mut qe = engine();
-        let a = Action::alt(vec![
-            Action::Fail("a".into()),
-            Action::Fail("b".into()),
-        ]);
+        let a = Action::alt(vec![Action::Fail("a".into()), Action::Fail("b".into())]);
         let (r, _) = run(&a, &mut qe);
         assert!(matches!(r, Err(ActionError::AllAlternativesFailed(_))));
     }

@@ -110,9 +110,9 @@ impl Update {
 impl fmt::Display for Update {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.op {
-            UpdateOp::Insert { target, content } =>
-
-                write!(f, "INSERT {content} INTO {target} IN {:?}", self.resource),
+            UpdateOp::Insert { target, content } => {
+                write!(f, "INSERT {content} INTO {target} IN {:?}", self.resource)
+            }
             UpdateOp::Delete { target } => write!(f, "DELETE {target} IN {:?}", self.resource),
             UpdateOp::Replace { target, content } => {
                 write!(f, "REPLACE {target} BY {content} IN {:?}", self.resource)
@@ -149,7 +149,7 @@ pub fn apply_update(
         UpdateOp::Insert { content, .. } => {
             let mut inserts: Vec<(Path, Term)> = Vec::new();
             for m in &matches {
-                let t = content.instantiate(&[m.bindings.clone()])?;
+                let t = content.instantiate(std::slice::from_ref(&m.bindings))?;
                 inserts.push((m.path.clone(), t));
             }
             inserts.sort();
@@ -166,11 +166,7 @@ pub fn apply_update(
             // ancestor subsumes them.
             let roots: Vec<Path> = paths
                 .iter()
-                .filter(|p| {
-                    !paths
-                        .iter()
-                        .any(|q| q != *p && q.is_prefix_of(p))
-                })
+                .filter(|p| !paths.iter().any(|q| q != *p && q.is_prefix_of(p)))
                 .cloned()
                 .collect();
             for p in roots {
@@ -180,18 +176,14 @@ pub fn apply_update(
         UpdateOp::Replace { content, .. } => {
             let mut repls: Vec<(Path, Term)> = Vec::new();
             for m in &matches {
-                let t = content.instantiate(&[m.bindings.clone()])?;
+                let t = content.instantiate(std::slice::from_ref(&m.bindings))?;
                 repls.push((m.path.clone(), t));
             }
             repls.sort();
             repls.dedup_by(|a, b| a.0 == b.0);
             // Drop replacements nested inside other replaced subtrees.
             let paths: Vec<Path> = repls.iter().map(|(p, _)| p.clone()).collect();
-            repls.retain(|(p, _)| {
-                !paths
-                    .iter()
-                    .any(|q| q != p && q.is_prefix_of(p))
-            });
+            repls.retain(|(p, _)| !paths.iter().any(|q| q != p && q.is_prefix_of(p)));
             for (p, t) in repls {
                 edits.push((p, PathEdit::Replace(t)));
             }
@@ -199,7 +191,7 @@ pub fn apply_update(
         UpdateOp::SetAttr { key, value, .. } => {
             let mut sets: Vec<(Path, String)> = Vec::new();
             for m in &matches {
-                let t = value.instantiate(&[m.bindings.clone()])?;
+                let t = value.instantiate(std::slice::from_ref(&m.bindings))?;
                 sets.push((m.path.clone(), t.text_content()));
             }
             sets.sort();
@@ -237,10 +229,8 @@ mod tests {
         let mut s = ResourceStore::new();
         s.put(
             "http://shop/stock",
-            parse_term(
-                "stock[ item{sku[\"b1\"], qty[\"10\"]}, item{sku[\"b2\"], qty[\"3\"]} ]",
-            )
-            .unwrap(),
+            parse_term("stock[ item{sku[\"b1\"], qty[\"10\"]}, item{sku[\"b2\"], qty[\"3\"]} ]")
+                .unwrap(),
         );
         s
     }
@@ -256,7 +246,11 @@ mod tests {
     #[test]
     fn insert_appends_to_each_match() {
         let mut s = store();
-        let u = Update::insert("http://shop/stock", q("item{{sku[[var K]]}}"), c("checked[var K]"));
+        let u = Update::insert(
+            "http://shop/stock",
+            q("item{{sku[[var K]]}}"),
+            c("checked[var K]"),
+        );
         let n = apply_update(&mut s, &u, &Bindings::new()).unwrap();
         assert_eq!(n, 2);
         let doc = s.get("http://shop/stock").unwrap();

@@ -22,9 +22,8 @@ fn arb_step() -> impl Strategy<Value = Action> {
             "http://other",
             parse_construct_term(&format!("msg[\"{v}\"]")).unwrap()
         )),
-        (0..100u32).prop_map(|v| Action::Log(
-            parse_construct_term(&format!("log[\"{v}\"]")).unwrap()
-        )),
+        (0..100u32)
+            .prop_map(|v| Action::Log(parse_construct_term(&format!("log[\"{v}\"]")).unwrap())),
     ]
 }
 

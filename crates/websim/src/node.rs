@@ -11,6 +11,10 @@ pub enum NodeKind {
     Engine(ReactiveEngine),
     /// A reactive node whose rules are partitioned across N engine
     /// shards by event-label affinity (batch-ingestion front-end).
+    /// Works with either executor — build the engine with
+    /// `ShardedEngine::new` (serial) or `ShardedEngine::new_parallel`
+    /// (one worker thread per shard); the simulation cannot tell them
+    /// apart.
     Sharded(ShardedEngine),
     /// A passive resource server: answers `GET`s, ignores `POST`s.
     Store(ResourceStore),

@@ -224,7 +224,11 @@ impl Simulation {
             body: payload,
         };
         let arrive = at + self.transit();
-        *self.metrics.sent_by_node.entry(from.to_string()).or_default() += 1;
+        *self
+            .metrics
+            .sent_by_node
+            .entry(from.to_string())
+            .or_default() += 1;
         self.schedule(arrive, Task::Deliver(env));
     }
 
@@ -459,10 +463,7 @@ mod tests {
     use reweb_term::parse_term;
 
     fn news_doc(title: &str) -> Term {
-        parse_term(&format!(
-            "news[article{{@id=\"a1\", title[\"{title}\"]}}]"
-        ))
-        .unwrap()
+        parse_term(&format!("news[article{{@id=\"a1\", title[\"{title}\"]}}]")).unwrap()
     }
 
     #[test]
@@ -507,7 +508,11 @@ mod tests {
         store.put("http://news/front", news_doc("old"));
         sim.add_store("http://news", store);
         sim.add_sink("http://watcher");
-        sim.subscribe_push("http://news/front", "http://watcher", IdentityMode::surrogate());
+        sim.subscribe_push(
+            "http://news/front",
+            "http://watcher",
+            IdentityMode::surrogate(),
+        );
         sim.schedule_update("http://news/front", news_doc("new"), Timestamp(500));
         sim.run_until(Timestamp(2_000));
         let got = sim.sink("http://watcher");
@@ -620,7 +625,12 @@ mod tests {
             parse_term("order{id[\"o1\"]}").unwrap(),
             Timestamp(0),
         );
-        sim.post("http://client", "http://shop", Term::elem("ping"), Timestamp(0));
+        sim.post(
+            "http://client",
+            "http://shop",
+            Term::elem("ping"),
+            Timestamp(0),
+        );
         sim.run_until(Timestamp(10_000));
         let got = sim.sink("http://client");
         let labels: Vec<_> = got.iter().filter_map(|(_, e)| e.body.label()).collect();
@@ -630,6 +640,53 @@ mod tests {
         assert!(labels.contains(&"alarm"), "got {labels:?}");
         let shop = sim.sharded("http://shop").expect("sharded accessor");
         assert_eq!(shop.metrics().events_received, 2);
+    }
+
+    /// A thread-per-shard engine drops into the same node slot: same
+    /// deliveries, same timer wakeups, same outputs — the simulation
+    /// never observes which executor is behind `NodeKind::Sharded`.
+    #[test]
+    fn parallel_sharded_node_behaves_like_serial() {
+        let run = |parallel: bool| {
+            let mut sim = Simulation::new(7);
+            let mut engine = if parallel {
+                ShardedEngine::new_parallel("http://shop", 4)
+            } else {
+                ShardedEngine::new("http://shop", 4)
+            };
+            engine
+                .install_program(
+                    r#"RULE fwd ON order{{id[[var O]]}} DO SEND ack{id[var O]} TO "http://client" END
+                       RULE quiet ON absence(ping, ping, 5s) DO SEND alarm TO "http://client" END"#,
+                )
+                .unwrap();
+            sim.add_sharded_engine("http://shop", engine);
+            sim.add_sink("http://client");
+            sim.post(
+                "http://client",
+                "http://shop",
+                parse_term("order{id[\"o1\"]}").unwrap(),
+                Timestamp(0),
+            );
+            sim.post(
+                "http://client",
+                "http://shop",
+                Term::elem("ping"),
+                Timestamp(0),
+            );
+            sim.run_until(Timestamp(10_000));
+            sim.sink("http://client")
+                .iter()
+                .map(|(t, e)| (t.millis(), e.body.to_string()))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert!(!serial.is_empty());
+        assert_eq!(
+            serial, parallel,
+            "executor choice must be invisible to the sim"
+        );
     }
 
     #[test]
@@ -660,7 +717,11 @@ mod tests {
         sim.run_until(Timestamp(2_000));
         let got = sim.sink("http://client");
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0].1.body.label(), Some("yes"), "update reached the shard store");
+        assert_eq!(
+            got[0].1.body.label(),
+            Some("yes"),
+            "update reached the shard store"
+        );
     }
 
     #[test]
@@ -675,14 +736,17 @@ mod tests {
         });
         engine.aaa.register("franz", "pw", vec![]);
         engine
-            .install_program(
-                r#"RULE ok ON ping DO SEND pong TO "http://client" END"#,
-            )
+            .install_program(r#"RULE ok ON ping DO SEND pong TO "http://client" END"#)
             .unwrap();
         sim.add_engine("http://secure", engine);
         sim.add_sink("http://client");
         // Without credentials: denied.
-        sim.post("http://client", "http://secure", Term::elem("ping"), Timestamp(0));
+        sim.post(
+            "http://client",
+            "http://secure",
+            Term::elem("ping"),
+            Timestamp(0),
+        );
         sim.run_until(Timestamp(1_000));
         assert_eq!(sim.sink("http://client").len(), 0);
         // With credentials: accepted.
@@ -693,7 +757,12 @@ mod tests {
                 secret: "pw".into(),
             },
         );
-        sim.post("http://client", "http://secure", Term::elem("ping"), Timestamp(2_000));
+        sim.post(
+            "http://client",
+            "http://secure",
+            Term::elem("ping"),
+            Timestamp(2_000),
+        );
         sim.run_until(Timestamp(3_000));
         assert_eq!(sim.sink("http://client").len(), 1);
     }

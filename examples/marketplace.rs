@@ -70,10 +70,8 @@ fn shop_engine() -> ReactiveEngine {
 
 fn warehouse_engine() -> ReactiveEngine {
     let mut e = ReactiveEngine::new("http://warehouse");
-    e.qe.store.put(
-        "http://warehouse/ledger",
-        parse_term("ledger[]").unwrap(),
-    );
+    e.qe.store
+        .put("http://warehouse/ledger", parse_term("ledger[]").unwrap());
     e.install_program(
         r#"
         RULE on_dispatch
@@ -140,5 +138,7 @@ fn main() {
     // Sanity: Franz got shipped + dispatched flows, Ann got a reminder.
     let inbox = sim.sink("http://customer");
     assert!(inbox.iter().any(|(_, e)| e.body.label() == Some("shipped")));
-    assert!(inbox.iter().any(|(_, e)| e.body.label() == Some("reminder")));
+    assert!(inbox
+        .iter()
+        .any(|(_, e)| e.body.label() == Some("reminder")));
 }

@@ -96,7 +96,12 @@ fn main() {
         Timestamp(4 * 3_600_000),
     );
     assert_eq!(
-        ops.qe.store.get("http://ops/breaches").unwrap().children().len(),
+        ops.qe
+            .store
+            .get("http://ops/breaches")
+            .unwrap()
+            .children()
+            .len(),
         1
     );
     println!("late outage correctly ignored (outside the 1h window)");

@@ -92,7 +92,14 @@ fn main() {
             .get("http://assistant/incidents")
             .unwrap()
     );
-    println!("action log: {:?}", assistant.action_log.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!(
+        "action log: {:?}",
+        assistant
+            .action_log
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // Exactly one alarm — Michael's — fired at his 2h deadline.
     let phone = sim.sink("http://phone");

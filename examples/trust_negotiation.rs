@@ -35,7 +35,11 @@ fn main() {
     let eager = negotiate(&franz, &shop, "purchase", Strategy::Eager);
     println!(
         "success={} messages={} policies_disclosed={} sensitive_leaked={} bytes={}",
-        eager.success, eager.messages, eager.policies_disclosed, eager.sensitive_leaked, eager.bytes
+        eager.success,
+        eager.messages,
+        eager.policies_disclosed,
+        eager.sensitive_leaked,
+        eager.bytes
     );
 
     // ----- 2. rules as messages: install_rules over the engine ------------
@@ -61,16 +65,22 @@ fn main() {
         accounting: true,
         accounting_events: false,
     });
-    assistant.aaa.register("fussbaelle.biz", "shop-secret", vec!["partner".into()]);
+    assistant
+        .aaa
+        .register("fussbaelle.biz", "shop-secret", vec!["partner".into()]);
     assistant
         .aaa
         .acl
         .grant("partner", Permission::ReceiveEvent("*".into()));
     assistant.aaa.acl.grant("partner", Permission::InstallRules);
 
-    let shop_meta =
-        MessageMeta::from_uri("http://fussbaelle.biz").with_credentials("fussbaelle.biz", "shop-secret");
-    assistant.receive(install_rules_payload(&offer_rules), &shop_meta, Timestamp(0));
+    let shop_meta = MessageMeta::from_uri("http://fussbaelle.biz")
+        .with_credentials("fussbaelle.biz", "shop-secret");
+    assistant.receive(
+        install_rules_payload(&offer_rules),
+        &shop_meta,
+        Timestamp(0),
+    );
     println!(
         "\nassistant installed {} rule(s) from the shop",
         assistant.rule_count()
@@ -96,7 +106,11 @@ fn main() {
 
     // An unauthenticated party cannot install rules.
     let mallory = MessageMeta::from_uri("http://mallory");
-    assistant.receive(install_rules_payload(&offer_rules), &mallory, Timestamp(3_000));
+    assistant.receive(
+        install_rules_payload(&offer_rules),
+        &mallory,
+        Timestamp(3_000),
+    );
     assert_eq!(assistant.rule_count(), 1, "mallory's rules rejected");
     println!(
         "mallory's install attempt denied; accounting recorded {} request(s)",

@@ -30,7 +30,7 @@ pub use reweb_core as core;
 // The batch-ingestion front-end, re-exported at the root: scaling out a
 // node is a facade-level concern, not something users should dig into
 // `core::shard` for.
-pub use reweb_core::{InMessage, ShardedEngine};
+pub use reweb_core::{ExecMode, InMessage, ShardedEngine};
 pub use reweb_events as events;
 pub use reweb_production as production;
 pub use reweb_query as query;

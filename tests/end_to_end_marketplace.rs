@@ -99,7 +99,9 @@ fn paid_order_flows_through_both_nodes() {
     assert!(shipments.to_string().contains("Munich"));
 
     // No reminder was sent: payment arrived before the deadline.
-    assert!(!inbox.iter().any(|(_, e)| e.body.label() == Some("reminder")));
+    assert!(!inbox
+        .iter()
+        .any(|(_, e)| e.body.label() == Some("reminder")));
 }
 
 #[test]
@@ -120,7 +122,10 @@ fn unpaid_order_triggers_reminder_at_deadline() {
     assert_eq!(reminders.len(), 1);
     // Fired at the 2h deadline (plus transit), not at the end of the run.
     let at = reminders[0].0;
-    assert!(at >= Timestamp(2 * H) && at < Timestamp(2 * H + 1_000), "{at}");
+    assert!(
+        at >= Timestamp(2 * H) && at < Timestamp(2 * H + 1_000),
+        "{at}"
+    );
 }
 
 #[test]
@@ -145,7 +150,9 @@ fn underpayment_never_ships() {
     // not count as a payment event for the absence rule? It does — the
     // absence pattern has no amount constraint, so no reminder).
     let inbox = sim.sink("http://customer");
-    assert!(!inbox.iter().any(|(_, e)| e.body.label() == Some("reminder")));
+    assert!(!inbox
+        .iter()
+        .any(|(_, e)| e.body.label() == Some("reminder")));
 }
 
 #[test]

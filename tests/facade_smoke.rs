@@ -5,13 +5,13 @@
 //! before anything subtler does.
 
 use reweb::core::{MessageMeta, ReactiveEngine};
-use reweb::{InMessage, ShardedEngine};
 use reweb::events::{parse_event_query, Event, EventId};
 use reweb::production::{CaRule, ProductionEngine};
 use reweb::query::{match_at, parse_query_term, Bindings};
 use reweb::term::{parse_term, Term, Timestamp};
 use reweb::update::{Action, Update};
 use reweb::websim::Simulation;
+use reweb::{InMessage, ShardedEngine};
 
 /// Touch one symbol from each re-exported layer so a missing edge is a
 /// compile error here, with the facade path in the message.
@@ -19,7 +19,10 @@ use reweb::websim::Simulation;
 fn every_facade_module_is_reachable() {
     // term
     let t: Term = parse_term(r#"a{ b["x"] }"#).unwrap();
-    assert_eq!(t.to_string(), parse_term(&t.to_string()).unwrap().to_string());
+    assert_eq!(
+        t.to_string(),
+        parse_term(&t.to_string()).unwrap().to_string()
+    );
 
     // query
     let q = parse_query_term("a{{ b[[var X]] }}").unwrap();
@@ -47,11 +50,7 @@ fn every_facade_module_is_reachable() {
     // production
     let pe = ProductionEngine::new();
     assert_eq!(pe.rule_count(), 0);
-    let _ = CaRule::new(
-        "noop",
-        reweb::query::Condition::always_true(),
-        Action::Noop,
-    );
+    let _ = CaRule::new("noop", reweb::query::Condition::always_true(), Action::Noop);
 
     // websim
     let sim = Simulation::new(3);
@@ -88,7 +87,10 @@ fn end_to_end_rule_fires_through_facade() {
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].to, "http://client.example");
     let payload = out[0].payload.to_string();
-    assert!(payload.contains("confirmation"), "unexpected payload: {payload}");
+    assert!(
+        payload.contains("confirmation"),
+        "unexpected payload: {payload}"
+    );
     assert!(payload.contains("Ann"), "binding did not flow: {payload}");
 
     // Events nobody subscribes to are observable as drops, not silence.
@@ -116,9 +118,21 @@ fn sharded_engine_batch_through_facade() {
 
     let meta = MessageMeta::from_uri("http://client.example");
     let out = engine.receive_batch(&[
-        InMessage::new(parse_term(r#"order{ id["o-1"] }"#).unwrap(), meta.clone(), Timestamp(1_000)),
-        InMessage::new(parse_term(r#"hello{ name["Ann"] }"#).unwrap(), meta.clone(), Timestamp(2_000)),
-        InMessage::new(Term::elem("unsubscribed_label"), meta.clone(), Timestamp(2_500)),
+        InMessage::new(
+            parse_term(r#"order{ id["o-1"] }"#).unwrap(),
+            meta.clone(),
+            Timestamp(1_000),
+        ),
+        InMessage::new(
+            parse_term(r#"hello{ name["Ann"] }"#).unwrap(),
+            meta.clone(),
+            Timestamp(2_000),
+        ),
+        InMessage::new(
+            Term::elem("unsubscribed_label"),
+            meta.clone(),
+            Timestamp(2_500),
+        ),
         InMessage::new(
             parse_term(r#"payment{ order["o-1"] }"#).unwrap(),
             meta,
@@ -133,6 +147,12 @@ fn sharded_engine_batch_through_facade() {
     let m = engine.metrics();
     assert_eq!(m.events_received, 4);
     assert_eq!(m.rules_fired, 2);
-    assert_eq!(m.events_unmatched, 1, "the unknown label was dropped, and counted");
-    assert!(engine.hottest_share() < 1.0, "batch spread over more than one shard");
+    assert_eq!(
+        m.events_unmatched, 1,
+        "the unknown label was dropped, and counted"
+    );
+    assert!(
+        engine.hottest_share() < 1.0,
+        "batch spread over more than one shard"
+    );
 }

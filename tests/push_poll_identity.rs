@@ -7,10 +7,7 @@ use reweb::term::{parse_term, Dur, IdentityMode, ResourceStore, Term, Timestamp}
 use reweb::websim::{Poller, Simulation};
 
 fn news(title: &str) -> Term {
-    parse_term(&format!(
-        r#"news[article{{@id="a1", title["{title}"]}}]"#
-    ))
-    .unwrap()
+    parse_term(&format!(r#"news[article{{@id="a1", title["{title}"]}}]"#)).unwrap()
 }
 
 fn watcher_engine() -> ReactiveEngine {
@@ -38,9 +35,17 @@ fn pushed_changes_trigger_watcher_rules_with_surrogate_identity() {
     store.put("http://news/front", news("v0"));
     sim.add_store("http://news", store);
     sim.add_engine("http://watcher", watcher_engine());
-    sim.subscribe_push("http://news/front", "http://watcher", IdentityMode::surrogate());
+    sim.subscribe_push(
+        "http://news/front",
+        "http://watcher",
+        IdentityMode::surrogate(),
+    );
     for k in 1..=3u64 {
-        sim.schedule_update("http://news/front", news(&format!("v{k}")), Timestamp(k * 1_000));
+        sim.schedule_update(
+            "http://news/front",
+            news(&format!("v{k}")),
+            Timestamp(k * 1_000),
+        );
     }
     sim.run_until(Timestamp(10_000));
     let w = sim.engine("http://watcher").unwrap();
@@ -58,7 +63,11 @@ fn extensional_identity_reports_replacements_instead() {
     store.put("http://news/front", news("v0"));
     sim.add_store("http://news", store);
     sim.add_engine("http://watcher", watcher_engine());
-    sim.subscribe_push("http://news/front", "http://watcher", IdentityMode::Extensional);
+    sim.subscribe_push(
+        "http://news/front",
+        "http://watcher",
+        IdentityMode::Extensional,
+    );
     sim.schedule_update("http://news/front", news("v1"), Timestamp(1_000));
     sim.run_until(Timestamp(10_000));
     let w = sim.engine("http://watcher").unwrap();
@@ -87,7 +96,11 @@ fn polling_detects_the_same_changes_later_and_dearer() {
     sim.run_until(Timestamp(120_000));
     let w = sim.engine("http://watcher").unwrap();
     let edits = w.qe.store.get("http://watcher/edits").unwrap();
-    assert_eq!(edits.children().len(), 1, "the change was seen exactly once");
+    assert_eq!(
+        edits.children().len(),
+        1,
+        "the change was seen exactly once"
+    );
     // Four polls in two minutes, even though only one change happened.
     assert_eq!(sim.metrics.gets, 5);
 }

@@ -68,7 +68,11 @@ fn every_example_in_the_reference_parses() {
                         s.line
                     )
                 });
-                assert_eq!(set, reparsed, "round-trip changed the program at line {}", s.line);
+                assert_eq!(
+                    set, reparsed,
+                    "round-trip changed the program at line {}",
+                    s.line
+                );
             }
             "reweb-rule" => {
                 let rule = parse_rule(&s.body).unwrap_or_else(|e| fail(s, &e));
@@ -78,7 +82,11 @@ fn every_example_in_the_reference_parses() {
                         s.line
                     )
                 });
-                assert_eq!(rule, reparsed, "round-trip changed the rule at line {}", s.line);
+                assert_eq!(
+                    rule, reparsed,
+                    "round-trip changed the rule at line {}",
+                    s.line
+                );
             }
             "reweb-action" => {
                 parse_action(&s.body).unwrap_or_else(|e| fail(s, &e));
@@ -123,7 +131,10 @@ fn reference_program_installs() {
         .find(|s| s.tag == "reweb")
         .expect("the reference contains a full program");
     let mut set = parse_program(&program.body).expect("parses");
-    assert!(set.find_mut("shop.orders").is_some(), "nested set addressable");
+    assert!(
+        set.find_mut("shop.orders").is_some(),
+        "nested set addressable"
+    );
     let mut engine = reweb::core::ReactiveEngine::new("http://shop");
     engine.install(&set).expect("installs");
     assert!(engine.rule_count() > 0);

@@ -63,7 +63,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { id: self.to_string() }
+        BenchmarkId {
+            id: self.to_string(),
+        }
     }
 }
 

@@ -441,7 +441,10 @@ pub mod collection {
         VS: Strategy + 'static,
         VS::Value: 'static,
     {
-        assert!(size.start < size.end, "collection::btree_map: empty size range");
+        assert!(
+            size.start < size.end,
+            "collection::btree_map: empty size range"
+        );
         BTreeMapStrategy {
             keys: keys.boxed(),
             vals: vals.boxed(),
@@ -767,7 +770,9 @@ mod tests {
                 .generate(&mut r);
             assert!((1..=3).contains(&s.len()), "bad len: {s:?}");
             assert!(('a'..='c').contains(&s.chars().next().unwrap()));
-            let t = crate::string::string_regex("[ -~]{0,12}").unwrap().generate(&mut r);
+            let t = crate::string::string_regex("[ -~]{0,12}")
+                .unwrap()
+                .generate(&mut r);
             assert!(t.len() <= 12);
             assert!(t.chars().all(|c| (' '..='~').contains(&c)));
             let u = crate::string::string_regex("[a-z][a-z0-9_]{0,6}")
@@ -800,9 +805,11 @@ mod tests {
                 Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0..100u32).prop_map(Tree::Leaf).prop_recursive(3, 20, 3, |inner| {
-            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0..100u32)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 20, 3, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut r = rng();
         let mut max_depth = 0;
         for _ in 0..300 {
@@ -820,7 +827,9 @@ mod tests {
             1 => Just("light"),
         ];
         let mut r = rng();
-        let heavy = (0..1000).filter(|_| strat.generate(&mut r) == "heavy").count();
+        let heavy = (0..1000)
+            .filter(|_| strat.generate(&mut r) == "heavy")
+            .count();
         assert!((650..950).contains(&heavy), "weighting off: {heavy}/1000");
     }
 
