@@ -1,0 +1,78 @@
+//! Symbol interning and the allocation-lean binding hot path: the
+//! micro-costs the E14 experiment measures end to end. Four groups:
+//! intern hits (the steady-state cost of `Sym::from` on a known string),
+//! resolution (`as_str`), binding extension (`bind`/`merge` chains, the
+//! per-answer substitution traffic of Thesis 7), and label dispatch
+//! lookups against a `SymMap` index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reweb_query::Bindings;
+use reweb_term::{Sym, SymMap, Term};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("term_interning");
+
+    // Steady state: every label in a running system is already interned.
+    let labels: Vec<String> = (0..128).map(|i| format!("evt{i}")).collect();
+    for l in &labels {
+        Sym::new(l);
+    }
+    group.bench_function("intern_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % labels.len();
+            Sym::new(&labels[i])
+        })
+    });
+
+    let syms: Vec<Sym> = labels.iter().map(Sym::from).collect();
+    group.bench_function("resolve", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % syms.len();
+            syms[i].as_str().len()
+        })
+    });
+
+    // The matcher's per-answer traffic: extend a substitution variable by
+    // variable, then merge two halves — what every composite-event join
+    // answer pays.
+    let vars: Vec<Sym> = ["A", "B", "C", "D", "E", "F"]
+        .iter()
+        .map(|v| Sym::new(v))
+        .collect();
+    let value = Term::ordered("v", vec![Term::text("payload")]);
+    group.bench_function("bind_chain_6", |b| {
+        b.iter(|| {
+            let mut binds = Bindings::new();
+            for v in &vars {
+                binds = binds.bind_sym(*v, &value).expect("fresh variable");
+            }
+            binds.len()
+        })
+    });
+
+    let left: Bindings = vars[..3].iter().map(|v| (*v, value.clone())).collect();
+    let right: Bindings = vars[3..].iter().map(|v| (*v, value.clone())).collect();
+    group.bench_function("merge_3_3", |b| {
+        b.iter(|| left.merge(&right).expect("disjoint merge").len())
+    });
+
+    // The engine's dispatch index shape: label → subscribed rule ids.
+    let mut index: SymMap<Vec<usize>> = SymMap::default();
+    for (i, s) in syms.iter().enumerate() {
+        index.insert(*s, vec![i]);
+    }
+    group.bench_function("dispatch_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % syms.len();
+            index.get(&syms[i]).map(|v| v.len()).unwrap_or(0)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

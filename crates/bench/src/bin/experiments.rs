@@ -1,11 +1,11 @@
-//! Regenerate the experiment tables E1…E13 (see DESIGN.md §3).
+//! Regenerate the experiment tables E1…E14 (see DESIGN.md §3).
 //!
 //! ```text
 //! cargo run --release --bin experiments            # all tables
 //! cargo run --release --bin experiments -- E3 E6   # a subset
 //! cargo run --release --bin experiments -- --smoke # fast CI sanity check
 //! cargo run --release --bin experiments -- \
-//!     --bench-json out.json                        # machine-readable E13
+//!     --bench-json out.json                        # machine-readable E13+E14
 //! cargo run --release --bin experiments -- \
 //!     --bench-json out.json --check-floor bench/baseline.json
 //! ```
@@ -15,14 +15,16 @@
 //! end-to-end in well under a second — CI uses it to prove the binary and
 //! the engine work without paying for the full (~15 s) experiment run.
 //!
-//! `--bench-json <path>` runs only the E13 sharded-throughput experiment
-//! (full 100k-event workload) and writes its numbers as JSON;
+//! `--bench-json <path>` runs only the perf experiments — E13 (sharded
+//! throughput) and E14 (single-engine hot path), full 100k-event
+//! workloads — and writes their numbers as one JSON file;
 //! `--check-floor <baseline>` additionally compares the run against a
 //! committed baseline and exits non-zero when parallel throughput fell
-//! more than 25% below it. Both normalize by the same run's single-engine
-//! rate, so the gate is machine-speed independent (see
-//! [`experiments::e13_check_floor`]). CI runs this as its performance
-//! floor and uploads the JSON as an artifact.
+//! more than 25% below it (normalized by the same run's single-engine
+//! rate, so machine speed cancels) or when the absolute E14 hot-path
+//! rate fell more than 25% below the conservatively rounded committed
+//! floor (see [`experiments::check_floor`]). CI runs this as its
+//! performance floor and uploads the JSON as an artifact.
 
 use reweb_bench::experiments;
 
@@ -64,20 +66,24 @@ fn smoke() {
     );
 }
 
-/// The E13 bench path: write JSON, optionally enforce the perf floor.
-fn bench_e13(json_out: Option<&str>, floor_baseline: Option<&str>) {
+/// The perf bench path: run E13 + E14, write JSON, optionally enforce
+/// the perf floor.
+fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E13 (100k events, serial + parallel at 1/2/4/8 shards)…");
     let report = experiments::e13_report(100_000);
     println!("{}", experiments::e13_table(&report).to_markdown());
+    eprintln!("running E14 (100k events, single-engine hot path)…");
+    let hot = experiments::e14_report(100_000);
+    println!("{}", experiments::e14_table(&hot).to_markdown());
     if let Some(path) = json_out {
-        std::fs::write(path, experiments::e13_json(&report))
+        std::fs::write(path, experiments::bench_json(&report, &hot))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }
     if let Some(path) = floor_baseline {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        match experiments::e13_check_floor(&report, &baseline, 0.25) {
+        match experiments::check_floor(&report, &hot, &baseline, 0.25) {
             Ok(summary) => {
                 println!("## Performance floor: OK (baseline {path}, 25% tolerance)\n");
                 println!("{summary}");
@@ -112,7 +118,7 @@ fn main() {
             );
             std::process::exit(2);
         }
-        bench_e13(bench_json.as_deref(), check_floor.as_deref());
+        bench_perf(bench_json.as_deref(), check_floor.as_deref());
         return;
     }
     if args.iter().any(|a| a == "--smoke") {
@@ -137,7 +143,7 @@ fn main() {
     let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
     let run_all = wanted.is_empty();
 
-    println!("# reweb experiment tables (E1…E13)\n");
+    println!("# reweb experiment tables (E1…E14)\n");
     for (id, run) in experiments::RUNNERS {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id}…");

@@ -1,5 +1,6 @@
-//! The experiments E1…E13 — one per thesis, plus E13 for the sharded
-//! batch-ingestion layer (DESIGN.md §3).
+//! The experiments E1…E14 — one per thesis, plus E13 for the sharded
+//! batch-ingestion layer and E14 for the single-engine match/fire hot
+//! path (DESIGN.md §3).
 //!
 //! Each function builds its workload, runs the systems under comparison,
 //! and returns a [`Table`] whose *shape* (who wins, how things scale)
@@ -23,7 +24,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 13] = [
+pub const RUNNERS: [(&str, Runner); 14] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -37,6 +38,7 @@ pub const RUNNERS: [(&str, Runner); 13] = [
     ("E11", e11_trust_negotiation),
     ("E12", e12_aaa_overhead),
     ("E13", e13_sharded_throughput),
+    ("E14", e14_hot_path),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1237,14 +1239,106 @@ pub fn e13_table(r: &E13Report) -> Table {
     t
 }
 
-/// Serialize an [`E13Report`] as the `--bench-json` payload. Flat rows,
-/// one small object per measurement, so the floor check (and any CI
-/// tooling) can read it without a JSON library.
-pub fn e13_json(r: &E13Report) -> String {
+/// Machine-readable E14 result: the single-engine hot path — dispatch,
+/// match, and fire with no sharding front-end in the way. Where E13's
+/// floor gates *scaling* (normalized by this same rate), E14 gates the
+/// absolute per-event cost of the engine itself, which is what symbol
+/// interning and the allocation-lean `Bindings` attack.
+#[derive(Clone, Debug)]
+pub struct E14Report {
+    /// Events pushed through `ReactiveEngine::receive`.
+    pub events: usize,
+    /// Independent rule-label groups in the workload.
+    pub labels: usize,
+    /// Single-engine throughput, in 1000 events/s (best-of-N).
+    pub kevents_per_s: f64,
+    /// Rule firings the run produced (must be identical every run).
+    pub reactions: u64,
+    /// Distinct interned symbols after the run — the leak bound.
+    pub symbols: usize,
+}
+
+/// E14 (hot path): single-engine dispatch + match + fire over the same
+/// 100k-event, 128-label-group workload E13 shards — so this number is
+/// directly comparable with E13's `single` row and with pre-interning
+/// baselines.
+pub fn e14_hot_path() -> Table {
+    e14_table(&e14_report(100_000))
+}
+
+/// Measure the E14 workload at `n_events` (100k for the real table).
+pub fn e14_report(n_events: usize) -> E14Report {
+    const LABELS: usize = 128;
+    let program = crate::sharded_rules(LABELS);
+    let meta = MessageMeta::from_uri("http://client");
+    let msgs: Vec<(Timestamp, Term)> = crate::paired_stream(LABELS, n_events, 17);
+
+    // Best-of-N for the same reason as E13: noise only slows runs down.
+    const REPEATS: usize = 3;
+    let mut best = f64::MIN;
+    let mut reactions = 0;
+    for _ in 0..REPEATS {
+        let mut engine = ReactiveEngine::new("http://svc");
+        engine.install_program(&program).expect("program");
+        let (_, secs) = timed(|| {
+            for (at, payload) in &msgs {
+                engine.receive(payload.clone(), &meta, *at);
+            }
+        });
+        best = best.max(n_events as f64 / secs / 1_000.0);
+        reactions = engine.metrics.rules_fired;
+    }
+    E14Report {
+        events: n_events,
+        labels: LABELS,
+        kevents_per_s: best,
+        reactions,
+        symbols: reweb_term::Sym::table_len(),
+    }
+}
+
+/// Render an [`E14Report`] as the experiment table.
+pub fn e14_table(r: &E14Report) -> Table {
+    let mut t = Table::new(
+        "E14",
+        "hot path",
+        format!(
+            "single-engine dispatch + match + fire: {} events, {} rule-label groups",
+            r.events, r.labels
+        ),
+        vec!["engine", "reactions", "kevents_per_s", "interned_symbols"],
+    )
+    .with_note(
+        "Claim: with interned symbols the per-event cost is matching work, \
+         not allocation — label dispatch is an integer-keyed hash lookup, \
+         binding extension copies a small (u32, Arc) vector instead of \
+         cloning a `BTreeMap<String, Term>`, and the interned-symbol count \
+         stays bounded by the vocabulary, not the event count. CI gates \
+         this rate absolutely (25% below the conservatively rounded \
+         committed baseline fails).",
+    );
+    t.row(vec![
+        "single".into(),
+        r.reactions.to_string(),
+        f(r.kevents_per_s),
+        r.symbols.to_string(),
+    ]);
+    t
+}
+
+/// Serialize the E13 + E14 reports as the `--bench-json` payload. Flat
+/// rows, one small object per measurement, so the floor check (and any CI
+/// tooling) can read it without a JSON library. The E14 measurement is
+/// the `hotpath` row.
+pub fn bench_json(r: &E13Report, e14: &E14Report) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
         r.single_kevents_per_s
     )];
+    rows.push(format!(
+        "    {{\"engine\": \"hotpath\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
+        e14.kevents_per_s
+    ));
     for row in &r.rows {
         rows.push(format!(
             "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
@@ -1256,7 +1350,7 @@ pub fn e13_json(r: &E13Report) -> String {
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-e13/v1\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v2\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -1265,8 +1359,8 @@ pub fn e13_json(r: &E13Report) -> String {
     )
 }
 
-/// Parse the `(engine, shards, kevents_per_s)` rows back out of an
-/// [`e13_json`] payload. A minimal scanner for our own fixed schema —
+/// Parse the `(engine, shards, kevents_per_s)` rows back out of a
+/// [`bench_json`] payload. A minimal scanner for our own fixed schema —
 /// the build environment has no JSON dependency to lean on. Unknown or
 /// malformed row objects are skipped rather than failing the parse.
 pub fn e13_parse_rows(json: &str) -> Vec<(String, usize, f64)> {
@@ -1298,8 +1392,16 @@ pub fn e13_parse_rows(json: &str) -> Vec<(String, usize, f64)> {
 /// speedup. Machine speed cancels out; only the engine's scaling
 /// behaviour is gated. Returns a human-readable summary table on
 /// success, or a description of every violated floor.
-pub fn e13_check_floor(
+/// Additionally, when the baseline carries a `hotpath` row (E14), the
+/// current single-engine hot-path rate must not fall more than
+/// `tolerance` below it. This comparison is *absolute* — there is no
+/// faster reference rate on the same machine to normalize by — so the
+/// committed baseline is rounded far below the measured rate (see
+/// `bench/baseline.json`'s note) and only genuine hot-path collapses
+/// (a regression several times larger than machine variance) trip it.
+pub fn check_floor(
     current: &E13Report,
+    current_e14: &E14Report,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -1359,6 +1461,24 @@ pub fn e13_check_floor(
                 .into(),
         );
     }
+    // E14: absolute single-engine hot-path floor (baselines that predate
+    // the hotpath row skip it).
+    if let Some(&(_, _, base_hot)) = baseline.iter().find(|(e, _, _)| e == "hotpath") {
+        let floor = base_hot * (1.0 - tolerance);
+        summary.push_str(&format!(
+            "\nE14 hot path: {:.1} ke/s (committed floor baseline {base_hot:.1}, \
+             gate {floor:.1})\n",
+            current_e14.kevents_per_s
+        ));
+        if current_e14.kevents_per_s < floor {
+            failures.push(format!(
+                "E14 single-engine hot path {:.1} ke/s fell below the floor {floor:.1} \
+                 (baseline {base_hot:.1} - {:.0}% tolerance)",
+                current_e14.kevents_per_s,
+                tolerance * 100.0
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -1369,7 +1489,7 @@ pub fn e13_check_floor(
     }
 }
 
-/// Run all thirteen experiments.
+/// Run all fourteen experiments.
 pub fn all() -> Vec<Table> {
     vec![
         e1_eca_vs_production(),
@@ -1385,6 +1505,7 @@ pub fn all() -> Vec<Table> {
         e11_trust_negotiation(),
         e12_aaa_overhead(),
         e13_sharded_throughput(),
+        e14_hot_path(),
     ]
 }
 
@@ -1457,8 +1578,18 @@ mod tests {
         assert_eq!(t.rows.len(), 1 + 2 * r.rows.len());
     }
 
+    fn e14(rate: f64) -> E14Report {
+        E14Report {
+            events: 1000,
+            labels: 128,
+            kevents_per_s: rate,
+            reactions: 500,
+            symbols: 300,
+        }
+    }
+
     #[test]
-    fn e13_json_round_trips_through_the_scanner() {
+    fn bench_json_round_trips_through_the_scanner() {
         let r = E13Report {
             events: 1000,
             labels: 128,
@@ -1473,11 +1604,12 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let rows = e13_parse_rows(&e13_json(&r));
+        let rows = e13_parse_rows(&bench_json(&r, &e14(60.0)));
         assert_eq!(
             rows,
             vec![
                 ("single".to_string(), 1, 50.0),
+                ("hotpath".to_string(), 1, 60.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -1500,22 +1632,66 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = e13_json(&report(50.0, 100.0)); // 2.0x speedup baseline
-                                                       // A 4x faster machine with the same 2.0x scaling passes…
-        assert!(e13_check_floor(&report(200.0, 400.0), &baseline, 0.25).is_ok());
+        let baseline = bench_json(&report(50.0, 100.0), &e14(80.0)); // 2.0x speedup baseline
+                                                                     // A 4x faster machine with the same 2.0x scaling passes…
+        assert!(check_floor(&report(200.0, 400.0), &e14(80.0), &baseline, 0.25).is_ok());
         // …moderate noise above the floor (1.6x > 1.5x) passes…
-        assert!(e13_check_floor(&report(200.0, 320.0), &baseline, 0.25).is_ok());
+        assert!(check_floor(&report(200.0, 320.0), &e14(80.0), &baseline, 0.25).is_ok());
         // …but a real scaling collapse (1.2x < 1.5x) fails, regardless
         // of machine speed.
-        let err = e13_check_floor(&report(200.0, 240.0), &baseline, 0.25)
+        let err = check_floor(&report(200.0, 240.0), &e14(80.0), &baseline, 0.25)
             .expect_err("collapsed scaling must trip the floor");
         assert!(err.contains("PERF FLOOR VIOLATED"), "{err}");
         // A baseline with a `single` row but no usable `sharded-mt` rows
         // must fail loudly, not pass vacuously.
         let gutted = baseline.replace("sharded-mt", "sharded-xx");
-        let err = e13_check_floor(&report(200.0, 400.0), &gutted, 0.25)
+        let err = check_floor(&report(200.0, 400.0), &e14(80.0), &gutted, 0.25)
             .expect_err("a gutted baseline must not disable the gate");
         assert!(err.contains("compared nothing"), "{err}");
+    }
+
+    #[test]
+    fn e14_floor_is_absolute() {
+        let report = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 100.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 150.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let baseline = bench_json(&report, &e14(80.0));
+        // At the baseline rate: fine. 25% below 80 = 60 is the gate.
+        assert!(check_floor(&report, &e14(80.0), &baseline, 0.25).is_ok());
+        assert!(check_floor(&report, &e14(61.0), &baseline, 0.25).is_ok());
+        let err = check_floor(&report, &e14(59.0), &baseline, 0.25)
+            .expect_err("hot-path collapse must trip the floor");
+        assert!(err.contains("E14"), "{err}");
+        // A pre-E14 baseline (no hotpath row) skips the absolute gate.
+        let old = baseline
+            .lines()
+            .filter(|l| !l.contains("hotpath"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(check_floor(&report, &e14(1.0), &old, 0.25).is_ok());
+    }
+
+    #[test]
+    fn e14_shapes() {
+        let r = e14_report(4_000);
+        assert_eq!(r.reactions, 2_000, "one reaction per evt/ack pair");
+        assert!(r.kevents_per_s > 0.0);
+        // Interning is bounded by vocabulary, not stream length: the
+        // whole workspace test run stays comfortably under this cap.
+        assert!(r.symbols < 50_000, "symbol table leaked: {}", r.symbols);
+        let t = e14_table(&r);
+        assert_eq!(t.rows.len(), 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 
 use reweb_events::{DeductionLayer, Event, EventId, IncrementalEngine};
 use reweb_query::QueryEngine;
-use reweb_term::{Dur, Term, Timestamp};
+use reweb_term::{Dur, Sym, SymMap, Term, Timestamp};
 use reweb_update::{Executor, ProcedureDef};
 
 pub use reweb_update::OutMessage;
@@ -104,8 +104,14 @@ pub struct ReactiveEngine {
     /// Authentication/authorization/accounting state.
     pub aaa: Aaa,
     compiled: Vec<CompiledRule>,
-    index: BTreeMap<String, Vec<usize>>,
+    /// Label → subscribed rule indices: an integer-keyed hash lookup
+    /// ([`Sym`] ids with [`reweb_term::SymHasher`]), so dispatch never
+    /// hashes or compares label strings.
+    index: SymMap<Vec<usize>>,
     wildcard: Vec<usize>,
+    /// Reused dispatch scratch: the candidate rule-index list is built in
+    /// this buffer instead of allocating a fresh `Vec` per event.
+    scratch_idxs: Vec<usize>,
     deduction: DeductionLayer,
     default_ttl: Option<Dur>,
     next_event_id: u64,
@@ -127,8 +133,9 @@ impl ReactiveEngine {
             qe: QueryEngine::new(),
             aaa: Aaa::new(AaaConfig::default()),
             compiled: Vec::new(),
-            index: BTreeMap::new(),
+            index: SymMap::default(),
             wildcard: Vec::new(),
+            scratch_idxs: Vec::new(),
             deduction: DeductionLayer::new(),
             default_ttl: None,
             next_event_id: 0,
@@ -274,8 +281,10 @@ impl ReactiveEngine {
         }
         let mut out = self.advance_time(now);
         self.metrics.events_received += 1;
-        let label = payload.label().unwrap_or("").to_string();
-        let (admission, acct_event) = self.aaa.admit(meta, &label, payload.serialized_size(), now);
+        // `as_str` on the interned label is `&'static`, so admission works
+        // on a borrowed label with no per-event `String` allocation.
+        let label: &str = payload.label_sym().map(Sym::as_str).unwrap_or("");
+        let (admission, acct_event) = self.aaa.admit(meta, label, payload.serialized_size(), now);
         if !admission.allowed {
             self.metrics.events_denied += 1;
             self.metrics.errors.push(format!(
@@ -374,9 +383,15 @@ impl ReactiveEngine {
     }
 
     fn dispatch(&mut self, e: &Event, out: &mut Vec<OutMessage>) {
-        let mut idxs: Vec<usize> = Vec::new();
-        if let Some(label) = e.label() {
-            if let Some(v) = self.index.get(label) {
+        // Take the scratch buffer for the duration of the dispatch; `fire`
+        // borrows `self` mutably, so the buffer lives as a local and is
+        // put back before returning. (Dispatch never re-enters itself —
+        // derived events dispatch from `process_event` — but even if it
+        // did, the nested call would simply see an empty scratch.)
+        let mut idxs = std::mem::take(&mut self.scratch_idxs);
+        idxs.clear();
+        if let Some(label) = e.label_sym() {
+            if let Some(v) = self.index.get(&label) {
                 idxs.extend_from_slice(v);
             }
         }
@@ -385,14 +400,16 @@ impl ReactiveEngine {
         idxs.dedup();
         if idxs.is_empty() {
             self.metrics.events_unmatched += 1;
+            self.scratch_idxs = idxs;
             return;
         }
-        for idx in idxs {
+        for &idx in &idxs {
             let answers = self.compiled[idx].ev.push(e);
             for a in answers {
                 self.fire(idx, &a.bindings, out);
             }
         }
+        self.scratch_idxs = idxs;
     }
 
     /// Run the branches of rule `idx` for one event-query answer.

@@ -59,7 +59,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use reweb_events::{EventQuery, EventRule};
-use reweb_term::{fnv1a, Dur, Term, Timestamp};
+use reweb_term::{fnv1a, Dur, Sym, SymMap, Term, Timestamp};
 
 use crate::aaa::MessageMeta;
 use crate::engine::{EngineMetrics, OutMessage, ReactiveEngine};
@@ -93,7 +93,7 @@ impl InMessage {
 /// Where a rule's trigger places it among the shards.
 enum Affinity {
     /// All trigger labels, to be unioned into one group.
-    Labels(Vec<String>),
+    Labels(Vec<Sym>),
     /// Stateless wildcard: replicate to every shard.
     Replicate,
     /// Stateful wildcard: all events must reach one shard.
@@ -160,8 +160,9 @@ fn detect_affinity(er: &EventRule) -> Affinity {
 /// Union-find over event labels: the label → shard routing table.
 #[derive(Clone, Debug, Default)]
 struct Router {
-    /// label → group id (an index into `parent`).
-    label_group: BTreeMap<String, usize>,
+    /// label → group id (an index into `parent`). Keyed by interned
+    /// symbol: per-event routing is an integer hash lookup.
+    label_group: SymMap<usize>,
     /// Union-find parents; roots are the live groups.
     parent: Vec<usize>,
     /// Root group → owning shard, assigned round-robin at install.
@@ -181,13 +182,13 @@ impl Router {
         g
     }
 
-    fn group_of(&mut self, label: &str) -> usize {
-        if let Some(&g) = self.label_group.get(label) {
+    fn group_of(&mut self, label: Sym) -> usize {
+        if let Some(&g) = self.label_group.get(&label) {
             return self.find(g);
         }
         let g = self.parent.len();
         self.parent.push(g);
-        self.label_group.insert(label.to_string(), g);
+        self.label_group.insert(label, g);
         g
     }
 
@@ -219,11 +220,11 @@ impl Router {
     /// A union that merges groups already pinned to *different* shards is
     /// reported in `conflicts` — the static install path rejects it, the
     /// dynamic path records it as a warning.
-    fn union_labels(&mut self, labels: &[String], conflicts: &mut Vec<String>) -> usize {
-        let first = self.group_of(&labels[0]);
+    fn union_labels(&mut self, labels: &[Sym], conflicts: &mut Vec<String>) -> usize {
+        let first = self.group_of(labels[0]);
         let mut root = first;
         for l in &labels[1..] {
-            let g = self.group_of(l);
+            let g = self.group_of(*l);
             if let Some((kept, lost)) = self.union(root, g) {
                 conflicts.push(format!(
                     "labels {labels:?} join groups already routed to shards \
@@ -236,7 +237,7 @@ impl Router {
     }
 
     /// Pin every not-yet-assigned group among `labels` round-robin.
-    fn assign(&mut self, labels: &[String], n_shards: usize) {
+    fn assign(&mut self, labels: &[Sym], n_shards: usize) {
         for l in labels {
             let Some(&g) = self.label_group.get(l) else {
                 continue;
@@ -250,18 +251,22 @@ impl Router {
     }
 
     /// Home shard of a label: its group's shard, or a stable hash for
-    /// labels no rule subscribes to.
-    fn home_of(&mut self, label: &str, n_shards: usize) -> usize {
+    /// labels no rule subscribes to (`None` = text payload, hashed like
+    /// the empty label so routing matches the pre-interning behaviour).
+    fn home_of(&mut self, label: Option<Sym>, n_shards: usize) -> usize {
         if self.collapsed || n_shards == 1 {
             return 0;
         }
-        if let Some(&g) = self.label_group.get(label) {
-            let root = self.find(g);
-            if let Some(&s) = self.group_shard.get(&root) {
-                return s;
+        if let Some(label) = label {
+            if let Some(&g) = self.label_group.get(&label) {
+                let root = self.find(g);
+                if let Some(&s) = self.group_shard.get(&root) {
+                    return s;
+                }
             }
+            return (fnv1a(label.as_str().as_bytes()) % n_shards as u64) as usize;
         }
-        (fnv1a(label.as_bytes()) % n_shards as u64) as usize
+        (fnv1a(b"") % n_shards as u64) as usize
     }
 }
 
@@ -271,7 +276,7 @@ impl Router {
 fn scan_set(
     router: &mut Router,
     set: &RuleSet,
-    labels: &mut Vec<String>,
+    labels: &mut Vec<Sym>,
     collapse: &mut bool,
     conflicts: &mut Vec<String>,
 ) {
@@ -550,7 +555,7 @@ impl ShardedEngine {
         out.views = set.views.clone();
         for r in &set.rules {
             let keep = match rule_affinity(&r.on) {
-                Affinity::Labels(ls) => self.router.home_of(&ls[0], n) == shard,
+                Affinity::Labels(ls) => self.router.home_of(Some(ls[0]), n) == shard,
                 Affinity::Replicate => !self.router.collapsed || shard == 0,
                 Affinity::Collapse => shard == 0,
             };
@@ -560,7 +565,7 @@ impl ShardedEngine {
         }
         for er in &set.event_rules {
             let keep = match detect_affinity(er) {
-                Affinity::Labels(ls) => self.router.home_of(&ls[0], n) == shard,
+                Affinity::Labels(ls) => self.router.home_of(Some(ls[0]), n) == shard,
                 _ => shard == 0,
             };
             if keep {
@@ -750,8 +755,7 @@ impl ShardedEngine {
                 self.now = m.at;
             }
             timeline.push(m.at);
-            let label = m.payload.label().unwrap_or("");
-            let h = self.router.home_of(label, n);
+            let h = self.router.home_of(m.payload.label_sym(), n);
             self.routed[h] += 1;
             subs[h].push((k as u32, m.clone()));
         }
@@ -861,10 +865,11 @@ impl ShardedEngine {
     }
 
     fn route_one(&mut self, m: &InMessage) -> Vec<OutMessage> {
-        let label = m.payload.label().unwrap_or("");
-        let h = self.router.home_of(label, self.shards.len());
+        let h = self
+            .router
+            .home_of(m.payload.label_sym(), self.shards.len());
         self.routed[h] += 1;
-        let dynamic = label == "install_rules";
+        let dynamic = m.payload.label() == Some("install_rules");
         let rules_before = if dynamic {
             self.shards[h].rule_count()
         } else {

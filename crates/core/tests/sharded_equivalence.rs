@@ -231,6 +231,50 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The 48-case equivalence sweep again, but through the
+    /// thread-per-shard executor: workers intern symbols concurrently
+    /// (labels and variable names of whatever events land on their
+    /// shard), so byte-identical outputs here pin that the process-wide
+    /// intern table is race-free — every thread resolves every symbol
+    /// to the same string, in the same order.
+    #[test]
+    fn threaded_executor_is_equivalent_to_single(
+        rules in proptest::collection::vec((0..9u8, 0..6usize, 0..6usize), 1..6),
+        stream in proptest::collection::vec((0..8usize, 0..10u64, 1..20_000u64), 4..40),
+    ) {
+        let program: String = rules
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, a, b))| fragment(i, kind, a, b))
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let meta = MessageMeta::from_uri("http://peer");
+        let mut at = 0u64;
+        let msgs: Vec<InMessage> = stream
+            .iter()
+            .map(|&(l, v, dt)| {
+                at += dt;
+                InMessage::new(event_payload(l, v), meta.clone(), Timestamp(at))
+            })
+            .collect();
+
+        let (mut single_out, _) = run_single(&program, &msgs);
+        single_out.sort();
+        for shards in [2usize, 4, 8] {
+            let mut threaded = run_parallel_seq(&program, &msgs, shards);
+            threaded.sort();
+            prop_assert_eq!(
+                &single_out, &threaded,
+                "threaded outputs diverged at {} shards for program:\n{}", shards, program
+            );
+        }
+    }
+}
+
 /// Deterministic regression: the exact marketplace-style mix from the
 /// module docs, at every shard count up to 8.
 #[test]

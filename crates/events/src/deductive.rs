@@ -13,7 +13,7 @@
 //! checked at registration exactly as the thesis prescribes.
 
 use reweb_query::{construct, ConstructTerm};
-use reweb_term::{TermError, Timestamp};
+use reweb_term::{Sym, TermError, Timestamp};
 
 use crate::event::{Event, EventId};
 use crate::incremental::IncrementalEngine;
@@ -38,15 +38,15 @@ impl EventRule {
     }
 
     /// Root label of the derived payload, if statically known.
-    pub fn head_label(&self) -> Option<String> {
+    pub fn head_label(&self) -> Option<Sym> {
         match &self.head {
-            ConstructTerm::Elem { label, .. } => Some(label.clone()),
+            ConstructTerm::Elem { label, .. } => Some(*label),
             _ => None,
         }
     }
 
     /// Labels of events this rule listens for (`None` = could be anything).
-    pub fn listens_to(&self) -> Option<Vec<String>> {
+    pub fn listens_to(&self) -> Option<Vec<Sym>> {
         self.on.trigger_labels()
     }
 }

@@ -13,7 +13,7 @@
 use std::fmt;
 
 use reweb_query::Bindings;
-use reweb_term::{Term, Timestamp};
+use reweb_term::{Sym, Term, Timestamp};
 
 /// Local sequence number of an event at one node's engine.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,6 +66,12 @@ impl Event {
     /// subscriptions by this label so unrelated rules are never consulted.
     pub fn label(&self) -> Option<&str> {
         self.payload.label()
+    }
+
+    /// Root label as an interned symbol — the form the dispatch index
+    /// looks up without touching string bytes.
+    pub fn label_sym(&self) -> Option<Sym> {
+        self.payload.label_sym()
     }
 }
 

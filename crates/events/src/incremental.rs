@@ -31,7 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use reweb_query::{match_at, AggFn, Bindings, Cmp, QueryTerm};
-use reweb_term::{Dur, Timestamp};
+use reweb_term::{Dur, Sym, Timestamp};
 
 use crate::event::{Answer, Event, EventId};
 use crate::query::EventQuery;
@@ -194,11 +194,11 @@ enum OpNode {
     },
     Agg {
         f: AggFn,
-        var: String,
+        var: Sym,
         over: usize,
         pattern: QueryTerm,
-        out_var: String,
-        group_by: Vec<String>,
+        out_var: Sym,
+        group_by: Vec<Sym>,
         bufs: BTreeMap<Bindings, VecDeque<(EventId, Timestamp, f64, Bindings)>>,
     },
     Where {
@@ -260,11 +260,18 @@ fn compile(q: &EventQuery, inherited: Option<Dur>) -> OpNode {
             group_by,
         } => OpNode::Agg {
             f: *f,
-            var: var.clone(),
+            var: *var,
             over: (*over).max(1),
             pattern: pattern.clone(),
-            out_var: out.clone(),
-            group_by: group_by.clone(),
+            out_var: *out,
+            group_by: {
+                // Projection treats the names as a set; sorting once here
+                // keeps every per-event `Bindings::project` on the
+                // zero-copy sorted fast path.
+                let mut gb = group_by.clone();
+                gb.sort();
+                gb
+            },
             bufs: BTreeMap::new(),
         },
         EventQuery::Where { inner, cmps } => OpNode::Where {
@@ -390,8 +397,7 @@ impl OpNode {
                 if let Input::Ev(e) = inp {
                     let matches = match_at(pattern, &e.payload, &Bindings::new());
                     for b in matches {
-                        let Some(v) = b.get(var.as_str()).and_then(reweb_term::Term::as_number)
-                        else {
+                        let Some(v) = b.get_sym(*var).and_then(reweb_term::Term::as_number) else {
                             continue;
                         };
                         let key = b.project(group_by);
@@ -403,7 +409,7 @@ impl OpNode {
                         if buf.len() == *over {
                             let vals: Vec<f64> = buf.iter().map(|(_, _, v, _)| *v).collect();
                             let agg = fold_agg(*f, &vals);
-                            if let Some(bb) = b.bind(out_var, &reweb_term::Term::num(agg)) {
+                            if let Some(bb) = b.bind_sym(*out_var, &reweb_term::Term::num(agg)) {
                                 out.push(Answer {
                                     constituents: buf.iter().map(|(id, _, _, _)| *id).collect(),
                                     bindings: bb,

@@ -146,6 +146,13 @@ pub fn eval(q: &EventQuery, history: &[Event], now: Timestamp) -> Vec<Answer> {
             group_by,
         } => {
             let over = (*over).max(1);
+            // Projection treats group-by names as a set; a sorted copy
+            // keeps the per-event `project` on its sorted fast path.
+            let group_by = {
+                let mut gb = group_by.clone();
+                gb.sort();
+                gb
+            };
             // Replays the sliding buffers over the whole history — same
             // per-group semantics as the incremental engine, recomputed.
             let mut bufs: std::collections::BTreeMap<Bindings, Vec<(EventId, Timestamp, f64)>> =
@@ -153,10 +160,10 @@ pub fn eval(q: &EventQuery, history: &[Event], now: Timestamp) -> Vec<Answer> {
             let mut answers = Vec::new();
             for e in history {
                 for b in match_at(pattern, &e.payload, &Bindings::new()) {
-                    let Some(v) = b.get(var.as_str()).and_then(reweb_term::Term::as_number) else {
+                    let Some(v) = b.get_sym(*var).and_then(reweb_term::Term::as_number) else {
                         continue;
                     };
-                    let key = b.project(group_by);
+                    let key = b.project(&group_by);
                     let buf = bufs.entry(key).or_default();
                     buf.push((e.id, e.time(), v));
                     if buf.len() > over {
@@ -165,7 +172,7 @@ pub fn eval(q: &EventQuery, history: &[Event], now: Timestamp) -> Vec<Answer> {
                     if buf.len() == over {
                         let vals: Vec<f64> = buf.iter().map(|(_, _, v)| *v).collect();
                         let agg = fold_agg(*f, &vals);
-                        if let Some(bb) = b.bind(out, &reweb_term::Term::num(agg)) {
+                        if let Some(bb) = b.bind_sym(*out, &reweb_term::Term::num(agg)) {
                             answers.push(Answer {
                                 constituents: buf.iter().map(|(id, _, _)| *id).collect(),
                                 bindings: bb,

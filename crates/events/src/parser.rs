@@ -179,7 +179,7 @@ fn primary(cur: &mut Cursor) -> Result<EventQuery> {
                 if cur.eat_punct('(') {
                     loop {
                         cur.expect_kw("var")?;
-                        group_by.push(cur.expect_ident()?);
+                        group_by.push(cur.expect_ident()?.into());
                         if !cur.eat_punct(',') {
                             break;
                         }
@@ -187,15 +187,15 @@ fn primary(cur: &mut Cursor) -> Result<EventQuery> {
                     cur.expect_punct(')')?;
                 } else {
                     cur.expect_kw("var")?;
-                    group_by.push(cur.expect_ident()?);
+                    group_by.push(cur.expect_ident()?.into());
                 }
             }
             return Ok(EventQuery::Agg {
                 f,
-                var,
+                var: var.into(),
                 over,
                 pattern,
-                out,
+                out: out.into(),
                 group_by,
             });
         }
@@ -280,7 +280,7 @@ mod tests {
                 assert_eq!(var, "P");
                 assert_eq!(over, 5);
                 assert_eq!(out, "A");
-                assert_eq!(group_by, vec!["S".to_string()]);
+                assert_eq!(group_by, vec![reweb_term::Sym::new("S")]);
             }
             _ => panic!(),
         }

@@ -20,7 +20,7 @@
 use std::fmt;
 
 use reweb_query::{AggFn, Cmp, QueryTerm};
-use reweb_term::Dur;
+use reweb_term::{Dur, Sym};
 
 /// A composite event query.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,15 +64,15 @@ pub enum EventQuery {
     Agg {
         f: AggFn,
         /// Variable bound by `pattern` whose numeric values are aggregated.
-        var: String,
+        var: Sym,
         /// Ring-buffer length (the "last n").
         over: usize,
         pattern: QueryTerm,
         /// Output variable receiving the aggregate.
-        out: String,
+        out: Sym,
         /// Maintain one buffer per valuation of these variables
         /// (e.g. per stock symbol).
-        group_by: Vec<String>,
+        group_by: Vec<Sym>,
     },
     /// Filter answers of `inner` by comparisons.
     Where {
@@ -137,12 +137,13 @@ impl EventQuery {
 
     /// The payload root labels this query can react to; `None` means "any
     /// label" (used for subscription indexing). Labels of `absent` parts
-    /// are included: those events must reach the operator too.
-    pub fn trigger_labels(&self) -> Option<Vec<String>> {
-        fn pattern_label(p: &QueryTerm) -> Option<String> {
+    /// are included: those events must reach the operator too. Sorted by
+    /// name.
+    pub fn trigger_labels(&self) -> Option<Vec<Sym>> {
+        fn pattern_label(p: &QueryTerm) -> Option<Sym> {
             match p {
                 QueryTerm::Elem(e) => match &e.label {
-                    reweb_query::LabelPattern::Exact(l) => Some(l.clone()),
+                    reweb_query::LabelPattern::Exact(l) => Some(*l),
                     reweb_query::LabelPattern::Any => None,
                 },
                 QueryTerm::VarAs(_, inner) => pattern_label(inner),
@@ -150,7 +151,7 @@ impl EventQuery {
                 _ => None,
             }
         }
-        fn go(q: &EventQuery, out: &mut Vec<String>) -> bool {
+        fn go(q: &EventQuery, out: &mut Vec<Sym>) -> bool {
             match q {
                 EventQuery::Atomic { pattern } => match pattern_label(pattern) {
                     Some(l) => {
@@ -362,14 +363,14 @@ mod tests {
         ]);
         assert_eq!(
             q.trigger_labels(),
-            Some(vec!["order".to_string(), "payment".to_string()])
+            Some(vec![Sym::new("order"), Sym::new("payment")])
         );
         // A wildcard pattern defeats indexing.
         let q = EventQuery::and(vec![at("a"), at("*[[var X]]")]);
         assert_eq!(q.trigger_labels(), None);
         // `var F as flight[[..]]` still has a root label.
         let q = at("var F as flight[[status[\"cancelled\"]]]");
-        assert_eq!(q.trigger_labels(), Some(vec!["flight".to_string()]));
+        assert_eq!(q.trigger_labels(), Some(vec![Sym::new("flight")]));
     }
 
     #[test]

@@ -20,13 +20,15 @@
 
 use std::fmt;
 
+use reweb_term::Sym;
+
 /// A query term (pattern).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryTerm {
     /// `var X` — matches any single term, binding it to `X`.
-    Var(String),
+    Var(Sym),
     /// `var X as p` — matches `p`, additionally binding the node to `X`.
-    VarAs(String, Box<QueryTerm>),
+    VarAs(Sym, Box<QueryTerm>),
     /// `desc p` — matches `p` at this node or any descendant.
     Desc(Box<QueryTerm>),
     /// `without p` — valid only inside a child list: no child matches `p`.
@@ -48,14 +50,14 @@ pub struct QueryElem {
     /// Attribute constraints: every listed attribute must be present and
     /// match. Unlisted attributes are always ignored (attributes are
     /// implicitly partial, as in Xcerpt).
-    pub attrs: Vec<(String, AttrPattern)>,
+    pub attrs: Vec<(Sym, AttrPattern)>,
     pub children: Vec<QueryTerm>,
 }
 
 /// Label constraint of an element pattern.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LabelPattern {
-    Exact(String),
+    Exact(Sym),
     /// `*`
     Any,
 }
@@ -65,12 +67,12 @@ pub enum LabelPattern {
 pub enum AttrPattern {
     Exact(String),
     /// `@k=var X` — bind the attribute value (as a text term) to `X`.
-    Var(String),
+    Var(Sym),
 }
 
 impl QueryTerm {
     /// Convenience: an element pattern builder.
-    pub fn elem(label: impl Into<String>) -> QueryElemBuilder {
+    pub fn elem(label: impl Into<Sym>) -> QueryElemBuilder {
         QueryElemBuilder {
             e: QueryElem {
                 label: LabelPattern::Exact(label.into()),
@@ -83,12 +85,12 @@ impl QueryTerm {
     }
 
     /// Convenience: `var X`.
-    pub fn var(name: impl Into<String>) -> QueryTerm {
+    pub fn var(name: impl Into<Sym>) -> QueryTerm {
         QueryTerm::Var(name.into())
     }
 
     /// Convenience: `var X as p`.
-    pub fn var_as(name: impl Into<String>, p: QueryTerm) -> QueryTerm {
+    pub fn var_as(name: impl Into<Sym>, p: QueryTerm) -> QueryTerm {
         QueryTerm::VarAs(name.into(), Box::new(p))
     }
 
@@ -103,8 +105,8 @@ impl QueryTerm {
     }
 
     /// All variable names occurring in this pattern (including inside
-    /// `without`, which may only *consume* outer bindings).
-    pub fn variables(&self) -> Vec<String> {
+    /// `without`, which may only *consume* outer bindings), sorted by name.
+    pub fn variables(&self) -> Vec<Sym> {
         let mut out = Vec::new();
         self.collect_vars(&mut out);
         out.sort();
@@ -112,11 +114,11 @@ impl QueryTerm {
         out
     }
 
-    fn collect_vars(&self, out: &mut Vec<String>) {
+    fn collect_vars(&self, out: &mut Vec<Sym>) {
         match self {
-            QueryTerm::Var(x) => out.push(x.clone()),
+            QueryTerm::Var(x) => out.push(*x),
             QueryTerm::VarAs(x, p) => {
-                out.push(x.clone());
+                out.push(*x);
                 p.collect_vars(out);
             }
             QueryTerm::Desc(p) | QueryTerm::Without(p) => p.collect_vars(out),
@@ -124,7 +126,7 @@ impl QueryTerm {
             QueryTerm::Elem(e) => {
                 for (_, a) in &e.attrs {
                     if let AttrPattern::Var(x) = a {
-                        out.push(x.clone());
+                        out.push(*x);
                     }
                 }
                 for c in &e.children {
@@ -157,14 +159,14 @@ impl QueryElemBuilder {
         self
     }
 
-    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn attr(mut self, key: impl Into<Sym>, value: impl Into<String>) -> Self {
         self.e
             .attrs
             .push((key.into(), AttrPattern::Exact(value.into())));
         self
     }
 
-    pub fn attr_var(mut self, key: impl Into<String>, var: impl Into<String>) -> Self {
+    pub fn attr_var(mut self, key: impl Into<Sym>, var: impl Into<Sym>) -> Self {
         self.e
             .attrs
             .push((key.into(), AttrPattern::Var(var.into())));
@@ -178,7 +180,7 @@ impl QueryElemBuilder {
 
     /// Convenience: child pattern `label[[ var X ]]`-style — a partial
     /// ordered element whose single child binds `X`.
-    pub fn field_var(self, label: impl Into<String>, var: impl Into<String>) -> Self {
+    pub fn field_var(self, label: impl Into<Sym>, var: impl Into<Sym>) -> Self {
         self.child(
             QueryTerm::elem(label)
                 .partial()
@@ -188,7 +190,7 @@ impl QueryElemBuilder {
     }
 
     /// Convenience: child pattern `label[[ "text" ]]`.
-    pub fn field_text(self, label: impl Into<String>, text: impl Into<String>) -> Self {
+    pub fn field_text(self, label: impl Into<Sym>, text: impl Into<String>) -> Self {
         self.child(
             QueryTerm::elem(label)
                 .partial()
@@ -219,7 +221,7 @@ impl fmt::Display for QueryTerm {
             QueryTerm::Text(s) => write!(f, "{s:?}"),
             QueryTerm::Elem(e) => {
                 match &e.label {
-                    LabelPattern::Exact(l) => f.write_str(l)?,
+                    LabelPattern::Exact(l) => f.write_str(l.as_str())?,
                     LabelPattern::Any => f.write_str("*")?,
                 }
                 if e.attrs.is_empty() && e.children.is_empty() && !e.partial {
@@ -290,7 +292,10 @@ mod tests {
             .child(QueryTerm::var_as("X", QueryTerm::desc(QueryTerm::var("Y"))))
             .without(QueryTerm::var("Z"))
             .finish();
-        assert_eq!(q.variables(), vec!["K", "X", "Y", "Z"]);
+        assert_eq!(
+            q.variables(),
+            vec![Sym::new("K"), Sym::new("X"), Sym::new("Y"), Sym::new("Z")]
+        );
     }
 
     #[test]

@@ -4,48 +4,91 @@
 //! answers flow between the three parts of an ECA rule: the event part
 //! produces bindings, the condition part extends or filters them, and the
 //! action part consumes them (Thesis 7's parameterization criterion).
+//!
+//! Representation: a `Vec<(Sym, Term)>` sorted by variable name (string
+//! order, via [`Sym`]'s `Ord`), behind an `Arc`. Cloning — which the
+//! matcher does for every candidate answer — is one reference-count bump;
+//! extending (`bind`/`merge`) copies the small vector once, where each
+//! copied entry is a `u32` plus an `Arc` bump, instead of rebuilding a
+//! `BTreeMap<String, Term>` node by node. Iteration order, `Ord`, and
+//! `Display` are byte-identical to the old B-tree representation because
+//! `Sym` sorts by its interned string.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-use reweb_term::Term;
+use reweb_term::{Sym, Term};
 
 /// A consistent assignment of terms to variable names.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bindings(BTreeMap<String, Term>);
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bindings(Arc<Vec<(Sym, Term)>>);
+
+fn empty() -> &'static Arc<Vec<(Sym, Term)>> {
+    static EMPTY: OnceLock<Arc<Vec<(Sym, Term)>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
+
+impl Default for Bindings {
+    fn default() -> Bindings {
+        Bindings(empty().clone())
+    }
+}
 
 impl Bindings {
+    /// The empty substitution (shared allocation; free to create).
     pub fn new() -> Bindings {
         Bindings::default()
     }
 
     /// Single-variable binding.
-    pub fn of(name: impl Into<String>, value: Term) -> Bindings {
-        let mut b = Bindings::new();
-        b.0.insert(name.into(), value);
-        b
+    pub fn of(name: impl Into<Sym>, value: Term) -> Bindings {
+        Bindings(Arc::new(vec![(name.into(), value)]))
     }
 
+    /// The term bound to `name`, if any. String-based lookup for public
+    /// callers; never interns.
     pub fn get(&self, name: &str) -> Option<&Term> {
-        self.0.get(name)
+        let sym = Sym::lookup(name)?;
+        self.get_sym(sym)
     }
 
+    /// The term bound to the symbol `name`, if any — the hot-path lookup:
+    /// a linear scan over the (small) vector comparing integer ids.
+    pub fn get_sym(&self, name: Sym) -> Option<&Term> {
+        self.0.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+
+    /// Is `name` bound?
     pub fn contains(&self, name: &str) -> bool {
-        self.0.contains_key(name)
+        self.get(name).is_some()
     }
 
+    /// Is the symbol `name` bound?
+    pub fn contains_sym(&self, name: Sym) -> bool {
+        self.get_sym(name).is_some()
+    }
+
+    /// No variables bound?
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
 
+    /// Number of bound variables.
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
+    /// Bound variable names, in sorted (display) order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.0.keys().map(|s| s.as_str())
+        self.0.iter().map(|(k, _)| k.as_str())
     }
 
+    /// Bound variable symbols, in sorted (display) order.
+    pub fn syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.0.iter().map(|(k, _)| *k)
+    }
+
+    /// `(name, term)` pairs in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
         self.0.iter().map(|(k, v)| (k.as_str(), v))
     }
@@ -54,13 +97,24 @@ impl Bindings {
     /// `name` is already bound to a *different* term (inconsistency).
     #[must_use]
     pub fn bind(&self, name: &str, value: &Term) -> Option<Bindings> {
-        match self.0.get(name) {
+        self.bind_sym(Sym::new(name), value)
+    }
+
+    /// [`Bindings::bind`] by symbol — what the matcher calls.
+    #[must_use]
+    pub fn bind_sym(&self, name: Sym, value: &Term) -> Option<Bindings> {
+        match self.get_sym(name) {
             Some(existing) if existing == value => Some(self.clone()),
             Some(_) => None,
             None => {
-                let mut b = self.clone();
-                b.0.insert(name.to_string(), value.clone());
-                Some(b)
+                // Insert at the string-sorted position: one allocation, the
+                // copied entries are (u32, Arc) pairs.
+                let pos = self.0.binary_search_by(|(k, _)| k.cmp(&name)).unwrap_err();
+                let mut v = Vec::with_capacity(self.0.len() + 1);
+                v.extend_from_slice(&self.0[..pos]);
+                v.push((name, value.clone()));
+                v.extend_from_slice(&self.0[pos..]);
+                Some(Bindings(Arc::new(v)))
             }
         }
     }
@@ -69,34 +123,97 @@ impl Bindings {
     /// shared variable.
     #[must_use]
     pub fn merge(&self, other: &Bindings) -> Option<Bindings> {
-        let mut out = self.clone();
-        for (k, v) in &other.0 {
-            match out.0.get(k) {
-                Some(existing) if existing != v => return None,
-                Some(_) => {}
-                None => {
-                    out.0.insert(k.clone(), v.clone());
+        if other.0.is_empty() || Arc::ptr_eq(&self.0, &other.0) {
+            return Some(self.clone());
+        }
+        if self.0.is_empty() {
+            return Some(other.clone());
+        }
+        // Merge-join of two sorted vectors.
+        let (a, b) = (&self.0, &other.0);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if a[i].1 != b[j].1 {
+                        return None;
+                    }
+                    out.push(a[i].clone());
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        Some(out)
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Some(Bindings(Arc::new(out)))
     }
 
     /// The restriction of these bindings to the given variable names.
-    pub fn project(&self, names: &[String]) -> Bindings {
-        Bindings(
-            self.0
-                .iter()
-                .filter(|(k, _)| names.iter().any(|n| n == *k))
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        )
+    /// A sorted merge-join when `names` is sorted (which
+    /// [`crate::ast::QueryTerm::variables`]-style producers guarantee);
+    /// unsorted inputs are sorted into a scratch copy first.
+    pub fn project(&self, names: &[Sym]) -> Bindings {
+        if self.0.is_empty() || names.is_empty() {
+            return Bindings::new();
+        }
+        let sorted_buf;
+        let names: &[Sym] = if names.windows(2).all(|w| w[0] <= w[1]) {
+            names
+        } else {
+            sorted_buf = {
+                let mut v = names.to_vec();
+                v.sort();
+                v
+            };
+            &sorted_buf
+        };
+        let mut out = Vec::new();
+        let mut i = 0;
+        for (k, v) in self.0.iter() {
+            while i < names.len() && names[i] < *k {
+                i += 1;
+            }
+            if i < names.len() && names[i] == *k {
+                out.push((*k, v.clone()));
+            }
+        }
+        if out.is_empty() {
+            return Bindings::new();
+        }
+        Bindings(Arc::new(out))
+    }
+}
+
+impl FromIterator<(Sym, Term)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (Sym, Term)>>(iter: I) -> Bindings {
+        // Last write wins, like inserting into a map in iteration order.
+        let mut out: Vec<(Sym, Term)> = Vec::new();
+        for (k, v) in iter {
+            match out.binary_search_by(|(e, _)| e.cmp(&k)) {
+                Ok(i) => out[i].1 = v,
+                Err(i) => out.insert(i, (k, v)),
+            }
+        }
+        if out.is_empty() {
+            return Bindings::new();
+        }
+        Bindings(Arc::new(out))
     }
 }
 
 impl FromIterator<(String, Term)> for Bindings {
     fn from_iter<I: IntoIterator<Item = (String, Term)>>(iter: I) -> Bindings {
-        Bindings(iter.into_iter().collect())
+        iter.into_iter().map(|(k, v)| (Sym::from(k), v)).collect()
     }
 }
 
@@ -144,6 +261,15 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_sorted_by_name() {
+        let a = Bindings::of("Z", Term::text("1"));
+        let b = Bindings::of("A", Term::text("2"));
+        let ab = a.merge(&b).unwrap();
+        let names: Vec<&str> = ab.names().collect();
+        assert_eq!(names, vec!["A", "Z"]);
+    }
+
+    #[test]
     fn project_restricts() {
         let b: Bindings = [
             ("X".to_string(), Term::text("1")),
@@ -151,10 +277,33 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let p = b.project(&["X".to_string(), "Z".to_string()]);
+        let p = b.project(&[Sym::new("X"), Sym::new("Z")]);
         assert!(p.contains("X"));
         assert!(!p.contains("Y"));
         assert_eq!(p.len(), 1);
+        // Unsorted name lists work too (sorted into a scratch copy).
+        let p = b.project(&[Sym::new("Y"), Sym::new("X")]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn from_iter_last_write_wins() {
+        let b: Bindings = [
+            ("X".to_string(), Term::text("1")),
+            ("X".to_string(), Term::text("2")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get("X").unwrap().as_text(), Some("2"));
+    }
+
+    #[test]
+    fn unbound_lookup_never_interns() {
+        let b = Bindings::of("X", Term::text("v"));
+        let before = Sym::table_len();
+        assert!(b.get("bindings-test-never-bound-91c2").is_none());
+        assert_eq!(Sym::table_len(), before);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use reweb_term::{Term, TermError};
+use reweb_term::{Sym, Term, TermError};
 
 use crate::bindings::Bindings;
 use crate::expr::{EvalError, Expr};
@@ -58,16 +58,17 @@ impl AggFn {
     /// Fold over the numeric values of `var` across `group`.
     /// `Count` counts *distinct bound terms*; the numeric folds skip
     /// non-numeric bindings.
-    pub fn apply(self, var: &str, group: &[Bindings]) -> Result<f64, EvalError> {
+    pub fn apply(self, var: impl Into<Sym>, group: &[Bindings]) -> Result<f64, EvalError> {
+        let var = var.into();
         if self == AggFn::Count {
-            let mut seen: Vec<&Term> = group.iter().filter_map(|b| b.get(var)).collect();
+            let mut seen: Vec<&Term> = group.iter().filter_map(|b| b.get_sym(var)).collect();
             seen.sort();
             seen.dedup();
             return Ok(seen.len() as f64);
         }
         let nums: Vec<f64> = group
             .iter()
-            .filter_map(|b| b.get(var).and_then(Term::as_number))
+            .filter_map(|b| b.get_sym(var).and_then(Term::as_number))
             .collect();
         if nums.is_empty() {
             return Err(EvalError(format!(
@@ -90,36 +91,36 @@ impl AggFn {
 pub enum AttrValue {
     Str(String),
     /// `@k=var X` — the text content of the bound term.
-    Var(String),
+    Var(Sym),
 }
 
 /// A construct term.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConstructTerm {
     Elem {
-        label: String,
+        label: Sym,
         ordered: bool,
-        attrs: Vec<(String, AttrValue)>,
+        attrs: Vec<(Sym, AttrValue)>,
         children: Vec<ConstructTerm>,
     },
     Text(String),
     /// `var X` — splice the bound term.
-    Var(String),
+    Var(Sym),
     /// `text var X` — the bound term's text content as a text leaf.
-    TextOf(String),
+    TextOf(Sym),
     /// `eval(e)` — computed value as a text leaf.
     Calc(Expr),
     /// `all ct group by (vars)` — one instance of `ct` per group.
     All {
         inner: Box<ConstructTerm>,
-        group_by: Vec<String>,
+        group_by: Vec<Sym>,
     },
     /// Aggregate over the enclosing group.
-    Agg(AggFn, String),
+    Agg(AggFn, Sym),
 }
 
 impl ConstructTerm {
-    pub fn elem(label: impl Into<String>) -> ConstructBuilder {
+    pub fn elem(label: impl Into<Sym>) -> ConstructBuilder {
         ConstructBuilder {
             label: label.into(),
             ordered: true,
@@ -128,7 +129,7 @@ impl ConstructTerm {
         }
     }
 
-    pub fn var(name: impl Into<String>) -> ConstructTerm {
+    pub fn var(name: impl Into<Sym>) -> ConstructTerm {
         ConstructTerm::Var(name.into())
     }
 
@@ -137,12 +138,12 @@ impl ConstructTerm {
     }
 
     /// Variables used *outside* any `all` — these drive the top-level
-    /// grouping in [`construct`].
-    pub fn outer_variables(&self) -> Vec<String> {
+    /// grouping in [`construct`]. Sorted by name.
+    pub fn outer_variables(&self) -> Vec<Sym> {
         let mut out = Vec::new();
-        fn go(ct: &ConstructTerm, out: &mut Vec<String>) {
+        fn go(ct: &ConstructTerm, out: &mut Vec<Sym>) {
             match ct {
-                ConstructTerm::Var(x) | ConstructTerm::TextOf(x) => out.push(x.clone()),
+                ConstructTerm::Var(x) | ConstructTerm::TextOf(x) => out.push(*x),
                 ConstructTerm::Calc(e) => out.extend(e.variables()),
                 ConstructTerm::Agg(_, _) => {}
                 ConstructTerm::All { .. } => {}
@@ -152,7 +153,7 @@ impl ConstructTerm {
                 } => {
                     for (_, a) in attrs {
                         if let AttrValue::Var(x) = a {
-                            out.push(x.clone());
+                            out.push(*x);
                         }
                     }
                     for c in children {
@@ -176,11 +177,11 @@ impl ConstructTerm {
         match self {
             ConstructTerm::Text(s) => Ok(Term::text(s.clone())),
             ConstructTerm::Var(x) => first
-                .get(x)
+                .get_sym(*x)
                 .cloned()
                 .ok_or_else(|| TermError::InvalidEdit(format!("unbound variable {x} in construct"))),
             ConstructTerm::TextOf(x) => first
-                .get(x)
+                .get_sym(*x)
                 .map(|t| Term::text(t.text_content()))
                 .ok_or_else(|| TermError::InvalidEdit(format!("unbound variable {x} in construct"))),
             ConstructTerm::Calc(e) => {
@@ -191,7 +192,7 @@ impl ConstructTerm {
             }
             ConstructTerm::Agg(f, x) => {
                 let v = f
-                    .apply(x, group)
+                    .apply(*x, group)
                     .map_err(|e| TermError::InvalidEdit(e.to_string()))?;
                 Ok(Term::num(v))
             }
@@ -204,7 +205,7 @@ impl ConstructTerm {
                 attrs,
                 children,
             } => {
-                let mut b = Term::build(label.clone());
+                let mut b = Term::build(*label);
                 if !ordered {
                     b = b.unordered();
                 }
@@ -212,7 +213,7 @@ impl ConstructTerm {
                     let v = match a {
                         AttrValue::Str(s) => s.clone(),
                         AttrValue::Var(x) => first
-                            .get(x)
+                            .get_sym(*x)
                             .map(|t| t.text_content())
                             .ok_or_else(|| {
                                 TermError::InvalidEdit(format!(
@@ -220,7 +221,7 @@ impl ConstructTerm {
                                 ))
                             })?,
                     };
-                    b = b.attr(k.clone(), v);
+                    b = b.attr(*k, v);
                 }
                 for c in children {
                     match c {
@@ -243,8 +244,8 @@ impl ConstructTerm {
 /// Split a group into subgroups for an `all`: by the explicit `group by`
 /// variables if given, otherwise by the inner term's outer variables (so
 /// duplicates collapse, Xcerpt-style).
-fn partition(group: &[Bindings], group_by: &[String], inner: &ConstructTerm) -> Vec<Vec<Bindings>> {
-    let keys: Vec<String> = if group_by.is_empty() {
+fn partition(group: &[Bindings], group_by: &[Sym], inner: &ConstructTerm) -> Vec<Vec<Bindings>> {
+    let keys: Vec<Sym> = if group_by.is_empty() {
         inner.outer_variables()
     } else {
         group_by.to_vec()
@@ -276,9 +277,9 @@ pub fn construct(ct: &ConstructTerm, answers: &[Bindings]) -> Result<Vec<Term>, 
 /// Builder for element construct terms.
 #[derive(Clone, Debug)]
 pub struct ConstructBuilder {
-    label: String,
+    label: Sym,
     ordered: bool,
-    attrs: Vec<(String, AttrValue)>,
+    attrs: Vec<(Sym, AttrValue)>,
     children: Vec<ConstructTerm>,
 }
 
@@ -288,12 +289,12 @@ impl ConstructBuilder {
         self
     }
 
-    pub fn attr(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+    pub fn attr(mut self, k: impl Into<Sym>, v: impl Into<String>) -> Self {
         self.attrs.push((k.into(), AttrValue::Str(v.into())));
         self
     }
 
-    pub fn attr_var(mut self, k: impl Into<String>, var: impl Into<String>) -> Self {
+    pub fn attr_var(mut self, k: impl Into<Sym>, var: impl Into<Sym>) -> Self {
         self.attrs.push((k.into(), AttrValue::Var(var.into())));
         self
     }
@@ -304,7 +305,7 @@ impl ConstructBuilder {
     }
 
     /// Convenience: child `label[ var X ]`.
-    pub fn field_var(self, label: impl Into<String>, var: impl Into<String>) -> Self {
+    pub fn field_var(self, label: impl Into<Sym>, var: impl Into<Sym>) -> Self {
         self.child(ConstructTerm::Elem {
             label: label.into(),
             ordered: true,
@@ -314,7 +315,7 @@ impl ConstructBuilder {
     }
 
     /// Convenience: child `label[ "text" ]`.
-    pub fn field_text(self, label: impl Into<String>, text: impl Into<String>) -> Self {
+    pub fn field_text(self, label: impl Into<Sym>, text: impl Into<String>) -> Self {
         self.child(ConstructTerm::Elem {
             label: label.into(),
             ordered: true,
@@ -365,7 +366,7 @@ impl fmt::Display for ConstructTerm {
                 attrs,
                 children,
             } => {
-                f.write_str(label)?;
+                f.write_str(label.as_str())?;
                 if attrs.is_empty() && children.is_empty() {
                     if !ordered {
                         f.write_str("{}")?;

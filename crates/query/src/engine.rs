@@ -47,8 +47,8 @@ impl Condition {
         self.atoms.is_empty() && self.comparisons.is_empty()
     }
 
-    /// All variables mentioned anywhere in the condition.
-    pub fn variables(&self) -> Vec<String> {
+    /// All variables mentioned anywhere in the condition, sorted by name.
+    pub fn variables(&self) -> Vec<reweb_term::Sym> {
         let mut out = Vec::new();
         for a in &self.atoms {
             out.extend(a.pattern.variables());

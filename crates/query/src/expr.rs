@@ -13,6 +13,8 @@
 
 use std::fmt;
 
+use reweb_term::Sym;
+
 use crate::bindings::Bindings;
 
 /// Evaluation failure: unbound variable, division by zero, type mismatch.
@@ -83,12 +85,12 @@ pub enum Expr {
     Num(f64),
     Str(String),
     /// `var X` — the bound term's numeric value or text content.
-    Var(String),
+    Var(Sym),
     Bin(Box<Expr>, BinOp, Box<Expr>),
 }
 
 impl Expr {
-    pub fn var(name: impl Into<String>) -> Expr {
+    pub fn var(name: impl Into<Sym>) -> Expr {
         Expr::Var(name.into())
     }
 
@@ -107,7 +109,7 @@ impl Expr {
             Expr::Str(s) => Ok(Val::Str(s.clone())),
             Expr::Var(x) => {
                 let t = binds
-                    .get(x)
+                    .get_sym(*x)
                     .ok_or_else(|| EvalError(format!("unbound variable {x}")))?;
                 match t.as_number() {
                     Some(n) => Ok(Val::Num(n)),
@@ -140,12 +142,12 @@ impl Expr {
         }
     }
 
-    /// Variables mentioned in this expression.
-    pub fn variables(&self) -> Vec<String> {
+    /// Variables mentioned in this expression, sorted by name.
+    pub fn variables(&self) -> Vec<Sym> {
         let mut out = Vec::new();
-        fn go(e: &Expr, out: &mut Vec<String>) {
+        fn go(e: &Expr, out: &mut Vec<Sym>) {
             match e {
-                Expr::Var(x) => out.push(x.clone()),
+                Expr::Var(x) => out.push(*x),
                 Expr::Bin(l, _, r) => {
                     go(l, out);
                     go(r, out);
@@ -235,7 +237,7 @@ impl Cmp {
         })
     }
 
-    pub fn variables(&self) -> Vec<String> {
+    pub fn variables(&self) -> Vec<Sym> {
         let mut v = self.lhs.variables();
         v.extend(self.rhs.variables());
         v.sort();
@@ -328,7 +330,7 @@ mod tests {
             CmpOp::Lt,
             Expr::var("A"),
         );
-        assert_eq!(c.variables(), vec!["A", "B"]);
+        assert_eq!(c.variables(), vec![Sym::new("A"), Sym::new("B")]);
     }
 
     #[test]

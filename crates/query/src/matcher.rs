@@ -60,7 +60,7 @@ pub fn match_anywhere(pattern: &QueryTerm, root: &Term, seed: &Bindings) -> Vec<
 fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
     match p {
         QueryTerm::Var(x) => {
-            if let Some(b2) = b.bind(x, d) {
+            if let Some(b2) = b.bind_sym(*x, d) {
                 out.push(b2);
             }
         }
@@ -68,7 +68,7 @@ fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
             let mut tmp = Vec::new();
             m(inner, d, b, &mut tmp);
             for b2 in tmp {
-                if let Some(b3) = b2.bind(x, d) {
+                if let Some(b3) = b2.bind_sym(*x, d) {
                     out.push(b3);
                 }
             }
@@ -92,7 +92,7 @@ fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
         QueryTerm::Elem(qe) => {
             let Some(e) = d.as_element() else { return };
             if let LabelPattern::Exact(l) = &qe.label {
-                if l != &e.label {
+                if *l != e.label {
                     return;
                 }
             }
@@ -108,7 +108,10 @@ fn m(p: &QueryTerm, d: &Term, b: &Bindings, out: &mut Vec<Bindings>) {
                     }
                     AttrPattern::Var(x) => {
                         let vt = Term::text(v.clone());
-                        cur = cur.into_iter().filter_map(|bb| bb.bind(x, &vt)).collect();
+                        cur = cur
+                            .into_iter()
+                            .filter_map(|bb| bb.bind_sym(*x, &vt))
+                            .collect();
                         if cur.is_empty() {
                             return;
                         }

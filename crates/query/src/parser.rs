@@ -57,9 +57,9 @@ pub fn query_term(cur: &mut Cursor) -> Result<QueryTerm> {
         let name = cur.expect_ident()?;
         if cur.eat_kw("as") {
             let inner = query_term(cur)?;
-            return Ok(QueryTerm::VarAs(name, Box::new(inner)));
+            return Ok(QueryTerm::VarAs(name.into(), Box::new(inner)));
         }
-        return Ok(QueryTerm::Var(name));
+        return Ok(QueryTerm::Var(name.into()));
     }
     if cur.eat_kw("desc") {
         return Ok(QueryTerm::Desc(Box::new(query_term(cur)?)));
@@ -80,7 +80,7 @@ pub fn query_term(cur: &mut Cursor) -> Result<QueryTerm> {
         }
         Some(Tok::Ident(_)) => {
             let label = cur.expect_ident()?;
-            query_body(cur, LabelPattern::Exact(label))
+            query_body(cur, LabelPattern::Exact(label.into()))
         }
         Some(t) => Err(cur.error(format!("expected query term, found {}", t.describe()))),
         None => Err(cur.error("expected query term, found end of input")),
@@ -124,10 +124,10 @@ fn query_body(cur: &mut Cursor, label: LabelPattern) -> Result<QueryTerm> {
             cur.expect_punct('=')?;
             if cur.eat_kw("var") {
                 let v = cur.expect_ident()?;
-                attrs.push((key, AttrPattern::Var(v)));
+                attrs.push((key.into(), AttrPattern::Var(v.into())));
             } else {
                 let v = cur.expect_str()?;
-                attrs.push((key, AttrPattern::Exact(v)));
+                attrs.push((key.into(), AttrPattern::Exact(v)));
             }
         } else {
             children.push(query_term(cur)?);
@@ -168,12 +168,12 @@ pub fn parse_construct_term(input: &str) -> Result<ConstructTerm> {
 pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
     if cur.eat_kw("var") {
         let name = cur.expect_ident()?;
-        return Ok(ConstructTerm::Var(name));
+        return Ok(ConstructTerm::Var(name.into()));
     }
     if cur.eat_kw("text") {
         cur.expect_kw("var")?;
         let name = cur.expect_ident()?;
-        return Ok(ConstructTerm::TextOf(name));
+        return Ok(ConstructTerm::TextOf(name.into()));
     }
     if cur.eat_kw("eval") {
         cur.expect_punct('(')?;
@@ -192,7 +192,7 @@ pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
             if cur.eat_punct('(') {
                 loop {
                     cur.expect_kw("var")?;
-                    group_by.push(cur.expect_ident()?);
+                    group_by.push(cur.expect_ident()?.into());
                     if !cur.eat_punct(',') {
                         break;
                     }
@@ -200,7 +200,7 @@ pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
                 cur.expect_punct(')')?;
             } else {
                 cur.expect_kw("var")?;
-                group_by.push(cur.expect_ident()?);
+                group_by.push(cur.expect_ident()?.into());
             }
         }
         return Ok(ConstructTerm::All {
@@ -224,7 +224,7 @@ pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
                     cur.expect_kw("var")?;
                     let v = cur.expect_ident()?;
                     cur.expect_punct(')')?;
-                    return Ok(ConstructTerm::Agg(agg, v));
+                    return Ok(ConstructTerm::Agg(agg, v.into()));
                 }
             }
             let label = cur.expect_ident()?;
@@ -236,6 +236,7 @@ pub fn construct_term(cur: &mut Cursor) -> Result<ConstructTerm> {
 }
 
 fn construct_body(cur: &mut Cursor, label: String) -> Result<ConstructTerm> {
+    let label = reweb_term::Sym::from(label);
     let ordered = if cur.eat_punct('[') {
         true
     } else if cur.eat_punct('{') {
@@ -259,9 +260,9 @@ fn construct_body(cur: &mut Cursor, label: String) -> Result<ConstructTerm> {
             let key = cur.expect_ident()?;
             cur.expect_punct('=')?;
             if cur.eat_kw("var") {
-                attrs.push((key, AttrValue::Var(cur.expect_ident()?)));
+                attrs.push((key.into(), AttrValue::Var(cur.expect_ident()?.into())));
             } else {
-                attrs.push((key, AttrValue::Str(cur.expect_str()?)));
+                attrs.push((key.into(), AttrValue::Str(cur.expect_str()?)));
             }
         } else {
             children.push(construct_term(cur)?);
@@ -333,7 +334,7 @@ fn factor(cur: &mut Cursor) -> Result<Expr> {
         return Ok(Expr::bin(Expr::Num(0.0), BinOp::Sub, e));
     }
     if cur.eat_kw("var") {
-        return Ok(Expr::Var(cur.expect_ident()?));
+        return Ok(Expr::Var(cur.expect_ident()?.into()));
     }
     match cur.peek() {
         Some(Tok::Num(n)) => {
@@ -511,11 +512,11 @@ mod tests {
                 assert_eq!(attrs.len(), 1);
                 assert_eq!(children.len(), 6);
                 assert!(
-                    matches!(&children[1], ConstructTerm::All { group_by, .. } if group_by == &vec!["C".to_string()])
+                    matches!(&children[1], ConstructTerm::All { group_by, .. } if group_by == &vec![reweb_term::Sym::new("C")])
                 );
-                assert!(matches!(&children[2], ConstructTerm::Agg(AggFn::Count, v) if v == "O"));
+                assert!(matches!(&children[2], ConstructTerm::Agg(AggFn::Count, v) if *v == "O"));
                 assert!(matches!(&children[3], ConstructTerm::Calc(_)));
-                assert!(matches!(&children[4], ConstructTerm::TextOf(v) if v == "C"));
+                assert!(matches!(&children[4], ConstructTerm::TextOf(v) if *v == "C"));
             }
             _ => panic!(),
         }

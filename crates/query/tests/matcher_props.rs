@@ -44,7 +44,7 @@ fn generalize(t: &Term, var_budget: &mut usize, depth: usize) -> QueryTerm {
     match t.as_element() {
         None => QueryTerm::text(t.as_text().unwrap_or_default()),
         Some(e) => {
-            let mut b = QueryTerm::elem(e.label.clone()).unordered().partial();
+            let mut b = QueryTerm::elem(e.label).unordered().partial();
             // Keep a subset of children as subpatterns (every other one).
             for (i, c) in e.children.iter().enumerate() {
                 if i % 2 == 0 {
@@ -127,7 +127,7 @@ proptest! {
     fn total_implies_partial(t in arb_data()) {
         if let Some(e) = t.as_element() {
             let total = QueryTerm::Elem(reweb_query::QueryElem {
-                label: reweb_query::LabelPattern::Exact(e.label.clone()),
+                label: reweb_query::LabelPattern::Exact(e.label),
                 ordered: false,
                 partial: false,
                 attrs: vec![],

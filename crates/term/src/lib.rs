@@ -4,6 +4,9 @@
 //! "Web data" (Thesis 4 of Bry & Eckert's *Twelve Theses on Reactive Rules
 //! for the Web*, EDBT 2006):
 //!
+//! * [`Sym`] — process-wide interned symbols: labels, attribute names, and
+//!   variable names compare and hash as integers while still printing and
+//!   sorting as strings.
 //! * [`Term`] — an immutable, structurally shared, semi-structured data model
 //!   standing in for XML: elements with ordered (`[...]`) or unordered
 //!   (`{...}`) children, string attributes, and text leaves.
@@ -34,6 +37,7 @@ pub mod parser;
 pub mod path;
 pub mod rdf;
 pub mod store;
+pub mod sym;
 pub mod term;
 pub mod time;
 
@@ -43,6 +47,7 @@ pub use identity::{ext_id, fnv1a, IdentityMode};
 pub use parser::parse_term;
 pub use path::{apply_edit, node_at, Path, PathEdit};
 pub use store::ResourceStore;
+pub use sym::{Sym, SymHasher, SymMap};
 pub use term::{Element, Term, TermBuilder};
 pub use time::{Dur, Timestamp};
 

@@ -20,6 +20,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::sym::Sym;
+
 /// An immutable semi-structured tree: element or text leaf.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
@@ -30,14 +32,20 @@ pub enum Term {
 }
 
 /// An element node: label, attributes, children, child-order significance.
+///
+/// The label and attribute *names* are interned [`Sym`]s: copying an element
+/// copies integers, and label dispatch compares integers. Attribute *values*
+/// stay `String`s (they are data, not vocabulary). Because `Sym` orders by
+/// its interned string, the attribute map iterates in exactly the byte order
+/// a `BTreeMap<String, _>` would — serialization is unchanged.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Element {
-    /// The element name.
-    pub label: String,
+    /// The element name (interned).
+    pub label: Sym,
     /// `true` for `label[ … ]` (significant order), `false` for `label{ … }`.
     pub ordered: bool,
-    /// String attributes, sorted by name.
-    pub attrs: BTreeMap<String, String>,
+    /// String attributes, sorted by (interned) name.
+    pub attrs: BTreeMap<Sym, String>,
     /// Child terms, in document order.
     pub children: Vec<Term>,
 }
@@ -46,12 +54,12 @@ impl Term {
     // ----- constructors --------------------------------------------------
 
     /// Empty ordered element.
-    pub fn elem(label: impl Into<String>) -> Term {
+    pub fn elem(label: impl Into<Sym>) -> Term {
         Term::ordered(label, Vec::new())
     }
 
     /// Ordered element (`label[ … ]`).
-    pub fn ordered(label: impl Into<String>, children: Vec<Term>) -> Term {
+    pub fn ordered(label: impl Into<Sym>, children: Vec<Term>) -> Term {
         Term::Elem(Arc::new(Element {
             label: label.into(),
             ordered: true,
@@ -61,7 +69,7 @@ impl Term {
     }
 
     /// Unordered element (`label{ … }`).
-    pub fn unordered(label: impl Into<String>, children: Vec<Term>) -> Term {
+    pub fn unordered(label: impl Into<Sym>, children: Vec<Term>) -> Term {
         Term::Elem(Arc::new(Element {
             label: label.into(),
             ordered: false,
@@ -90,7 +98,7 @@ impl Term {
     }
 
     /// Start a [`TermBuilder`] for an element.
-    pub fn build(label: impl Into<String>) -> TermBuilder {
+    pub fn build(label: impl Into<Sym>) -> TermBuilder {
         TermBuilder {
             label: label.into(),
             ordered: true,
@@ -124,6 +132,12 @@ impl Term {
         self.as_element().map(|e| e.label.as_str())
     }
 
+    /// Element label as an interned symbol, if this is an element — the
+    /// zero-cost form engines dispatch on.
+    pub fn label_sym(&self) -> Option<Sym> {
+        self.as_element().map(|e| e.label)
+    }
+
     /// Text content, if this is a text leaf.
     pub fn as_text(&self) -> Option<&str> {
         match self {
@@ -142,8 +156,9 @@ impl Term {
 
     /// Attribute value, if this is an element with that attribute.
     pub fn attr(&self, key: &str) -> Option<&str> {
+        let sym = Sym::lookup(key)?;
         self.as_element()
-            .and_then(|e| e.attrs.get(key))
+            .and_then(|e| e.attrs.get(&sym))
             .map(|s| s.as_str())
     }
 
@@ -221,7 +236,7 @@ impl Term {
                     children.sort();
                 }
                 Term::Elem(Arc::new(Element {
-                    label: e.label.clone(),
+                    label: e.label,
                     ordered: e.ordered,
                     attrs: e.attrs.clone(),
                     children,
@@ -312,7 +327,7 @@ impl Term {
     /// New element with attribute `key` set to `value`.
     pub fn with_attr(
         &self,
-        key: impl Into<String>,
+        key: impl Into<Sym>,
         value: impl Into<String>,
     ) -> Result<Term, crate::TermError> {
         self.modify_element(|e| {
@@ -324,7 +339,9 @@ impl Term {
     /// New element with attribute `key` removed (no-op if absent).
     pub fn without_attr(&self, key: &str) -> Result<Term, crate::TermError> {
         self.modify_element(|e| {
-            e.attrs.remove(key);
+            if let Some(sym) = Sym::lookup(key) {
+                e.attrs.remove(&sym);
+            }
             Ok(())
         })
     }
@@ -342,9 +359,9 @@ impl Term {
 /// ```
 #[derive(Clone, Debug)]
 pub struct TermBuilder {
-    label: String,
+    label: Sym,
     ordered: bool,
-    attrs: BTreeMap<String, String>,
+    attrs: BTreeMap<Sym, String>,
     children: Vec<Term>,
 }
 
@@ -356,7 +373,7 @@ impl TermBuilder {
     }
 
     /// Set a string attribute.
-    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn attr(mut self, key: impl Into<Sym>, value: impl Into<String>) -> Self {
         self.attrs.insert(key.into(), value.into());
         self
     }
@@ -368,7 +385,7 @@ impl TermBuilder {
     }
 
     /// Convenience: append `label[ "text" ]`.
-    pub fn field(self, label: impl Into<String>, text: impl Into<String>) -> Self {
+    pub fn field(self, label: impl Into<Sym>, text: impl Into<String>) -> Self {
         self.child(Term::ordered(label, vec![Term::text(text)]))
     }
 
@@ -437,13 +454,14 @@ fn write_compact(t: &Term, out: &mut String) {
     match t {
         Term::Text(s) => quote(s, out),
         Term::Elem(e) => {
-            if ident_ok(&e.label) {
-                out.push_str(&e.label);
+            let label = e.label.as_str();
+            if ident_ok(label) {
+                out.push_str(label);
             } else {
                 // A label that isn't a valid identifier is printed as a
                 // quoted string prefixed form — rare, but keeps round-trips.
                 out.push_str("_q");
-                quote(&e.label, out);
+                quote(label, out);
             }
             if e.attrs.is_empty() && e.children.is_empty() {
                 // Bare label: `br` round-trips as an empty ordered element.
@@ -461,7 +479,7 @@ fn write_compact(t: &Term, out: &mut String) {
                 }
                 first = false;
                 out.push('@');
-                out.push_str(k);
+                out.push_str(k.as_str());
                 out.push('=');
                 quote(v, out);
             }
@@ -498,10 +516,10 @@ impl Term {
                 }
                 Term::Elem(e) => {
                     out.push_str(&pad);
-                    out.push_str(&e.label);
+                    out.push_str(e.label.as_str());
                     for (k, v) in &e.attrs {
                         out.push_str(" @");
-                        out.push_str(k);
+                        out.push_str(k.as_str());
                         out.push('=');
                         quote(v, out);
                     }

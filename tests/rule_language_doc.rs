@@ -121,6 +121,153 @@ fn every_example_in_the_reference_parses() {
     );
 }
 
+/// The symbol-interning invariant: parsing allocates interned labels,
+/// attribute and variable names, and printing resolves them back — so
+/// for every printable snippet, print-of-parse must be a byte-identical
+/// fixed point (`print(parse(print(parse(s)))) == print(parse(s))`).
+/// A `Sym` ordering bug (ordering by table id instead of by string)
+/// would reorder attribute maps and binding lists and break this.
+#[test]
+fn printed_snippets_are_byte_identical_fixed_points() {
+    let doc = include_str!("../docs/RULE_LANGUAGE.md");
+    let mut checked = 0usize;
+    for s in extract_snippets(doc) {
+        let printed = match s.tag.as_str() {
+            "reweb" => parse_program(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            "reweb-rule" => parse_rule(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            "reweb-event" => parse_event_query(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            "reweb-query" => parse_query_term(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            "reweb-cond" => parse_condition(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            "reweb-construct" => parse_construct_term(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            "reweb-term" => parse_term(&s.body)
+                .unwrap_or_else(|e| fail(&s, &e))
+                .to_string(),
+            _ => continue,
+        };
+        let reprinted = match s.tag.as_str() {
+            "reweb" => parse_program(&printed).map(|x| x.to_string()),
+            "reweb-rule" => parse_rule(&printed).map(|x| x.to_string()),
+            "reweb-event" => parse_event_query(&printed).map(|x| x.to_string()),
+            "reweb-query" => parse_query_term(&printed).map(|x| x.to_string()),
+            "reweb-cond" => parse_condition(&printed).map(|x| x.to_string()),
+            "reweb-construct" => parse_construct_term(&printed).map(|x| x.to_string()),
+            "reweb-term" => parse_term(&printed).map(|x| x.to_string()),
+            _ => unreachable!(),
+        }
+        .unwrap_or_else(|e| {
+            panic!(
+                "docs/RULE_LANGUAGE.md:{} — printed form does not reparse: {e}\n{printed}",
+                s.line
+            )
+        });
+        assert_eq!(
+            printed, reprinted,
+            "printing is not a fixed point for the `{}` snippet at line {}",
+            s.tag, s.line
+        );
+        checked += 1;
+    }
+    // One fewer than the parse test's floor: `reweb-action` snippets
+    // parse but are not round-trip printed here.
+    assert!(
+        checked >= 17,
+        "expected at least 17 printable snippets, found {checked}"
+    );
+}
+
+mod interning_props {
+    use proptest::prelude::*;
+    use reweb::term::{parse_term, Sym, Term};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Intern → resolve is the identity on strings, the same string
+        /// always yields the same symbol, and ordering follows strings.
+        #[test]
+        fn intern_resolve_round_trips(
+            a in proptest::string::string_regex("[a-z_][a-z0-9_]{0,24}").unwrap(),
+            b in proptest::string::string_regex("[A-Za-z0-9 :./_-]{0,32}").unwrap(),
+        ) {
+            let sa = Sym::new(&a);
+            let sb = Sym::new(&b);
+            prop_assert_eq!(sa.as_str(), a.as_str());
+            prop_assert_eq!(sb.as_str(), b.as_str());
+            prop_assert_eq!(Sym::new(&a), sa);
+            prop_assert_eq!(Sym::lookup(&a), Some(sa));
+            prop_assert_eq!(sa.cmp(&sb), a.as_str().cmp(b.as_str()));
+            prop_assert_eq!(sa == sb, a == b);
+        }
+
+        /// Terms built from random labels/attributes print, reparse, and
+        /// reprint byte-identically — the end-to-end form of the
+        /// resolve-through-strings guarantee.
+        #[test]
+        fn random_elements_round_trip_through_print(
+            label in proptest::string::string_regex("[a-z][a-z0-9_]{0,12}").unwrap(),
+            attrs in proptest::collection::vec(
+                (
+                    proptest::string::string_regex("[a-z][a-z0-9_]{0,8}").unwrap(),
+                    proptest::string::string_regex("[A-Za-z0-9 ]{0,12}").unwrap(),
+                ),
+                0..4,
+            ),
+            text in proptest::string::string_regex("[A-Za-z0-9 ]{0,16}").unwrap(),
+        ) {
+            let mut b = Term::build(label.as_str()).unordered();
+            for (k, v) in &attrs {
+                b = b.attr(k.as_str(), v.as_str());
+            }
+            let t = b.text_child(text).finish();
+            let printed = t.to_string();
+            let reparsed = parse_term(&printed).expect("printed term reparses");
+            prop_assert_eq!(&t, &reparsed);
+            prop_assert_eq!(printed, reparsed.to_string());
+        }
+    }
+
+    /// Interning the same vocabulary from many threads at once converges
+    /// on one id per string — the engine's thread-per-shard workers rely
+    /// on this.
+    #[test]
+    fn concurrent_interning_is_race_free() {
+        let words: Vec<String> = (0..64).map(|i| format!("doc-race-{i}")).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let words = words.clone();
+                std::thread::spawn(move || {
+                    (0..words.len())
+                        .map(|i| Sym::new(&words[(i + t) % words.len()]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let per_thread: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &per_thread {
+            for s in syms {
+                assert_eq!(Sym::new(s.as_str()), *s, "resolve → intern is stable");
+            }
+        }
+        // Every thread resolved every word to the same symbol.
+        for w in &words {
+            let expect = Sym::new(w);
+            assert!(per_thread.iter().all(|syms| syms.contains(&expect)));
+        }
+    }
+}
+
 /// The big worked program in §5 is not just parseable — it installs
 /// into an engine and its nested set is addressable by path.
 #[test]
