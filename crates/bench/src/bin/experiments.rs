@@ -1,4 +1,4 @@
-//! Regenerate the experiment tables E1…E14 (see DESIGN.md §3).
+//! Regenerate the experiment tables E1…E15 (see DESIGN.md §3).
 //!
 //! ```text
 //! cargo run --release --bin experiments            # all tables
@@ -16,15 +16,17 @@
 //! the engine work without paying for the full (~15 s) experiment run.
 //!
 //! `--bench-json <path>` runs only the perf experiments — E13 (sharded
-//! throughput) and E14 (single-engine hot path), full 100k-event
-//! workloads — and writes their numbers as one JSON file;
+//! throughput), E14 (single-engine hot path), and E15 (durable-mode
+//! ingestion + cold recovery), full 100k-event workloads — and writes
+//! their numbers as one JSON file;
 //! `--check-floor <baseline>` additionally compares the run against a
 //! committed baseline and exits non-zero when parallel throughput fell
 //! more than 25% below it (normalized by the same run's single-engine
-//! rate, so machine speed cancels) or when the absolute E14 hot-path
-//! rate fell more than 25% below the conservatively rounded committed
-//! floor (see [`experiments::check_floor`]). CI runs this as its
-//! performance floor and uploads the JSON as an artifact.
+//! rate, so machine speed cancels) or when the absolute E14 hot-path or
+//! E15 durable-ingestion rates fell more than 25% below their
+//! conservatively rounded committed floors (see
+//! [`experiments::check_floor`]). CI runs this as its performance floor
+//! and uploads the JSON — recovery timings included — as an artifact.
 
 use reweb_bench::experiments;
 
@@ -66,8 +68,8 @@ fn smoke() {
     );
 }
 
-/// The perf bench path: run E13 + E14, write JSON, optionally enforce
-/// the perf floor.
+/// The perf bench path: run E13 + E14 + E15, write JSON, optionally
+/// enforce the perf floor.
 fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E13 (100k events, serial + parallel at 1/2/4/8 shards)…");
     let report = experiments::e13_report(100_000);
@@ -75,15 +77,18 @@ fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E14 (100k events, single-engine hot path)…");
     let hot = experiments::e14_report(100_000);
     println!("{}", experiments::e14_table(&hot).to_markdown());
+    eprintln!("running E15 (100k events, durable engine + cold recovery)…");
+    let durable = experiments::e15_report(100_000);
+    println!("{}", experiments::e15_table(&durable).to_markdown());
     if let Some(path) = json_out {
-        std::fs::write(path, experiments::bench_json(&report, &hot))
+        std::fs::write(path, experiments::bench_json(&report, &hot, &durable))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }
     if let Some(path) = floor_baseline {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        match experiments::check_floor(&report, &hot, &baseline, 0.25) {
+        match experiments::check_floor(&report, &hot, &durable, &baseline, 0.25) {
             Ok(summary) => {
                 println!("## Performance floor: OK (baseline {path}, 25% tolerance)\n");
                 println!("{summary}");
@@ -143,7 +148,7 @@ fn main() {
     let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
     let run_all = wanted.is_empty();
 
-    println!("# reweb experiment tables (E1…E14)\n");
+    println!("# reweb experiment tables (E1…E15)\n");
     for (id, run) in experiments::RUNNERS {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id}…");

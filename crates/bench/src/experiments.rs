@@ -1,6 +1,7 @@
-//! The experiments E1…E14 — one per thesis, plus E13 for the sharded
-//! batch-ingestion layer and E14 for the single-engine match/fire hot
-//! path (DESIGN.md §3).
+//! The experiments E1…E15 — one per thesis, plus E13 for the sharded
+//! batch-ingestion layer, E14 for the single-engine match/fire hot
+//! path, and E15 for the durability layer — write-ahead log and
+//! snapshots (DESIGN.md §3).
 //!
 //! Each function builds its workload, runs the systems under comparison,
 //! and returns a [`Table`] whose *shape* (who wins, how things scale)
@@ -24,7 +25,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 14] = [
+pub const RUNNERS: [(&str, Runner); 15] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -39,6 +40,7 @@ pub const RUNNERS: [(&str, Runner); 14] = [
     ("E12", e12_aaa_overhead),
     ("E13", e13_sharded_throughput),
     ("E14", e14_hot_path),
+    ("E15", e15_durability),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1326,11 +1328,209 @@ pub fn e14_table(r: &E14Report) -> Table {
     t
 }
 
-/// Serialize the E13 + E14 reports as the `--bench-json` payload. Flat
-/// rows, one small object per measurement, so the floor check (and any CI
-/// tooling) can read it without a JSON library. The E14 measurement is
-/// the `hotpath` row.
-pub fn bench_json(r: &E13Report, e14: &E14Report) -> String {
+/// One recovery measurement of E15: how long a fresh process took to
+/// rebuild a durable engine from a log of `events` events.
+#[derive(Clone, Debug)]
+pub struct E15Recovery {
+    /// `cold` (genesis replay, no snapshot) or `snap` (snapshot +
+    /// bounded suffix).
+    pub mode: &'static str,
+    /// Events in the log at the kill point.
+    pub events: usize,
+    /// Log size at the kill point, bytes.
+    pub wal_bytes: u64,
+    /// Wall-clock recovery time, milliseconds.
+    pub millis: f64,
+    /// Replay throughput, in 1000 events/s.
+    pub kevents_per_s: f64,
+}
+
+/// Machine-readable E15 result: durable-mode ingestion throughput (the
+/// E14 hot path behind a write-ahead log with per-batch fsync) and cold
+/// recovery time as a function of log length.
+#[derive(Clone, Debug)]
+pub struct E15Report {
+    /// Events ingested by the throughput run.
+    pub events: usize,
+    /// Independent rule-label groups in the workload.
+    pub labels: usize,
+    /// Messages per `receive_batch` call = per log record = per fsync.
+    pub batch: usize,
+    /// Durable ingestion throughput, in 1000 events/s (best-of-N).
+    pub durable_kevents_per_s: f64,
+    /// Rule firings (must match the in-memory E14 run's count).
+    pub reactions: u64,
+    /// Write-ahead-log size after the run, bytes.
+    pub wal_bytes: u64,
+    /// Recovery measurements at increasing log lengths.
+    pub recoveries: Vec<E15Recovery>,
+}
+
+/// E15 (durability): the E14 workload through a
+/// [`reweb_persist::DurableEngine`] — every batch framed, CRC'd,
+/// appended, and fsynced before processing — plus cold-recovery timings.
+pub fn e15_durability() -> Table {
+    e15_table(&e15_report(100_000))
+}
+
+/// Measure the E15 workload at `n_events` (100k for the real table).
+pub fn e15_report(n_events: usize) -> E15Report {
+    use reweb_core::{InMessage, ReactiveEngine};
+    use reweb_persist::{DurableEngine, DurableOptions, SyncPolicy};
+
+    const LABELS: usize = 128;
+    const BATCH: usize = 1024;
+    let program = crate::sharded_rules(LABELS);
+    let meta = MessageMeta::from_uri("http://client");
+    let msgs: Vec<InMessage> = crate::paired_stream(LABELS, n_events, 17)
+        .into_iter()
+        .map(|(at, payload)| InMessage::new(payload, meta.clone(), at))
+        .collect();
+    let base = std::env::temp_dir().join(format!("reweb-e15-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Always,
+        snapshot_every: None,
+    };
+    let feed = |dir: &std::path::Path, upto: usize| -> (f64, u64, u64) {
+        let mut d = DurableEngine::open(dir, opts, || ReactiveEngine::new("http://svc"))
+            .expect("open durable node");
+        d.install_program(&program).expect("program");
+        let (_, secs) = crate::timed(|| {
+            for chunk in msgs[..upto].chunks(BATCH) {
+                d.receive_batch(chunk).expect("durable batch");
+            }
+        });
+        (
+            upto as f64 / secs / 1_000.0,
+            d.engine().metrics.rules_fired,
+            d.wal_len(),
+        )
+    };
+
+    // Durable ingestion throughput, best-of-2 (fresh log each run).
+    const REPEATS: usize = 2;
+    let mut best = f64::MIN;
+    let mut reactions = 0;
+    let mut wal_bytes = 0;
+    for rep in 0..REPEATS {
+        let dir = base.join(format!("throughput-{rep}"));
+        let (rate, fired, bytes) = feed(&dir, n_events);
+        best = best.max(rate);
+        reactions = fired;
+        wal_bytes = bytes;
+    }
+
+    // Cold recovery (genesis replay, no snapshot) vs log length, plus a
+    // snapshot-bounded recovery of the full log: snapshot at 90%, crash
+    // at 100%, so recovery = snapshot restore + 10% suffix.
+    let mut recoveries = Vec::new();
+    for frac in [4usize, 2, 1] {
+        let upto = n_events / frac;
+        let dir = base.join(format!("cold-{frac}"));
+        let (_, _, bytes) = feed(&dir, upto);
+        let (d, secs) = crate::timed(|| {
+            DurableEngine::open(&dir, opts, || ReactiveEngine::new("http://svc"))
+                .expect("cold recovery")
+        });
+        assert!(d.recovery().recovered && !d.recovery().used_snapshot);
+        recoveries.push(E15Recovery {
+            mode: "cold",
+            events: upto,
+            wal_bytes: bytes,
+            millis: secs * 1_000.0,
+            kevents_per_s: upto as f64 / secs / 1_000.0,
+        });
+    }
+    {
+        let dir = base.join("snap");
+        let mut d = DurableEngine::open(&dir, opts, || ReactiveEngine::new("http://svc"))
+            .expect("open durable node");
+        d.install_program(&program).expect("program");
+        let cut = n_events * 9 / 10;
+        for chunk in msgs[..cut].chunks(BATCH) {
+            d.receive_batch(chunk).expect("durable batch");
+        }
+        d.snapshot_now().expect("snapshot");
+        for chunk in msgs[cut..].chunks(BATCH) {
+            d.receive_batch(chunk).expect("durable batch");
+        }
+        let bytes = d.wal_len();
+        drop(d);
+        let (d, secs) = crate::timed(|| {
+            DurableEngine::open(&dir, opts, || ReactiveEngine::new("http://svc"))
+                .expect("snapshot recovery")
+        });
+        assert!(d.recovery().used_snapshot);
+        recoveries.push(E15Recovery {
+            mode: "snap",
+            events: n_events,
+            wal_bytes: bytes,
+            millis: secs * 1_000.0,
+            kevents_per_s: n_events as f64 / secs / 1_000.0,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    E15Report {
+        events: n_events,
+        labels: LABELS,
+        batch: BATCH,
+        durable_kevents_per_s: best,
+        reactions,
+        wal_bytes,
+        recoveries,
+    }
+}
+
+/// Render an [`E15Report`] as the experiment table.
+pub fn e15_table(r: &E15Report) -> Table {
+    let mut t = Table::new(
+        "E15",
+        "durability",
+        format!(
+            "durable engine: {} events, {}-message batches, fsync per batch",
+            r.events, r.batch
+        ),
+        vec!["config", "events", "wal_mb", "recovery_ms", "kevents_per_s"],
+    )
+    .with_note(
+        "Claim: write-ahead logging costs little when batched — one framed \
+         record and one fsync per ingestion batch amortize to microseconds \
+         per event, so the `durable` rate stays within the CI-gated floor \
+         of the in-memory E14 hot path — and recovery is replay-shaped: \
+         cold (genesis) recovery time grows linearly with the log, while a \
+         snapshot bounds it to the suffix after the snapshot offset \
+         (rules + stores restore directly; only composite-event state \
+         within the retention horizon is re-derived). Reactions equal the \
+         in-memory run's count: durability never changes semantics.",
+    );
+    t.row(vec![
+        "durable".into(),
+        r.events.to_string(),
+        format!("{:.1}", r.wal_bytes as f64 / 1_048_576.0),
+        "-".into(),
+        f(r.durable_kevents_per_s),
+    ]);
+    for rec in &r.recoveries {
+        t.row(vec![
+            format!("recovery-{}", rec.mode),
+            rec.events.to_string(),
+            format!("{:.1}", rec.wal_bytes as f64 / 1_048_576.0),
+            format!("{:.0}", rec.millis),
+            f(rec.kevents_per_s),
+        ]);
+    }
+    t
+}
+
+/// Serialize the E13 + E14 + E15 reports as the `--bench-json` payload.
+/// Flat rows, one small object per measurement, so the floor check (and
+/// any CI tooling) can read it without a JSON library. The E14
+/// measurement is the `hotpath` row, E15's throughput the `durable` row,
+/// and E15's recovery timings the `recovery-*` rows (informational: the
+/// artifact carries them, the floor does not gate them).
+pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
         r.single_kevents_per_s
@@ -1339,6 +1539,17 @@ pub fn bench_json(r: &E13Report, e14: &E14Report) -> String {
         "    {{\"engine\": \"hotpath\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
         e14.kevents_per_s
     ));
+    rows.push(format!(
+        "    {{\"engine\": \"durable\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
+        e15.durable_kevents_per_s
+    ));
+    for rec in &e15.recoveries {
+        rows.push(format!(
+            "    {{\"engine\": \"recovery-{}\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+             \"events\": {}, \"millis\": {:.1}}}",
+            rec.mode, rec.kevents_per_s, rec.events, rec.millis
+        ));
+    }
     for row in &r.rows {
         rows.push(format!(
             "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
@@ -1350,7 +1561,7 @@ pub fn bench_json(r: &E13Report, e14: &E14Report) -> String {
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-bench/v2\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v3\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -1392,16 +1603,19 @@ pub fn e13_parse_rows(json: &str) -> Vec<(String, usize, f64)> {
 /// speedup. Machine speed cancels out; only the engine's scaling
 /// behaviour is gated. Returns a human-readable summary table on
 /// success, or a description of every violated floor.
-/// Additionally, when the baseline carries a `hotpath` row (E14), the
-/// current single-engine hot-path rate must not fall more than
-/// `tolerance` below it. This comparison is *absolute* — there is no
-/// faster reference rate on the same machine to normalize by — so the
-/// committed baseline is rounded far below the measured rate (see
-/// `bench/baseline.json`'s note) and only genuine hot-path collapses
-/// (a regression several times larger than machine variance) trip it.
+/// Additionally, when the baseline carries a `hotpath` row (E14) or a
+/// `durable` row (E15), the current single-engine hot-path rate and the
+/// durable-mode ingestion rate must not fall more than `tolerance` below
+/// them. These comparisons are *absolute* — there is no faster reference
+/// rate on the same machine to normalize by — so the committed baselines
+/// are rounded far below the measured rates (see `bench/baseline.json`'s
+/// note) and only genuine collapses trip them; for `durable` that is
+/// specifically the fsync-batching regression class (e.g. an accidental
+/// fsync-per-message would cut the rate by an order of magnitude).
 pub fn check_floor(
     current: &E13Report,
     current_e14: &E14Report,
+    current_e15: &E15Report,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -1479,6 +1693,25 @@ pub fn check_floor(
             ));
         }
     }
+    // E15: absolute durable-ingestion floor (baselines that predate the
+    // durable row skip it).
+    if let Some(&(_, _, base_durable)) = baseline.iter().find(|(e, _, _)| e == "durable") {
+        let floor = base_durable * (1.0 - tolerance);
+        summary.push_str(&format!(
+            "E15 durable ingestion: {:.1} ke/s (committed floor baseline {base_durable:.1}, \
+             gate {floor:.1})\n",
+            current_e15.durable_kevents_per_s
+        ));
+        if current_e15.durable_kevents_per_s < floor {
+            failures.push(format!(
+                "E15 durable ingestion {:.1} ke/s fell below the floor {floor:.1} \
+                 (baseline {base_durable:.1} - {:.0}% tolerance) — check the fsync \
+                 batching: one fsync per batch, never per message",
+                current_e15.durable_kevents_per_s,
+                tolerance * 100.0
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -1506,6 +1739,7 @@ pub fn all() -> Vec<Table> {
         e12_aaa_overhead(),
         e13_sharded_throughput(),
         e14_hot_path(),
+        e15_durability(),
     ]
 }
 
@@ -1588,6 +1822,24 @@ mod tests {
         }
     }
 
+    fn e15(rate: f64) -> E15Report {
+        E15Report {
+            events: 1000,
+            labels: 128,
+            batch: 256,
+            durable_kevents_per_s: rate,
+            reactions: 500,
+            wal_bytes: 123_456,
+            recoveries: vec![E15Recovery {
+                mode: "cold",
+                events: 1000,
+                wal_bytes: 123_456,
+                millis: 12.0,
+                kevents_per_s: 83.0,
+            }],
+        }
+    }
+
     #[test]
     fn bench_json_round_trips_through_the_scanner() {
         let r = E13Report {
@@ -1604,12 +1856,14 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let rows = e13_parse_rows(&bench_json(&r, &e14(60.0)));
+        let rows = e13_parse_rows(&bench_json(&r, &e14(60.0), &e15(42.0)));
         assert_eq!(
             rows,
             vec![
                 ("single".to_string(), 1, 50.0),
                 ("hotpath".to_string(), 1, 60.0),
+                ("durable".to_string(), 1, 42.0),
+                ("recovery-cold".to_string(), 1, 83.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -1632,20 +1886,40 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = bench_json(&report(50.0, 100.0), &e14(80.0)); // 2.0x speedup baseline
-                                                                     // A 4x faster machine with the same 2.0x scaling passes…
-        assert!(check_floor(&report(200.0, 400.0), &e14(80.0), &baseline, 0.25).is_ok());
+        let baseline = bench_json(&report(50.0, 100.0), &e14(80.0), &e15(40.0)); // 2.0x speedup baseline
+                                                                                 // A 4x faster machine with the same 2.0x scaling passes…
+        assert!(check_floor(
+            &report(200.0, 400.0),
+            &e14(80.0),
+            &e15(40.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
         // …moderate noise above the floor (1.6x > 1.5x) passes…
-        assert!(check_floor(&report(200.0, 320.0), &e14(80.0), &baseline, 0.25).is_ok());
+        assert!(check_floor(
+            &report(200.0, 320.0),
+            &e14(80.0),
+            &e15(40.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
         // …but a real scaling collapse (1.2x < 1.5x) fails, regardless
         // of machine speed.
-        let err = check_floor(&report(200.0, 240.0), &e14(80.0), &baseline, 0.25)
-            .expect_err("collapsed scaling must trip the floor");
+        let err = check_floor(
+            &report(200.0, 240.0),
+            &e14(80.0),
+            &e15(40.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("collapsed scaling must trip the floor");
         assert!(err.contains("PERF FLOOR VIOLATED"), "{err}");
         // A baseline with a `single` row but no usable `sharded-mt` rows
         // must fail loudly, not pass vacuously.
         let gutted = baseline.replace("sharded-mt", "sharded-xx");
-        let err = check_floor(&report(200.0, 400.0), &e14(80.0), &gutted, 0.25)
+        let err = check_floor(&report(200.0, 400.0), &e14(80.0), &e15(40.0), &gutted, 0.25)
             .expect_err("a gutted baseline must not disable the gate");
         assert!(err.contains("compared nothing"), "{err}");
     }
@@ -1666,11 +1940,11 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = bench_json(&report, &e14(80.0));
+        let baseline = bench_json(&report, &e14(80.0), &e15(40.0));
         // At the baseline rate: fine. 25% below 80 = 60 is the gate.
-        assert!(check_floor(&report, &e14(80.0), &baseline, 0.25).is_ok());
-        assert!(check_floor(&report, &e14(61.0), &baseline, 0.25).is_ok());
-        let err = check_floor(&report, &e14(59.0), &baseline, 0.25)
+        assert!(check_floor(&report, &e14(80.0), &e15(40.0), &baseline, 0.25).is_ok());
+        assert!(check_floor(&report, &e14(61.0), &e15(40.0), &baseline, 0.25).is_ok());
+        let err = check_floor(&report, &e14(59.0), &e15(40.0), &baseline, 0.25)
             .expect_err("hot-path collapse must trip the floor");
         assert!(err.contains("E14"), "{err}");
         // A pre-E14 baseline (no hotpath row) skips the absolute gate.
@@ -1679,7 +1953,7 @@ mod tests {
             .filter(|l| !l.contains("hotpath"))
             .collect::<Vec<_>>()
             .join("\n");
-        assert!(check_floor(&report, &e14(1.0), &old, 0.25).is_ok());
+        assert!(check_floor(&report, &e14(1.0), &e15(40.0), &old, 0.25).is_ok());
     }
 
     #[test]

@@ -95,6 +95,56 @@ struct CompiledRule {
     set_path: String,
 }
 
+/// Fold two replay horizons: unbounded (`None`) absorbs everything,
+/// otherwise the larger bound wins.
+fn fold_horizon(a: Option<Dur>, b: Option<Dur>) -> Option<Dur> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        _ => None,
+    }
+}
+
+/// One top-level item installed into an engine, kept for
+/// [`ReactiveEngine::program_source`].
+enum InstalledItem {
+    /// A rule set installed via [`ReactiveEngine::install`] (disabled
+    /// subtrees pruned away, since `Display` cannot express them).
+    Set(RuleSet),
+    /// A bare rule installed via [`ReactiveEngine::add_rule`].
+    Rule(EcaRule),
+}
+
+/// The engine-internal sequence state that stamps events: the virtual
+/// clock, the received-event id counter, and the derived-event id
+/// counter. Event ids order simultaneous composite answers, so crash
+/// recovery (`reweb_persist`) must capture these *before* a log record is
+/// processed and restore them exactly before replaying that record —
+/// otherwise a recovered engine's future outputs could sort differently
+/// from the uninterrupted run's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayMark {
+    /// The engine's virtual clock ([`ReactiveEngine::now`]).
+    pub clock: Timestamp,
+    /// Received-event sequence counter (next event gets `seq + 1`).
+    pub event_seq: u64,
+    /// Derived-event sequence counter of the deduction layer.
+    pub derived_seq: u64,
+}
+
+/// The enabled projection of a rule set: `None` when the set itself is
+/// disabled, otherwise a copy with disabled descendants removed. This is
+/// what an install actually *does*, and — unlike disabledness — it is
+/// expressible in the textual rule language, so it is what
+/// [`ReactiveEngine::program_source`] records.
+fn enabled_only(set: &RuleSet) -> Option<RuleSet> {
+    if !set.enabled {
+        return None;
+    }
+    let mut out = set.clone();
+    out.children = set.children.iter().filter_map(enabled_only).collect();
+    Some(out)
+}
+
 /// A per-node ECA rule engine.
 pub struct ReactiveEngine {
     /// This node's own URI (stamped on outbound messages by the host).
@@ -119,6 +169,16 @@ pub struct ReactiveEngine {
     /// Test hook: receiving an event with this label panics mid-action,
     /// simulating a defective rule body (see [`ReactiveEngine::rig_panic_on_label`]).
     panic_on_label: Option<String>,
+    /// Top-level installed items, in order (see
+    /// [`ReactiveEngine::program_source`]).
+    installed: Vec<InstalledItem>,
+    /// Cached fold of every installed rule's and DETECT rule's replay
+    /// horizon — rules are never uninstalled, so the fold only ever
+    /// widens, and the durability layer reads it per logged record.
+    horizon: Option<Dur>,
+    /// Warmup-replay mode: event-query and deduction state advances, but
+    /// no rule fires (see [`ReactiveEngine::set_replay_warmup`]).
+    replay_warmup: bool,
     /// Counters and error log (see [`EngineMetrics`]).
     pub metrics: EngineMetrics,
     /// Terms written by `LOG` actions.
@@ -141,6 +201,9 @@ impl ReactiveEngine {
             next_event_id: 0,
             now: Timestamp::ZERO,
             panic_on_label: None,
+            installed: Vec::new(),
+            horizon: Some(Dur::ZERO),
+            replay_warmup: false,
             metrics: EngineMetrics::default(),
             action_log: Vec::new(),
         }
@@ -157,6 +220,14 @@ impl ReactiveEngine {
     /// its (enabled) rules, scoping procedures root-to-leaf with inner
     /// definitions shadowing outer ones.
     pub fn install(&mut self, set: &RuleSet) -> crate::Result<()> {
+        // Record what this install *means* before running it: disabled
+        // subtrees are pruned (they install nothing and the textual form
+        // cannot express disabledness), and a failing install is still
+        // recorded because installation has no rollback — whatever
+        // partially installed is reproduced by re-running the same text.
+        if let Some(effective) = enabled_only(set) {
+            self.installed.push(InstalledItem::Set(effective));
+        }
         self.install_scoped(set, &BTreeMap::new(), "")?;
         Ok(())
     }
@@ -190,6 +261,8 @@ impl ReactiveEngine {
         }
         for er in &set.event_rules {
             self.deduction.register(er.clone())?;
+            // DETECT engines run without a TTL (see DeductionLayer).
+            self.horizon = fold_horizon(self.horizon, er.on.replay_horizon(None));
         }
         for r in &set.rules {
             self.add_rule_scoped(r.clone(), procs.clone(), path.clone());
@@ -202,6 +275,7 @@ impl ReactiveEngine {
 
     /// Install a single rule with no scoped procedures.
     pub fn add_rule(&mut self, rule: EcaRule) {
+        self.installed.push(InstalledItem::Rule(rule.clone()));
         self.add_rule_scoped(rule, BTreeMap::new(), String::new());
     }
 
@@ -215,6 +289,7 @@ impl ReactiveEngine {
         if let Some(ttl) = self.default_ttl {
             ev = ev.with_ttl(ttl);
         }
+        self.horizon = fold_horizon(self.horizon, rule.on.replay_horizon(self.default_ttl));
         let idx = self.compiled.len();
         match rule.on.trigger_labels() {
             Some(labels) => {
@@ -236,6 +311,91 @@ impl ReactiveEngine {
     /// Number of compiled (installed, enabled) rules.
     pub fn rule_count(&self) -> usize {
         self.compiled.len()
+    }
+
+    /// Reprint everything installed into this engine as a parseable rule
+    /// program (the `RULE_LANGUAGE.md` textual syntax): the sets and
+    /// bare rules passed to [`ReactiveEngine::install`],
+    /// [`ReactiveEngine::install_program`], and
+    /// [`ReactiveEngine::add_rule`] — including rule sets that arrived
+    /// dynamically in `install_rules` messages — in installation order,
+    /// with disabled subtrees pruned (they installed nothing). Feeding
+    /// the result to [`ReactiveEngine::install_program`] on a blank
+    /// engine reproduces the rule base; reprinting *that* engine is a
+    /// fixed point. Snapshots in `reweb_persist` persist rule programs in
+    /// exactly this textual form; standalone it is the engine's rule
+    /// export/debug surface.
+    pub fn program_source(&self) -> String {
+        let mut out = String::new();
+        for item in &self.installed {
+            if !out.is_empty() {
+                out.push_str("\n\n");
+            }
+            match item {
+                InstalledItem::Set(s) => out.push_str(&s.to_string()),
+                InstalledItem::Rule(r) => out.push_str(&r.to_string()),
+            }
+        }
+        out
+    }
+
+    /// Warmup-replay mode for crash recovery: while set, events still
+    /// flow through AAA admission, deduction, and every rule's
+    /// incremental event-query state — but **no rule fires**: no
+    /// condition is evaluated, no action runs, no store write, output,
+    /// log entry, or metric results. `reweb_persist` uses this to rebuild
+    /// composite-event partial state from a log suffix whose *effects*
+    /// are already covered by a snapshot.
+    pub fn set_replay_warmup(&mut self, on: bool) {
+        self.replay_warmup = on;
+    }
+
+    /// Capture the sequence state a recovery must restore before
+    /// replaying the next input (see [`ReplayMark`]).
+    pub fn replay_mark(&self) -> ReplayMark {
+        ReplayMark {
+            clock: self.now,
+            event_seq: self.next_event_id,
+            derived_seq: self.deduction.derived_seq(),
+        }
+    }
+
+    /// Restore a previously captured [`ReplayMark`] — recovery only. The
+    /// clock is set without firing any deadline.
+    pub fn restore_replay_mark(&mut self, m: ReplayMark) {
+        self.now = m.clock;
+        self.next_event_id = m.event_seq;
+        self.deduction.set_derived_seq(m.derived_seq);
+    }
+
+    /// The engine's replay horizon: a duration `B` such that no input
+    /// older than `now - B` can still influence a future answer of any
+    /// installed rule or DETECT rule (see
+    /// [`reweb_events::EventQuery::replay_horizon`]). `None` = unbounded
+    /// (some installed query retains state forever). Recovery replays
+    /// exactly this much log suffix to rebuild composite-event state.
+    pub fn replay_horizon(&self) -> Option<Dur> {
+        // Cached: folded at install time (per rule, under the TTL the
+        // rule was compiled with; DETECT rules without one), because the
+        // durability layer consults this per logged record and rules are
+        // never uninstalled — the fold only ever widens.
+        self.horizon
+    }
+
+    /// Does any installed rule or DETECT rule use an `absence` operator
+    /// (i.e. can this engine ever hold a pending deadline)?
+    pub fn has_deadline_rules(&self) -> bool {
+        self.compiled.iter().any(|c| c.rule.on.has_absence()) || self.deduction.has_absence()
+    }
+
+    /// Fire every absence deadline already due at the *current* clock,
+    /// bypassing the monotone-clock fast path of
+    /// [`ReactiveEngine::advance_time`]. Recovery uses this (under
+    /// warmup mode) to discharge deadlines that a restored clock jumped
+    /// over, so they cannot fire spuriously on the first post-recovery
+    /// input.
+    pub fn flush_due_deadlines(&mut self) -> Vec<OutMessage> {
+        self.advance_fire()
     }
 
     /// Total partial-match state across all rules (Thesis 4 metric).
@@ -345,6 +505,14 @@ impl ReactiveEngine {
             return Vec::new();
         }
         self.now = self.now.max(now);
+        self.advance_fire()
+    }
+
+    /// Shared body of [`ReactiveEngine::advance_time`] and
+    /// [`ReactiveEngine::flush_due_deadlines`]: advance every rule's
+    /// event engine and the deduction layer to the current clock.
+    fn advance_fire(&mut self) -> Vec<OutMessage> {
+        let now = self.now;
         let mut out = Vec::new();
         for idx in 0..self.compiled.len() {
             let answers = self.compiled[idx].ev.advance_to(now);
@@ -414,6 +582,13 @@ impl ReactiveEngine {
 
     /// Run the branches of rule `idx` for one event-query answer.
     fn fire(&mut self, idx: usize, binds: &reweb_query::Bindings, out: &mut Vec<OutMessage>) {
+        // Warmup replay rebuilds event-query state only: the answer's
+        // *effects* (conditions, actions, store writes, outputs, metric
+        // counts) already happened before the crash and live in the
+        // snapshot this replay runs on top of.
+        if self.replay_warmup {
+            return;
+        }
         // Split borrows: the compiled rule is read, the query engine is
         // mutated by actions, metrics/log are appended to.
         let ReactiveEngine {

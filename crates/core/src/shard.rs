@@ -73,7 +73,7 @@ pub use exec::ExecMode;
 use exec::{Job, JobKind, Reply, WorkerPool};
 
 /// One unit of batch input: everything [`ReactiveEngine::receive`] takes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InMessage {
     /// The event payload.
     pub payload: Term,
@@ -122,25 +122,15 @@ fn rule_affinity(on: &EventQuery) -> Affinity {
     }
 }
 
-/// Does this query contain an `absence` operator? Only absence carries
-/// deadlines, so shards without one never need their deadline cache
-/// refreshed — which keeps the per-event fast path free of the
-/// O(rules-per-shard) `next_deadline` scan.
-fn query_has_absence(q: &EventQuery) -> bool {
-    match q {
-        EventQuery::Absence { .. } => true,
-        EventQuery::And { parts, .. }
-        | EventQuery::Or { parts }
-        | EventQuery::Seq { parts, .. } => parts.iter().any(query_has_absence),
-        EventQuery::Where { inner, .. } => query_has_absence(inner),
-        EventQuery::Atomic { .. } | EventQuery::Count { .. } | EventQuery::Agg { .. } => false,
-    }
-}
-
+/// Does any enabled rule of the set carry an `absence` operator (see
+/// [`EventQuery::has_absence`])? Only absence carries deadlines, so
+/// shards without one never need their deadline cache refreshed — which
+/// keeps the per-event fast path free of the O(rules-per-shard)
+/// `next_deadline` scan.
 fn set_has_absence(set: &RuleSet) -> bool {
     set.enabled
-        && (set.rules.iter().any(|r| query_has_absence(&r.on))
-            || set.event_rules.iter().any(|er| query_has_absence(&er.on))
+        && (set.rules.iter().any(|r| r.on.has_absence())
+            || set.event_rules.iter().any(|er| er.on.has_absence())
             || set.children.iter().any(set_has_absence))
 }
 
@@ -383,6 +373,18 @@ impl ShardedEngine {
         self.mode
     }
 
+    /// The worker pool backing [`ExecMode::Threads`]. The
+    /// mode-implies-pool invariant is established by
+    /// [`ShardedEngine::with_mode`] and checked in this one place, so a
+    /// future execution-mode refactor cannot leave a stale unwrap behind
+    /// in one of the thread-backend paths — they all funnel through
+    /// here. Takes the field (not `&self`) so callers keep disjoint
+    /// mutable access to the shard vector while the pool is borrowed.
+    fn worker_pool(pool: &Option<WorkerPool>) -> &WorkerPool {
+        pool.as_ref()
+            .expect("ExecMode::Threads invariant: with_mode constructed the pool")
+    }
+
     /// The panic message that poisoned this engine, if a worker panicked.
     pub fn poisoned(&self) -> Option<&str> {
         self.poisoned.as_deref()
@@ -416,6 +418,64 @@ impl ShardedEngine {
         for s in &mut self.shards {
             f(s);
         }
+    }
+
+    /// Mutable access to the shards — the durability layer's restore
+    /// hatch (`reweb_persist` rebuilds per-shard stores, replay marks,
+    /// and metrics through it). Mutating shard state directly is *not*
+    /// part of the engine's semantic surface: anything changed here
+    /// bypasses routing, logging, and the equivalence guarantees.
+    pub fn shards_mut(&mut self) -> &mut [ReactiveEngine] {
+        &mut self.shards
+    }
+
+    /// Forward [`ReactiveEngine::set_replay_warmup`] to every shard.
+    pub fn set_replay_warmup(&mut self, on: bool) {
+        for s in &mut self.shards {
+            s.set_replay_warmup(on);
+        }
+    }
+
+    /// Restore the front-end clock without firing any deadline —
+    /// recovery only (per-shard clocks are restored through
+    /// [`ShardedEngine::shards_mut`] /
+    /// [`ReactiveEngine::restore_replay_mark`]).
+    pub fn restore_clock(&mut self, t: Timestamp) {
+        self.now = self.now.max(t);
+    }
+
+    /// Recompute the per-shard deadline caches and absence flags from
+    /// the shards' actual rule state — recovery calls this after
+    /// restoring shard state behind the front-end's back.
+    pub fn refresh_deadlines(&mut self) {
+        for i in 0..self.shards.len() {
+            self.has_timers[i] = self.shards[i].has_deadline_rules();
+            self.deadlines[i] = self.shards[i].next_deadline();
+        }
+    }
+
+    /// The replay horizon across all shards (see
+    /// [`ReactiveEngine::replay_horizon`]); `None` = some shard holds
+    /// unbounded state.
+    pub fn replay_horizon(&self) -> Option<Dur> {
+        let mut max = Dur::ZERO;
+        for s in &self.shards {
+            max = max.max(s.replay_horizon()?);
+        }
+        Some(max)
+    }
+
+    /// Fire every absence deadline already due at each shard's current
+    /// clock, bypassing the monotone-clock fast path (see
+    /// [`ReactiveEngine::flush_due_deadlines`]); outputs merge in shard
+    /// order.
+    pub fn flush_due_deadlines(&mut self) -> Vec<OutMessage> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(self.shards[i].flush_due_deadlines());
+            self.deadlines[i] = self.shards[i].next_deadline();
+        }
+        out
     }
 
     /// Replicate a document into every shard's store, so conditions read
@@ -760,7 +820,7 @@ impl ShardedEngine {
             subs[h].push((k as u32, m.clone()));
         }
         let timeline = Arc::new(timeline);
-        let pool = self.pool.as_ref().expect("Threads mode owns a pool");
+        let pool = Self::worker_pool(&self.pool);
         let mut sent = 0;
         let mut send_failure = None;
         for (s, sub) in subs.into_iter().enumerate() {
@@ -814,7 +874,7 @@ impl ShardedEngine {
     /// caches, and merge every output group by its `(message index,
     /// phase, shard)` tag — the serial append order.
     fn collect_replies(&mut self, expect: usize) -> crate::Result<Vec<OutMessage>> {
-        let pool = self.pool.as_ref().expect("Threads mode owns a pool");
+        let pool = Self::worker_pool(&self.pool);
         let mut tagged: Vec<(u32, u8, usize, Vec<OutMessage>)> = Vec::new();
         let mut failure: Option<String> = None;
         for _ in 0..expect {
@@ -928,7 +988,7 @@ impl ShardedEngine {
             }
             ExecMode::Threads => {
                 let n = self.shards.len();
-                let pool = self.pool.as_ref().expect("Threads mode owns a pool");
+                let pool = Self::worker_pool(&self.pool);
                 let mut sent = 0;
                 let mut send_failure = None;
                 for s in 0..n {

@@ -166,4 +166,87 @@ proptest! {
         let again = parse_program(&printed).unwrap();
         prop_assert_eq!(s, again);
     }
+
+    /// `ReactiveEngine::program_source` reaches a print⇄parse⇄print fixed
+    /// point: reprinting an engine built from the reprint changes nothing,
+    /// and the reprint reproduces the engine (rule count and all).
+    #[test]
+    fn program_source_fixed_point(s in arb_ruleset()) {
+        use reweb_core::ReactiveEngine;
+        let mut e1 = ReactiveEngine::new("http://n1");
+        e1.install(&s).unwrap();
+        let p1 = e1.program_source();
+
+        let mut e2 = ReactiveEngine::new("http://n2");
+        e2.install_program(&p1)
+            .unwrap_or_else(|err| panic!("reprint does not reparse: {err}\n{p1}"));
+        prop_assert_eq!(e1.rule_count(), e2.rule_count(), "reprint:\n{}", &p1);
+        let p2 = e2.program_source();
+
+        let mut e3 = ReactiveEngine::new("http://n3");
+        e3.install_program(&p2).unwrap();
+        let p3 = e3.program_source();
+        prop_assert_eq!(&p2, &p3, "no fixed point; first reprint:\n{}", &p1);
+    }
+}
+
+/// Deterministic `program_source` coverage for the paths the generator
+/// cannot reach: multiple installs (static text, a dynamic
+/// `install_rules` message, a bare `add_rule`) accumulate in order, and
+/// disabled subtrees are pruned from the reprint because they install
+/// nothing.
+#[test]
+fn program_source_tracks_every_install_path() {
+    use reweb_core::meta::install_rules_payload;
+    use reweb_core::{MessageMeta, ReactiveEngine};
+    use reweb_term::Timestamp;
+
+    let mut e = ReactiveEngine::new("http://node");
+    e.install_program(
+        r#"
+        RULESET shop
+          PROCEDURE ship(O) DO SEND s{o[var O]} TO "http://mail" END
+          DETECT big{id[var O]} ON order{{id[[var O]], total[[var T]]}} where var T >= 100 END
+          RULE on_big ON big{{id[[var O]]}} DO CALL ship(var O) END
+          RULESET muted
+            RULE never ON nope DO NOOP END
+          END
+        END
+        "#,
+    )
+    .unwrap();
+
+    // Dynamic install via the Thesis-11 message path.
+    let carried = parse_program(
+        r#"RULE fresh ON newevt{{v[[var X]]}} DO SEND got{v[var X]} TO "http://s" END"#,
+    )
+    .unwrap();
+    e.receive(
+        install_rules_payload(&carried),
+        &MessageMeta::from_uri("http://peer"),
+        Timestamp(1),
+    );
+
+    // Bare rule via the API.
+    e.add_rule(parse_rule(r#"RULE api ON ping DO SEND pong TO "http://s" END"#).unwrap());
+
+    // A disabled set installs nothing and must not appear.
+    e.install(&RuleSet::new("ghost").disabled()).unwrap();
+
+    let src = e.program_source();
+    assert!(src.contains("RULESET shop"));
+    assert!(src.contains("RULE fresh"));
+    assert!(src.contains("RULE api"));
+    assert!(!src.contains("ghost"));
+    assert!(src.contains("muted"), "enabled nested set is kept");
+
+    // The reprint rebuilds an engine with the same rules, and reprinting
+    // that engine is a fixed point.
+    let mut e2 = ReactiveEngine::new("http://node2");
+    e2.install_program(&src).unwrap();
+    assert_eq!(e2.rule_count(), e.rule_count());
+    let src2 = e2.program_source();
+    let mut e3 = ReactiveEngine::new("http://node3");
+    e3.install_program(&src2).unwrap();
+    assert_eq!(src2, e3.program_source());
 }

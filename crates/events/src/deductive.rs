@@ -98,6 +98,37 @@ impl DeductionLayer {
         self.rules.is_empty()
     }
 
+    /// The derived-event sequence counter. Derived events are stamped
+    /// `EventId(u64::MAX - seq)`; those ids end up in answer constituent
+    /// lists (which order simultaneous answers), so crash recovery must
+    /// restore this counter exactly before replaying a log suffix.
+    pub fn derived_seq(&self) -> u64 {
+        self.next_derived_id
+    }
+
+    /// Restore the derived-event sequence counter (recovery only; see
+    /// [`DeductionLayer::derived_seq`]).
+    pub fn set_derived_seq(&mut self, seq: u64) {
+        self.next_derived_id = seq;
+    }
+
+    /// The replay horizon across all registered DETECT rules (see
+    /// [`crate::EventQuery::replay_horizon`]); DETECT engines run without
+    /// an engine TTL, so the bound uses none.
+    pub fn replay_horizon(&self) -> Option<reweb_term::Dur> {
+        let mut max = reweb_term::Dur::ZERO;
+        for (r, _) in &self.rules {
+            max = max.max(r.on.replay_horizon(None)?);
+        }
+        Some(max)
+    }
+
+    /// Does any registered DETECT rule use an `absence` operator (and
+    /// therefore need timer advances)?
+    pub fn has_absence(&self) -> bool {
+        self.rules.iter().any(|(r, _)| r.on.has_absence())
+    }
+
     /// Feed one external event; returns all *derived* events, including
     /// those derived from other derived events (cascade, bounded because
     /// the rule graph is acyclic).

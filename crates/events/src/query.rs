@@ -229,6 +229,84 @@ impl EventQuery {
             EventQuery::Where { inner, .. } => inner.retention_bound(),
         }
     }
+
+    /// The *replay horizon* of this query under an engine TTL of `ttl`: a
+    /// duration `B` such that an event received before `now - B` can no
+    /// longer influence any future answer or any operator state
+    /// transition. The durability layer uses this to bound how far back
+    /// in its write-ahead log a recovery must replay to rebuild
+    /// composite-event partial state (crash recovery = snapshot + bounded
+    /// log suffix).
+    ///
+    /// This differs from [`EventQuery::retention_bound`], which describes
+    /// *memory*: an `agg` ring buffer is memory-bounded by its `over`
+    /// count but can hold arbitrarily old events, so its replay horizon
+    /// is unbounded (`None`) while its retention bound is zero. The
+    /// bounds here are deliberately conservative (windows are summed
+    /// along nesting chains, never intersected): over-estimating only
+    /// lengthens a replay, under-estimating would corrupt recovery.
+    pub fn replay_horizon(&self, ttl: Option<Dur>) -> Option<Dur> {
+        fn min_opt(a: Option<Dur>, b: Option<Dur>) -> Option<Dur> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        match self {
+            EventQuery::Atomic { .. } => Some(Dur::ZERO),
+            EventQuery::Or { parts } => {
+                let mut max = Dur::ZERO;
+                for p in parts {
+                    max = max.max(p.replay_horizon(ttl)?);
+                }
+                Some(max)
+            }
+            EventQuery::And { parts, window } | EventQuery::Seq { parts, window } => {
+                // Stored child answers are pruned once `now - start`
+                // exceeds min(window, ttl); a window-less join without a
+                // TTL keeps partial matches forever.
+                let w = min_opt(*window, ttl)?;
+                let mut max = Dur::ZERO;
+                for p in parts {
+                    max = max.max(p.replay_horizon(ttl)?);
+                }
+                Some(w + max)
+            }
+            EventQuery::Absence {
+                trigger,
+                absent,
+                window,
+            } => {
+                // Pending triggers live until `end + window`; their own
+                // constituents reach back by the trigger's horizon.
+                let t = trigger.replay_horizon(ttl)?;
+                let a = absent.replay_horizon(ttl)?;
+                Some(*window + t.max(a))
+            }
+            // A count buffer is pruned by min(window, ttl); without
+            // either, an arbitrarily old event can still appear in a
+            // future answer's constituents.
+            EventQuery::Count { window, .. } => min_opt(*window, ttl),
+            // Agg ring buffers are never time-pruned (only size-bounded),
+            // so an old constituent can resurface at any future event.
+            EventQuery::Agg { .. } => None,
+            EventQuery::Where { inner, .. } => inner.replay_horizon(ttl),
+        }
+    }
+
+    /// Does this query contain an `absence` operator? Only absence
+    /// carries deadlines, so engines without one never need timer
+    /// scheduling for it.
+    pub fn has_absence(&self) -> bool {
+        match self {
+            EventQuery::Absence { .. } => true,
+            EventQuery::And { parts, .. }
+            | EventQuery::Or { parts }
+            | EventQuery::Seq { parts, .. } => parts.iter().any(EventQuery::has_absence),
+            EventQuery::Where { inner, .. } => inner.has_absence(),
+            EventQuery::Atomic { .. } | EventQuery::Count { .. } | EventQuery::Agg { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for EventQuery {

@@ -1,0 +1,838 @@
+//! # reweb-persist — durable engines: write-ahead log, snapshots, crash recovery
+//!
+//! Every engine in the lower layers is in-memory: kill the process and
+//! rules, resource stores, and in-flight composite-event state vanish.
+//! This crate wraps a [`reweb_core::ReactiveEngine`] or
+//! [`reweb_core::ShardedEngine`] in a [`DurableEngine`] that makes the
+//! node recoverable:
+//!
+//! * **Write-ahead log.** Every input — `install_program`,
+//!   `receive`/`receive_batch` payloads, `advance_time`, `put_resource`
+//!   — is appended to `wal.log` as a length- and CRC32-framed record
+//!   *before* it is processed ([`wal::Record`]). Records use the
+//!   existing textual term syntax, so interned symbols serialize as
+//!   strings and re-intern on load: logs are portable across processes.
+//! * **Snapshots.** Periodically (or on demand) the durable state —
+//!   reprinted rule programs (the install journal), every shard's
+//!   resource store, metrics, and action log — is written to
+//!   `snapshot.bin` together with a log offset ([`snapshot::Snapshot`]).
+//! * **Recovery.** [`DurableEngine::open`] rebuilds the engine: load the
+//!   snapshot (if any), then replay the log suffix. A torn or corrupt
+//!   final record — the expected residue of a crash mid-write — is
+//!   discarded and the file truncated back to the last valid boundary,
+//!   never a panic.
+//!
+//! ## Why a snapshot plus a *warmup* suffix is exact
+//!
+//! A snapshot at log offset `S` captures rules, stores, metrics, and
+//! logs — but not the incremental evaluator's partial matches (windowed
+//! joins, pending absences). Those are rebuilt by replay, and the
+//! engine's retention bounds make the replay *bounded*: by
+//! [`reweb_core::ReactiveEngine::replay_horizon`] (which folds
+//! `reweb_events::EventQuery::replay_horizon` over the installed
+//! rules), no event older than `clock − B` can still influence a future
+//! answer, where `B` is that conservative horizon. So the snapshot also
+//! records the offset `H` of the first log record within that horizon,
+//! plus each shard's [`reweb_core::ReplayMark`] (clock and event-id
+//! counters) as of `H`. Recovery then:
+//!
+//! 1. replays the **install journal** (all rule programs installed
+//!    before `H`, static text or original `install_rules` messages, in
+//!    order — reproducing shard placement exactly);
+//! 2. restores the replay marks and every resource store (state as of
+//!    `S`);
+//! 3. replays `[H, S)` in **warmup mode**
+//!    ([`reweb_core::ReactiveEngine::set_replay_warmup`]): events flow
+//!    through admission, deduction, and event-query state, re-stamped
+//!    with their original event ids — but nothing fires, because every
+//!    effect of those records (store writes, outputs, metrics) is
+//!    already inside the snapshot;
+//! 4. flushes deadlines already due, restores metrics/action logs as of
+//!    `S`, and
+//! 5. replays `[S, …)` with full effects, discarding the outputs (they
+//!    were returned to the caller before the crash).
+//!
+//! After step 5 the engine state is byte-for-byte what an uninterrupted
+//! run would hold — pinned by the crash-matrix property test
+//! (`tests/crash_matrix.rs`), which kills runs at every record boundary
+//! *and* at random byte offsets inside the torn tail, for single and
+//! sharded engines alike. Rules with unbounded retention (window-less
+//! joins without a TTL, `agg` buffers) make the horizon unbounded; the
+//! snapshot then still restores stores and skips re-executing actions,
+//! but the warmup suffix degenerates to the whole log.
+//!
+//! Not snapshotted (node-local observability, no effect on outputs):
+//! AAA accounting records and usage counters, shard occupancy counters,
+//! and routing-layer warnings — after a snapshot recovery they cover
+//! only the replayed suffix. Genesis recovery (no snapshot) rebuilds
+//! them exactly.
+//!
+//! ## Fsync policy
+//!
+//! [`SyncPolicy::Always`] (default) fsyncs after every appended record:
+//! one fsync per `receive_batch` call, which is what makes batching the
+//! throughput lever — E15 measures a ~1000-message batch amortizing its
+//! single fsync to negligible per-event cost. [`SyncPolicy::Os`] leaves
+//! flushing to the OS page cache: recovery is still *consistent* (the
+//! framed log heals at the last durable boundary) but the tail may be
+//! lost with the machine, not just the process.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use reweb_core::{InMessage, MessageMeta, OutMessage, ReactiveEngine, ReplayMark, ShardedEngine};
+use reweb_term::{Dur, Term, TermError, Timestamp};
+
+pub mod snapshot;
+pub mod wal;
+
+pub use snapshot::{JournalEntry, Snapshot};
+pub use wal::Record;
+
+use snapshot::ShardState;
+
+/// Errors of the durability layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// An engine- or parse-level failure (rule programs, terms).
+    Term(TermError),
+    /// Log or snapshot contents that cannot be trusted: bad schema,
+    /// unknown records, a snapshot pointing past the end of the log.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
+            PersistError::Term(e) => write!(f, "persist engine error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "persist corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<TermError> for PersistError {
+    fn from(e: TermError) -> Self {
+        PersistError::Term(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// When the log is flushed to stable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every appended record (one fsync per
+    /// `receive`/`receive_batch`/`install`/`advance` call). Batch your
+    /// ingestion to amortize it — that is the E15 durability story.
+    #[default]
+    Always,
+    /// Never fsync; the OS flushes when it pleases. Consistent but not
+    /// durable against machine (as opposed to process) crashes.
+    Os,
+}
+
+/// Configuration of a [`DurableEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct DurableOptions {
+    /// Fsync policy (default: [`SyncPolicy::Always`]).
+    pub sync: SyncPolicy,
+    /// Write a snapshot automatically every this many records (`None` =
+    /// only on explicit [`DurableEngine::snapshot_now`] calls).
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// What [`DurableEngine::open`] did to bring the engine back.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// True when an existing log was found and replayed.
+    pub recovered: bool,
+    /// True when a snapshot bounded the replay.
+    pub used_snapshot: bool,
+    /// Bytes discarded from a torn or corrupt log tail.
+    pub torn_bytes: u64,
+    /// Records replayed in warmup mode (state only, no effects).
+    pub warm_records: u64,
+    /// Records replayed with full effects.
+    pub replayed_records: u64,
+    /// Install-journal entries replayed from the snapshot.
+    pub journal_entries: u64,
+}
+
+/// The engine shapes a [`DurableEngine`] can wrap. The trait carries the
+/// normal input surface (everything the WAL records) plus the state
+/// export/restore hooks recovery needs; `reweb_core` implements the
+/// hooks, this crate only drives them.
+pub trait Recoverable {
+    /// Shape descriptor validated across restarts (e.g. `single`,
+    /// `sharded:4:Threads`): recovering a log with a differently shaped
+    /// engine would replay into different routing.
+    fn descriptor(&self) -> String;
+    /// Install a rule program (see [`reweb_core::parse_program`]).
+    fn install_source(&mut self, src: &str) -> std::result::Result<(), TermError>;
+    /// Process one ingestion batch.
+    fn ingest_batch(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> std::result::Result<Vec<OutMessage>, TermError>;
+    /// Advance the virtual clock.
+    fn advance_clock(&mut self, t: Timestamp) -> std::result::Result<Vec<OutMessage>, TermError>;
+    /// Store a document (replicated to every shard where applicable).
+    fn put_doc(&mut self, uri: &str, doc: Term);
+    /// The per-shard engines, in shard order (a single engine is one).
+    fn engines(&self) -> Vec<&ReactiveEngine>;
+    /// Mutable access to the per-shard engines, in shard order.
+    fn engines_mut(&mut self) -> Vec<&mut ReactiveEngine>;
+    /// The front-end clock (latest time seen).
+    fn front_clock(&self) -> Timestamp;
+    /// Restore the front-end clock without firing deadlines.
+    fn restore_front_clock(&mut self, t: Timestamp);
+    /// Toggle warmup-replay mode on every shard.
+    fn set_replay_warmup(&mut self, on: bool);
+    /// The engine's replay horizon (see
+    /// [`reweb_core::ReactiveEngine::replay_horizon`]).
+    fn replay_horizon(&self) -> Option<Dur>;
+    /// Fire deadlines already due at the current clock (recovery).
+    fn flush_due_deadlines(&mut self);
+    /// Called once after recovery finished restoring state behind the
+    /// engine's back (sharded engines refresh their deadline caches).
+    fn after_restore(&mut self) {}
+}
+
+impl Recoverable for ReactiveEngine {
+    fn descriptor(&self) -> String {
+        "single".into()
+    }
+    fn install_source(&mut self, src: &str) -> std::result::Result<(), TermError> {
+        self.install_program(src)
+    }
+    fn ingest_batch(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> std::result::Result<Vec<OutMessage>, TermError> {
+        let mut out = Vec::new();
+        for m in msgs {
+            out.extend(self.receive(m.payload.clone(), &m.meta, m.at));
+        }
+        Ok(out)
+    }
+    fn advance_clock(&mut self, t: Timestamp) -> std::result::Result<Vec<OutMessage>, TermError> {
+        Ok(self.advance_time(t))
+    }
+    fn put_doc(&mut self, uri: &str, doc: Term) {
+        self.qe.store.put(uri.to_string(), doc);
+    }
+    fn engines(&self) -> Vec<&ReactiveEngine> {
+        vec![self]
+    }
+    fn engines_mut(&mut self) -> Vec<&mut ReactiveEngine> {
+        vec![self]
+    }
+    fn front_clock(&self) -> Timestamp {
+        self.now()
+    }
+    fn restore_front_clock(&mut self, t: Timestamp) {
+        self.restore_replay_mark(ReplayMark {
+            clock: t,
+            ..self.replay_mark()
+        });
+    }
+    fn set_replay_warmup(&mut self, on: bool) {
+        ReactiveEngine::set_replay_warmup(self, on);
+    }
+    fn replay_horizon(&self) -> Option<Dur> {
+        ReactiveEngine::replay_horizon(self)
+    }
+    fn flush_due_deadlines(&mut self) {
+        ReactiveEngine::flush_due_deadlines(self);
+    }
+}
+
+impl Recoverable for ShardedEngine {
+    fn descriptor(&self) -> String {
+        format!("sharded:{}:{:?}", self.shard_count(), self.exec_mode())
+    }
+    fn install_source(&mut self, src: &str) -> std::result::Result<(), TermError> {
+        self.install_program(src)
+    }
+    fn ingest_batch(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> std::result::Result<Vec<OutMessage>, TermError> {
+        self.try_receive_batch(msgs)
+    }
+    fn advance_clock(&mut self, t: Timestamp) -> std::result::Result<Vec<OutMessage>, TermError> {
+        self.try_advance_time(t)
+    }
+    fn put_doc(&mut self, uri: &str, doc: Term) {
+        self.put_resource(uri.to_string(), doc);
+    }
+    fn engines(&self) -> Vec<&ReactiveEngine> {
+        self.shards().iter().collect()
+    }
+    fn engines_mut(&mut self) -> Vec<&mut ReactiveEngine> {
+        self.shards_mut().iter_mut().collect()
+    }
+    fn front_clock(&self) -> Timestamp {
+        self.now()
+    }
+    fn restore_front_clock(&mut self, t: Timestamp) {
+        self.restore_clock(t);
+    }
+    fn set_replay_warmup(&mut self, on: bool) {
+        ShardedEngine::set_replay_warmup(self, on);
+    }
+    fn replay_horizon(&self) -> Option<Dur> {
+        ShardedEngine::replay_horizon(self)
+    }
+    fn flush_due_deadlines(&mut self) {
+        ShardedEngine::flush_due_deadlines(self);
+    }
+    fn after_restore(&mut self) {
+        self.refresh_deadlines();
+    }
+}
+
+/// A replay mark of one log record: the engine sequence state captured
+/// *before* the record was processed, so a future snapshot can name this
+/// record as its warmup start.
+#[derive(Clone, Debug)]
+struct Mark {
+    /// Record offset in the WAL.
+    offset: u64,
+    /// Effective latest event time of the record (monotone across
+    /// records): what the retention horizon is compared against.
+    at: Timestamp,
+    /// Front-end clock before processing.
+    front_clock: Timestamp,
+    /// Per-shard replay marks before processing.
+    engine_marks: Vec<ReplayMark>,
+    /// Install-journal length before this record's entries.
+    journal_len: usize,
+}
+
+/// A crash-recoverable wrapper around a reactive or sharded engine: same
+/// input surface, plus a write-ahead log and snapshots underneath. See
+/// the crate docs for the recovery discipline.
+pub struct DurableEngine<E: Recoverable> {
+    engine: E,
+    wal: wal::Wal,
+    snap_path: PathBuf,
+    opts: DurableOptions,
+    /// Offset of the first non-header record (genesis warm start).
+    genesis_offset: u64,
+    /// Every rule install since genesis, in order.
+    journal: Vec<JournalEntry>,
+    /// Replay marks of recent records, pruned to the retention horizon.
+    marks: VecDeque<Mark>,
+    records_since_snapshot: u64,
+    recovery: RecoveryStats,
+}
+
+impl<E: Recoverable> fmt::Debug for DurableEngine<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableEngine")
+            .field("engine", &Recoverable::descriptor(&self.engine))
+            .field("wal_len", &self.wal.len())
+            .field("journal_entries", &self.journal.len())
+            .finish_non_exhaustive()
+    }
+}
+
+enum Mode {
+    Live,
+    Warm,
+    Replay,
+}
+
+impl<E: Recoverable> DurableEngine<E> {
+    /// Open (or create) a durable engine rooted at `dir`. `build` must
+    /// return the engine in its *configured blank* state — same shape,
+    /// AAA setup, and TTL the original process used; everything dynamic
+    /// (rules, events, stores) is replayed from disk. Fails on real
+    /// corruption (unknown records, schema/shape mismatch, a snapshot
+    /// pointing past the log end); a torn log tail or half-written
+    /// snapshot is healed silently and reported in
+    /// [`DurableEngine::recovery`].
+    pub fn open(dir: &Path, opts: DurableOptions, build: impl FnOnce() -> E) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join("wal.log");
+        let snap_path = dir.join("snapshot.bin");
+        let opened = wal::Wal::open(&wal_path)?;
+        let engine = build();
+        let desc = Recoverable::descriptor(&engine);
+
+        let mut records = opened.records;
+        let genesis_offset = match records.first() {
+            None => {
+                // Fresh log: stamp the header. A snapshot without any log
+                // would drop every event since that snapshot — refuse.
+                if Snapshot::read_from(&snap_path)?.is_some() {
+                    return Err(PersistError::Corrupt(
+                        "snapshot exists but the write-ahead log is empty: the log was \
+                         truncated after the snapshot was taken; recovery would silently \
+                         drop events"
+                            .into(),
+                    ));
+                }
+                let mut w = opened.wal;
+                let head = Record::Head {
+                    schema: wal::WAL_SCHEMA.to_string(),
+                    engine: desc,
+                };
+                w.append(&head)?;
+                w.sync()?;
+                let genesis = w.len();
+                return Ok(DurableEngine {
+                    engine,
+                    wal: w,
+                    snap_path,
+                    opts,
+                    genesis_offset: genesis,
+                    journal: Vec::new(),
+                    marks: VecDeque::new(),
+                    records_since_snapshot: 0,
+                    recovery: RecoveryStats::default(),
+                });
+            }
+            Some((_, Record::Head { schema, engine })) => {
+                if schema != wal::WAL_SCHEMA {
+                    return Err(PersistError::Corrupt(format!(
+                        "log schema `{schema}` is not `{}`",
+                        wal::WAL_SCHEMA
+                    )));
+                }
+                if *engine != desc {
+                    return Err(PersistError::Corrupt(format!(
+                        "log was written by engine `{engine}` but `{desc}` is recovering it"
+                    )));
+                }
+                records.remove(0);
+                match records.first() {
+                    Some((off, _)) => *off,
+                    None => opened.wal.len(),
+                }
+            }
+            Some((_, other)) => {
+                return Err(PersistError::Corrupt(format!(
+                    "log does not start with a header record (found {other:?})"
+                )));
+            }
+        };
+
+        let mut stats = RecoveryStats {
+            recovered: true,
+            torn_bytes: opened.torn_bytes,
+            ..RecoveryStats::default()
+        };
+
+        let snapshot = Snapshot::read_from(&snap_path)?;
+        let mut me = DurableEngine {
+            engine,
+            wal: opened.wal,
+            snap_path,
+            opts,
+            genesis_offset,
+            journal: Vec::new(),
+            marks: VecDeque::new(),
+            records_since_snapshot: 0,
+            recovery: RecoveryStats::default(),
+        };
+
+        match snapshot {
+            Some(snap) => {
+                me.recover_with_snapshot(&records, snap, &mut stats)?;
+            }
+            None => {
+                for (off, rec) in &records {
+                    me.apply(*off, rec, Mode::Replay)?;
+                    stats.replayed_records += 1;
+                }
+            }
+        }
+        me.engine.after_restore();
+        me.records_since_snapshot = stats.replayed_records;
+        me.recovery = stats;
+        Ok(me)
+    }
+
+    fn recover_with_snapshot(
+        &mut self,
+        records: &[(u64, Record)],
+        snap: Snapshot,
+        stats: &mut RecoveryStats,
+    ) -> Result<()> {
+        stats.used_snapshot = true;
+        let desc = Recoverable::descriptor(&self.engine);
+        if snap.engine != desc {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot was taken from engine `{}` but `{desc}` is recovering it",
+                snap.engine
+            )));
+        }
+        let end = self.wal.len();
+        if snap.log_offset > end {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot is newer than the log: it references offset {} but the log \
+                 ends at {end}; the log lost records after the snapshot was taken and \
+                 recovery would silently drop those events",
+                snap.log_offset
+            )));
+        }
+        let boundary = |off: u64| off == end || records.iter().any(|(o, _)| *o == off);
+        if !boundary(snap.log_offset) || !boundary(snap.warm_offset) {
+            return Err(PersistError::Corrupt(
+                "snapshot offsets do not lie on log record boundaries".into(),
+            ));
+        }
+        if snap.shards.len() != self.engine.engines().len() {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot has {} shards, engine has {}",
+                snap.shards.len(),
+                self.engine.engines().len()
+            )));
+        }
+
+        // 1. Suppress all effects while state is reassembled.
+        self.engine.set_replay_warmup(true);
+
+        // 2. Rule base as of the warm offset: replay the install journal
+        //    through the engine's normal install paths, so routing and
+        //    scoping come out exactly as they did originally.
+        for entry in &snap.journal {
+            match entry {
+                JournalEntry::Static(src) => {
+                    let _ = self.engine.install_source(src);
+                }
+                JournalEntry::Dynamic(m) => {
+                    let _ = self.engine.ingest_batch(std::slice::from_ref(m));
+                }
+            }
+            stats.journal_entries += 1;
+        }
+        self.journal = snap.journal.clone();
+
+        // 3. Sequence state as of the warm offset, stores as of the
+        //    snapshot offset (warmup never touches stores).
+        for (e, mark) in self
+            .engine
+            .engines_mut()
+            .into_iter()
+            .zip(snap.warm_marks.iter())
+        {
+            e.restore_replay_mark(*mark);
+        }
+        self.engine.restore_front_clock(snap.warm_clock);
+        for (e, shard) in self
+            .engine
+            .engines_mut()
+            .into_iter()
+            .zip(snap.shards.iter())
+        {
+            for (uri, version, doc) in &shard.resources {
+                e.qe.store
+                    .put_with_version(uri.clone(), doc.clone(), *version);
+            }
+        }
+        self.engine.after_restore();
+
+        // 4. Warmup replay [H, S): rebuild composite-event state.
+        for (off, rec) in records {
+            if *off < snap.warm_offset || *off >= snap.log_offset {
+                continue;
+            }
+            self.apply(*off, rec, Mode::Warm)?;
+            stats.warm_records += 1;
+        }
+
+        // 5. Deadlines the restored clock jumped over must not fire
+        //    spuriously later; discharge them while still suppressed.
+        self.engine.flush_due_deadlines();
+        self.engine.set_replay_warmup(false);
+
+        // 6. Observability as of S overwrites whatever warmup touched.
+        for (e, shard) in self
+            .engine
+            .engines_mut()
+            .into_iter()
+            .zip(snap.shards.iter())
+        {
+            e.metrics = shard.metrics.clone();
+            e.action_log = shard.action_log.clone();
+        }
+        self.engine.after_restore();
+
+        // 7. Full replay of the suffix [S, …): effects on, outputs
+        //    discarded (the pre-crash process already returned them).
+        for (off, rec) in records {
+            if *off < snap.log_offset {
+                continue;
+            }
+            self.apply(*off, rec, Mode::Replay)?;
+            stats.replayed_records += 1;
+        }
+        Ok(())
+    }
+
+    /// Append + process one record. In `Live` mode engine errors
+    /// propagate to the caller; in replay modes they are swallowed — the
+    /// original caller already saw them, and installation has no
+    /// rollback, so re-running the same text reproduces the same partial
+    /// state.
+    fn apply(&mut self, offset: u64, rec: &Record, mode: Mode) -> Result<Vec<OutMessage>> {
+        self.push_mark(offset, rec);
+        let live = matches!(mode, Mode::Live);
+        match rec {
+            Record::Head { .. } => Ok(Vec::new()),
+            Record::Install(src) => {
+                self.journal.push(JournalEntry::Static(src.clone()));
+                match self.engine.install_source(src) {
+                    Ok(()) => Ok(Vec::new()),
+                    Err(e) if live => Err(e.into()),
+                    Err(_) => Ok(Vec::new()),
+                }
+            }
+            Record::Batch(msgs) => {
+                for m in msgs {
+                    if m.payload.label() == Some("install_rules") {
+                        self.journal.push(JournalEntry::Dynamic(m.clone()));
+                    }
+                }
+                match self.engine.ingest_batch(msgs) {
+                    Ok(out) => Ok(out),
+                    Err(e) if live => Err(e.into()),
+                    Err(_) => Ok(Vec::new()),
+                }
+            }
+            Record::Advance(t) => match self.engine.advance_clock(*t) {
+                Ok(out) => Ok(out),
+                Err(e) if live => Err(e.into()),
+                Err(_) => Ok(Vec::new()),
+            },
+            Record::Put { uri, doc } => {
+                // Warmup skips puts: the snapshot's store already holds
+                // the final as-of-S value; re-putting an older one would
+                // clobber later in-window updates.
+                if !matches!(mode, Mode::Warm) {
+                    self.engine.put_doc(uri, doc.clone());
+                }
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Capture this record's replay mark (sequence state *before*
+    /// processing) and prune marks that fell behind the retention
+    /// horizon.
+    fn push_mark(&mut self, offset: u64, rec: &Record) {
+        let clock = self.engine.front_clock();
+        let at = match rec {
+            Record::Batch(msgs) => msgs.iter().map(|m| m.at).fold(clock, Timestamp::max),
+            Record::Advance(t) => clock.max(*t),
+            _ => clock,
+        };
+        let engine_marks = self
+            .engine
+            .engines()
+            .iter()
+            .map(|e| e.replay_mark())
+            .collect();
+        self.marks.push_back(Mark {
+            offset,
+            at,
+            front_clock: clock,
+            engine_marks,
+            journal_len: self.journal.len(),
+        });
+        match self.engine.replay_horizon() {
+            Some(r) => {
+                let horizon = at.saturating_sub(r);
+                while self.marks.front().is_some_and(|m| m.at < horizon) {
+                    self.marks.pop_front();
+                }
+            }
+            None => self.marks.clear(), // unbounded: snapshots warm from genesis
+        }
+    }
+
+    fn commit(&mut self, rec: Record) -> Result<Vec<OutMessage>> {
+        let offset = self.wal.append(&rec)?;
+        if self.opts.sync == SyncPolicy::Always {
+            self.wal.sync()?;
+        }
+        let out = self.apply(offset, &rec, Mode::Live)?;
+        self.records_since_snapshot += 1;
+        if let Some(n) = self.opts.snapshot_every {
+            if self.records_since_snapshot >= n {
+                self.snapshot_now()?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Log and install a rule program.
+    pub fn install_program(&mut self, src: &str) -> Result<()> {
+        self.commit(Record::Install(src.to_string())).map(|_| ())
+    }
+
+    /// Log and process one message.
+    pub fn receive(
+        &mut self,
+        payload: Term,
+        meta: &MessageMeta,
+        at: Timestamp,
+    ) -> Result<Vec<OutMessage>> {
+        self.commit(Record::Batch(vec![InMessage::new(
+            payload,
+            meta.clone(),
+            at,
+        )]))
+    }
+
+    /// Log and process one ingestion batch (one log record, one fsync).
+    pub fn receive_batch(&mut self, msgs: &[InMessage]) -> Result<Vec<OutMessage>> {
+        self.commit(Record::Batch(msgs.to_vec()))
+    }
+
+    /// Log and apply a clock advance.
+    pub fn advance_time(&mut self, t: Timestamp) -> Result<Vec<OutMessage>> {
+        self.commit(Record::Advance(t))
+    }
+
+    /// Log and apply a direct resource write.
+    pub fn put_resource(&mut self, uri: &str, doc: Term) -> Result<()> {
+        self.commit(Record::Put {
+            uri: uri.to_string(),
+            doc,
+        })
+        .map(|_| ())
+    }
+
+    /// Write a snapshot of the current durable state (see crate docs).
+    pub fn snapshot_now(&mut self) -> Result<()> {
+        // The snapshot references `wal.len()`; under `SyncPolicy::Os`
+        // those bytes may still live in the page cache. Flush first, so
+        // a durable snapshot can never point past the durable log — a
+        // machine crash in that window would otherwise leave a node that
+        // refuses to start ("snapshot is newer than the log").
+        self.wal.sync()?;
+        let end = self.wal.len();
+        let clock = self.engine.front_clock();
+        // Warm start: the first retained record inside the retention
+        // horizon. No such record (quiet log, or everything expired) ⇒
+        // the snapshot is self-sufficient and warms from its own offset;
+        // unbounded retention ⇒ warm from genesis.
+        let (warm_offset, warm_clock, warm_marks, journal_len) = match self.engine.replay_horizon()
+        {
+            None => (
+                self.genesis_offset,
+                Timestamp::ZERO,
+                vec![ReplayMark::default(); self.engine.engines().len()],
+                0usize,
+            ),
+            Some(r) => {
+                let horizon = clock.saturating_sub(r);
+                match self.marks.iter().find(|m| m.at >= horizon) {
+                    Some(m) => (
+                        m.offset,
+                        m.front_clock,
+                        m.engine_marks.clone(),
+                        m.journal_len,
+                    ),
+                    None => (
+                        end,
+                        clock,
+                        self.engine
+                            .engines()
+                            .iter()
+                            .map(|e| e.replay_mark())
+                            .collect(),
+                        self.journal.len(),
+                    ),
+                }
+            }
+        };
+        let shards = self
+            .engine
+            .engines()
+            .iter()
+            .map(|e| ShardState {
+                resources: e
+                    .qe
+                    .store
+                    .uris()
+                    .map(|u| {
+                        (
+                            u.to_string(),
+                            e.qe.store.version(u).expect("listed uri"),
+                            e.qe.store.get(u).expect("listed uri").clone(),
+                        )
+                    })
+                    .collect(),
+                metrics: e.metrics.clone(),
+                action_log: e.action_log.clone(),
+            })
+            .collect();
+        let snap = Snapshot {
+            engine: Recoverable::descriptor(&self.engine),
+            log_offset: end,
+            warm_offset,
+            warm_clock,
+            warm_marks,
+            journal: self.journal[..journal_len].to_vec(),
+            shards,
+        };
+        snap.write_to(&self.snap_path)?;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// The wrapped engine (read access; mutating it directly would
+    /// bypass the log).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// What recovery did when this handle was opened.
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Valid bytes in the write-ahead log.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Path of the write-ahead log file.
+    pub fn wal_path(&self) -> &Path {
+        self.wal.path()
+    }
+
+    /// Flush the log to stable storage regardless of [`SyncPolicy`].
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+}

@@ -1,0 +1,432 @@
+//! Snapshot files: durable engine state at a log offset.
+//!
+//! A snapshot makes recovery *bounded*: instead of replaying the whole
+//! write-ahead log from genesis, recovery loads the snapshot and replays
+//! only a log suffix. The file carries, as CRC-framed textual terms:
+//!
+//! * `s_meta` — schema, engine descriptor, the snapshot's **log offset**
+//!   `S` (state below is exact as of `S`) and **warm offset** `H` (the
+//!   retention-horizon record recovery starts replaying from — see the
+//!   crate docs for why `H < S` rebuilds composite-event state exactly);
+//! * `s_mark` — per-shard [`reweb_core::ReplayMark`]s as of `H`;
+//! * `s_prog` / `s_dyn` — the install journal up to `H`: every rule
+//!   program installed statically (reprinted rule text) or dynamically
+//!   (the original `install_rules` message, so shard placement replays
+//!   through the same admission path);
+//! * `s_res` — every resource-store document of every shard as of `S`,
+//!   with its version counter;
+//! * `s_metrics` / `s_alog` — per-shard engine metrics and action logs
+//!   as of `S` (restored so observability survives a crash);
+//! * `s_end` — terminator; a snapshot file without it (crash mid-write)
+//!   is ignored in favor of genesis replay.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use reweb_core::{EngineMetrics, InMessage, ReplayMark};
+use reweb_term::frame::{scan_frames, write_frame};
+use reweb_term::{parse_term, Term, Timestamp};
+
+use crate::wal::{field_text, field_u64, msg_from_term, msg_to_term};
+use crate::{PersistError, Result};
+
+/// Schema tag of snapshot files this build reads and writes.
+pub const SNAP_SCHEMA: &str = "reweb-snap/v1";
+
+/// One entry of the install journal: how a rule program entered the
+/// engine, in order. Replaying the journal reproduces the rule base —
+/// including shard placement, which for dynamic installs depends on the
+/// admitting message, not just the rules.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEntry {
+    /// `install_program` text (original source, or a reprinted rule set).
+    Static(String),
+    /// An `install_rules` message as received.
+    Dynamic(InMessage),
+}
+
+/// Per-shard state captured as of the snapshot's log offset.
+#[derive(Clone, Debug, Default)]
+pub struct ShardState {
+    /// `(uri, version, doc)` of every stored resource.
+    pub resources: Vec<(String, u64, Term)>,
+    /// Engine metrics (counters, per-rule fires, error log).
+    pub metrics: EngineMetrics,
+    /// Terms written by `LOG` actions.
+    pub action_log: Vec<Term>,
+}
+
+/// A decoded snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Engine descriptor the snapshot was taken from (shape validation).
+    pub engine: String,
+    /// Log offset `S`: stores/metrics/logs below are exact as of `S`.
+    pub log_offset: u64,
+    /// Warm offset `H ≤ S`: recovery replays `[H, S)` in warmup mode to
+    /// rebuild composite-event partial state, then `[S, …)` fully.
+    pub warm_offset: u64,
+    /// Front-end clock as of `H` (restored before warm replay).
+    pub warm_clock: Timestamp,
+    /// Per-shard replay marks as of `H`.
+    pub warm_marks: Vec<ReplayMark>,
+    /// Install journal entries from before `H` (later installs are
+    /// replayed from the log itself).
+    pub journal: Vec<JournalEntry>,
+    /// Per-shard state as of `S`.
+    pub shards: Vec<ShardState>,
+}
+
+fn metrics_to_term(shard: usize, m: &EngineMetrics) -> Term {
+    Term::build("s_metrics")
+        .unordered()
+        .field("shard", shard.to_string())
+        .field("received", m.events_received.to_string())
+        .field("denied", m.events_denied.to_string())
+        .field("derived", m.events_derived.to_string())
+        .field("unmatched", m.events_unmatched.to_string())
+        .field("fired", m.rules_fired.to_string())
+        .field("cond", m.condition_evals.to_string())
+        .field("afail", m.actions_failed.to_string())
+        .field("sent", m.messages_sent.to_string())
+        .field("installed", m.rules_installed.to_string())
+        .child(
+            Term::build("fires")
+                .children(m.fires_by_rule.iter().map(|(r, n)| {
+                    Term::build("f")
+                        .unordered()
+                        .field("r", r)
+                        .field("n", n.to_string())
+                        .finish()
+                }))
+                .finish(),
+        )
+        .child(
+            Term::build("errors")
+                .children(m.errors.iter().map(|e| Term::text(e.clone())))
+                .finish(),
+        )
+        .finish()
+}
+
+fn metrics_from_term(t: &Term) -> Result<(usize, EngineMetrics)> {
+    let shard = field_u64(t, "shard")? as usize;
+    let mut m = EngineMetrics {
+        events_received: field_u64(t, "received")?,
+        events_denied: field_u64(t, "denied")?,
+        events_derived: field_u64(t, "derived")?,
+        events_unmatched: field_u64(t, "unmatched")?,
+        rules_fired: field_u64(t, "fired")?,
+        condition_evals: field_u64(t, "cond")?,
+        actions_failed: field_u64(t, "afail")?,
+        messages_sent: field_u64(t, "sent")?,
+        rules_installed: field_u64(t, "installed")?,
+        fires_by_rule: BTreeMap::new(),
+        errors: Vec::new(),
+    };
+    if let Some(fires) = t.children().iter().find(|c| c.label() == Some("fires")) {
+        for f in fires.children() {
+            m.fires_by_rule
+                .insert(field_text(f, "r")?, field_u64(f, "n")?);
+        }
+    }
+    if let Some(errors) = t.children().iter().find(|c| c.label() == Some("errors")) {
+        m.errors = errors.children().iter().map(Term::text_content).collect();
+    }
+    Ok((shard, m))
+}
+
+impl Snapshot {
+    /// Serialize as a sequence of framed term records (see module docs).
+    pub fn to_frames(&self) -> Vec<Vec<u8>> {
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut push = |t: Term| frames.push(t.to_string().into_bytes());
+        push(
+            Term::build("s_meta")
+                .unordered()
+                .field("schema", SNAP_SCHEMA)
+                .field("engine", &self.engine)
+                .field("log_offset", self.log_offset.to_string())
+                .field("warm_offset", self.warm_offset.to_string())
+                .field("warm_clock", self.warm_clock.millis().to_string())
+                .field("shards", self.shards.len().to_string())
+                .finish(),
+        );
+        for (i, mark) in self.warm_marks.iter().enumerate() {
+            push(
+                Term::build("s_mark")
+                    .unordered()
+                    .field("shard", i.to_string())
+                    .field("clock", mark.clock.millis().to_string())
+                    .field("eseq", mark.event_seq.to_string())
+                    .field("dseq", mark.derived_seq.to_string())
+                    .finish(),
+            );
+        }
+        for entry in &self.journal {
+            match entry {
+                JournalEntry::Static(src) => {
+                    push(Term::ordered("s_prog", vec![Term::text(src.clone())]))
+                }
+                JournalEntry::Dynamic(m) => push(Term::ordered("s_dyn", vec![msg_to_term(m)])),
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (uri, version, doc) in &shard.resources {
+                push(
+                    Term::build("s_res")
+                        .unordered()
+                        .field("shard", i.to_string())
+                        .field("uri", uri)
+                        .field("version", version.to_string())
+                        .child(Term::ordered("doc", vec![doc.clone()]))
+                        .finish(),
+                );
+            }
+            push(metrics_to_term(i, &shard.metrics));
+            push(
+                Term::build("s_alog")
+                    .unordered()
+                    .field("shard", i.to_string())
+                    .child(
+                        Term::build("entries")
+                            .children(shard.action_log.iter().cloned())
+                            .finish(),
+                    )
+                    .finish(),
+            );
+        }
+        push(Term::build("s_end").unordered().finish());
+        frames
+    }
+
+    /// Decode a snapshot from raw file bytes. Returns `Ok(None)` for a
+    /// file that is incomplete (torn tail or missing `s_end`) — the
+    /// residue of a crash mid-snapshot, which recovery handles by
+    /// falling back to full log replay. A *complete* file with invalid
+    /// contents is corruption and fails.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Option<Snapshot>> {
+        let scan = scan_frames(bytes);
+        let mut terms = Vec::with_capacity(scan.frames.len());
+        for (_, payload) in &scan.frames {
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| PersistError::Corrupt("snapshot record is not UTF-8".into()))?;
+            terms.push(parse_term(text)?);
+        }
+        match terms.last() {
+            Some(t) if t.label() == Some("s_end") => {}
+            _ => return Ok(None), // incomplete write — not an error
+        }
+        let meta = terms
+            .first()
+            .filter(|t| t.label() == Some("s_meta"))
+            .ok_or_else(|| PersistError::Corrupt("snapshot does not start with s_meta".into()))?;
+        let schema = field_text(meta, "schema")?;
+        if schema != SNAP_SCHEMA {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot schema `{schema}` is not `{SNAP_SCHEMA}`"
+            )));
+        }
+        let n_shards = field_u64(meta, "shards")? as usize;
+        let mut snap = Snapshot {
+            engine: field_text(meta, "engine")?,
+            log_offset: field_u64(meta, "log_offset")?,
+            warm_offset: field_u64(meta, "warm_offset")?,
+            warm_clock: Timestamp(field_u64(meta, "warm_clock")?),
+            warm_marks: vec![ReplayMark::default(); n_shards],
+            journal: Vec::new(),
+            shards: vec![ShardState::default(); n_shards],
+        };
+        let shard_slot = |snap: &mut Snapshot, idx: usize| -> Result<usize> {
+            if idx >= snap.shards.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "snapshot names shard {idx} but declares {} shards",
+                    snap.shards.len()
+                )));
+            }
+            Ok(idx)
+        };
+        for t in &terms[1..terms.len() - 1] {
+            match t.label() {
+                Some("s_mark") => {
+                    let i = shard_slot(&mut snap, field_u64(t, "shard")? as usize)?;
+                    snap.warm_marks[i] = ReplayMark {
+                        clock: Timestamp(field_u64(t, "clock")?),
+                        event_seq: field_u64(t, "eseq")?,
+                        derived_seq: field_u64(t, "dseq")?,
+                    };
+                }
+                Some("s_prog") => {
+                    let src = t
+                        .children()
+                        .first()
+                        .map(Term::text_content)
+                        .ok_or_else(|| PersistError::Corrupt("s_prog without source".into()))?;
+                    snap.journal.push(JournalEntry::Static(src));
+                }
+                Some("s_dyn") => {
+                    let m = t
+                        .children()
+                        .first()
+                        .ok_or_else(|| PersistError::Corrupt("s_dyn without message".into()))?;
+                    snap.journal.push(JournalEntry::Dynamic(msg_from_term(m)?));
+                }
+                Some("s_res") => {
+                    let i = shard_slot(&mut snap, field_u64(t, "shard")? as usize)?;
+                    let doc = t
+                        .children()
+                        .iter()
+                        .find(|c| c.label() == Some("doc"))
+                        .and_then(|w| w.children().first())
+                        .ok_or_else(|| PersistError::Corrupt("s_res without doc".into()))?;
+                    snap.shards[i].resources.push((
+                        field_text(t, "uri")?,
+                        field_u64(t, "version")?,
+                        doc.clone(),
+                    ));
+                }
+                Some("s_metrics") => {
+                    let (i, m) = metrics_from_term(t)?;
+                    let i = shard_slot(&mut snap, i)?;
+                    snap.shards[i].metrics = m;
+                }
+                Some("s_alog") => {
+                    let i = shard_slot(&mut snap, field_u64(t, "shard")? as usize)?;
+                    if let Some(entries) =
+                        t.children().iter().find(|c| c.label() == Some("entries"))
+                    {
+                        snap.shards[i].action_log = entries.children().to_vec();
+                    }
+                }
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "unknown snapshot record label {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Some(snap))
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, fsync, rename over
+    /// `path`, then fsync the directory so the rename itself is durable.
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for frame in self.to_frames() {
+                write_frame(&mut f, &frame)?;
+            }
+            f.flush()?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all(); // best-effort on platforms that allow it
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a snapshot file; `Ok(None)` when absent or incomplete.
+    pub fn read_from(path: &Path) -> Result<Option<Snapshot>> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reweb_core::MessageMeta;
+
+    fn sample() -> Snapshot {
+        let mut metrics = EngineMetrics {
+            events_received: 7,
+            rules_fired: 3,
+            ..EngineMetrics::default()
+        };
+        metrics.fires_by_rule.insert("r1".into(), 3);
+        metrics.errors.push("rule r9: action failed: boom".into());
+        Snapshot {
+            engine: "sharded:2:Serial".into(),
+            log_offset: 420,
+            warm_offset: 120,
+            warm_clock: Timestamp(9_000),
+            warm_marks: vec![
+                ReplayMark {
+                    clock: Timestamp(8_000),
+                    event_seq: 11,
+                    derived_seq: 2,
+                },
+                ReplayMark::default(),
+            ],
+            journal: vec![
+                JournalEntry::Static("RULE r1 ON ping DO NOOP END".into()),
+                JournalEntry::Dynamic(InMessage::new(
+                    parse_term("install_rules[ruleset{name[\"x\"]}]").unwrap(),
+                    MessageMeta::from_uri("http://peer"),
+                    Timestamp(50),
+                )),
+            ],
+            shards: vec![
+                ShardState {
+                    resources: vec![(
+                        "http://data/items".into(),
+                        4,
+                        parse_term("items[item{v[\"0\"]}]").unwrap(),
+                    )],
+                    metrics,
+                    action_log: vec![parse_term("logged{x[\"1\"]}").unwrap()],
+                },
+                ShardState::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample();
+        let mut bytes = Vec::new();
+        for frame in snap.to_frames() {
+            write_frame(&mut bytes, &frame).unwrap();
+        }
+        let back = Snapshot::from_bytes(&bytes).unwrap().expect("complete");
+        assert_eq!(back.engine, snap.engine);
+        assert_eq!(back.log_offset, snap.log_offset);
+        assert_eq!(back.warm_offset, snap.warm_offset);
+        assert_eq!(back.warm_marks, snap.warm_marks);
+        assert_eq!(back.journal, snap.journal);
+        assert_eq!(back.shards.len(), 2);
+        assert_eq!(back.shards[0].resources, snap.shards[0].resources);
+        assert_eq!(
+            back.shards[0].metrics.fires_by_rule,
+            snap.shards[0].metrics.fires_by_rule
+        );
+        assert_eq!(back.shards[0].metrics.errors, snap.shards[0].metrics.errors);
+        assert_eq!(back.shards[0].action_log, snap.shards[0].action_log);
+    }
+
+    #[test]
+    fn incomplete_snapshot_is_none_not_error() {
+        let snap = sample();
+        let mut bytes = Vec::new();
+        for frame in snap.to_frames() {
+            write_frame(&mut bytes, &frame).unwrap();
+        }
+        // Chop off the s_end terminator (and a bit more).
+        let cut = bytes.len() - 9;
+        assert!(Snapshot::from_bytes(&bytes[..cut]).unwrap().is_none());
+        assert!(Snapshot::from_bytes(&[]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! Torn-tail and snapshot edge cases of durable recovery: the inputs a
+//! crash (or an operator with `truncate`) can actually leave on disk.
+
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+use reweb_core::{MessageMeta, ReactiveEngine};
+use reweb_persist::{DurableEngine, DurableOptions, PersistError, SyncPolicy};
+use reweb_term::{parse_term, Timestamp};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reweb-edge-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> DurableOptions {
+    DurableOptions {
+        sync: SyncPolicy::Os,
+        snapshot_every: None,
+    }
+}
+
+fn build() -> ReactiveEngine {
+    ReactiveEngine::new("http://node")
+}
+
+const PROGRAM: &str = r#"RULE r ON ping{{n[[var N]]}} DO SEND pong{n[var N]} TO "http://sink" END"#;
+
+fn feed(d: &mut DurableEngine<ReactiveEngine>, n: u64, from: u64) -> usize {
+    let meta = MessageMeta::from_uri("http://peer");
+    let mut outs = 0;
+    for k in from..from + n {
+        outs += d
+            .receive(
+                parse_term(&format!("ping{{n[\"{k}\"]}}")).unwrap(),
+                &meta,
+                Timestamp(1_000 * (k + 1)),
+            )
+            .unwrap()
+            .len();
+    }
+    outs
+}
+
+/// A brand-new directory (and an empty log file) recover to a blank,
+/// usable engine.
+#[test]
+fn empty_log_recovers_to_blank_engine() {
+    let dir = fresh_dir("empty");
+    {
+        let d = DurableEngine::open(&dir, opts(), build).unwrap();
+        assert!(!d.recovery().recovered);
+        assert_eq!(d.engine().rule_count(), 0);
+    }
+    // Re-open with only the header record present: recovered, nothing
+    // replayed.
+    let d = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert!(d.recovery().recovered);
+    assert_eq!(d.recovery().replayed_records, 0);
+    assert_eq!(d.recovery().torn_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot at the exact end of the log: recovery restores state with
+/// zero full-replay suffix and the engine continues correctly.
+#[test]
+fn snapshot_with_no_suffix() {
+    let dir = fresh_dir("nosuffix");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        assert_eq!(feed(&mut d, 5, 0), 5);
+        d.snapshot_now().unwrap();
+    }
+    let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert!(d.recovery().used_snapshot);
+    assert_eq!(
+        d.recovery().replayed_records,
+        0,
+        "snapshot covers the whole log; no full-replay suffix"
+    );
+    assert_eq!(d.engine().rule_count(), 1);
+    assert_eq!(d.engine().metrics.rules_fired, 5, "metrics restored");
+    assert_eq!(feed(&mut d, 1, 5), 1, "engine is live after recovery");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A length prefix that is itself truncated (fewer than the 8 header
+/// bytes, so its CRC cannot even be read) is a torn tail: discarded,
+/// healed, not a panic.
+#[test]
+fn truncated_length_prefix_is_discarded() {
+    let dir = fresh_dir("shortlen");
+    let valid_len;
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        feed(&mut d, 3, 0);
+        valid_len = d.wal_len();
+    }
+    // Append 3 bytes: a length prefix cut off mid-write.
+    let wal = dir.join("wal.log");
+    {
+        use std::io::Write;
+        let mut f = OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(&[0x40, 0x00, 0x00]).unwrap();
+    }
+    let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert_eq!(d.recovery().torn_bytes, 3);
+    assert_eq!(d.wal_len(), valid_len, "file truncated back to boundary");
+    assert_eq!(d.engine().metrics.rules_fired, 3);
+    assert_eq!(feed(&mut d, 1, 3), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A CRC-valid length prefix whose payload is cut short is equally a
+/// torn tail.
+#[test]
+fn truncated_payload_is_discarded() {
+    let dir = fresh_dir("shortpay");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        feed(&mut d, 4, 0);
+    }
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    // Chop the last 5 bytes: final record's payload is now shorter than
+    // its (intact, CRC-carrying) header claims.
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+    let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert!(d.recovery().torn_bytes > 0);
+    assert_eq!(
+        d.engine().metrics.rules_fired,
+        3,
+        "last receive discarded with its record"
+    );
+    assert_eq!(feed(&mut d, 1, 4), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted (bit-flipped) record mid-file ends the trusted prefix at
+/// the corruption point: everything before it recovers.
+#[test]
+fn corrupt_record_ends_the_trusted_prefix() {
+    let dir = fresh_dir("bitflip");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        feed(&mut d, 4, 0);
+    }
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x10;
+    std::fs::write(&wal, &bytes).unwrap();
+    let d = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert!(d.recovery().torn_bytes > 0);
+    assert_eq!(d.engine().metrics.rules_fired, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot pointing past the end of the log means the log lost
+/// records *after* the snapshot was taken. Recovery must refuse loudly —
+/// replaying would silently drop those events.
+#[test]
+fn snapshot_newer_than_log_is_an_error() {
+    let dir = fresh_dir("snapahead");
+    let before_last;
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        feed(&mut d, 4, 0);
+        before_last = d.wal_len();
+        feed(&mut d, 2, 4);
+        d.snapshot_now().unwrap(); // snapshot references the full log
+    }
+    // "Lose" the tail the snapshot depends on (e.g. a restored-from-
+    // backup log file): cut cleanly at an earlier record boundary.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..before_last as usize]).unwrap();
+    let err = DurableEngine::open(&dir, opts(), build).expect_err("must refuse");
+    match &err {
+        PersistError::Corrupt(msg) => {
+            assert!(msg.contains("newer than the log"), "got: {msg}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The degenerate variant: a snapshot exists but the log is gone
+/// entirely. Also a loud error, not a fresh start.
+#[test]
+fn snapshot_with_missing_log_is_an_error() {
+    let dir = fresh_dir("snaplogless");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        feed(&mut d, 2, 0);
+        d.snapshot_now().unwrap();
+    }
+    std::fs::remove_file(dir.join("wal.log")).unwrap();
+    let err = DurableEngine::open(&dir, opts(), build).expect_err("must refuse");
+    assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A half-written snapshot (no terminator — crash mid-snapshot) is
+/// ignored in favor of full log replay, and the next snapshot repairs
+/// it.
+#[test]
+fn incomplete_snapshot_falls_back_to_genesis_replay() {
+    let dir = fresh_dir("snaptorn");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+        feed(&mut d, 3, 0);
+        d.snapshot_now().unwrap();
+    }
+    let snap = dir.join("snapshot.bin");
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() - 6]).unwrap();
+    let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert!(!d.recovery().used_snapshot, "torn snapshot ignored");
+    assert_eq!(d.recovery().replayed_records, 4, "full genesis replay");
+    assert_eq!(d.engine().metrics.rules_fired, 3);
+    d.snapshot_now().unwrap();
+    let d2 = DurableEngine::open(&dir, opts(), build).unwrap();
+    assert!(d2.recovery().used_snapshot, "fresh snapshot readable again");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recovering a log with a differently shaped engine is refused.
+#[test]
+fn engine_shape_mismatch_is_refused() {
+    use reweb_core::ShardedEngine;
+    let dir = fresh_dir("shape");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.install_program(PROGRAM).unwrap();
+    }
+    let err = DurableEngine::open(&dir, opts(), || ShardedEngine::new("http://node", 2))
+        .expect_err("shape mismatch");
+    assert!(matches!(err, PersistError::Corrupt(_)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `put_resource` is logged and replayed, and versions survive exactly.
+#[test]
+fn put_resource_round_trips_with_versions() {
+    let dir = fresh_dir("puts");
+    {
+        let mut d = DurableEngine::open(&dir, opts(), build).unwrap();
+        d.put_resource("http://data/doc", parse_term("doc[v[\"1\"]]").unwrap())
+            .unwrap();
+        d.put_resource("http://data/doc", parse_term("doc[v[\"2\"]]").unwrap())
+            .unwrap();
+        d.snapshot_now().unwrap();
+        d.put_resource("http://data/doc", parse_term("doc[v[\"3\"]]").unwrap())
+            .unwrap();
+    }
+    let d = DurableEngine::open(&dir, opts(), build).unwrap();
+    let e = d.engine();
+    assert_eq!(
+        e.qe.store.get("http://data/doc").unwrap().to_string(),
+        "doc[v[\"3\"]]"
+    );
+    assert_eq!(e.qe.store.version("http://data/doc"), Some(3));
+    std::fs::remove_dir_all(&dir).ok();
+}

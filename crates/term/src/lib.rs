@@ -21,6 +21,9 @@
 //!   identity regime (what a polling observer must do, Theses 3 and 10).
 //! * [`ResourceStore`] — versioned, URI-addressed persistent documents, the
 //!   "persistent data" half of Thesis 4's persistent/volatile split.
+//! * [`frame`] — length- and CRC32-framed append-only records with
+//!   torn-tail detection, the byte substrate of the durability layer
+//!   (`reweb_persist`'s write-ahead log and snapshots).
 //! * [`Timestamp`]/[`Dur`] — the virtual clock shared by every crate, which
 //!   keeps the entire system deterministic.
 //!
@@ -31,6 +34,7 @@
 
 pub mod diff;
 pub mod error;
+pub mod frame;
 pub mod identity;
 pub mod lex;
 pub mod parser;
@@ -43,6 +47,7 @@ pub mod time;
 
 pub use diff::{diff_documents, Change};
 pub use error::TermError;
+pub use frame::{crc32, scan_frames, write_frame, FrameScan, TailState};
 pub use identity::{ext_id, fnv1a, IdentityMode};
 pub use parser::parse_term;
 pub use path::{apply_edit, node_at, Path, PathEdit};

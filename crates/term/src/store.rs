@@ -103,6 +103,14 @@ impl ResourceStore {
         self.docs.is_empty()
     }
 
+    /// Install a document at an explicit version — the durability
+    /// layer's restore path, which must reproduce version counters
+    /// exactly so pollers that compare versions across a crash see the
+    /// same numbers an uninterrupted node would have shown.
+    pub fn put_with_version(&mut self, uri: impl Into<String>, doc: Term, version: u64) {
+        self.docs.insert(uri.into(), Versioned { doc, version });
+    }
+
     /// Cheap whole-store snapshot (structural sharing makes this a map of
     /// `Arc` bumps, not a deep copy). Used for transactional actions.
     pub fn snapshot(&self) -> ResourceStore {

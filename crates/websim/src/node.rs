@@ -7,15 +7,17 @@ use crate::envelope::Envelope;
 
 /// What a node does with the messages and timers it receives.
 pub enum NodeKind {
-    /// A reactive node: rules processed locally (Thesis 2).
-    Engine(ReactiveEngine),
+    /// A reactive node: rules processed locally (Thesis 2). Boxed: a
+    /// `ReactiveEngine` is by far the largest variant, and nodes of all
+    /// kinds live together in the simulation's node map.
+    Engine(Box<ReactiveEngine>),
     /// A reactive node whose rules are partitioned across N engine
     /// shards by event-label affinity (batch-ingestion front-end).
     /// Works with either executor — build the engine with
     /// `ShardedEngine::new` (serial) or `ShardedEngine::new_parallel`
     /// (one worker thread per shard); the simulation cannot tell them
     /// apart.
-    Sharded(ShardedEngine),
+    Sharded(Box<ShardedEngine>),
     /// A passive resource server: answers `GET`s, ignores `POST`s.
     Store(ResourceStore),
     /// A polling observer (the Thesis 3 baseline).

@@ -113,13 +113,15 @@ impl Simulation {
     // ----- topology -------------------------------------------------------
 
     pub fn add_engine(&mut self, uri: impl Into<String>, engine: ReactiveEngine) {
-        self.nodes.insert(uri.into(), NodeKind::Engine(engine));
+        self.nodes
+            .insert(uri.into(), NodeKind::Engine(Box::new(engine)));
     }
 
     /// Add a node backed by a sharded engine: deliveries route through
     /// its label-affinity front-end instead of a single engine.
     pub fn add_sharded_engine(&mut self, uri: impl Into<String>, engine: ShardedEngine) {
-        self.nodes.insert(uri.into(), NodeKind::Sharded(engine));
+        self.nodes
+            .insert(uri.into(), NodeKind::Sharded(Box::new(engine)));
     }
 
     pub fn add_store(&mut self, uri: impl Into<String>, store: ResourceStore) {

@@ -20,6 +20,8 @@
 //!   sequences, alternatives, branching, procedures.
 //! * [`core`] — the ECA rule language and reactive engine (the paper's
 //!   primary contribution), including meta-rules, trust negotiation and AAA.
+//! * [`persist`] — durability: write-ahead log, snapshots, and crash
+//!   recovery wrapping single or sharded engines ([`DurableEngine`]).
 //! * [`production`] — the production-rule (Condition-Action) baseline.
 //! * [`websim`] — deterministic discrete-event simulation of Web nodes.
 //!
@@ -32,6 +34,10 @@ pub use reweb_core as core;
 // `core::shard` for.
 pub use reweb_core::{ExecMode, InMessage, ShardedEngine};
 pub use reweb_events as events;
+pub use reweb_persist as persist;
+// Durability is likewise a facade-level concern: a node that must
+// survive restarts wraps its engine once, here.
+pub use reweb_persist::{DurableEngine, DurableOptions, SyncPolicy};
 pub use reweb_production as production;
 pub use reweb_query as query;
 pub use reweb_term as term;

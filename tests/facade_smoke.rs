@@ -156,3 +156,51 @@ fn sharded_engine_batch_through_facade() {
         "batch spread over more than one shard"
     );
 }
+
+/// The durability layer is reachable under its facade path, and the
+/// README quickstart shape — open, install, receive, crash (drop),
+/// recover, continue — works end to end, composite window included.
+#[test]
+fn durable_engine_through_facade() {
+    use reweb::persist::SyncPolicy;
+    use reweb::{DurableEngine, DurableOptions};
+
+    let dir = std::env::temp_dir().join(format!("reweb-facade-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Os,
+        snapshot_every: Some(2),
+    };
+    let build = || ReactiveEngine::new("http://shop");
+    let meta = MessageMeta::from_uri("http://client");
+    {
+        let mut node = DurableEngine::open(&dir, opts, build).expect("create");
+        assert!(!node.recovery().recovered);
+        node.install_program(
+            r#"RULE pay ON and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 2h
+               DO SEND paid{order[var O]} TO "http://ship" END"#,
+        )
+        .expect("program");
+        let out = node
+            .receive(
+                parse_term(r#"order{id["o1"]}"#).unwrap(),
+                &meta,
+                Timestamp(1_000),
+            )
+            .expect("receive");
+        assert!(out.is_empty(), "half-open window: nothing fired yet");
+    } // crash
+
+    let mut node = DurableEngine::open(&dir, opts, build).expect("recover");
+    assert!(node.recovery().recovered);
+    let out = node
+        .receive(
+            parse_term(r#"payment{order["o1"]}"#).unwrap(),
+            &meta,
+            Timestamp(2_000),
+        )
+        .expect("receive");
+    assert_eq!(out.len(), 1, "the pre-crash order completed the pair");
+    assert_eq!(out[0].payload.to_string(), "paid{order[\"o1\"]}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
