@@ -1,4 +1,4 @@
-//! Regenerate the experiment tables E1…E15 (see DESIGN.md §3).
+//! Regenerate the experiment tables E1…E16 (see DESIGN.md §3).
 //!
 //! ```text
 //! cargo run --release --bin experiments            # all tables
@@ -16,17 +16,20 @@
 //! the engine work without paying for the full (~15 s) experiment run.
 //!
 //! `--bench-json <path>` runs only the perf experiments — E13 (sharded
-//! throughput), E14 (single-engine hot path), and E15 (durable-mode
-//! ingestion + cold recovery), full 100k-event workloads — and writes
+//! throughput), E14 (single-engine hot path), E15 (durable-mode
+//! ingestion + cold recovery), and E16 (compiled-matcher rule scaling,
+//! 100 → 100k installed rules), full 100k-event workloads — and writes
 //! their numbers as one JSON file;
 //! `--check-floor <baseline>` additionally compares the run against a
 //! committed baseline and exits non-zero when parallel throughput fell
 //! more than 25% below it (normalized by the same run's single-engine
-//! rate, so machine speed cancels) or when the absolute E14 hot-path or
-//! E15 durable-ingestion rates fell more than 25% below their
-//! conservatively rounded committed floors (see
-//! [`experiments::check_floor`]). CI runs this as its performance floor
-//! and uploads the JSON — recovery timings included — as an artifact.
+//! rate, so machine speed cancels), when the absolute E14 hot-path,
+//! E15 durable-ingestion, or E16 100k-rule rates fell more than 25%
+//! below their conservatively rounded committed floors, or when the
+//! same run's E16 per-event cost is no longer flat in the rule count
+//! (see [`experiments::check_floor`]). CI runs this as its performance
+//! floor and uploads the JSON — recovery timings included — as an
+//! artifact.
 
 use reweb_bench::experiments;
 
@@ -68,8 +71,8 @@ fn smoke() {
     );
 }
 
-/// The perf bench path: run E13 + E14 + E15, write JSON, optionally
-/// enforce the perf floor.
+/// The perf bench path: run E13 + E14 + E15 + E16, write JSON,
+/// optionally enforce the perf floor.
 fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E13 (100k events, serial + parallel at 1/2/4/8 shards)…");
     let report = experiments::e13_report(100_000);
@@ -80,15 +83,21 @@ fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E15 (100k events, durable engine + cold recovery)…");
     let durable = experiments::e15_report(100_000);
     println!("{}", experiments::e15_table(&durable).to_markdown());
+    eprintln!("running E16 (100k events, compiled matcher at 100 → 100k rules)…");
+    let rules = experiments::e16_report(100_000);
+    println!("{}", experiments::e16_table(&rules).to_markdown());
     if let Some(path) = json_out {
-        std::fs::write(path, experiments::bench_json(&report, &hot, &durable))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        std::fs::write(
+            path,
+            experiments::bench_json(&report, &hot, &durable, &rules),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }
     if let Some(path) = floor_baseline {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        match experiments::check_floor(&report, &hot, &durable, &baseline, 0.25) {
+        match experiments::check_floor(&report, &hot, &durable, &rules, &baseline, 0.25) {
             Ok(summary) => {
                 println!("## Performance floor: OK (baseline {path}, 25% tolerance)\n");
                 println!("{summary}");
@@ -148,7 +157,7 @@ fn main() {
     let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
     let run_all = wanted.is_empty();
 
-    println!("# reweb experiment tables (E1…E15)\n");
+    println!("# reweb experiment tables (E1…E16)\n");
     for (id, run) in experiments::RUNNERS {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id}…");

@@ -25,7 +25,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 15] = [
+pub const RUNNERS: [(&str, Runner); 16] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -41,6 +41,7 @@ pub const RUNNERS: [(&str, Runner); 15] = [
     ("E13", e13_sharded_throughput),
     ("E14", e14_hot_path),
     ("E15", e15_durability),
+    ("E16", e16_rules_scaling),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1524,13 +1525,208 @@ pub fn e15_table(r: &E15Report) -> Table {
     t
 }
 
-/// Serialize the E13 + E14 + E15 reports as the `--bench-json` payload.
+/// One measured E16 configuration: dispatch cost at one installed-rule
+/// count.
+#[derive(Clone, Debug)]
+pub struct E16Row {
+    /// Installed rules.
+    pub rules: usize,
+    /// Time to compile and install all rules (incremental network
+    /// extension included), milliseconds.
+    pub install_ms: f64,
+    /// Throughput, in 1000 events/s (best-of-N).
+    pub kevents_per_s: f64,
+    /// Rule firings (one per event: every event matches exactly one rule).
+    pub reactions: u64,
+    /// Alpha tests + dispatch probes per event — the flat-cost witness:
+    /// tracks event shape, not rule count.
+    pub alpha_tests_per_event: f64,
+    /// Nodes in the candidate index after install.
+    pub network_nodes: usize,
+}
+
+/// Machine-readable E16 result: rule-count scaling of the compiled
+/// discrimination network, with interpreted-dispatch contrast rows.
+#[derive(Clone, Debug)]
+pub struct E16Report {
+    /// Events pushed per configuration.
+    pub events: usize,
+    /// Compiled-network rows, one per rule count (ascending).
+    pub rows: Vec<E16Row>,
+    /// Interpreted-dispatch contrast rows (smaller rule counts and a
+    /// shorter stream — per-candidate interpretation makes the full
+    /// sweep infeasible, which is the point).
+    pub interpreted: Vec<E16Row>,
+    /// Events per interpreted contrast run.
+    pub interpreted_events: usize,
+}
+
+/// E16 (rules scaling): per-event dispatch cost of the shared alpha
+/// network as the rule base grows 10² → 10⁵, vs interpreted dispatch.
+pub fn e16_rules_scaling() -> Table {
+    e16_table(&e16_report(100_000))
+}
+
+/// Measure the E16 workload at `n_events` per configuration (100k for
+/// the real table) over the full 10²→10⁵ sweep.
+pub fn e16_report(n_events: usize) -> E16Report {
+    e16_report_with(n_events, &[100, 1_000, 10_000, 100_000])
+}
+
+/// Build the E16 rule base: rule `i` fires on `order` events whose
+/// `@route` attribute equals `"r{i}"` — every rule shares the label and
+/// child-shape tests, so the network's per-event work is one attribute
+/// probe plus a handful of shared shape tests at *any* rule count.
+fn e16_rule(i: usize) -> reweb_core::EcaRule {
+    let on = parse_event_query(&format!("order{{{{@route=\"r{i}\", n[[var N]]}}}}"))
+        .expect("E16 trigger parses");
+    reweb_core::EcaRule::on_do(format!("r{i}"), on, Action::Noop)
+}
+
+/// Measure E16 at the given rule counts (the shape test uses small ones).
+pub fn e16_report_with(n_events: usize, rule_counts: &[usize]) -> E16Report {
+    use reweb_core::MatchMode;
+
+    let meta = MessageMeta::from_uri("http://client");
+    const REPEATS: usize = 2;
+
+    let run = |n_rules: usize, n_events: usize, mode: MatchMode| -> E16Row {
+        // Pre-parse the stream so the timed region is dispatch + match +
+        // fire only. Every event matches exactly one rule.
+        let msgs: Vec<Term> = (0..n_events)
+            .map(|i| {
+                parse_term(&format!("order{{@route=\"r{}\", n[\"{i}\"]}}", i % n_rules))
+                    .expect("E16 event parses")
+            })
+            .collect();
+        let mut best = f64::MIN;
+        let mut picked: Option<E16Row> = None;
+        for _ in 0..REPEATS {
+            let mut e = ReactiveEngine::new("http://svc");
+            e.set_match_mode(mode);
+            let (_, install_secs) = timed(|| {
+                for i in 0..n_rules {
+                    e.add_rule(e16_rule(i));
+                }
+            });
+            let (_, secs) = timed(|| {
+                for (i, p) in msgs.iter().enumerate() {
+                    e.receive(p.clone(), &meta, Timestamp(i as u64));
+                }
+            });
+            let rate = n_events as f64 / secs / 1_000.0;
+            if rate > best {
+                best = rate;
+                picked = Some(E16Row {
+                    rules: n_rules,
+                    install_ms: install_secs * 1e3,
+                    kevents_per_s: rate,
+                    reactions: e.metrics.rules_fired,
+                    alpha_tests_per_event: e.metrics.alpha_tests_run as f64 / n_events as f64,
+                    network_nodes: e.index_node_count(),
+                });
+            }
+        }
+        picked.expect("at least one repeat ran")
+    };
+
+    let rows = rule_counts
+        .iter()
+        .map(|&n| run(n, n_events, MatchMode::Compiled))
+        .collect();
+    // Interpreted contrast: per-candidate interpretation costs
+    // O(rules) per event, so measure it only at the two smallest counts
+    // over a shorter stream (rates are per-event, so they compare).
+    let interpreted_events = (n_events / 10).max(1);
+    let interpreted = rule_counts
+        .iter()
+        .take(2)
+        .map(|&n| run(n, interpreted_events, MatchMode::Interpreted))
+        .collect();
+
+    E16Report {
+        events: n_events,
+        rows,
+        interpreted,
+        interpreted_events,
+    }
+}
+
+/// Render an [`E16Report`] as the experiment table.
+pub fn e16_table(r: &E16Report) -> Table {
+    let mut t = Table::new(
+        "E16",
+        "rules scaling",
+        format!(
+            "compiled rule matcher: {} events per configuration, rules 10² → 10⁵",
+            r.events
+        ),
+        vec![
+            "dispatch",
+            "rules",
+            "install_ms",
+            "reactions",
+            "kevents_per_s",
+            "alpha_tests_per_event",
+            "network_nodes",
+        ],
+    )
+    .with_note(
+        "Claim: compiling all rules into one shared discrimination network \
+         makes per-event dispatch cost a function of the event's shape, not \
+         the rule count — throughput and alpha tests per event stay flat \
+         from 100 to 100,000 installed rules (CI gates 100k-rule throughput \
+         absolutely and requires it at ≥0.3x the 100-rule rate), while \
+         interpreted dispatch walks every same-label candidate and falls \
+         off linearly. Install extends the network incrementally; no \
+         rebuild, so install time stays linear in rules.",
+    );
+    for row in &r.rows {
+        t.row(vec![
+            "compiled".into(),
+            row.rules.to_string(),
+            f(row.install_ms),
+            row.reactions.to_string(),
+            f(row.kevents_per_s),
+            f(row.alpha_tests_per_event),
+            row.network_nodes.to_string(),
+        ]);
+    }
+    for row in &r.interpreted {
+        t.row(vec![
+            format!("interpreted ({} events)", r.interpreted_events),
+            row.rules.to_string(),
+            f(row.install_ms),
+            row.reactions.to_string(),
+            f(row.kevents_per_s),
+            f(row.alpha_tests_per_event),
+            row.network_nodes.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The `engine` id a rule count gets in [`bench_json`] (`rules-100`,
+/// `rules-1k`, `rules-10k`, `rules-100k`).
+pub fn e16_engine_id(rules: usize) -> String {
+    match rules {
+        1_000 => "rules-1k".into(),
+        10_000 => "rules-10k".into(),
+        100_000 => "rules-100k".into(),
+        n => format!("rules-{n}"),
+    }
+}
+
+/// Serialize the E13 + E14 + E15 + E16 reports as the `--bench-json`
+/// payload (schema `reweb-bench/v4` — v3 plus the E16 `rules-*` rows).
 /// Flat rows, one small object per measurement, so the floor check (and
 /// any CI tooling) can read it without a JSON library. The E14
 /// measurement is the `hotpath` row, E15's throughput the `durable` row,
-/// and E15's recovery timings the `recovery-*` rows (informational: the
-/// artifact carries them, the floor does not gate them).
-pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report) -> String {
+/// E15's recovery timings the `recovery-*` rows (informational: the
+/// artifact carries them, the floor does not gate them), and E16's
+/// compiled sweep the `rules-*` rows (the `rules-100k` row is the
+/// absolute floor; the others feed the flatness ratio).
+pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report, e16: &E16Report) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
         r.single_kevents_per_s
@@ -1550,6 +1746,16 @@ pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report) -> String {
             rec.mode, rec.kevents_per_s, rec.events, rec.millis
         ));
     }
+    for row in &e16.rows {
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+             \"rules\": {}, \"alpha_tests_per_event\": {:.2}}}",
+            e16_engine_id(row.rules),
+            row.kevents_per_s,
+            row.rules,
+            row.alpha_tests_per_event
+        ));
+    }
     for row in &r.rows {
         rows.push(format!(
             "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
@@ -1561,7 +1767,7 @@ pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report) -> String {
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-bench/v3\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v4\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -1616,6 +1822,7 @@ pub fn check_floor(
     current: &E13Report,
     current_e14: &E14Report,
     current_e15: &E15Report,
+    current_e16: &E16Report,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -1712,6 +1919,52 @@ pub fn check_floor(
             ));
         }
     }
+    // E16, gate 1: absolute 100k-rule throughput (baselines that predate
+    // the rules sweep skip it; conservatively rounded like E14/E15).
+    if let Some(&(_, _, base_100k)) = baseline.iter().find(|(e, _, _)| e == "rules-100k") {
+        if let Some(cur) = current_e16.rows.iter().find(|r| r.rules == 100_000) {
+            let floor = base_100k * (1.0 - tolerance);
+            summary.push_str(&format!(
+                "E16 100k-rule dispatch: {:.1} ke/s (committed floor baseline \
+                 {base_100k:.1}, gate {floor:.1})\n",
+                cur.kevents_per_s
+            ));
+            if cur.kevents_per_s < floor {
+                failures.push(format!(
+                    "E16 100k-rule dispatch {:.1} ke/s fell below the floor {floor:.1} \
+                     (baseline {base_100k:.1} - {:.0}% tolerance) — the shared network \
+                     must keep per-event cost independent of the rule count",
+                    cur.kevents_per_s,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    // E16, gate 2: same-run flatness. 100k-rule throughput must stay at
+    // ≥0.3x the 100-rule throughput — both rates come from the same run,
+    // so machine speed cancels and no baseline is needed. A fixed ratio
+    // (not `tolerance`): it gates the *shape* of the scaling curve,
+    // which is the tentpole claim itself. The slack (0.3x, not 1.0x)
+    // absorbs cache pressure from the 300k-node network and the 100k
+    // distinct attribute values, which cost real memory traffic even
+    // though alpha tests per event stay constant.
+    const FLATNESS_FLOOR: f64 = 0.3;
+    let small = current_e16.rows.iter().find(|r| r.rules == 100);
+    let large = current_e16.rows.iter().find(|r| r.rules == 100_000);
+    if let (Some(small), Some(large)) = (small, large) {
+        let ratio = large.kevents_per_s / small.kevents_per_s;
+        summary.push_str(&format!(
+            "E16 flatness: {:.1} ke/s at 100 rules vs {:.1} ke/s at 100k rules \
+             (ratio {ratio:.2}, floor {FLATNESS_FLOOR:.2})\n",
+            small.kevents_per_s, large.kevents_per_s
+        ));
+        if ratio < FLATNESS_FLOOR {
+            failures.push(format!(
+                "E16 dispatch is not flat in the rule count: 100k rules ran at \
+                 {ratio:.2}x the 100-rule rate (floor {FLATNESS_FLOOR:.2}x)"
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -1722,7 +1975,7 @@ pub fn check_floor(
     }
 }
 
-/// Run all fourteen experiments.
+/// Run all sixteen experiments.
 pub fn all() -> Vec<Table> {
     vec![
         e1_eca_vs_production(),
@@ -1740,6 +1993,7 @@ pub fn all() -> Vec<Table> {
         e13_sharded_throughput(),
         e14_hot_path(),
         e15_durability(),
+        e16_rules_scaling(),
     ]
 }
 
@@ -1840,6 +2094,26 @@ mod tests {
         }
     }
 
+    fn e16_row(rules: usize, rate: f64) -> E16Row {
+        E16Row {
+            rules,
+            install_ms: 5.0,
+            kevents_per_s: rate,
+            reactions: 1000,
+            alpha_tests_per_event: 3.0,
+            network_nodes: rules + 2,
+        }
+    }
+
+    fn e16(rate_100: f64, rate_100k: f64) -> E16Report {
+        E16Report {
+            events: 1000,
+            rows: vec![e16_row(100, rate_100), e16_row(100_000, rate_100k)],
+            interpreted: vec![e16_row(100, rate_100 * 0.8)],
+            interpreted_events: 100,
+        }
+    }
+
     #[test]
     fn bench_json_round_trips_through_the_scanner() {
         let r = E13Report {
@@ -1856,7 +2130,9 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let rows = e13_parse_rows(&bench_json(&r, &e14(60.0), &e15(42.0)));
+        let json = bench_json(&r, &e14(60.0), &e15(42.0), &e16(90.0, 75.0));
+        assert!(json.contains("reweb-bench/v4"), "schema bumped for E16");
+        let rows = e13_parse_rows(&json);
         assert_eq!(
             rows,
             vec![
@@ -1864,6 +2140,8 @@ mod tests {
                 ("hotpath".to_string(), 1, 60.0),
                 ("durable".to_string(), 1, 42.0),
                 ("recovery-cold".to_string(), 1, 83.0),
+                ("rules-100".to_string(), 1, 90.0),
+                ("rules-100k".to_string(), 1, 75.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -1886,12 +2164,19 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = bench_json(&report(50.0, 100.0), &e14(80.0), &e15(40.0)); // 2.0x speedup baseline
-                                                                                 // A 4x faster machine with the same 2.0x scaling passes…
+        // 2.0x speedup baseline
+        let baseline = bench_json(
+            &report(50.0, 100.0),
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 75.0),
+        );
+        // A 4x faster machine with the same 2.0x scaling passes…
         assert!(check_floor(
             &report(200.0, 400.0),
             &e14(80.0),
             &e15(40.0),
+            &e16(90.0, 75.0),
             &baseline,
             0.25
         )
@@ -1901,6 +2186,7 @@ mod tests {
             &report(200.0, 320.0),
             &e14(80.0),
             &e15(40.0),
+            &e16(90.0, 75.0),
             &baseline,
             0.25
         )
@@ -1911,6 +2197,7 @@ mod tests {
             &report(200.0, 240.0),
             &e14(80.0),
             &e15(40.0),
+            &e16(90.0, 75.0),
             &baseline,
             0.25,
         )
@@ -1919,8 +2206,15 @@ mod tests {
         // A baseline with a `single` row but no usable `sharded-mt` rows
         // must fail loudly, not pass vacuously.
         let gutted = baseline.replace("sharded-mt", "sharded-xx");
-        let err = check_floor(&report(200.0, 400.0), &e14(80.0), &e15(40.0), &gutted, 0.25)
-            .expect_err("a gutted baseline must not disable the gate");
+        let err = check_floor(
+            &report(200.0, 400.0),
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 75.0),
+            &gutted,
+            0.25,
+        )
+        .expect_err("a gutted baseline must not disable the gate");
         assert!(err.contains("compared nothing"), "{err}");
     }
 
@@ -1940,11 +2234,12 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = bench_json(&report, &e14(80.0), &e15(40.0));
+        let baseline = bench_json(&report, &e14(80.0), &e15(40.0), &e16(90.0, 75.0));
+        let ok16 = e16(90.0, 75.0);
         // At the baseline rate: fine. 25% below 80 = 60 is the gate.
-        assert!(check_floor(&report, &e14(80.0), &e15(40.0), &baseline, 0.25).is_ok());
-        assert!(check_floor(&report, &e14(61.0), &e15(40.0), &baseline, 0.25).is_ok());
-        let err = check_floor(&report, &e14(59.0), &e15(40.0), &baseline, 0.25)
+        assert!(check_floor(&report, &e14(80.0), &e15(40.0), &ok16, &baseline, 0.25).is_ok());
+        assert!(check_floor(&report, &e14(61.0), &e15(40.0), &ok16, &baseline, 0.25).is_ok());
+        let err = check_floor(&report, &e14(59.0), &e15(40.0), &ok16, &baseline, 0.25)
             .expect_err("hot-path collapse must trip the floor");
         assert!(err.contains("E14"), "{err}");
         // A pre-E14 baseline (no hotpath row) skips the absolute gate.
@@ -1953,7 +2248,112 @@ mod tests {
             .filter(|l| !l.contains("hotpath"))
             .collect::<Vec<_>>()
             .join("\n");
-        assert!(check_floor(&report, &e14(1.0), &e15(40.0), &old, 0.25).is_ok());
+        assert!(check_floor(&report, &e14(1.0), &e15(40.0), &ok16, &old, 0.25).is_ok());
+    }
+
+    #[test]
+    fn e16_floor_gates_absolute_rate_and_flatness() {
+        let report = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 100.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 150.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let baseline = bench_json(&report, &e14(80.0), &e15(40.0), &e16(90.0, 60.0));
+        // At and above the committed 100k-rule floor: fine (gate = 45).
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 60.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 46.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        // Below the absolute gate: fails, naming E16.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(80.0, 44.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("100k-rule collapse must trip the floor");
+        assert!(err.contains("E16 100k-rule"), "{err}");
+        // Healthy rate but a collapsed shape (100k at 0.28x the 100-rule
+        // rate) trips the same-run flatness gate even when the absolute
+        // floor passes.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(200.0, 56.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("non-flat scaling must trip the flatness floor");
+        assert!(err.contains("not flat"), "{err}");
+        // A pre-E16 baseline skips the absolute gate; flatness still
+        // applies (it needs no baseline).
+        let old = baseline
+            .lines()
+            .filter(|l| !l.contains("rules-"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(check_floor(&report, &e14(80.0), &e15(40.0), &e16(90.0, 1.0), &old, 0.25).is_err());
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 60.0),
+            &old,
+            0.25
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn e16_shapes() {
+        let r = e16_report_with(2_000, &[50, 500]);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            // Every event matches exactly one rule, in both directions.
+            assert_eq!(row.reactions, 2_000, "at {} rules", row.rules);
+            // The flat-cost witness: alpha work per event is a handful of
+            // shape probes, independent of the rule count.
+            assert!(
+                row.alpha_tests_per_event < 10.0,
+                "alpha tests blew up at {} rules: {}",
+                row.rules,
+                row.alpha_tests_per_event
+            );
+            // The network grew with the vocabulary (one value node per
+            // distinct @route constant), i.e. it was actually exercised.
+            assert!(row.network_nodes >= row.rules, "at {} rules", row.rules);
+        }
+        for row in &r.interpreted {
+            assert_eq!(row.reactions as usize, r.interpreted_events);
+        }
+        let t = e16_table(&r);
+        assert_eq!(t.rows.len(), r.rows.len() + r.interpreted.len());
     }
 
     #[test]

@@ -28,9 +28,14 @@
 
 use std::collections::BTreeMap;
 
-use reweb_events::{DeductionLayer, Event, EventId, IncrementalEngine};
+use reweb_events::{
+    alpha_skippable, registrations, DeductionLayer, Event, EventId, IncrementalEngine,
+};
+use reweb_query::compiled::{
+    AlphaNetwork, CandidateIndex, EventShape, InterpretedIndex, Registration,
+};
 use reweb_query::QueryEngine;
-use reweb_term::{Dur, Sym, SymMap, Term, Timestamp};
+use reweb_term::{Dur, Sym, Term, Timestamp};
 use reweb_update::{Executor, ProcedureDef};
 
 pub use reweb_update::OutMessage;
@@ -62,6 +67,14 @@ pub struct EngineMetrics {
     pub messages_sent: u64,
     /// Rules compiled into this engine.
     pub rules_installed: u64,
+    /// Alpha tests and dispatch probes evaluated by the candidate index
+    /// (E16): with the compiled network this tracks event shape and
+    /// vocabulary, not installed-rule count.
+    pub alpha_tests_run: u64,
+    /// Candidate rules the index actually handed to dispatch, after
+    /// dedup. `rules_considered / events_received` is the observable
+    /// sharing ratio of the discrimination network.
+    pub rules_considered: u64,
     /// Firing count per rule name.
     pub fires_by_rule: BTreeMap<String, u64>,
     /// Human-readable error log (action failures, denied installs, …).
@@ -81,6 +94,8 @@ impl EngineMetrics {
         self.actions_failed += other.actions_failed;
         self.messages_sent += other.messages_sent;
         self.rules_installed += other.rules_installed;
+        self.alpha_tests_run += other.alpha_tests_run;
+        self.rules_considered += other.rules_considered;
         for (name, n) in &other.fires_by_rule {
             *self.fires_by_rule.entry(name.clone()).or_default() += n;
         }
@@ -93,6 +108,27 @@ struct CompiledRule {
     ev: IncrementalEngine,
     procs: BTreeMap<String, ProcedureDef>,
     set_path: String,
+    /// Alpha-network registrations of this rule's trigger patterns (tests
+    /// pre-stripped for rules whose timing semantics forbid skipping) —
+    /// kept so a match-mode switch can rebuild the index without
+    /// recompiling patterns.
+    regs: Vec<Registration>,
+}
+
+/// Which candidate-index implementation dispatch runs on — see
+/// [`ReactiveEngine::set_match_mode`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchMode {
+    /// The shared alpha discrimination network
+    /// ([`reweb_query::compiled::AlphaNetwork`]); per-event dispatch cost
+    /// tracks the event's shape, not the installed-rule count.
+    #[default]
+    Compiled,
+    /// The historical label → rule-list index: every rule sharing the
+    /// event's label is a candidate and gets the full pattern walk. Kept
+    /// as the equivalence baseline (compiled output is pinned
+    /// byte-identical to it).
+    Interpreted,
 }
 
 /// Fold two replay horizons: unbounded (`None`) absorbs everything,
@@ -154,11 +190,17 @@ pub struct ReactiveEngine {
     /// Authentication/authorization/accounting state.
     pub aaa: Aaa,
     compiled: Vec<CompiledRule>,
-    /// Label → subscribed rule indices: an integer-keyed hash lookup
-    /// ([`Sym`] ids with [`reweb_term::SymHasher`]), so dispatch never
-    /// hashes or compares label strings.
-    index: SymMap<Vec<usize>>,
-    wildcard: Vec<usize>,
+    /// The candidate index dispatch consults per event: the shared alpha
+    /// discrimination network by default, the historical label map under
+    /// [`MatchMode::Interpreted`]. Extended live on each rule install —
+    /// never rebuilt from scratch except on an explicit mode switch.
+    index: Box<dyn CandidateIndex>,
+    match_mode: MatchMode,
+    /// Rules whose event engines must observe every clock tick: absence
+    /// deadlines fire on ticks, and TTL gc timing is output-visible. All
+    /// other rules advance lazily on their next candidate push, so a
+    /// tick costs `O(|advance_idxs|)`, not `O(rules)`.
+    advance_idxs: Vec<usize>,
     /// Reused dispatch scratch: the candidate rule-index list is built in
     /// this buffer instead of allocating a fresh `Vec` per event.
     scratch_idxs: Vec<usize>,
@@ -193,8 +235,9 @@ impl ReactiveEngine {
             qe: QueryEngine::new(),
             aaa: Aaa::new(AaaConfig::default()),
             compiled: Vec::new(),
-            index: SymMap::default(),
-            wildcard: Vec::new(),
+            index: Box::new(AlphaNetwork::new()),
+            match_mode: MatchMode::Compiled,
+            advance_idxs: Vec::new(),
             scratch_idxs: Vec::new(),
             deduction: DeductionLayer::new(),
             default_ttl: None,
@@ -291,19 +334,28 @@ impl ReactiveEngine {
         }
         self.horizon = fold_horizon(self.horizon, rule.on.replay_horizon(self.default_ttl));
         let idx = self.compiled.len();
-        match rule.on.trigger_labels() {
-            Some(labels) => {
-                for l in labels {
-                    self.index.entry(l).or_default().push(idx);
-                }
+        let skippable = alpha_skippable(&rule.on) && self.default_ttl.is_none();
+        let mut regs = registrations(&rule.on);
+        if !skippable {
+            // Deadline/TTL timing must see the full same-label stream:
+            // register label-only, which is exactly the interpreted
+            // candidate set.
+            for r in &mut regs {
+                r.tests.clear();
             }
-            None => self.wildcard.push(idx),
+        }
+        for r in &regs {
+            self.index.insert(r, idx);
+        }
+        if rule.on.has_absence() || self.default_ttl.is_some() {
+            self.advance_idxs.push(idx);
         }
         self.compiled.push(CompiledRule {
             rule,
             ev,
             procs,
             set_path,
+            regs,
         });
         self.metrics.rules_installed += 1;
     }
@@ -311,6 +363,38 @@ impl ReactiveEngine {
     /// Number of compiled (installed, enabled) rules.
     pub fn rule_count(&self) -> usize {
         self.compiled.len()
+    }
+
+    /// Switch the candidate-index implementation and rebuild it from the
+    /// stored registrations of every installed rule. Dispatch outputs are
+    /// byte-identical in both modes — pinned by the `compiled_equivalence`
+    /// property test; [`MatchMode::Interpreted`] exists as that pin's
+    /// baseline and for the E16 scaling comparison.
+    pub fn set_match_mode(&mut self, mode: MatchMode) {
+        self.match_mode = mode;
+        let mut index: Box<dyn CandidateIndex> = match mode {
+            MatchMode::Compiled => Box::new(AlphaNetwork::new()),
+            MatchMode::Interpreted => Box::new(InterpretedIndex::new()),
+        };
+        for (idx, cr) in self.compiled.iter().enumerate() {
+            for r in &cr.regs {
+                index.insert(r, idx);
+            }
+        }
+        self.index = index;
+    }
+
+    /// The candidate-index implementation dispatch currently runs on.
+    pub fn match_mode(&self) -> MatchMode {
+        self.match_mode
+    }
+
+    /// Nodes in the candidate index — under [`MatchMode::Compiled`] the
+    /// size of the shared discrimination network, whose growth is
+    /// sublinear in rules whenever rules share tests (the E16 sharing
+    /// metric).
+    pub fn index_node_count(&self) -> usize {
+        self.index.node_count()
     }
 
     /// Reprint everything installed into this engine as a parseable rule
@@ -509,12 +593,16 @@ impl ReactiveEngine {
     }
 
     /// Shared body of [`ReactiveEngine::advance_time`] and
-    /// [`ReactiveEngine::flush_due_deadlines`]: advance every rule's
-    /// event engine and the deduction layer to the current clock.
+    /// [`ReactiveEngine::flush_due_deadlines`]: advance the deduction
+    /// layer and every *tick-sensitive* rule (see `advance_idxs`) to the
+    /// current clock. Remaining rules catch up on their next candidate
+    /// push — their windowed gc is output-invisible, so delaying it never
+    /// changes an answer.
     fn advance_fire(&mut self) -> Vec<OutMessage> {
         let now = self.now;
         let mut out = Vec::new();
-        for idx in 0..self.compiled.len() {
+        for i in 0..self.advance_idxs.len() {
+            let idx = self.advance_idxs[i];
             let answers = self.compiled[idx].ev.advance_to(now);
             for a in answers {
                 self.fire(idx, &a.bindings, &mut out);
@@ -558,14 +646,15 @@ impl ReactiveEngine {
         // did, the nested call would simply see an empty scratch.)
         let mut idxs = std::mem::take(&mut self.scratch_idxs);
         idxs.clear();
-        if let Some(label) = e.label_sym() {
-            if let Some(v) = self.index.get(&label) {
-                idxs.extend_from_slice(v);
-            }
-        }
-        idxs.extend_from_slice(&self.wildcard);
+        let shape = EventShape::of(&e.payload);
+        self.index
+            .collect(&shape, &mut idxs, &mut self.metrics.alpha_tests_run);
+        // Rules registered per trigger pattern, so a multi-part query can
+        // surface more than once; sorting restores install order, which
+        // is the firing order the interpreted matcher pins.
         idxs.sort_unstable();
         idxs.dedup();
+        self.metrics.rules_considered += idxs.len() as u64;
         if idxs.is_empty() {
             self.metrics.events_unmatched += 1;
             self.scratch_idxs = idxs;

@@ -56,7 +56,7 @@ pub mod shard;
 pub mod trust;
 
 pub use aaa::{AaaConfig, AccountingRecord, Acl, Credentials, MessageMeta, Permission, Principal};
-pub use engine::{EngineMetrics, OutMessage, ReactiveEngine, ReplayMark};
+pub use engine::{EngineMetrics, MatchMode, OutMessage, ReactiveEngine, ReplayMark};
 pub use meta::{rule_from_term, rule_to_term, ruleset_from_term, ruleset_to_term};
 pub use parser::{parse_action, parse_program, parse_rule};
 pub use rule::{Branch, EcaRule, RuleSet};

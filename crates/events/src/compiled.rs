@@ -1,0 +1,137 @@
+//! Compilation of event queries into alpha-network registrations.
+//!
+//! [`reweb_query::compiled`] knows how to compile a single *pattern* into
+//! necessary-condition tests; this module walks a composite
+//! [`EventQuery`] and produces one [`Registration`] per constituent
+//! pattern, so the engine's shared discrimination network can decide per
+//! event which rules to even consider.
+//!
+//! Two semantic rules govern the walk:
+//!
+//! * **`WHERE` comparisons hoist only onto join-style paths.** A cmp whose
+//!   single variable is bound as a root attribute of an `Atomic` part can
+//!   run at dispatch time: an event failing it can only ever produce
+//!   answers that the `Where` operator would filter anyway. `Count` and
+//!   `Agg` patterns never receive guards — their *buffer contents* are
+//!   output-visible (a count's constituents, an aggregate's values), so
+//!   dropping a buffered event would change answers.
+//! * **Absence timing is sacred.** Events reaching an `absence` operator
+//!   both extend and *cancel* deadlines, and any pushed event can flush a
+//!   due deadline; [`alpha_skippable`] therefore reports `false` for any
+//!   query containing one, and the engine registers such rules label-only
+//!   (every same-label event is a candidate, exactly as interpreted
+//!   dispatch behaved).
+
+use reweb_query::compiled::{compile_pattern, Registration};
+use reweb_query::Cmp;
+
+use crate::query::EventQuery;
+
+/// Compile `q` into one registration per constituent pattern. An event is
+/// a candidate for the owning rule iff it passes *some* registration —
+/// the union over parts mirrors how any part's operator might consume the
+/// event.
+pub fn registrations(q: &EventQuery) -> Vec<Registration> {
+    let mut out = Vec::new();
+    go(q, &[], &mut out);
+    out
+}
+
+/// May the engine skip feeding non-candidate events to this query's
+/// operator tree without changing observable behavior?
+///
+/// `false` for absence-bearing queries: their operators fire on
+/// *deadlines* carried forward by every pushed event (matching or not),
+/// so the operator must see the full same-label stream. The engine
+/// additionally keeps TTL-limited rules unskippable — window-less state
+/// pruned by an engine TTL makes *gc timing* output-visible, and gc
+/// advances with each push.
+pub fn alpha_skippable(q: &EventQuery) -> bool {
+    !q.has_absence()
+}
+
+fn go(q: &EventQuery, cmps: &[Cmp], out: &mut Vec<Registration>) {
+    match q {
+        EventQuery::Atomic { pattern } => out.push(compile_pattern(pattern, cmps)),
+        EventQuery::And { parts, .. }
+        | EventQuery::Or { parts }
+        | EventQuery::Seq { parts, .. } => {
+            for p in parts {
+                go(p, cmps, out);
+            }
+        }
+        EventQuery::Absence {
+            trigger, absent, ..
+        } => {
+            // No guard hoisting on either side: trigger events that a
+            // `Where` would later filter still open (and their absent
+            // counterparts still cancel) deadlines.
+            go(trigger, &[], out);
+            go(absent, &[], out);
+        }
+        EventQuery::Count { pattern, .. } | EventQuery::Agg { pattern, .. } => {
+            out.push(compile_pattern(pattern, &[]));
+        }
+        EventQuery::Where { inner, cmps: more } => {
+            let combined: Vec<Cmp> = cmps.iter().chain(more.iter()).cloned().collect();
+            go(inner, &combined, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_event_query;
+    use reweb_query::compiled::AlphaTest;
+    use reweb_term::Sym;
+
+    fn regs(src: &str) -> Vec<Registration> {
+        registrations(&parse_event_query(src).unwrap())
+    }
+
+    #[test]
+    fn one_registration_per_part() {
+        let rs = regs("and(order{{id[[var O]]}}, payment{{order[[var O]]}}) within 1h");
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].label, Some(Sym::new("order")));
+        assert_eq!(rs[1].label, Some(Sym::new("payment")));
+    }
+
+    #[test]
+    fn where_guards_reach_atomic_parts_only() {
+        let rs = regs("reading{{@level=var L}} where var L >= 10");
+        assert_eq!(rs.len(), 1);
+        assert!(
+            rs[0].tests.iter().any(|t| matches!(t, AlphaTest::Guard(_))),
+            "root attr var cmp hoists into a dispatch guard"
+        );
+        // Count buffers are output-visible: no guards.
+        let rs = regs("count(3, reading{{@level=var L}}) where var L >= 10");
+        assert!(rs[0]
+            .tests
+            .iter()
+            .all(|t| !matches!(t, AlphaTest::Guard(_))));
+    }
+
+    #[test]
+    fn absence_blocks_skippability_and_guards() {
+        let q = parse_event_query("absence(cancel{{id[[var F]]}}, rebooked{{id[[var F]]}}, 2h)")
+            .unwrap();
+        assert!(!alpha_skippable(&q));
+        assert_eq!(registrations(&q).len(), 2);
+        let q = parse_event_query("order{{id[[var O]]}}").unwrap();
+        assert!(alpha_skippable(&q));
+    }
+
+    #[test]
+    fn wildcard_parts_register_without_label() {
+        let rs = regs("and(la{{}}, *{{tag[[var Y]]}})");
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].label, None);
+        assert!(
+            !rs[1].tests.is_empty(),
+            "wildcard still carries child tests"
+        );
+    }
+}

@@ -32,6 +32,7 @@
 //!   [`EventRule`] (`DETECT head ON query`) derives higher-level events;
 //!   recursion among event rules is rejected, as the thesis prescribes.
 
+pub mod compiled;
 pub mod deductive;
 pub mod event;
 pub mod incremental;
@@ -39,6 +40,7 @@ pub mod naive;
 pub mod parser;
 pub mod query;
 
+pub use compiled::{alpha_skippable, registrations};
 pub use deductive::{DeductionLayer, EventRule};
 pub use event::{Answer, Event, EventId};
 pub use incremental::{IncrementalEngine, Policy, Selection};

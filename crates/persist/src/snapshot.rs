@@ -86,6 +86,8 @@ fn metrics_to_term(shard: usize, m: &EngineMetrics) -> Term {
         .field("received", m.events_received.to_string())
         .field("denied", m.events_denied.to_string())
         .field("derived", m.events_derived.to_string())
+        .field("alpha", m.alpha_tests_run.to_string())
+        .field("considered", m.rules_considered.to_string())
         .field("unmatched", m.events_unmatched.to_string())
         .field("fired", m.rules_fired.to_string())
         .field("cond", m.condition_evals.to_string())
@@ -123,6 +125,8 @@ fn metrics_from_term(t: &Term) -> Result<(usize, EngineMetrics)> {
         actions_failed: field_u64(t, "afail")?,
         messages_sent: field_u64(t, "sent")?,
         rules_installed: field_u64(t, "installed")?,
+        alpha_tests_run: field_u64(t, "alpha")?,
+        rules_considered: field_u64(t, "considered")?,
         fires_by_rule: BTreeMap::new(),
         errors: Vec::new(),
     };

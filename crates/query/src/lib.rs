@@ -28,6 +28,7 @@
 
 pub mod ast;
 pub mod bindings;
+pub mod compiled;
 pub mod construct;
 pub mod engine;
 pub mod expr;
@@ -37,6 +38,10 @@ pub mod rules;
 
 pub use ast::{AttrPattern, LabelPattern, QueryElem, QueryTerm};
 pub use bindings::Bindings;
+pub use compiled::{
+    compile_pattern, AlphaNetwork, AlphaTest, CandidateIndex, EventShape, GuardTest,
+    InterpretedIndex, Registration,
+};
 pub use construct::{construct, AggFn, AttrValue, ConstructTerm};
 pub use engine::{Condition, QueryAtom, QueryEngine};
 pub use expr::{BinOp, Cmp, CmpOp, EvalError, Expr, Val};

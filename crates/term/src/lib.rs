@@ -53,7 +53,7 @@ pub use parser::parse_term;
 pub use path::{apply_edit, node_at, Path, PathEdit};
 pub use store::ResourceStore;
 pub use sym::{Sym, SymHasher, SymMap};
-pub use term::{Element, Term, TermBuilder};
+pub use term::{Children, Element, Term, TermBuilder, INLINE_CHILDREN};
 pub use time::{Dur, Timestamp};
 
 /// Result alias used throughout the crate.

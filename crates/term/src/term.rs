@@ -20,7 +20,19 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use smallvec::SmallVec;
+
 use crate::sym::Sym;
+
+/// Inline capacity for an element's child list: terms with at most this
+/// many children (the overwhelming majority of event payloads and rule
+/// constructions) keep their children inline in the [`Element`] allocation
+/// instead of a second heap vector. See DESIGN §1d.
+pub const INLINE_CHILDREN: usize = 4;
+
+/// The child list of an [`Element`]: inline up to [`INLINE_CHILDREN`],
+/// heap-spilled beyond. Derefs to `[Term]`, so all slice APIs apply.
+pub type Children = SmallVec<Term, INLINE_CHILDREN>;
 
 /// An immutable semi-structured tree: element or text leaf.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,8 +58,8 @@ pub struct Element {
     pub ordered: bool,
     /// String attributes, sorted by (interned) name.
     pub attrs: BTreeMap<Sym, String>,
-    /// Child terms, in document order.
-    pub children: Vec<Term>,
+    /// Child terms, in document order (inline up to [`INLINE_CHILDREN`]).
+    pub children: Children,
 }
 
 impl Term {
@@ -64,7 +76,7 @@ impl Term {
             label: label.into(),
             ordered: true,
             attrs: BTreeMap::new(),
-            children,
+            children: children.into(),
         }))
     }
 
@@ -74,7 +86,7 @@ impl Term {
             label: label.into(),
             ordered: false,
             attrs: BTreeMap::new(),
-            children,
+            children: children.into(),
         }))
     }
 
@@ -231,7 +243,7 @@ impl Term {
         match self {
             Term::Text(_) => self.clone(),
             Term::Elem(e) => {
-                let mut children: Vec<Term> = e.children.iter().map(Term::canonicalize).collect();
+                let mut children: Children = e.children.iter().map(Term::canonicalize).collect();
                 if !e.ordered {
                     children.sort();
                 }
@@ -269,7 +281,7 @@ impl Term {
     /// New element with the given children.
     pub fn with_children(&self, children: Vec<Term>) -> Result<Term, crate::TermError> {
         self.modify_element(|e| {
-            e.children = children;
+            e.children = children.into();
             Ok(())
         })
     }
@@ -407,7 +419,7 @@ impl TermBuilder {
             label: self.label,
             ordered: self.ordered,
             attrs: self.attrs,
-            children: self.children,
+            children: self.children.into(),
         }))
     }
 }

@@ -99,6 +99,12 @@ fn end_to_end_rule_fires_through_facade() {
     assert!(out.is_empty());
     assert_eq!(engine.metrics.events_unmatched, 1);
     assert_eq!(engine.metrics.events_received, 2);
+
+    // The alpha network's work is observable: the matching event was
+    // handed to exactly one rule, the unknown label to none, and
+    // discrimination ran at least one test per event.
+    assert_eq!(engine.metrics.rules_considered, 1);
+    assert!(engine.metrics.alpha_tests_run >= 2);
 }
 
 /// The sharded front-end through the facade: batch ingestion over two

@@ -1,0 +1,563 @@
+//! Offline stand-in for the `smallvec` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `smallvec` it actually uses: a [`SmallVec<T, N>`]
+//! that stores up to `N` elements inline (no heap allocation) and spills
+//! to an ordinary `Vec<T>` beyond that. The const-generic form mirrors
+//! `smallvec` 2.x (`SmallVec<T, N>` rather than 1.x's `SmallVec<[T; N]>`).
+//!
+//! Supported surface: construction ([`SmallVec::new`], [`From<Vec<T>>`],
+//! [`FromIterator`], the [`smallvec!`] macro), slice access via
+//! `Deref`/`DerefMut`, `push`/`pop`/`insert`/`remove`/`clear`/`truncate`,
+//! owned and borrowed iteration, [`Extend`], and the comparison/hash/debug
+//! traits forwarded to the slice form so a `SmallVec` is drop-in for the
+//! `Vec` it replaces. Swap the `[workspace.dependencies]` entry back to
+//! the registry version when networked.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to the heap
+/// beyond that.
+///
+/// ```
+/// use smallvec::SmallVec;
+/// let mut v: SmallVec<u32, 4> = SmallVec::new();
+/// v.push(1);
+/// v.push(2);
+/// assert_eq!(&v[..], &[1, 2]);
+/// assert!(!v.spilled());
+/// v.extend([3, 4, 5]);
+/// assert!(v.spilled());
+/// assert_eq!(v.len(), 5);
+/// ```
+pub struct SmallVec<T, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+enum Repr<T, const N: usize> {
+    /// `buf[..len]` is initialized.
+    Inline {
+        len: usize,
+        buf: [MaybeUninit<T>; N],
+    },
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (inline, no allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            repr: Repr::Inline {
+                len: 0,
+                // `MaybeUninit<T>` needs no initialization; an array of it
+                // can be created uninitialized.
+                buf: unsafe { MaybeUninit::<[MaybeUninit<T>; N]>::uninit().assume_init() },
+            },
+        }
+    }
+
+    /// An empty vector that can hold `cap` elements; allocates only when
+    /// `cap` exceeds the inline capacity `N`.
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap <= N {
+            Self::new()
+        } else {
+            SmallVec {
+                repr: Repr::Heap(Vec::with_capacity(cap)),
+            }
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Has the vector spilled its contents to the heap?
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// Current capacity (inline `N` until spilled).
+    pub fn capacity(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => N,
+            Repr::Heap(v) => v.capacity(),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline { len, buf } => {
+                // SAFETY: buf[..len] is initialized by construction.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<T>(), *len) }
+            }
+            Repr::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                // SAFETY: buf[..len] is initialized by construction.
+                unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<T>(), *len) }
+            }
+            Repr::Heap(v) => v.as_mut_slice(),
+        }
+    }
+
+    /// Move the inline contents onto the heap; no-op if already spilled.
+    fn spill(&mut self) {
+        if let Repr::Inline { len, buf } = &mut self.repr {
+            let n = *len;
+            let mut v = Vec::with_capacity((N.max(1)) * 2);
+            for slot in buf.iter_mut().take(n) {
+                // SAFETY: the first n slots are initialized; reading them
+                // out transfers ownership, and setting len = 0 below keeps
+                // the old repr from dropping them again.
+                v.push(unsafe { slot.as_ptr().read() });
+            }
+            *len = 0;
+            self.repr = Repr::Heap(v);
+        }
+    }
+
+    /// Append an element, spilling to the heap when inline space runs out.
+    pub fn push(&mut self, value: T) {
+        if let Repr::Inline { len, buf } = &mut self.repr {
+            if *len < N {
+                buf[*len].write(value);
+                *len += 1;
+                return;
+            }
+            self.spill();
+        }
+        match &mut self.repr {
+            Repr::Heap(v) => v.push(value),
+            Repr::Inline { .. } => unreachable!("push after spill"),
+        }
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if *len == 0 {
+                    return None;
+                }
+                *len -= 1;
+                // SAFETY: slot *len was initialized and is now out of the
+                // live prefix, so ownership moves to the caller.
+                Some(unsafe { buf[*len].as_ptr().read() })
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Insert `value` before position `idx`, shifting the tail right.
+    ///
+    /// # Panics
+    /// Panics if `idx > len`.
+    pub fn insert(&mut self, idx: usize, value: T) {
+        let n = self.len();
+        assert!(
+            idx <= n,
+            "insertion index (is {idx}) should be <= len (is {n})"
+        );
+        if let Repr::Inline { len, .. } = &self.repr {
+            if *len == N {
+                self.spill();
+            }
+        }
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                // SAFETY: len < N (spilled above otherwise); shift the
+                // initialized tail [idx, len) one slot right, then write
+                // into the vacated slot.
+                unsafe {
+                    let p = buf.as_mut_ptr().cast::<T>();
+                    std::ptr::copy(p.add(idx), p.add(idx + 1), *len - idx);
+                    std::ptr::write(p.add(idx), value);
+                }
+                *len += 1;
+            }
+            Repr::Heap(v) => v.insert(idx, value),
+        }
+    }
+
+    /// Remove and return the element at `idx`, shifting the tail left.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn remove(&mut self, idx: usize) -> T {
+        let n = self.len();
+        assert!(idx < n, "removal index (is {idx}) should be < len (is {n})");
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                // SAFETY: idx < len, so the slot is initialized; after the
+                // read, the tail shifts left to close the gap.
+                unsafe {
+                    let p = buf.as_mut_ptr().cast::<T>();
+                    let out = std::ptr::read(p.add(idx));
+                    std::ptr::copy(p.add(idx + 1), p.add(idx), *len - idx - 1);
+                    *len -= 1;
+                    out
+                }
+            }
+            Repr::Heap(v) => v.remove(idx),
+        }
+    }
+
+    /// Drop all elements; keeps the current representation's storage.
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Drop elements past `new_len`; no-op if already that short.
+    pub fn truncate(&mut self, new_len: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                while *len > new_len {
+                    *len -= 1;
+                    // SAFETY: slot *len was initialized; drop it in place.
+                    unsafe { buf[*len].as_mut_ptr().drop_in_place() };
+                }
+            }
+            Repr::Heap(v) => v.truncate(new_len),
+        }
+    }
+
+    /// Convert into a plain `Vec`, reusing the heap allocation if spilled.
+    pub fn into_vec(mut self) -> Vec<T> {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                let n = *len;
+                let mut v = Vec::with_capacity(n);
+                for slot in buf.iter_mut().take(n) {
+                    // SAFETY: initialized prefix; len = 0 prevents double drop.
+                    v.push(unsafe { slot.as_ptr().read() });
+                }
+                *len = 0;
+                v
+            }
+            Repr::Heap(v) => std::mem::take(v),
+        }
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        self.as_slice().iter().cloned().collect()
+    }
+}
+
+impl<T, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        if v.len() <= N {
+            let mut out = Self::new();
+            out.extend(v);
+            out
+        } else {
+            SmallVec {
+                repr: Repr::Heap(v),
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialOrd, const N: usize> PartialOrd for SmallVec<T, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Ord, const N: usize> Ord for SmallVec<T, N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Hash, const N: usize> Hash for SmallVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a mut SmallVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(mut self) -> IntoIter<T, N> {
+        // Steal the repr; replace with an empty one so Drop on `self`
+        // finds nothing to free.
+        let repr = std::mem::replace(
+            &mut self.repr,
+            Repr::Inline {
+                len: 0,
+                buf: unsafe { MaybeUninit::<[MaybeUninit<T>; N]>::uninit().assume_init() },
+            },
+        );
+        match repr {
+            Repr::Inline { len, buf } => IntoIter {
+                repr: IterRepr::Inline { buf, next: 0, len },
+            },
+            Repr::Heap(v) => IntoIter {
+                repr: IterRepr::Heap(v.into_iter()),
+            },
+        }
+    }
+}
+
+/// Owning iterator returned by [`SmallVec::into_iter`].
+pub struct IntoIter<T, const N: usize> {
+    repr: IterRepr<T, N>,
+}
+
+enum IterRepr<T, const N: usize> {
+    /// `buf[next..len]` remains initialized and unyielded.
+    Inline {
+        buf: [MaybeUninit<T>; N],
+        next: usize,
+        len: usize,
+    },
+    Heap(std::vec::IntoIter<T>),
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match &mut self.repr {
+            IterRepr::Inline { buf, next, len } => {
+                if next == len {
+                    return None;
+                }
+                // SAFETY: slots [next, len) are initialized; this moves
+                // slot *next out and advances past it.
+                let out = unsafe { buf[*next].as_ptr().read() };
+                *next += 1;
+                Some(out)
+            }
+            IterRepr::Heap(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.repr {
+            IterRepr::Inline { next, len, .. } => len - next,
+            IterRepr::Heap(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> Drop for IntoIter<T, N> {
+    fn drop(&mut self) {
+        if let IterRepr::Inline { buf, next, len } = &mut self.repr {
+            // Drop the unyielded tail.
+            while next < len {
+                // SAFETY: slots [next, len) are initialized.
+                unsafe { buf[*next].as_mut_ptr().drop_in_place() };
+                *next += 1;
+            }
+        }
+    }
+}
+
+/// `smallvec![a, b, c]` — like `vec!`, but producing a [`SmallVec`].
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $( v.push($x); )+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+            assert!(!v.spilled());
+        }
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insert_remove_shift_correctly() {
+        let mut v: SmallVec<u32, 4> = SmallVec::from(vec![1, 3, 4]);
+        v.insert(1, 2);
+        assert_eq!(&v[..], &[1, 2, 3, 4]);
+        v.insert(4, 5); // forces a spill at capacity
+        assert_eq!(&v[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(v.remove(0), 1);
+        assert_eq!(&v[..], &[2, 3, 4, 5]);
+        assert_eq!(v.pop(), Some(5));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn drops_exactly_once() {
+        let token = Rc::new(());
+        {
+            let mut v: SmallVec<Rc<()>, 2> = SmallVec::new();
+            for _ in 0..5 {
+                v.push(token.clone());
+            }
+            let _ = v.remove(1);
+            let mut it = v.into_iter();
+            let _ = it.next(); // yield one, drop the iterator with a tail left
+        }
+        assert_eq!(
+            Rc::strong_count(&token),
+            1,
+            "every clone dropped exactly once"
+        );
+    }
+
+    #[test]
+    fn eq_ord_hash_match_slices() {
+        let a: SmallVec<u32, 4> = SmallVec::from(vec![1, 2, 3]);
+        let b: SmallVec<u32, 4> = vec![1, 2, 3].into_iter().collect();
+        let c: SmallVec<u32, 4> = SmallVec::from(vec![1, 2, 3, 4, 5]); // spilled
+        assert_eq!(a, b);
+        assert!(a < c);
+        assert_eq!(a.as_slice(), [1, 2, 3]);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |v: &SmallVec<u32, 4>| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn macro_and_conversions() {
+        let v: SmallVec<&str, 4> = smallvec!["a", "b"];
+        assert_eq!(v.len(), 2);
+        let back: Vec<&str> = v.into_vec();
+        assert_eq!(back, vec!["a", "b"]);
+        let big: SmallVec<u8, 2> = SmallVec::from(vec![1, 2, 3, 4]);
+        assert!(big.spilled());
+        assert_eq!(big.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: SmallVec<u32, 4> = smallvec![3, 1, 2];
+        v.sort();
+        assert_eq!(&v[..], &[1, 2, 3]);
+        v[0] = 9;
+        assert_eq!(v[0], 9);
+        v.clear();
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+    }
+}
