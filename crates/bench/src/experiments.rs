@@ -1,7 +1,8 @@
-//! The experiments E1…E15 — one per thesis, plus E13 for the sharded
+//! The experiments E1…E17 — one per thesis, plus E13 for the sharded
 //! batch-ingestion layer, E14 for the single-engine match/fire hot
-//! path, and E15 for the durability layer — write-ahead log and
-//! snapshots (DESIGN.md §3).
+//! path, E15 for the durability layer — write-ahead log and snapshots —
+//! E16 for the compiled rule matcher, and E17 for the indexed beta
+//! joins (DESIGN.md §3).
 //!
 //! Each function builds its workload, runs the systems under comparison,
 //! and returns a [`Table`] whose *shape* (who wins, how things scale)
@@ -25,7 +26,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 16] = [
+pub const RUNNERS: [(&str, Runner); 17] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -42,6 +43,7 @@ pub const RUNNERS: [(&str, Runner); 16] = [
     ("E14", e14_hot_path),
     ("E15", e15_durability),
     ("E16", e16_rules_scaling),
+    ("E17", e17_indexed_joins),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1717,16 +1719,266 @@ pub fn e16_engine_id(rules: usize) -> String {
     }
 }
 
-/// Serialize the E13 + E14 + E15 + E16 reports as the `--bench-json`
-/// payload (schema `reweb-bench/v4` — v3 plus the E16 `rules-*` rows).
+/// One measured E17 configuration: a composite-rule (And/Seq) workload
+/// through one join mode.
+#[derive(Clone, Debug)]
+pub struct E17Row {
+    /// Installed composite rules (alternating `and`/`seq` triggers).
+    pub rules: usize,
+    /// Events driven through this configuration.
+    pub events: usize,
+    /// `"indexed"` or `"scan"`.
+    pub mode: &'static str,
+    /// Rule-install wall time.
+    pub install_ms: f64,
+    /// Throughput, in 1000 events/s.
+    pub kevents_per_s: f64,
+    /// Composite answers fired (identical across modes — the
+    /// equivalence `join_equivalence.rs` pins, re-checked here).
+    pub answers: u64,
+    /// Beta-index bucket lookups per event (zero in scan mode).
+    pub probes_per_event: f64,
+    /// Join candidates examined per event — the occupancy contrast:
+    /// flat for indexed, linear in stored answers for scan.
+    pub attempts_per_event: f64,
+    /// Retained partial-match answers at the end of the run.
+    pub state_size: usize,
+}
+
+/// Machine-readable E17 result — the table, the `--bench-json` payload,
+/// and the CI performance floor all read from this one struct.
+#[derive(Clone, Debug)]
+pub struct E17Report {
+    /// Events per rules-axis configuration.
+    pub events: usize,
+    /// Part A: rule-count axis 10² → 10⁴, indexed mode (the product
+    /// configuration; `composite-10k` is the CI floor row).
+    pub rules_axis: Vec<E17Row>,
+    /// Scan contrast at the two smallest rule counts over a shorter
+    /// stream (rates are per-event, so they compare).
+    pub scan_contrast: Vec<E17Row>,
+    /// Events per scan-contrast configuration.
+    pub contrast_events: usize,
+    /// Part B: occupancy axis at a fixed small rule count — wide windows
+    /// and a growing stream, (indexed, scan) measured pairwise on the
+    /// same workload. The last pair carries the ≥2x same-run gate.
+    pub occupancy: Vec<(E17Row, E17Row)>,
+}
+
+/// E17 (indexed joins): many-rule composite workloads through the beta
+/// network — And/Seq at 10² → 10⁴ rules, plus the occupancy axis where
+/// scan joins degrade linearly and indexed joins stay flat.
+pub fn e17_indexed_joins() -> Table {
+    e17_table(&e17_report(100_000))
+}
+
+/// Measure the E17 workload at `n_events` per rules-axis configuration
+/// (100k for the real table).
+pub fn e17_report(n_events: usize) -> E17Report {
+    e17_report_with(
+        n_events,
+        &[100, 1_000, 10_000],
+        &[8_000, 16_000, 32_000, 64_000],
+    )
+}
+
+/// Build E17 rule `i`: a two-way join on `@route`-disjoint composite
+/// triggers — `and` for even `i`, `seq` for odd — sharing `var K` so the
+/// join key analysis has something to index, under a window far wider
+/// than the stream (maximal occupancy: nothing GCs during a run).
+fn e17_rule(i: usize) -> reweb_core::EcaRule {
+    let op = if i % 2 == 0 { "and" } else { "seq" };
+    let on = parse_event_query(&format!(
+        "{op}(pa{{{{@route=\"r{i}\", id[[var K]]}}}}, pb{{{{@route=\"r{i}\", id[[var K]]}}}}) \
+         within 10h"
+    ))
+    .expect("E17 trigger parses");
+    reweb_core::EcaRule::on_do(format!("c{i}"), on, Action::Noop)
+}
+
+/// Measure E17 at the given rule counts and occupancy stream lengths.
+pub fn e17_report_with(n_events: usize, rule_counts: &[usize], occupancy: &[usize]) -> E17Report {
+    use reweb_core::JoinMode;
+
+    let meta = MessageMeta::from_uri("http://client");
+    const REPEATS: usize = 2;
+
+    // Event `2j` is `pa`, event `2j+1` the matching `pb`: pair `j` routes
+    // to rule `j % n_rules` and joins exactly once on `id`. The alpha
+    // network dispatches each event to its one rule; everything measured
+    // past that point is join work.
+    let run = |n_rules: usize, n_events: usize, mode: JoinMode| -> E17Row {
+        let msgs: Vec<Term> = (0..n_events)
+            .map(|j| {
+                let pair = j / 2;
+                let label = if j % 2 == 0 { "pa" } else { "pb" };
+                parse_term(&format!(
+                    "{label}{{@route=\"r{}\", id[\"{pair}\"]}}",
+                    pair % n_rules
+                ))
+                .expect("E17 event parses")
+            })
+            .collect();
+        let mut best = f64::MIN;
+        let mut picked: Option<E17Row> = None;
+        for _ in 0..REPEATS {
+            let mut e = ReactiveEngine::new("http://svc");
+            e.set_join_mode(mode);
+            let (_, install_secs) = timed(|| {
+                for i in 0..n_rules {
+                    e.add_rule(e17_rule(i));
+                }
+            });
+            let (_, secs) = timed(|| {
+                for (i, p) in msgs.iter().enumerate() {
+                    e.receive(p.clone(), &meta, Timestamp(i as u64));
+                }
+            });
+            let rate = n_events as f64 / secs / 1_000.0;
+            if rate > best {
+                best = rate;
+                picked = Some(E17Row {
+                    rules: n_rules,
+                    events: n_events,
+                    mode: match mode {
+                        JoinMode::Indexed => "indexed",
+                        JoinMode::Scan => "scan",
+                    },
+                    install_ms: install_secs * 1e3,
+                    kevents_per_s: rate,
+                    answers: e.metrics.rules_fired,
+                    probes_per_event: e.metrics.index_probes as f64 / n_events as f64,
+                    attempts_per_event: e.metrics.join_attempts as f64 / n_events as f64,
+                    state_size: e.state_size(),
+                });
+            }
+        }
+        picked.expect("at least one repeat ran")
+    };
+
+    let rules_axis: Vec<E17Row> = rule_counts
+        .iter()
+        .map(|&n| run(n, n_events, JoinMode::Indexed))
+        .collect();
+    // Scan contrast: per-delta cost is O(stored siblings), so measure it
+    // only at the two smallest rule counts over a shorter stream.
+    let contrast_events = (n_events / 10).max(2);
+    let scan_contrast: Vec<E17Row> = rule_counts
+        .iter()
+        .take(2)
+        .map(|&n| run(n, contrast_events, JoinMode::Scan))
+        .collect();
+    // Part B: fix the rule count low so per-rule occupancy grows with
+    // the stream, and measure both modes on the same workloads.
+    let occupancy = occupancy
+        .iter()
+        .map(|&n| {
+            let ix = run(64, n, JoinMode::Indexed);
+            let sc = run(64, n, JoinMode::Scan);
+            assert_eq!(
+                ix.answers, sc.answers,
+                "join modes disagreed on E17 answers at {n} events"
+            );
+            (ix, sc)
+        })
+        .collect();
+
+    E17Report {
+        events: n_events,
+        rules_axis,
+        scan_contrast,
+        contrast_events,
+        occupancy,
+    }
+}
+
+/// Render an [`E17Report`] as the experiment table.
+pub fn e17_table(r: &E17Report) -> Table {
+    let mut t = Table::new(
+        "E17",
+        "indexed joins",
+        format!(
+            "beta-network joins: composite and/seq rules, {} events per \
+             rules-axis configuration; occupancy axis at 64 rules",
+            r.events
+        ),
+        vec![
+            "join",
+            "rules",
+            "events",
+            "install_ms",
+            "answers",
+            "kevents_per_s",
+            "probes_per_event",
+            "attempts_per_event",
+            "state_size",
+        ],
+    )
+    .with_note(
+        "Claim: hashing stored partial matches on their shared certain \
+         variables makes per-event join cost a function of the *matching* \
+         candidates, not the store occupancy — probes and attempts per \
+         event stay flat as windows hold more state, while the scan join \
+         examines every stored sibling and degrades linearly (CI gates \
+         composite-10k throughput absolutely and requires indexed at \
+         ≥2x scan on the largest occupancy workload, same run).",
+    );
+    let mut push = |row: &E17Row| {
+        t.row(vec![
+            row.mode.into(),
+            row.rules.to_string(),
+            row.events.to_string(),
+            f(row.install_ms),
+            row.answers.to_string(),
+            f(row.kevents_per_s),
+            f(row.probes_per_event),
+            f(row.attempts_per_event),
+            row.state_size.to_string(),
+        ]);
+    };
+    for row in &r.rules_axis {
+        push(row);
+    }
+    for row in &r.scan_contrast {
+        push(row);
+    }
+    for (ix, sc) in &r.occupancy {
+        push(ix);
+        push(sc);
+    }
+    t
+}
+
+/// The `engine` id a rules-axis row gets in [`bench_json`]
+/// (`composite-100`, `composite-1k`, `composite-10k`).
+pub fn e17_engine_id(rules: usize) -> String {
+    match rules {
+        1_000 => "composite-1k".into(),
+        10_000 => "composite-10k".into(),
+        n => format!("composite-{n}"),
+    }
+}
+
+/// Serialize the E13 + E14 + E15 + E16 + E17 reports as the
+/// `--bench-json` payload (schema `reweb-bench/v5` — v4 plus the E17
+/// `composite-*` and `join-*` rows).
 /// Flat rows, one small object per measurement, so the floor check (and
 /// any CI tooling) can read it without a JSON library. The E14
 /// measurement is the `hotpath` row, E15's throughput the `durable` row,
 /// E15's recovery timings the `recovery-*` rows (informational: the
-/// artifact carries them, the floor does not gate them), and E16's
+/// artifact carries them, the floor does not gate them), E16's
 /// compiled sweep the `rules-*` rows (the `rules-100k` row is the
-/// absolute floor; the others feed the flatness ratio).
-pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report, e16: &E16Report) -> String {
+/// absolute floor; the others feed the flatness ratio), and E17's
+/// composite-join sweep the `composite-*` rows (`composite-10k` is the
+/// absolute floor) plus the `join-indexed`/`join-scan` occupancy pairs
+/// (informational: the ≥2x gate recomputes from the same run).
+pub fn bench_json(
+    r: &E13Report,
+    e14: &E14Report,
+    e15: &E15Report,
+    e16: &E16Report,
+    e17: &E17Report,
+) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
         r.single_kevents_per_s
@@ -1756,6 +2008,25 @@ pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report, e16: &E16Repo
             row.alpha_tests_per_event
         ));
     }
+    for row in &e17.rules_axis {
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+             \"rules\": {}, \"probes_per_event\": {:.2}}}",
+            e17_engine_id(row.rules),
+            row.kevents_per_s,
+            row.rules,
+            row.probes_per_event
+        ));
+    }
+    for (ix, sc) in &e17.occupancy {
+        for row in [ix, sc] {
+            rows.push(format!(
+                "    {{\"engine\": \"join-{}\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+                 \"events\": {}, \"attempts_per_event\": {:.2}}}",
+                row.mode, row.kevents_per_s, row.events, row.attempts_per_event
+            ));
+        }
+    }
     for row in &r.rows {
         rows.push(format!(
             "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
@@ -1767,7 +2038,7 @@ pub fn bench_json(r: &E13Report, e14: &E14Report, e15: &E15Report, e16: &E16Repo
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-bench/v4\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v5\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -1823,6 +2094,7 @@ pub fn check_floor(
     current_e14: &E14Report,
     current_e15: &E15Report,
     current_e16: &E16Report,
+    current_e17: &E17Report,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -1965,6 +2237,55 @@ pub fn check_floor(
             ));
         }
     }
+    // E17, gate 1: absolute 10k-composite-rule throughput (baselines
+    // that predate the beta network skip it; conservatively rounded like
+    // E14/E15/E16).
+    if let Some(&(_, _, base_10k)) = baseline.iter().find(|(e, _, _)| e == "composite-10k") {
+        if let Some(cur) = current_e17.rules_axis.iter().find(|r| r.rules == 10_000) {
+            let floor = base_10k * (1.0 - tolerance);
+            summary.push_str(&format!(
+                "E17 10k-composite dispatch: {:.1} ke/s (committed floor baseline \
+                 {base_10k:.1}, gate {floor:.1})\n",
+                cur.kevents_per_s
+            ));
+            if cur.kevents_per_s < floor {
+                failures.push(format!(
+                    "E17 10k-composite-rule dispatch {:.1} ke/s fell below the floor \
+                     {floor:.1} (baseline {base_10k:.1} - {:.0}% tolerance) — windowed \
+                     join state must be probed by key, not enumerated",
+                    cur.kevents_per_s,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    // E17, gate 2: same-run occupancy advantage. On the largest
+    // occupancy workload (wide windows, every partial match retained)
+    // indexed joins must run at ≥2x the scan join — both rates from the
+    // same run, so machine speed cancels and no baseline is needed. A
+    // fixed ratio, like the E16 flatness gate: it pins the *shape* claim
+    // (flat vs linear in occupancy), and the measured gap is many times
+    // wider than 2x, so only a genuine index bypass trips it.
+    const E17_SPEEDUP_FLOOR: f64 = 2.0;
+    if let Some((ix, sc)) = current_e17.occupancy.last() {
+        let speedup = ix.kevents_per_s / sc.kevents_per_s;
+        summary.push_str(&format!(
+            "E17 occupancy ({} events, 64 rules): indexed {:.1} ke/s \
+             ({:.2} attempts/event) vs scan {:.1} ke/s ({:.2} attempts/event), \
+             speedup {speedup:.2}x (floor {E17_SPEEDUP_FLOOR:.2}x)\n",
+            ix.events,
+            ix.kevents_per_s,
+            ix.attempts_per_event,
+            sc.kevents_per_s,
+            sc.attempts_per_event
+        ));
+        if speedup < E17_SPEEDUP_FLOOR {
+            failures.push(format!(
+                "E17 indexed join ran at only {speedup:.2}x the scan join on the \
+                 largest occupancy workload (floor {E17_SPEEDUP_FLOOR:.2}x)"
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -1994,6 +2315,7 @@ pub fn all() -> Vec<Table> {
         e14_hot_path(),
         e15_durability(),
         e16_rules_scaling(),
+        e17_indexed_joins(),
     ]
 }
 
@@ -2114,6 +2436,38 @@ mod tests {
         }
     }
 
+    fn e17_row(rules: usize, events: usize, mode: &'static str, rate: f64) -> E17Row {
+        E17Row {
+            rules,
+            events,
+            mode,
+            install_ms: 5.0,
+            kevents_per_s: rate,
+            answers: (events / 2) as u64,
+            probes_per_event: if mode == "indexed" { 1.0 } else { 0.0 },
+            attempts_per_event: if mode == "indexed" { 1.5 } else { 40.0 },
+            state_size: events,
+        }
+    }
+
+    /// `rate_10k` drives the absolute composite floor; `ix`/`sc` the
+    /// same-run occupancy speedup gate.
+    fn e17(rate_10k: f64, ix: f64, sc: f64) -> E17Report {
+        E17Report {
+            events: 1000,
+            rules_axis: vec![
+                e17_row(100, 1000, "indexed", 95.0),
+                e17_row(10_000, 1000, "indexed", rate_10k),
+            ],
+            scan_contrast: vec![e17_row(100, 100, "scan", 30.0)],
+            contrast_events: 100,
+            occupancy: vec![(
+                e17_row(64, 4000, "indexed", ix),
+                e17_row(64, 4000, "scan", sc),
+            )],
+        }
+    }
+
     #[test]
     fn bench_json_round_trips_through_the_scanner() {
         let r = E13Report {
@@ -2130,8 +2484,14 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let json = bench_json(&r, &e14(60.0), &e15(42.0), &e16(90.0, 75.0));
-        assert!(json.contains("reweb-bench/v4"), "schema bumped for E16");
+        let json = bench_json(
+            &r,
+            &e14(60.0),
+            &e15(42.0),
+            &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
+        );
+        assert!(json.contains("reweb-bench/v5"), "schema bumped for E17");
         let rows = e13_parse_rows(&json);
         assert_eq!(
             rows,
@@ -2142,6 +2502,10 @@ mod tests {
                 ("recovery-cold".to_string(), 1, 83.0),
                 ("rules-100".to_string(), 1, 90.0),
                 ("rules-100k".to_string(), 1, 75.0),
+                ("composite-100".to_string(), 1, 95.0),
+                ("composite-10k".to_string(), 1, 70.0),
+                ("join-indexed".to_string(), 1, 100.0),
+                ("join-scan".to_string(), 1, 20.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -2170,6 +2534,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
         );
         // A 4x faster machine with the same 2.0x scaling passes…
         assert!(check_floor(
@@ -2177,6 +2542,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25
         )
@@ -2187,6 +2553,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25
         )
@@ -2198,6 +2565,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25,
         )
@@ -2211,6 +2579,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
             &gutted,
             0.25,
         )
@@ -2234,13 +2603,45 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = bench_json(&report, &e14(80.0), &e15(40.0), &e16(90.0, 75.0));
+        let baseline = bench_json(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 75.0),
+            &e17(70.0, 100.0, 20.0),
+        );
         let ok16 = e16(90.0, 75.0);
         // At the baseline rate: fine. 25% below 80 = 60 is the gate.
-        assert!(check_floor(&report, &e14(80.0), &e15(40.0), &ok16, &baseline, 0.25).is_ok());
-        assert!(check_floor(&report, &e14(61.0), &e15(40.0), &ok16, &baseline, 0.25).is_ok());
-        let err = check_floor(&report, &e14(59.0), &e15(40.0), &ok16, &baseline, 0.25)
-            .expect_err("hot-path collapse must trip the floor");
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 100.0, 20.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        assert!(check_floor(
+            &report,
+            &e14(61.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 100.0, 20.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        let err = check_floor(
+            &report,
+            &e14(59.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 100.0, 20.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("hot-path collapse must trip the floor");
         assert!(err.contains("E14"), "{err}");
         // A pre-E14 baseline (no hotpath row) skips the absolute gate.
         let old = baseline
@@ -2248,7 +2649,16 @@ mod tests {
             .filter(|l| !l.contains("hotpath"))
             .collect::<Vec<_>>()
             .join("\n");
-        assert!(check_floor(&report, &e14(1.0), &e15(40.0), &ok16, &old, 0.25).is_ok());
+        assert!(check_floor(
+            &report,
+            &e14(1.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 100.0, 20.0),
+            &old,
+            0.25
+        )
+        .is_ok());
     }
 
     #[test]
@@ -2267,13 +2677,20 @@ mod tests {
                 hottest_share: 0.125,
             }],
         };
-        let baseline = bench_json(&report, &e14(80.0), &e15(40.0), &e16(90.0, 60.0));
+        let baseline = bench_json(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 60.0),
+            &e17(70.0, 100.0, 20.0),
+        );
         // At and above the committed 100k-rule floor: fine (gate = 45).
         assert!(check_floor(
             &report,
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 60.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25
         )
@@ -2283,6 +2700,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 46.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25
         )
@@ -2293,6 +2711,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(80.0, 44.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25,
         )
@@ -2306,6 +2725,7 @@ mod tests {
             &e14(80.0),
             &e15(40.0),
             &e16(200.0, 56.0),
+            &e17(70.0, 100.0, 20.0),
             &baseline,
             0.25,
         )
@@ -2318,16 +2738,156 @@ mod tests {
             .filter(|l| !l.contains("rules-"))
             .collect::<Vec<_>>()
             .join("\n");
-        assert!(check_floor(&report, &e14(80.0), &e15(40.0), &e16(90.0, 1.0), &old, 0.25).is_err());
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &e16(90.0, 1.0),
+            &e17(70.0, 100.0, 20.0),
+            &old,
+            0.25
+        )
+        .is_err());
         assert!(check_floor(
             &report,
             &e14(80.0),
             &e15(40.0),
             &e16(90.0, 60.0),
+            &e17(70.0, 100.0, 20.0),
             &old,
             0.25
         )
         .is_ok());
+    }
+
+    #[test]
+    fn e17_floor_gates_absolute_rate_and_speedup() {
+        let report = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 100.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 150.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let ok16 = e16(90.0, 75.0);
+        let baseline = bench_json(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 100.0, 20.0),
+        );
+        // At and above the committed composite floor: fine (gate = 52.5).
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(53.0, 100.0, 20.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        // Below the absolute gate: fails, naming E17.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(50.0, 100.0, 20.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("10k-composite collapse must trip the floor");
+        assert!(err.contains("E17 10k-composite"), "{err}");
+        // Healthy absolute rate but indexed no faster than scan trips
+        // the same-run speedup gate.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 30.0, 20.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("a bypassed index must trip the speedup floor");
+        assert!(err.contains("E17 indexed join"), "{err}");
+        // A pre-E17 baseline skips the absolute gate; the speedup gate
+        // still applies (it needs no baseline).
+        let old = baseline
+            .lines()
+            .filter(|l| !l.contains("composite-"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(1.0, 100.0, 20.0),
+            &old,
+            0.25
+        )
+        .is_ok());
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &e17(70.0, 30.0, 20.0),
+            &old,
+            0.25
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn e17_shapes() {
+        let r = e17_report_with(2_000, &[50, 200], &[500, 2_000]);
+        for row in &r.rules_axis {
+            // Every pa/pb pair joins exactly once, and the indexed path
+            // actually probed (the counters flow through EngineMetrics).
+            assert_eq!(
+                row.answers as usize,
+                row.events / 2,
+                "at {} rules",
+                row.rules
+            );
+            assert!(row.probes_per_event > 0.0, "at {} rules", row.rules);
+        }
+        for row in &r.scan_contrast {
+            assert_eq!(row.probes_per_event, 0.0, "scan mode must not probe");
+        }
+        // The occupancy contrast: with wide windows the scan join's work
+        // per event grows with the stream, the indexed join's does not.
+        let (ix_small, _) = &r.occupancy[0];
+        let (ix_large, sc_large) = &r.occupancy[1];
+        let (_, sc_small) = &r.occupancy[0];
+        assert!(
+            ix_large.attempts_per_event <= ix_small.attempts_per_event * 1.5 + 1.0,
+            "indexed attempts grew with occupancy: {} -> {}",
+            ix_small.attempts_per_event,
+            ix_large.attempts_per_event
+        );
+        assert!(
+            sc_large.attempts_per_event >= sc_small.attempts_per_event * 2.0,
+            "scan attempts should grow with occupancy: {} -> {}",
+            sc_small.attempts_per_event,
+            sc_large.attempts_per_event
+        );
+        let t = e17_table(&r);
+        assert_eq!(
+            t.rows.len(),
+            r.rules_axis.len() + r.scan_contrast.len() + 2 * r.occupancy.len()
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 
 use reweb_events::{
-    alpha_skippable, registrations, DeductionLayer, Event, EventId, IncrementalEngine,
+    alpha_skippable, registrations, DeductionLayer, Event, EventId, IncrementalEngine, JoinMode,
 };
 use reweb_query::compiled::{
     AlphaNetwork, CandidateIndex, EventShape, InterpretedIndex, Registration,
@@ -75,6 +75,13 @@ pub struct EngineMetrics {
     /// dedup. `rules_considered / events_received` is the observable
     /// sharing ratio of the discrimination network.
     pub rules_considered: u64,
+    /// Join candidates examined across all rules' event queries
+    /// ([`reweb_events::incremental::EngineStats::join_attempts`] summed
+    /// over every push and clock advance) — the E17 work currency.
+    pub join_attempts: u64,
+    /// Beta-index bucket probes across all rules' event queries (zero
+    /// under [`reweb_events::JoinMode::Scan`]).
+    pub index_probes: u64,
     /// Firing count per rule name.
     pub fires_by_rule: BTreeMap<String, u64>,
     /// Human-readable error log (action failures, denied installs, …).
@@ -96,6 +103,8 @@ impl EngineMetrics {
         self.rules_installed += other.rules_installed;
         self.alpha_tests_run += other.alpha_tests_run;
         self.rules_considered += other.rules_considered;
+        self.join_attempts += other.join_attempts;
+        self.index_probes += other.index_probes;
         for (name, n) in &other.fires_by_rule {
             *self.fires_by_rule.entry(name.clone()).or_default() += n;
         }
@@ -196,6 +205,10 @@ pub struct ReactiveEngine {
     /// never rebuilt from scratch except on an explicit mode switch.
     index: Box<dyn CandidateIndex>,
     match_mode: MatchMode,
+    /// The join implementation every rule's `And`/`Seq` operators run on
+    /// (see [`ReactiveEngine::set_join_mode`]). Applied to already
+    /// installed rules on switch and remembered for future installs.
+    join_mode: JoinMode,
     /// Rules whose event engines must observe every clock tick: absence
     /// deadlines fire on ticks, and TTL gc timing is output-visible. All
     /// other rules advance lazily on their next candidate push, so a
@@ -237,6 +250,7 @@ impl ReactiveEngine {
             compiled: Vec::new(),
             index: Box::new(AlphaNetwork::new()),
             match_mode: MatchMode::Compiled,
+            join_mode: JoinMode::default(),
             advance_idxs: Vec::new(),
             scratch_idxs: Vec::new(),
             deduction: DeductionLayer::new(),
@@ -328,7 +342,7 @@ impl ReactiveEngine {
         procs: BTreeMap<String, ProcedureDef>,
         set_path: String,
     ) {
-        let mut ev = IncrementalEngine::new(&rule.on);
+        let mut ev = IncrementalEngine::new(&rule.on).with_join_mode(self.join_mode);
         if let Some(ttl) = self.default_ttl {
             ev = ev.with_ttl(ttl);
         }
@@ -387,6 +401,26 @@ impl ReactiveEngine {
     /// The candidate-index implementation dispatch currently runs on.
     pub fn match_mode(&self) -> MatchMode {
         self.match_mode
+    }
+
+    /// Switch the join implementation of every installed rule's (and
+    /// DETECT rule's) `And`/`Seq` operators — the beta-network analogue
+    /// of [`ReactiveEngine::set_match_mode`]. Index state rebuilds from
+    /// the stored answers, so the switch is legal mid-stream; answer
+    /// sequences are byte-identical in both modes (pinned by the
+    /// `join_equivalence` differential proptest). Rules installed later
+    /// inherit the mode.
+    pub fn set_join_mode(&mut self, mode: JoinMode) {
+        self.join_mode = mode;
+        for cr in self.compiled.iter_mut() {
+            cr.ev.set_join_mode(mode);
+        }
+        self.deduction.set_join_mode(mode);
+    }
+
+    /// The join implementation event queries currently run on.
+    pub fn join_mode(&self) -> JoinMode {
+        self.join_mode
     }
 
     /// Nodes in the candidate index — under [`MatchMode::Compiled`] the
@@ -603,12 +637,17 @@ impl ReactiveEngine {
         let mut out = Vec::new();
         for i in 0..self.advance_idxs.len() {
             let idx = self.advance_idxs[i];
+            let s0 = self.compiled[idx].ev.stats;
             let answers = self.compiled[idx].ev.advance_to(now);
+            self.absorb_join_stats(s0, self.compiled[idx].ev.stats);
             for a in answers {
                 self.fire(idx, &a.bindings, &mut out);
             }
         }
-        match self.deduction.advance_to(now) {
+        let d0 = self.deduction_stats();
+        let advanced = self.deduction.advance_to(now);
+        self.absorb_deduction_stats(d0);
+        match advanced {
             Ok(derived) => {
                 for d in derived {
                     self.metrics.events_derived += 1;
@@ -620,11 +659,45 @@ impl ReactiveEngine {
         out
     }
 
+    /// Fold the events-layer join counters accumulated between two
+    /// [`reweb_events::incremental::EngineStats`] observations into the
+    /// engine metrics — without this the per-rule counters would be
+    /// dropped at the core boundary and sharded/durable runs (which only
+    /// see [`EngineMetrics`]) would report 0.
+    fn absorb_join_stats(
+        &mut self,
+        before: reweb_events::incremental::EngineStats,
+        after: reweb_events::incremental::EngineStats,
+    ) {
+        self.metrics.join_attempts += after.join_attempts - before.join_attempts;
+        self.metrics.index_probes += after.index_probes - before.index_probes;
+    }
+
+    /// Summed DETECT-engine counters, or a zero default when the
+    /// deduction layer is empty (skips the per-rule walk on the hot path).
+    fn deduction_stats(&self) -> reweb_events::incremental::EngineStats {
+        if self.deduction.is_empty() {
+            reweb_events::incremental::EngineStats::default()
+        } else {
+            self.deduction.stats_total()
+        }
+    }
+
+    fn absorb_deduction_stats(&mut self, before: reweb_events::incremental::EngineStats) {
+        if !self.deduction.is_empty() {
+            let after = self.deduction.stats_total();
+            self.absorb_join_stats(before, after);
+        }
+    }
+
     fn process_event(&mut self, payload: Term, source: &str, out: &mut Vec<OutMessage>) {
         self.next_event_id += 1;
         let e = Event::new(EventId(self.next_event_id), self.now, payload)
             .with_source(source.to_string());
-        let derived = match self.deduction.push(&e) {
+        let d0 = self.deduction_stats();
+        let pushed = self.deduction.push(&e);
+        self.absorb_deduction_stats(d0);
+        let derived = match pushed {
             Ok(d) => d,
             Err(err) => {
                 self.metrics.errors.push(format!("deduction: {err}"));
@@ -661,7 +734,9 @@ impl ReactiveEngine {
             return;
         }
         for &idx in &idxs {
+            let s0 = self.compiled[idx].ev.stats;
             let answers = self.compiled[idx].ev.push(e);
+            self.absorb_join_stats(s0, self.compiled[idx].ev.stats);
             for a in answers {
                 self.fire(idx, &a.bindings, out);
             }

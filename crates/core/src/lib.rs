@@ -59,6 +59,7 @@ pub use aaa::{AaaConfig, AccountingRecord, Acl, Credentials, MessageMeta, Permis
 pub use engine::{EngineMetrics, MatchMode, OutMessage, ReactiveEngine, ReplayMark};
 pub use meta::{rule_from_term, rule_to_term, ruleset_from_term, ruleset_to_term};
 pub use parser::{parse_action, parse_program, parse_rule};
+pub use reweb_events::JoinMode;
 pub use rule::{Branch, EcaRule, RuleSet};
 pub use shard::{ExecMode, InMessage, ShardedEngine};
 pub use trust::{negotiate, NegotiationOutcome, Party, Policy, Strategy};

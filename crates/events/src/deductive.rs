@@ -15,8 +15,9 @@
 use reweb_query::{construct, ConstructTerm};
 use reweb_term::{Sym, TermError, Timestamp};
 
+use crate::beta::JoinMode;
 use crate::event::{Event, EventId};
-use crate::incremental::IncrementalEngine;
+use crate::incremental::{EngineStats, IncrementalEngine};
 use crate::query::EventQuery;
 
 /// A deductive event rule: `DETECT head ON query END`.
@@ -57,6 +58,7 @@ impl EventRule {
 pub struct DeductionLayer {
     rules: Vec<(EventRule, IncrementalEngine)>,
     next_derived_id: u64,
+    join_mode: JoinMode,
 }
 
 impl DeductionLayer {
@@ -77,13 +79,41 @@ impl DeductionLayer {
                 rule.name
             )));
         }
-        let engine = IncrementalEngine::new(&rule.on);
+        let engine = IncrementalEngine::new(&rule.on).with_join_mode(self.join_mode);
         self.rules.push((rule, engine));
         Ok(())
     }
 
     pub fn len(&self) -> usize {
         self.rules.len()
+    }
+
+    /// Switch the join implementation of every registered DETECT rule's
+    /// engine (and of rules registered later) — see
+    /// [`IncrementalEngine::set_join_mode`].
+    pub fn set_join_mode(&mut self, mode: JoinMode) {
+        self.join_mode = mode;
+        for (_, e) in self.rules.iter_mut() {
+            e.set_join_mode(mode);
+        }
+    }
+
+    /// Sum of the per-DETECT-rule engine counters, for folding into
+    /// host-level metrics.
+    pub fn stats_total(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for (_, e) in &self.rules {
+            total.events_processed += e.stats.events_processed;
+            total.answers_emitted += e.stats.answers_emitted;
+            total.join_attempts += e.stats.join_attempts;
+            total.index_probes += e.stats.index_probes;
+        }
+        total
+    }
+
+    /// Total partial-match state across all DETECT rules (Thesis 4).
+    pub fn state_size(&self) -> usize {
+        self.rules.iter().map(|(_, e)| e.state_size()).sum()
     }
 
     /// Earliest pending absence deadline across all DETECT rules.

@@ -29,10 +29,12 @@
 //! constituent events so they cannot contribute to later answers.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use reweb_query::{match_at, AggFn, Bindings, Cmp, QueryTerm};
 use reweb_term::{Dur, Sym, Timestamp};
 
+use crate::beta::{join_indexed, JoinIndex, JoinMode, JoinPlan};
 use crate::event::{Answer, Event, EventId};
 use crate::query::EventQuery;
 
@@ -60,8 +62,14 @@ pub struct Policy {
 pub struct EngineStats {
     pub events_processed: u64,
     pub answers_emitted: u64,
-    /// Join combination attempts — the unit of "work" E6 compares.
+    /// Join candidates examined — the unit of "work" E6 and E17 compare.
+    /// Under [`JoinMode::Scan`] this counts every stored sibling answer
+    /// enumerated; under [`JoinMode::Indexed`] only the candidates
+    /// surviving the key and range cuts.
     pub join_attempts: u64,
+    /// Bucket lookups performed by indexed joins (zero in scan mode) —
+    /// the E17 probes-per-event currency.
+    pub index_probes: u64,
 }
 
 /// The incremental (data-driven) event query engine.
@@ -71,6 +79,7 @@ pub struct IncrementalEngine {
     policy: Policy,
     ttl: Option<Dur>,
     now: Timestamp,
+    join_mode: JoinMode,
     pub stats: EngineStats,
 }
 
@@ -78,11 +87,13 @@ impl IncrementalEngine {
     /// Compile a query. Window bounds propagate down so every operator
     /// knows its retention.
     pub fn new(q: &EventQuery) -> IncrementalEngine {
+        let join_mode = JoinMode::default();
         IncrementalEngine {
-            root: compile(q, None),
+            root: compile(q, None, join_mode),
             policy: Policy::default(),
             ttl: None,
             now: Timestamp::ZERO,
+            join_mode,
             stats: EngineStats::default(),
         }
     }
@@ -90,6 +101,31 @@ impl IncrementalEngine {
     pub fn with_policy(mut self, policy: Policy) -> IncrementalEngine {
         self.policy = policy;
         self
+    }
+
+    /// Builder form of [`IncrementalEngine::set_join_mode`].
+    pub fn with_join_mode(mut self, mode: JoinMode) -> IncrementalEngine {
+        self.set_join_mode(mode);
+        self
+    }
+
+    /// Switch the join implementation of every `And`/`Seq` operator,
+    /// rebuilding index state from the stored answers (the index is
+    /// derived data, so the switch is lossless in both directions and
+    /// legal mid-stream). Answer sequences are byte-identical in both
+    /// modes — pinned by the `join_equivalence` differential proptest;
+    /// [`JoinMode::Scan`] exists as that pin's oracle and for the E17
+    /// occupancy-scaling contrast.
+    pub fn set_join_mode(&mut self, mode: JoinMode) {
+        if self.join_mode != mode {
+            self.join_mode = mode;
+            self.root.set_join_mode(mode);
+        }
+    }
+
+    /// The join implementation `And`/`Seq` operators currently run on.
+    pub fn join_mode(&self) -> JoinMode {
+        self.join_mode
     }
 
     /// Engine-wide TTL: even window-less queries dispose of partial state
@@ -162,6 +198,26 @@ enum Input<'a> {
     Time(Timestamp),
 }
 
+/// Per-child answer storage of one `And`/`Seq` operator, switchable at
+/// runtime (see [`IncrementalEngine::set_join_mode`]). Both variants hold
+/// the same answers; only lookup shape differs.
+#[derive(Clone, Debug)]
+enum JoinStore {
+    /// Flat stores, enumerated in full per delta (the oracle).
+    Scan(Vec<Vec<Answer>>),
+    /// Key-hashed, time-sorted stores probed per delta (the default).
+    Indexed(Vec<JoinIndex>),
+}
+
+impl JoinStore {
+    fn len(&self) -> usize {
+        match self {
+            JoinStore::Scan(stored) => stored.iter().map(Vec::len).sum(),
+            JoinStore::Indexed(idxs) => idxs.iter().map(JoinIndex::len).sum(),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 enum OpNode {
     Atomic {
@@ -169,7 +225,10 @@ enum OpNode {
     },
     Join {
         children: Vec<OpNode>,
-        stored: Vec<Vec<Answer>>,
+        store: JoinStore,
+        /// Compile-time join-key analysis shared by clones of this
+        /// operator (crash-recovery builders clone engines freely).
+        plan: Arc<JoinPlan>,
         window: Option<Dur>,
         /// Retention bound (own window, inherited bound, whichever is
         /// smaller); `None` = unbounded unless the engine TTL applies.
@@ -214,23 +273,34 @@ fn min_opt(a: Option<Dur>, b: Option<Dur>) -> Option<Dur> {
     }
 }
 
-fn compile(q: &EventQuery, inherited: Option<Dur>) -> OpNode {
+fn compile(q: &EventQuery, inherited: Option<Dur>, mode: JoinMode) -> OpNode {
     match q {
         EventQuery::Atomic { pattern } => OpNode::Atomic {
             pattern: pattern.clone(),
         },
         EventQuery::And { parts, window } | EventQuery::Seq { parts, window } => {
             let retention = min_opt(*window, inherited);
+            let plan = JoinPlan::new(parts);
+            let store = match mode {
+                JoinMode::Indexed => JoinStore::Indexed(
+                    plan.child_keys
+                        .iter()
+                        .map(|ks| JoinIndex::new(ks))
+                        .collect(),
+                ),
+                JoinMode::Scan => JoinStore::Scan(vec![Vec::new(); parts.len()]),
+            };
             OpNode::Join {
-                children: parts.iter().map(|p| compile(p, retention)).collect(),
-                stored: vec![Vec::new(); parts.len()],
+                children: parts.iter().map(|p| compile(p, retention, mode)).collect(),
+                store,
+                plan: Arc::new(plan),
                 window: *window,
                 retention,
                 sequential: matches!(q, EventQuery::Seq { .. }),
             }
         }
         EventQuery::Or { parts } => OpNode::Or {
-            children: parts.iter().map(|p| compile(p, inherited)).collect(),
+            children: parts.iter().map(|p| compile(p, inherited, mode)).collect(),
         },
         EventQuery::Absence {
             trigger,
@@ -239,8 +309,8 @@ fn compile(q: &EventQuery, inherited: Option<Dur>) -> OpNode {
         } => {
             let child_bound = min_opt(Some(*window), inherited);
             OpNode::Absence {
-                trigger: Box::new(compile(trigger, child_bound)),
-                absent: Box::new(compile(absent, child_bound)),
+                trigger: Box::new(compile(trigger, child_bound, mode)),
+                absent: Box::new(compile(absent, child_bound, mode)),
                 window: *window,
                 pending: Vec::new(),
             }
@@ -275,7 +345,7 @@ fn compile(q: &EventQuery, inherited: Option<Dur>) -> OpNode {
             bufs: BTreeMap::new(),
         },
         EventQuery::Where { inner, cmps } => OpNode::Where {
-            inner: Box::new(compile(inner, inherited)),
+            inner: Box::new(compile(inner, inherited, mode)),
             cmps: cmps.clone(),
         },
     }
@@ -293,7 +363,8 @@ impl OpNode {
             }
             OpNode::Join {
                 children,
-                stored,
+                store,
+                plan,
                 window,
                 sequential,
                 ..
@@ -305,10 +376,28 @@ impl OpNode {
                     deltas.push(d);
                 }
                 if deltas.iter().any(|d| !d.is_empty()) {
-                    join_new(stored, &deltas, *window, *sequential, out, stats);
+                    match store {
+                        JoinStore::Scan(stored) => {
+                            join_new(stored, &deltas, *window, *sequential, out, stats);
+                        }
+                        JoinStore::Indexed(idxs) => {
+                            join_indexed(idxs, &deltas, plan, *window, *sequential, out, stats);
+                        }
+                    }
                 }
-                for (s, d) in stored.iter_mut().zip(deltas) {
-                    s.extend(d);
+                match store {
+                    JoinStore::Scan(stored) => {
+                        for (s, d) in stored.iter_mut().zip(deltas) {
+                            s.extend(d);
+                        }
+                    }
+                    JoinStore::Indexed(idxs) => {
+                        for (ix, d) in idxs.iter_mut().zip(deltas) {
+                            for a in d {
+                                ix.insert(a);
+                            }
+                        }
+                    }
                 }
             }
             OpNode::Or { children } => {
@@ -437,7 +526,7 @@ impl OpNode {
             OpNode::Atomic { .. } => {}
             OpNode::Join {
                 children,
-                stored,
+                store,
                 retention,
                 ..
             } => {
@@ -445,8 +534,17 @@ impl OpNode {
                 // stays within the retention bound, and future events end at
                 // `now` or later — prune once `now - start` exceeds it.
                 if let Some(r) = min_opt(*retention, ttl) {
-                    for s in stored.iter_mut() {
-                        s.retain(|a| now.since(a.start) <= r);
+                    match store {
+                        JoinStore::Scan(stored) => {
+                            for s in stored.iter_mut() {
+                                s.retain(|a| now.since(a.start) <= r);
+                            }
+                        }
+                        JoinStore::Indexed(idxs) => {
+                            for ix in idxs.iter_mut() {
+                                ix.gc(now, r);
+                            }
+                        }
                     }
                 }
                 for c in children {
@@ -485,10 +583,19 @@ impl OpNode {
         match self {
             OpNode::Atomic { .. } => {}
             OpNode::Join {
-                children, stored, ..
+                children, store, ..
             } => {
-                for s in stored.iter_mut() {
-                    s.retain(|a| a.constituents.iter().all(|id| !ids.contains(id)));
+                match store {
+                    JoinStore::Scan(stored) => {
+                        for s in stored.iter_mut() {
+                            s.retain(|a| a.constituents.iter().all(|id| !ids.contains(id)));
+                        }
+                    }
+                    JoinStore::Indexed(idxs) => {
+                        for ix in idxs.iter_mut() {
+                            ix.consume(ids);
+                        }
+                    }
                 }
                 for c in children {
                     c.consume(ids);
@@ -525,11 +632,8 @@ impl OpNode {
         match self {
             OpNode::Atomic { .. } => 0,
             OpNode::Join {
-                children, stored, ..
-            } => {
-                stored.iter().map(Vec::len).sum::<usize>()
-                    + children.iter().map(OpNode::state_size).sum::<usize>()
-            }
+                children, store, ..
+            } => store.len() + children.iter().map(OpNode::state_size).sum::<usize>(),
             OpNode::Or { children } => children.iter().map(OpNode::state_size).sum(),
             OpNode::Absence {
                 trigger,
@@ -540,6 +644,59 @@ impl OpNode {
             OpNode::Count { buf, .. } => buf.len(),
             OpNode::Agg { bufs, .. } => bufs.values().map(VecDeque::len).sum(),
             OpNode::Where { inner, .. } => inner.state_size(),
+        }
+    }
+
+    /// Convert every join store to `mode`, rebuilding index state from
+    /// the stored answers (or flattening it back to scan vectors). Both
+    /// representations hold identical answer sets, so a switch is
+    /// output-invisible mid-stream.
+    fn set_join_mode(&mut self, mode: JoinMode) {
+        match self {
+            OpNode::Atomic { .. } | OpNode::Count { .. } | OpNode::Agg { .. } => {}
+            OpNode::Join {
+                children,
+                store,
+                plan,
+                ..
+            } => {
+                match (mode, &mut *store) {
+                    (JoinMode::Indexed, JoinStore::Scan(stored)) => {
+                        let mut idxs: Vec<JoinIndex> = plan
+                            .child_keys
+                            .iter()
+                            .map(|ks| JoinIndex::new(ks))
+                            .collect();
+                        for (ix, s) in idxs.iter_mut().zip(stored.iter_mut()) {
+                            for a in s.drain(..) {
+                                ix.insert(a);
+                            }
+                        }
+                        *store = JoinStore::Indexed(idxs);
+                    }
+                    (JoinMode::Scan, JoinStore::Indexed(idxs)) => {
+                        *store = JoinStore::Scan(
+                            idxs.iter().map(JoinIndex::to_time_ordered_vec).collect(),
+                        );
+                    }
+                    _ => {}
+                }
+                for c in children {
+                    c.set_join_mode(mode);
+                }
+            }
+            OpNode::Or { children } => {
+                for c in children {
+                    c.set_join_mode(mode);
+                }
+            }
+            OpNode::Absence {
+                trigger, absent, ..
+            } => {
+                trigger.set_join_mode(mode);
+                absent.set_join_mode(mode);
+            }
+            OpNode::Where { inner, .. } => inner.set_join_mode(mode),
         }
     }
 

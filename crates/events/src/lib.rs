@@ -23,15 +23,21 @@
 //! * **Thesis 6 — data-driven incremental evaluation.** Queries compile to
 //!   an operator network with per-operator partial-match storage
 //!   ([`IncrementalEngine`]); each incoming event does work proportional to
-//!   the affected state, never to the event history. The strawman the
-//!   thesis argues against — query-driven re-evaluation over the full
+//!   the affected state, never to the event history. `And`/`Seq` joins run
+//!   on a beta network of join-key indexes ([`beta`]) by default — stored
+//!   answers hashed by projected key bindings, windows and sequence order
+//!   pruned by range lookup — with the scan join kept as a
+//!   runtime-switchable oracle ([`JoinMode`], experiment E17). The strawman
+//!   the thesis argues against — query-driven re-evaluation over the full
 //!   history — is implemented too ([`NaiveEngine`]) as the baseline for
-//!   experiment E6, and a property test pins both to the same semantics.
+//!   experiment E6, and property tests pin all of them to the same
+//!   semantics.
 //!
 //! * **Thesis 9 (events half)** — deductive rules for events:
 //!   [`EventRule`] (`DETECT head ON query`) derives higher-level events;
 //!   recursion among event rules is rejected, as the thesis prescribes.
 
+pub mod beta;
 pub mod compiled;
 pub mod deductive;
 pub mod event;
@@ -40,6 +46,7 @@ pub mod naive;
 pub mod parser;
 pub mod query;
 
+pub use beta::JoinMode;
 pub use compiled::{alpha_skippable, registrations};
 pub use deductive::{DeductionLayer, EventRule};
 pub use event::{Answer, Event, EventId};

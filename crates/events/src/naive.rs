@@ -17,7 +17,7 @@ use reweb_query::{match_at, Bindings, QueryTerm};
 use reweb_term::Timestamp;
 
 use crate::event::{Answer, Event, EventId};
-use crate::incremental::fold_agg;
+use crate::incremental::{fold_agg, Policy, Selection};
 use crate::query::EventQuery;
 
 /// The naive, history-rescanning evaluator.
@@ -27,6 +27,11 @@ pub struct NaiveEngine {
     history: Vec<Event>,
     now: Timestamp,
     seen: BTreeSet<(Vec<EventId>, Bindings, Timestamp, Timestamp)>,
+    policy: Policy,
+    /// Ids used up by an emitted answer under `Policy::consume`: the
+    /// naive rendering of consumption is to re-evaluate over the history
+    /// *minus* these events.
+    consumed: BTreeSet<EventId>,
 }
 
 impl NaiveEngine {
@@ -36,7 +41,16 @@ impl NaiveEngine {
             history: Vec::new(),
             now: Timestamp::ZERO,
             seen: BTreeSet::new(),
+            policy: Policy::default(),
+            consumed: BTreeSet::new(),
         }
+    }
+
+    /// Selection/consumption policy, mirroring
+    /// [`crate::IncrementalEngine::with_policy`].
+    pub fn with_policy(mut self, policy: Policy) -> NaiveEngine {
+        self.policy = policy;
+        self
     }
 
     /// Feed one event: appends to the history and re-evaluates everything.
@@ -59,14 +73,37 @@ impl NaiveEngine {
     }
 
     fn emit_new(&mut self) -> Vec<Answer> {
-        let mut all = eval(&self.query, &self.history, self.now);
+        // Under `consume`, used-up events are invisible to re-evaluation —
+        // the whole-history equivalent of the incremental engine dropping
+        // every partial match that involves them.
+        let mut all = if self.consumed.is_empty() {
+            eval(&self.query, &self.history, self.now)
+        } else {
+            let filtered: Vec<Event> = self
+                .history
+                .iter()
+                .filter(|e| !self.consumed.contains(&e.id))
+                .cloned()
+                .collect();
+            eval(&self.query, &filtered, self.now)
+        };
         all.sort();
         all.dedup_by(|a, b| a.key() == b.key());
+        // Every new answer is recorded as seen — answers a `First`
+        // selection suppresses must not resurface as "new" on the next
+        // re-evaluation (the incremental engine never re-derives them).
         let mut out = Vec::new();
         for a in all {
             if self.seen.insert(a.key()) {
                 out.push(a);
             }
+        }
+        if self.policy.selection == Selection::First && out.len() > 1 {
+            out.truncate(1);
+        }
+        if self.policy.consume {
+            self.consumed
+                .extend(out.iter().flat_map(|a| a.constituents.iter().copied()));
         }
         out
     }

@@ -10,7 +10,10 @@
 
 use proptest::prelude::*;
 
-use reweb_events::{parse_event_query, Event, EventId, EventQuery, IncrementalEngine, NaiveEngine};
+use reweb_events::{
+    parse_event_query, Event, EventId, EventQuery, IncrementalEngine, NaiveEngine, Policy,
+    Selection,
+};
 use reweb_query::Bindings;
 use reweb_term::{Term, Timestamp};
 
@@ -60,6 +63,49 @@ fn arb_query() -> impl Strategy<Value = String> {
             // where filter
             inner.prop_map(|q| format!("{q} where var X >= 2")),
         ]
+    })
+}
+
+/// Join-shaped queries only (`and`/`seq`/`or`/`where` over atomics), with
+/// nested `Seq`-under-`And` shapes explicitly represented — exactly the
+/// partial-match state a consuming policy must retract from. Accumulator
+/// operators are deliberately absent: under `consume`, naive re-evaluation
+/// over a filtered history can resurrect ring-buffer entries the
+/// incremental engine already evicted (`count`/`agg`), and consuming a
+/// canceller retroactively un-cancels an `absence` — both intended
+/// differences of the strawman, not bugs the pin should reject.
+fn arb_join_query() -> impl Strategy<Value = String> {
+    let leaf = arb_atomic();
+    let seq = (proptest::collection::vec(arb_atomic(), 2..4), 0..3u8).prop_map(|(parts, w)| {
+        let body = format!("seq({})", parts.join(", "));
+        match w {
+            0 => body,
+            1 => format!("{body} within 5s"),
+            _ => format!("{body} within 50s"),
+        }
+    });
+    let inner = prop_oneof![leaf, seq];
+    (proptest::collection::vec(inner, 2..4), 0..4u8).prop_map(|(parts, shape)| {
+        let body = match shape {
+            0 | 1 => format!("and({})", parts.join(", ")),
+            2 => format!("seq({})", parts.join(", ")),
+            _ => format!("or({})", parts.join(", ")),
+        };
+        match shape {
+            0 => format!("{body} within 50s"),
+            _ => body,
+        }
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    (0..2u8, 0..2u8).prop_map(|(first, consume)| Policy {
+        selection: if first == 1 {
+            Selection::First
+        } else {
+            Selection::Every
+        },
+        consume: consume == 1,
     })
 }
 
@@ -136,6 +182,48 @@ proptest! {
         // Final flush far in the future fires all remaining deadlines.
         let far = now + reweb_term::Dur::hours(24);
         prop_assert_eq!(keys(&inc.advance_to(far)), keys(&naive.advance_to(far)));
+    }
+
+    /// Incremental ≡ naive under every selection/consumption policy
+    /// combination, on join-shaped queries (including `Seq`-under-`And`):
+    /// `First` must pick the same answer of each batch, and `consume`
+    /// must retract the same partial matches on both sides.
+    #[test]
+    fn incremental_equals_naive_under_policy(
+        qsrc in arb_join_query(),
+        policy in arb_policy(),
+        steps in proptest::collection::vec(arb_step(), 0..40),
+    ) {
+        let q: EventQuery = parse_event_query(&qsrc).unwrap();
+        let mut inc = IncrementalEngine::new(&q).with_policy(policy);
+        let mut naive = NaiveEngine::new(&q).with_policy(policy);
+        let mut now = Timestamp::ZERO;
+        let mut next_id = 0u64;
+        for step in steps {
+            match step {
+                Step::Ev { label, value, dt } => {
+                    now += reweb_term::Dur::millis(dt as u64);
+                    next_id += 1;
+                    let e = Event::new(EventId(next_id), now, payload(label, value));
+                    let ai = inc.push(&e);
+                    let an = naive.push(&e);
+                    prop_assert_eq!(
+                        keys(&ai), keys(&an),
+                        "diverged on event {:?} of query {} under {:?}",
+                        e.payload.to_string(), qsrc, policy
+                    );
+                }
+                Step::Advance { dt } => {
+                    now += reweb_term::Dur::millis(dt as u64);
+                    let ai = inc.advance_to(now);
+                    let an = naive.advance_to(now);
+                    prop_assert_eq!(
+                        keys(&ai), keys(&an),
+                        "diverged on advance to {} of query {} under {:?}", now, qsrc, policy
+                    );
+                }
+            }
+        }
     }
 
     /// Incremental answer sets are insensitive to interleaved clock

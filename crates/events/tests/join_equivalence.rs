@@ -1,0 +1,345 @@
+//! The differential wall of the beta network (PR 7's tentpole): an
+//! [`IncrementalEngine`] joining through per-child [`JoinIndex`]es
+//! (`JoinMode::Indexed`, the default) produces **byte-identical answer
+//! sequences** to the stored-sibling scan join (`JoinMode::Scan`, kept as
+//! the oracle) — for random `and`/`seq`/`or`/`absence`/`count`/`agg`
+//! nestings, windows, selection/consumption policies, and interleaved
+//! clock advances. The two modes must also agree on `state_size` after
+//! every step: the index holds exactly the stored answers, so windowed GC
+//! and consumption retract the same partial matches on both sides.
+//!
+//! Three engines run in lockstep per case: one pinned `Indexed`, one
+//! pinned `Scan`, and one that *switches modes mid-stream* at random
+//! points — the switch rebuilds index state from stored answers (or
+//! flattens it back), so it must be output-invisible.
+//!
+//! A separate deterministic test drives the same invariant through the
+//! full durable stack: recovery of a [`reweb_persist::DurableEngine`]
+//! (snapshot + warmup replay) must rebuild beta-index state such that the
+//! recovered run's outputs match the uninterrupted run's, in either join
+//! mode.
+
+use proptest::prelude::*;
+
+use reweb_events::{
+    parse_event_query, Event, EventId, EventQuery, IncrementalEngine, JoinMode, Policy, Selection,
+};
+use reweb_term::{Term, Timestamp};
+
+// ----- random queries (superset of the naive≡incremental generator) ----------
+
+fn arb_atomic() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("a{{v[[var X]]}}".to_string()),
+        Just("b{{v[[var X]]}}".to_string()),
+        Just("b{{v[[var Y]]}}".to_string()),
+        Just("c{{v[[var X]], w[[var Y]]}}".to_string()),
+        Just("*{{v[[var X]]}}".to_string()),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    let leaf = arb_atomic();
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            // and / seq, optionally windowed — the operators under test
+            4 => (proptest::collection::vec(inner.clone(), 2..4), 0..3u8).prop_map(|(parts, w)| {
+                let body = format!("and({})", parts.join(", "));
+                match w {
+                    0 => body,
+                    1 => format!("{body} within 5s"),
+                    _ => format!("{body} within 50s"),
+                }
+            }),
+            4 => (proptest::collection::vec(inner.clone(), 2..4), 0..3u8).prop_map(|(parts, w)| {
+                let body = format!("seq({})", parts.join(", "));
+                match w {
+                    0 => body,
+                    1 => format!("{body} within 5s"),
+                    _ => format!("{body} within 50s"),
+                }
+            }),
+            1 => proptest::collection::vec(inner.clone(), 2..3)
+                .prop_map(|parts| format!("or({})", parts.join(", "))),
+            1 => (arb_atomic(), arb_atomic()).prop_map(|(t, a)| format!("absence({t}, {a}, 3s)")),
+            1 => (2..4usize).prop_map(|n| format!("count({n}, a, 10s)")),
+            1 => (2..4usize)
+                .prop_map(|n| format!("avg(var X, {n}, a{{{{v[[var X]]}}}}) as var AVG")),
+            1 => inner.prop_map(|q| format!("{q} where var X >= 2")),
+        ]
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    (0..2u8, 0..2u8).prop_map(|(first, consume)| Policy {
+        selection: if first == 1 {
+            Selection::First
+        } else {
+            Selection::Every
+        },
+        consume: consume == 1,
+    })
+}
+
+// ----- random streams ---------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Step {
+    Ev { label: u8, value: u8, dt: u16 },
+    Advance { dt: u16 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..4u8, 0..5u8, 0..3000u16).prop_map(|(label, value, dt)| Step::Ev {
+            label,
+            value,
+            dt
+        }),
+        1 => (0..6000u16).prop_map(|dt| Step::Advance { dt }),
+    ]
+}
+
+fn payload(label: u8, value: u8) -> Term {
+    let l = match label {
+        0 => "a",
+        1 => "b",
+        2 => "c",
+        _ => "d",
+    };
+    Term::unordered(
+        l,
+        vec![
+            Term::ordered("v", vec![Term::int(value as i64)]),
+            Term::ordered("w", vec![Term::int((value % 3) as i64)]),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed ≡ Scan, as exact answer sequences *and* as retained state,
+    /// step by step — including an engine that flips modes mid-stream.
+    /// Also pins the direction of the optimization: the index never
+    /// examines more join candidates than the scan enumerates.
+    #[test]
+    fn indexed_equals_scan_with_midstream_switches(
+        qsrc in arb_query(),
+        policy in arb_policy(),
+        steps in proptest::collection::vec(arb_step(), 0..50),
+        switches in proptest::collection::vec(0..50usize, 0..4),
+    ) {
+        let q: EventQuery = parse_event_query(&qsrc).unwrap();
+        let mut indexed = IncrementalEngine::new(&q).with_policy(policy);
+        let mut scan = IncrementalEngine::new(&q)
+            .with_policy(policy)
+            .with_join_mode(JoinMode::Scan);
+        let mut flip = IncrementalEngine::new(&q).with_policy(policy);
+        prop_assert_eq!(indexed.join_mode(), JoinMode::Indexed);
+        prop_assert_eq!(scan.join_mode(), JoinMode::Scan);
+        let mut now = Timestamp::ZERO;
+        let mut next_id = 0u64;
+        for (i, step) in steps.into_iter().enumerate() {
+            if switches.contains(&i) {
+                let flipped = match flip.join_mode() {
+                    JoinMode::Indexed => JoinMode::Scan,
+                    JoinMode::Scan => JoinMode::Indexed,
+                };
+                flip.set_join_mode(flipped);
+            }
+            let (ai, asc, af) = match step {
+                Step::Ev { label, value, dt } => {
+                    now += reweb_term::Dur::millis(dt as u64);
+                    next_id += 1;
+                    let e = Event::new(EventId(next_id), now, payload(label, value));
+                    (indexed.push(&e), scan.push(&e), flip.push(&e))
+                }
+                Step::Advance { dt } => {
+                    now += reweb_term::Dur::millis(dt as u64);
+                    (
+                        indexed.advance_to(now),
+                        scan.advance_to(now),
+                        flip.advance_to(now),
+                    )
+                }
+            };
+            prop_assert_eq!(
+                &ai, &asc,
+                "indexed and scan answers diverged at step {} of query {} under {:?}",
+                i, qsrc, policy
+            );
+            prop_assert_eq!(
+                &ai, &af,
+                "mode-switching engine diverged at step {} of query {} under {:?}",
+                i, qsrc, policy
+            );
+            // Equal retained state after GC/consumption: the index holds
+            // exactly the stored answers (Thesis 4 — no index leaks).
+            prop_assert_eq!(
+                indexed.state_size(), scan.state_size(),
+                "state_size diverged at step {} of query {}", i, qsrc
+            );
+            prop_assert_eq!(indexed.state_size(), flip.state_size());
+        }
+        // The point of the index: never more join work than the scan.
+        prop_assert!(
+            indexed.stats.join_attempts <= scan.stats.join_attempts,
+            "index examined more candidates ({}) than the scan ({}) for query {}",
+            indexed.stats.join_attempts, scan.stats.join_attempts, qsrc
+        );
+        prop_assert_eq!(scan.stats.index_probes, 0);
+    }
+}
+
+// ----- recovery through the durable stack ------------------------------------
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("reweb-joineq-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Composite rules whose partial-join state straddles any crash point:
+/// a windowed 3-way `and`, a `seq` chain, and a `seq`-under-`and` nest.
+const COMPOSITE_PROGRAM: &str = r#"
+    RULE three_way ON and(a{{v[[var X]]}}, b{{v[[var X]], w[[var Y]]}}, c{{w[[var Y]]}}) within 2m
+      DO SEND tri{x[var X], y[var Y]} TO "http://sink/tri" END
+    RULE chain ON seq(a{{v[[var X]]}}, b{{v[[var X]]}}, c{{w[[var Y]]}}) within 90s
+      DO SEND chain{x[var X]} TO "http://sink/chain" END
+    RULE nest ON and(seq(a{{v[[var X]]}}, b{{v[[var X]]}}) within 60s, c{{v[[var Z]]}}) within 2m
+      DO SEND nest{x[var X], z[var Z]} TO "http://sink/nest" END
+"#;
+
+fn composite_stream() -> Vec<reweb_core::InMessage> {
+    use reweb_core::{InMessage, MessageMeta};
+    let meta = MessageMeta::from_uri("http://peer");
+    let mut msgs = Vec::new();
+    for k in 0..36u64 {
+        let (label, v, w) = match k % 4 {
+            0 => ("a", k % 5, k % 3),
+            1 => ("b", k % 5, (k + 1) % 3),
+            2 => ("c", (k + 2) % 5, (k + 1) % 3),
+            _ => ("b", (k + 1) % 5, k % 3),
+        };
+        let payload = Term::unordered(
+            label,
+            vec![
+                Term::ordered("v", vec![Term::int(v as i64)]),
+                Term::ordered("w", vec![Term::int(w as i64)]),
+            ],
+        );
+        msgs.push(InMessage::new(
+            payload,
+            meta.clone(),
+            Timestamp(1_000 + k * 4_000),
+        ));
+    }
+    msgs
+}
+
+fn render(out: &[reweb_core::OutMessage]) -> Vec<String> {
+    out.iter()
+        .map(|o| format!("{}<-{}", o.to, o.payload))
+        .collect()
+}
+
+/// Recovery ≡ uninterrupted with beta-index state in play, in both join
+/// modes: kill a durable engine at several boundaries mid-join (snapshot
+/// and warmup replay active), recover, finish the stream, and require the
+/// outputs and the final retained state to match the uninterrupted run's.
+/// Closing the chain: recovered-indexed ≡ uninterrupted-indexed ≡
+/// uninterrupted-scan.
+#[test]
+fn recovery_rebuilds_index_state_in_both_modes() {
+    use reweb_core::ReactiveEngine;
+    use reweb_persist::{DurableEngine, DurableOptions, SyncPolicy};
+
+    let msgs = composite_stream();
+    let opts = DurableOptions {
+        sync: SyncPolicy::Os,
+        snapshot_every: Some(5),
+    };
+
+    let mut per_mode_outputs: Vec<Vec<String>> = Vec::new();
+    for mode in [JoinMode::Indexed, JoinMode::Scan] {
+        let build = move || {
+            let mut e = ReactiveEngine::new("http://node");
+            e.set_join_mode(mode);
+            e
+        };
+
+        // Uninterrupted reference run, keeping the on-disk image after
+        // each batch so recovery can start mid-join.
+        let ref_dir = fresh_dir("ref");
+        let mut reference = DurableEngine::open(&ref_dir, opts, build).unwrap();
+        reference.install_program(COMPOSITE_PROGRAM).unwrap();
+        let mut ref_outputs: Vec<Vec<String>> = vec![Vec::new()];
+        let mut images = vec![fresh_dir("img-install")];
+        copy_dir(&ref_dir, images.last().unwrap());
+        for m in &msgs {
+            ref_outputs.push(render(
+                &reference.receive_batch(std::slice::from_ref(m)).unwrap(),
+            ));
+            let img = fresh_dir("img");
+            copy_dir(&ref_dir, &img);
+            images.push(img);
+        }
+        let flat_ref: Vec<String> = ref_outputs.iter().flatten().cloned().collect();
+        let ref_state = reference.engine().state_size();
+        assert!(ref_state > 0, "stream should leave live partial matches");
+        drop(reference);
+
+        // Kill points chosen mid-stream: snapshots have been taken and
+        // windowed join state spans the boundary.
+        for k in [7usize, 14, 23, 31] {
+            let node = fresh_dir(&format!("node{k}"));
+            copy_dir(&images[k], &node);
+            let mut revived = DurableEngine::open(&node, opts, build)
+                .unwrap_or_else(|e| panic!("recovery at step {k} failed: {e}"));
+            assert!(revived.recovery().recovered);
+            assert_eq!(revived.engine().join_mode(), mode);
+            let mut outputs: Vec<String> = ref_outputs[..=k].iter().flatten().cloned().collect();
+            for m in &msgs[k..] {
+                outputs.extend(render(
+                    &revived.receive_batch(std::slice::from_ref(m)).unwrap(),
+                ));
+            }
+            assert_eq!(
+                outputs, flat_ref,
+                "outputs diverged after recovery at step {k} in {mode:?}"
+            );
+            assert_eq!(
+                revived.engine().state_size(),
+                ref_state,
+                "retained state diverged after recovery at step {k} in {mode:?}"
+            );
+            std::fs::remove_dir_all(&node).ok();
+        }
+
+        per_mode_outputs.push(flat_ref);
+        std::fs::remove_dir_all(&ref_dir).ok();
+        for img in images {
+            std::fs::remove_dir_all(&img).ok();
+        }
+    }
+    assert_eq!(
+        per_mode_outputs[0], per_mode_outputs[1],
+        "indexed and scan durable runs diverged"
+    );
+    assert!(!per_mode_outputs[0].is_empty());
+}

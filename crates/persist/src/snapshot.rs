@@ -94,6 +94,8 @@ fn metrics_to_term(shard: usize, m: &EngineMetrics) -> Term {
         .field("afail", m.actions_failed.to_string())
         .field("sent", m.messages_sent.to_string())
         .field("installed", m.rules_installed.to_string())
+        .field("joins", m.join_attempts.to_string())
+        .field("probes", m.index_probes.to_string())
         .child(
             Term::build("fires")
                 .children(m.fires_by_rule.iter().map(|(r, n)| {
@@ -127,6 +129,9 @@ fn metrics_from_term(t: &Term) -> Result<(usize, EngineMetrics)> {
         rules_installed: field_u64(t, "installed")?,
         alpha_tests_run: field_u64(t, "alpha")?,
         rules_considered: field_u64(t, "considered")?,
+        // Added in PR 7; absent from older snapshots, which read as 0.
+        join_attempts: field_u64(t, "joins").unwrap_or(0),
+        index_probes: field_u64(t, "probes").unwrap_or(0),
         fires_by_rule: BTreeMap::new(),
         errors: Vec::new(),
     };
@@ -358,6 +363,8 @@ mod tests {
         let mut metrics = EngineMetrics {
             events_received: 7,
             rules_fired: 3,
+            join_attempts: 11,
+            index_probes: 5,
             ..EngineMetrics::default()
         };
         metrics.fires_by_rule.insert("r1".into(), 3);
@@ -418,6 +425,8 @@ mod tests {
             snap.shards[0].metrics.fires_by_rule
         );
         assert_eq!(back.shards[0].metrics.errors, snap.shards[0].metrics.errors);
+        assert_eq!(back.shards[0].metrics.join_attempts, 11);
+        assert_eq!(back.shards[0].metrics.index_probes, 5);
         assert_eq!(back.shards[0].action_log, snap.shards[0].action_log);
     }
 

@@ -379,3 +379,62 @@ fn threaded_sharded_marketplace_crash_matrix() {
     let build = || ShardedEngine::new_parallel("http://node", 4);
     crash_matrix("threaded", &steps, opts, build, &[17, 4242]);
 }
+
+/// Deterministic regression for the beta network (PR 7): composite
+/// `and`/`seq` rules with windows — including `seq`-under-`and` — whose
+/// partial-join state straddles every kill point. Recovery must rebuild
+/// the join *indexes* from the replayed stream (they are derived data,
+/// never serialized), so any divergence between index contents and stored
+/// answers shows up as missing or duplicated firings here. The matrix
+/// runs in both join modes (cross-mode output equality is pinned
+/// separately by `reweb_events`' `join_equivalence` wall).
+#[test]
+fn composite_join_crash_matrix() {
+    use reweb_core::JoinMode;
+
+    let program = r#"
+        RULE tri ON and(alpha{{v[[var X]]}}, beta{{v[[var X]], w[[var Y]]}}, gamma{{w[[var Y]]}})
+             within 2m
+          DO SEND tri{x[var X], y[var Y]} TO "http://sink/tri" END
+        RULE chain ON seq(alpha{{v[[var X]]}}, beta{{v[[var X]]}}, gamma{{w[[var Y]]}}) within 90s
+          DO SEND chain{x[var X]} TO "http://sink/chain" END
+        RULE nest ON and(seq(alpha{{v[[var X]]}}, beta{{v[[var X]]}}) within 60s,
+                         gamma{{v[[var Z]]}}) within 2m
+          DO SEND nest{x[var X], z[var Z]} TO "http://sink/nest" END
+    "#;
+    let meta = MessageMeta::from_uri("http://peer");
+    let mut msgs = Vec::new();
+    for k in 0..18u64 {
+        let label = ["alpha", "beta", "gamma"][(k % 3) as usize];
+        let payload = parse_term(&format!(
+            "{label}{{v[\"{}\"], w[\"{}\"]}}",
+            k % 4,
+            (k + 1) % 3
+        ))
+        .unwrap();
+        msgs.push(InMessage::new(
+            payload,
+            meta.clone(),
+            Timestamp(1_000 + k * 7_000),
+        ));
+    }
+    let steps = steps(program, &msgs);
+    let opts = DurableOptions {
+        sync: SyncPolicy::Os,
+        snapshot_every: Some(4),
+    };
+    for mode in [JoinMode::Indexed, JoinMode::Scan] {
+        let build = move || {
+            let mut e = ReactiveEngine::new("http://node");
+            e.set_join_mode(mode);
+            e
+        };
+        crash_matrix(
+            &format!("composite-{mode:?}"),
+            &steps,
+            opts,
+            build,
+            &[3, 977],
+        );
+    }
+}

@@ -135,6 +135,45 @@ impl QueryTerm {
             }
         }
     }
+
+    /// The variables bound by *every* successful match of this pattern,
+    /// sorted by name: [`QueryTerm::variables`] minus those occurring only
+    /// inside `without` subterms. A `without` succeeds when nothing
+    /// matches, so its variables may consume outer bindings but are never
+    /// produced by the match itself; every other construct (including
+    /// `desc`, whose inner pattern must match *somewhere*, and element
+    /// attribute patterns, which require the attribute to be present)
+    /// binds its variables on success. Join-key analysis relies on this:
+    /// a variable is safe to hash answers by only if every answer binds it.
+    pub fn certain_variables(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_certain_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_certain_vars(&self, out: &mut Vec<Sym>) {
+        match self {
+            QueryTerm::Var(x) => out.push(*x),
+            QueryTerm::VarAs(x, p) => {
+                out.push(*x);
+                p.collect_certain_vars(out);
+            }
+            QueryTerm::Desc(p) => p.collect_certain_vars(out),
+            QueryTerm::Without(_) | QueryTerm::Text(_) => {}
+            QueryTerm::Elem(e) => {
+                for (_, a) in &e.attrs {
+                    if let AttrPattern::Var(x) = a {
+                        out.push(*x);
+                    }
+                }
+                for c in &e.children {
+                    c.collect_certain_vars(out);
+                }
+            }
+        }
+    }
 }
 
 /// Builder returned by [`QueryTerm::elem`].
@@ -296,6 +335,27 @@ mod tests {
             q.variables(),
             vec![Sym::new("K"), Sym::new("X"), Sym::new("Y"), Sym::new("Z")]
         );
+    }
+
+    #[test]
+    fn certain_variables_exclude_without_only_vars() {
+        let q = QueryTerm::elem("a")
+            .attr_var("k", "K")
+            .child(QueryTerm::var("X"))
+            .child(QueryTerm::var_as("X", QueryTerm::desc(QueryTerm::var("Y"))))
+            .without(QueryTerm::var("Z"))
+            .finish();
+        // `Z` occurs only under `without`: never bound by a match.
+        assert_eq!(
+            q.certain_variables(),
+            vec![Sym::new("K"), Sym::new("X"), Sym::new("Y")]
+        );
+        // A variable both inside and outside `without` stays certain.
+        let q = QueryTerm::elem("a")
+            .child(QueryTerm::var("Z"))
+            .without(QueryTerm::var("Z"))
+            .finish();
+        assert_eq!(q.certain_variables(), vec![Sym::new("Z")]);
     }
 
     #[test]
