@@ -1,0 +1,50 @@
+//! Scratch repro (review only — not part of the PR).
+use reweb_events::{parse_event_query, Event, EventId, IncrementalEngine, JoinMode};
+use reweb_term::{Term, Timestamp};
+
+fn ev(id: u64, t: u64, label: &str, v: i64) -> Event {
+    Event::new(
+        EventId(id),
+        Timestamp(t),
+        Term::unordered(label, vec![Term::ordered("v", vec![Term::int(v)])]),
+    )
+}
+
+#[test]
+fn atomic_and_count_sanity() {
+    let q = parse_event_query("y").unwrap();
+    let mut e1 = IncrementalEngine::new(&q);
+    eprintln!("atomic y: {:?}", e1.push(&ev(1, 600, "y", 0)));
+
+    let q2 = parse_event_query("count(2, a, 10s)").unwrap();
+    let mut e2 = IncrementalEngine::new(&q2);
+    eprintln!("count a@1000: {:?}", e2.push(&ev(1, 1000, "a", 0)));
+    eprintln!("count a@500: {:?}", e2.push(&ev(2, 500, "a", 0)));
+}
+
+#[test]
+fn out_of_order_seq_divergence() {
+    let q = parse_event_query("seq(x, count(2, a, 10s), y)").unwrap();
+    let mut indexed = IncrementalEngine::new(&q);
+    let mut scan = IncrementalEngine::new(&q).with_join_mode(JoinMode::Scan);
+    let evs = vec![
+        ev(1, 1000, "a", 0),
+        ev(2, 500, "a", 0), // count(a) answer: start=1000, end=500 (inverted)
+        ev(3, 600, "y", 0), // stored at position 2
+        ev(4, 700, "x", 0), // delta at position 0: pairwise checks pass, max-end check fails
+    ];
+    for e in &evs {
+        let ai = indexed.push(e);
+        let asc = scan.push(e);
+        eprintln!(
+            "event {}@{}: indexed={:?} scan={:?} state=({}, {})",
+            e.id.0,
+            e.time().0,
+            ai,
+            asc,
+            indexed.state_size(),
+            scan.state_size()
+        );
+        assert_eq!(ai, asc, "diverged at event {:?}", e);
+    }
+}
