@@ -1,4 +1,4 @@
-//! Regenerate the experiment tables E1…E17 (see DESIGN.md §3).
+//! Regenerate the experiment tables E1…E18 (see DESIGN.md §3).
 //!
 //! ```text
 //! cargo run --release --bin experiments            # all tables
@@ -18,18 +18,19 @@
 //! `--bench-json <path>` runs only the perf experiments — E13 (sharded
 //! throughput), E14 (single-engine hot path), E15 (durable-mode
 //! ingestion + cold recovery), E16 (compiled-matcher rule scaling,
-//! 100 → 100k installed rules), and E17 (indexed vs scan beta joins,
-//! 100 → 10k composite rules plus the occupancy axis), full 100k-event
-//! workloads — and writes their numbers as one JSON file;
+//! 100 → 100k installed rules), E17 (indexed vs scan beta joins,
+//! 100 → 10k composite rules plus the occupancy axis), and E18 (TCP
+//! loopback ingress at 1 → 8 clients), full 100k-event workloads — and
+//! writes their numbers as one JSON file;
 //! `--check-floor <baseline>` additionally compares the run against a
 //! committed baseline and exits non-zero when parallel throughput fell
 //! more than 25% below it (normalized by the same run's single-engine
 //! rate, so machine speed cancels), when the absolute E14 hot-path,
-//! E15 durable-ingestion, E16 100k-rule, or E17 10k-composite rates
-//! fell more than 25% below their conservatively rounded committed
-//! floors, or when the same run's E16 per-event cost is no longer flat
-//! in the rule count, or when the same run's E17 indexed join is no
-//! longer ≥2x the scan join at the largest occupancy
+//! E15 durable-ingestion, E16 100k-rule, E17 10k-composite, or E18
+//! loopback-ingress rates fell more than 25% below their conservatively
+//! rounded committed floors, or when the same run's E16 per-event cost
+//! is no longer flat in the rule count, or when the same run's E17
+//! indexed join is no longer ≥2x the scan join at the largest occupancy
 //! (see [`experiments::check_floor`]). CI runs this as its performance
 //! floor and uploads the JSON — recovery timings included — as an
 //! artifact.
@@ -74,8 +75,8 @@ fn smoke() {
     );
 }
 
-/// The perf bench path: run E13 + E14 + E15 + E16, write JSON,
-/// optionally enforce the perf floor.
+/// The perf bench path: run E13 through E18, write JSON, optionally
+/// enforce the perf floor.
 fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E13 (100k events, serial + parallel at 1/2/4/8 shards)…");
     let report = experiments::e13_report(100_000);
@@ -92,10 +93,13 @@ fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E17 (100k events, indexed vs scan joins at 100 → 10k composite rules)…");
     let joins = experiments::e17_report(100_000);
     println!("{}", experiments::e17_table(&joins).to_markdown());
+    eprintln!("running E18 (100k events per rung, TCP loopback at 1/2/4/8 clients)…");
+    let net = experiments::e18_report(100_000);
+    println!("{}", experiments::e18_table(&net).to_markdown());
     if let Some(path) = json_out {
         std::fs::write(
             path,
-            experiments::bench_json(&report, &hot, &durable, &rules, &joins),
+            experiments::bench_json(&report, &hot, &durable, &rules, &joins, &net),
         )
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
@@ -103,7 +107,9 @@ fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     if let Some(path) = floor_baseline {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        match experiments::check_floor(&report, &hot, &durable, &rules, &joins, &baseline, 0.25) {
+        match experiments::check_floor(
+            &report, &hot, &durable, &rules, &joins, &net, &baseline, 0.25,
+        ) {
             Ok(summary) => {
                 println!("## Performance floor: OK (baseline {path}, 25% tolerance)\n");
                 println!("{summary}");
@@ -163,7 +169,7 @@ fn main() {
     let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
     let run_all = wanted.is_empty();
 
-    println!("# reweb experiment tables (E1…E17)\n");
+    println!("# reweb experiment tables (E1…E18)\n");
     for (id, run) in experiments::RUNNERS {
         if run_all || wanted.iter().any(|w| w == id) {
             eprintln!("running {id}…");

@@ -1,8 +1,8 @@
-//! The experiments E1…E17 — one per thesis, plus E13 for the sharded
+//! The experiments E1…E18 — one per thesis, plus E13 for the sharded
 //! batch-ingestion layer, E14 for the single-engine match/fire hot
 //! path, E15 for the durability layer — write-ahead log and snapshots —
-//! E16 for the compiled rule matcher, and E17 for the indexed beta
-//! joins (DESIGN.md §3).
+//! E16 for the compiled rule matcher, E17 for the indexed beta joins,
+//! and E18 for the TCP ingress tier (DESIGN.md §3).
 //!
 //! Each function builds its workload, runs the systems under comparison,
 //! and returns a [`Table`] whose *shape* (who wins, how things scale)
@@ -26,7 +26,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 17] = [
+pub const RUNNERS: [(&str, Runner); 18] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -44,6 +44,7 @@ pub const RUNNERS: [(&str, Runner); 17] = [
     ("E15", e15_durability),
     ("E16", e16_rules_scaling),
     ("E17", e17_indexed_joins),
+    ("E18", e18_net_loopback),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1959,25 +1960,210 @@ pub fn e17_engine_id(rules: usize) -> String {
     }
 }
 
-/// Serialize the E13 + E14 + E15 + E16 + E17 reports as the
-/// `--bench-json` payload (schema `reweb-bench/v5` — v4 plus the E17
-/// `composite-*` and `join-*` rows).
+/// One rung of the E18 loopback offered-load ramp.
+#[derive(Debug, Clone)]
+pub struct E18Row {
+    /// Concurrent TCP clients offering load.
+    pub clients: usize,
+    /// Events offered over the wire (sum across clients).
+    pub offered: usize,
+    /// Events the engine actually ingested (offered minus `busy`
+    /// rejections).
+    pub processed: u64,
+    /// Sustained end-to-end rate: processed events / wall seconds, in
+    /// 1000 events/s.
+    pub kevents_per_s: f64,
+    /// `busy` backpressure replies (global queue full at admission).
+    pub busy_replies: u64,
+    /// Reaction replies dropped on slow readers (should be 0 here: the
+    /// clients flush every [`E18_SYNC_WINDOW`] events).
+    pub replies_dropped: u64,
+    /// Highest ingress queue depth the rung observed.
+    pub queue_highwater: u64,
+}
+
+/// The E18 measurements: a TCP loopback offered-load ramp.
+#[derive(Debug, Clone)]
+pub struct E18Report {
+    /// Events offered per rung.
+    pub events: usize,
+    /// One row per client count, in ramp order.
+    pub rows: Vec<E18Row>,
+    /// Best sustained loopback rate across the ramp — the number the
+    /// `net-loopback` floor gates.
+    pub loopback_kevents_per_s: f64,
+}
+
+/// How many events an E18 client sends between `sync` round-trips. A
+/// pipelined-but-bounded reader: deep enough to keep the wire busy,
+/// shallow enough that reply buffers never overflow (reply drops would
+/// make the measured rate depend on drop accounting, not throughput).
+pub const E18_SYNC_WINDOW: usize = 512;
+
+/// E18 (ingress tier): the TCP listener + backpressured router in front
+/// of a single `ReactiveEngine`, measured end-to-end over loopback at a
+/// ramp of concurrent clients.
+pub fn e18_net_loopback() -> Table {
+    e18_table(&e18_report(100_000))
+}
+
+/// Measure the E18 ramp at `n_events` offered per rung (100k for the
+/// real table) over 1/2/4/8 clients.
+pub fn e18_report(n_events: usize) -> E18Report {
+    e18_report_with(n_events, &[1, 2, 4, 8])
+}
+
+/// The E18 rule program: one echo rule over a 16-label event cycle, so
+/// 1 in 16 events produces a reaction and the reply path stays
+/// exercised while ingress — framing, parsing, batching, admission —
+/// dominates the measurement. A join-heavy program here would measure
+/// the engine again (that is E14/E17's job), hiding wire regressions.
+const E18_PROGRAM: &str =
+    r#"RULE echo ON e0{{n[[var N]]}} DO SEND seen{n[var N]} TO "http://sink/0" END"#;
+
+/// Measure the loopback ramp at the given client counts.
+///
+/// Each rung binds a fresh ephemeral-port [`reweb_net::NetServer`]
+/// around a [`ReactiveEngine`] running a one-rule echo program (see
+/// `E18_PROGRAM`), then has every client
+/// blast its share of the `n_events` stream (`e{j%16}{n["j"]}` with
+/// monotone per-client timestamps) as fast as the wire accepts,
+/// flushing with `sync` every [`E18_SYNC_WINDOW`] events. The sustained
+/// rate counts *processed* events over the wall time of the whole rung
+/// — `busy` rejections are offered load the admission control shed, and
+/// the row reports them next to the rate.
+pub fn e18_report_with(n_events: usize, client_counts: &[usize]) -> E18Report {
+    use reweb_net::{NetClient, NetConfig, NetServer};
+
+    let rows: Vec<E18Row> = client_counts
+        .iter()
+        .map(|&clients| {
+            let server = NetServer::bind(
+                "127.0.0.1:0",
+                ReactiveEngine::new("http://svc"),
+                NetConfig::default(),
+            )
+            .expect("E18 server binds on loopback");
+            server.with_engine(|e| e.install_source(E18_PROGRAM).expect("E18 program installs"));
+            let addr = server.local_addr();
+            let per_client = n_events / clients;
+            let offered = per_client * clients;
+            let (_, secs) = timed(|| {
+                std::thread::scope(|s| {
+                    for c in 0..clients {
+                        s.spawn(move || {
+                            let mut client = NetClient::connect(addr, format!("http://load/{c}"))
+                                .expect("E18 client connects");
+                            for j in 0..per_client {
+                                let g = c * per_client + j; // globally unique payload id
+                                let payload = parse_term(&format!("e{}{{n[\"{g}\"]}}", g % 16))
+                                    .expect("E18 event parses");
+                                client
+                                    .send_event(payload, Some(Timestamp(g as u64)))
+                                    .expect("E18 send");
+                                if (j + 1) % E18_SYNC_WINDOW == 0 {
+                                    client.sync().expect("E18 windowed sync");
+                                }
+                            }
+                            client.sync().expect("E18 final sync");
+                            let _ = client.bye();
+                        });
+                    }
+                });
+            });
+            let stats = server.stats();
+            assert_eq!(
+                stats.msgs_enqueued + stats.busy_replies,
+                offered as u64,
+                "E18 accounting: every offered event is admitted or refused"
+            );
+            E18Row {
+                clients,
+                offered,
+                processed: stats.msgs_processed,
+                kevents_per_s: stats.msgs_processed as f64 / secs / 1_000.0,
+                busy_replies: stats.busy_replies,
+                replies_dropped: stats.replies_dropped,
+                queue_highwater: stats.queue_highwater,
+            }
+        })
+        .collect();
+
+    let best = rows
+        .iter()
+        .map(|r| r.kevents_per_s)
+        .fold(f64::MIN, f64::max);
+    E18Report {
+        events: n_events,
+        rows,
+        loopback_kevents_per_s: best,
+    }
+}
+
+/// Render an [`E18Report`] as the experiment table.
+pub fn e18_table(r: &E18Report) -> Table {
+    let mut t = Table::new(
+        "E18",
+        "ingress tier",
+        format!(
+            "TCP loopback offered-load ramp: {} events per rung, \
+             sync every {} events",
+            r.events, E18_SYNC_WINDOW
+        ),
+        vec![
+            "clients",
+            "offered",
+            "processed",
+            "kevents_per_s",
+            "busy",
+            "replies_dropped",
+            "queue_highwater",
+        ],
+    )
+    .with_note(
+        "Claim: the ingress tier degrades by shedding load at admission \
+         (`busy` replies), never by stalling the engine or dropping \
+         flow-control replies — sustained throughput holds as offered \
+         load climbs, and processed + busy always equals offered (CI \
+         gates the best sustained rate absolutely as `net-loopback`).",
+    );
+    for row in &r.rows {
+        t.row(vec![
+            row.clients.to_string(),
+            row.offered.to_string(),
+            row.processed.to_string(),
+            f(row.kevents_per_s),
+            row.busy_replies.to_string(),
+            row.replies_dropped.to_string(),
+            row.queue_highwater.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serialize the E13 + E14 + E15 + E16 + E17 + E18 reports as the
+/// `--bench-json` payload (schema `reweb-bench/v6` — v5 plus the E18
+/// `net-loopback` and `net-ramp` rows).
 /// Flat rows, one small object per measurement, so the floor check (and
 /// any CI tooling) can read it without a JSON library. The E14
 /// measurement is the `hotpath` row, E15's throughput the `durable` row,
 /// E15's recovery timings the `recovery-*` rows (informational: the
 /// artifact carries them, the floor does not gate them), E16's
 /// compiled sweep the `rules-*` rows (the `rules-100k` row is the
-/// absolute floor; the others feed the flatness ratio), and E17's
+/// absolute floor; the others feed the flatness ratio), E17's
 /// composite-join sweep the `composite-*` rows (`composite-10k` is the
 /// absolute floor) plus the `join-indexed`/`join-scan` occupancy pairs
-/// (informational: the ≥2x gate recomputes from the same run).
+/// (informational: the ≥2x gate recomputes from the same run), and
+/// E18's loopback ramp the `net-loopback` row (absolute floor on the
+/// best sustained rate) plus per-rung `net-ramp` rows (informational;
+/// `shards` carries the client count).
 pub fn bench_json(
     r: &E13Report,
     e14: &E14Report,
     e15: &E15Report,
     e16: &E16Report,
     e17: &E17Report,
+    e18: &E18Report,
 ) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
@@ -2027,6 +2213,17 @@ pub fn bench_json(
             ));
         }
     }
+    rows.push(format!(
+        "    {{\"engine\": \"net-loopback\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
+        e18.loopback_kevents_per_s
+    ));
+    for row in &e18.rows {
+        rows.push(format!(
+            "    {{\"engine\": \"net-ramp\", \"shards\": {}, \"kevents_per_s\": {:.3}, \
+             \"busy\": {}, \"queue_highwater\": {}}}",
+            row.clients, row.kevents_per_s, row.busy_replies, row.queue_highwater
+        ));
+    }
     for row in &r.rows {
         rows.push(format!(
             "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
@@ -2038,7 +2235,7 @@ pub fn bench_json(
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-bench/v5\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v6\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -2080,21 +2277,27 @@ pub fn e13_parse_rows(json: &str) -> Vec<(String, usize, f64)> {
 /// speedup. Machine speed cancels out; only the engine's scaling
 /// behaviour is gated. Returns a human-readable summary table on
 /// success, or a description of every violated floor.
-/// Additionally, when the baseline carries a `hotpath` row (E14) or a
-/// `durable` row (E15), the current single-engine hot-path rate and the
-/// durable-mode ingestion rate must not fall more than `tolerance` below
-/// them. These comparisons are *absolute* — there is no faster reference
+/// Additionally, when the baseline carries a `hotpath` row (E14), a
+/// `durable` row (E15), or a `net-loopback` row (E18), the current
+/// single-engine hot-path rate, the durable-mode ingestion rate, and
+/// the best sustained loopback ingress rate must not fall more than
+/// `tolerance` below them. These comparisons are *absolute* — there is no faster reference
 /// rate on the same machine to normalize by — so the committed baselines
 /// are rounded far below the measured rates (see `bench/baseline.json`'s
 /// note) and only genuine collapses trip them; for `durable` that is
 /// specifically the fsync-batching regression class (e.g. an accidental
 /// fsync-per-message would cut the rate by an order of magnitude).
+// One argument per gated experiment report: the arity grows with the
+// experiment roster by design, and a params struct would only move the
+// same six names behind a constructor at every call site.
+#[allow(clippy::too_many_arguments)]
 pub fn check_floor(
     current: &E13Report,
     current_e14: &E14Report,
     current_e15: &E15Report,
     current_e16: &E16Report,
     current_e17: &E17Report,
+    current_e18: &E18Report,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -2286,6 +2489,29 @@ pub fn check_floor(
             ));
         }
     }
+    // E18: absolute loopback ingress floor (baselines that predate the
+    // net tier skip it; conservatively rounded like E14/E15). Gates the
+    // *best* sustained rate across the ramp: a per-event syscall storm,
+    // broken batch formation, or driver-side lock contention collapses
+    // every rung, while scheduler noise on one client count does not.
+    if let Some(&(_, _, base_net)) = baseline.iter().find(|(e, _, _)| e == "net-loopback") {
+        let floor = base_net * (1.0 - tolerance);
+        summary.push_str(&format!(
+            "E18 loopback ingress: {:.1} ke/s best sustained (committed floor \
+             baseline {base_net:.1}, gate {floor:.1})\n",
+            current_e18.loopback_kevents_per_s
+        ));
+        if current_e18.loopback_kevents_per_s < floor {
+            failures.push(format!(
+                "E18 loopback ingress {:.1} ke/s fell below the floor {floor:.1} \
+                 (baseline {base_net:.1} - {:.0}% tolerance) — check batch \
+                 formation and the reply lanes: the driver must run batches, \
+                 not events, and must never block on a slow reader",
+                current_e18.loopback_kevents_per_s,
+                tolerance * 100.0
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -2296,7 +2522,7 @@ pub fn check_floor(
     }
 }
 
-/// Run all sixteen experiments.
+/// Run all eighteen experiments.
 pub fn all() -> Vec<Table> {
     vec![
         e1_eca_vs_production(),
@@ -2316,6 +2542,7 @@ pub fn all() -> Vec<Table> {
         e15_durability(),
         e16_rules_scaling(),
         e17_indexed_joins(),
+        e18_net_loopback(),
     ]
 }
 
@@ -2325,6 +2552,25 @@ mod tests {
 
     // Shape assertions: each experiment's table must support its thesis.
     // (Smaller workloads would be nicer, but these run in a few seconds.)
+
+    #[test]
+    fn e18_shapes() {
+        // Small offered load, two rungs: the ramp must account for every
+        // event (enforced inside the report), process the overwhelming
+        // majority of them, and never drop a reply under windowed syncs.
+        let r = e18_report_with(4_000, &[1, 2]);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert_eq!(
+                row.processed + row.busy_replies,
+                row.offered as u64,
+                "shed load is explicit, never silent"
+            );
+            assert_eq!(row.replies_dropped, 0, "windowed syncs keep readers fast");
+            assert!(row.kevents_per_s > 0.0);
+        }
+        assert!(r.loopback_kevents_per_s >= r.rows[0].kevents_per_s);
+    }
 
     #[test]
     fn e4_shapes() {
@@ -2450,6 +2696,22 @@ mod tests {
         }
     }
 
+    fn e18(rate: f64) -> E18Report {
+        E18Report {
+            events: 1000,
+            rows: vec![E18Row {
+                clients: 1,
+                offered: 1000,
+                processed: 1000,
+                kevents_per_s: rate,
+                busy_replies: 0,
+                replies_dropped: 0,
+                queue_highwater: 10,
+            }],
+            loopback_kevents_per_s: rate,
+        }
+    }
+
     /// `rate_10k` drives the absolute composite floor; `ix`/`sc` the
     /// same-run occupancy speedup gate.
     fn e17(rate_10k: f64, ix: f64, sc: f64) -> E17Report {
@@ -2490,8 +2752,9 @@ mod tests {
             &e15(42.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
         );
-        assert!(json.contains("reweb-bench/v5"), "schema bumped for E17");
+        assert!(json.contains("reweb-bench/v6"), "schema bumped for E18");
         let rows = e13_parse_rows(&json);
         assert_eq!(
             rows,
@@ -2506,6 +2769,8 @@ mod tests {
                 ("composite-10k".to_string(), 1, 70.0),
                 ("join-indexed".to_string(), 1, 100.0),
                 ("join-scan".to_string(), 1, 20.0),
+                ("net-loopback".to_string(), 1, 55.0),
+                ("net-ramp".to_string(), 1, 55.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -2535,6 +2800,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
         );
         // A 4x faster machine with the same 2.0x scaling passes…
         assert!(check_floor(
@@ -2543,6 +2809,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2554,6 +2821,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2566,6 +2834,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25,
         )
@@ -2580,6 +2849,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &gutted,
             0.25,
         )
@@ -2609,6 +2879,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
         );
         let ok16 = e16(90.0, 75.0);
         // At the baseline rate: fine. 25% below 80 = 60 is the gate.
@@ -2618,6 +2889,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2628,6 +2900,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2638,6 +2911,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25,
         )
@@ -2655,6 +2929,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &old,
             0.25
         )
@@ -2683,6 +2958,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 60.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
         );
         // At and above the committed 100k-rule floor: fine (gate = 45).
         assert!(check_floor(
@@ -2691,6 +2967,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 60.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2701,6 +2978,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 46.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2712,6 +2990,7 @@ mod tests {
             &e15(40.0),
             &e16(80.0, 44.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25,
         )
@@ -2726,6 +3005,7 @@ mod tests {
             &e15(40.0),
             &e16(200.0, 56.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25,
         )
@@ -2744,6 +3024,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 1.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &old,
             0.25
         )
@@ -2754,6 +3035,7 @@ mod tests {
             &e15(40.0),
             &e16(90.0, 60.0),
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
             &old,
             0.25
         )
@@ -2783,6 +3065,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 100.0, 20.0),
+            &e18(55.0),
         );
         // At and above the committed composite floor: fine (gate = 52.5).
         assert!(check_floor(
@@ -2791,6 +3074,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(53.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25
         )
@@ -2802,6 +3086,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(50.0, 100.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25,
         )
@@ -2815,6 +3100,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 30.0, 20.0),
+            &e18(55.0),
             &baseline,
             0.25,
         )
@@ -2833,6 +3119,7 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(1.0, 100.0, 20.0),
+            &e18(55.0),
             &old,
             0.25
         )
@@ -2843,10 +3130,74 @@ mod tests {
             &e15(40.0),
             &ok16,
             &e17(70.0, 30.0, 20.0),
+            &e18(55.0),
             &old,
             0.25
         )
         .is_err());
+    }
+
+    #[test]
+    fn e18_floor_is_absolute() {
+        let report = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 100.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 150.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let ok16 = e16(90.0, 75.0);
+        let ok17 = e17(70.0, 100.0, 20.0);
+        let baseline = bench_json(&report, &e14(80.0), &e15(40.0), &ok16, &ok17, &e18(55.0));
+        // At and above the committed loopback floor: fine (gate = 41.25).
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(42.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        // Below the absolute gate: fails, naming E18.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(40.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("an ingress-tier collapse must trip the floor");
+        assert!(err.contains("E18"), "{err}");
+        // A pre-E18 baseline (no net rows) skips the absolute gate.
+        let old = baseline
+            .lines()
+            .filter(|l| !l.contains("net-"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(1.0),
+            &old,
+            0.25
+        )
+        .is_ok());
     }
 
     #[test]

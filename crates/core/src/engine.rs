@@ -38,6 +38,8 @@ use reweb_query::QueryEngine;
 use reweb_term::{Dur, Sym, Term, Timestamp};
 use reweb_update::{Executor, ProcedureDef};
 
+use crate::shard::InMessage;
+
 pub use reweb_update::OutMessage;
 
 use crate::aaa::{Aaa, AaaConfig, MessageMeta, Permission};
@@ -604,6 +606,24 @@ impl ReactiveEngine {
         // Double reactivity: the accounting record is itself an event.
         if let Some(acct) = acct_event {
             self.process_event(acct, "aaa:local", &mut out);
+        }
+        out
+    }
+
+    /// Receive a batch of messages, tagging every output with the index
+    /// of the message that produced it — the attribution surface the
+    /// networked ingress tier uses to route reactions back to their
+    /// submitters. Equivalent to calling [`ReactiveEngine::receive`] per
+    /// message and concatenating: stripping the tags reproduces that
+    /// output byte for byte.
+    pub fn receive_batch_tagged(&mut self, msgs: &[InMessage]) -> Vec<(u32, OutMessage)> {
+        let mut out = Vec::new();
+        for (k, m) in msgs.iter().enumerate() {
+            out.extend(
+                self.receive(m.payload.clone(), &m.meta, m.at)
+                    .into_iter()
+                    .map(|o| (k as u32, o)),
+            );
         }
         out
     }

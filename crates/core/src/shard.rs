@@ -710,6 +710,19 @@ impl ShardedEngine {
         }
     }
 
+    /// [`ShardedEngine::try_receive_batch_tagged`], swallowing execution
+    /// failures into [`ShardedEngine::warnings`] like
+    /// [`ShardedEngine::receive_batch`] does.
+    pub fn receive_batch_tagged(&mut self, msgs: &[InMessage]) -> Vec<(u32, OutMessage)> {
+        match self.try_receive_batch_tagged(msgs) {
+            Ok(out) => out,
+            Err(e) => {
+                self.warnings.push(format!("receive_batch failed: {e}"));
+                Vec::new()
+            }
+        }
+    }
+
     /// [`ShardedEngine::receive_batch`], surfacing execution failures.
     ///
     /// The only failure source is the thread backend: a worker panic (a
@@ -719,28 +732,51 @@ impl ShardedEngine {
     /// shard. The serial backend always succeeds (engine-level failures
     /// are contained per rule and recorded in metrics).
     pub fn try_receive_batch(&mut self, msgs: &[InMessage]) -> crate::Result<Vec<OutMessage>> {
+        Ok(self
+            .try_receive_batch_tagged(msgs)?
+            .into_iter()
+            .map(|(_, o)| o)
+            .collect())
+    }
+
+    /// [`ShardedEngine::try_receive_batch`], tagging every output with
+    /// the index of the batch message that produced it — the attribution
+    /// surface the networked ingress tier uses to route reactions back
+    /// to their submitters. Deadline firings are attributed to the
+    /// message whose arrival advanced the clock past them; the batch
+    /// epilogue sweep is attributed to the last message. Stripping the
+    /// tags reproduces the untagged output byte for byte (it IS the
+    /// untagged implementation).
+    pub fn try_receive_batch_tagged(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> crate::Result<Vec<(u32, OutMessage)>> {
         if let Some(why) = &self.poisoned {
             return Err(reweb_term::TermError::InvalidEdit(why.clone()));
         }
         match self.mode {
-            ExecMode::Serial => Ok(self.receive_batch_serial(msgs)),
-            ExecMode::Threads => self.receive_batch_parallel(msgs),
+            ExecMode::Serial => Ok(self.receive_batch_serial_tagged(msgs)),
+            ExecMode::Threads => self.receive_batch_parallel_tagged(msgs),
         }
     }
 
-    fn receive_batch_serial(&mut self, msgs: &[InMessage]) -> Vec<OutMessage> {
+    fn receive_batch_serial_tagged(&mut self, msgs: &[InMessage]) -> Vec<(u32, OutMessage)> {
+        let last = msgs.len().saturating_sub(1) as u32;
+        let mut pre = Vec::new();
         let mut out = Vec::new();
-        for m in msgs {
+        for (k, m) in msgs.iter().enumerate() {
             if m.at > self.now {
                 self.now = m.at;
             }
             // Deadlines elsewhere fire before this message is processed,
             // exactly as a single engine's pre-receive time advance does.
-            self.advance_due_shards(m.at, &mut out);
-            out.extend(self.route_one(m));
+            pre.clear();
+            self.advance_due_shards(m.at, &mut pre);
+            out.extend(pre.drain(..).map(|o| (k as u32, o)));
+            out.extend(self.route_one(m).into_iter().map(|o| (k as u32, o)));
         }
         let now = self.now;
-        out.extend(self.advance_time(now));
+        out.extend(self.advance_time(now).into_iter().map(|o| (last, o)));
         out
     }
 
@@ -763,9 +799,13 @@ impl ShardedEngine {
     /// parallel, the install itself is processed on the caller's thread
     /// (engines are home between segments), then the next stretch fans
     /// out against the updated router.
-    fn receive_batch_parallel(&mut self, msgs: &[InMessage]) -> crate::Result<Vec<OutMessage>> {
+    fn receive_batch_parallel_tagged(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> crate::Result<Vec<(u32, OutMessage)>> {
         let is_install = |m: &InMessage| m.payload.label() == Some("install_rules");
         let batch_end = msgs.iter().map(|m| m.at).fold(self.now, Timestamp::max);
+        let last = msgs.len().saturating_sub(1) as u32;
         let mut out = Vec::new();
         let mut k = 0;
         let mut flushed = false;
@@ -775,8 +815,10 @@ impl ShardedEngine {
                 if m.at > self.now {
                     self.now = m.at;
                 }
-                self.advance_due_shards(m.at, &mut out);
-                out.extend(self.route_one(m));
+                let mut pre = Vec::new();
+                self.advance_due_shards(m.at, &mut pre);
+                out.extend(pre.into_iter().map(|o| (k as u32, o)));
+                out.extend(self.route_one(m).into_iter().map(|o| (k as u32, o)));
                 k += 1;
                 continue;
             }
@@ -786,16 +828,28 @@ impl ShardedEngine {
                 .unwrap_or(msgs.len() - k);
             // The final segment carries the epilogue sweep with it, so
             // the workers align every shard to the batch clock in
-            // parallel too.
+            // parallel too. Segment tags are local to the segment
+            // (`u32::MAX` marks the epilogue sweep); re-base them to
+            // batch indices here.
             let flush = (end == msgs.len()).then_some(batch_end);
             flushed = flush.is_some();
-            out.extend(self.run_segment(&msgs[k..end], flush)?);
+            let base = k as u32;
+            out.extend(self.run_segment(&msgs[k..end], flush)?.into_iter().map(
+                |(lk, o)| match lk {
+                    u32::MAX => (last, o),
+                    lk => (base + lk, o),
+                },
+            ));
             k = end;
         }
         if !flushed {
             // Empty batch, or one ending in an `install_rules` message:
             // the epilogue has not run yet.
-            out.extend(self.try_advance_time(batch_end)?);
+            out.extend(
+                self.try_advance_time(batch_end)?
+                    .into_iter()
+                    .map(|o| (last, o)),
+            );
         }
         Ok(out)
     }
@@ -806,7 +860,7 @@ impl ShardedEngine {
         &mut self,
         seg: &[InMessage],
         flush: Option<Timestamp>,
-    ) -> crate::Result<Vec<OutMessage>> {
+    ) -> crate::Result<Vec<(u32, OutMessage)>> {
         let n = self.shards.len();
         let mut subs: Vec<Vec<(u32, InMessage)>> = vec![Vec::new(); n];
         let mut timeline = Vec::with_capacity(seg.len());
@@ -872,8 +926,10 @@ impl ShardedEngine {
 
     /// Collect `expect` worker replies, re-homing engines and deadline
     /// caches, and merge every output group by its `(message index,
-    /// phase, shard)` tag — the serial append order.
-    fn collect_replies(&mut self, expect: usize) -> crate::Result<Vec<OutMessage>> {
+    /// phase, shard)` tag — the serial append order. The message index
+    /// (`u32::MAX` for the epilogue sweep) survives the merge so callers
+    /// can attribute outputs.
+    fn collect_replies(&mut self, expect: usize) -> crate::Result<Vec<(u32, OutMessage)>> {
         let pool = Self::worker_pool(&self.pool);
         let mut tagged: Vec<(u32, u8, usize, Vec<OutMessage>)> = Vec::new();
         let mut failure: Option<String> = None;
@@ -911,7 +967,10 @@ impl ShardedEngine {
         // exactly one shard — so an unstable sort reproduces the serial
         // order exactly.
         tagged.sort_unstable_by_key(|&(k, phase, shard, _)| (k, phase, shard));
-        Ok(tagged.into_iter().flat_map(|(_, _, _, o)| o).collect())
+        Ok(tagged
+            .into_iter()
+            .flat_map(|(k, _, _, o)| o.into_iter().map(move |m| (k, m)))
+            .collect())
     }
 
     /// Receive a single message (the websim delivery path).
@@ -1016,7 +1075,9 @@ impl ShardedEngine {
                         }
                     }
                 }
-                let out = self.collect_replies(sent);
+                let out = self
+                    .collect_replies(sent)
+                    .map(|v| v.into_iter().map(|(_, o)| o).collect());
                 match send_failure {
                     None => out,
                     Some(why) => {

@@ -23,13 +23,16 @@ use crate::query::EventQuery;
 /// A deductive event rule: `DETECT head ON query END`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EventRule {
+    /// Rule name (diagnostics and cycle reports).
     pub name: String,
     /// Payload of the derived event (instantiated per answer).
     pub head: ConstructTerm,
+    /// The composite event query that triggers the derivation.
     pub on: EventQuery,
 }
 
 impl EventRule {
+    /// Build `DETECT head ON on END`.
     pub fn new(name: impl Into<String>, head: ConstructTerm, on: EventQuery) -> EventRule {
         EventRule {
             name: name.into(),
@@ -62,6 +65,7 @@ pub struct DeductionLayer {
 }
 
 impl DeductionLayer {
+    /// An empty layer.
     pub fn new() -> DeductionLayer {
         DeductionLayer::default()
     }
@@ -84,6 +88,7 @@ impl DeductionLayer {
         Ok(())
     }
 
+    /// Number of registered DETECT rules.
     pub fn len(&self) -> usize {
         self.rules.len()
     }
@@ -124,6 +129,7 @@ impl DeductionLayer {
             .min()
     }
 
+    /// `true` when no DETECT rules are registered.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }

@@ -52,6 +52,7 @@ impl Event {
         }
     }
 
+    /// Replace the source URI (builder style).
     pub fn with_source(mut self, source: impl Into<String>) -> Event {
         self.source = source.into();
         self

@@ -51,6 +51,7 @@ pub enum Selection {
 /// Selection and consumption policy for one engine.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Policy {
+    /// Which answers of a simultaneous batch are emitted.
     pub selection: Selection,
     /// If set, the constituents of an emitted answer are "used up": all
     /// partial matches involving them are discarded.
@@ -60,7 +61,9 @@ pub struct Policy {
 /// Counters exposed for the experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
+    /// Events fed into the operator tree.
     pub events_processed: u64,
+    /// Answers the root operator emitted.
     pub answers_emitted: u64,
     /// Join candidates examined — the unit of "work" E6 and E17 compare.
     /// Under [`JoinMode::Scan`] this counts every stored sibling answer
@@ -80,6 +83,7 @@ pub struct IncrementalEngine {
     ttl: Option<Dur>,
     now: Timestamp,
     join_mode: JoinMode,
+    /// Work counters (join attempts, index probes, …).
     pub stats: EngineStats,
 }
 
@@ -98,6 +102,7 @@ impl IncrementalEngine {
         }
     }
 
+    /// Set the selection/consumption policy (builder style).
     pub fn with_policy(mut self, policy: Policy) -> IncrementalEngine {
         self.policy = policy;
         self
@@ -186,6 +191,7 @@ impl IncrementalEngine {
         self.root.next_deadline()
     }
 
+    /// The engine's current clock (latest event or explicit advance).
     pub fn now(&self) -> Timestamp {
         self.now
     }

@@ -37,6 +37,8 @@
 //!   [`EventRule`] (`DETECT head ON query`) derives higher-level events;
 //!   recursion among event rules is rejected, as the thesis prescribes.
 
+#![warn(missing_docs)]
+
 pub mod beta;
 pub mod compiled;
 pub mod deductive;

@@ -35,6 +35,7 @@ pub struct NaiveEngine {
 }
 
 impl NaiveEngine {
+    /// An engine answering `q` by full re-evaluation per event.
     pub fn new(q: &EventQuery) -> NaiveEngine {
         NaiveEngine {
             query: q.clone(),

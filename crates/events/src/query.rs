@@ -27,19 +27,29 @@ use reweb_term::{Dur, Sym};
 pub enum EventQuery {
     /// A single event whose payload matches the pattern (matched at the
     /// payload root).
-    Atomic { pattern: QueryTerm },
+    Atomic {
+        /// Query term matched against the payload root.
+        pattern: QueryTerm,
+    },
     /// All parts occur (any order), bindings consistent, optionally within
     /// a window.
     And {
+        /// The conjuncts; all must occur with consistent bindings.
         parts: Vec<EventQuery>,
+        /// Optional temporal bound on the whole conjunction.
         window: Option<Dur>,
     },
     /// Any part occurs.
-    Or { parts: Vec<EventQuery> },
+    Or {
+        /// The disjuncts; any one occurring answers the query.
+        parts: Vec<EventQuery>,
+    },
     /// All parts occur in temporal order (each part strictly after the
     /// previous part's interval), optionally within a window.
     Seq {
+        /// The conjuncts, in required temporal order.
         parts: Vec<EventQuery>,
+        /// Optional temporal bound on the whole sequence.
         window: Option<Dur>,
     },
     /// After a `trigger` answer, `absent` does *not* occur (with consistent
@@ -47,26 +57,34 @@ pub enum EventQuery {
     /// flight-cancellation example and requires timer support
     /// ([`crate::IncrementalEngine::advance_to`]).
     Absence {
+        /// Query whose answer starts the absence watch.
         trigger: Box<EventQuery>,
+        /// Query that must *not* answer before the deadline.
         absent: Box<EventQuery>,
+        /// How long after the trigger the absence is required to hold.
         window: Dur,
     },
     /// `n` events matching `pattern`, sliding: fires on each matching event
     /// once the latest `n` matches span at most `window` (if given).
     Count {
+        /// Query term each counted event must match.
         pattern: QueryTerm,
+        /// How many matches are required.
         n: usize,
+        /// Optional span the latest `n` matches must fit in.
         window: Option<Dur>,
     },
     /// Sliding aggregate over the last `over` matches of `pattern`
     /// (optionally per group): binds `out` to `f` applied to the values of
     /// `var`. Fires on each matching event once `over` matches exist.
     Agg {
+        /// The aggregate function (avg, sum, min, max, count).
         f: AggFn,
         /// Variable bound by `pattern` whose numeric values are aggregated.
         var: Sym,
         /// Ring-buffer length (the "last n").
         over: usize,
+        /// Query term each contributing event must match.
         pattern: QueryTerm,
         /// Output variable receiving the aggregate.
         out: Sym,
@@ -76,16 +94,20 @@ pub enum EventQuery {
     },
     /// Filter answers of `inner` by comparisons.
     Where {
+        /// The query whose answers are filtered.
         inner: Box<EventQuery>,
+        /// Comparisons every answer's bindings must satisfy.
         cmps: Vec<Cmp>,
     },
 }
 
 impl EventQuery {
+    /// A single-event query matching `pattern` at the payload root.
     pub fn atomic(pattern: QueryTerm) -> EventQuery {
         EventQuery::Atomic { pattern }
     }
 
+    /// Unwindowed conjunction of `parts`.
     pub fn and(parts: Vec<EventQuery>) -> EventQuery {
         EventQuery::And {
             parts,
@@ -93,6 +115,7 @@ impl EventQuery {
         }
     }
 
+    /// Unwindowed temporal sequence of `parts`.
     pub fn seq(parts: Vec<EventQuery>) -> EventQuery {
         EventQuery::Seq {
             parts,
@@ -100,6 +123,7 @@ impl EventQuery {
         }
     }
 
+    /// Disjunction of `parts`.
     pub fn or(parts: Vec<EventQuery>) -> EventQuery {
         EventQuery::Or { parts }
     }
@@ -128,6 +152,7 @@ impl EventQuery {
         }
     }
 
+    /// Filter this query's answers by `cmps` (the `WHERE` clause).
     pub fn where_(self, cmps: Vec<Cmp>) -> EventQuery {
         EventQuery::Where {
             inner: Box::new(self),

@@ -343,3 +343,44 @@ fn recovery_rebuilds_index_state_in_both_modes() {
     );
     assert!(!per_mode_outputs[0].is_empty());
 }
+
+// ----- a pinned regression case -----------------------------------------------
+
+/// The deterministic seed that first broke the wall (found during PR 7
+/// review, formerly `tests/scratch_repro.rs`): an out-of-order `count`
+/// answer with an *inverted* interval (start=1000, end=500) feeding a
+/// `seq`. The indexed join's max-end pruning disagreed with the scan
+/// join's pairwise ordering checks until the index treated inverted
+/// intervals exactly like the oracle. Kept as a fixed case because the
+/// random generator only rarely produces the inversion + late-delta
+/// interleaving together.
+#[test]
+fn out_of_order_seq_divergence() {
+    let ev = |id: u64, t: u64, label: &str| {
+        Event::new(
+            EventId(id),
+            Timestamp(t),
+            Term::unordered(label, vec![Term::ordered("v", vec![Term::int(0)])]),
+        )
+    };
+    let q = parse_event_query("seq(x, count(2, a, 10s), y)").unwrap();
+    let mut indexed = IncrementalEngine::new(&q);
+    let mut scan = IncrementalEngine::new(&q).with_join_mode(JoinMode::Scan);
+    let evs = [
+        ev(1, 1000, "a"),
+        ev(2, 500, "a"), // count(a) answer: start=1000, end=500 (inverted)
+        ev(3, 600, "y"), // stored at position 2
+        ev(4, 700, "x"), // delta at position 0: pairwise checks pass, max-end check must too
+    ];
+    for e in &evs {
+        let ai = indexed.push(e);
+        let asc = scan.push(e);
+        assert_eq!(ai, asc, "diverged at event {:?}", e);
+        assert_eq!(
+            indexed.state_size(),
+            scan.state_size(),
+            "state diverged at event {:?}",
+            e
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-client rate limiting: a token bucket with an explicit clock.
+//!
+//! Each connection owns one [`TokenBucket`]; every accepted event costs
+//! one token. The clock is passed in (an [`Instant`]) rather than read
+//! inside, so tests drive the bucket deterministically.
+
+use std::time::{Duration, Instant};
+
+/// Per-client rate limit: sustained events/second plus a burst
+/// allowance. `events_per_sec == 0` disables the limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained refill rate, in events per second.
+    pub events_per_sec: u32,
+    /// Bucket capacity: how many events may arrive back-to-back before
+    /// throttling starts.
+    pub burst: u32,
+}
+
+impl RateLimit {
+    /// A limit of `events_per_sec` with an equal burst allowance.
+    pub fn per_sec(events_per_sec: u32) -> RateLimit {
+        RateLimit {
+            events_per_sec,
+            burst: events_per_sec.max(1),
+        }
+    }
+}
+
+/// The classic token bucket: `burst` tokens capacity, refilled at
+/// `events_per_sec`, one token per admitted event.
+#[derive(Debug)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    /// Current fill, in micro-tokens (×1e6) so sub-second refill
+    /// accumulates without floats.
+    micro_tokens: u64,
+    last: Instant,
+}
+
+/// What [`TokenBucket::admit`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A token was available and consumed.
+    Admitted,
+    /// The bucket is empty; retry after roughly this many milliseconds
+    /// (time until one token refills).
+    Throttled {
+        /// Suggested backoff, reported to the client verbatim in the
+        /// `throttled` reply.
+        retry_ms: u64,
+    },
+}
+
+impl TokenBucket {
+    /// A full bucket for the given limit, as of `now`.
+    pub fn new(limit: RateLimit, now: Instant) -> TokenBucket {
+        TokenBucket {
+            limit,
+            micro_tokens: limit.burst as u64 * 1_000_000,
+            last: now,
+        }
+    }
+
+    /// Admit or throttle one event arriving at `now`.
+    pub fn admit(&mut self, now: Instant) -> Admission {
+        if self.limit.events_per_sec == 0 {
+            return Admission::Admitted;
+        }
+        let cap = self.limit.burst as u64 * 1_000_000;
+        let elapsed = now.saturating_duration_since(self.last);
+        self.last = now;
+        let refill = elapsed.as_micros() as u64 * self.limit.events_per_sec as u64;
+        self.micro_tokens = (self.micro_tokens + refill).min(cap);
+        if self.micro_tokens >= 1_000_000 {
+            self.micro_tokens -= 1_000_000;
+            Admission::Admitted
+        } else {
+            let missing = 1_000_000 - self.micro_tokens;
+            let retry = Duration::from_micros(missing / self.limit.events_per_sec as u64);
+            Admission::Throttled {
+                retry_ms: (retry.as_millis() as u64).max(1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_throttle_then_refill() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(RateLimit::per_sec(10), t0);
+        for _ in 0..10 {
+            assert_eq!(b.admit(t0), Admission::Admitted);
+        }
+        assert!(matches!(b.admit(t0), Admission::Throttled { .. }));
+        // 100ms refills exactly one token at 10/s.
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(b.admit(t1), Admission::Admitted);
+        assert!(matches!(b.admit(t1), Admission::Throttled { .. }));
+    }
+
+    #[test]
+    fn zero_rate_disables_the_limit() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(
+            RateLimit {
+                events_per_sec: 0,
+                burst: 0,
+            },
+            t0,
+        );
+        for _ in 0..10_000 {
+            assert_eq!(b.admit(t0), Admission::Admitted);
+        }
+    }
+}

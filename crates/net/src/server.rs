@@ -1,0 +1,961 @@
+//! The TCP ingress server: accept loop, per-connection reader/writer
+//! threads, and the single engine-driver thread.
+//!
+//! ```text
+//!   client ──TCP──▶ reader thread ──▶ IngressQueue ──▶ driver thread ──▶ engine
+//!      ▲                │  (admission: rate limit,      │ (batches, tagged
+//!      │                │   body limit, queue bound)    │  ingestion)
+//!      └── writer thread ◀────────── reply frames ◀─────┘
+//! ```
+//!
+//! Threading contract: every connection gets one reader and one writer
+//! thread; exactly one driver thread owns batch formation and calls the
+//! engine (behind a mutex, so [`NetServer::with_engine`] can inspect it
+//! between batches). Faults — malformed frames, oversized bodies, slow
+//! readers, mid-batch disconnects — degrade *that connection only*: the
+//! reader closes or the reply is dropped, while the queue, the driver,
+//! and every other connection keep running.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use reweb_core::{EngineMetrics, InMessage, OutMessage, ReactiveEngine, ShardedEngine};
+use reweb_persist::{DurableEngine, Recoverable};
+use reweb_term::frame::{crc32, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use reweb_term::Timestamp;
+
+use crate::limit::{Admission, TokenBucket};
+use crate::router::{IngressQueue, Item, LanePush, NetConfig, ReplyClass, ReplyLane};
+use crate::wire::{event_to_message, ErrorCode, Reply, Request};
+
+/// Any engine the ingress tier can drive: one ingestion surface over
+/// [`ReactiveEngine`], [`ShardedEngine`], and both durable wrappers.
+/// The tagged ingestion call is what lets the driver route each
+/// reaction back to the connection whose event produced it.
+pub trait IngressEngine: Send {
+    /// Shape descriptor reported in the `welcome` reply (diagnostics).
+    fn descriptor(&self) -> String;
+    /// Install a rule program (startup configuration; rules can also
+    /// arrive as `install_rules` events, Thesis 11).
+    fn install_source(&mut self, src: &str) -> Result<(), String>;
+    /// Ingest one batch; each output is tagged with the index of the
+    /// batch message that produced it.
+    fn ingest_tagged(&mut self, msgs: &[InMessage]) -> Result<Vec<(u32, OutMessage)>, String>;
+    /// Advance the engine clock, firing due absence deadlines.
+    fn advance_clock(&mut self, at: Timestamp) -> Result<Vec<OutMessage>, String>;
+    /// Aggregated engine metrics (all shards where applicable).
+    fn metrics(&self) -> EngineMetrics;
+}
+
+impl IngressEngine for ReactiveEngine {
+    fn descriptor(&self) -> String {
+        "single".into()
+    }
+    fn install_source(&mut self, src: &str) -> Result<(), String> {
+        self.install_program(src).map_err(|e| e.to_string())
+    }
+    fn ingest_tagged(&mut self, msgs: &[InMessage]) -> Result<Vec<(u32, OutMessage)>, String> {
+        Ok(self.receive_batch_tagged(msgs))
+    }
+    fn advance_clock(&mut self, at: Timestamp) -> Result<Vec<OutMessage>, String> {
+        Ok(self.advance_time(at))
+    }
+    fn metrics(&self) -> EngineMetrics {
+        self.metrics.clone()
+    }
+}
+
+impl IngressEngine for ShardedEngine {
+    fn descriptor(&self) -> String {
+        Recoverable::descriptor(self)
+    }
+    fn install_source(&mut self, src: &str) -> Result<(), String> {
+        self.install_program(src).map_err(|e| e.to_string())
+    }
+    fn ingest_tagged(&mut self, msgs: &[InMessage]) -> Result<Vec<(u32, OutMessage)>, String> {
+        self.try_receive_batch_tagged(msgs)
+            .map_err(|e| e.to_string())
+    }
+    fn advance_clock(&mut self, at: Timestamp) -> Result<Vec<OutMessage>, String> {
+        self.try_advance_time(at).map_err(|e| e.to_string())
+    }
+    fn metrics(&self) -> EngineMetrics {
+        ShardedEngine::metrics(self)
+    }
+}
+
+impl IngressEngine for DurableEngine<ReactiveEngine> {
+    fn descriptor(&self) -> String {
+        format!("durable:{}", Recoverable::descriptor(self.engine()))
+    }
+    fn install_source(&mut self, src: &str) -> Result<(), String> {
+        self.install_program(src).map_err(|e| e.to_string())
+    }
+    fn ingest_tagged(&mut self, msgs: &[InMessage]) -> Result<Vec<(u32, OutMessage)>, String> {
+        self.receive_batch_tagged(msgs).map_err(|e| e.to_string())
+    }
+    fn advance_clock(&mut self, at: Timestamp) -> Result<Vec<OutMessage>, String> {
+        self.advance_time(at).map_err(|e| e.to_string())
+    }
+    fn metrics(&self) -> EngineMetrics {
+        self.engine().metrics.clone()
+    }
+}
+
+impl IngressEngine for DurableEngine<ShardedEngine> {
+    fn descriptor(&self) -> String {
+        format!("durable:{}", Recoverable::descriptor(self.engine()))
+    }
+    fn install_source(&mut self, src: &str) -> Result<(), String> {
+        self.install_program(src).map_err(|e| e.to_string())
+    }
+    fn ingest_tagged(&mut self, msgs: &[InMessage]) -> Result<Vec<(u32, OutMessage)>, String> {
+        self.receive_batch_tagged(msgs).map_err(|e| e.to_string())
+    }
+    fn advance_clock(&mut self, at: Timestamp) -> Result<Vec<OutMessage>, String> {
+        self.advance_time(at).map_err(|e| e.to_string())
+    }
+    fn metrics(&self) -> EngineMetrics {
+        self.engine().metrics()
+    }
+}
+
+/// Monotone ingress counters, updated with relaxed atomics on the hot
+/// paths and snapshotted via [`NetServer::stats`].
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_open: AtomicU64,
+    frames_in: AtomicU64,
+    msgs_enqueued: AtomicU64,
+    msgs_processed: AtomicU64,
+    batches: AtomicU64,
+    reactions_out: AtomicU64,
+    replies_dropped: AtomicU64,
+    busy_replies: AtomicU64,
+    throttled_replies: AtomicU64,
+    envelope_errors: AtomicU64,
+    framing_errors: AtomicU64,
+    engine_errors: AtomicU64,
+    queue_highwater: AtomicU64,
+}
+
+/// A point-in-time snapshot of the ingress tier's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Connections ever accepted.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Frames successfully read off sockets (any request kind).
+    pub frames_in: u64,
+    /// Events admitted into the ingress queue.
+    pub msgs_enqueued: u64,
+    /// Events the driver has handed to the engine.
+    pub msgs_processed: u64,
+    /// Engine batches the driver has run.
+    pub batches: u64,
+    /// Reaction replies produced (written or dropped).
+    pub reactions_out: u64,
+    /// Replies dropped because a connection's reply buffer was full (a
+    /// slow reader) or the connection was already gone (a mid-batch
+    /// disconnect).
+    pub replies_dropped: u64,
+    /// `busy` backpressure replies sent (global queue full).
+    pub busy_replies: u64,
+    /// `throttled` backpressure replies sent (per-client rate limit).
+    pub throttled_replies: u64,
+    /// `bad-envelope`/`not-gateway` faults (session survived).
+    pub envelope_errors: u64,
+    /// Framing faults (CRC mismatch, oversized, truncated — connection
+    /// closed).
+    pub framing_errors: u64,
+    /// Batches the engine refused.
+    pub engine_errors: u64,
+    /// Highest ingress queue depth observed.
+    pub queue_highwater: u64,
+    /// Current ingress queue depth.
+    pub queue_depth: u64,
+}
+
+/// One registered connection's reply path.
+struct ClientHandle {
+    lane: Arc<ReplyLane>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    cfg: NetConfig,
+    engine: Mutex<Box<dyn IngressEngine>>,
+    queue: IngressQueue,
+    clients: Mutex<HashMap<u64, ClientHandle>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    next_client: AtomicU64,
+}
+
+impl Shared {
+    /// Route one encoded reply frame to a connection's writer lane.
+    /// Never blocks: a full data buffer (slow reader), a closed lane, or
+    /// a vanished connection (mid-batch disconnect) counts a dropped
+    /// reply and moves on. Reactions are [`ReplyClass::Data`]; protocol
+    /// replies are [`ReplyClass::Control`] and only drop when the
+    /// connection itself is gone.
+    fn send_to(&self, client: u64, class: ReplyClass, frame: Vec<u8>) {
+        let clients = self.clients.lock().expect("client registry poisoned");
+        match clients.get(&client) {
+            Some(h) => {
+                if h.lane.push(class, frame) == LanePush::Dropped {
+                    self.counters
+                        .replies_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.counters
+                    .replies_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A running TCP ingress server. Dropping it (or calling
+/// [`NetServer::shutdown`]) stops accepting, finishes queued work, and
+/// joins every thread.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    driver: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `engine` under `cfg`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: impl IngressEngine + 'static,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: IngressQueue::new(cfg.queue_capacity),
+            cfg,
+            engine: Mutex::new(Box::new(engine)),
+            clients: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_client: AtomicU64::new(1),
+        });
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("reweb-net-accept".into())
+                .spawn(move || accept_loop(listener, shared, readers))?
+        };
+        let driver = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("reweb-net-driver".into())
+                .spawn(move || driver_loop(shared))?
+        };
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            driver: Some(driver),
+            readers,
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the ingress counters.
+    pub fn stats(&self) -> IngressStats {
+        let c = &self.shared.counters;
+        IngressStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_open: c.connections_open.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            msgs_enqueued: c.msgs_enqueued.load(Ordering::Relaxed),
+            msgs_processed: c.msgs_processed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            reactions_out: c.reactions_out.load(Ordering::Relaxed),
+            replies_dropped: c.replies_dropped.load(Ordering::Relaxed),
+            busy_replies: c.busy_replies.load(Ordering::Relaxed),
+            throttled_replies: c.throttled_replies.load(Ordering::Relaxed),
+            envelope_errors: c.envelope_errors.load(Ordering::Relaxed),
+            framing_errors: c.framing_errors.load(Ordering::Relaxed),
+            engine_errors: c.engine_errors.load(Ordering::Relaxed),
+            queue_highwater: c.queue_highwater.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.depth() as u64,
+        }
+    }
+
+    /// Run `f` against the serving engine. The driver takes the same
+    /// lock per batch, so this sees a consistent state between batches
+    /// — use it to install programs at startup or to read metrics in
+    /// tests; holding it stalls ingestion.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut dyn IngressEngine) -> R) -> R {
+        let mut guard: MutexGuard<'_, Box<dyn IngressEngine>> =
+            self.shared.engine.lock().expect("engine mutex poisoned");
+        f(guard.as_mut())
+    }
+
+    /// Stop accepting, drain the queue, join every thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.driver.take() {
+            let _ = h.join();
+        }
+        // Readers notice the shutdown flag within their poll interval,
+        // close their reply lanes (ending the writers), and exit.
+        self.shared
+            .clients
+            .lock()
+            .expect("client registry poisoned")
+            .clear();
+        let handles: Vec<_> = {
+            let mut r = self.readers.lock().expect("reader registry poisoned");
+            r.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Milliseconds since the UNIX epoch — the stamp for events that omit
+/// `at`. The driver clamps the ingress clock monotone regardless.
+fn wall_clock() -> Timestamp {
+    Timestamp(
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+    )
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let client = shared.next_client.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .connections_open
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("reweb-net-conn-{client}"))
+                    .spawn(move || {
+                        connection_loop(stream, client, &shared2);
+                        shared2
+                            .counters
+                            .connections_open
+                            .fetch_sub(1, Ordering::Relaxed);
+                    });
+                match handle {
+                    Ok(h) => readers.lock().expect("reader registry poisoned").push(h),
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion):
+                        // the connection is simply dropped.
+                        shared
+                            .counters
+                            .connections_open
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// How one read attempt ended.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// Clean EOF before the first byte.
+    Eof,
+    /// EOF mid-buffer: a truncated frame.
+    Truncated,
+    /// The server is shutting down.
+    Shutdown,
+    /// A socket error.
+    Failed,
+}
+
+/// Fill `buf` from `stream`, polling the shutdown flag between reads.
+/// The stream must have a read timeout set (the poll interval).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Truncated
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Full
+}
+
+/// What reading one frame produced.
+enum FrameRead {
+    /// A CRC-verified payload.
+    Payload(Vec<u8>),
+    /// Close the connection, optionally after a best-effort error
+    /// reply.
+    Close(Option<(ErrorCode, String)>),
+}
+
+/// Read and verify one frame. Oversized headers are rejected *before*
+/// the body is read or buffered (the body-limit pattern).
+fn read_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match read_full(stream, &mut header, shared) {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof | ReadOutcome::Shutdown | ReadOutcome::Failed => {
+            return FrameRead::Close(None)
+        }
+        ReadOutcome::Truncated => {
+            shared
+                .counters
+                .framing_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return FrameRead::Close(Some((
+                ErrorCode::MalformedFrame,
+                "truncated frame header".into(),
+            )));
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN || len as usize > shared.cfg.max_body {
+        shared
+            .counters
+            .framing_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return FrameRead::Close(Some((
+            ErrorCode::OversizedFrame,
+            format!(
+                "frame of {len} bytes exceeds max_body {}",
+                shared.cfg.max_body
+            ),
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, shared) {
+        ReadOutcome::Full => {}
+        ReadOutcome::Shutdown => return FrameRead::Close(None),
+        _ => {
+            shared
+                .counters
+                .framing_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return FrameRead::Close(Some((
+                ErrorCode::MalformedFrame,
+                "truncated frame payload".into(),
+            )));
+        }
+    }
+    if crc32(&payload) != crc {
+        shared
+            .counters
+            .framing_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return FrameRead::Close(Some((
+            ErrorCode::MalformedFrame,
+            "frame CRC mismatch".into(),
+        )));
+    }
+    shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+    FrameRead::Payload(payload)
+}
+
+/// Write a reply straight to the socket — used before the writer thread
+/// exists (handshake) and for final error replies. Best effort.
+fn send_direct(stream: &mut TcpStream, reply: &Reply) {
+    let _ = stream.write_all(&reply.encode());
+}
+
+/// One connection, handshake to close. Runs on the connection's reader
+/// thread; spawns the paired writer thread after a successful `hello`.
+fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>) {
+    let shared: &Shared = shared_arc;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+
+    // Handshake: the first envelope must be a schema-matching `hello`.
+    let (session_from, session_cred, gateway) = match read_frame(&mut stream, shared) {
+        FrameRead::Payload(payload) => match Request::decode(&payload) {
+            Ok(Request::Hello {
+                from,
+                credentials,
+                gateway,
+            }) => (from, credentials, gateway),
+            Ok(_) => {
+                shared
+                    .counters
+                    .envelope_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                send_direct(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ErrorCode::NoHello,
+                        detail: "first envelope must be hello".into(),
+                        id: None,
+                    },
+                );
+                return;
+            }
+            Err(e) => {
+                shared
+                    .counters
+                    .envelope_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let code = if e.0.contains("schema") {
+                    ErrorCode::BadSchema
+                } else {
+                    ErrorCode::BadEnvelope
+                };
+                send_direct(
+                    &mut stream,
+                    &Reply::Error {
+                        code,
+                        detail: e.0,
+                        id: None,
+                    },
+                );
+                return;
+            }
+        },
+        FrameRead::Close(err) => {
+            if let Some((code, detail)) = err {
+                send_direct(
+                    &mut stream,
+                    &Reply::Error {
+                        code,
+                        detail,
+                        id: None,
+                    },
+                );
+            }
+            return;
+        }
+    };
+
+    // Register the reply path and spawn the writer.
+    let lane = Arc::new(ReplyLane::new(shared.cfg.reply_buffer));
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    shared
+        .clients
+        .lock()
+        .expect("client registry poisoned")
+        .insert(
+            client,
+            ClientHandle {
+                lane: Arc::clone(&lane),
+            },
+        );
+    let writer_handle = {
+        let lane = Arc::clone(&lane);
+        let shared2 = Arc::clone(shared_arc);
+        std::thread::Builder::new()
+            .name(format!("reweb-net-write-{client}"))
+            .spawn(move || writer_loop(writer, lane, shared2))
+    };
+    let engine_desc = shared
+        .engine
+        .lock()
+        .expect("engine mutex poisoned")
+        .descriptor();
+    lane.push(
+        ReplyClass::Control,
+        Reply::Welcome {
+            schema: crate::wire::WIRE_SCHEMA.into(),
+            engine: engine_desc,
+        }
+        .encode(),
+    );
+
+    let mut bucket = shared
+        .cfg
+        .rate_limit
+        .map(|l| TokenBucket::new(l, Instant::now()));
+    let reply = |r: &Reply| {
+        // Session replies are control-class: they go through the writer
+        // lane so they order after earlier reactions, and they are never
+        // dropped while the lane is open.
+        if lane.push(ReplyClass::Control, r.encode()) == LanePush::Dropped {
+            shared
+                .counters
+                .replies_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    let close_err = loop {
+        let payload = match read_frame(&mut stream, shared) {
+            FrameRead::Payload(p) => p,
+            FrameRead::Close(err) => break err,
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared
+                    .counters
+                    .envelope_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                reply(&Reply::Error {
+                    code: ErrorCode::BadEnvelope,
+                    detail: e.0,
+                    id: None,
+                });
+                continue;
+            }
+        };
+        match req {
+            Request::Hello { .. } => {
+                shared
+                    .counters
+                    .envelope_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                break Some((ErrorCode::NoHello, "hello repeated".into()));
+            }
+            Request::Bye => break None,
+            Request::Sync { id } => {
+                shared.queue.push_control(Item::Sync { client, id });
+            }
+            Request::Advance { id, at } => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    reply(&Reply::Error {
+                        code: ErrorCode::ShuttingDown,
+                        detail: "server is shutting down".into(),
+                        id: Some(id),
+                    });
+                    continue;
+                }
+                shared.queue.push_control(Item::Advance { client, id, at });
+            }
+            Request::Event {
+                id,
+                at,
+                from,
+                credentials,
+                payload,
+            } => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    reply(&Reply::Error {
+                        code: ErrorCode::ShuttingDown,
+                        detail: "server is shutting down".into(),
+                        id: Some(id),
+                    });
+                    continue;
+                }
+                if let Some(b) = bucket.as_mut() {
+                    if let Admission::Throttled { retry_ms } = b.admit(Instant::now()) {
+                        shared
+                            .counters
+                            .throttled_replies
+                            .fetch_add(1, Ordering::Relaxed);
+                        reply(&Reply::Throttled { id, retry_ms });
+                        continue;
+                    }
+                }
+                let msg = match event_to_message(
+                    &session_from,
+                    &session_cred,
+                    gateway,
+                    &from,
+                    &credentials,
+                    payload,
+                    at.unwrap_or_else(wall_clock),
+                ) {
+                    Ok(m) => m,
+                    Err(code) => {
+                        shared
+                            .counters
+                            .envelope_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        reply(&Reply::Error {
+                            code,
+                            detail: "per-event from/cred requires a gateway session".into(),
+                            id: Some(id),
+                        });
+                        continue;
+                    }
+                };
+                match shared.queue.push_event(Item::Msg { client, id, msg }) {
+                    Ok(depth) => {
+                        shared
+                            .counters
+                            .msgs_enqueued
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .queue_highwater
+                            .fetch_max(depth as u64, Ordering::Relaxed);
+                    }
+                    Err(full) => {
+                        shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                        reply(&Reply::Busy {
+                            id,
+                            depth: full.depth,
+                            capacity: full.capacity,
+                            retry_ms: 10,
+                        });
+                    }
+                }
+            }
+        }
+    };
+
+    if let Some((code, detail)) = close_err {
+        reply(&Reply::Error {
+            code,
+            detail,
+            id: None,
+        });
+    }
+    // Unregister: the driver's future sends to this client become
+    // counted drops; pending queue items still process (a mid-batch
+    // disconnect never disturbs the batch). Closing the lane lets the
+    // writer drain what is queued (the close error above included) and
+    // exit.
+    shared
+        .clients
+        .lock()
+        .expect("client registry poisoned")
+        .remove(&client);
+    lane.close();
+    if let Ok(h) = writer_handle {
+        let _ = h.join();
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The writer thread: drain reply frames from the lane to the socket
+/// until the lane closes empty or the socket dies. A dead socket
+/// discards whatever is still queued — counted, since those replies
+/// were promised but never delivered.
+fn writer_loop(mut stream: TcpStream, lane: Arc<ReplyLane>, shared: Arc<Shared>) {
+    while let Some(frame) = lane.pop() {
+        if stream.write_all(&frame).is_err() {
+            let discarded = lane.close_and_discard();
+            shared
+                .counters
+                .replies_dropped
+                .fetch_add(discarded as u64 + 1, Ordering::Relaxed);
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// The driver thread: form batches, run the engine, route replies.
+fn driver_loop(shared: Arc<Shared>) {
+    // The ingress clock: event times are clamped monotone across the
+    // whole stream, so a batch boundary can never reorder engine time.
+    let mut last_at = Timestamp::ZERO;
+    loop {
+        let batch = shared.queue.pop_batch(
+            shared.cfg.max_batch,
+            shared.cfg.batch_latency,
+            &shared.shutdown,
+        );
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::Acquire) && shared.queue.depth() == 0 {
+                return;
+            }
+            continue;
+        }
+        let mut run_msgs: Vec<InMessage> = Vec::new();
+        let mut run_tags: Vec<(u64, u64)> = Vec::new();
+        for item in batch {
+            match item {
+                Item::Msg {
+                    client,
+                    id,
+                    mut msg,
+                } => {
+                    if msg.at < last_at {
+                        msg.at = last_at;
+                    } else {
+                        last_at = msg.at;
+                    }
+                    run_msgs.push(msg);
+                    run_tags.push((client, id));
+                }
+                Item::Advance { client, id, at } => {
+                    flush_run(&shared, &mut run_msgs, &mut run_tags);
+                    last_at = last_at.max(at);
+                    let outcome = shared
+                        .engine
+                        .lock()
+                        .expect("engine mutex poisoned")
+                        .advance_clock(at);
+                    match outcome {
+                        Ok(outs) => {
+                            for o in outs {
+                                shared
+                                    .counters
+                                    .reactions_out
+                                    .fetch_add(1, Ordering::Relaxed);
+                                shared.send_to(
+                                    client,
+                                    ReplyClass::Data,
+                                    Reply::Reaction {
+                                        id,
+                                        to: o.to,
+                                        payload: o.payload,
+                                    }
+                                    .encode(),
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            shared
+                                .counters
+                                .engine_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.send_to(
+                                client,
+                                ReplyClass::Control,
+                                Reply::Error {
+                                    code: ErrorCode::Engine,
+                                    detail: e,
+                                    id: Some(id),
+                                }
+                                .encode(),
+                            );
+                        }
+                    }
+                }
+                Item::Sync { client, id } => {
+                    flush_run(&shared, &mut run_msgs, &mut run_tags);
+                    shared.send_to(client, ReplyClass::Control, Reply::Done { id }.encode());
+                }
+            }
+        }
+        flush_run(&shared, &mut run_msgs, &mut run_tags);
+    }
+}
+
+/// Hand one accumulated message run to the engine and route its tagged
+/// outputs back to their submitters.
+fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u64)>) {
+    if msgs.is_empty() {
+        return;
+    }
+    let outcome = shared
+        .engine
+        .lock()
+        .expect("engine mutex poisoned")
+        .ingest_tagged(msgs);
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .msgs_processed
+        .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+    match outcome {
+        Ok(tagged) => {
+            for (k, o) in tagged {
+                let (client, id) = tags[k as usize];
+                shared
+                    .counters
+                    .reactions_out
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.send_to(
+                    client,
+                    ReplyClass::Data,
+                    Reply::Reaction {
+                        id,
+                        to: o.to,
+                        payload: o.payload,
+                    }
+                    .encode(),
+                );
+            }
+        }
+        Err(e) => {
+            shared
+                .counters
+                .engine_errors
+                .fetch_add(1, Ordering::Relaxed);
+            // Attribution is lost when the whole batch is refused;
+            // every submitter in the run hears about it once.
+            let mut told = std::collections::HashSet::new();
+            for &(client, id) in tags.iter() {
+                if told.insert(client) {
+                    shared.send_to(
+                        client,
+                        ReplyClass::Control,
+                        Reply::Error {
+                            code: ErrorCode::Engine,
+                            detail: e.clone(),
+                            id: Some(id),
+                        }
+                        .encode(),
+                    );
+                }
+            }
+        }
+    }
+    msgs.clear();
+    tags.clear();
+}

@@ -1,0 +1,347 @@
+//! Deterministic fault and backpressure tests: every degradation mode
+//! the wire protocol documents — `busy`, `throttled` (covered in
+//! `net_equivalence.rs`), oversized frames, slow readers, missing or
+//! malformed handshakes, non-gateway overrides — must be observable as
+//! an explicit reply or counter, and must degrade *that connection
+//! only* while the engine and every other client keep working.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use reweb_core::ReactiveEngine;
+use reweb_net::wire::{ErrorCode, Reply, Request};
+use reweb_net::{NetClient, NetConfig, NetServer};
+use reweb_term::frame::{crc32, FRAME_HEADER_LEN};
+use reweb_term::parse_term;
+
+/// One rule that echoes every `ping` so each admitted event produces
+/// exactly one reaction — admitted vs. rejected is countable.
+const ECHO: &str = r#"RULE r0 ON ping{v[[var X]]} DO SEND pong{v[var X]} TO "http://sink/0" END"#;
+
+fn ping(v: &str) -> reweb_term::Term {
+    parse_term(&format!("ping{{v[\"{v}\"]}}")).expect("ping payload")
+}
+
+fn wait_until(what: &str, f: impl Fn() -> bool) {
+    for _ in 0..4000 {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Read one reply frame from a raw socket (for tests that bypass
+/// [`NetClient`] to violate the handshake).
+fn recv_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    assert_eq!(crc32(&payload), crc, "reply frame CRC");
+    Ok(payload)
+}
+
+/// A full ingress queue answers `busy` — a bounded, explicit rejection,
+/// never silent loss and never an unbounded buffer. Stall the driver by
+/// holding the engine lock, overflow the queue, then release and check
+/// that exactly the admitted events produced reactions.
+#[test]
+fn queue_full_yields_busy_replies() {
+    let cfg = NetConfig {
+        max_batch: 1,
+        queue_capacity: 2,
+        batch_latency: Duration::from_millis(1),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://server/".to_string()),
+        cfg,
+    )
+    .expect("bind");
+    server.with_engine(|e| e.install_source(ECHO).expect("install"));
+
+    // Connect BEFORE stalling the driver: the handshake reads the
+    // engine descriptor under the same lock.
+    let mut c = NetClient::connect(server.local_addr(), "http://c/").expect("connect");
+
+    let hold = AtomicBool::new(true);
+    let held = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            server.with_engine(|_| {
+                held.store(true, Ordering::SeqCst);
+                while hold.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        wait_until("engine lock held", || held.load(Ordering::SeqCst));
+
+        // The driver can pop at most one batch (max_batch = 1) before
+        // blocking on the engine lock, and the queue holds two more:
+        // of 8 events, at most 3 are admitted.
+        for v in 0..8u32 {
+            c.send_event(
+                ping(&v.to_string()),
+                Some(reweb_term::Timestamp(1_000 + v as u64)),
+            )
+            .expect("send");
+        }
+        wait_until("all 8 events admitted or rejected", || {
+            let st = server.stats();
+            st.msgs_enqueued + st.busy_replies == 8
+        });
+        hold.store(false, Ordering::SeqCst);
+    });
+
+    let replies = c.sync().expect("sync");
+    let busy = replies
+        .iter()
+        .filter(|r| {
+            if let Reply::Busy {
+                depth, capacity, ..
+            } = r
+            {
+                assert_eq!(*capacity, 2, "busy reply reports the configured bound");
+                assert!(*depth >= *capacity, "busy reply reports a full queue");
+                true
+            } else {
+                false
+            }
+        })
+        .count();
+    let reactions = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Reaction { .. }))
+        .count();
+    assert_eq!(
+        busy + reactions,
+        8,
+        "every event answered: busy or reaction"
+    );
+    assert!(
+        (5..=6).contains(&busy),
+        "8 events against capacity 2 + one in-flight batch: got {busy} busy"
+    );
+    let st = server.stats();
+    assert_eq!(st.busy_replies, busy as u64);
+    assert_eq!(st.msgs_processed, reactions as u64);
+
+    // Backpressure is transient: the same connection is fully served
+    // once the queue drains.
+    c.send_event(ping("after"), Some(reweb_term::Timestamp(2_000)))
+        .expect("send");
+    let after = c.sync().expect("sync after");
+    assert_eq!(after.len(), 1);
+    assert!(matches!(after[0], Reply::Reaction { .. }));
+}
+
+/// An oversized frame is rejected from its header alone — before the
+/// body is read or buffered — with an explicit error, and closes only
+/// the offending connection.
+#[test]
+fn oversized_frame_closes_offender_only() {
+    let cfg = NetConfig {
+        max_body: 256,
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://server/".to_string()),
+        cfg,
+    )
+    .expect("bind");
+    server.with_engine(|e| e.install_source(ECHO).expect("install"));
+    let addr = server.local_addr();
+
+    let mut a = NetClient::connect(addr, "http://a/").expect("connect a");
+    let mut b = NetClient::connect(addr, "http://b/").expect("connect b");
+
+    b.send_event(ping(&"x".repeat(1024)), Some(reweb_term::Timestamp(1_000)))
+        .expect("send oversized");
+    match b.recv().expect("error reply before close") {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::OversizedFrame),
+        other => panic!("expected oversized-frame error, got {other:?}"),
+    }
+    assert!(b.recv().is_err(), "offending connection is closed");
+    wait_until("framing error counted", || {
+        server.stats().framing_errors == 1
+    });
+
+    // The other connection never notices.
+    a.send_event(ping("ok"), Some(reweb_term::Timestamp(1_001)))
+        .expect("send a");
+    let replies = a.sync().expect("sync a");
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(replies[0], Reply::Reaction { .. }));
+    assert_eq!(server.stats().msgs_processed, 1);
+}
+
+/// A reader that never drains its replies gets them dropped (counted,
+/// bounded buffering) — the driver never blocks on a slow connection,
+/// and other clients stay fully served.
+#[test]
+fn slow_reader_drops_replies_not_the_engine() {
+    let cfg = NetConfig {
+        reply_buffer: 1,
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://server/".to_string()),
+        cfg,
+    )
+    .expect("bind");
+    server.with_engine(|e| e.install_source(ECHO).expect("install"));
+    let addr = server.local_addr();
+
+    // Big echoes fill the OS socket buffers quickly; once the writer
+    // blocks and its one-slot buffer is full, further replies drop.
+    let mut slow = NetClient::connect(addr, "http://slow/").expect("connect slow");
+    let big = "x".repeat(32 * 1024);
+    let mut sent = 0u64;
+    for _ in 0..3000 {
+        slow.send_event(ping(&big), Some(reweb_term::Timestamp(1_000)))
+            .expect("send");
+        sent += 1;
+        if server.stats().replies_dropped > 0 {
+            break;
+        }
+    }
+    let st = server.stats();
+    assert!(
+        st.replies_dropped > 0,
+        "no drops after {sent} undrained 32KiB echoes"
+    );
+    // The engine processed everything that was admitted — drops happen
+    // at the reply boundary, not inside the batch.
+    wait_until("all admitted events processed", || {
+        let st = server.stats();
+        st.msgs_processed == st.msgs_enqueued && st.msgs_enqueued == sent
+    });
+
+    // A well-behaved client on the same server is unaffected.
+    let mut ok = NetClient::connect(addr, "http://ok/").expect("connect ok");
+    ok.send_event(ping("ok"), Some(reweb_term::Timestamp(1_001)))
+        .expect("send ok");
+    let replies = ok.sync().expect("sync ok");
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(replies[0], Reply::Reaction { .. }));
+}
+
+/// Per-event `from`/`cred` overrides are a gateway privilege: ordinary
+/// sessions get `not-gateway` for that event and keep their session.
+#[test]
+fn sender_override_requires_gateway() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://server/".to_string()),
+        NetConfig::default(),
+    )
+    .expect("bind");
+    server.with_engine(|e| e.install_source(ECHO).expect("install"));
+    let addr = server.local_addr();
+
+    let mut plain = NetClient::connect(addr, "http://plain/").expect("connect");
+    let id = plain
+        .send_event_as(
+            "http://spoofed/",
+            None,
+            ping("1"),
+            Some(reweb_term::Timestamp(1_000)),
+        )
+        .expect("send");
+    let replies = plain.sync().expect("sync");
+    assert_eq!(replies.len(), 1);
+    match &replies[0] {
+        Reply::Error { code, id: got, .. } => {
+            assert_eq!(*code, ErrorCode::NotGateway);
+            assert_eq!(*got, Some(id), "error names the offending event");
+        }
+        other => panic!("expected not-gateway error, got {other:?}"),
+    }
+    // The session survives the rejection.
+    plain
+        .send_event(ping("2"), Some(reweb_term::Timestamp(1_001)))
+        .expect("send");
+    let replies = plain.sync().expect("sync");
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(replies[0], Reply::Reaction { .. }));
+
+    // A gateway session may override per event.
+    let mut gw = NetClient::connect_with(addr, "http://gw/", None, true).expect("connect gw");
+    gw.send_event_as(
+        "http://origin/",
+        None,
+        ping("3"),
+        Some(reweb_term::Timestamp(1_002)),
+    )
+    .expect("send as");
+    let replies = gw.sync().expect("sync gw");
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(replies[0], Reply::Reaction { .. }));
+    assert_eq!(server.stats().envelope_errors, 1);
+}
+
+/// The first envelope must be `hello`: anything else is answered with
+/// `no-hello` and the connection is closed.
+#[test]
+fn first_envelope_must_be_hello() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://server/".to_string()),
+        NetConfig::default(),
+    )
+    .expect("bind");
+
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    let req = Request::Event {
+        id: 1,
+        at: Some(reweb_term::Timestamp(1_000)),
+        from: None,
+        credentials: None,
+        payload: ping("1"),
+    };
+    raw.write_all(&req.encode()).expect("write");
+    let payload = recv_frame(&mut raw).expect("reply");
+    match Reply::decode(&payload).expect("decode") {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::NoHello),
+        other => panic!("expected no-hello error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(
+        raw.read_to_end(&mut rest).expect("eof"),
+        0,
+        "connection closed after no-hello"
+    );
+}
+
+/// A `hello` naming an unknown schema is refused with `bad-schema`.
+#[test]
+fn unknown_schema_is_refused() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://server/".to_string()),
+        NetConfig::default(),
+    )
+    .expect("bind");
+
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    let hello = parse_term(r#"hello{schema["reweb-net/999"], from["http://x/"]}"#).unwrap();
+    raw.write_all(&reweb_term::frame::encode_frame(
+        hello.to_string().as_bytes(),
+    ))
+    .expect("write");
+    let payload = recv_frame(&mut raw).expect("reply");
+    match Reply::decode(&payload).expect("decode") {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadSchema),
+        other => panic!("expected bad-schema error, got {other:?}"),
+    }
+}

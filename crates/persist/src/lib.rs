@@ -198,6 +198,14 @@ pub trait Recoverable {
         &mut self,
         msgs: &[InMessage],
     ) -> std::result::Result<Vec<OutMessage>, TermError>;
+    /// Process one ingestion batch, tagging each output with the index
+    /// of the batch message that produced it (the networked ingress
+    /// tier's reply-routing surface). Stripping the tags must reproduce
+    /// [`Recoverable::ingest_batch`] byte for byte.
+    fn ingest_batch_tagged(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> std::result::Result<Vec<(u32, OutMessage)>, TermError>;
     /// Advance the virtual clock.
     fn advance_clock(&mut self, t: Timestamp) -> std::result::Result<Vec<OutMessage>, TermError>;
     /// Store a document (replicated to every shard where applicable).
@@ -238,6 +246,12 @@ impl Recoverable for ReactiveEngine {
             out.extend(self.receive(m.payload.clone(), &m.meta, m.at));
         }
         Ok(out)
+    }
+    fn ingest_batch_tagged(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> std::result::Result<Vec<(u32, OutMessage)>, TermError> {
+        Ok(self.receive_batch_tagged(msgs))
     }
     fn advance_clock(&mut self, t: Timestamp) -> std::result::Result<Vec<OutMessage>, TermError> {
         Ok(self.advance_time(t))
@@ -283,6 +297,12 @@ impl Recoverable for ShardedEngine {
         msgs: &[InMessage],
     ) -> std::result::Result<Vec<OutMessage>, TermError> {
         self.try_receive_batch(msgs)
+    }
+    fn ingest_batch_tagged(
+        &mut self,
+        msgs: &[InMessage],
+    ) -> std::result::Result<Vec<(u32, OutMessage)>, TermError> {
+        self.try_receive_batch_tagged(msgs)
     }
     fn advance_clock(&mut self, t: Timestamp) -> std::result::Result<Vec<OutMessage>, TermError> {
         self.try_advance_time(t)
@@ -715,6 +735,34 @@ impl<E: Recoverable> DurableEngine<E> {
     /// Log and process one ingestion batch (one log record, one fsync).
     pub fn receive_batch(&mut self, msgs: &[InMessage]) -> Result<Vec<OutMessage>> {
         self.commit(Record::Batch(msgs.to_vec()))
+    }
+
+    /// [`DurableEngine::receive_batch`], tagging each output with the
+    /// index of the batch message that produced it (see
+    /// [`Recoverable::ingest_batch_tagged`]). Same log record, same
+    /// fsync policy, same snapshot cadence as the untagged path —
+    /// recovery replays the record through the untagged surface, which
+    /// is byte-identical once tags are stripped.
+    pub fn receive_batch_tagged(&mut self, msgs: &[InMessage]) -> Result<Vec<(u32, OutMessage)>> {
+        let rec = Record::Batch(msgs.to_vec());
+        let offset = self.wal.append(&rec)?;
+        if self.opts.sync == SyncPolicy::Always {
+            self.wal.sync()?;
+        }
+        self.push_mark(offset, &rec);
+        for m in msgs {
+            if m.payload.label() == Some("install_rules") {
+                self.journal.push(JournalEntry::Dynamic(m.clone()));
+            }
+        }
+        let out = self.engine.ingest_batch_tagged(msgs)?;
+        self.records_since_snapshot += 1;
+        if let Some(n) = self.opts.snapshot_every {
+            if self.records_since_snapshot >= n {
+                self.snapshot_now()?;
+            }
+        }
+        Ok(out)
     }
 
     /// Log and apply a clock advance.

@@ -18,6 +18,8 @@
 //!   when the two are and are not equivalent (idempotence of the action,
 //!   persistence of the condition).
 
+#![warn(missing_docs)]
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -29,12 +31,16 @@ use reweb_update::{Action, Executor, OutMessage, ProcedureDef};
 /// A production (Condition-Action) rule: `IF condition DO action`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CaRule {
+    /// Rule name (diagnostics and fired-set keys).
     pub name: String,
+    /// The `IF` part: a query over the fact base.
     pub condition: Condition,
+    /// The `DO` part, executed once per new satisfaction.
     pub action: Action,
 }
 
 impl CaRule {
+    /// A named Condition-Action rule.
     pub fn new(name: impl Into<String>, condition: Condition, action: Action) -> CaRule {
         CaRule {
             name: name.into(),
@@ -57,23 +63,29 @@ pub struct ProductionMetrics {
     pub cycles: u64,
     /// Condition evaluations — each is a full query over the fact base.
     pub condition_evals: u64,
+    /// New (rule, bindings) satisfactions whose action ran.
     pub rules_fired: u64,
+    /// Actions that raised an [`reweb_update::ActionError`].
     pub actions_failed: u64,
+    /// Human-readable records of every failure.
     pub errors: Vec<String>,
 }
 
 /// A forward-chaining production-rule engine over a resource store.
 pub struct ProductionEngine {
+    /// The fact base the conditions query and the actions update.
     pub qe: QueryEngine,
     rules: Vec<CaRule>,
     procedures: BTreeMap<String, ProcedureDef>,
     /// (rule, bindings) pairs that already fired — the "fires only once
     /// when the condition becomes true" semantics.
     fired: BTreeSet<(String, Bindings)>,
+    /// Counters for experiment E1.
     pub metrics: ProductionMetrics,
 }
 
 impl ProductionEngine {
+    /// An engine with an empty fact base and no rules.
     pub fn new() -> ProductionEngine {
         ProductionEngine {
             qe: QueryEngine::new(),
@@ -84,14 +96,17 @@ impl ProductionEngine {
         }
     }
 
+    /// Install a rule; it participates from the next cycle on.
     pub fn add_rule(&mut self, r: CaRule) {
         self.rules.push(r);
     }
 
+    /// Register a named procedure callable from `CALL` actions.
     pub fn add_procedure(&mut self, p: ProcedureDef) {
         self.procedures.insert(p.name.clone(), p);
     }
 
+    /// Number of installed rules.
     pub fn rule_count(&self) -> usize {
         self.rules.len()
     }

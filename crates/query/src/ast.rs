@@ -42,6 +42,7 @@ pub enum QueryTerm {
 /// An element pattern.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryElem {
+    /// Label constraint (`order`, or `*` for any).
     pub label: LabelPattern,
     /// `[…]` vs `{…}`.
     pub ordered: bool,
@@ -51,12 +52,14 @@ pub struct QueryElem {
     /// match. Unlisted attributes are always ignored (attributes are
     /// implicitly partial, as in Xcerpt).
     pub attrs: Vec<(Sym, AttrPattern)>,
+    /// Child patterns, in order (significant only when `ordered`).
     pub children: Vec<QueryTerm>,
 }
 
 /// Label constraint of an element pattern.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LabelPattern {
+    /// The label must equal this symbol.
     Exact(Sym),
     /// `*`
     Any,
@@ -65,6 +68,7 @@ pub enum LabelPattern {
 /// Attribute value constraint.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AttrPattern {
+    /// The attribute value must equal this string.
     Exact(String),
     /// `@k=var X` — bind the attribute value (as a text term) to `X`.
     Var(Sym),
@@ -183,21 +187,26 @@ pub struct QueryElemBuilder {
 }
 
 impl QueryElemBuilder {
+    /// Make the pattern unordered (`{…}`): children match in any order.
     pub fn unordered(mut self) -> Self {
         self.e.ordered = false;
         self
     }
 
+    /// Make the pattern partial (`[[…]]`/`{{…}}`): extra children are
+    /// allowed in the data.
     pub fn partial(mut self) -> Self {
         self.e.partial = true;
         self
     }
 
+    /// Accept any element label (`*`).
     pub fn any_label(mut self) -> Self {
         self.e.label = LabelPattern::Any;
         self
     }
 
+    /// Require attribute `key` to equal `value`.
     pub fn attr(mut self, key: impl Into<Sym>, value: impl Into<String>) -> Self {
         self.e
             .attrs
@@ -205,6 +214,7 @@ impl QueryElemBuilder {
         self
     }
 
+    /// Require attribute `key` to be present, binding its value to `var`.
     pub fn attr_var(mut self, key: impl Into<Sym>, var: impl Into<Sym>) -> Self {
         self.e
             .attrs
@@ -212,6 +222,7 @@ impl QueryElemBuilder {
         self
     }
 
+    /// Append a child pattern.
     pub fn child(mut self, p: QueryTerm) -> Self {
         self.e.children.push(p);
         self
@@ -238,11 +249,13 @@ impl QueryElemBuilder {
         )
     }
 
+    /// Append a `without p` constraint: no child may match `p`.
     pub fn without(mut self, p: QueryTerm) -> Self {
         self.e.children.push(QueryTerm::Without(Box::new(p)));
         self
     }
 
+    /// Finish building, yielding the element pattern.
     pub fn finish(self) -> QueryTerm {
         QueryTerm::Elem(self.e)
     }

@@ -26,14 +26,20 @@ use crate::expr::{EvalError, Expr};
 /// Aggregation functions usable inside construct terms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggFn {
+    /// Number of distinct bound terms.
     Count,
+    /// Sum of the numeric values.
     Sum,
+    /// Arithmetic mean of the numeric values.
     Avg,
+    /// Smallest numeric value.
     Min,
+    /// Largest numeric value.
     Max,
 }
 
 impl AggFn {
+    /// The surface-syntax name (`count`, `sum`, …).
     pub fn name(self) -> &'static str {
         match self {
             AggFn::Count => "count",
@@ -44,6 +50,7 @@ impl AggFn {
         }
     }
 
+    /// Parse a surface-syntax name back into the function.
     pub fn from_name(s: &str) -> Option<AggFn> {
         Some(match s {
             "count" => AggFn::Count,
@@ -89,6 +96,7 @@ impl AggFn {
 /// Attribute value in a construct term.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AttrValue {
+    /// A literal attribute value.
     Str(String),
     /// `@k=var X` — the text content of the bound term.
     Var(Sym),
@@ -97,12 +105,18 @@ pub enum AttrValue {
 /// A construct term.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConstructTerm {
+    /// An output element.
     Elem {
+        /// Element label.
         label: Sym,
+        /// `[…]` (true) vs `{…}` (false) in the output term.
         ordered: bool,
+        /// Attributes to emit, literal or variable-valued.
         attrs: Vec<(Sym, AttrValue)>,
+        /// Child construct terms, instantiated in order.
         children: Vec<ConstructTerm>,
     },
+    /// A literal text leaf.
     Text(String),
     /// `var X` — splice the bound term.
     Var(Sym),
@@ -112,7 +126,9 @@ pub enum ConstructTerm {
     Calc(Expr),
     /// `all ct group by (vars)` — one instance of `ct` per group.
     All {
+        /// Template instantiated once per group.
         inner: Box<ConstructTerm>,
+        /// Variables whose valuations partition the answers.
         group_by: Vec<Sym>,
     },
     /// Aggregate over the enclosing group.
@@ -120,6 +136,7 @@ pub enum ConstructTerm {
 }
 
 impl ConstructTerm {
+    /// Convenience: an element builder.
     pub fn elem(label: impl Into<Sym>) -> ConstructBuilder {
         ConstructBuilder {
             label: label.into(),
@@ -129,10 +146,12 @@ impl ConstructTerm {
         }
     }
 
+    /// Convenience: `var X`.
     pub fn var(name: impl Into<Sym>) -> ConstructTerm {
         ConstructTerm::Var(name.into())
     }
 
+    /// Convenience: a literal text leaf.
     pub fn text(s: impl Into<String>) -> ConstructTerm {
         ConstructTerm::Text(s.into())
     }
@@ -284,21 +303,25 @@ pub struct ConstructBuilder {
 }
 
 impl ConstructBuilder {
+    /// Emit an unordered (`{…}`) element.
     pub fn unordered(mut self) -> Self {
         self.ordered = false;
         self
     }
 
+    /// Emit attribute `k` with the literal value `v`.
     pub fn attr(mut self, k: impl Into<Sym>, v: impl Into<String>) -> Self {
         self.attrs.push((k.into(), AttrValue::Str(v.into())));
         self
     }
 
+    /// Emit attribute `k` with the text content of `var`'s binding.
     pub fn attr_var(mut self, k: impl Into<Sym>, var: impl Into<Sym>) -> Self {
         self.attrs.push((k.into(), AttrValue::Var(var.into())));
         self
     }
 
+    /// Append a child construct term.
     pub fn child(mut self, c: ConstructTerm) -> Self {
         self.children.push(c);
         self
@@ -324,6 +347,7 @@ impl ConstructBuilder {
         })
     }
 
+    /// Finish building, yielding the element construct term.
     pub fn finish(self) -> ConstructTerm {
         ConstructTerm::Elem {
             label: self.label,

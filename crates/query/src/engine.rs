@@ -23,6 +23,7 @@ use crate::rules::DeductiveRule;
 pub struct QueryAtom {
     /// URI of a store document or registered view.
     pub resource: String,
+    /// Pattern matched anywhere in the resource's document.
     pub pattern: QueryTerm,
     /// `not in <uri> <pattern>` — holds iff the pattern has *no* answer.
     pub negated: bool,
@@ -33,7 +34,9 @@ pub struct QueryAtom {
 /// The empty condition is `true`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Condition {
+    /// The conjoined query atoms.
     pub atoms: Vec<QueryAtom>,
+    /// Comparisons every answer's bindings must satisfy.
     pub comparisons: Vec<Cmp>,
 }
 
@@ -43,6 +46,7 @@ impl Condition {
         Condition::default()
     }
 
+    /// `true` when the condition has no atoms and no comparisons.
     pub fn is_trivial(&self) -> bool {
         self.atoms.is_empty() && self.comparisons.is_empty()
     }
@@ -69,6 +73,7 @@ impl Condition {
         self
     }
 
+    /// Conjoin an `in resource pattern` atom.
     pub fn and_atom(mut self, resource: impl Into<String>, pattern: QueryTerm) -> Condition {
         self.atoms.push(QueryAtom {
             resource: resource.into(),
@@ -78,6 +83,7 @@ impl Condition {
         self
     }
 
+    /// Conjoin a negated `not in resource pattern` atom.
     pub fn and_not_atom(mut self, resource: impl Into<String>, pattern: QueryTerm) -> Condition {
         self.atoms.push(QueryAtom {
             resource: resource.into(),
@@ -119,15 +125,18 @@ impl fmt::Display for Condition {
 /// registered deductive views (Thesis 9).
 #[derive(Clone, Debug, Default)]
 pub struct QueryEngine {
+    /// The documents queries and conditions run against.
     pub store: ResourceStore,
     views: BTreeMap<String, Vec<DeductiveRule>>,
 }
 
 impl QueryEngine {
+    /// An engine with an empty store and no views.
     pub fn new() -> QueryEngine {
         QueryEngine::default()
     }
 
+    /// An engine over an existing store.
     pub fn with_store(store: ResourceStore) -> QueryEngine {
         QueryEngine {
             store,
@@ -141,10 +150,12 @@ impl QueryEngine {
         self.views.entry(uri.into()).or_default().push(rule);
     }
 
+    /// Is `uri` a registered deductive view (vs a stored document)?
     pub fn is_view(&self, uri: &str) -> bool {
         self.views.contains_key(uri)
     }
 
+    /// The URIs of all registered views.
     pub fn view_names(&self) -> impl Iterator<Item = &str> {
         self.views.keys().map(|s| s.as_str())
     }

@@ -32,7 +32,9 @@ impl std::error::Error for EvalError {}
 /// A runtime value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Val {
+    /// A number.
     Num(f64),
+    /// A string.
     Str(String),
 }
 
@@ -45,6 +47,7 @@ impl Val {
         }
     }
 
+    /// String view: integral numbers print without a fraction.
     pub fn as_str(&self) -> String {
         match self {
             Val::Num(n) => {
@@ -62,9 +65,13 @@ impl Val {
 /// Binary arithmetic operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BinOp {
+    /// `+` — numeric addition, or string concatenation.
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/` — errors on a zero divisor.
     Div,
 }
 
@@ -82,22 +89,28 @@ impl fmt::Display for BinOp {
 /// An arithmetic/string expression.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
+    /// A numeric literal.
     Num(f64),
+    /// A string literal.
     Str(String),
     /// `var X` — the bound term's numeric value or text content.
     Var(Sym),
+    /// A binary operation.
     Bin(Box<Expr>, BinOp, Box<Expr>),
 }
 
 impl Expr {
+    /// Convenience: `var X`.
     pub fn var(name: impl Into<Sym>) -> Expr {
         Expr::Var(name.into())
     }
 
+    /// Convenience: a numeric literal.
     pub fn num(n: f64) -> Expr {
         Expr::Num(n)
     }
 
+    /// Convenience: `lhs op rhs`.
     pub fn bin(lhs: Expr, op: BinOp, rhs: Expr) -> Expr {
         Expr::Bin(Box::new(lhs), op, Box::new(rhs))
     }
@@ -176,11 +189,17 @@ impl fmt::Display for Expr {
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CmpOp {
+    /// `==`
     Eq,
+    /// `!=`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
     /// Substring test (string semantics).
     Contains,
@@ -203,12 +222,16 @@ impl fmt::Display for CmpOp {
 /// A comparison between two expressions.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cmp {
+    /// Left-hand expression.
     pub lhs: Expr,
+    /// The operator.
     pub op: CmpOp,
+    /// Right-hand expression.
     pub rhs: Expr,
 }
 
 impl Cmp {
+    /// Build `lhs op rhs`.
     pub fn new(lhs: Expr, op: CmpOp, rhs: Expr) -> Cmp {
         Cmp { lhs, op, rhs }
     }
@@ -237,6 +260,7 @@ impl Cmp {
         })
     }
 
+    /// Variables mentioned on either side, sorted by name.
     pub fn variables(&self) -> Vec<Sym> {
         let mut v = self.lhs.variables();
         v.extend(self.rhs.variables());

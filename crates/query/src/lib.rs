@@ -26,6 +26,8 @@
 //!   registered views. Event bindings *parameterize* conditions: this is the
 //!   event→condition variable flow Thesis 7 calls out.
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod bindings;
 pub mod compiled;

@@ -29,6 +29,7 @@ use crate::bindings::Bindings;
 pub struct Match {
     /// Path of the matched node from the document root.
     pub path: Path,
+    /// Variable bindings the match produced.
     pub bindings: Bindings,
 }
 

@@ -23,11 +23,14 @@ use crate::engine::Condition;
 /// A deductive rule: `CONSTRUCT head FROM body END`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DeductiveRule {
+    /// Construct term instantiated per answer of the body.
     pub head: ConstructTerm,
+    /// Condition whose answers drive the head.
     pub body: Condition,
 }
 
 impl DeductiveRule {
+    /// Build `CONSTRUCT head FROM body END`.
     pub fn new(head: ConstructTerm, body: Condition) -> DeductiveRule {
         DeductiveRule { head, body }
     }

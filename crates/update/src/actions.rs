@@ -14,13 +14,20 @@ pub enum Action {
     Update(Update),
     /// Raise an event towards another Web site (push, Thesis 3). The
     /// payload is constructed from the rule's bindings.
-    Send { to: String, payload: ConstructTerm },
+    Send {
+        /// URI of the receiving node.
+        to: String,
+        /// Construct term instantiated into the event payload.
+        payload: ConstructTerm,
+    },
     /// Explicitly make (event) data persistent by appending it to a
     /// resource — Thesis 4: "if some data from an event must be stored
     /// indefinitely, it should explicitly be made persistent".
     /// Creates the resource (root `persisted[…]`) if missing.
     Persist {
+        /// URI of the resource appended to (created if missing).
         resource: String,
+        /// Construct term instantiated into the persisted entry.
         payload: ConstructTerm,
     },
     /// Append a constructed entry to the executor's log (accounting and
@@ -33,13 +40,18 @@ pub enum Action {
     Alt(Vec<Action>),
     /// Branching inside actions (complements ECAA branching in rules).
     If {
+        /// Condition deciding the branch.
         cond: Condition,
+        /// Action when the condition has an answer.
         then: Box<Action>,
+        /// Optional action when it has none.
         else_: Option<Box<Action>>,
     },
     /// Invoke a named procedure with constructed arguments (Thesis 9).
     Call {
+        /// Name of the procedure ([`ProcedureDef::name`]).
         name: String,
+        /// Positional arguments, instantiated before the call.
         args: Vec<ConstructTerm>,
     },
     /// Always fails — guard branches and failure injection in tests.
@@ -49,14 +61,17 @@ pub enum Action {
 }
 
 impl Action {
+    /// Convenience: a transactional sequence.
     pub fn seq(actions: Vec<Action>) -> Action {
         Action::Seq(actions)
     }
 
+    /// Convenience: ordered alternatives.
     pub fn alt(actions: Vec<Action>) -> Action {
         Action::Alt(actions)
     }
 
+    /// Convenience: `SEND payload TO to`.
     pub fn send(to: impl Into<String>, payload: ConstructTerm) -> Action {
         Action::Send {
             to: to.into(),
@@ -81,13 +96,16 @@ impl Action {
 /// writing the same code in several rules").
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProcedureDef {
+    /// Name rules call the procedure by.
     pub name: String,
     /// Parameter variable names; arguments bind to these positionally.
     pub params: Vec<String>,
+    /// The action executed per call, under the argument bindings.
     pub body: Action,
 }
 
 impl ProcedureDef {
+    /// Define `PROCEDURE name(params) = body`.
     pub fn new(name: impl Into<String>, params: Vec<String>, body: Action) -> ProcedureDef {
         ProcedureDef {
             name: name.into(),

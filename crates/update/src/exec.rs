@@ -23,13 +23,20 @@ use crate::update::apply_update;
 /// Why an action failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ActionError {
+    /// An update or construction failed at the term layer.
     Term(TermError),
+    /// A `CALL` named a procedure that is not defined.
     UnknownProcedure(String),
+    /// A `CALL` passed the wrong number of arguments.
     ArityMismatch {
+        /// The procedure called.
         proc: String,
+        /// Its declared parameter count.
         expected: usize,
+        /// Arguments actually passed.
         got: usize,
     },
+    /// An explicit `FAIL` action ran.
     Failed(String),
     /// All alternatives of an `ALT` failed; holds the last error.
     AllAlternativesFailed(Box<ActionError>),
@@ -67,31 +74,45 @@ impl From<TermError> for ActionError {
 /// A message produced by a `SEND` action, awaiting delivery.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OutMessage {
+    /// URI of the receiving node.
     pub to: String,
+    /// The event payload.
     pub payload: Term,
 }
 
 /// Execution statistics (experiments E8, E9, E12).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ActionStats {
+    /// Primitive actions executed.
     pub actions_run: u64,
+    /// Updates that committed.
     pub updates_applied: u64,
+    /// Document nodes the updates touched.
     pub nodes_affected: u64,
+    /// `SEND` messages placed in the outbox.
     pub messages_sent: u64,
+    /// Transactional sequences rolled back.
     pub rollbacks: u64,
+    /// Conditions evaluated by `IF` actions.
     pub condition_evals: u64,
 }
 
 /// Runs actions against a query engine's store.
 pub struct Executor<'a> {
+    /// The store and views updates and conditions run against.
     pub qe: &'a mut QueryEngine,
+    /// Procedures `CALL` actions can invoke.
     pub procedures: &'a BTreeMap<String, ProcedureDef>,
+    /// Messages produced by `SEND`, awaiting delivery by the host.
     pub outbox: Vec<OutMessage>,
+    /// Entries appended by `LOG` actions.
     pub log: Vec<Term>,
+    /// Execution counters.
     pub stats: ActionStats,
 }
 
 impl<'a> Executor<'a> {
+    /// An executor over `qe` with an empty outbox and log.
     pub fn new(qe: &'a mut QueryEngine, procedures: &'a BTreeMap<String, ProcedureDef>) -> Self {
         Executor {
             qe,

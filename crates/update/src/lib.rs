@@ -23,6 +23,8 @@
 //!   store, collecting outbound messages (the push half of Thesis 3) and
 //!   log entries, with statistics for the experiments.
 
+#![warn(missing_docs)]
+
 pub mod actions;
 pub mod exec;
 pub mod update;

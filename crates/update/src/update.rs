@@ -26,20 +26,30 @@ pub enum UpdateOp {
     /// `INSERT content INTO target` — append the instantiated content as a
     /// child of every element matching `target`.
     Insert {
+        /// Pattern selecting the parent elements.
         target: QueryTerm,
+        /// Construct term instantiated into the new child.
         content: ConstructTerm,
     },
     /// `DELETE target` — remove every node matching `target`.
-    Delete { target: QueryTerm },
+    Delete {
+        /// Pattern selecting the nodes to remove.
+        target: QueryTerm,
+    },
     /// `REPLACE target BY content`.
     Replace {
+        /// Pattern selecting the nodes to replace.
         target: QueryTerm,
+        /// Construct term instantiated into the replacement.
         content: ConstructTerm,
     },
     /// `SETATTR key = content ON target`.
     SetAttr {
+        /// Pattern selecting the elements to annotate.
         target: QueryTerm,
+        /// Attribute name.
         key: String,
+        /// Construct term instantiated into the attribute value.
         value: ConstructTerm,
     },
 }
@@ -47,11 +57,14 @@ pub enum UpdateOp {
 /// An update of one resource.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Update {
+    /// URI of the resource the operation edits.
     pub resource: String,
+    /// The operation.
     pub op: UpdateOp,
 }
 
 impl Update {
+    /// Convenience: `INSERT content INTO target` in `resource`.
     pub fn insert(
         resource: impl Into<String>,
         target: QueryTerm,
@@ -63,6 +76,7 @@ impl Update {
         }
     }
 
+    /// Convenience: `DELETE target` in `resource`.
     pub fn delete(resource: impl Into<String>, target: QueryTerm) -> Update {
         Update {
             resource: resource.into(),
@@ -70,6 +84,7 @@ impl Update {
         }
     }
 
+    /// Convenience: `REPLACE target BY content` in `resource`.
     pub fn replace(
         resource: impl Into<String>,
         target: QueryTerm,
@@ -81,6 +96,7 @@ impl Update {
         }
     }
 
+    /// Convenience: `SETATTR key = value ON target` in `resource`.
     pub fn set_attr(
         resource: impl Into<String>,
         target: QueryTerm,
@@ -97,6 +113,7 @@ impl Update {
         }
     }
 
+    /// The pattern selecting the nodes this update touches.
     pub fn target(&self) -> &QueryTerm {
         match &self.op {
             UpdateOp::Insert { target, .. }

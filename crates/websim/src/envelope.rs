@@ -15,11 +15,17 @@ use reweb_term::{Term, Timestamp};
 /// A message in flight: SOAP-style header + payload body.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Envelope {
+    /// URI of the sending node.
     pub from: String,
+    /// URI of the receiving node.
     pub to: String,
+    /// Virtual time the message left the sender.
     pub sent_at: Timestamp,
+    /// Simulation-wide sequence number (tie-breaks deliveries).
     pub message_id: u64,
+    /// Credentials the sender presents (AAA, Thesis 11).
     pub credentials: Option<Credentials>,
+    /// The event payload.
     pub body: Term,
 }
 

@@ -18,13 +18,19 @@
 //! * [`NetMetrics`] counts every message and byte on the wire, per node
 //!   and total, and records deliveries at [`NodeKind::Sink`] nodes so
 //!   benchmarks can compute reaction latencies.
+//! * A [`NodeKind::Net`] node fronts a real `reweb_net::NetServer` over
+//!   loopback TCP ([`Simulation::add_net_engine`]): simulated deliveries
+//!   cross the actual wire protocol in lockstep, so a networked engine
+//!   can be dropped into any experiment without losing determinism.
+
+#![warn(missing_docs)]
 
 pub mod envelope;
 pub mod node;
 pub mod sim;
 
 pub use envelope::Envelope;
-pub use node::{NodeKind, Poller};
+pub use node::{NetFront, NodeKind, Poller};
 pub use sim::{NetMetrics, Simulation};
 
 pub use reweb_term::TermError;

@@ -1,6 +1,9 @@
-//! Web nodes: engines, resource servers, pollers, and sinks.
+//! Web nodes: engines, resource servers, pollers, sinks, and TCP
+//! fronts.
 
 use reweb_core::{ReactiveEngine, ShardedEngine};
+use reweb_net::wire::Reply;
+use reweb_net::NetClient;
 use reweb_term::{diff_documents, Dur, IdentityMode, ResourceStore, Term, Timestamp};
 
 use crate::envelope::Envelope;
@@ -24,6 +27,11 @@ pub enum NodeKind {
     Poller(Poller),
     /// Records every delivery, for tests and latency measurements.
     Sink(Vec<(Timestamp, Envelope)>),
+    /// A node whose engine is served over real TCP by a
+    /// `reweb_net::NetServer` ([`NetFront`]): simulated deliveries cross
+    /// the wire protocol and the engine's reactions re-enter the
+    /// simulation as ordinary posts.
+    Net(NetFront),
 }
 
 impl NodeKind {
@@ -50,6 +58,7 @@ impl NodeKind {
         }
     }
 
+    /// The engine, if this node is an [`NodeKind::Engine`].
     pub fn as_engine(&self) -> Option<&ReactiveEngine> {
         match self {
             NodeKind::Engine(e) => Some(e),
@@ -57,6 +66,7 @@ impl NodeKind {
         }
     }
 
+    /// Mutable access to the engine of an [`NodeKind::Engine`].
     pub fn as_engine_mut(&mut self) -> Option<&mut ReactiveEngine> {
         match self {
             NodeKind::Engine(e) => Some(e),
@@ -64,6 +74,7 @@ impl NodeKind {
         }
     }
 
+    /// The sharded engine, if this node is an [`NodeKind::Sharded`].
     pub fn as_sharded(&self) -> Option<&ShardedEngine> {
         match self {
             NodeKind::Sharded(e) => Some(e),
@@ -71,6 +82,7 @@ impl NodeKind {
         }
     }
 
+    /// Mutable access to the engine of an [`NodeKind::Sharded`].
     pub fn as_sharded_mut(&mut self) -> Option<&mut ShardedEngine> {
         match self {
             NodeKind::Sharded(e) => Some(e),
@@ -78,11 +90,78 @@ impl NodeKind {
         }
     }
 
+    /// The recorded deliveries, if this node is an [`NodeKind::Sink`].
     pub fn as_sink(&self) -> Option<&[(Timestamp, Envelope)]> {
         match self {
             NodeKind::Sink(v) => Some(v),
             _ => None,
         }
+    }
+}
+
+/// The TCP front of a [`NodeKind::Net`] node: a gateway session on a
+/// `reweb_net::NetServer`, so each simulated delivery keeps its original
+/// sender and credentials on the wire.
+///
+/// Determinism: every forwarded event and clock advance is fenced with a
+/// `sync` round-trip before the simulation's clock moves, so the remote
+/// engine's reactions arrive in a fixed order at a fixed virtual time.
+/// The remote engine's absence deadlines are invisible to the
+/// simulation's deadline scan — schedule explicit wakeups
+/// (`Simulation::schedule_wakeup`) where their timing matters; otherwise
+/// they fire at the next clock advance.
+pub struct NetFront {
+    client: NetClient,
+}
+
+impl NetFront {
+    /// Wrap an established gateway session.
+    pub fn new(client: NetClient) -> NetFront {
+        NetFront { client }
+    }
+
+    /// Collect `(to, payload)` reactions from a fenced flush.
+    fn drain(&mut self) -> Vec<(String, Term)> {
+        match self.client.sync() {
+            Ok(replies) => replies
+                .into_iter()
+                .filter_map(|r| match r {
+                    Reply::Reaction { to, payload, .. } => Some((to, payload)),
+                    // Errors and backpressure replies degrade the remote
+                    // engine to silence for this delivery — the simulated
+                    // Web drops messages, it does not crash.
+                    _ => None,
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Forward one simulated delivery over the wire and return the
+    /// remote engine's reactions.
+    pub(crate) fn forward(&mut self, env: &Envelope, now: Timestamp) -> Vec<(String, Term)> {
+        if self
+            .client
+            .send_event_as(
+                env.from.clone(),
+                env.credentials.clone(),
+                env.body.clone(),
+                Some(now),
+            )
+            .is_err()
+        {
+            return Vec::new();
+        }
+        self.drain()
+    }
+
+    /// Advance the remote engine's clock (absence deadlines) and return
+    /// what fired.
+    pub(crate) fn advance(&mut self, at: Timestamp) -> Vec<(String, Term)> {
+        if self.client.advance(at).is_err() {
+            return Vec::new();
+        }
+        self.drain()
     }
 }
 
@@ -96,10 +175,13 @@ impl NodeKind {
 pub struct Poller {
     /// Resource to watch (owned by whichever node's URI prefixes it).
     pub target: String,
+    /// Polling period.
     pub interval: Dur,
     /// Node to send `changed{…}` events to.
     pub notify: String,
+    /// Identity mode the diff runs under (Thesis 10).
     pub mode: IdentityMode,
+    /// Snapshot from the previous poll (`None` before the first).
     pub last_seen: Option<Term>,
     /// Skip the diff when the resource version is unchanged (cheap
     /// version probe — still a round-trip on the wire).
@@ -107,6 +189,7 @@ pub struct Poller {
 }
 
 impl Poller {
+    /// A poller with no baseline snapshot yet.
     pub fn new(
         target: impl Into<String>,
         interval: Dur,

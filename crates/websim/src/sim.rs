@@ -15,7 +15,7 @@ use reweb_core::{Credentials, MessageMeta, ReactiveEngine, ShardedEngine};
 use reweb_term::{Dur, IdentityMode, ResourceStore, Term, Timestamp};
 
 use crate::envelope::Envelope;
-use crate::node::{NodeKind, Poller};
+use crate::node::{NetFront, NodeKind, Poller};
 
 /// Network traffic and delivery statistics (experiments E2, E3).
 #[derive(Clone, Debug, Default)]
@@ -26,10 +26,13 @@ pub struct NetMetrics {
     pub gets: u64,
     /// Total wire messages (posts + 2×gets).
     pub messages: u64,
+    /// Total wire bytes ([`Envelope::wire_size`]).
     pub bytes: u64,
     /// Deliveries to unknown nodes.
     pub dropped: u64,
+    /// Messages sent, per sending node.
     pub sent_by_node: BTreeMap<String, u64>,
+    /// Messages delivered, per receiving node.
     pub received_by_node: BTreeMap<String, u64>,
     /// (recipient, transit time) per delivery.
     pub delivery_latencies: Vec<(String, Dur)>,
@@ -79,10 +82,12 @@ pub struct Simulation {
     latency_base: Dur,
     jitter_ms: u64,
     rng: StdRng,
+    /// Traffic and delivery counters.
     pub metrics: NetMetrics,
 }
 
 impl Simulation {
+    /// An empty simulated Web; `seed` drives the latency jitter.
     pub fn new(seed: u64) -> Simulation {
         Simulation {
             nodes: BTreeMap::new(),
@@ -106,12 +111,14 @@ impl Simulation {
         self.jitter_ms = jitter_ms;
     }
 
+    /// The current virtual time.
     pub fn now(&self) -> Timestamp {
         self.now
     }
 
     // ----- topology -------------------------------------------------------
 
+    /// Add a reactive node processing its rules locally.
     pub fn add_engine(&mut self, uri: impl Into<String>, engine: ReactiveEngine) {
         self.nodes
             .insert(uri.into(), NodeKind::Engine(Box::new(engine)));
@@ -124,10 +131,30 @@ impl Simulation {
             .insert(uri.into(), NodeKind::Sharded(Box::new(engine)));
     }
 
+    /// Add a node whose engine is served over real TCP by a
+    /// `reweb_net::NetServer` listening at `addr`. Connects a gateway
+    /// session named after the node, so forwarded deliveries keep their
+    /// simulated sender and credentials. See
+    /// [`NetFront`] for the determinism contract
+    /// (lockstep flushes; schedule wakeups for remote absence
+    /// deadlines).
+    pub fn add_net_engine(
+        &mut self,
+        uri: impl Into<String>,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<()> {
+        let uri = uri.into();
+        let client = reweb_net::NetClient::connect_with(addr, uri.clone(), None, true)?;
+        self.nodes.insert(uri, NodeKind::Net(NetFront::new(client)));
+        Ok(())
+    }
+
+    /// Add a passive resource server.
     pub fn add_store(&mut self, uri: impl Into<String>, store: ResourceStore) {
         self.nodes.insert(uri.into(), NodeKind::Store(store));
     }
 
+    /// Add a sink node recording every delivery.
     pub fn add_sink(&mut self, uri: impl Into<String>) {
         self.nodes.insert(uri.into(), NodeKind::Sink(Vec::new()));
     }
@@ -161,22 +188,27 @@ impl Simulation {
         self.outgoing_creds.insert(node.into(), creds);
     }
 
+    /// The node registered at `uri`, if any.
     pub fn node(&self, uri: &str) -> Option<&NodeKind> {
         self.nodes.get(uri)
     }
 
+    /// Mutable access to the node registered at `uri`.
     pub fn node_mut(&mut self, uri: &str) -> Option<&mut NodeKind> {
         self.nodes.get_mut(uri)
     }
 
+    /// The engine at `uri`, if that node is an [`NodeKind::Engine`].
     pub fn engine(&self, uri: &str) -> Option<&ReactiveEngine> {
         self.nodes.get(uri).and_then(NodeKind::as_engine)
     }
 
+    /// The sharded engine at `uri`, if that node is sharded.
     pub fn sharded(&self, uri: &str) -> Option<&ShardedEngine> {
         self.nodes.get(uri).and_then(NodeKind::as_sharded)
     }
 
+    /// Deliveries recorded at the sink `uri` (empty for non-sinks).
     pub fn sink(&self, uri: &str) -> &[(Timestamp, Envelope)] {
         self.nodes
             .get(uri)
@@ -266,17 +298,28 @@ impl Simulation {
             .min()
     }
 
-    /// Advance every engine's clock to `at`, delivering what that produces.
+    /// Advance every engine's clock to `at`, delivering what that
+    /// produces. Net-fronted engines advance over the wire, fenced, so
+    /// their firings land at the same virtual time.
     fn advance_engines(&mut self, at: Timestamp) {
         let uris: Vec<String> = self.nodes.keys().cloned().collect();
         for uri in uris {
-            let outs = match self.nodes.get_mut(&uri) {
-                Some(NodeKind::Engine(e)) => e.advance_time(at),
-                Some(NodeKind::Sharded(e)) => e.advance_time(at),
+            let outs: Vec<(String, Term)> = match self.nodes.get_mut(&uri) {
+                Some(NodeKind::Engine(e)) => e
+                    .advance_time(at)
+                    .into_iter()
+                    .map(|o| (o.to, o.payload))
+                    .collect(),
+                Some(NodeKind::Sharded(e)) => e
+                    .advance_time(at)
+                    .into_iter()
+                    .map(|o| (o.to, o.payload))
+                    .collect(),
+                Some(NodeKind::Net(f)) => f.advance(at),
                 _ => Vec::new(),
             };
-            for o in outs {
-                self.post(&uri, &o.to, o.payload, at);
+            for (to, payload) in outs {
+                self.post(&uri, &to, payload, at);
             }
         }
     }
@@ -317,13 +360,22 @@ impl Simulation {
             Task::Poll { node } => self.poll(node),
             Task::Wakeup { node } => {
                 let now = self.now;
-                let outs = match self.nodes.get_mut(&node) {
-                    Some(NodeKind::Engine(e)) => e.advance_time(now),
-                    Some(NodeKind::Sharded(e)) => e.advance_time(now),
+                let outs: Vec<(String, Term)> = match self.nodes.get_mut(&node) {
+                    Some(NodeKind::Engine(e)) => e
+                        .advance_time(now)
+                        .into_iter()
+                        .map(|o| (o.to, o.payload))
+                        .collect(),
+                    Some(NodeKind::Sharded(e)) => e
+                        .advance_time(now)
+                        .into_iter()
+                        .map(|o| (o.to, o.payload))
+                        .collect(),
+                    Some(NodeKind::Net(f)) => f.advance(now),
                     _ => Vec::new(),
                 };
-                for o in outs {
-                    self.post(&node, &o.to, o.payload, now);
+                for (to, payload) in outs {
+                    self.post(&node, &to, payload, now);
                 }
             }
             Task::UpdateResource { uri, doc } => self.apply_update(uri, doc),
@@ -347,13 +399,16 @@ impl Simulation {
             .entry(owner.clone())
             .or_default() += 1;
         let now = self.now;
-        let outs = match self.nodes.get_mut(&owner) {
+        let outs: Vec<(String, Term)> = match self.nodes.get_mut(&owner) {
             Some(NodeKind::Engine(e)) => {
                 let meta = MessageMeta {
                     from: env.from.clone(),
                     credentials: env.credentials.clone(),
                 };
                 e.receive(env.body.clone(), &meta, now)
+                    .into_iter()
+                    .map(|o| (o.to, o.payload))
+                    .collect()
             }
             Some(NodeKind::Sharded(e)) => {
                 let meta = MessageMeta {
@@ -361,7 +416,15 @@ impl Simulation {
                     credentials: env.credentials.clone(),
                 };
                 e.receive(env.body.clone(), &meta, now)
+                    .into_iter()
+                    .map(|o| (o.to, o.payload))
+                    .collect()
             }
+            // The engine is on the far side of a TCP connection: the
+            // delivery crosses the wire with its simulated sender and
+            // credentials, and the fenced reply stream comes back before
+            // the clock moves.
+            Some(NodeKind::Net(f)) => f.forward(&env, now),
             Some(NodeKind::Sink(v)) => {
                 v.push((now, env));
                 Vec::new()
@@ -370,8 +433,8 @@ impl Simulation {
             Some(_) => Vec::new(),
             None => unreachable!("owner resolved above"),
         };
-        for o in outs {
-            self.post(&owner, &o.to, o.payload, now);
+        for (to, payload) in outs {
+            self.post(&owner, &to, payload, now);
         }
     }
 

@@ -1,0 +1,129 @@
+//! A `NodeKind::Net` node — an engine behind the real TCP ingress tier
+//! — must be indistinguishable from the same engine hosted in-process:
+//! identical sink traces (payload bytes *and* virtual timestamps), with
+//! the simulation's determinism intact.
+
+use reweb_core::{Credentials, ReactiveEngine};
+use reweb_net::{NetConfig, NetServer};
+use reweb_term::{parse_term, Term, Timestamp};
+use reweb_websim::Simulation;
+
+const PROGRAM: &str = r#"
+RULE fwd ON order{{id[[var O]]}} DO SEND ack{id[var O]} TO "http://client" END
+RULE quiet ON absence(ping, ping, 5s) DO SEND alarm TO "http://client" END
+"#;
+
+/// Run the same scenario against a local engine node or a TCP-fronted
+/// one and return the sink trace.
+fn run(net: Option<&NetServer>) -> Vec<(u64, String)> {
+    let mut sim = Simulation::new(7);
+    // Zero transit latency pins every arrival to an exact virtual time,
+    // so the local deadline scan and the explicit wakeup below fire the
+    // absence alarm at the same instant in both runs.
+    sim.set_latency(reweb_term::Dur::millis(0), 0);
+    match net {
+        Some(server) => {
+            server.with_engine(|e| e.install_source(PROGRAM).expect("install remote"));
+            sim.add_net_engine("http://shop", server.local_addr())
+                .expect("connect net node");
+        }
+        None => {
+            let mut engine = ReactiveEngine::new("http://shop");
+            engine.install_program(PROGRAM).expect("install local");
+            sim.add_engine("http://shop", engine);
+        }
+    }
+    sim.add_sink("http://client");
+    sim.post(
+        "http://client",
+        "http://shop",
+        parse_term("order{id[\"o1\"]}").unwrap(),
+        Timestamp(0),
+    );
+    sim.post(
+        "http://client",
+        "http://shop",
+        Term::elem("ping"),
+        Timestamp(0),
+    );
+    // Remote absence deadlines are invisible to the simulation's
+    // deadline scan, so both runs drive the alarm with the same
+    // explicit wakeup at exactly the deadline (ping at 0 + 5s).
+    sim.schedule_wakeup("http://shop", Timestamp(5_000));
+    sim.run_until(Timestamp(10_000));
+    sim.sink("http://client")
+        .iter()
+        .map(|(t, e)| (t.millis(), e.body.to_string()))
+        .collect()
+}
+
+#[test]
+fn tcp_fronted_node_matches_local_engine() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://shop"),
+        NetConfig::default(),
+    )
+    .expect("bind");
+    let local = run(None);
+    let networked = run(Some(&server));
+    assert!(
+        local.iter().any(|(_, b)| b.starts_with("ack")),
+        "scenario exercises rules: {local:?}"
+    );
+    assert!(
+        local.iter().any(|(_, b)| b == "alarm"),
+        "scenario exercises deadlines: {local:?}"
+    );
+    assert_eq!(local, networked, "TCP front must be invisible to the sim");
+}
+
+/// Credentials attached by the simulation ride the gateway session's
+/// per-event override, so AAA on the far side of the wire sees the same
+/// principal it would in-process.
+#[test]
+fn credentials_cross_the_wire() {
+    let mut engine = ReactiveEngine::new("http://secure");
+    engine.aaa = reweb_core::aaa::Aaa::new(reweb_core::AaaConfig {
+        require_auth: true,
+        authorize: false,
+        accounting: false,
+        accounting_events: false,
+    });
+    engine.aaa.register("franz", "pw", vec![]);
+    engine
+        .install_program(r#"RULE ok ON ping DO SEND pong TO "http://client" END"#)
+        .unwrap();
+    let server = NetServer::bind("127.0.0.1:0", engine, NetConfig::default()).expect("bind");
+
+    let mut sim = Simulation::new(7);
+    sim.add_net_engine("http://secure", server.local_addr())
+        .expect("connect");
+    sim.add_sink("http://client");
+    // Without credentials: denied by the remote AAA.
+    sim.post(
+        "http://client",
+        "http://secure",
+        Term::elem("ping"),
+        Timestamp(0),
+    );
+    sim.run_until(Timestamp(1_000));
+    assert_eq!(sim.sink("http://client").len(), 0);
+    // With credentials: accepted.
+    sim.set_outgoing_credentials(
+        "http://client",
+        Credentials {
+            principal: "franz".into(),
+            secret: "pw".into(),
+        },
+    );
+    sim.post(
+        "http://client",
+        "http://secure",
+        Term::elem("ping"),
+        Timestamp(2_000),
+    );
+    sim.run_until(Timestamp(3_000));
+    assert_eq!(sim.sink("http://client").len(), 1);
+    assert_eq!(sim.sink("http://client")[0].1.body.label(), Some("pong"));
+}

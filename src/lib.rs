@@ -22,6 +22,9 @@
 //!   primary contribution), including meta-rules, trust negotiation and AAA.
 //! * [`persist`] — durability: write-ahead log, snapshots, and crash
 //!   recovery wrapping single or sharded engines ([`DurableEngine`]).
+//! * [`net`] — the networked ingress tier: a framed TCP listener,
+//!   backpressured router, and per-client reply streams in front of any
+//!   engine ([`NetServer`], [`NetClient`]; `docs/WIRE_PROTOCOL.md`).
 //! * [`production`] — the production-rule (Condition-Action) baseline.
 //! * [`websim`] — deterministic discrete-event simulation of Web nodes.
 //!
@@ -37,7 +40,11 @@ pub use reweb_events as events;
 pub use reweb_persist as persist;
 // Durability is likewise a facade-level concern: a node that must
 // survive restarts wraps its engine once, here.
+pub use reweb_net as net;
 pub use reweb_persist::{DurableEngine, DurableOptions, SyncPolicy};
+// Serving over TCP is the facade-level entry point to the whole stack:
+// bind a server around any engine, point clients at it.
+pub use reweb_net::{NetClient, NetConfig, NetServer};
 pub use reweb_production as production;
 pub use reweb_query as query;
 pub use reweb_term as term;
