@@ -19,15 +19,17 @@
 //! throughput), E14 (single-engine hot path), E15 (durable-mode
 //! ingestion + cold recovery), E16 (compiled-matcher rule scaling,
 //! 100 → 100k installed rules), E17 (indexed vs scan beta joins,
-//! 100 → 10k composite rules plus the occupancy axis), and E18 (TCP
-//! loopback ingress at 1 → 8 clients), full 100k-event workloads — and
-//! writes their numbers as one JSON file;
+//! 100 → 10k composite rules plus the occupancy axis), E18 (TCP
+//! loopback ingress at 1 → 8 clients), and E18b (outbound delivery
+//! under a receiver kill/recover cycle, with its recovery time), full
+//! 100k-event workloads — and writes their numbers as one JSON file;
 //! `--check-floor <baseline>` additionally compares the run against a
 //! committed baseline and exits non-zero when parallel throughput fell
 //! more than 25% below it (normalized by the same run's single-engine
 //! rate, so machine speed cancels), when the absolute E14 hot-path,
-//! E15 durable-ingestion, E16 100k-rule, E17 10k-composite, or E18
-//! loopback-ingress rates fell more than 25% below their conservatively
+//! E15 durable-ingestion, E16 100k-rule, E17 10k-composite, E18
+//! loopback-ingress, or E18b delivery-push rates fell more than 25%
+//! below their conservatively
 //! rounded committed floors, or when the same run's E16 per-event cost
 //! is no longer flat in the rule count, or when the same run's E17
 //! indexed join is no longer ≥2x the scan join at the largest occupancy
@@ -96,10 +98,16 @@ fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
     eprintln!("running E18 (100k events per rung, TCP loopback at 1/2/4/8 clients)…");
     let net = experiments::e18_report(100_000);
     println!("{}", experiments::e18_table(&net).to_markdown());
+    eprintln!("running E18b (2k live + 200 faulted reactions, kill/recover delivery)…");
+    let delivery = experiments::e18_delivery_report(2_000, 200);
+    println!(
+        "{}",
+        experiments::e18_delivery_table(&delivery).to_markdown()
+    );
     if let Some(path) = json_out {
         std::fs::write(
             path,
-            experiments::bench_json(&report, &hot, &durable, &rules, &joins, &net),
+            experiments::bench_json(&report, &hot, &durable, &rules, &joins, &net, &delivery),
         )
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
@@ -108,7 +116,7 @@ fn bench_perf(json_out: Option<&str>, floor_baseline: Option<&str>) {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         match experiments::check_floor(
-            &report, &hot, &durable, &rules, &joins, &net, &baseline, 0.25,
+            &report, &hot, &durable, &rules, &joins, &net, &delivery, &baseline, 0.25,
         ) {
             Ok(summary) => {
                 println!("## Performance floor: OK (baseline {path}, 25% tolerance)\n");
@@ -156,8 +164,9 @@ fn main() {
         return;
     }
     if let Some(bad) = args.iter().find(|a| {
-        let up = a.to_uppercase();
-        !experiments::RUNNERS.iter().any(|(id, _)| *id == up)
+        !experiments::RUNNERS
+            .iter()
+            .any(|(id, _)| id.eq_ignore_ascii_case(a))
     }) {
         let ids: Vec<&str> = experiments::RUNNERS.iter().map(|(id, _)| *id).collect();
         eprintln!(
@@ -166,12 +175,11 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let wanted: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
-    let run_all = wanted.is_empty();
+    let run_all = args.is_empty();
 
     println!("# reweb experiment tables (E1…E18)\n");
     for (id, run) in experiments::RUNNERS {
-        if run_all || wanted.iter().any(|w| w == id) {
+        if run_all || args.iter().any(|w| id.eq_ignore_ascii_case(w)) {
             eprintln!("running {id}…");
             let table = run();
             println!("{}", table.to_markdown());

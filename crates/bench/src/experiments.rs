@@ -26,7 +26,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 18] = [
+pub const RUNNERS: [(&str, Runner); 19] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -45,6 +45,7 @@ pub const RUNNERS: [(&str, Runner); 18] = [
     ("E16", e16_rules_scaling),
     ("E17", e17_indexed_joins),
     ("E18", e18_net_loopback),
+    ("E18b", e18b_delivery_under_fault),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -2141,9 +2142,199 @@ pub fn e18_table(r: &E18Report) -> Table {
     t
 }
 
+/// The E18 delivery-under-fault measurements: the outbound delivery
+/// agent pushing reactions end-to-end while the receiver crashes and
+/// recovers (DESIGN.md §1g).
+#[derive(Debug, Clone)]
+pub struct E18DeliveryReport {
+    /// Reactions offered while the receiver was up.
+    pub live_events: usize,
+    /// Reactions offered while the receiver was down (all of them must
+    /// dead-letter — the budget is exhausted against a dead port).
+    pub faulted_events: usize,
+    /// Reactions delivered and acked in the live phase.
+    pub delivered_live: u64,
+    /// Reactions that exhausted the retry budget while the receiver was
+    /// down. Must equal `faulted_events`: nothing is silently dropped.
+    pub dead_lettered: u64,
+    /// Dead letters re-queued (and then delivered) after recovery.
+    pub redelivered: u64,
+    /// Sustained live push rate in 1000 events/s: journaled outbox
+    /// append + fsync, framed wire push, receiver-side ledger fsync, and
+    /// ack — per reaction. The number the `net-delivery` floor gates.
+    pub kevents_per_s: f64,
+    /// Wall-clock milliseconds from the receiver's restart until its
+    /// ingested ledger accounts for every offered reaction (restart +
+    /// route update + `redeliver` + the full dead-letter drain).
+    pub recovery_ms: f64,
+}
+
+/// Measure the delivery agent under a receiver kill/recover cycle.
+///
+/// Three phases: (1) `live_events` reactions push end-to-end while the
+/// receiver is up — the sustained rate; (2) the receiver is killed and
+/// `faulted_events` more are offered, every one retried to budget
+/// exhaustion and dead-lettered; (3) the receiver restarts from its
+/// journaled ledger, `redeliver` re-queues the dead letters under their
+/// original keys, and the clock stops when the receiver's ledger
+/// accounts for every reaction offered — the recovery time.
+pub fn e18_delivery_report(live_events: usize, faulted_events: usize) -> E18DeliveryReport {
+    use reweb_net::{BackoffPolicy, DeliveryAgent, DeliveryConfig, NetConfig, NetServer};
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("reweb-e18-delivery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("E18 delivery scratch dir");
+    let ledger = dir.join("ledger.log");
+    let bind = |ledger: &std::path::Path| {
+        NetServer::bind(
+            "127.0.0.1:0",
+            ReactiveEngine::new("http://b/"),
+            NetConfig {
+                delivery_journal: Some(ledger.to_path_buf()),
+                ..NetConfig::default()
+            },
+        )
+        .expect("E18 delivery receiver binds")
+    };
+    let receiver = bind(&ledger);
+    let mut agent = DeliveryAgent::new(DeliveryConfig {
+        from: "http://a/".into(),
+        // Tight ladder: the bench measures the machinery, not the waits.
+        backoff: BackoffPolicy {
+            base_ms: 1,
+            max_ms: 2,
+            jitter_ms: 0,
+        },
+        retry_budget: 2,
+        connect_timeout: Duration::from_millis(300),
+        io_timeout: Duration::from_millis(1_000),
+        outbox: Some(dir.join("outbox.log")),
+        dead_letter: Some(dir.join("dead.log")),
+    })
+    .expect("E18 delivery agent");
+    agent.add_route("http://b/", receiver.local_addr());
+
+    let payload_at = |i: usize| {
+        (
+            parse_term(&format!("r{}{{n[\"{i}\"]}}", i % 16)).expect("E18 delivery payload"),
+            Timestamp(i as u64),
+        )
+    };
+
+    // Phase 1: receiver up — the sustained end-to-end push rate.
+    let (_, secs) = timed(|| {
+        for i in 0..live_events {
+            let (p, at) = payload_at(i);
+            assert!(agent.enqueue("http://b/push", at, &p), "route exists");
+        }
+        assert!(agent.flush(Duration::from_secs(300)), "E18 live flush");
+    });
+    let delivered_live = agent.stats().delivered;
+    assert_eq!(
+        delivered_live, live_events as u64,
+        "E18 delivery accounting: every live reaction delivered"
+    );
+
+    // Phase 2: kill the receiver; everything offered now must exhaust
+    // its budget and dead-letter — never silently drop.
+    let mut down = receiver;
+    down.shutdown();
+    drop(down);
+    for i in live_events..live_events + faulted_events {
+        let (p, at) = payload_at(i);
+        assert!(agent.enqueue("http://b/push", at, &p), "route exists");
+    }
+    assert!(agent.flush(Duration::from_secs(300)), "E18 faulted flush");
+    let dead_lettered = agent.stats().dead_lettered;
+    assert_eq!(
+        dead_lettered, faulted_events as u64,
+        "E18 delivery accounting: dead letters equal the undeliverable remainder"
+    );
+
+    // Phase 3: restart from the journaled ledger, redeliver, and stop
+    // the clock when the receiver accounts for everything.
+    let want = live_events + faulted_events;
+    let (_, rec_secs) = timed(|| {
+        let receiver = bind(&ledger);
+        agent.add_route("http://b/", receiver.local_addr());
+        agent.redeliver().expect("E18 redeliver");
+        assert!(agent.flush(Duration::from_secs(300)), "E18 recovery flush");
+        for _ in 0..10_000 {
+            if receiver.delivered().len() == want {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            receiver.delivered().len(),
+            want,
+            "E18 at-least-once: the recovered ledger accounts for every reaction"
+        );
+    });
+    let redelivered = agent.stats().redelivered;
+    agent.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    E18DeliveryReport {
+        live_events,
+        faulted_events,
+        delivered_live,
+        dead_lettered,
+        redelivered,
+        kevents_per_s: delivered_live as f64 / secs / 1_000.0,
+        recovery_ms: rec_secs * 1_000.0,
+    }
+}
+
+/// Render an [`E18DeliveryReport`] as the experiment table.
+pub fn e18_delivery_table(r: &E18DeliveryReport) -> Table {
+    let mut t = Table::new(
+        "E18b",
+        "outbound delivery under fault",
+        format!(
+            "{} reactions pushed live, {} offered into a crashed receiver, \
+             then recovery + redelivery",
+            r.live_events, r.faulted_events
+        ),
+        vec![
+            "offered",
+            "delivered_live",
+            "dead_lettered",
+            "redelivered",
+            "kevents_per_s",
+            "recovery_ms",
+        ],
+    )
+    .with_note(
+        "Claim: the delivery agent degrades gracefully — reactions to a \
+         dead destination retry on the backoff ladder, dead-letter when \
+         the budget is spent (delivered + dead-lettered always equals \
+         offered; nothing is silently dropped), and `redeliver` after \
+         recovery completes the receiver's ingested ledger exactly \
+         (at-least-once, deduplicated by key on the receiver). CI gates \
+         the live push rate absolutely as `net-delivery`; recovery_ms \
+         is informational.",
+    );
+    t.row(vec![
+        (r.live_events + r.faulted_events).to_string(),
+        r.delivered_live.to_string(),
+        r.dead_lettered.to_string(),
+        r.redelivered.to_string(),
+        f(r.kevents_per_s),
+        format!("{:.1}", r.recovery_ms),
+    ]);
+    t
+}
+
+/// E18b (delivery agent): the outbound push loop under a receiver
+/// kill/recover cycle, sized for the committed table.
+pub fn e18b_delivery_under_fault() -> Table {
+    e18_delivery_table(&e18_delivery_report(2_000, 200))
+}
+
 /// Serialize the E13 + E14 + E15 + E16 + E17 + E18 reports as the
-/// `--bench-json` payload (schema `reweb-bench/v6` — v5 plus the E18
-/// `net-loopback` and `net-ramp` rows).
+/// `--bench-json` payload (schema `reweb-bench/v7` — v6 plus the E18b
+/// `net-delivery` row).
 /// Flat rows, one small object per measurement, so the floor check (and
 /// any CI tooling) can read it without a JSON library. The E14
 /// measurement is the `hotpath` row, E15's throughput the `durable` row,
@@ -2156,7 +2347,10 @@ pub fn e18_table(r: &E18Report) -> Table {
 /// (informational: the ≥2x gate recomputes from the same run), and
 /// E18's loopback ramp the `net-loopback` row (absolute floor on the
 /// best sustained rate) plus per-rung `net-ramp` rows (informational;
-/// `shards` carries the client count).
+/// `shards` carries the client count), and E18b's delivery-under-fault
+/// run the `net-delivery` row (absolute floor on the live push rate;
+/// `dead_lettered`, `redelivered`, and `recovery_ms` ride along
+/// informationally).
 pub fn bench_json(
     r: &E13Report,
     e14: &E14Report,
@@ -2164,6 +2358,7 @@ pub fn bench_json(
     e16: &E16Report,
     e17: &E17Report,
     e18: &E18Report,
+    e18b: &E18DeliveryReport,
 ) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
@@ -2224,6 +2419,11 @@ pub fn bench_json(
             row.clients, row.kevents_per_s, row.busy_replies, row.queue_highwater
         ));
     }
+    rows.push(format!(
+        "    {{\"engine\": \"net-delivery\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+         \"dead_lettered\": {}, \"redelivered\": {}, \"recovery_ms\": {:.1}}}",
+        e18b.kevents_per_s, e18b.dead_lettered, e18b.redelivered, e18b.recovery_ms
+    ));
     for row in &r.rows {
         rows.push(format!(
             "    {{\"engine\": \"sharded\", \"shards\": {}, \"kevents_per_s\": {:.3}}}",
@@ -2235,7 +2435,7 @@ pub fn bench_json(
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-bench/v6\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v7\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -2298,6 +2498,7 @@ pub fn check_floor(
     current_e16: &E16Report,
     current_e17: &E17Report,
     current_e18: &E18Report,
+    current_e18b: &E18DeliveryReport,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -2512,6 +2713,36 @@ pub fn check_floor(
             ));
         }
     }
+    // E18b: absolute outbound-delivery floor (baselines that predate the
+    // delivery agent skip it; conservatively rounded like E14/E15). The
+    // live push rate is fsync-bound twice per reaction (sender outbox
+    // append, receiver ledger record), so the gate catches the same
+    // regression class as E15: an extra fsync, a lost write batch, or a
+    // per-delivery reconnect collapses it by an order of magnitude.
+    // recovery_ms rides along informationally — wall-clock recovery time
+    // is too host-dependent to gate.
+    if let Some(&(_, _, base_dlv)) = baseline.iter().find(|(e, _, _)| e == "net-delivery") {
+        let floor = base_dlv * (1.0 - tolerance);
+        summary.push_str(&format!(
+            "E18b outbound delivery: {:.1} ke/s live push (committed floor \
+             baseline {base_dlv:.1}, gate {floor:.1}); {} dead-lettered, \
+             {} redelivered, recovery {:.1} ms\n",
+            current_e18b.kevents_per_s,
+            current_e18b.dead_lettered,
+            current_e18b.redelivered,
+            current_e18b.recovery_ms
+        ));
+        if current_e18b.kevents_per_s < floor {
+            failures.push(format!(
+                "E18b outbound delivery {:.1} ke/s fell below the floor {floor:.1} \
+                 (baseline {base_dlv:.1} - {:.0}% tolerance) — check the per-destination \
+                 worker: one persistent connection per destination, outbox appends \
+                 batched ahead of the dial, never a reconnect per reaction",
+                current_e18b.kevents_per_s,
+                tolerance * 100.0
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -2522,7 +2753,7 @@ pub fn check_floor(
     }
 }
 
-/// Run all eighteen experiments.
+/// Run all experiments (E1–E18 plus the E18b delivery-under-fault run).
 pub fn all() -> Vec<Table> {
     vec![
         e1_eca_vs_production(),
@@ -2543,6 +2774,7 @@ pub fn all() -> Vec<Table> {
         e16_rules_scaling(),
         e17_indexed_joins(),
         e18_net_loopback(),
+        e18b_delivery_under_fault(),
     ]
 }
 
@@ -2712,6 +2944,18 @@ mod tests {
         }
     }
 
+    fn e18b(rate: f64) -> E18DeliveryReport {
+        E18DeliveryReport {
+            live_events: 1000,
+            faulted_events: 100,
+            delivered_live: 1000,
+            dead_lettered: 100,
+            redelivered: 100,
+            kevents_per_s: rate,
+            recovery_ms: 12.0,
+        }
+    }
+
     /// `rate_10k` drives the absolute composite floor; `ix`/`sc` the
     /// same-run occupancy speedup gate.
     fn e17(rate_10k: f64, ix: f64, sc: f64) -> E17Report {
@@ -2753,8 +2997,9 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
         );
-        assert!(json.contains("reweb-bench/v6"), "schema bumped for E18");
+        assert!(json.contains("reweb-bench/v7"), "schema bumped for E18b");
         let rows = e13_parse_rows(&json);
         assert_eq!(
             rows,
@@ -2771,6 +3016,7 @@ mod tests {
                 ("join-scan".to_string(), 1, 20.0),
                 ("net-loopback".to_string(), 1, 55.0),
                 ("net-ramp".to_string(), 1, 55.0),
+                ("net-delivery".to_string(), 1, 44.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -2801,6 +3047,7 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
         );
         // A 4x faster machine with the same 2.0x scaling passes…
         assert!(check_floor(
@@ -2810,6 +3057,7 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -2822,6 +3070,7 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -2835,6 +3084,7 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -2850,6 +3100,7 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &gutted,
             0.25,
         )
@@ -2880,6 +3131,7 @@ mod tests {
             &e16(90.0, 75.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
         );
         let ok16 = e16(90.0, 75.0);
         // At the baseline rate: fine. 25% below 80 = 60 is the gate.
@@ -2890,6 +3142,7 @@ mod tests {
             &ok16,
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -2901,6 +3154,7 @@ mod tests {
             &ok16,
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -2912,6 +3166,7 @@ mod tests {
             &ok16,
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -2930,6 +3185,7 @@ mod tests {
             &ok16,
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &old,
             0.25
         )
@@ -2959,6 +3215,7 @@ mod tests {
             &e16(90.0, 60.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
         );
         // At and above the committed 100k-rule floor: fine (gate = 45).
         assert!(check_floor(
@@ -2968,6 +3225,7 @@ mod tests {
             &e16(90.0, 60.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -2979,6 +3237,7 @@ mod tests {
             &e16(90.0, 46.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -2991,6 +3250,7 @@ mod tests {
             &e16(80.0, 44.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -3006,6 +3266,7 @@ mod tests {
             &e16(200.0, 56.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -3025,6 +3286,7 @@ mod tests {
             &e16(90.0, 1.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &old,
             0.25
         )
@@ -3036,6 +3298,7 @@ mod tests {
             &e16(90.0, 60.0),
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &old,
             0.25
         )
@@ -3066,6 +3329,7 @@ mod tests {
             &ok16,
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
         );
         // At and above the committed composite floor: fine (gate = 52.5).
         assert!(check_floor(
@@ -3075,6 +3339,7 @@ mod tests {
             &ok16,
             &e17(53.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -3087,6 +3352,7 @@ mod tests {
             &ok16,
             &e17(50.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -3101,6 +3367,7 @@ mod tests {
             &ok16,
             &e17(70.0, 30.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -3120,6 +3387,7 @@ mod tests {
             &ok16,
             &e17(1.0, 100.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &old,
             0.25
         )
@@ -3131,6 +3399,7 @@ mod tests {
             &ok16,
             &e17(70.0, 30.0, 20.0),
             &e18(55.0),
+            &e18b(44.0),
             &old,
             0.25
         )
@@ -3155,7 +3424,15 @@ mod tests {
         };
         let ok16 = e16(90.0, 75.0);
         let ok17 = e17(70.0, 100.0, 20.0);
-        let baseline = bench_json(&report, &e14(80.0), &e15(40.0), &ok16, &ok17, &e18(55.0));
+        let baseline = bench_json(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+        );
         // At and above the committed loopback floor: fine (gate = 41.25).
         assert!(check_floor(
             &report,
@@ -3164,6 +3441,7 @@ mod tests {
             &ok16,
             &ok17,
             &e18(42.0),
+            &e18b(44.0),
             &baseline,
             0.25
         )
@@ -3176,6 +3454,7 @@ mod tests {
             &ok16,
             &ok17,
             &e18(40.0),
+            &e18b(44.0),
             &baseline,
             0.25,
         )
@@ -3194,10 +3473,98 @@ mod tests {
             &ok16,
             &ok17,
             &e18(1.0),
+            &e18b(44.0),
             &old,
             0.25
         )
         .is_ok());
+    }
+
+    #[test]
+    fn e18b_floor_is_absolute() {
+        let report = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 100.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 150.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let ok16 = e16(90.0, 75.0);
+        let ok17 = e17(70.0, 100.0, 20.0);
+        let baseline = bench_json(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+        );
+        // At and above the committed delivery floor: fine (gate = 33).
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(34.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        // Below the absolute gate: fails, naming E18b.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(32.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("a delivery-agent collapse must trip the floor");
+        assert!(err.contains("E18b"), "{err}");
+        // A pre-E18b baseline (no net-delivery row) skips the gate.
+        let old = baseline
+            .lines()
+            .filter(|l| !l.contains("net-delivery"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(1.0),
+            &old,
+            0.25
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn e18b_delivery_shapes() {
+        // Small sizes: the shape is the accounting, not the rate. Every
+        // live reaction delivers; every faulted one dead-letters (never a
+        // silent drop); redelivery accounts for the full remainder.
+        let r = e18_delivery_report(60, 6);
+        assert_eq!(r.delivered_live, 60);
+        assert_eq!(r.dead_lettered, 6);
+        assert_eq!(r.redelivered, 6);
+        assert!(r.kevents_per_s > 0.0);
+        assert!(r.recovery_ms > 0.0);
     }
 
     #[test]

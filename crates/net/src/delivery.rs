@@ -1,0 +1,1036 @@
+//! The outbound delivery agent: the push half of Thesis 2.
+//!
+//! The ingress tier reports every reaction back to its submitter; this
+//! module is what makes `reaction{to[addr]}` actually *reach* `addr`.
+//! A [`DeliveryAgent`] attached to a server (or fed directly) keeps one
+//! ordered queue per destination URI, resolves each destination against
+//! a longest-prefix route table, dials the peer over the same framed
+//! wire protocol, and pushes the reaction as a `deliver` request. The
+//! reliability ladder, in order of escalation:
+//!
+//! 1. **At-least-once.** Every reaction is journaled to a durable
+//!    outbox ([`reweb_persist::outbox`]) *before* the first dial; only
+//!    the peer's `accepted` reply settles it. A crash of the sender
+//!    re-queues the unsettled remainder on restart.
+//! 2. **Retry with backoff.** Connect failures, I/O timeouts, dropped
+//!    connections, and retryable replies (`busy`, `throttled`,
+//!    `shutting-down`) put the destination to sleep on its
+//!    [`crate::BackoffPolicy`] ladder — exponential, jittered by the
+//!    delivery's stable sequence number — and redial. The head of a
+//!    destination queue blocks the rest: per-destination order is
+//!    never traded for progress.
+//! 3. **Dead-letter, never drop.** A delivery that exhausts its retry
+//!    budget moves to a CRC-framed dead-letter log
+//!    ([`reweb_term::frame`], same format as the WAL), freeing the
+//!    queue behind it. Dead letters survive restarts, are inspectable
+//!    ([`DeliveryAgent::dead_letters`]), and are re-queued *under
+//!    their original keys* by [`DeliveryAgent::redeliver`] once the
+//!    destination is back — the receiver's key-based deduplication
+//!    makes the retry idempotent.
+//!
+//! Duplicates are possible by design (an ack lost in a crash or a
+//! dropped connection re-sends an already-ingested reaction); the
+//! receiving server deduplicates by delivery key against its
+//! [`DeliveryLedger`], so the *ingested* sequence per destination is
+//! exactly-once and in order. The fault-injection hooks
+//! ([`DeliveryAgent::inject_connect_failures`],
+//! [`DeliveryAgent::inject_drop_before_ack`],
+//! [`DeliveryAgent::inject_slow_peer`]) exist so the tests exercise
+//! every rung of the ladder deterministically.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use reweb_persist::outbox::{Outbox, PendingDelivery, Settle};
+use reweb_persist::SyncPolicy;
+use reweb_term::frame::{crc32, scan_frames, write_frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use reweb_term::{parse_term, Term, Timestamp};
+
+use crate::limit::BackoffPolicy;
+use crate::wire::{ErrorCode, Reply, Request};
+
+/// Tuning knobs of a [`DeliveryAgent`].
+#[derive(Debug, Clone)]
+pub struct DeliveryConfig {
+    /// The sender's URI: the `hello` identity of every outbound
+    /// session, and the prefix of every delivery key
+    /// (`<from>#<outbox-seq>`).
+    pub from: String,
+    /// Retry ladder between failed attempts (see
+    /// [`DeliveryConfig::default`] for the shipped ladder).
+    pub backoff: BackoffPolicy,
+    /// Attempts per delivery before it dead-letters. An attempt is one
+    /// dial-and-push cycle that did not end in an `accepted`.
+    pub retry_budget: u32,
+    /// TCP connect timeout per dial.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on an open session (a peer that accepts the
+    /// connection but never answers counts as a failed attempt).
+    pub io_timeout: Duration,
+    /// Durable outbox journal path; `None` keeps the pending set in
+    /// memory only (sender crashes then lose unsettled deliveries —
+    /// fine for tests, not for a durable node).
+    pub outbox: Option<PathBuf>,
+    /// Dead-letter log path; `None` keeps dead letters in memory only.
+    pub dead_letter: Option<PathBuf>,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> DeliveryConfig {
+        DeliveryConfig {
+            from: "http://local/".into(),
+            backoff: BackoffPolicy {
+                base_ms: 50,
+                max_ms: 2_000,
+                jitter_ms: 25,
+            },
+            retry_budget: 8,
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(2_000),
+            outbox: None,
+            dead_letter: None,
+        }
+    }
+}
+
+/// A reaction that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The delivery's stable outbox sequence number (its wire key is
+    /// `<from>#<seq>`).
+    pub seq: u64,
+    /// Destination URI that could not be reached.
+    pub to: String,
+    /// Event time of the originating reaction.
+    pub at: Timestamp,
+    /// The reaction term.
+    pub payload: Term,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+}
+
+/// Point-in-time counters of a [`DeliveryAgent`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Reactions accepted into a destination queue.
+    pub enqueued: u64,
+    /// Reactions acknowledged by their destination.
+    pub delivered: u64,
+    /// Reactions moved to the dead-letter log.
+    pub dead_lettered: u64,
+    /// Reactions re-queued by [`DeliveryAgent::redeliver`].
+    pub redelivered: u64,
+    /// Acks that came back flagged duplicate (the peer had already
+    /// ingested the key — a retry crossed a lost ack).
+    pub duplicate_acks: u64,
+    /// Dial-and-push attempts that failed (connect, I/O, retryable
+    /// replies).
+    pub failed_attempts: u64,
+    /// Reactions skipped at enqueue because no route matched their
+    /// destination (they still reached their submitter as a `reaction`
+    /// reply; they were never the agent's to deliver).
+    pub unrouted: u64,
+}
+
+struct Queued {
+    seq: u64,
+    at: Timestamp,
+    payload: Term,
+    attempts: u32,
+}
+
+struct AgentState {
+    queues: HashMap<String, VecDeque<Queued>>,
+    outbox: Option<Outbox>,
+    dead: Vec<DeadLetter>,
+    dead_file: Option<File>,
+    stats: DeliveryStats,
+}
+
+struct AgentInner {
+    cfg: DeliveryConfig,
+    routes: Mutex<Vec<(String, SocketAddr)>>,
+    state: Mutex<AgentState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    // Fault injection (tests): counters/delays consumed by workers.
+    fault_connect: Mutex<Vec<(String, u32)>>,
+    fault_drop_ack: Mutex<Vec<(String, u32)>>,
+    fault_slow: Mutex<Vec<(String, Duration)>>,
+}
+
+/// The delivery agent. Cloning the handle is cheap (shared state);
+/// worker threads — one per active destination — are owned by the
+/// handle that created them and joined by [`DeliveryAgent::shutdown`].
+pub struct DeliveryAgent {
+    inner: Arc<AgentInner>,
+    workers: Vec<(String, JoinHandle<()>)>,
+}
+
+/// A cheap cloneable feed handle: just enough surface for the server's
+/// driver thread to hand reactions over.
+#[derive(Clone)]
+pub struct DeliveryHandle {
+    inner: Arc<AgentInner>,
+}
+
+impl DeliveryHandle {
+    /// See [`DeliveryAgent::enqueue`].
+    pub fn enqueue(&self, to: &str, at: Timestamp, payload: &Term) -> bool {
+        enqueue_inner(&self.inner, to, at, payload, None)
+    }
+}
+
+fn dead_letter_to_bytes(d: &DeadLetter) -> Vec<u8> {
+    Term::build("dl")
+        .unordered()
+        .field("seq", d.seq.to_string())
+        .field("to", &d.to)
+        .field("at", d.at.millis().to_string())
+        .field("attempts", d.attempts.to_string())
+        .child(Term::ordered("payload", vec![d.payload.clone()]))
+        .finish()
+        .to_string()
+        .into_bytes()
+}
+
+fn dead_letter_from_bytes(bytes: &[u8]) -> std::io::Result<DeadLetter> {
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let text = std::str::from_utf8(bytes).map_err(|_| bad("dead letter is not UTF-8".into()))?;
+    let t = parse_term(text).map_err(|e| bad(format!("unparsable dead letter: {e}")))?;
+    if t.label() != Some("dl") {
+        return Err(bad(format!("expected dl{{…}}, got {t}")));
+    }
+    let field = |name: &str| -> std::io::Result<String> {
+        t.children()
+            .iter()
+            .find(|c| c.label() == Some(name))
+            .map(|c| c.text_content())
+            .ok_or_else(|| bad(format!("dead letter field `{name}` missing")))
+    };
+    let num = |name: &str| -> std::io::Result<u64> {
+        field(name)?
+            .parse()
+            .map_err(|_| bad(format!("dead letter field `{name}` is not a number")))
+    };
+    let payload = t
+        .children()
+        .iter()
+        .find(|c| c.label() == Some("payload"))
+        .and_then(|w| w.children().first())
+        .ok_or_else(|| bad("dead letter payload missing".into()))?
+        .clone();
+    Ok(DeadLetter {
+        seq: num("seq")?,
+        to: field("to")?,
+        at: Timestamp(num("at")?),
+        payload,
+        attempts: num("attempts")? as u32,
+    })
+}
+
+/// Longest-prefix route resolution (the websim `owner_of` rule).
+fn resolve(routes: &[(String, SocketAddr)], to: &str) -> Option<SocketAddr> {
+    routes
+        .iter()
+        .filter(|(p, _)| to.starts_with(p.as_str()))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, a)| *a)
+}
+
+fn prefix_entry<T: Copy>(table: &[(String, T)], to: &str) -> Option<usize> {
+    table
+        .iter()
+        .enumerate()
+        .filter(|(_, (p, _))| to.starts_with(p.as_str()))
+        .max_by_key(|(_, (p, _))| p.len())
+        .map(|(i, _)| i)
+}
+
+fn enqueue_inner(
+    inner: &Arc<AgentInner>,
+    to: &str,
+    at: Timestamp,
+    payload: &Term,
+    fixed_seq: Option<u64>,
+) -> bool {
+    {
+        let routes = inner.routes.lock().expect("route table poisoned");
+        if resolve(&routes, to).is_none() {
+            let mut s = inner.state.lock().expect("delivery state poisoned");
+            s.stats.unrouted += 1;
+            return false;
+        }
+    }
+    let mut s = inner.state.lock().expect("delivery state poisoned");
+    let seq = match (fixed_seq, s.outbox.as_mut()) {
+        (Some(seq), Some(ob)) => {
+            let p = PendingDelivery {
+                seq,
+                to: to.to_string(),
+                at,
+                payload: payload.clone(),
+            };
+            if ob.requeue(&p).is_err() {
+                return false;
+            }
+            seq
+        }
+        (Some(seq), None) => seq,
+        (None, Some(ob)) => match ob.enqueue(to, at, payload) {
+            Ok(seq) => seq,
+            Err(_) => return false,
+        },
+        (None, None) => {
+            // No journal: synthesize monotone seqs from what is known.
+            s.stats.enqueued + s.stats.redelivered
+        }
+    };
+    s.stats.enqueued += 1;
+    s.queues
+        .entry(to.to_string())
+        .or_default()
+        .push_back(Queued {
+            seq,
+            at,
+            payload: payload.clone(),
+            attempts: 0,
+        });
+    drop(s);
+    inner.cv.notify_all();
+    true
+}
+
+impl DeliveryAgent {
+    /// Create an agent: open (and recover) the outbox and dead-letter
+    /// log, re-queue every unsettled delivery, and stand ready. Worker
+    /// threads spawn lazily, one per destination with traffic.
+    pub fn new(cfg: DeliveryConfig) -> std::io::Result<DeliveryAgent> {
+        let io_err = |e: reweb_persist::PersistError| std::io::Error::other(e.to_string());
+        let mut pending: Vec<PendingDelivery> = Vec::new();
+        let outbox = match &cfg.outbox {
+            Some(path) => {
+                let open = Outbox::open(path, SyncPolicy::Always).map_err(io_err)?;
+                pending = open.pending;
+                Some(open.outbox)
+            }
+            None => None,
+        };
+        let (dead_file, dead) = match &cfg.dead_letter {
+            Some(path) => {
+                let (f, d) = open_dead_letter(path)?;
+                (Some(f), d)
+            }
+            None => (None, Vec::new()),
+        };
+        let inner = Arc::new(AgentInner {
+            cfg,
+            routes: Mutex::new(Vec::new()),
+            state: Mutex::new(AgentState {
+                queues: HashMap::new(),
+                outbox,
+                dead,
+                dead_file,
+                stats: DeliveryStats::default(),
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            fault_connect: Mutex::new(Vec::new()),
+            fault_drop_ack: Mutex::new(Vec::new()),
+            fault_slow: Mutex::new(Vec::new()),
+        });
+        let mut agent = DeliveryAgent {
+            inner,
+            workers: Vec::new(),
+        };
+        // Recovered deliveries re-enter their destination queues (in
+        // seq order — Outbox::open returns them sorted) once routes
+        // exist; queue them now, workers will wait on routes.
+        {
+            let mut s = agent.inner.state.lock().expect("delivery state poisoned");
+            for p in pending {
+                s.stats.enqueued += 1;
+                s.queues.entry(p.to.clone()).or_default().push_back(Queued {
+                    seq: p.seq,
+                    at: p.at,
+                    payload: p.payload,
+                    attempts: 0,
+                });
+            }
+            let dests: Vec<String> = s.queues.keys().cloned().collect();
+            drop(s);
+            for d in dests {
+                agent.ensure_worker(&d);
+            }
+        }
+        Ok(agent)
+    }
+
+    /// Register a route: destinations whose URI starts with `prefix`
+    /// dial `addr`. Longest prefix wins.
+    pub fn add_route(&self, prefix: impl Into<String>, addr: SocketAddr) {
+        self.inner
+            .routes
+            .lock()
+            .expect("route table poisoned")
+            .push((prefix.into(), addr));
+        self.inner.cv.notify_all();
+    }
+
+    /// A cheap cloneable feed handle for the server driver.
+    pub fn handle(&self) -> DeliveryHandle {
+        DeliveryHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Queue one reaction for delivery. Returns `false` when no route
+    /// matches `to` (counted in [`DeliveryStats::unrouted`]) — such
+    /// reactions are the submitter's to handle, not the agent's.
+    pub fn enqueue(&mut self, to: &str, at: Timestamp, payload: &Term) -> bool {
+        let queued = enqueue_inner(&self.inner, to, at, payload, None);
+        if queued {
+            self.ensure_worker(to);
+        }
+        queued
+    }
+
+    /// Spawn the destination's worker thread if it does not exist yet.
+    /// Called on the enqueue path; `DeliveryHandle` feeds (the server
+    /// driver) rely on [`DeliveryAgent::pump`] being called from the
+    /// owning thread to pick up new destinations.
+    fn ensure_worker(&mut self, to: &str) {
+        if self.workers.iter().any(|(d, _)| d == to) {
+            return;
+        }
+        let dest = to.to_string();
+        let inner = Arc::clone(&self.inner);
+        let name = format!("reweb-delivery-{}", self.workers.len());
+        if let Ok(h) = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(inner, dest))
+        {
+            self.workers.push((to.to_string(), h));
+        }
+    }
+
+    /// Spawn workers for destinations that gained traffic through a
+    /// [`DeliveryHandle`] (the server driver cannot spawn them itself).
+    /// Cheap; call whenever convenient — [`DeliveryAgent::flush`] calls
+    /// it on every poll.
+    pub fn pump(&mut self) {
+        let dests: Vec<String> = {
+            let s = self.inner.state.lock().expect("delivery state poisoned");
+            s.queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(d, _)| d.clone())
+                .collect()
+        };
+        for d in dests {
+            self.ensure_worker(&d);
+        }
+    }
+
+    /// Deliveries currently queued (not yet acked or dead-lettered).
+    pub fn pending(&self) -> usize {
+        let s = self.inner.state.lock().expect("delivery state poisoned");
+        s.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Wait until every queued delivery settled (acked or
+    /// dead-lettered), or `timeout` passed. Returns `true` on settle.
+    pub fn flush(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump();
+            if self.pending() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Snapshot the agent's counters.
+    pub fn stats(&self) -> DeliveryStats {
+        self.inner
+            .state
+            .lock()
+            .expect("delivery state poisoned")
+            .stats
+            .clone()
+    }
+
+    /// The dead-letter log, oldest first — the inspection surface.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.inner
+            .state
+            .lock()
+            .expect("delivery state poisoned")
+            .dead
+            .clone()
+    }
+
+    /// Re-queue every dead letter under its original key and clear the
+    /// log. Returns how many were re-queued. Call once the destination
+    /// is reachable again; the receiver's ledger absorbs any that had
+    /// in fact arrived before their acks were lost.
+    pub fn redeliver(&mut self) -> std::io::Result<usize> {
+        let dead: Vec<DeadLetter> = {
+            let mut s = self.inner.state.lock().expect("delivery state poisoned");
+            let dead = std::mem::take(&mut s.dead);
+            if let Some(f) = s.dead_file.as_mut() {
+                f.set_len(0)?;
+            }
+            dead
+        };
+        let n = dead.len();
+        for d in &dead {
+            let queued = enqueue_inner(&self.inner, &d.to, d.at, &d.payload, Some(d.seq));
+            let mut s = self.inner.state.lock().expect("delivery state poisoned");
+            if queued {
+                // enqueue_inner counted it as a fresh enqueue; account
+                // it as a redelivery instead.
+                s.stats.enqueued -= 1;
+                s.stats.redelivered += 1;
+            } else {
+                // Still unroutable: keep it dead rather than lose it.
+                s.stats.unrouted -= 1;
+                let d = d.clone();
+                if let Some(f) = s.dead_file.as_mut() {
+                    let _ = write_frame(f, &dead_letter_to_bytes(&d));
+                    let _ = f.flush();
+                }
+                s.dead.push(d);
+            }
+        }
+        self.pump();
+        Ok(n - self
+            .inner
+            .state
+            .lock()
+            .expect("delivery state poisoned")
+            .dead
+            .len())
+    }
+
+    /// Fault injection: fail the next `n` connect attempts to
+    /// destinations matching `prefix`.
+    pub fn inject_connect_failures(&self, prefix: impl Into<String>, n: u32) {
+        self.inner
+            .fault_connect
+            .lock()
+            .expect("fault table poisoned")
+            .push((prefix.into(), n));
+    }
+
+    /// Fault injection: for the next `n` pushes to destinations
+    /// matching `prefix`, drop the connection after writing the
+    /// `deliver` frame but before reading the ack — the classic
+    /// duplicate-generating fault.
+    pub fn inject_drop_before_ack(&self, prefix: impl Into<String>, n: u32) {
+        self.inner
+            .fault_drop_ack
+            .lock()
+            .expect("fault table poisoned")
+            .push((prefix.into(), n));
+    }
+
+    /// Fault injection: delay every write to destinations matching
+    /// `prefix` by `delay` (a slow peer; exercises the io timeout when
+    /// `delay` exceeds it, plain latency otherwise).
+    pub fn inject_slow_peer(&self, prefix: impl Into<String>, delay: Duration) {
+        self.inner
+            .fault_slow
+            .lock()
+            .expect("fault table poisoned")
+            .push((prefix.into(), delay));
+    }
+
+    /// Stop the workers (the attempt in flight finishes first) and join
+    /// them. Queued-but-unsettled deliveries stay in the outbox journal
+    /// for the next incarnation. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.cv.notify_all();
+        for (_, h) in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DeliveryAgent {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn open_dead_letter(path: &Path) -> std::io::Result<(File, Vec<DeadLetter>)> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let scan = scan_frames(&bytes);
+    let mut dead = Vec::with_capacity(scan.frames.len());
+    for (_, payload) in &scan.frames {
+        dead.push(dead_letter_from_bytes(payload)?);
+    }
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    if (bytes.len() as u64) > scan.valid_len {
+        file.set_len(scan.valid_len)?;
+    }
+    Ok((file, dead))
+}
+
+/// One fault-table lookup-and-consume: decrement the matching entry's
+/// budget, dropping it at zero. Returns whether a fault fired.
+fn consume_fault(table: &Mutex<Vec<(String, u32)>>, to: &str) -> bool {
+    let mut t = table.lock().expect("fault table poisoned");
+    if let Some(i) = prefix_entry(
+        &t.iter().map(|(p, n)| (p.clone(), *n)).collect::<Vec<_>>(),
+        to,
+    ) {
+        if t[i].1 > 0 {
+            t[i].1 -= 1;
+            if t[i].1 == 0 {
+                t.remove(i);
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn slow_delay(table: &Mutex<Vec<(String, Duration)>>, to: &str) -> Option<Duration> {
+    let t = table.lock().expect("fault table poisoned");
+    prefix_entry(
+        &t.iter().map(|(p, d)| (p.clone(), *d)).collect::<Vec<_>>(),
+        to,
+    )
+    .map(|i| t[i].1)
+}
+
+/// One dial-and-push attempt against an open question: how did it end?
+enum Attempt {
+    /// The peer acked; `true` when it flagged the key duplicate.
+    Acked(bool),
+    /// Anything retryable: connect/IO failure, `busy`, `throttled`,
+    /// `shutting-down`, dropped connection.
+    Failed,
+}
+
+/// Read one reply frame from a delivery session (with the session's
+/// read timeout in force).
+fn read_reply(stream: &mut TcpStream) -> std::io::Result<Reply> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized reply frame",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "reply frame CRC mismatch",
+        ));
+    }
+    Reply::decode(&payload).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))
+}
+
+/// Dial `addr` and run the `hello` handshake as a delivery session.
+fn dial(inner: &AgentInner, addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, inner.cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(inner.cfg.io_timeout))?;
+    stream.set_write_timeout(Some(inner.cfg.io_timeout))?;
+    stream.write_all(
+        &Request::Hello {
+            from: inner.cfg.from.clone(),
+            credentials: None,
+            gateway: false,
+        }
+        .encode(),
+    )?;
+    match read_reply(&mut stream)? {
+        Reply::Welcome { .. } => Ok(stream),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!("handshake refused: {other:?}"),
+        )),
+    }
+}
+
+/// Push the queue head over an open session and await its fate.
+fn push_one(
+    inner: &AgentInner,
+    stream: &mut TcpStream,
+    to: &str,
+    seq: u64,
+    at: Timestamp,
+    payload: &Term,
+) -> Attempt {
+    if let Some(d) = slow_delay(&inner.fault_slow, to) {
+        std::thread::sleep(d);
+    }
+    let key = format!("{}#{}", inner.cfg.from, seq);
+    let req = Request::Deliver {
+        id: seq,
+        key,
+        at: Some(at),
+        payload: payload.clone(),
+    };
+    if stream.write_all(&req.encode()).is_err() {
+        return Attempt::Failed;
+    }
+    if consume_fault(&inner.fault_drop_ack, to) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return Attempt::Failed;
+    }
+    loop {
+        match read_reply(stream) {
+            Ok(Reply::Accepted { id, duplicate }) if id == seq => return Attempt::Acked(duplicate),
+            // Reactions provoked by our own delivery (the receiver's
+            // rules fired) are reported back on this session; they are
+            // not ours to consume — skip them.
+            Ok(Reply::Reaction { .. }) => {}
+            Ok(Reply::Busy { retry_ms, .. }) | Ok(Reply::Throttled { retry_ms, .. }) => {
+                // The peer is alive but pushing back: honor its hint,
+                // then count a failed attempt (the ladder redials).
+                std::thread::sleep(Duration::from_millis(
+                    retry_ms.min(inner.cfg.backoff.max_ms),
+                ));
+                return Attempt::Failed;
+            }
+            Ok(Reply::Error { code, retry_ms, .. }) => {
+                if code == ErrorCode::ShuttingDown || code == ErrorCode::Busy {
+                    if let Some(ms) = retry_ms {
+                        std::thread::sleep(Duration::from_millis(ms.min(inner.cfg.backoff.max_ms)));
+                    }
+                }
+                return Attempt::Failed;
+            }
+            Ok(_) => {}
+            Err(_) => return Attempt::Failed,
+        }
+    }
+}
+
+/// The per-destination worker: deliver the queue head, in order, until
+/// shutdown. Sleeps on the backoff ladder between failed attempts;
+/// dead-letters the head when its budget is spent.
+fn worker_loop(inner: Arc<AgentInner>, dest: String) {
+    let mut session: Option<TcpStream> = None;
+    loop {
+        // Wait for work (or shutdown).
+        let head = {
+            let mut s = inner.state.lock().expect("delivery state poisoned");
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match s.queues.get(&dest).and_then(|q| q.front()) {
+                    Some(h) => {
+                        break (h.seq, h.at, h.payload.clone(), h.attempts);
+                    }
+                    None => {
+                        let (guard, _) = inner
+                            .cv
+                            .wait_timeout(s, Duration::from_millis(20))
+                            .expect("delivery state poisoned");
+                        s = guard;
+                    }
+                }
+            }
+        };
+        let (seq, at, payload, attempts) = head;
+
+        // Budget spent: dead-letter the head, freeing the queue.
+        if attempts >= inner.cfg.retry_budget {
+            session = None;
+            let mut s = inner.state.lock().expect("delivery state poisoned");
+            if let Some(q) = s.queues.get_mut(&dest) {
+                q.pop_front();
+            }
+            let d = DeadLetter {
+                seq,
+                to: dest.clone(),
+                at,
+                payload,
+                attempts,
+            };
+            if let Some(f) = s.dead_file.as_mut() {
+                let _ = write_frame(f, &dead_letter_to_bytes(&d));
+                let _ = f.flush();
+                let _ = f.sync_data();
+            }
+            s.dead.push(d);
+            s.stats.dead_lettered += 1;
+            if let Some(ob) = s.outbox.as_mut() {
+                let _ = ob.settle(seq, Settle::DeadLettered);
+            }
+            continue;
+        }
+
+        // Make sure we hold an open session (dial if not).
+        if session.is_none() {
+            let addr = {
+                let routes = inner.routes.lock().expect("route table poisoned");
+                resolve(&routes, &dest)
+            };
+            let dialed = match addr {
+                Some(addr) if !consume_fault(&inner.fault_connect, &dest) => {
+                    dial(&inner, addr).ok()
+                }
+                _ => None,
+            };
+            match dialed {
+                Some(st) => session = Some(st),
+                None => {
+                    fail_head(&inner, &dest, seq);
+                    backoff_sleep(&inner, attempts, seq);
+                    continue;
+                }
+            }
+        }
+
+        let outcome = push_one(
+            &inner,
+            session.as_mut().expect("session just ensured"),
+            &dest,
+            seq,
+            at,
+            &payload,
+        );
+        match outcome {
+            Attempt::Acked(duplicate) => {
+                let mut s = inner.state.lock().expect("delivery state poisoned");
+                if let Some(q) = s.queues.get_mut(&dest) {
+                    q.pop_front();
+                }
+                s.stats.delivered += 1;
+                if duplicate {
+                    s.stats.duplicate_acks += 1;
+                }
+                if let Some(ob) = s.outbox.as_mut() {
+                    let _ = ob.settle(seq, Settle::Acked);
+                }
+            }
+            Attempt::Failed => {
+                session = None;
+                fail_head(&inner, &dest, seq);
+                backoff_sleep(&inner, attempts, seq);
+            }
+        }
+    }
+}
+
+/// Charge one failed attempt against the queue head (if it is still the
+/// same delivery).
+fn fail_head(inner: &AgentInner, dest: &str, seq: u64) {
+    let mut s = inner.state.lock().expect("delivery state poisoned");
+    s.stats.failed_attempts += 1;
+    if let Some(h) = s.queues.get_mut(dest).and_then(|q| q.front_mut()) {
+        if h.seq == seq {
+            h.attempts += 1;
+        }
+    }
+}
+
+/// Sleep one backoff rung, interruptible by shutdown.
+fn backoff_sleep(inner: &AgentInner, attempt: u32, seed: u64) {
+    let ms = inner.cfg.backoff.delay_with_jitter_ms(attempt, seed);
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    let mut s = inner.state.lock().expect("delivery state poisoned");
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let (guard, _) = inner
+            .cv
+            .wait_timeout(s, (deadline - now).min(Duration::from_millis(20)))
+            .expect("delivery state poisoned");
+        s = guard;
+    }
+}
+
+/// The receiver half of at-least-once: a set of already-ingested
+/// delivery keys, optionally journaled to disk (same CRC framing as
+/// everything else) so a restarted server still recognizes retries of
+/// reactions it ingested before the crash. The in-order entry list
+/// doubles as the inspection surface the equivalence tests compare.
+pub struct DeliveryLedger {
+    file: Option<File>,
+    seen: std::collections::HashSet<String>,
+    entries: Vec<(String, Term)>,
+}
+
+impl DeliveryLedger {
+    /// A purely in-memory ledger (a process restart forgets it — only
+    /// safe when the engine behind it is not durable either).
+    pub fn in_memory() -> DeliveryLedger {
+        DeliveryLedger {
+            file: None,
+            seen: std::collections::HashSet::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Open (creating if absent) a journaled ledger, healing a torn
+    /// tail and seeding the seen-set from the surviving records.
+    pub fn open(path: &Path) -> std::io::Result<DeliveryLedger> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let scan = scan_frames(&bytes);
+        let mut seen = std::collections::HashSet::new();
+        let mut entries = Vec::new();
+        for (_, payload) in &scan.frames {
+            let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+            let text = std::str::from_utf8(payload).map_err(|_| bad("ledger entry not UTF-8"))?;
+            let t = parse_term(text).map_err(|_| bad("unparsable ledger entry"))?;
+            let key = t
+                .children()
+                .iter()
+                .find(|c| c.label() == Some("key"))
+                .map(|c| c.text_content())
+                .ok_or_else(|| bad("ledger entry without key"))?;
+            let payload = t
+                .children()
+                .iter()
+                .find(|c| c.label() == Some("payload"))
+                .and_then(|w| w.children().first())
+                .cloned()
+                .ok_or_else(|| bad("ledger entry without payload"))?;
+            seen.insert(key.clone());
+            entries.push((key, payload));
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if (bytes.len() as u64) > scan.valid_len {
+            file.set_len(scan.valid_len)?;
+        }
+        Ok(DeliveryLedger {
+            file: Some(file),
+            seen,
+            entries,
+        })
+    }
+
+    /// Has this key been ingested already?
+    pub fn contains(&self, key: &str) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Record one ingested delivery. Journaled (and flushed) before the
+    /// ack goes out, so a crash after the ack still remembers the key.
+    pub fn record(&mut self, key: &str, payload: &Term) {
+        if !self.seen.insert(key.to_string()) {
+            return;
+        }
+        self.entries.push((key.to_string(), payload.clone()));
+        if let Some(f) = self.file.as_mut() {
+            let bytes = Term::build("d")
+                .unordered()
+                .field("key", key)
+                .child(Term::ordered("payload", vec![payload.clone()]))
+                .finish()
+                .to_string()
+                .into_bytes();
+            let _ = write_frame(f, &bytes);
+            let _ = f.flush();
+            let _ = f.sync_data();
+        }
+    }
+
+    /// Every ingested delivery `(key, payload)`, in ingestion order.
+    pub fn entries(&self) -> &[(String, Term)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve_by_longest_prefix() {
+        let addr1: SocketAddr = "127.0.0.1:1001".parse().unwrap();
+        let addr2: SocketAddr = "127.0.0.1:1002".parse().unwrap();
+        let routes = vec![
+            ("http://b/".to_string(), addr1),
+            ("http://b/special/".to_string(), addr2),
+        ];
+        assert_eq!(resolve(&routes, "http://b/x"), Some(addr1));
+        assert_eq!(resolve(&routes, "http://b/special/x"), Some(addr2));
+        assert_eq!(resolve(&routes, "http://c/x"), None);
+    }
+
+    #[test]
+    fn dead_letters_round_trip_through_frames() {
+        let d = DeadLetter {
+            seq: 7,
+            to: "http://b/".into(),
+            at: Timestamp(123),
+            payload: parse_term("ship{item[\"book\"]}").unwrap(),
+            attempts: 3,
+        };
+        let back = dead_letter_from_bytes(&dead_letter_to_bytes(&d)).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn ledger_journal_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("reweb-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut l = DeliveryLedger::open(&path).unwrap();
+            l.record("a#0", &Term::elem("x"));
+            l.record("a#1", &Term::elem("y"));
+            l.record("a#0", &Term::elem("x")); // idempotent
+            assert_eq!(l.entries().len(), 2);
+        }
+        let l = DeliveryLedger::open(&path).unwrap();
+        assert!(l.contains("a#0") && l.contains("a#1") && !l.contains("a#2"));
+        assert_eq!(l.entries()[1].1, Term::elem("y"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unrouted_reactions_are_counted_not_queued() {
+        let mut agent = DeliveryAgent::new(DeliveryConfig::default()).unwrap();
+        assert!(!agent.enqueue("http://nowhere/x", Timestamp(1), &Term::elem("e")));
+        assert_eq!(agent.pending(), 0);
+        assert_eq!(agent.stats().unrouted, 1);
+        agent.shutdown();
+    }
+}

@@ -21,7 +21,13 @@
 //!   *tagged* batch surface, so every reaction routes back to the
 //!   connection whose event produced it;
 //! - **the client** ([`client`]): the blocking reference client the
-//!   tests, benches, and the websim TCP front use.
+//!   tests, benches, and the websim TCP front use;
+//! - **outbound delivery** ([`delivery`]): the push half of Thesis 2 —
+//!   a per-destination-ordered delivery agent with a durable outbox,
+//!   exponential backoff with jitter ([`BackoffPolicy`]), a retry
+//!   budget, and a replayable dead-letter log, paired with key-based
+//!   receiver deduplication so at-least-once retries ingest
+//!   exactly once.
 //!
 //! The load-bearing invariant, pinned by `tests/net_equivalence.rs`: a
 //! message stream delivered over loopback TCP produces **byte-identical
@@ -33,13 +39,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod delivery;
 pub mod limit;
 pub mod router;
 pub mod server;
 pub mod wire;
 
 pub use client::NetClient;
-pub use limit::RateLimit;
+pub use delivery::{
+    DeadLetter, DeliveryAgent, DeliveryConfig, DeliveryHandle, DeliveryLedger, DeliveryStats,
+};
+pub use limit::{BackoffPolicy, RateLimit};
 pub use router::NetConfig;
 pub use server::{IngressEngine, IngressStats, NetServer};
 pub use wire::{EnvelopeError, ErrorCode, Reply, Request, WIRE_SCHEMA};

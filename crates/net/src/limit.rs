@@ -1,10 +1,80 @@
-//! Per-client rate limiting: a token bucket with an explicit clock.
+//! Admission limits and retry policy: a token bucket with an explicit
+//! clock, and the one shared [`BackoffPolicy`] every `retry_ms` the
+//! tier emits or honors comes from.
 //!
 //! Each connection owns one [`TokenBucket`]; every accepted event costs
 //! one token. The clock is passed in (an [`Instant`]) rather than read
 //! inside, so tests drive the bucket deterministically.
 
 use std::time::{Duration, Instant};
+
+/// The tier's single retry/backoff policy: exponential delays from
+/// `base_ms` doubling per attempt up to `max_ms`, plus bounded
+/// *deterministic* jitter (a hash of the caller's seed — no RNG, so
+/// fault-injection tests replay byte-identically).
+///
+/// Every `retry_ms` in the protocol traces back here instead of to a
+/// scattered literal: the server's `busy` replies and at-capacity
+/// accept refusals suggest [`BackoffPolicy::BUSY`]'s first delay, and
+/// the delivery agent ([`crate::delivery`]) walks the full exponential
+/// ladder of its configured policy between redial attempts. (The
+/// `throttled` reply is the one exception by design: its `retry_ms` is
+/// not a policy choice but the *computed* time until the token bucket
+/// refills one token.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Cap on the exponential ladder, in milliseconds.
+    pub max_ms: u64,
+    /// Largest jitter added on top of a rung, in milliseconds
+    /// (`0` disables jitter).
+    pub jitter_ms: u64,
+}
+
+impl BackoffPolicy {
+    /// The backpressure suggestion the server attaches to `busy`
+    /// replies and at-capacity accept refusals: start at 10 ms (the
+    /// driver drains a full default batch well within that), cap low —
+    /// the queue empties in milliseconds or the server is truly
+    /// saturated, and either way the client learns more by asking
+    /// again soon.
+    pub const BUSY: BackoffPolicy = BackoffPolicy {
+        base_ms: 10,
+        max_ms: 160,
+        jitter_ms: 0,
+    };
+
+    /// The rung of the exponential ladder for retry number `attempt`
+    /// (0-based): `min(base_ms << attempt, max_ms)`, jitter-free.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .base_ms
+            .checked_shl(attempt.min(32))
+            .unwrap_or(self.max_ms);
+        shifted.min(self.max_ms)
+    }
+
+    /// [`BackoffPolicy::delay_ms`] plus deterministic jitter in
+    /// `[0, jitter_ms]`, derived by hashing `seed` with the attempt
+    /// number (splitmix64). Same seed, same schedule — which is what
+    /// keeps the fault-injected delivery tests replayable — while
+    /// distinct seeds (one per queued reaction) still decorrelate
+    /// retry storms against a recovering destination.
+    pub fn delay_with_jitter_ms(&self, attempt: u32, seed: u64) -> u64 {
+        let rung = self.delay_ms(attempt);
+        if self.jitter_ms == 0 {
+            return rung;
+        }
+        let mut z = seed
+            .wrapping_add(attempt as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        rung + z % (self.jitter_ms + 1)
+    }
+}
 
 /// Per-client rate limit: sustained events/second plus a burst
 /// allowance. `events_per_sec == 0` disables the limit.

@@ -48,6 +48,15 @@ pub struct NetConfig {
     pub reply_buffer: usize,
     /// Per-connection event admission rate; `None` disables limiting.
     pub rate_limit: Option<RateLimit>,
+    /// Connection cap: a `connect` beyond this many open sessions is
+    /// refused at accept with `error{code["busy"]}` + `retry_ms` and
+    /// closed before any `hello`. `None` disables the cap.
+    pub max_connections: Option<usize>,
+    /// Path of the delivery ledger journal (ingested delivery keys).
+    /// `None` keeps the receiver's deduplication set in memory only —
+    /// a restart then forgets which pushed reactions it already
+    /// ingested, so pair a journal with every durable engine.
+    pub delivery_journal: Option<std::path::PathBuf>,
 }
 
 impl Default for NetConfig {
@@ -59,6 +68,8 @@ impl Default for NetConfig {
             max_body: 1 << 20,
             rate_limit: None,
             reply_buffer: 1024,
+            max_connections: None,
+            delivery_journal: None,
         }
     }
 }
@@ -74,6 +85,11 @@ pub(crate) enum Item {
         id: u64,
         /// The decoded message.
         msg: InMessage,
+        /// Set when this is a pushed delivery (`deliver` request): the
+        /// deduplication key. The driver checks it against the ledger,
+        /// ingests at most once, and answers `accepted` only after the
+        /// batch ran.
+        key: Option<String>,
     },
     /// An explicit clock advance.
     Advance {
@@ -340,6 +356,7 @@ mod tests {
             client: 1,
             id: i,
             msg: InMessage::new(Term::elem("e"), MessageMeta::local(), Timestamp(i)),
+            key: None,
         }
     }
 

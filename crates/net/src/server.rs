@@ -29,7 +29,8 @@ use reweb_persist::{DurableEngine, Recoverable};
 use reweb_term::frame::{crc32, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use reweb_term::Timestamp;
 
-use crate::limit::{Admission, TokenBucket};
+use crate::delivery::{DeliveryHandle, DeliveryLedger};
+use crate::limit::{Admission, BackoffPolicy, TokenBucket};
 use crate::router::{IngressQueue, Item, LanePush, NetConfig, ReplyClass, ReplyLane};
 use crate::wire::{event_to_message, ErrorCode, Reply, Request};
 
@@ -131,6 +132,9 @@ impl IngressEngine for DurableEngine<ShardedEngine> {
 struct Counters {
     connections_accepted: AtomicU64,
     connections_open: AtomicU64,
+    connections_refused: AtomicU64,
+    deliveries_ingested: AtomicU64,
+    deliveries_duplicate: AtomicU64,
     frames_in: AtomicU64,
     msgs_enqueued: AtomicU64,
     msgs_processed: AtomicU64,
@@ -152,6 +156,14 @@ pub struct IngressStats {
     pub connections_accepted: u64,
     /// Connections currently open.
     pub connections_open: u64,
+    /// Connections refused at accept by the `max_connections` cap
+    /// (`error{code["busy"]}` sent, socket closed before any `hello`).
+    pub connections_refused: u64,
+    /// Pushed deliveries ingested (first sight of their key).
+    pub deliveries_ingested: u64,
+    /// Pushed deliveries recognized as retries of an already-ingested
+    /// key and acked without re-ingestion.
+    pub deliveries_duplicate: u64,
     /// Frames successfully read off sockets (any request kind).
     pub frames_in: u64,
     /// Events admitted into the ingress queue.
@@ -197,6 +209,13 @@ struct Shared {
     counters: Counters,
     shutdown: AtomicBool,
     next_client: AtomicU64,
+    /// Ingested delivery keys (+ optional journal): the receiver half
+    /// of at-least-once deduplication. Touched only by the driver and
+    /// by inspection calls.
+    ledger: Mutex<DeliveryLedger>,
+    /// When attached, every reaction the engine emits is also handed to
+    /// the delivery agent for outbound push.
+    delivery: Mutex<Option<DeliveryHandle>>,
 }
 
 impl Shared {
@@ -247,6 +266,10 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let ledger = match &cfg.delivery_journal {
+            Some(path) => DeliveryLedger::open(path)?,
+            None => DeliveryLedger::in_memory(),
+        };
         let shared = Arc::new(Shared {
             queue: IngressQueue::new(cfg.queue_capacity),
             cfg,
@@ -255,6 +278,8 @@ impl NetServer {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             next_client: AtomicU64::new(1),
+            ledger: Mutex::new(ledger),
+            delivery: Mutex::new(None),
         });
         let readers = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -290,6 +315,9 @@ impl NetServer {
         IngressStats {
             connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
             connections_open: c.connections_open.load(Ordering::Relaxed),
+            connections_refused: c.connections_refused.load(Ordering::Relaxed),
+            deliveries_ingested: c.deliveries_ingested.load(Ordering::Relaxed),
+            deliveries_duplicate: c.deliveries_duplicate.load(Ordering::Relaxed),
             frames_in: c.frames_in.load(Ordering::Relaxed),
             msgs_enqueued: c.msgs_enqueued.load(Ordering::Relaxed),
             msgs_processed: c.msgs_processed.load(Ordering::Relaxed),
@@ -314,6 +342,29 @@ impl NetServer {
         let mut guard: MutexGuard<'_, Box<dyn IngressEngine>> =
             self.shared.engine.lock().expect("engine mutex poisoned");
         f(guard.as_mut())
+    }
+
+    /// Attach a delivery agent: from now on every reaction the engine
+    /// emits is *also* queued for outbound push to the destination its
+    /// `to[...]` names (the submitter still gets its `reaction` reply).
+    pub fn attach_delivery(&self, handle: DeliveryHandle) {
+        *self
+            .shared
+            .delivery
+            .lock()
+            .expect("delivery handle poisoned") = Some(handle);
+    }
+
+    /// The receiver-side delivery ledger: every pushed reaction this
+    /// server ingested, `(key, payload)` in ingestion order. The
+    /// byte-equality surface of the two-node tests.
+    pub fn delivered(&self) -> Vec<(String, reweb_term::Term)> {
+        self.shared
+            .ledger
+            .lock()
+            .expect("delivery ledger poisoned")
+            .entries()
+            .to_vec()
     }
 
     /// Stop accepting, drain the queue, join every thread. Idempotent;
@@ -370,7 +421,31 @@ fn accept_loop(
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // Connection cap: refuse before spawning anything. The
+                // refusal is a complete, well-formed error reply — the
+                // client learns *why* and *when to come back*, instead
+                // of diagnosing a bare RST.
+                if let Some(cap) = shared.cfg.max_connections {
+                    let open = shared.counters.connections_open.load(Ordering::Relaxed);
+                    if open >= cap as u64 {
+                        shared
+                            .counters
+                            .connections_refused
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        send_direct(
+                            &mut stream,
+                            &Reply::Error {
+                                code: ErrorCode::Busy,
+                                detail: format!("connection cap {cap} reached"),
+                                id: None,
+                                retry_ms: Some(BackoffPolicy::BUSY.delay_ms(0)),
+                            },
+                        );
+                        continue;
+                    }
+                }
                 let _ = stream.set_nodelay(true);
                 let client = shared.next_client.fetch_add(1, Ordering::Relaxed);
                 shared
@@ -556,6 +631,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                         code: ErrorCode::NoHello,
                         detail: "first envelope must be hello".into(),
                         id: None,
+                        retry_ms: None,
                     },
                 );
                 return;
@@ -576,6 +652,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                         code,
                         detail: e.0,
                         id: None,
+                        retry_ms: None,
                     },
                 );
                 return;
@@ -589,6 +666,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                         code,
                         detail,
                         id: None,
+                        retry_ms: None,
                     },
                 );
             }
@@ -665,6 +743,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                     code: ErrorCode::BadEnvelope,
                     detail: e.0,
                     id: None,
+                    retry_ms: None,
                 });
                 continue;
             }
@@ -687,10 +766,77 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                         code: ErrorCode::ShuttingDown,
                         detail: "server is shutting down".into(),
                         id: Some(id),
+                        retry_ms: Some(BackoffPolicy::BUSY.delay_ms(0)),
                     });
                     continue;
                 }
                 shared.queue.push_control(Item::Advance { client, id, at });
+            }
+            Request::Deliver {
+                id,
+                key,
+                at,
+                payload,
+            } => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    reply(&Reply::Error {
+                        code: ErrorCode::ShuttingDown,
+                        detail: "server is shutting down".into(),
+                        id: Some(id),
+                        retry_ms: Some(BackoffPolicy::BUSY.delay_ms(0)),
+                    });
+                    continue;
+                }
+                if let Some(b) = bucket.as_mut() {
+                    if let Admission::Throttled { retry_ms } = b.admit(Instant::now()) {
+                        shared
+                            .counters
+                            .throttled_replies
+                            .fetch_add(1, Ordering::Relaxed);
+                        reply(&Reply::Throttled { id, retry_ms });
+                        continue;
+                    }
+                }
+                // A pushed delivery is attributed to the pushing peer's
+                // session identity; deduplication and the `accepted`
+                // ack happen in the driver, *after* the batch runs.
+                let msg = InMessage::new(
+                    payload,
+                    {
+                        let mut m = reweb_core::MessageMeta::from_uri(session_from.clone());
+                        if let Some(c) = &session_cred {
+                            m = m.with_credentials(c.principal.clone(), c.secret.clone());
+                        }
+                        m
+                    },
+                    at.unwrap_or_else(wall_clock),
+                );
+                match shared.queue.push_event(Item::Msg {
+                    client,
+                    id,
+                    msg,
+                    key: Some(key),
+                }) {
+                    Ok(depth) => {
+                        shared
+                            .counters
+                            .msgs_enqueued
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .queue_highwater
+                            .fetch_max(depth as u64, Ordering::Relaxed);
+                    }
+                    Err(full) => {
+                        shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                        reply(&Reply::Busy {
+                            id,
+                            depth: full.depth,
+                            capacity: full.capacity,
+                            retry_ms: BackoffPolicy::BUSY.delay_ms(0),
+                        });
+                    }
+                }
             }
             Request::Event {
                 id,
@@ -704,6 +850,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                         code: ErrorCode::ShuttingDown,
                         detail: "server is shutting down".into(),
                         id: Some(id),
+                        retry_ms: Some(BackoffPolicy::BUSY.delay_ms(0)),
                     });
                     continue;
                 }
@@ -736,11 +883,17 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                             code,
                             detail: "per-event from/cred requires a gateway session".into(),
                             id: Some(id),
+                            retry_ms: None,
                         });
                         continue;
                     }
                 };
-                match shared.queue.push_event(Item::Msg { client, id, msg }) {
+                match shared.queue.push_event(Item::Msg {
+                    client,
+                    id,
+                    msg,
+                    key: None,
+                }) {
                     Ok(depth) => {
                         shared
                             .counters
@@ -757,7 +910,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                             id,
                             depth: full.depth,
                             capacity: full.capacity,
-                            retry_ms: 10,
+                            retry_ms: BackoffPolicy::BUSY.delay_ms(0),
                         });
                     }
                 }
@@ -770,6 +923,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
             code,
             detail,
             id: None,
+            retry_ms: None,
         });
     }
     // Unregister: the driver's future sends to this client become
@@ -826,13 +980,43 @@ fn driver_loop(shared: Arc<Shared>) {
         }
         let mut run_msgs: Vec<InMessage> = Vec::new();
         let mut run_tags: Vec<(u64, u64)> = Vec::new();
+        let mut run_keys: Vec<Option<String>> = Vec::new();
         for item in batch {
             match item {
                 Item::Msg {
                     client,
                     id,
                     mut msg,
+                    key,
                 } => {
+                    if let Some(k) = &key {
+                        // Deduplicate pushed deliveries before they
+                        // reach the engine: against the ledger (all
+                        // time) and against the current run (a retry
+                        // that landed in the same batch).
+                        let seen = shared
+                            .ledger
+                            .lock()
+                            .expect("delivery ledger poisoned")
+                            .contains(k)
+                            || run_keys.iter().flatten().any(|k2| k2 == k);
+                        if seen {
+                            shared
+                                .counters
+                                .deliveries_duplicate
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.send_to(
+                                client,
+                                ReplyClass::Control,
+                                Reply::Accepted {
+                                    id,
+                                    duplicate: true,
+                                }
+                                .encode(),
+                            );
+                            continue;
+                        }
+                    }
                     if msg.at < last_at {
                         msg.at = last_at;
                     } else {
@@ -840,9 +1024,10 @@ fn driver_loop(shared: Arc<Shared>) {
                     }
                     run_msgs.push(msg);
                     run_tags.push((client, id));
+                    run_keys.push(key);
                 }
                 Item::Advance { client, id, at } => {
-                    flush_run(&shared, &mut run_msgs, &mut run_tags);
+                    flush_run(&shared, &mut run_msgs, &mut run_tags, &mut run_keys);
                     last_at = last_at.max(at);
                     let outcome = shared
                         .engine
@@ -856,6 +1041,7 @@ fn driver_loop(shared: Arc<Shared>) {
                                     .counters
                                     .reactions_out
                                     .fetch_add(1, Ordering::Relaxed);
+                                push_outbound(&shared, &o.to, at, &o.payload);
                                 shared.send_to(
                                     client,
                                     ReplyClass::Data,
@@ -880,6 +1066,7 @@ fn driver_loop(shared: Arc<Shared>) {
                                     code: ErrorCode::Engine,
                                     detail: e,
                                     id: Some(id),
+                                    retry_ms: None,
                                 }
                                 .encode(),
                             );
@@ -887,18 +1074,34 @@ fn driver_loop(shared: Arc<Shared>) {
                     }
                 }
                 Item::Sync { client, id } => {
-                    flush_run(&shared, &mut run_msgs, &mut run_tags);
+                    flush_run(&shared, &mut run_msgs, &mut run_tags, &mut run_keys);
                     shared.send_to(client, ReplyClass::Control, Reply::Done { id }.encode());
                 }
             }
         }
-        flush_run(&shared, &mut run_msgs, &mut run_tags);
+        flush_run(&shared, &mut run_msgs, &mut run_tags, &mut run_keys);
     }
 }
 
-/// Hand one accumulated message run to the engine and route its tagged
-/// outputs back to their submitters.
-fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u64)>) {
+/// Hand one reaction to the attached delivery agent (when one is).
+fn push_outbound(shared: &Shared, to: &str, at: Timestamp, payload: &reweb_term::Term) {
+    let delivery = shared.delivery.lock().expect("delivery handle poisoned");
+    if let Some(h) = delivery.as_ref() {
+        h.enqueue(to, at, payload);
+    }
+}
+
+/// Hand one accumulated message run to the engine, route its tagged
+/// outputs back to their submitters (and onward to the delivery agent),
+/// then settle the run's pushed deliveries: record their keys in the
+/// ledger and answer `accepted` — *after* the engine ran, so an ack is
+/// never a lie.
+fn flush_run(
+    shared: &Shared,
+    msgs: &mut Vec<InMessage>,
+    tags: &mut Vec<(u64, u64)>,
+    keys: &mut Vec<Option<String>>,
+) {
     if msgs.is_empty() {
         return;
     }
@@ -920,6 +1123,7 @@ fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u6
                     .counters
                     .reactions_out
                     .fetch_add(1, Ordering::Relaxed);
+                push_outbound(shared, &o.to, msgs[k as usize].at, &o.payload);
                 shared.send_to(
                     client,
                     ReplyClass::Data,
@@ -931,6 +1135,29 @@ fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u6
                     .encode(),
                 );
             }
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(key) = key {
+                    let (client, id) = tags[i];
+                    shared
+                        .ledger
+                        .lock()
+                        .expect("delivery ledger poisoned")
+                        .record(key, &msgs[i].payload);
+                    shared
+                        .counters
+                        .deliveries_ingested
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared.send_to(
+                        client,
+                        ReplyClass::Control,
+                        Reply::Accepted {
+                            id,
+                            duplicate: false,
+                        }
+                        .encode(),
+                    );
+                }
+            }
         }
         Err(e) => {
             shared
@@ -938,7 +1165,10 @@ fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u6
                 .engine_errors
                 .fetch_add(1, Ordering::Relaxed);
             // Attribution is lost when the whole batch is refused;
-            // every submitter in the run hears about it once.
+            // every submitter in the run hears about it once. Pushed
+            // deliveries in the run are deliberately *not* recorded in
+            // the ledger — no ack goes out, the sender retries, and a
+            // later successful run ingests them.
             let mut told = std::collections::HashSet::new();
             for &(client, id) in tags.iter() {
                 if told.insert(client) {
@@ -949,6 +1179,7 @@ fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u6
                             code: ErrorCode::Engine,
                             detail: e.clone(),
                             id: Some(id),
+                            retry_ms: None,
                         }
                         .encode(),
                     );
@@ -958,4 +1189,5 @@ fn flush_run(shared: &Shared, msgs: &mut Vec<InMessage>, tags: &mut Vec<(u64, u6
     }
     msgs.clear();
     tags.clear();
+    keys.clear();
 }

@@ -152,6 +152,25 @@ pub enum Request {
         /// Target engine time.
         at: Timestamp,
     },
+    /// One reaction pushed by a peer's delivery agent
+    /// ([`crate::delivery`]). Unlike [`Request::Event`], a `deliver`
+    /// carries a globally unique `key` so the receiver can make
+    /// at-least-once retries idempotent: the server ingests the payload
+    /// exactly once per key and answers [`Reply::Accepted`] (with the
+    /// duplicate flag set on re-sends), only after the engine has
+    /// processed the batch containing it.
+    Deliver {
+        /// Correlation id, echoed on the `accepted` (or error) reply.
+        id: u64,
+        /// Globally unique delivery key (`<origin-uri>#<outbox-seq>`);
+        /// the receiver deduplicates retries by this key.
+        key: String,
+        /// Event time of the originating reaction, in engine
+        /// milliseconds. Omitted ⇒ the receiver stamps its wall clock.
+        at: Option<Timestamp>,
+        /// The reaction term, ingested as an event by the receiver.
+        payload: Term,
+    },
     /// Flush marker: the server answers [`Reply::Done`] with the same
     /// id once everything this session enqueued before the marker has
     /// been processed and its replies written. The blocking client uses
@@ -207,6 +226,22 @@ impl Request {
                 b.child(Term::ordered("payload", vec![payload.clone()]))
                     .finish()
             }
+            Request::Deliver {
+                id,
+                key,
+                at,
+                payload,
+            } => {
+                let mut b = Term::build("deliver")
+                    .unordered()
+                    .field("id", id.to_string())
+                    .field("key", key);
+                if let Some(at) = at {
+                    b = b.field("at", at.millis().to_string());
+                }
+                b.child(Term::ordered("payload", vec![payload.clone()]))
+                    .finish()
+            }
             Request::Advance { id, at } => Term::build("advance")
                 .unordered()
                 .field("id", id.to_string())
@@ -245,6 +280,12 @@ impl Request {
                     .find(|c| c.label() == Some("from"))
                     .map(|c| c.text_content()),
                 credentials: cred_from(t)?,
+                payload: field_child(t, "payload")?.clone(),
+            }),
+            Some("deliver") => Ok(Request::Deliver {
+                id: field_u64(t, "id")?,
+                key: field_text(t, "key")?,
+                at: opt_field_u64(t, "at")?.map(Timestamp),
                 payload: field_child(t, "payload")?.clone(),
             }),
             Some("advance") => Ok(Request::Advance {
@@ -307,6 +348,11 @@ pub enum ErrorCode {
     Engine,
     /// The server is shutting down; no further events are accepted.
     ShuttingDown,
+    /// The server is at its configured connection cap
+    /// (`NetConfig::max_connections`); the session was refused at
+    /// accept, before any `hello`. Closes — reconnect after the
+    /// reply's `retry_ms`.
+    Busy,
 }
 
 impl ErrorCode {
@@ -321,6 +367,7 @@ impl ErrorCode {
             ErrorCode::NotGateway => "not-gateway",
             ErrorCode::Engine => "engine",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Busy => "busy",
         }
     }
 
@@ -335,6 +382,7 @@ impl ErrorCode {
             "not-gateway" => ErrorCode::NotGateway,
             "engine" => ErrorCode::Engine,
             "shutting-down" => ErrorCode::ShuttingDown,
+            "busy" => ErrorCode::Busy,
             other => return Err(EnvelopeError(format!("unknown error code `{other}`"))),
         })
     }
@@ -364,12 +412,24 @@ pub enum Reply {
         /// that produced this reaction.
         id: u64,
         /// The destination URI the rule action addressed. The ingress
-        /// tier reports it to the submitter rather than dialing out —
-        /// delivery is the client's business (the websim front posts it
-        /// back into the simulation).
+        /// tier reports it to the submitter; when a delivery agent
+        /// ([`crate::delivery`]) is attached to the server it *also*
+        /// dials the destination and pushes the reaction as a
+        /// [`Request::Deliver`].
         to: String,
         /// The reaction term.
         payload: Term,
+    },
+    /// Answer to [`Request::Deliver`]: the reaction is durably ingested
+    /// (or was already, on a retried key). Sent *after* the engine
+    /// processed the batch — the ack is the sender's license to drop
+    /// the reaction from its outbox.
+    Accepted {
+        /// The delivery request's id.
+        id: u64,
+        /// The key had been ingested before; this send was a retry and
+        /// was *not* ingested again.
+        duplicate: bool,
     },
     /// Answer to [`Request::Sync`]: everything this session enqueued
     /// before the marker has been processed.
@@ -385,6 +445,10 @@ pub enum Reply {
         detail: String,
         /// The offending request's id, when one was decodable.
         id: Option<u64>,
+        /// Present on retryable faults ([`ErrorCode::Busy`],
+        /// [`ErrorCode::ShuttingDown`]): suggested client backoff in
+        /// milliseconds, from the server's [`crate::BackoffPolicy`].
+        retry_ms: Option<u64>,
     },
     /// Backpressure: the global ingress queue is full; the event was
     /// NOT enqueued. Retry after a backoff.
@@ -425,17 +489,34 @@ impl Reply {
                 .field("to", to)
                 .child(Term::ordered("payload", vec![payload.clone()]))
                 .finish(),
+            Reply::Accepted { id, duplicate } => {
+                let mut b = Term::build("accepted")
+                    .unordered()
+                    .field("id", id.to_string());
+                if *duplicate {
+                    b = b.child(Term::elem("dup"));
+                }
+                b.finish()
+            }
             Reply::Done { id } => Term::build("done")
                 .unordered()
                 .field("id", id.to_string())
                 .finish(),
-            Reply::Error { code, detail, id } => {
+            Reply::Error {
+                code,
+                detail,
+                id,
+                retry_ms,
+            } => {
                 let mut b = Term::build("error")
                     .unordered()
                     .field("code", code.as_str())
                     .field("detail", detail);
                 if let Some(id) = id {
                     b = b.field("id", id.to_string());
+                }
+                if let Some(retry_ms) = retry_ms {
+                    b = b.field("retry_ms", retry_ms.to_string());
                 }
                 b.finish()
             }
@@ -471,6 +552,10 @@ impl Reply {
                 to: field_text(t, "to")?,
                 payload: field_child(t, "payload")?.clone(),
             }),
+            Some("accepted") => Ok(Reply::Accepted {
+                id: field_u64(t, "id")?,
+                duplicate: has_flag(t, "dup"),
+            }),
             Some("done") => Ok(Reply::Done {
                 id: field_u64(t, "id")?,
             }),
@@ -478,6 +563,7 @@ impl Reply {
                 code: ErrorCode::parse(&field_text(t, "code")?)?,
                 detail: field_text(t, "detail")?,
                 id: opt_field_u64(t, "id")?,
+                retry_ms: opt_field_u64(t, "retry_ms")?,
             }),
             Some("busy") => Ok(Reply::Busy {
                 id: field_u64(t, "id")?,
@@ -580,6 +666,18 @@ mod tests {
             credentials: None,
             payload: Term::elem("ping"),
         });
+        rt_req(Request::Deliver {
+            id: 46,
+            key: "http://a.example/#17".into(),
+            at: Some(Timestamp(2500)),
+            payload: parse_term("ship{item[\"book\"]}").unwrap(),
+        });
+        rt_req(Request::Deliver {
+            id: 47,
+            key: "http://a.example/#18".into(),
+            at: None,
+            payload: Term::elem("ping"),
+        });
         rt_req(Request::Advance {
             id: 44,
             at: Timestamp(5000),
@@ -599,11 +697,26 @@ mod tests {
             to: "http://warehouse.example/".into(),
             payload: Term::elem("ship"),
         });
+        rt_rep(Reply::Accepted {
+            id: 46,
+            duplicate: false,
+        });
+        rt_rep(Reply::Accepted {
+            id: 47,
+            duplicate: true,
+        });
         rt_rep(Reply::Done { id: 45 });
         rt_rep(Reply::Error {
             code: ErrorCode::BadEnvelope,
             detail: "unparsable term".into(),
             id: Some(7),
+            retry_ms: None,
+        });
+        rt_rep(Reply::Error {
+            code: ErrorCode::Busy,
+            detail: "connection cap reached".into(),
+            id: None,
+            retry_ms: Some(10),
         });
         rt_rep(Reply::Busy {
             id: 9,

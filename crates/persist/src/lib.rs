@@ -86,9 +86,11 @@ use std::path::{Path, PathBuf};
 use reweb_core::{InMessage, MessageMeta, OutMessage, ReactiveEngine, ReplayMark, ShardedEngine};
 use reweb_term::{Dur, Term, TermError, Timestamp};
 
+pub mod outbox;
 pub mod snapshot;
 pub mod wal;
 
+pub use outbox::{Outbox, OutboxOpen, PendingDelivery, Settle};
 pub use snapshot::{JournalEntry, Snapshot};
 pub use wal::Record;
 

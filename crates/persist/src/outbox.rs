@@ -1,0 +1,407 @@
+//! The delivery outbox: a durable journal of outbound reactions that
+//! have been produced but not yet acknowledged by their destination.
+//!
+//! The delivery agent (`reweb_net::delivery`) is the write side of the
+//! at-least-once story; this journal is what survives a crash of the
+//! *sending* node. Every reaction handed to the agent is appended as an
+//! `o_enq` record *before* the first dial attempt; every destination
+//! acknowledgment (or dead-letter settlement) is appended as an `o_ack`
+//! / `o_dead` record after the fact. Recovery replays the journal and
+//! returns the unsettled remainder — exactly the deliveries whose fate
+//! the crash interrupted — so the restarted agent re-queues them. A
+//! re-queued delivery may already have reached its destination (the
+//! crash can land between the peer's ack being sent and our `o_ack`
+//! being durable); that is the "at-least-once" in at-least-once, and the
+//! receiver deduplicates by the delivery key, which embeds the stable
+//! outbox sequence number.
+//!
+//! The on-disk format is the same CRC-framed textual-term log as the WAL
+//! ([`reweb_term::frame`]), with the same torn-tail discipline: a
+//! truncated or CRC-broken final record is the expected residue of a
+//! crash and is healed by truncation, never an error.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use reweb_term::frame::{scan_frames, write_frame, FRAME_HEADER_LEN};
+use reweb_term::{parse_term, Term, Timestamp};
+
+use crate::wal::{field_child, field_text, field_u64};
+use crate::{PersistError, Result, SyncPolicy};
+
+/// Magic first record of every outbox journal.
+pub const OUTBOX_SCHEMA: &str = "reweb-outbox/v1";
+
+/// One unsettled outbound reaction recovered from (or tracked by) the
+/// journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingDelivery {
+    /// Stable, monotone sequence number — assigned at enqueue, embedded
+    /// in the wire-level delivery key, never reused.
+    pub seq: u64,
+    /// Destination URI from the reaction's `to[...]`.
+    pub to: String,
+    /// Event time of the originating reaction.
+    pub at: Timestamp,
+    /// The reaction term itself.
+    pub payload: Term,
+}
+
+/// How a delivery left the pending set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Settle {
+    /// The destination acknowledged ingestion.
+    Acked,
+    /// The retry budget ran out; the reaction went to the dead-letter
+    /// log instead (still recoverable — just no longer *pending*).
+    DeadLettered,
+}
+
+enum OutboxRecord {
+    Head { schema: String },
+    Enq(PendingDelivery),
+    Settle { seq: u64, how: Settle },
+}
+
+impl OutboxRecord {
+    fn to_bytes(&self) -> Vec<u8> {
+        let term = match self {
+            OutboxRecord::Head { schema } => Term::build("o_head")
+                .unordered()
+                .field("schema", schema)
+                .finish(),
+            OutboxRecord::Enq(p) => Term::build("o_enq")
+                .unordered()
+                .field("seq", p.seq.to_string())
+                .field("to", &p.to)
+                .field("at", p.at.millis().to_string())
+                .child(Term::ordered("payload", vec![p.payload.clone()]))
+                .finish(),
+            OutboxRecord::Settle {
+                seq,
+                how: Settle::Acked,
+            } => Term::build("o_ack")
+                .unordered()
+                .field("seq", seq.to_string())
+                .finish(),
+            OutboxRecord::Settle {
+                seq,
+                how: Settle::DeadLettered,
+            } => Term::build("o_dead")
+                .unordered()
+                .field("seq", seq.to_string())
+                .finish(),
+        };
+        term.to_string().into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<OutboxRecord> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| PersistError::Corrupt("outbox record is not UTF-8".into()))?;
+        let t = parse_term(text)?;
+        match t.label() {
+            Some("o_head") => Ok(OutboxRecord::Head {
+                schema: field_text(&t, "schema")?,
+            }),
+            Some("o_enq") => Ok(OutboxRecord::Enq(PendingDelivery {
+                seq: field_u64(&t, "seq")?,
+                to: field_text(&t, "to")?,
+                at: Timestamp(field_u64(&t, "at")?),
+                payload: field_child(&t, "payload")?.clone(),
+            })),
+            Some("o_ack") => Ok(OutboxRecord::Settle {
+                seq: field_u64(&t, "seq")?,
+                how: Settle::Acked,
+            }),
+            Some("o_dead") => Ok(OutboxRecord::Settle {
+                seq: field_u64(&t, "seq")?,
+                how: Settle::DeadLettered,
+            }),
+            other => Err(PersistError::Corrupt(format!(
+                "unknown outbox record label {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Result of opening (and torn-tail-healing) an outbox journal.
+pub struct OutboxOpen {
+    /// The append handle.
+    pub outbox: Outbox,
+    /// Every enqueued-but-unsettled delivery, in sequence order.
+    pub pending: Vec<PendingDelivery>,
+    /// Bytes discarded from a torn or corrupt tail.
+    pub torn_bytes: u64,
+}
+
+/// Append handle over the outbox journal. All writes go through the
+/// configured [`SyncPolicy`]; with [`SyncPolicy::Always`] an enqueue is
+/// durable before the agent's first dial attempt, which is what makes
+/// the pending set exact across sender crashes.
+pub struct Outbox {
+    file: File,
+    len: u64,
+    path: PathBuf,
+    sync: SyncPolicy,
+    next_seq: u64,
+    /// Unsettled sequence numbers with their payloads — kept in memory
+    /// for inspection ([`Outbox::pending_count`]) and compaction.
+    live: BTreeMap<u64, PendingDelivery>,
+    /// Settlements journaled so far (ack + dead), for accounting.
+    settled: u64,
+}
+
+impl Outbox {
+    /// Open (creating if absent) the journal at `path`: heal the torn
+    /// tail, replay the records, and return the unsettled remainder.
+    pub fn open(path: &Path, sync: SyncPolicy) -> Result<OutboxOpen> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let scan = scan_frames(&bytes);
+        let torn_bytes = bytes.len() as u64 - scan.valid_len;
+        let mut live = BTreeMap::new();
+        let mut next_seq = 0u64;
+        let mut settled = 0u64;
+        for (i, (_, payload)) in scan.frames.iter().enumerate() {
+            match OutboxRecord::from_bytes(payload)? {
+                OutboxRecord::Head { schema } => {
+                    if i != 0 {
+                        return Err(PersistError::Corrupt("outbox header not first".into()));
+                    }
+                    if schema != OUTBOX_SCHEMA {
+                        return Err(PersistError::Corrupt(format!(
+                            "outbox schema `{schema}` is not `{OUTBOX_SCHEMA}`"
+                        )));
+                    }
+                }
+                OutboxRecord::Enq(p) => {
+                    next_seq = next_seq.max(p.seq + 1);
+                    live.insert(p.seq, p);
+                }
+                OutboxRecord::Settle { seq, .. } => {
+                    live.remove(&seq);
+                    settled += 1;
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if torn_bytes > 0 {
+            file.set_len(scan.valid_len)?;
+        }
+        let mut outbox = Outbox {
+            file,
+            len: scan.valid_len,
+            path: path.to_path_buf(),
+            sync,
+            next_seq,
+            live,
+            settled,
+        };
+        if outbox.len == 0 {
+            outbox.append(&OutboxRecord::Head {
+                schema: OUTBOX_SCHEMA.into(),
+            })?;
+        }
+        let pending = outbox.live.values().cloned().collect();
+        Ok(OutboxOpen {
+            outbox,
+            pending,
+            torn_bytes,
+        })
+    }
+
+    fn append(&mut self, rec: &OutboxRecord) -> Result<()> {
+        let payload = rec.to_bytes();
+        if let Err(e) = write_frame(&mut self.file, &payload) {
+            // Same discipline as the WAL: never leave garbage at the
+            // tail for a later successful append to land behind.
+            let _ = self.file.set_len(self.len);
+            return Err(e.into());
+        }
+        self.len += (FRAME_HEADER_LEN + payload.len()) as u64;
+        if self.sync == SyncPolicy::Always {
+            self.file.flush()?;
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Journal one outbound reaction; returns its sequence number. The
+    /// record is durable (per policy) when this returns — only then may
+    /// the agent start dialing.
+    pub fn enqueue(&mut self, to: &str, at: Timestamp, payload: &Term) -> Result<u64> {
+        let seq = self.next_seq;
+        let p = PendingDelivery {
+            seq,
+            to: to.to_string(),
+            at,
+            payload: payload.clone(),
+        };
+        self.append(&OutboxRecord::Enq(p.clone()))?;
+        self.next_seq += 1;
+        self.live.insert(seq, p);
+        Ok(seq)
+    }
+
+    /// Re-journal a previously settled delivery under its *original*
+    /// sequence number — the redeliver path for dead letters. Keeping
+    /// the seq (and with it the wire-level delivery key) is what lets
+    /// the receiver recognize a redelivered reaction it already
+    /// ingested once via a lost ack.
+    pub fn requeue(&mut self, p: &PendingDelivery) -> Result<()> {
+        if self.live.contains_key(&p.seq) {
+            return Ok(());
+        }
+        self.append(&OutboxRecord::Enq(p.clone()))?;
+        self.next_seq = self.next_seq.max(p.seq + 1);
+        self.live.insert(p.seq, p.clone());
+        Ok(())
+    }
+
+    /// Journal a settlement: the delivery was acknowledged by the
+    /// destination, or moved to the dead-letter log. Unknown or
+    /// already-settled sequence numbers are a no-op (the agent may
+    /// settle the same seq twice across a redeliver race).
+    pub fn settle(&mut self, seq: u64, how: Settle) -> Result<()> {
+        if self.live.remove(&seq).is_none() {
+            return Ok(());
+        }
+        self.settled += 1;
+        self.append(&OutboxRecord::Settle { seq, how })
+    }
+
+    /// Deliveries enqueued but not yet settled.
+    pub fn pending_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Settlement records journaled so far (acked + dead-lettered).
+    pub fn settled_count(&self) -> u64 {
+        self.settled
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rewrite the journal with only the header and the unsettled
+    /// remainder (write-to-temp then rename, so a crash mid-compaction
+    /// leaves either the old or the new journal, never a mix). Call
+    /// when the settled prefix dominates the file.
+    pub fn compact(&mut self) -> Result<()> {
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut f = File::create(&tmp)?;
+            write_frame(
+                &mut f,
+                &OutboxRecord::Head {
+                    schema: OUTBOX_SCHEMA.into(),
+                }
+                .to_bytes(),
+            )?;
+            for p in self.live.values() {
+                write_frame(&mut f, &OutboxRecord::Enq(p.clone()).to_bytes())?;
+            }
+            f.flush()?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.len = self.file.metadata()?.len();
+        self.settled = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("reweb-outbox-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("outbox.log");
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn pending_survives_reopen_and_settlement_is_final() {
+        let path = scratch("reopen");
+        let mut ob = Outbox::open(&path, SyncPolicy::Always).unwrap().outbox;
+        let s0 = ob
+            .enqueue("http://b/", Timestamp(10), &Term::elem("x"))
+            .unwrap();
+        let s1 = ob
+            .enqueue("http://c/", Timestamp(20), &Term::elem("y"))
+            .unwrap();
+        let s2 = ob
+            .enqueue("http://b/", Timestamp(30), &Term::elem("z"))
+            .unwrap();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        ob.settle(s1, Settle::Acked).unwrap();
+        ob.settle(s0, Settle::DeadLettered).unwrap();
+        ob.settle(s0, Settle::DeadLettered).unwrap(); // duplicate: no-op
+        assert_eq!(ob.pending_count(), 1);
+        drop(ob);
+
+        let open = Outbox::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(open.torn_bytes, 0);
+        assert_eq!(open.pending.len(), 1);
+        assert_eq!(open.pending[0].seq, s2);
+        assert_eq!(open.pending[0].to, "http://b/");
+        assert_eq!(open.pending[0].payload, Term::elem("z"));
+        // Sequence numbers are never reused after recovery.
+        let mut ob = open.outbox;
+        let s3 = ob
+            .enqueue("http://b/", Timestamp(40), &Term::elem("w"))
+            .unwrap();
+        assert_eq!(s3, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_heals_and_compaction_preserves_pending() {
+        let path = scratch("torn");
+        let mut ob = Outbox::open(&path, SyncPolicy::Always).unwrap().outbox;
+        for i in 0..4 {
+            ob.enqueue("http://b/", Timestamp(i), &Term::elem("e"))
+                .unwrap();
+        }
+        ob.settle(0, Settle::Acked).unwrap();
+        ob.settle(1, Settle::Acked).unwrap();
+        drop(ob);
+
+        // Tear mid-record: the last settle survives, garbage heals.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let open = Outbox::open(&path, SyncPolicy::Always).unwrap();
+        assert!(open.torn_bytes > 0);
+        // The torn record was `o_ack{seq["1"]}` minus 3 bytes, so seq 1
+        // is pending again — re-delivering an already-acked reaction is
+        // exactly the at-least-once contract.
+        let seqs: Vec<u64> = open.pending.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+
+        let mut ob = open.outbox;
+        ob.compact().unwrap();
+        drop(ob);
+        let open = Outbox::open(&path, SyncPolicy::Always).unwrap();
+        let seqs: Vec<u64> = open.pending.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "compaction kept the pending set");
+        assert!(open.outbox.next_seq == 4, "compaction kept seq monotone");
+        let _ = std::fs::remove_file(&path);
+    }
+}

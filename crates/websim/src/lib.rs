@@ -22,6 +22,14 @@
 //!   loopback TCP ([`Simulation::add_net_engine`]): simulated deliveries
 //!   cross the actual wire protocol in lockstep, so a networked engine
 //!   can be dropped into any experiment without losing determinism.
+//! * **Fault injection**: [`Simulation::kill_node`] crashes a node
+//!   mid-run — a [`NodeKind::Durable`] node drops its in-memory engine
+//!   (its write-ahead log survives on disk), a [`NodeKind::Net`] node
+//!   drops its TCP session — and [`Simulation::recover_node`] brings it
+//!   back, replaying the log or reconnecting. Deliveries that arrive
+//!   while a node is down are lost and counted
+//!   ([`NetMetrics::lost_while_down`]), which is exactly the gap the
+//!   `reweb_net` delivery agent's retry/dead-letter machinery closes.
 
 #![warn(missing_docs)]
 
@@ -30,7 +38,7 @@ pub mod node;
 pub mod sim;
 
 pub use envelope::Envelope;
-pub use node::{NetFront, NodeKind, Poller};
+pub use node::{DurableNode, NetFront, NodeKind, Poller};
 pub use sim::{NetMetrics, Simulation};
 
 pub use reweb_term::TermError;

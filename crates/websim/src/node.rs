@@ -1,9 +1,12 @@
 //! Web nodes: engines, resource servers, pollers, sinks, and TCP
 //! fronts.
 
+use std::path::PathBuf;
+
 use reweb_core::{ReactiveEngine, ShardedEngine};
 use reweb_net::wire::Reply;
 use reweb_net::NetClient;
+use reweb_persist::{DurableEngine, DurableOptions};
 use reweb_term::{diff_documents, Dur, IdentityMode, ResourceStore, Term, Timestamp};
 
 use crate::envelope::Envelope;
@@ -32,6 +35,12 @@ pub enum NodeKind {
     /// the wire protocol and the engine's reactions re-enter the
     /// simulation as ordinary posts.
     Net(NetFront),
+    /// A reactive node whose engine is wrapped in a WAL-backed
+    /// [`DurableEngine`] ([`DurableNode`]): the fault-injection target.
+    /// `Simulation::kill_node` drops the in-memory engine (the on-disk
+    /// log survives); `Simulation::recover_node` reopens it from the
+    /// log, replaying to the exact pre-crash state.
+    Durable(DurableNode),
 }
 
 impl NodeKind {
@@ -43,13 +52,16 @@ impl NodeKind {
             NodeKind::Engine(e) => Some(&e.qe.store),
             NodeKind::Sharded(e) => Some(&e.shards()[0].qe.store),
             NodeKind::Store(s) => Some(s),
+            NodeKind::Durable(d) => d.engine.as_ref().map(|e| &e.engine().qe.store),
             _ => None,
         }
     }
 
     /// Mutable access to the single backing store. `None` for sharded
-    /// nodes: writes there must replicate to every shard, which the
-    /// simulation does through [`ShardedEngine::put_resource`].
+    /// nodes (writes there must replicate to every shard, which the
+    /// simulation does through [`ShardedEngine::put_resource`]) and for
+    /// durable nodes (writes there must be logged, which the simulation
+    /// does through [`DurableEngine::put_resource`]).
     pub fn store_mut(&mut self) -> Option<&mut ResourceStore> {
         match self {
             NodeKind::Engine(e) => Some(&mut e.qe.store),
@@ -97,6 +109,64 @@ impl NodeKind {
             _ => None,
         }
     }
+
+    /// The durable node, if this is an [`NodeKind::Durable`].
+    pub fn as_durable(&self) -> Option<&DurableNode> {
+        match self {
+            NodeKind::Durable(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to an [`NodeKind::Durable`] node.
+    pub fn as_durable_mut(&mut self) -> Option<&mut DurableNode> {
+        match self {
+            NodeKind::Durable(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// A WAL-backed reactive node (the `Simulation::kill_node` /
+/// `recover_node` fault-injection target). While crashed the in-memory
+/// engine is gone (`engine` is `None`) but the log directory persists;
+/// recovery reopens the [`DurableEngine`] from disk, replaying rules,
+/// state, and pending absence deadlines exactly as the persistence tier
+/// guarantees.
+pub struct DurableNode {
+    pub(crate) uri: String,
+    pub(crate) dir: PathBuf,
+    pub(crate) opts: DurableOptions,
+    pub(crate) engine: Option<Box<DurableEngine<ReactiveEngine>>>,
+}
+
+impl DurableNode {
+    /// The running engine, `None` while the node is crashed.
+    pub fn engine(&self) -> Option<&DurableEngine<ReactiveEngine>> {
+        self.engine.as_deref()
+    }
+
+    /// True while the node is crashed (killed and not yet recovered).
+    pub fn is_down(&self) -> bool {
+        self.engine.is_none()
+    }
+
+    /// Simulate a crash: drop the in-memory engine. The log directory
+    /// survives; whatever was synced is what recovery will see.
+    pub(crate) fn kill(&mut self) {
+        self.engine = None;
+    }
+
+    /// Reopen the engine from its log directory (crash recovery).
+    pub(crate) fn recover(&mut self) -> reweb_persist::Result<()> {
+        if self.engine.is_some() {
+            return Ok(());
+        }
+        let uri = self.uri.clone();
+        let eng = DurableEngine::open(&self.dir, self.opts, move || ReactiveEngine::new(uri))?;
+        self.engine = Some(Box::new(eng));
+        Ok(())
+    }
 }
 
 /// The TCP front of a [`NodeKind::Net`] node: a gateway session on a
@@ -111,18 +181,56 @@ impl NodeKind {
 /// (`Simulation::schedule_wakeup`) where their timing matters; otherwise
 /// they fire at the next clock advance.
 pub struct NetFront {
-    client: NetClient,
+    /// `None` while the connection is killed (fault injection).
+    client: Option<NetClient>,
+    /// Reconnect coordinates for [`Simulation::recover_node`].
+    addr: std::net::SocketAddr,
+    from: String,
 }
 
 impl NetFront {
-    /// Wrap an established gateway session.
-    pub fn new(client: NetClient) -> NetFront {
-        NetFront { client }
+    /// Wrap an established gateway session, remembering the reconnect
+    /// coordinates so a killed front can be recovered.
+    pub fn new(client: NetClient, addr: std::net::SocketAddr, from: impl Into<String>) -> NetFront {
+        NetFront {
+            client: Some(client),
+            addr,
+            from: from.into(),
+        }
+    }
+
+    /// True while the TCP session is down (killed and not recovered).
+    pub fn is_down(&self) -> bool {
+        self.client.is_none()
+    }
+
+    /// Simulate a connection failure: drop the TCP session without a
+    /// `bye`. Deliveries forwarded while down are lost, as they would be
+    /// on a real partition.
+    pub(crate) fn kill(&mut self) {
+        self.client = None;
+    }
+
+    /// Re-establish the gateway session after a kill.
+    pub(crate) fn recover(&mut self) -> std::io::Result<()> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        self.client = Some(NetClient::connect_with(
+            self.addr,
+            self.from.clone(),
+            None,
+            true,
+        )?);
+        Ok(())
     }
 
     /// Collect `(to, payload)` reactions from a fenced flush.
     fn drain(&mut self) -> Vec<(String, Term)> {
-        match self.client.sync() {
+        let Some(client) = self.client.as_mut() else {
+            return Vec::new();
+        };
+        match client.sync() {
             Ok(replies) => replies
                 .into_iter()
                 .filter_map(|r| match r {
@@ -140,8 +248,10 @@ impl NetFront {
     /// Forward one simulated delivery over the wire and return the
     /// remote engine's reactions.
     pub(crate) fn forward(&mut self, env: &Envelope, now: Timestamp) -> Vec<(String, Term)> {
-        if self
-            .client
+        let Some(client) = self.client.as_mut() else {
+            return Vec::new();
+        };
+        if client
             .send_event_as(
                 env.from.clone(),
                 env.credentials.clone(),
@@ -158,7 +268,10 @@ impl NetFront {
     /// Advance the remote engine's clock (absence deadlines) and return
     /// what fired.
     pub(crate) fn advance(&mut self, at: Timestamp) -> Vec<(String, Term)> {
-        if self.client.advance(at).is_err() {
+        let Some(client) = self.client.as_mut() else {
+            return Vec::new();
+        };
+        if client.advance(at).is_err() {
             return Vec::new();
         }
         self.drain()

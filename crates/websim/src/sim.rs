@@ -7,15 +7,17 @@
 //! tables reproducible.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reweb_core::{Credentials, MessageMeta, ReactiveEngine, ShardedEngine};
+use reweb_persist::{DurableEngine, DurableOptions};
 use reweb_term::{Dur, IdentityMode, ResourceStore, Term, Timestamp};
 
 use crate::envelope::Envelope;
-use crate::node::{NetFront, NodeKind, Poller};
+use crate::node::{DurableNode, NetFront, NodeKind, Poller};
 
 /// Network traffic and delivery statistics (experiments E2, E3).
 #[derive(Clone, Debug, Default)]
@@ -30,6 +32,9 @@ pub struct NetMetrics {
     pub bytes: u64,
     /// Deliveries to unknown nodes.
     pub dropped: u64,
+    /// Deliveries lost because the destination node was down (killed by
+    /// fault injection and not yet recovered) when they arrived.
+    pub lost_while_down: u64,
     /// Messages sent, per sending node.
     pub sent_by_node: BTreeMap<String, u64>,
     /// Messages delivered, per receiving node.
@@ -75,6 +80,9 @@ pub struct Simulation {
     push_subs: BTreeMap<String, Vec<(String, IdentityMode)>>,
     /// Credentials a node presents on its outbound messages.
     outgoing_creds: BTreeMap<String, Credentials>,
+    /// Nodes currently killed by fault injection: deliveries to them are
+    /// lost, their engines neither advance nor answer polls.
+    down: BTreeSet<String>,
     queue: BinaryHeap<Reverse<Scheduled>>,
     now: Timestamp,
     seq: u64,
@@ -93,6 +101,7 @@ impl Simulation {
             nodes: BTreeMap::new(),
             push_subs: BTreeMap::new(),
             outgoing_creds: BTreeMap::new(),
+            down: BTreeSet::new(),
             queue: BinaryHeap::new(),
             now: Timestamp::ZERO,
             seq: 0,
@@ -144,9 +153,86 @@ impl Simulation {
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<()> {
         let uri = uri.into();
+        let addr = std::net::ToSocketAddrs::to_socket_addrs(&addr)?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
         let client = reweb_net::NetClient::connect_with(addr, uri.clone(), None, true)?;
-        self.nodes.insert(uri, NodeKind::Net(NetFront::new(client)));
+        self.nodes
+            .insert(uri.clone(), NodeKind::Net(NetFront::new(client, addr, uri)));
         Ok(())
+    }
+
+    /// Add a reactive node whose engine is wrapped in a WAL-backed
+    /// [`DurableEngine`] journaling to `dir` — the target for
+    /// [`Simulation::kill_node`] / [`Simulation::recover_node`] fault
+    /// injection. On a fresh directory the `program` is installed (and
+    /// logged); on an existing one the log is replayed and `program` is
+    /// ignored, exactly as a restarted process would recover.
+    pub fn add_durable_engine(
+        &mut self,
+        uri: impl Into<String>,
+        dir: impl AsRef<Path>,
+        opts: DurableOptions,
+        program: &str,
+    ) -> reweb_persist::Result<()> {
+        let uri = uri.into();
+        let u = uri.clone();
+        let mut eng = DurableEngine::open(dir.as_ref(), opts, move || ReactiveEngine::new(u))?;
+        if !eng.recovery().recovered {
+            eng.install_program(program)?;
+        }
+        self.nodes.insert(
+            uri.clone(),
+            NodeKind::Durable(DurableNode {
+                uri,
+                dir: dir.as_ref().to_path_buf(),
+                opts,
+                engine: Some(Box::new(eng)),
+            }),
+        );
+        Ok(())
+    }
+
+    // ----- fault injection --------------------------------------------------
+
+    /// Kill `uri` mid-run: deliveries addressed to it are lost (counted
+    /// in [`NetMetrics::lost_while_down`]), its engine neither advances
+    /// nor answers polls. A [`NodeKind::Durable`] node drops its
+    /// in-memory engine (the on-disk log survives, crash-style); a
+    /// [`NodeKind::Net`] node drops its TCP session without a `bye`.
+    /// Returns false if no such node exists.
+    pub fn kill_node(&mut self, uri: &str) -> bool {
+        let Some(node) = self.nodes.get_mut(uri) else {
+            return false;
+        };
+        self.down.insert(uri.to_string());
+        match node {
+            NodeKind::Durable(d) => d.kill(),
+            NodeKind::Net(f) => f.kill(),
+            _ => {}
+        }
+        true
+    }
+
+    /// Recover a killed node: durable nodes reopen their engine from the
+    /// log (replaying to the pre-crash state), net nodes reconnect their
+    /// gateway session. No-op for nodes that are up.
+    pub fn recover_node(&mut self, uri: &str) -> std::io::Result<()> {
+        let Some(node) = self.nodes.get_mut(uri) else {
+            return Err(std::io::Error::other(format!("no node at {uri}")));
+        };
+        match node {
+            NodeKind::Durable(d) => d.recover().map_err(std::io::Error::other)?,
+            NodeKind::Net(f) => f.recover()?,
+            _ => {}
+        }
+        self.down.remove(uri);
+        Ok(())
+    }
+
+    /// True while `uri` is killed and not yet recovered.
+    pub fn is_down(&self, uri: &str) -> bool {
+        self.down.contains(uri)
     }
 
     /// Add a passive resource server.
@@ -206,6 +292,15 @@ impl Simulation {
     /// The sharded engine at `uri`, if that node is sharded.
     pub fn sharded(&self, uri: &str) -> Option<&ShardedEngine> {
         self.nodes.get(uri).and_then(NodeKind::as_sharded)
+    }
+
+    /// The durable engine at `uri`, if that node is durable and up
+    /// (`None` while killed).
+    pub fn durable(&self, uri: &str) -> Option<&DurableEngine<ReactiveEngine>> {
+        self.nodes
+            .get(uri)
+            .and_then(NodeKind::as_durable)
+            .and_then(DurableNode::engine)
     }
 
     /// Deliveries recorded at the sink `uri` (empty for non-sinks).
@@ -289,10 +384,12 @@ impl Simulation {
     /// engine nodes.
     fn min_engine_deadline(&self) -> Option<Timestamp> {
         self.nodes
-            .values()
-            .filter_map(|n| match n {
+            .iter()
+            .filter(|(uri, _)| !self.down.contains(uri.as_str()))
+            .filter_map(|(_, n)| match n {
                 NodeKind::Engine(e) => e.next_deadline(),
                 NodeKind::Sharded(e) => e.next_deadline(),
+                NodeKind::Durable(d) => d.engine().and_then(|e| e.engine().next_deadline()),
                 _ => None,
             })
             .min()
@@ -304,6 +401,9 @@ impl Simulation {
     fn advance_engines(&mut self, at: Timestamp) {
         let uris: Vec<String> = self.nodes.keys().cloned().collect();
         for uri in uris {
+            if self.down.contains(&uri) {
+                continue;
+            }
             let outs: Vec<(String, Term)> = match self.nodes.get_mut(&uri) {
                 Some(NodeKind::Engine(e)) => e
                     .advance_time(at)
@@ -316,6 +416,7 @@ impl Simulation {
                     .map(|o| (o.to, o.payload))
                     .collect(),
                 Some(NodeKind::Net(f)) => f.advance(at),
+                Some(NodeKind::Durable(d)) => durable_outs(d, |e| e.advance_time(at)),
                 _ => Vec::new(),
             };
             for (to, payload) in outs {
@@ -359,6 +460,9 @@ impl Simulation {
             Task::Deliver(env) => self.deliver(env),
             Task::Poll { node } => self.poll(node),
             Task::Wakeup { node } => {
+                if self.down.contains(&node) {
+                    return;
+                }
                 let now = self.now;
                 let outs: Vec<(String, Term)> = match self.nodes.get_mut(&node) {
                     Some(NodeKind::Engine(e)) => e
@@ -372,6 +476,7 @@ impl Simulation {
                         .map(|o| (o.to, o.payload))
                         .collect(),
                     Some(NodeKind::Net(f)) => f.advance(now),
+                    Some(NodeKind::Durable(d)) => durable_outs(d, |e| e.advance_time(now)),
                     _ => Vec::new(),
                 };
                 for (to, payload) in outs {
@@ -393,6 +498,12 @@ impl Simulation {
             self.metrics.dropped += 1;
             return;
         };
+        if self.down.contains(&owner) {
+            // The destination crashed: push delivery is fire-and-forget
+            // on this simulated Web, so the message is simply lost.
+            self.metrics.lost_while_down += 1;
+            return;
+        }
         *self
             .metrics
             .received_by_node
@@ -425,6 +536,13 @@ impl Simulation {
             // credentials, and the fenced reply stream comes back before
             // the clock moves.
             Some(NodeKind::Net(f)) => f.forward(&env, now),
+            Some(NodeKind::Durable(d)) => {
+                let meta = MessageMeta {
+                    from: env.from.clone(),
+                    credentials: env.credentials.clone(),
+                };
+                durable_outs(d, |e| e.receive(env.body.clone(), &meta, now))
+            }
             Some(NodeKind::Sink(v)) => {
                 v.push((now, env));
                 Vec::new()
@@ -449,6 +567,7 @@ impl Simulation {
         let fetched: Option<(Term, u64)> = self
             .owner_of(&target)
             .map(String::from)
+            .filter(|owner| !self.down.contains(owner))
             .and_then(|owner| self.nodes.get(&owner))
             .and_then(NodeKind::store)
             .and_then(|s| {
@@ -482,6 +601,12 @@ impl Simulation {
         let Some(owner) = self.owner_of(&uri).map(String::from) else {
             return;
         };
+        if self.down.contains(&owner) {
+            // A crashed owner can't accept the write; the update is lost
+            // (the workload driver does not retry).
+            self.metrics.lost_while_down += 1;
+            return;
+        }
         let old = self
             .nodes
             .get(&owner)
@@ -491,6 +616,15 @@ impl Simulation {
             // A sharded owner replicates the update to every shard's
             // store, so every rule reads the same data.
             Some(NodeKind::Sharded(e)) => e.put_resource(uri.clone(), doc.clone()),
+            // A durable owner logs the update so recovery replays it.
+            Some(NodeKind::Durable(d)) => {
+                let Some(e) = d.engine.as_deref_mut() else {
+                    return;
+                };
+                if e.put_resource(&uri, doc.clone()).is_err() {
+                    return;
+                }
+            }
             Some(n) => {
                 if let Some(store) = n.store_mut() {
                     store.put(uri.clone(), doc.clone());
@@ -520,6 +654,24 @@ impl Simulation {
             }
         }
     }
+}
+
+/// Run `f` against a durable node's engine and shape the outputs for
+/// re-posting. Empty when the node is crashed or the log write fails —
+/// the simulated Web drops messages, it does not crash the run.
+fn durable_outs(
+    d: &mut DurableNode,
+    f: impl FnOnce(
+        &mut DurableEngine<ReactiveEngine>,
+    ) -> reweb_persist::Result<Vec<reweb_core::OutMessage>>,
+) -> Vec<(String, Term)> {
+    d.engine
+        .as_deref_mut()
+        .and_then(|e| f(e).ok())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|o| (o.to, o.payload))
+        .collect()
 }
 
 #[cfg(test)]
@@ -787,6 +939,60 @@ mod tests {
             Some("yes"),
             "update reached the shard store"
         );
+    }
+
+    #[test]
+    fn durable_node_crash_loses_in_flight_and_recovery_replays_state() {
+        let dir = std::env::temp_dir().join(format!("reweb-websim-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let program =
+            r#"RULE fwd ON order{{id[[var O]]}} DO SEND ack{id[var O]} TO "http://client" END"#;
+        let mut sim = Simulation::new(7);
+        sim.add_durable_engine("http://shop", &dir, DurableOptions::default(), program)
+            .unwrap();
+        sim.add_sink("http://client");
+        // First order processed (and logged) while the node is up.
+        sim.post(
+            "http://client",
+            "http://shop",
+            parse_term("order{id[\"o1\"]}").unwrap(),
+            Timestamp(0),
+        );
+        sim.run_until(Timestamp(1_000));
+        assert_eq!(sim.sink("http://client").len(), 1);
+
+        // Crash the node; a second order arrives into the void.
+        assert!(sim.kill_node("http://shop"));
+        assert!(sim.is_down("http://shop"));
+        sim.post(
+            "http://client",
+            "http://shop",
+            parse_term("order{id[\"o2\"]}").unwrap(),
+            Timestamp(2_000),
+        );
+        sim.run_until(Timestamp(3_000));
+        assert_eq!(sim.metrics.lost_while_down, 1);
+        assert_eq!(sim.sink("http://client").len(), 1, "o2 was lost");
+
+        // Recover from the write-ahead log: the rules replay, and a
+        // third order is processed as if the crash never happened.
+        sim.recover_node("http://shop").unwrap();
+        assert!(!sim.is_down("http://shop"));
+        assert!(sim.durable("http://shop").unwrap().recovery().recovered);
+        sim.post(
+            "http://client",
+            "http://shop",
+            parse_term("order{id[\"o3\"]}").unwrap(),
+            Timestamp(4_000),
+        );
+        sim.run_until(Timestamp(5_000));
+        let bodies: Vec<String> = sim
+            .sink("http://client")
+            .iter()
+            .map(|(_, e)| e.body.to_string())
+            .collect();
+        assert_eq!(bodies, vec!["ack{id[\"o1\"]}", "ack{id[\"o3\"]}"]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -206,6 +206,7 @@ fn error_catalogue_matches_the_enum() {
         ErrorCode::NotGateway,
         ErrorCode::Engine,
         ErrorCode::ShuttingDown,
+        ErrorCode::Busy,
     ];
     for code in all {
         assert!(
@@ -248,6 +249,10 @@ fn defaults_table_matches_netconfig() {
     assert_eq!(cell("reply_buffer"), cfg.reply_buffer.to_string());
     assert_eq!(cell("rate_limit"), "off");
     assert!(cfg.rate_limit.is_none());
+    assert_eq!(cell("max_connections"), "off");
+    assert!(cfg.max_connections.is_none());
+    assert_eq!(cell("delivery_journal"), "off");
+    assert!(cfg.delivery_journal.is_none());
 }
 
 /// The hello example in §3 actually opens a session against a live
