@@ -1,8 +1,9 @@
-//! The experiments E1…E18 — one per thesis, plus E13 for the sharded
+//! The experiments E1…E19 — one per thesis, plus E13 for the sharded
 //! batch-ingestion layer, E14 for the single-engine match/fire hot
 //! path, E15 for the durability layer — write-ahead log and snapshots —
 //! E16 for the compiled rule matcher, E17 for the indexed beta joins,
-//! and E18 for the TCP ingress tier (DESIGN.md §3).
+//! E18 for the TCP ingress tier, and E19 for the observability layer's
+//! overhead (DESIGN.md §3).
 //!
 //! Each function builds its workload, runs the systems under comparison,
 //! and returns a [`Table`] whose *shape* (who wins, how things scale)
@@ -26,7 +27,7 @@ pub type Runner = fn() -> Table;
 /// The experiment table, in run order — the single source the
 /// `experiments` binary uses both to validate its arguments and to
 /// dispatch, so ids and runners cannot drift apart.
-pub const RUNNERS: [(&str, Runner); 19] = [
+pub const RUNNERS: [(&str, Runner); 20] = [
     ("E1", e1_eca_vs_production),
     ("E2", e2_local_vs_central),
     ("E3", e3_push_vs_poll),
@@ -46,6 +47,7 @@ pub const RUNNERS: [(&str, Runner); 19] = [
     ("E17", e17_indexed_joins),
     ("E18", e18_net_loopback),
     ("E18b", e18b_delivery_under_fault),
+    ("E19", e19_observability_overhead),
 ];
 
 /// E1 (Thesis 1): ECA rules vs production rules on an event-driven
@@ -1981,6 +1983,18 @@ pub struct E18Row {
     pub replies_dropped: u64,
     /// Highest ingress queue depth the rung observed.
     pub queue_highwater: u64,
+    /// Median engine batch-ingest latency, microseconds (from the
+    /// rung's observability histogram; the ramp runs with obs on).
+    pub batch_p50_us: f64,
+    /// 99th-percentile engine batch-ingest latency, microseconds.
+    pub batch_p99_us: f64,
+}
+
+/// Render a log-bucketed nanosecond quantile as microseconds. The
+/// histogram answers bucket ceilings, so this is an upper bound — fine
+/// for a latency column whose job is catching order-of-magnitude moves.
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
 }
 
 /// The E18 measurements: a TCP loopback offered-load ramp.
@@ -2046,6 +2060,10 @@ pub fn e18_report_with(n_events: usize, client_counts: &[usize]) -> E18Report {
             )
             .expect("E18 server binds on loopback");
             server.with_engine(|e| e.install_source(E18_PROGRAM).expect("E18 program installs"));
+            // The ramp runs with observability on: the latency columns
+            // come from the same run as the rate, and the <5% enabled
+            // overhead (E19 gates it) is far inside the rate floor.
+            server.obs().enable();
             let addr = server.local_addr();
             let per_client = n_events / clients;
             let offered = per_client * clients;
@@ -2078,6 +2096,7 @@ pub fn e18_report_with(n_events: usize, client_counts: &[usize]) -> E18Report {
                 offered as u64,
                 "E18 accounting: every offered event is admitted or refused"
             );
+            let batch = server.obs().batch.snapshot();
             E18Row {
                 clients,
                 offered,
@@ -2086,6 +2105,8 @@ pub fn e18_report_with(n_events: usize, client_counts: &[usize]) -> E18Report {
                 busy_replies: stats.busy_replies,
                 replies_dropped: stats.replies_dropped,
                 queue_highwater: stats.queue_highwater,
+                batch_p50_us: ns_to_us(batch.p50()),
+                batch_p99_us: ns_to_us(batch.p99()),
             }
         })
         .collect();
@@ -2119,6 +2140,8 @@ pub fn e18_table(r: &E18Report) -> Table {
             "busy",
             "replies_dropped",
             "queue_highwater",
+            "batch_p50_us",
+            "batch_p99_us",
         ],
     )
     .with_note(
@@ -2137,6 +2160,8 @@ pub fn e18_table(r: &E18Report) -> Table {
             row.busy_replies.to_string(),
             row.replies_dropped.to_string(),
             row.queue_highwater.to_string(),
+            format!("{:.1}", row.batch_p50_us),
+            format!("{:.1}", row.batch_p99_us),
         ]);
     }
     t
@@ -2167,6 +2192,11 @@ pub struct E18DeliveryReport {
     /// ingested ledger accounts for every offered reaction (restart +
     /// route update + `redeliver` + the full dead-letter drain).
     pub recovery_ms: f64,
+    /// Median delivery round-trip (outbox append → ack), microseconds,
+    /// over every acked push of the run.
+    pub delivery_p50_us: f64,
+    /// 99th-percentile delivery round-trip, microseconds.
+    pub delivery_p99_us: f64,
 }
 
 /// Measure the delivery agent under a receiver kill/recover cycle.
@@ -2214,6 +2244,10 @@ pub fn e18_delivery_report(live_events: usize, faulted_events: usize) -> E18Deli
     })
     .expect("E18 delivery agent");
     agent.add_route("http://b/", receiver.local_addr());
+    // Round-trip quantiles come from the agent's own observability
+    // handle — same run as the rate, like the E18 batch columns.
+    let obs = reweb_obs::Obs::enabled();
+    agent.handle().set_obs(std::sync::Arc::clone(&obs));
 
     let payload_at = |i: usize| {
         (
@@ -2275,6 +2309,7 @@ pub fn e18_delivery_report(live_events: usize, faulted_events: usize) -> E18Deli
     let redelivered = agent.stats().redelivered;
     agent.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+    let rtt = obs.delivery.snapshot();
     E18DeliveryReport {
         live_events,
         faulted_events,
@@ -2283,6 +2318,8 @@ pub fn e18_delivery_report(live_events: usize, faulted_events: usize) -> E18Deli
         redelivered,
         kevents_per_s: delivered_live as f64 / secs / 1_000.0,
         recovery_ms: rec_secs * 1_000.0,
+        delivery_p50_us: ns_to_us(rtt.p50()),
+        delivery_p99_us: ns_to_us(rtt.p99()),
     }
 }
 
@@ -2303,6 +2340,8 @@ pub fn e18_delivery_table(r: &E18DeliveryReport) -> Table {
             "redelivered",
             "kevents_per_s",
             "recovery_ms",
+            "rtt_p50_us",
+            "rtt_p99_us",
         ],
     )
     .with_note(
@@ -2322,6 +2361,8 @@ pub fn e18_delivery_table(r: &E18DeliveryReport) -> Table {
         r.redelivered.to_string(),
         f(r.kevents_per_s),
         format!("{:.1}", r.recovery_ms),
+        format!("{:.1}", r.delivery_p50_us),
+        format!("{:.1}", r.delivery_p99_us),
     ]);
     t
 }
@@ -2332,9 +2373,173 @@ pub fn e18b_delivery_under_fault() -> Table {
     e18_delivery_table(&e18_delivery_report(2_000, 200))
 }
 
-/// Serialize the E13 + E14 + E15 + E16 + E17 + E18 reports as the
-/// `--bench-json` payload (schema `reweb-bench/v7` — v6 plus the E18b
-/// `net-delivery` row).
+/// Machine-readable E19 result: what observability costs, measured on
+/// the E14 hot-path workload (same program, same stream) in three
+/// configurations.
+#[derive(Clone, Debug)]
+pub struct E19Report {
+    /// Events per run.
+    pub events: usize,
+    /// The engine's own default handle, untouched — byte-for-byte the
+    /// E14 loop. The same-run overhead gate divides `off` by this, so
+    /// machine drift between experiments cancels exactly.
+    pub baseline_kevents_per_s: f64,
+    /// Handle installed but disabled — the production default. This is
+    /// the rate the `obs-off` floor and the same-run <5% overhead gate
+    /// protect: the disabled path must stay one relaxed atomic load.
+    pub off_kevents_per_s: f64,
+    /// Tracing + histograms + flight recorder on, default capacity.
+    pub on_kevents_per_s: f64,
+    /// Recorder saturated: a tiny ring every span wraps, so the run
+    /// measures steady-state overwrite, not append into empty slots.
+    pub full_kevents_per_s: f64,
+    /// Spans the enabled (default-capacity) run recorded.
+    pub spans_recorded: u64,
+    /// The gate statistic: max over rounds of the off-rate divided by
+    /// the *same round's* baseline rate (the two passes run back to
+    /// back, ~seconds apart). A genuine probe-site tax slows `off` in
+    /// every round, so the max still catches it; transient noise in a
+    /// single round does not fail the build.
+    pub off_vs_baseline: f64,
+}
+
+/// Measure the E19 overhead quartet at `n_events` (100k for the real
+/// table). One discarded warmup pass, then best-of-5 per configuration
+/// with the rounds interleaved — every round measures baseline, off,
+/// on, and full back to back, so slow machine drift (thermal
+/// throttling, noisy neighbors between the first and last experiment
+/// of a CI run) hits all four equally and the overhead ratios stay
+/// honest.
+pub fn e19_report(n_events: usize) -> E19Report {
+    use std::sync::Arc;
+
+    const LABELS: usize = 128;
+    let program = crate::sharded_rules(LABELS);
+    let meta = MessageMeta::from_uri("http://client");
+    let msgs: Vec<(Timestamp, Term)> = crate::paired_stream(LABELS, n_events, 17);
+
+    // One timed pass; `None` leaves the engine's default disabled
+    // handle in place — exactly the E14 loop.
+    let run_once = |obs: Option<&Arc<reweb_obs::Obs>>| -> f64 {
+        let mut engine = ReactiveEngine::new("http://svc");
+        engine.install_program(&program).expect("program");
+        if let Some(o) = obs {
+            engine.set_obs(Arc::clone(o));
+        }
+        let (_, secs) = timed(|| {
+            for (at, payload) in &msgs {
+                engine.receive(payload.clone(), &meta, *at);
+            }
+        });
+        n_events as f64 / secs / 1_000.0
+    };
+
+    // A discarded warmup pass: the first timed loop of a fresh process
+    // pays lazy page mapping for the stream and cold caches, and it
+    // must not be charged to whichever configuration happens to run
+    // first (the baseline, which the overhead gate divides by).
+    run_once(None);
+
+    const REPEATS: usize = 5;
+    let mut best = [f64::MIN; 4];
+    let mut off_vs_baseline = f64::MIN;
+    let mut spans_recorded = 0;
+    for _ in 0..REPEATS {
+        let off = Arc::new(reweb_obs::Obs::new());
+        let on = reweb_obs::Obs::enabled();
+        let full = {
+            let o = reweb_obs::Obs::with_capacity(64);
+            o.enable();
+            Arc::new(o)
+        };
+        let mut round = [0.0f64; 4];
+        for (slot, obs) in [None, Some(&off), Some(&on), Some(&full)]
+            .into_iter()
+            .enumerate()
+        {
+            round[slot] = run_once(obs);
+            best[slot] = best[slot].max(round[slot]);
+        }
+        // The gate statistic pairs each off pass with the baseline
+        // pass seconds before it, so round-level machine noise hits
+        // both sides; a real disabled-path tax depresses every round.
+        off_vs_baseline = off_vs_baseline.max(round[1] / round[0]);
+        spans_recorded = on.recorder().recorded();
+    }
+    let [baseline, off, on, full] = best;
+    E19Report {
+        events: n_events,
+        baseline_kevents_per_s: baseline,
+        off_kevents_per_s: off,
+        on_kevents_per_s: on,
+        full_kevents_per_s: full,
+        spans_recorded,
+        off_vs_baseline,
+    }
+}
+
+/// Render an [`E19Report`] as the experiment table.
+pub fn e19_table(r: &E19Report) -> Table {
+    let mut t = Table::new(
+        "E19",
+        "observability overhead",
+        format!(
+            "E14 hot-path workload, {} events, obs baseline / off / on / recorder-full",
+            r.events
+        ),
+        vec!["mode", "kevents_per_s", "vs_baseline", "spans"],
+    )
+    .with_note(
+        "Claim: observability is paid for only when it is on. The \
+         disabled path is one relaxed atomic load per probe site — CI \
+         gates it at >=0.95x the uninstrumented baseline, comparing \
+         off and baseline passes from the same interleaved round and \
+         taking the best round (machine drift and transient noise \
+         cancel; a real probe tax depresses every round) — plus the \
+         absolute `obs-off` floor. Even the enabled path (trace-id \
+         allocation, span writes into the lock-free ring, histogram \
+         increments) stays within a small constant, including when \
+         the ring wraps every span.",
+    );
+    let vs = |x: f64| format!("{:.2}x", x / r.baseline_kevents_per_s);
+    t.row(vec![
+        "baseline".into(),
+        f(r.baseline_kevents_per_s),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "off".into(),
+        f(r.off_kevents_per_s),
+        vs(r.off_kevents_per_s),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "on".into(),
+        f(r.on_kevents_per_s),
+        vs(r.on_kevents_per_s),
+        r.spans_recorded.to_string(),
+    ]);
+    t.row(vec![
+        "full".into(),
+        f(r.full_kevents_per_s),
+        vs(r.full_kevents_per_s),
+        "-".into(),
+    ]);
+    t
+}
+
+/// E19 (observability): the overhead quartet, sized for the committed
+/// table.
+pub fn e19_observability_overhead() -> Table {
+    e19_table(&e19_report(100_000))
+}
+
+/// Serialize the E13 + E14 + E15 + E16 + E17 + E18 + E19 reports as the
+/// `--bench-json` payload (schema `reweb-bench/v8` — v7 plus `p50_us`/
+/// `p99_us` latency fields on the `net-ramp` and `net-delivery` rows
+/// and the E19 `obs-baseline`/`obs-off`/`obs-on`/`obs-full` overhead
+/// rows).
 /// Flat rows, one small object per measurement, so the floor check (and
 /// any CI tooling) can read it without a JSON library. The E14
 /// measurement is the `hotpath` row, E15's throughput the `durable` row,
@@ -2349,8 +2554,12 @@ pub fn e18b_delivery_under_fault() -> Table {
 /// best sustained rate) plus per-rung `net-ramp` rows (informational;
 /// `shards` carries the client count), and E18b's delivery-under-fault
 /// run the `net-delivery` row (absolute floor on the live push rate;
-/// `dead_lettered`, `redelivered`, and `recovery_ms` ride along
-/// informationally).
+/// `dead_lettered`, `redelivered`, `recovery_ms`, and the round-trip
+/// quantiles ride along informationally). E19's overhead quartet lands
+/// as the `obs-off` row (absolute floor; additionally gated same-run
+/// against the interleaved `obs-baseline` row) plus informational
+/// `obs-baseline`/`obs-on`/`obs-full` rows.
+#[allow(clippy::too_many_arguments)] // same rationale as `check_floor`
 pub fn bench_json(
     r: &E13Report,
     e14: &E14Report,
@@ -2359,6 +2568,7 @@ pub fn bench_json(
     e17: &E17Report,
     e18: &E18Report,
     e18b: &E18DeliveryReport,
+    e19: &E19Report,
 ) -> String {
     let mut rows = vec![format!(
         "    {{\"engine\": \"single\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
@@ -2415,14 +2625,43 @@ pub fn bench_json(
     for row in &e18.rows {
         rows.push(format!(
             "    {{\"engine\": \"net-ramp\", \"shards\": {}, \"kevents_per_s\": {:.3}, \
-             \"busy\": {}, \"queue_highwater\": {}}}",
-            row.clients, row.kevents_per_s, row.busy_replies, row.queue_highwater
+             \"busy\": {}, \"queue_highwater\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            row.clients,
+            row.kevents_per_s,
+            row.busy_replies,
+            row.queue_highwater,
+            row.batch_p50_us,
+            row.batch_p99_us
         ));
     }
     rows.push(format!(
         "    {{\"engine\": \"net-delivery\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
-         \"dead_lettered\": {}, \"redelivered\": {}, \"recovery_ms\": {:.1}}}",
-        e18b.kevents_per_s, e18b.dead_lettered, e18b.redelivered, e18b.recovery_ms
+         \"dead_lettered\": {}, \"redelivered\": {}, \"recovery_ms\": {:.1}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+        e18b.kevents_per_s,
+        e18b.dead_lettered,
+        e18b.redelivered,
+        e18b.recovery_ms,
+        e18b.delivery_p50_us,
+        e18b.delivery_p99_us
+    ));
+    rows.push(format!(
+        "    {{\"engine\": \"obs-baseline\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
+        e19.baseline_kevents_per_s
+    ));
+    rows.push(format!(
+        "    {{\"engine\": \"obs-off\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+         \"vs_baseline\": {:.4}}}",
+        e19.off_kevents_per_s, e19.off_vs_baseline
+    ));
+    rows.push(format!(
+        "    {{\"engine\": \"obs-on\", \"shards\": 1, \"kevents_per_s\": {:.3}, \
+         \"spans\": {}}}",
+        e19.on_kevents_per_s, e19.spans_recorded
+    ));
+    rows.push(format!(
+        "    {{\"engine\": \"obs-full\", \"shards\": 1, \"kevents_per_s\": {:.3}}}",
+        e19.full_kevents_per_s
     ));
     for row in &r.rows {
         rows.push(format!(
@@ -2435,7 +2674,7 @@ pub fn bench_json(
         ));
     }
     format!(
-        "{{\n  \"schema\": \"reweb-bench/v7\",\n  \"events\": {},\n  \"labels\": {},\n  \
+        "{{\n  \"schema\": \"reweb-bench/v8\",\n  \"events\": {},\n  \"labels\": {},\n  \
          \"reactions\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         r.events,
         r.labels,
@@ -2499,6 +2738,7 @@ pub fn check_floor(
     current_e17: &E17Report,
     current_e18: &E18Report,
     current_e18b: &E18DeliveryReport,
+    current_e19: &E19Report,
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<String, String> {
@@ -2743,6 +2983,57 @@ pub fn check_floor(
             ));
         }
     }
+    // E19, gate 1: absolute obs-disabled floor (baselines that predate
+    // the observability layer skip it; conservatively rounded like the
+    // other absolute gates).
+    if let Some(&(_, _, base_off)) = baseline.iter().find(|(e, _, _)| e == "obs-off") {
+        let floor = base_off * (1.0 - tolerance);
+        summary.push_str(&format!(
+            "E19 obs-disabled hot path: {:.1} ke/s (committed floor baseline \
+             {base_off:.1}, gate {floor:.1})\n",
+            current_e19.off_kevents_per_s
+        ));
+        if current_e19.off_kevents_per_s < floor {
+            failures.push(format!(
+                "E19 obs-disabled hot path {:.1} ke/s fell below the floor {floor:.1} \
+                 (baseline {base_off:.1} - {:.0}% tolerance)",
+                current_e19.off_kevents_per_s,
+                tolerance * 100.0
+            ));
+        }
+    }
+    // E19, gate 2: same-run disabled-path overhead. The obs-off run is
+    // the E14 workload with the (disabled) handle's probe sites live;
+    // e19_report measures an uninstrumented baseline interleaved with
+    // it and pairs each off pass with the baseline pass of the same
+    // round (seconds apart), taking the best round — machine drift and
+    // transient noise cancel, leaving exactly the probes' cost, which a
+    // real regression imposes on every round. A fixed 5% budget, not
+    // `tolerance`: "zero-cost when disabled" is the tentpole claim —
+    // one relaxed atomic load per site must disappear in the noise.
+    const OBS_OFF_FLOOR: f64 = 0.95;
+    {
+        let ratio = current_e19.off_vs_baseline;
+        summary.push_str(&format!(
+            "E19 disabled-path overhead: {:.1} ke/s obs-off vs {:.1} ke/s interleaved \
+             baseline (best same-round ratio {ratio:.3}, floor {OBS_OFF_FLOOR:.2}); \
+             enabled {:.1} ke/s, recorder-full {:.1} ke/s\n",
+            current_e19.off_kevents_per_s,
+            current_e19.baseline_kevents_per_s,
+            current_e19.on_kevents_per_s,
+            current_e19.full_kevents_per_s
+        ));
+        if ratio < OBS_OFF_FLOOR {
+            failures.push(format!(
+                "E19 disabled observability cost the hot path {:.1}% in every \
+                 measured round (best same-round ratio {ratio:.3} vs the interleaved \
+                 uninstrumented baseline, floor {OBS_OFF_FLOOR:.2}) — the disabled \
+                 path must stay one relaxed atomic load per probe site, with no \
+                 allocation, clock read, or span construction behind it",
+                (1.0 - ratio) * 100.0
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(summary)
     } else {
@@ -2753,7 +3044,7 @@ pub fn check_floor(
     }
 }
 
-/// Run all experiments (E1–E18 plus the E18b delivery-under-fault run).
+/// Run all experiments (E1–E19 plus the E18b delivery-under-fault run).
 pub fn all() -> Vec<Table> {
     vec![
         e1_eca_vs_production(),
@@ -2775,6 +3066,7 @@ pub fn all() -> Vec<Table> {
         e17_indexed_joins(),
         e18_net_loopback(),
         e18b_delivery_under_fault(),
+        e19_observability_overhead(),
     ]
 }
 
@@ -2800,8 +3092,36 @@ mod tests {
             );
             assert_eq!(row.replies_dropped, 0, "windowed syncs keep readers fast");
             assert!(row.kevents_per_s > 0.0);
+            // The ramp runs with observability on, so the latency
+            // columns are populated and ordered.
+            assert!(
+                row.batch_p50_us > 0.0 && row.batch_p50_us <= row.batch_p99_us,
+                "batch quantiles: p50 {} p99 {}",
+                row.batch_p50_us,
+                row.batch_p99_us
+            );
         }
         assert!(r.loopback_kevents_per_s >= r.rows[0].kevents_per_s);
+    }
+
+    #[test]
+    fn e19_shapes() {
+        let r = e19_report(2_000);
+        assert!(r.baseline_kevents_per_s > 0.0);
+        assert!(r.off_kevents_per_s > 0.0);
+        assert!(r.on_kevents_per_s > 0.0);
+        assert!(r.full_kevents_per_s > 0.0);
+        assert!(r.off_vs_baseline > 0.0);
+        // The enabled run traced every event: at least an admission span
+        // per event made it into the recorder total.
+        assert!(
+            r.spans_recorded >= r.events as u64,
+            "enabled run recorded {} spans over {} events",
+            r.spans_recorded,
+            r.events
+        );
+        let t = e19_table(&r);
+        assert_eq!(t.rows.len(), 4);
     }
 
     #[test]
@@ -2939,6 +3259,8 @@ mod tests {
                 busy_replies: 0,
                 replies_dropped: 0,
                 queue_highwater: 10,
+                batch_p50_us: 2.0,
+                batch_p99_us: 8.0,
             }],
             loopback_kevents_per_s: rate,
         }
@@ -2953,7 +3275,29 @@ mod tests {
             redelivered: 100,
             kevents_per_s: rate,
             recovery_ms: 12.0,
+            delivery_p50_us: 900.0,
+            delivery_p99_us: 4000.0,
         }
+    }
+
+    /// `off` drives both E19 gates: the absolute `obs-off` floor and
+    /// the same-run ratio against the report's own interleaved
+    /// `baseline`; `on`/`full` are informational.
+    fn e19_vs(baseline: f64, off: f64) -> E19Report {
+        E19Report {
+            events: 1000,
+            baseline_kevents_per_s: baseline,
+            off_kevents_per_s: off,
+            on_kevents_per_s: off - 1.0,
+            full_kevents_per_s: off - 2.0,
+            spans_recorded: 1234,
+            off_vs_baseline: off / baseline,
+        }
+    }
+
+    /// An overhead-free E19 report (ratio exactly 1.0).
+    fn e19(off: f64) -> E19Report {
+        e19_vs(off, off)
     }
 
     /// `rate_10k` drives the absolute composite floor; `ix`/`sc` the
@@ -2998,8 +3342,9 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
-        assert!(json.contains("reweb-bench/v7"), "schema bumped for E18b");
+        assert!(json.contains("reweb-bench/v8"), "schema bumped for E19");
         let rows = e13_parse_rows(&json);
         assert_eq!(
             rows,
@@ -3017,6 +3362,10 @@ mod tests {
                 ("net-loopback".to_string(), 1, 55.0),
                 ("net-ramp".to_string(), 1, 55.0),
                 ("net-delivery".to_string(), 1, 44.0),
+                ("obs-baseline".to_string(), 1, 80.0),
+                ("obs-off".to_string(), 1, 80.0),
+                ("obs-on".to_string(), 1, 79.0),
+                ("obs-full".to_string(), 1, 78.0),
                 ("sharded".to_string(), 8, 100.0),
                 ("sharded-mt".to_string(), 8, 200.0),
             ]
@@ -3048,6 +3397,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
         // A 4x faster machine with the same 2.0x scaling passes…
         assert!(check_floor(
@@ -3058,6 +3408,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3071,6 +3422,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3085,6 +3437,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3101,6 +3454,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &gutted,
             0.25,
         )
@@ -3132,6 +3486,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
         let ok16 = e16(90.0, 75.0);
         // At the baseline rate: fine. 25% below 80 = 60 is the gate.
@@ -3143,6 +3498,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3155,6 +3511,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3167,6 +3524,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3186,6 +3544,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &old,
             0.25
         )
@@ -3216,6 +3575,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
         // At and above the committed 100k-rule floor: fine (gate = 45).
         assert!(check_floor(
@@ -3226,6 +3586,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3238,6 +3599,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3251,6 +3613,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3267,6 +3630,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3287,6 +3651,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &old,
             0.25
         )
@@ -3299,6 +3664,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &old,
             0.25
         )
@@ -3330,6 +3696,7 @@ mod tests {
             &e17(70.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
         // At and above the committed composite floor: fine (gate = 52.5).
         assert!(check_floor(
@@ -3340,6 +3707,7 @@ mod tests {
             &e17(53.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3353,6 +3721,7 @@ mod tests {
             &e17(50.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3368,6 +3737,7 @@ mod tests {
             &e17(70.0, 30.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3388,6 +3758,7 @@ mod tests {
             &e17(1.0, 100.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &old,
             0.25
         )
@@ -3400,6 +3771,7 @@ mod tests {
             &e17(70.0, 30.0, 20.0),
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
             &old,
             0.25
         )
@@ -3432,6 +3804,7 @@ mod tests {
             &ok17,
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
         // At and above the committed loopback floor: fine (gate = 41.25).
         assert!(check_floor(
@@ -3442,6 +3815,7 @@ mod tests {
             &ok17,
             &e18(42.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3455,6 +3829,7 @@ mod tests {
             &ok17,
             &e18(40.0),
             &e18b(44.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3474,6 +3849,7 @@ mod tests {
             &ok17,
             &e18(1.0),
             &e18b(44.0),
+            &e19(80.0),
             &old,
             0.25
         )
@@ -3506,6 +3882,7 @@ mod tests {
             &ok17,
             &e18(55.0),
             &e18b(44.0),
+            &e19(80.0),
         );
         // At and above the committed delivery floor: fine (gate = 33).
         assert!(check_floor(
@@ -3516,6 +3893,7 @@ mod tests {
             &ok17,
             &e18(55.0),
             &e18b(34.0),
+            &e19(80.0),
             &baseline,
             0.25
         )
@@ -3529,6 +3907,7 @@ mod tests {
             &ok17,
             &e18(55.0),
             &e18b(32.0),
+            &e19(80.0),
             &baseline,
             0.25,
         )
@@ -3548,10 +3927,139 @@ mod tests {
             &ok17,
             &e18(55.0),
             &e18b(1.0),
+            &e19(80.0),
             &old,
             0.25
         )
         .is_ok());
+    }
+
+    #[test]
+    fn e19_floor_gates_absolute_rate_and_same_run_overhead() {
+        let report = E13Report {
+            events: 1000,
+            labels: 128,
+            single_kevents_per_s: 100.0,
+            reactions_single: 500,
+            rows: vec![E13Row {
+                shards: 8,
+                serial_kevents_per_s: 150.0,
+                parallel_kevents_per_s: 200.0,
+                reactions_serial: 500,
+                reactions_parallel: 500,
+                hottest_share: 0.125,
+            }],
+        };
+        let ok16 = e16(90.0, 75.0);
+        let ok17 = e17(70.0, 100.0, 20.0);
+        let baseline = bench_json(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19(80.0),
+        );
+        // At the baseline off-rate, zero same-run overhead: fine.
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19(80.0),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        // 4% disabled-path overhead (76.8 vs an interleaved baseline of
+        // 80) passes the 5% budget and the absolute floor (gate = 60).
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19_vs(80.0, 76.8),
+            &baseline,
+            0.25
+        )
+        .is_ok());
+        // 10% same-run overhead trips the fixed gate even though the
+        // absolute floor (72 > 60) would pass.
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19_vs(80.0, 72.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("a probe-site tax on the disabled path must trip the gate");
+        assert!(err.contains("disabled observability"), "{err}");
+        // A collapse below the absolute floor fails even at a clean
+        // same-run ratio of 1.0 (e.g. the whole machine, baseline
+        // included, got slower — exactly what the absolute row is for).
+        let err = check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19(50.0),
+            &baseline,
+            0.25,
+        )
+        .expect_err("an obs-off collapse must trip the absolute floor");
+        assert!(err.contains("E19 obs-disabled"), "{err}");
+        // A pre-E19 baseline (no obs rows) skips the absolute gate —
+        // 59.0 would trip it against the committed 80.0 (gate 60) but
+        // passes here at ratio 1.0. The same-run overhead gate still
+        // applies (it needs no baseline): 10% overhead fails even
+        // against the old baseline.
+        let old = baseline
+            .lines()
+            .filter(|l| !l.contains("obs-"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(check_floor(
+            &report,
+            &e14(61.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19(59.0),
+            &old,
+            0.25
+        )
+        .is_ok());
+        assert!(check_floor(
+            &report,
+            &e14(80.0),
+            &e15(40.0),
+            &ok16,
+            &ok17,
+            &e18(55.0),
+            &e18b(44.0),
+            &e19_vs(80.0, 72.0),
+            &old,
+            0.25
+        )
+        .is_err());
     }
 
     #[test]

@@ -27,10 +27,13 @@
 //! metrics, never unwinding the engine.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use reweb_events::{
-    alpha_skippable, registrations, DeductionLayer, Event, EventId, IncrementalEngine, JoinMode,
+    alpha_skippable, registrations, Answer, DeductionLayer, Event, EventId, IncrementalEngine,
+    JoinMode,
 };
+use reweb_obs::{Obs, Provenance, Stage};
 use reweb_query::compiled::{
     AlphaNetwork, CandidateIndex, EventShape, InterpretedIndex, Registration,
 };
@@ -240,6 +243,12 @@ pub struct ReactiveEngine {
     pub metrics: EngineMetrics,
     /// Terms written by `LOG` actions.
     pub action_log: Vec<Term>,
+    /// Observability handle: tracing, flight recorder, histograms.
+    /// Always present (disabled by default) so the hot path pays one
+    /// relaxed load, never an `Option` branch; shards of one
+    /// `ShardedEngine` share a single handle, which is what makes the
+    /// histograms mergeable across shards for free.
+    obs: Arc<Obs>,
 }
 
 impl ReactiveEngine {
@@ -265,7 +274,21 @@ impl ReactiveEngine {
             replay_warmup: false,
             metrics: EngineMetrics::default(),
             action_log: Vec::new(),
+            obs: Arc::new(Obs::new()),
         }
+    }
+
+    /// Attach a shared observability handle (replacing the default
+    /// disabled one). Pass clones of one `Arc` to every engine, shard,
+    /// and tier that should report into the same recorder/histograms.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled unless enabled or
+    /// replaced via [`ReactiveEngine::set_obs`]).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Volatility bound for window-less event queries (Thesis 4): partial
@@ -617,6 +640,8 @@ impl ReactiveEngine {
     /// message and concatenating: stripping the tags reproduces that
     /// output byte for byte.
     pub fn receive_batch_tagged(&mut self, msgs: &[InMessage]) -> Vec<(u32, OutMessage)> {
+        let obs_on = self.obs.is_enabled();
+        let t0 = if obs_on { self.obs.now_ns() } else { 0 };
         let mut out = Vec::new();
         for (k, m) in msgs.iter().enumerate() {
             out.extend(
@@ -624,6 +649,9 @@ impl ReactiveEngine {
                     .into_iter()
                     .map(|o| (k as u32, o)),
             );
+        }
+        if obs_on && !msgs.is_empty() {
+            self.obs.batch.record(self.obs.now_ns().saturating_sub(t0));
         }
         out
     }
@@ -661,7 +689,9 @@ impl ReactiveEngine {
             let answers = self.compiled[idx].ev.advance_to(now);
             self.absorb_join_stats(s0, self.compiled[idx].ev.stats);
             for a in answers {
-                self.fire(idx, &a.bindings, &mut out);
+                // Deadline-driven firings have no triggering event, so
+                // their spans land on trace 0 (untraced samples).
+                self.fire(idx, &a, 0, &mut out);
             }
         }
         let d0 = self.deduction_stats();
@@ -711,9 +741,16 @@ impl ReactiveEngine {
     }
 
     fn process_event(&mut self, payload: Term, source: &str, out: &mut Vec<OutMessage>) {
+        let tracing = self.obs.is_enabled();
         self.next_event_id += 1;
-        let e = Event::new(EventId(self.next_event_id), self.now, payload)
+        let mut e = Event::new(EventId(self.next_event_id), self.now, payload)
             .with_source(source.to_string());
+        let t0 = if tracing {
+            e.trace = self.obs.next_trace();
+            self.obs.now_ns()
+        } else {
+            0
+        };
         let d0 = self.deduction_stats();
         let pushed = self.deduction.push(&e);
         self.absorb_deduction_stats(d0);
@@ -725,6 +762,11 @@ impl ReactiveEngine {
             }
         };
         self.metrics.events_derived += derived.len() as u64;
+        if tracing {
+            // Admission span: event construction + DETECT derivation,
+            // everything between entry and alpha dispatch.
+            self.obs.span_since(e.trace, Stage::Admission, t0);
+        }
         self.dispatch(&e, out);
         for d in derived {
             self.dispatch(&d, out);
@@ -739,6 +781,8 @@ impl ReactiveEngine {
         // did, the nested call would simply see an empty scratch.)
         let mut idxs = std::mem::take(&mut self.scratch_idxs);
         idxs.clear();
+        let tracing = e.trace != 0 && self.obs.is_enabled();
+        let t_alpha = if tracing { self.obs.now_ns() } else { 0 };
         let shape = EventShape::of(&e.payload);
         self.index
             .collect(&shape, &mut idxs, &mut self.metrics.alpha_tests_run);
@@ -748,6 +792,9 @@ impl ReactiveEngine {
         idxs.sort_unstable();
         idxs.dedup();
         self.metrics.rules_considered += idxs.len() as u64;
+        if tracing {
+            self.obs.span_since(e.trace, Stage::Alpha, t_alpha);
+        }
         if idxs.is_empty() {
             self.metrics.events_unmatched += 1;
             self.scratch_idxs = idxs;
@@ -755,17 +802,21 @@ impl ReactiveEngine {
         }
         for &idx in &idxs {
             let s0 = self.compiled[idx].ev.stats;
+            let t_beta = if tracing { self.obs.now_ns() } else { 0 };
             let answers = self.compiled[idx].ev.push(e);
+            if tracing {
+                self.obs.span_since(e.trace, Stage::Beta, t_beta);
+            }
             self.absorb_join_stats(s0, self.compiled[idx].ev.stats);
             for a in answers {
-                self.fire(idx, &a.bindings, out);
+                self.fire(idx, &a, e.trace, out);
             }
         }
         self.scratch_idxs = idxs;
     }
 
     /// Run the branches of rule `idx` for one event-query answer.
-    fn fire(&mut self, idx: usize, binds: &reweb_query::Bindings, out: &mut Vec<OutMessage>) {
+    fn fire(&mut self, idx: usize, ans: &Answer, trace: u64, out: &mut Vec<OutMessage>) {
         // Warmup replay rebuilds event-query state only: the answer's
         // *effects* (conditions, actions, store writes, outputs, metric
         // counts) already happened before the crash and live in the
@@ -773,6 +824,8 @@ impl ReactiveEngine {
         if self.replay_warmup {
             return;
         }
+        let obs_on = self.obs.is_enabled();
+        let t_fire = if obs_on { self.obs.now_ns() } else { 0 };
         // Split borrows: the compiled rule is read, the query engine is
         // mutated by actions, metrics/log are appended to.
         let ReactiveEngine {
@@ -780,9 +833,11 @@ impl ReactiveEngine {
             compiled,
             metrics,
             action_log,
+            obs,
             ..
         } = self;
         let cr = &compiled[idx];
+        let binds = &ans.bindings;
         for branch in &cr.rule.branches {
             let answers = if branch.cond.is_trivial() {
                 vec![binds.clone()]
@@ -806,6 +861,7 @@ impl ReactiveEngine {
                 .fires_by_rule
                 .entry(cr.rule.name.clone())
                 .or_default() += 1;
+            let mut produced = false;
             for b in answers {
                 let mut ex = Executor::new(qe, &cr.procs);
                 if let Err(e) = ex.execute(&branch.action, &b) {
@@ -816,8 +872,27 @@ impl ReactiveEngine {
                     ));
                 }
                 metrics.messages_sent += ex.outbox.len() as u64;
+                if obs_on && !ex.outbox.is_empty() {
+                    produced = true;
+                    // One shared provenance per firing: which rule, on
+                    // which constituent events, on which trace.
+                    let prov = Arc::new(Provenance {
+                        rule: cr.rule.name.clone(),
+                        events: ans.constituents.iter().map(|id| id.0).collect(),
+                        trace,
+                    });
+                    for m in &mut ex.outbox {
+                        m.provenance = Some(Arc::clone(&prov));
+                    }
+                }
                 out.extend(ex.outbox);
                 action_log.extend(ex.log);
+            }
+            if obs_on {
+                obs.span_since(trace, Stage::Fire, t_fire);
+                if produced {
+                    obs.span_since(trace, Stage::Reaction, t_fire);
+                }
             }
             return; // first branch that held fires; later branches skipped
         }

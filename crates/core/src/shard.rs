@@ -429,6 +429,22 @@ impl ShardedEngine {
         &mut self.shards
     }
 
+    /// Attach one shared observability handle to every shard (see
+    /// [`ReactiveEngine::set_obs`]). All shards report into the same
+    /// flight recorder and histograms — the atomics *are* the cross-shard
+    /// merge, so a `stats` snapshot needs no per-shard fold.
+    pub fn set_obs(&mut self, obs: std::sync::Arc<reweb_obs::Obs>) {
+        for s in &mut self.shards {
+            s.set_obs(std::sync::Arc::clone(&obs));
+        }
+    }
+
+    /// The observability handle shared by the shards (shard 0's; they
+    /// are all clones of one `Arc` after [`ShardedEngine::set_obs`]).
+    pub fn obs(&self) -> &std::sync::Arc<reweb_obs::Obs> {
+        self.shards[0].obs()
+    }
+
     /// Forward [`ReactiveEngine::set_replay_warmup`] to every shard.
     pub fn set_replay_warmup(&mut self, on: bool) {
         for s in &mut self.shards {
@@ -754,10 +770,19 @@ impl ShardedEngine {
         if let Some(why) = &self.poisoned {
             return Err(reweb_term::TermError::InvalidEdit(why.clone()));
         }
-        match self.mode {
+        let obs = std::sync::Arc::clone(self.shards[0].obs());
+        let obs_on = obs.is_enabled() && !msgs.is_empty();
+        let t0 = if obs_on { obs.now_ns() } else { 0 };
+        let out = match self.mode {
             ExecMode::Serial => Ok(self.receive_batch_serial_tagged(msgs)),
             ExecMode::Threads => self.receive_batch_parallel_tagged(msgs),
+        };
+        if obs_on {
+            // Whole-batch latency across all shards — the front-end view,
+            // matching what a single engine records per batch.
+            obs.batch.record(obs.now_ns().saturating_sub(t0));
         }
+        out
     }
 
     fn receive_batch_serial_tagged(&mut self, msgs: &[InMessage]) -> Vec<(u32, OutMessage)> {

@@ -194,6 +194,7 @@ impl DeductionLayer {
                                 received: ev.time(),
                                 source: format!("derived:{}", rule.name),
                                 payload,
+                                trace: ev.trace,
                             };
                             next.push(d);
                         }
@@ -221,6 +222,8 @@ impl DeductionLayer {
                         received: t,
                         source: format!("derived:{}", rule.name),
                         payload,
+                        // Deadline-derived: no single triggering event.
+                        trace: 0,
                     });
                 }
             }

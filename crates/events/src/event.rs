@@ -38,6 +38,11 @@ pub struct Event {
     pub source: String,
     /// The message payload.
     pub payload: Term,
+    /// Observability trace id (0 = untraced). Assigned at admission when
+    /// tracing is on; carried through derivation so a derived event's
+    /// spans land on its ancestor's trace. Never part of event
+    /// semantics: queries, windows, and dedup ignore it.
+    pub trace: u64,
 }
 
 impl Event {
@@ -49,12 +54,19 @@ impl Event {
             received: at,
             source: "local".into(),
             payload,
+            trace: 0,
         }
     }
 
     /// Replace the source URI (builder style).
     pub fn with_source(mut self, source: impl Into<String>) -> Event {
         self.source = source.into();
+        self
+    }
+
+    /// Set the observability trace id (builder style).
+    pub fn with_trace(mut self, trace: u64) -> Event {
+        self.trace = trace;
         self
     }
 

@@ -129,6 +129,43 @@ impl NetClient {
         }
     }
 
+    /// Query the server's observability snapshot: send `stats{}` and
+    /// block until the matching `stats` reply. Returns the `stats{…}`
+    /// body term (parse histograms out of it with
+    /// `reweb_obs::stats_histogram`). Replies for earlier pipelined
+    /// requests that arrive first are discarded — use a lockstep
+    /// [`NetClient::sync`] turn before querying if you need them.
+    pub fn stats(&mut self) -> std::io::Result<Term> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats { id })?;
+        loop {
+            match self.recv()? {
+                Reply::Stats { id: got, body } if got == id => return Ok(body),
+                Reply::Error { code, detail, .. } => {
+                    return Err(bad_data(format!("stats refused: {code}: {detail}")))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Query one trace's recorded span chain: send `trace{id[…]}` and
+    /// block until the matching `trace` reply. Returns the `trace{…}`
+    /// body term; an unknown or evicted trace id yields an empty chain.
+    pub fn trace(&mut self, trace: u64) -> std::io::Result<Term> {
+        let id = self.fresh_id();
+        self.send(&Request::Trace { id, trace })?;
+        loop {
+            match self.recv()? {
+                Reply::Trace { id: got, body } if got == id => return Ok(body),
+                Reply::Error { code, detail, .. } => {
+                    return Err(bad_data(format!("trace refused: {code}: {detail}")))
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// [`NetClient::sync`], returning each reply's raw frame payload
     /// bytes — the byte-identity surface the differential tests compare.
     /// The `done` marker is decoded only to detect the flush boundary

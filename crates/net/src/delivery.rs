@@ -144,6 +144,9 @@ struct Queued {
     at: Timestamp,
     payload: Term,
     attempts: u32,
+    /// Originating event's trace id (0 = untraced); joins the delivery
+    /// round-trip span to the causal chain the engine recorded.
+    trace: u64,
 }
 
 struct AgentState {
@@ -160,6 +163,9 @@ struct AgentInner {
     state: Mutex<AgentState>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Observability handle (disabled by default;
+    /// [`crate::NetServer::attach_delivery`] swaps in the server's).
+    obs: Mutex<Arc<reweb_obs::Obs>>,
     // Fault injection (tests): counters/delays consumed by workers.
     fault_connect: Mutex<Vec<(String, u32)>>,
     fault_drop_ack: Mutex<Vec<(String, u32)>>,
@@ -182,9 +188,16 @@ pub struct DeliveryHandle {
 }
 
 impl DeliveryHandle {
-    /// See [`DeliveryAgent::enqueue`].
-    pub fn enqueue(&self, to: &str, at: Timestamp, payload: &Term) -> bool {
-        enqueue_inner(&self.inner, to, at, payload, None)
+    /// See [`DeliveryAgent::enqueue`]. `trace` is the originating
+    /// event's trace id (0 = untraced).
+    pub fn enqueue(&self, to: &str, at: Timestamp, payload: &Term, trace: u64) -> bool {
+        enqueue_inner(&self.inner, to, at, payload, None, trace)
+    }
+
+    /// Swap in a shared observability handle (outbox + delivery
+    /// round-trip instrumentation).
+    pub fn set_obs(&self, obs: Arc<reweb_obs::Obs>) {
+        *self.inner.obs.lock().expect("obs handle poisoned") = obs;
     }
 }
 
@@ -260,6 +273,7 @@ fn enqueue_inner(
     at: Timestamp,
     payload: &Term,
     fixed_seq: Option<u64>,
+    trace: u64,
 ) -> bool {
     {
         let routes = inner.routes.lock().expect("route table poisoned");
@@ -302,9 +316,18 @@ fn enqueue_inner(
             at,
             payload: payload.clone(),
             attempts: 0,
+            trace,
         });
     drop(s);
     inner.cv.notify_all();
+    if trace != 0 {
+        let obs = Arc::clone(&inner.obs.lock().expect("obs handle poisoned"));
+        if obs.is_enabled() {
+            // Instantaneous marker: the reaction entered the outbox.
+            let now = obs.now_ns();
+            obs.span(trace, reweb_obs::Stage::Outbox, now, 0);
+        }
+    }
     true
 }
 
@@ -342,6 +365,7 @@ impl DeliveryAgent {
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            obs: Mutex::new(Arc::new(reweb_obs::Obs::new())),
             fault_connect: Mutex::new(Vec::new()),
             fault_drop_ack: Mutex::new(Vec::new()),
             fault_slow: Mutex::new(Vec::new()),
@@ -362,6 +386,10 @@ impl DeliveryAgent {
                     at: p.at,
                     payload: p.payload,
                     attempts: 0,
+                    // Trace ids are not journaled: a recovered delivery
+                    // re-enters untraced (the recorder that knew the
+                    // chain died with the crashed process anyway).
+                    trace: 0,
                 });
             }
             let dests: Vec<String> = s.queues.keys().cloned().collect();
@@ -395,7 +423,7 @@ impl DeliveryAgent {
     /// matches `to` (counted in [`DeliveryStats::unrouted`]) — such
     /// reactions are the submitter's to handle, not the agent's.
     pub fn enqueue(&mut self, to: &str, at: Timestamp, payload: &Term) -> bool {
-        let queued = enqueue_inner(&self.inner, to, at, payload, None);
+        let queued = enqueue_inner(&self.inner, to, at, payload, None, 0);
         if queued {
             self.ensure_worker(to);
         }
@@ -496,7 +524,7 @@ impl DeliveryAgent {
         };
         let n = dead.len();
         for d in &dead {
-            let queued = enqueue_inner(&self.inner, &d.to, d.at, &d.payload, Some(d.seq));
+            let queued = enqueue_inner(&self.inner, &d.to, d.at, &d.payload, Some(d.seq), 0);
             let mut s = self.inner.state.lock().expect("delivery state poisoned");
             if queued {
                 // enqueue_inner counted it as a fresh enqueue; account
@@ -750,7 +778,7 @@ fn worker_loop(inner: Arc<AgentInner>, dest: String) {
                 }
                 match s.queues.get(&dest).and_then(|q| q.front()) {
                     Some(h) => {
-                        break (h.seq, h.at, h.payload.clone(), h.attempts);
+                        break (h.seq, h.at, h.payload.clone(), h.attempts, h.trace);
                     }
                     None => {
                         let (guard, _) = inner
@@ -762,7 +790,7 @@ fn worker_loop(inner: Arc<AgentInner>, dest: String) {
                 }
             }
         };
-        let (seq, at, payload, attempts) = head;
+        let (seq, at, payload, attempts, trace) = head;
 
         // Budget spent: dead-letter the head, freeing the queue.
         if attempts >= inner.cfg.retry_budget {
@@ -813,6 +841,8 @@ fn worker_loop(inner: Arc<AgentInner>, dest: String) {
             }
         }
 
+        let obs = Arc::clone(&inner.obs.lock().expect("obs handle poisoned"));
+        let rtt_start = if obs.is_enabled() { obs.now_ns() } else { 0 };
         let outcome = push_one(
             &inner,
             session.as_mut().expect("session just ensured"),
@@ -823,6 +853,16 @@ fn worker_loop(inner: Arc<AgentInner>, dest: String) {
         );
         match outcome {
             Attempt::Acked(duplicate) => {
+                if obs.is_enabled() {
+                    // Round-trip of the *successful* attempt: write,
+                    // peer ingests, ack read. Failed attempts are
+                    // retries, not latency samples.
+                    let rtt = obs.now_ns().saturating_sub(rtt_start);
+                    obs.delivery.record(rtt);
+                    if trace != 0 {
+                        obs.span(trace, reweb_obs::Stage::Delivery, rtt_start, rtt);
+                    }
+                }
                 let mut s = inner.state.lock().expect("delivery state poisoned");
                 if let Some(q) = s.queues.get_mut(&dest) {
                     q.pop_front();

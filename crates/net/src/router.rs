@@ -90,6 +90,10 @@ pub(crate) enum Item {
         /// ingests at most once, and answers `accepted` only after the
         /// batch ran.
         key: Option<String>,
+        /// Enqueue stamp for the queue-wait histogram. Stamped only
+        /// while observability is enabled — `None` costs nothing on the
+        /// disabled path.
+        enq: Option<Instant>,
     },
     /// An explicit clock advance.
     Advance {
@@ -357,6 +361,7 @@ mod tests {
             id: i,
             msg: InMessage::new(Term::elem("e"), MessageMeta::local(), Timestamp(i)),
             key: None,
+            enq: None,
         }
     }
 

@@ -51,6 +51,11 @@ pub trait IngressEngine: Send {
     fn advance_clock(&mut self, at: Timestamp) -> Result<Vec<OutMessage>, String>;
     /// Aggregated engine metrics (all shards where applicable).
     fn metrics(&self) -> EngineMetrics;
+    /// The engine's observability handle (shared across shards).
+    fn obs(&self) -> Arc<reweb_obs::Obs>;
+    /// Swap in a shared observability handle (normally via
+    /// [`NetServer::set_obs`], which keeps the server's mirror in sync).
+    fn set_obs(&mut self, obs: Arc<reweb_obs::Obs>);
 }
 
 impl IngressEngine for ReactiveEngine {
@@ -68,6 +73,12 @@ impl IngressEngine for ReactiveEngine {
     }
     fn metrics(&self) -> EngineMetrics {
         self.metrics.clone()
+    }
+    fn obs(&self) -> Arc<reweb_obs::Obs> {
+        Arc::clone(ReactiveEngine::obs(self))
+    }
+    fn set_obs(&mut self, obs: Arc<reweb_obs::Obs>) {
+        ReactiveEngine::set_obs(self, obs);
     }
 }
 
@@ -88,6 +99,12 @@ impl IngressEngine for ShardedEngine {
     fn metrics(&self) -> EngineMetrics {
         ShardedEngine::metrics(self)
     }
+    fn obs(&self) -> Arc<reweb_obs::Obs> {
+        Arc::clone(ShardedEngine::obs(self))
+    }
+    fn set_obs(&mut self, obs: Arc<reweb_obs::Obs>) {
+        ShardedEngine::set_obs(self, obs);
+    }
 }
 
 impl IngressEngine for DurableEngine<ReactiveEngine> {
@@ -106,6 +123,12 @@ impl IngressEngine for DurableEngine<ReactiveEngine> {
     fn metrics(&self) -> EngineMetrics {
         self.engine().metrics.clone()
     }
+    fn obs(&self) -> Arc<reweb_obs::Obs> {
+        Arc::clone(DurableEngine::obs(self))
+    }
+    fn set_obs(&mut self, obs: Arc<reweb_obs::Obs>) {
+        DurableEngine::set_obs(self, obs);
+    }
 }
 
 impl IngressEngine for DurableEngine<ShardedEngine> {
@@ -123,6 +146,12 @@ impl IngressEngine for DurableEngine<ShardedEngine> {
     }
     fn metrics(&self) -> EngineMetrics {
         self.engine().metrics()
+    }
+    fn obs(&self) -> Arc<reweb_obs::Obs> {
+        Arc::clone(DurableEngine::obs(self))
+    }
+    fn set_obs(&mut self, obs: Arc<reweb_obs::Obs>) {
+        DurableEngine::set_obs(self, obs);
     }
 }
 
@@ -216,6 +245,11 @@ struct Shared {
     /// When attached, every reaction the engine emits is also handed to
     /// the delivery agent for outbound push.
     delivery: Mutex<Option<DeliveryHandle>>,
+    /// Mirror of the serving engine's observability handle, so `stats`
+    /// and `trace` requests (and queue-wait stamping) never take the
+    /// engine lock — observability stays readable while the driver is
+    /// mid-batch.
+    obs: Mutex<Arc<reweb_obs::Obs>>,
 }
 
 impl Shared {
@@ -225,6 +259,12 @@ impl Shared {
     /// reply and moves on. Reactions are [`ReplyClass::Data`]; protocol
     /// replies are [`ReplyClass::Control`] and only drop when the
     /// connection itself is gone.
+    /// The current observability handle (cheap: mutex + Arc clone, no
+    /// engine lock).
+    fn obs(&self) -> Arc<reweb_obs::Obs> {
+        Arc::clone(&self.obs.lock().expect("obs handle poisoned"))
+    }
+
     fn send_to(&self, client: u64, class: ReplyClass, frame: Vec<u8>) {
         let clients = self.clients.lock().expect("client registry poisoned");
         match clients.get(&client) {
@@ -270,6 +310,7 @@ impl NetServer {
             Some(path) => DeliveryLedger::open(path)?,
             None => DeliveryLedger::in_memory(),
         };
+        let obs = engine.obs();
         let shared = Arc::new(Shared {
             queue: IngressQueue::new(cfg.queue_capacity),
             cfg,
@@ -280,6 +321,7 @@ impl NetServer {
             next_client: AtomicU64::new(1),
             ledger: Mutex::new(ledger),
             delivery: Mutex::new(None),
+            obs: Mutex::new(obs),
         });
         let readers = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -347,12 +389,43 @@ impl NetServer {
     /// Attach a delivery agent: from now on every reaction the engine
     /// emits is *also* queued for outbound push to the destination its
     /// `to[...]` names (the submitter still gets its `reaction` reply).
+    /// The agent inherits the server's observability handle, so
+    /// delivery round-trips land in the same histograms `stats`
+    /// reports.
     pub fn attach_delivery(&self, handle: DeliveryHandle) {
+        handle.set_obs(self.shared.obs());
         *self
             .shared
             .delivery
             .lock()
             .expect("delivery handle poisoned") = Some(handle);
+    }
+
+    /// Swap in a shared observability handle: forwarded to the serving
+    /// engine, mirrored for the lock-free `stats`/`trace` surface, and
+    /// propagated to an attached delivery agent. Call before serving
+    /// traffic — connections opened earlier keep stamping queue-wait
+    /// against the handle they saw at handshake. (Toggling
+    /// `enable`/`disable` on an already-installed handle needs no
+    /// re-install: the flag lives inside the shared `Obs`.)
+    pub fn set_obs(&self, obs: Arc<reweb_obs::Obs>) {
+        self.with_engine(|e| e.set_obs(Arc::clone(&obs)));
+        if let Some(h) = self
+            .shared
+            .delivery
+            .lock()
+            .expect("delivery handle poisoned")
+            .as_ref()
+        {
+            h.set_obs(Arc::clone(&obs));
+        }
+        *self.shared.obs.lock().expect("obs handle poisoned") = obs;
+    }
+
+    /// The server's observability handle (the serving engine's, unless
+    /// [`NetServer::set_obs`] swapped in another).
+    pub fn obs(&self) -> Arc<reweb_obs::Obs> {
+        self.shared.obs()
     }
 
     /// The receiver-side delivery ledger: every pushed reaction this
@@ -715,6 +788,9 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
         .cfg
         .rate_limit
         .map(|l| TokenBucket::new(l, Instant::now()));
+    // Cached per connection: queue-wait stamping checks the enabled
+    // flag on every event, and the flag lives inside the shared `Obs`.
+    let obs = shared.obs();
     let reply = |r: &Reply| {
         // Session replies are control-class: they go through the writer
         // lane so they order after earlier reactions, and they are never
@@ -759,6 +835,17 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
             Request::Bye => break None,
             Request::Sync { id } => {
                 shared.queue.push_control(Item::Sync { client, id });
+            }
+            Request::Stats { id } => {
+                // Answered inline from shared atomics — never queued
+                // behind the engine, so stats stay readable under
+                // ingress pressure.
+                let body = shared.obs().stats_term();
+                reply(&Reply::Stats { id, body });
+            }
+            Request::Trace { id, trace } => {
+                let body = shared.obs().trace_term(trace);
+                reply(&Reply::Trace { id, body });
             }
             Request::Advance { id, at } => {
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -816,6 +903,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                     id,
                     msg,
                     key: Some(key),
+                    enq: obs.is_enabled().then(Instant::now),
                 }) {
                     Ok(depth) => {
                         shared
@@ -893,6 +981,7 @@ fn connection_loop(mut stream: TcpStream, client: u64, shared_arc: &Arc<Shared>)
                     id,
                     msg,
                     key: None,
+                    enq: obs.is_enabled().then(Instant::now),
                 }) {
                     Ok(depth) => {
                         shared
@@ -978,6 +1067,7 @@ fn driver_loop(shared: Arc<Shared>) {
             }
             continue;
         }
+        let obs = shared.obs();
         let mut run_msgs: Vec<InMessage> = Vec::new();
         let mut run_tags: Vec<(u64, u64)> = Vec::new();
         let mut run_keys: Vec<Option<String>> = Vec::new();
@@ -988,7 +1078,20 @@ fn driver_loop(shared: Arc<Shared>) {
                     id,
                     mut msg,
                     key,
+                    enq,
                 } => {
+                    if let Some(enq) = enq {
+                        if obs.is_enabled() {
+                            // Queue wait is infrastructure latency, not
+                            // tied to one event's trace (ids are only
+                            // assigned inside the engine) — spans land
+                            // on the untraced chain, trace 0.
+                            let dur = enq.elapsed().as_nanos() as u64;
+                            obs.queue.record(dur);
+                            let now = obs.now_ns();
+                            obs.span(0, reweb_obs::Stage::QueueWait, now.saturating_sub(dur), dur);
+                        }
+                    }
                     if let Some(k) = &key {
                         // Deduplicate pushed deliveries before they
                         // reach the engine: against the ledger (all
@@ -1041,7 +1144,8 @@ fn driver_loop(shared: Arc<Shared>) {
                                     .counters
                                     .reactions_out
                                     .fetch_add(1, Ordering::Relaxed);
-                                push_outbound(&shared, &o.to, at, &o.payload);
+                                let trace = o.provenance.as_ref().map_or(0, |p| p.trace);
+                                push_outbound(&shared, &o.to, at, &o.payload, trace);
                                 shared.send_to(
                                     client,
                                     ReplyClass::Data,
@@ -1084,10 +1188,13 @@ fn driver_loop(shared: Arc<Shared>) {
 }
 
 /// Hand one reaction to the attached delivery agent (when one is).
-fn push_outbound(shared: &Shared, to: &str, at: Timestamp, payload: &reweb_term::Term) {
+/// `trace` is the originating event's trace id (0 = untraced) — it
+/// rides along so the delivery agent's outbox/round-trip spans join the
+/// same causal chain.
+fn push_outbound(shared: &Shared, to: &str, at: Timestamp, payload: &reweb_term::Term, trace: u64) {
     let delivery = shared.delivery.lock().expect("delivery handle poisoned");
     if let Some(h) = delivery.as_ref() {
-        h.enqueue(to, at, payload);
+        h.enqueue(to, at, payload, trace);
     }
 }
 
@@ -1123,7 +1230,8 @@ fn flush_run(
                     .counters
                     .reactions_out
                     .fetch_add(1, Ordering::Relaxed);
-                push_outbound(shared, &o.to, msgs[k as usize].at, &o.payload);
+                let trace = o.provenance.as_ref().map_or(0, |p| p.trace);
+                push_outbound(shared, &o.to, msgs[k as usize].at, &o.payload, trace);
                 shared.send_to(
                     client,
                     ReplyClass::Data,

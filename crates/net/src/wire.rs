@@ -179,6 +179,24 @@ pub enum Request {
         /// Correlation id, echoed on the `done` reply.
         id: u64,
     },
+    /// Runtime observability query: the server answers [`Reply::Stats`]
+    /// with the current histogram snapshot (batch latency, fsync stall,
+    /// queue wait, delivery round-trip). Answered from shared atomics —
+    /// never queued behind the engine, so stats stay readable under
+    /// ingress pressure.
+    Stats {
+        /// Correlation id, echoed on the `stats` reply.
+        id: u64,
+    },
+    /// Runtime observability query: the server answers [`Reply::Trace`]
+    /// with the recorded span chain of one trace id (as far as the
+    /// flight recorder still remembers it).
+    Trace {
+        /// Correlation id, echoed on the `trace` reply.
+        id: u64,
+        /// The trace id whose span chain is requested.
+        trace: u64,
+    },
     /// Polite close: the server drops the session without counting a
     /// fault.
     Bye,
@@ -251,6 +269,15 @@ impl Request {
                 .unordered()
                 .field("id", id.to_string())
                 .finish(),
+            Request::Stats { id } => Term::build("stats")
+                .unordered()
+                .field("id", id.to_string())
+                .finish(),
+            Request::Trace { id, trace } => Term::build("trace")
+                .unordered()
+                .field("id", id.to_string())
+                .field("trace", trace.to_string())
+                .finish(),
             Request::Bye => Term::elem("bye"),
         }
     }
@@ -294,6 +321,13 @@ impl Request {
             }),
             Some("sync") => Ok(Request::Sync {
                 id: field_u64(t, "id")?,
+            }),
+            Some("stats") => Ok(Request::Stats {
+                id: field_u64(t, "id")?,
+            }),
+            Some("trace") => Ok(Request::Trace {
+                id: field_u64(t, "id")?,
+                trace: field_u64(t, "trace")?,
             }),
             Some("bye") => Ok(Request::Bye),
             other => Err(EnvelopeError(format!(
@@ -471,6 +505,25 @@ pub enum Reply {
         /// token bucket refills one token).
         retry_ms: u64,
     },
+    /// Answer to [`Request::Stats`]: the server's observability
+    /// snapshot, a `stats{…}` term as produced by `Obs::stats_term`
+    /// (enabled flag, span count, and the four latency histograms).
+    Stats {
+        /// The stats request's id.
+        id: u64,
+        /// The `stats{…}` snapshot term.
+        body: Term,
+    },
+    /// Answer to [`Request::Trace`]: the span chain the flight
+    /// recorder still holds for one trace id, a `trace{…}` term as
+    /// produced by `Obs::trace_term`. An unknown or already-evicted
+    /// trace id answers with an empty chain, not an error.
+    Trace {
+        /// The trace request's id.
+        id: u64,
+        /// The `trace{…}` span-chain term.
+        body: Term,
+    },
 }
 
 impl Reply {
@@ -537,6 +590,16 @@ impl Reply {
                 .field("id", id.to_string())
                 .field("retry_ms", retry_ms.to_string())
                 .finish(),
+            Reply::Stats { id, body } => Term::build("stats")
+                .unordered()
+                .field("id", id.to_string())
+                .child(Term::ordered("body", vec![body.clone()]))
+                .finish(),
+            Reply::Trace { id, body } => Term::build("trace")
+                .unordered()
+                .field("id", id.to_string())
+                .child(Term::ordered("body", vec![body.clone()]))
+                .finish(),
         }
     }
 
@@ -574,6 +637,14 @@ impl Reply {
             Some("throttled") => Ok(Reply::Throttled {
                 id: field_u64(t, "id")?,
                 retry_ms: field_u64(t, "retry_ms")?,
+            }),
+            Some("stats") => Ok(Reply::Stats {
+                id: field_u64(t, "id")?,
+                body: field_child(t, "body")?.clone(),
+            }),
+            Some("trace") => Ok(Reply::Trace {
+                id: field_u64(t, "id")?,
+                body: field_child(t, "body")?.clone(),
             }),
             other => Err(EnvelopeError(format!(
                 "unknown reply label {other:?} in {t}"
@@ -683,6 +754,8 @@ mod tests {
             at: Timestamp(5000),
         });
         rt_req(Request::Sync { id: 45 });
+        rt_req(Request::Stats { id: 48 });
+        rt_req(Request::Trace { id: 49, trace: 12 });
         rt_req(Request::Bye);
     }
 
@@ -727,6 +800,20 @@ mod tests {
         rt_rep(Reply::Throttled {
             id: 10,
             retry_ms: 50,
+        });
+        // Observability bodies round-trip shaped exactly as the live
+        // server produces them (Obs::stats_term / Obs::trace_term).
+        let obs = reweb_obs::Obs::enabled();
+        obs.batch.record(1500);
+        let t = obs.next_trace();
+        obs.span(t, reweb_obs::Stage::Admission, 10, 250);
+        rt_rep(Reply::Stats {
+            id: 11,
+            body: obs.stats_term(),
+        });
+        rt_rep(Reply::Trace {
+            id: 12,
+            body: obs.trace_term(t),
         });
     }
 

@@ -1,0 +1,162 @@
+//! The observability acceptance wall: a two-node run (sender A with
+//! rules + delivery agent, receiver B) answering `stats{}` over the
+//! wire with mergeable latency histograms, and `trace{id}` returning
+//! the full ingress→delivery span chain of one traced event.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use reweb_core::ReactiveEngine;
+use reweb_net::{DeliveryAgent, DeliveryConfig, NetClient, NetConfig, NetServer};
+use reweb_obs::{stats_histogram, Span, Stage};
+use reweb_term::{parse_term, Term, Timestamp};
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("reweb-obs-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn wait_until(what: &str, f: impl Fn() -> bool) {
+    for _ in 0..5000 {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Spans of a `trace{…}` reply body, in recording order.
+fn spans_of(body: &Term) -> Vec<Span> {
+    assert_eq!(body.label(), Some("trace"));
+    body.children()
+        .iter()
+        .filter(|c| c.label() == Some("span"))
+        .map(|c| Span::from_term(c).expect("well-formed span"))
+        .collect()
+}
+
+#[test]
+fn two_node_stats_and_trace_over_the_wire() {
+    let dir = tmp("two-node");
+    const N: usize = 5;
+
+    // Node B: a bare receiver.
+    let b = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://b/".to_string()),
+        NetConfig::default(),
+    )
+    .unwrap();
+    b.obs().enable();
+
+    // Node A: forwards every order into B's URI space via the agent.
+    let mut agent = DeliveryAgent::new(DeliveryConfig {
+        from: "http://a/".into(),
+        outbox: Some(dir.join("outbox.log")),
+        ..DeliveryConfig::default()
+    })
+    .unwrap();
+    agent.add_route("http://b/", b.local_addr());
+    let mut engine = ReactiveEngine::new("http://a/".to_string());
+    engine
+        .install_program(
+            r#"RULE fwd ON order{{id[[var O]]}} DO SEND ship{id[var O]} TO "http://b/recv" END"#,
+        )
+        .unwrap();
+    let a = NetServer::bind("127.0.0.1:0", engine, NetConfig::default()).unwrap();
+    a.attach_delivery(agent.handle());
+    a.obs().enable();
+
+    // Drive N orders through A, fenced, and wait for B to ingest all
+    // pushed reactions.
+    let mut client = NetClient::connect(a.local_addr(), "http://client/").unwrap();
+    for i in 0..N {
+        client
+            .send_event(
+                parse_term(&format!("order{{id[\"o{i}\"]}}")).unwrap(),
+                Some(Timestamp(i as u64 * 10)),
+            )
+            .unwrap();
+        client.sync().unwrap();
+    }
+    assert!(agent.flush(Duration::from_secs(10)), "deliveries settle");
+    wait_until("B ingests all pushes", || b.delivered().len() == N);
+
+    // stats{} over the wire, from both nodes.
+    let a_stats = client.stats().unwrap();
+    let mut b_client = NetClient::connect(b.local_addr(), "http://probe/").unwrap();
+    let b_stats = b_client.stats().unwrap();
+    assert_eq!(a_stats.label(), Some("stats"));
+
+    // Batch-latency histograms exist on both sides and merge (the
+    // sharded-engine contract: shard snapshots sum bucket-wise).
+    let a_batch = stats_histogram(&a_stats, "batch").expect("A batch histogram");
+    let b_batch = stats_histogram(&b_stats, "batch").expect("B batch histogram");
+    assert!(a_batch.count() >= N as u64, "A ran at least {N} batches");
+    assert!(!b_batch.is_empty(), "B's ingestion was measured");
+    let mut merged = a_batch.clone();
+    merged.merge(&b_batch);
+    assert_eq!(merged.count(), a_batch.count() + b_batch.count());
+    let (p50, p99) = (merged.p50(), merged.p99());
+    assert!(p50 > 0 && p50 <= p99, "quantiles ordered: {p50} <= {p99}");
+    assert!(p99 <= merged.max().next_power_of_two().max(merged.max()));
+
+    // A's delivery round-trip histogram saw every acked push.
+    let a_rtt = stats_histogram(&a_stats, "delivery").expect("A delivery histogram");
+    assert_eq!(a_rtt.count(), N as u64);
+
+    // trace{id}: the first order got trace id 1; its chain must span
+    // ingress to delivery ack.
+    let body = client.trace(1).unwrap();
+    let spans = spans_of(&body);
+    assert!(!spans.is_empty(), "trace 1 was recorded");
+    assert!(spans.iter().all(|s| s.trace == 1));
+    let stages: Vec<Stage> = spans.iter().map(|s| s.stage).collect();
+    for want in [
+        Stage::Admission,
+        Stage::Alpha,
+        Stage::Beta,
+        Stage::Fire,
+        Stage::Reaction,
+        Stage::Outbox,
+        Stage::Delivery,
+    ] {
+        assert!(stages.contains(&want), "chain misses {want}: {stages:?}");
+    }
+    // Causal order: admission opened before the delivery ack closed.
+    let adm = spans.iter().find(|s| s.stage == Stage::Admission).unwrap();
+    let del = spans.iter().find(|s| s.stage == Stage::Delivery).unwrap();
+    assert!(adm.start_ns <= del.start_ns + del.dur_ns);
+    // An unknown trace answers an empty chain, not an error.
+    assert!(spans_of(&client.trace(u64::MAX).unwrap()).is_empty());
+
+    agent.shutdown();
+    drop((a, b));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The runtime toggle: with observability left disabled (the default),
+/// `stats{}` still answers — flagged disabled, with empty histograms —
+/// and traces record nothing.
+#[test]
+fn disabled_observability_answers_empty_stats() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ReactiveEngine::new("http://x/".to_string()),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr(), "http://client/").unwrap();
+    client
+        .send_event(parse_term("ping{}").unwrap(), Some(Timestamp(1)))
+        .unwrap();
+    client.sync().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.label(), Some("stats"));
+    let batch = stats_histogram(&stats, "batch").expect("histogram present even when disabled");
+    assert!(batch.is_empty(), "disabled path records nothing");
+    assert!(spans_of(&client.trace(1).unwrap()).is_empty());
+}

@@ -84,6 +84,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use reweb_core::{InMessage, MessageMeta, OutMessage, ReactiveEngine, ReplayMark, ShardedEngine};
+use reweb_obs::{Obs, Stage};
 use reweb_term::{Dur, Term, TermError, Timestamp};
 
 pub mod outbox;
@@ -182,6 +183,10 @@ pub struct RecoveryStats {
     pub replayed_records: u64,
     /// Install-journal entries replayed from the snapshot.
     pub journal_entries: u64,
+    /// Wall-clock nanoseconds [`DurableEngine::open`] spent bringing the
+    /// engine back (0 for a fresh log). Reported as a `recovery` span
+    /// once an observability handle is attached.
+    pub elapsed_ns: u64,
 }
 
 /// The engine shapes a [`DurableEngine`] can wrap. The trait carries the
@@ -230,6 +235,10 @@ pub trait Recoverable {
     /// Called once after recovery finished restoring state behind the
     /// engine's back (sharded engines refresh their deadline caches).
     fn after_restore(&mut self) {}
+    /// Attach a shared observability handle to every wrapped engine.
+    fn set_obs(&mut self, obs: std::sync::Arc<Obs>);
+    /// The wrapped engines' observability handle.
+    fn obs(&self) -> std::sync::Arc<Obs>;
 }
 
 impl Recoverable for ReactiveEngine {
@@ -285,6 +294,12 @@ impl Recoverable for ReactiveEngine {
     fn flush_due_deadlines(&mut self) {
         ReactiveEngine::flush_due_deadlines(self);
     }
+    fn set_obs(&mut self, obs: std::sync::Arc<Obs>) {
+        ReactiveEngine::set_obs(self, obs);
+    }
+    fn obs(&self) -> std::sync::Arc<Obs> {
+        std::sync::Arc::clone(ReactiveEngine::obs(self))
+    }
 }
 
 impl Recoverable for ShardedEngine {
@@ -336,6 +351,12 @@ impl Recoverable for ShardedEngine {
     fn after_restore(&mut self) {
         self.refresh_deadlines();
     }
+    fn set_obs(&mut self, obs: std::sync::Arc<Obs>) {
+        ShardedEngine::set_obs(self, obs);
+    }
+    fn obs(&self) -> std::sync::Arc<Obs> {
+        std::sync::Arc::clone(ShardedEngine::obs(self))
+    }
 }
 
 /// A replay mark of one log record: the engine sequence state captured
@@ -372,6 +393,10 @@ pub struct DurableEngine<E: Recoverable> {
     marks: VecDeque<Mark>,
     records_since_snapshot: u64,
     recovery: RecoveryStats,
+    /// Mirror of the wrapped engine's observability handle, kept locally
+    /// so the per-record fsync path pays one relaxed load, not an
+    /// `Arc` clone through the `Recoverable` accessor.
+    obs: std::sync::Arc<Obs>,
 }
 
 impl<E: Recoverable> fmt::Debug for DurableEngine<E> {
@@ -400,6 +425,7 @@ impl<E: Recoverable> DurableEngine<E> {
     /// snapshot is healed silently and reported in
     /// [`DurableEngine::recovery`].
     pub fn open(dir: &Path, opts: DurableOptions, build: impl FnOnce() -> E) -> Result<Self> {
+        let opened_at = std::time::Instant::now();
         std::fs::create_dir_all(dir)?;
         let wal_path = dir.join("wal.log");
         let snap_path = dir.join("snapshot.bin");
@@ -428,6 +454,7 @@ impl<E: Recoverable> DurableEngine<E> {
                 w.append(&head)?;
                 w.sync()?;
                 let genesis = w.len();
+                let obs = Recoverable::obs(&engine);
                 return Ok(DurableEngine {
                     engine,
                     wal: w,
@@ -438,6 +465,7 @@ impl<E: Recoverable> DurableEngine<E> {
                     marks: VecDeque::new(),
                     records_since_snapshot: 0,
                     recovery: RecoveryStats::default(),
+                    obs,
                 });
             }
             Some((_, Record::Head { schema, engine })) => {
@@ -472,6 +500,7 @@ impl<E: Recoverable> DurableEngine<E> {
         };
 
         let snapshot = Snapshot::read_from(&snap_path)?;
+        let obs = Recoverable::obs(&engine);
         let mut me = DurableEngine {
             engine,
             wal: opened.wal,
@@ -482,6 +511,7 @@ impl<E: Recoverable> DurableEngine<E> {
             marks: VecDeque::new(),
             records_since_snapshot: 0,
             recovery: RecoveryStats::default(),
+            obs,
         };
 
         match snapshot {
@@ -497,8 +527,41 @@ impl<E: Recoverable> DurableEngine<E> {
         }
         me.engine.after_restore();
         me.records_since_snapshot = stats.replayed_records;
+        stats.elapsed_ns = opened_at.elapsed().as_nanos() as u64;
         me.recovery = stats;
         Ok(me)
+    }
+
+    /// Attach a shared observability handle to the wrapped engine(s) and
+    /// this durability layer (fsync stalls, recovery span). If this
+    /// handle recovered an existing log, the recovery duration is
+    /// recorded as a `recovery` span at attach time.
+    pub fn set_obs(&mut self, obs: std::sync::Arc<Obs>) {
+        self.engine.set_obs(std::sync::Arc::clone(&obs));
+        self.obs = obs;
+        if self.obs.is_enabled() && self.recovery.recovered {
+            self.obs
+                .span(0, Stage::Recovery, 0, self.recovery.elapsed_ns);
+        }
+    }
+
+    /// The attached observability handle.
+    pub fn obs(&self) -> &std::sync::Arc<Obs> {
+        &self.obs
+    }
+
+    /// Flush the WAL, recording the stall into the fsync histogram (and
+    /// an untraced `fsync` span) when observability is on.
+    fn sync_wal(&mut self) -> Result<()> {
+        if !self.obs.is_enabled() {
+            return self.wal.sync();
+        }
+        let t0 = self.obs.now_ns();
+        let r = self.wal.sync();
+        let dur = self.obs.now_ns().saturating_sub(t0);
+        self.obs.fsync.record(dur);
+        self.obs.span(0, Stage::Fsync, t0, dur);
+        r
     }
 
     fn recover_with_snapshot(
@@ -703,7 +766,7 @@ impl<E: Recoverable> DurableEngine<E> {
     fn commit(&mut self, rec: Record) -> Result<Vec<OutMessage>> {
         let offset = self.wal.append(&rec)?;
         if self.opts.sync == SyncPolicy::Always {
-            self.wal.sync()?;
+            self.sync_wal()?;
         }
         let out = self.apply(offset, &rec, Mode::Live)?;
         self.records_since_snapshot += 1;
@@ -749,7 +812,7 @@ impl<E: Recoverable> DurableEngine<E> {
         let rec = Record::Batch(msgs.to_vec());
         let offset = self.wal.append(&rec)?;
         if self.opts.sync == SyncPolicy::Always {
-            self.wal.sync()?;
+            self.sync_wal()?;
         }
         self.push_mark(offset, &rec);
         for m in msgs {
@@ -788,7 +851,7 @@ impl<E: Recoverable> DurableEngine<E> {
         // a durable snapshot can never point past the durable log — a
         // machine crash in that window would otherwise leave a node that
         // refuses to start ("snapshot is newer than the log").
-        self.wal.sync()?;
+        self.sync_wal()?;
         let end = self.wal.len();
         let clock = self.engine.front_clock();
         // Warm start: the first retained record inside the retention
@@ -883,6 +946,6 @@ impl<E: Recoverable> DurableEngine<E> {
 
     /// Flush the log to stable storage regardless of [`SyncPolicy`].
     pub fn sync(&mut self) -> Result<()> {
-        self.wal.sync()
+        self.sync_wal()
     }
 }

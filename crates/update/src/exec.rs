@@ -72,13 +72,29 @@ impl From<TermError> for ActionError {
 }
 
 /// A message produced by a `SEND` action, awaiting delivery.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct OutMessage {
     /// URI of the receiving node.
     pub to: String,
     /// The event payload.
     pub payload: Term,
+    /// Why this message exists: the rule and constituent events behind
+    /// it. `None` unless the producing engine has observability enabled.
+    pub provenance: Option<std::sync::Arc<reweb_obs::Provenance>>,
 }
+
+/// Equality is deliberately `to` + `payload` only: provenance carries
+/// per-engine event ids (and a trace id), which legitimately differ
+/// between execution strategies — the byte-identity equivalence walls
+/// (sharded ≡ single, indexed ≡ scan, recovery ≡ uninterrupted, …)
+/// compare what a message *says*, not how it came to be.
+impl PartialEq for OutMessage {
+    fn eq(&self, other: &OutMessage) -> bool {
+        self.to == other.to && self.payload == other.payload
+    }
+}
+
+impl Eq for OutMessage {}
 
 /// Execution statistics (experiments E8, E9, E12).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -137,6 +153,7 @@ impl<'a> Executor<'a> {
             Action::Send { to, payload } => {
                 let t = payload.instantiate(std::slice::from_ref(binds))?;
                 self.outbox.push(OutMessage {
+                    provenance: None,
                     to: to.clone(),
                     payload: t,
                 });

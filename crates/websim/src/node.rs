@@ -167,6 +167,48 @@ impl DurableNode {
         self.engine = Some(Box::new(eng));
         Ok(())
     }
+
+    /// Journal one delivery lost while this node was down. The count
+    /// lives beside the WAL (CRC-framed, one `lost{at[…]}` record per
+    /// loss) so `NetMetrics::lost_while_down` survives a simulation
+    /// restart over the same directory — the counter is durability
+    /// accounting, and accounting that forgets losses across the very
+    /// crash that caused them is useless. Best-effort: the node is
+    /// *down*; a journaling failure must not take the simulation with
+    /// it.
+    pub(crate) fn journal_lost(&self, at: Timestamp) {
+        let path = DurableNode::lost_journal_path(&self.dir);
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        else {
+            return;
+        };
+        let bytes = Term::build("lost")
+            .unordered()
+            .field("at", at.millis().to_string())
+            .finish()
+            .to_string()
+            .into_bytes();
+        let _ = reweb_term::frame::write_frame(&mut f, &bytes);
+        let _ = f.sync_data();
+    }
+
+    /// The loss journal's path inside a node's log directory.
+    pub(crate) fn lost_journal_path(dir: &std::path::Path) -> PathBuf {
+        dir.join("lost.log")
+    }
+
+    /// Replay the loss journal of `dir`: how many deliveries were lost
+    /// while the node logging there was down, across every incarnation.
+    /// A torn tail (crash mid-append) drops only the torn record.
+    pub fn lost_journal_count(dir: &std::path::Path) -> u64 {
+        let Ok(bytes) = std::fs::read(DurableNode::lost_journal_path(dir)) else {
+            return 0;
+        };
+        reweb_term::frame::scan_frames(&bytes).frames.len() as u64
+    }
 }
 
 /// The TCP front of a [`NodeKind::Net`] node: a gateway session on a

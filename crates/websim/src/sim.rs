@@ -181,6 +181,11 @@ impl Simulation {
         if !eng.recovery().recovered {
             eng.install_program(program)?;
         }
+        // Deliveries lost while previous incarnations of this node were
+        // down were journaled beside its WAL; fold them back into the
+        // metrics so the counter round-trips across a simulation
+        // restart, exactly like the engine state does.
+        self.metrics.lost_while_down += DurableNode::lost_journal_count(dir.as_ref());
         self.nodes.insert(
             uri.clone(),
             NodeKind::Durable(DurableNode {
@@ -500,8 +505,13 @@ impl Simulation {
         };
         if self.down.contains(&owner) {
             // The destination crashed: push delivery is fire-and-forget
-            // on this simulated Web, so the message is simply lost.
+            // on this simulated Web, so the message is simply lost. A
+            // durable owner journals the loss beside its WAL, so the
+            // counter survives a restart of the simulation itself.
             self.metrics.lost_while_down += 1;
+            if let Some(NodeKind::Durable(d)) = self.nodes.get(&owner) {
+                d.journal_lost(self.now);
+            }
             return;
         }
         *self
@@ -603,8 +613,12 @@ impl Simulation {
         };
         if self.down.contains(&owner) {
             // A crashed owner can't accept the write; the update is lost
-            // (the workload driver does not retry).
+            // (the workload driver does not retry). Durable owners
+            // journal the loss, as in `deliver`.
             self.metrics.lost_while_down += 1;
+            if let Some(NodeKind::Durable(d)) = self.nodes.get(&owner) {
+                d.journal_lost(self.now);
+            }
             return;
         }
         let old = self
@@ -992,6 +1006,20 @@ mod tests {
             .map(|(_, e)| e.body.to_string())
             .collect();
         assert_eq!(bodies, vec!["ack{id[\"o1\"]}", "ack{id[\"o3\"]}"]);
+
+        // The loss round-trips like the engine state does: a brand-new
+        // simulation over the same directory starts with o2's loss
+        // already on the books (journaled beside the WAL at loss time),
+        // not reset to zero by the restart.
+        drop(sim);
+        let mut sim2 = Simulation::new(7);
+        assert_eq!(sim2.metrics.lost_while_down, 0);
+        sim2.add_durable_engine("http://shop", &dir, DurableOptions::default(), program)
+            .unwrap();
+        assert_eq!(
+            sim2.metrics.lost_while_down, 1,
+            "lost_while_down survives a simulation restart"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -25,6 +25,9 @@
 //! * [`net`] — the networked ingress tier: a framed TCP listener,
 //!   backpressured router, and per-client reply streams in front of any
 //!   engine ([`NetServer`], [`NetClient`]; `docs/WIRE_PROTOCOL.md`).
+//! * [`obs`] — observability: causal tracing through a lock-free flight
+//!   recorder, log-scale latency histograms, and reaction provenance
+//!   (`docs/OBSERVABILITY.md`).
 //! * [`production`] — the production-rule (Condition-Action) baseline.
 //! * [`websim`] — deterministic discrete-event simulation of Web nodes.
 //!
@@ -45,6 +48,10 @@ pub use reweb_persist::{DurableEngine, DurableOptions, SyncPolicy};
 // Serving over TCP is the facade-level entry point to the whole stack:
 // bind a server around any engine, point clients at it.
 pub use reweb_net::{NetClient, NetConfig, NetServer};
+pub use reweb_obs as obs;
+// Observability is a facade-level concern too: one shared `Obs` handle
+// threads tracing and histograms through every layer above.
+pub use reweb_obs::Obs;
 pub use reweb_production as production;
 pub use reweb_query as query;
 pub use reweb_term as term;
